@@ -1,0 +1,173 @@
+//! Runtime configuration: delegate-thread count, virtual delegates,
+//! assignment ratio, queue capacity, wait policy, execution mode.
+//!
+//! Mirrors the environment knobs of §4: "The number of delegate threads is
+//! one less than the number of processors by default, but may be configured
+//! to some other number"; "Virtual delegates allow runtime configuration of
+//! the assignment ratio of serialization sets assigned to the program thread
+//! and the delegate threads."
+
+/// How delegated operations are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Real delegate threads; operations in different serialization sets run
+    /// concurrently.
+    Parallel,
+    /// The paper's *debug build* (§3.3): no threads are spawned, every
+    /// delegated operation executes inline on the program thread, in exactly
+    /// the deterministic order the parallel execution is required to be
+    /// indistinguishable from. All dynamic checks (serializer consistency,
+    /// state machine, context) still run, so "all development and debugging
+    /// is done on a sequential program".
+    Serial,
+}
+
+/// What a delegate thread does while its queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitPolicy {
+    /// Pure spin with `PAUSE`-style hints — the paper's choice for
+    /// performance runs ("blocking OS synchronization … would incur
+    /// prohibitive overheads").
+    Spin,
+    /// Spin briefly, then `yield_now`. Appropriate when threads are
+    /// oversubscribed on fewer cores (our evaluation host).
+    SpinYield,
+    /// Spin, yield, then park on a condition variable until the program
+    /// thread enqueues again. Cheapest when epochs are sparse; also what
+    /// `Runtime::sleep` forces during long aggregation epochs.
+    SpinPark,
+}
+
+/// Builder for [`Runtime`](crate::Runtime).
+///
+/// ```
+/// use ss_core::{ExecutionMode, Runtime, WaitPolicy};
+/// let rt = Runtime::builder()
+///     .delegate_threads(2)
+///     .virtual_delegates(8)
+///     .program_share(1) // 1 of 8 virtual delegates executes inline
+///     .queue_capacity(1024)
+///     .wait_policy(WaitPolicy::SpinYield)
+///     .mode(ExecutionMode::Parallel)
+///     .build()
+///     .unwrap();
+/// assert_eq!(rt.delegate_threads(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    pub(crate) delegate_threads: Option<usize>,
+    pub(crate) virtual_delegates: Option<usize>,
+    pub(crate) program_share: usize,
+    pub(crate) queue_capacity: usize,
+    pub(crate) wait_policy: WaitPolicy,
+    pub(crate) mode: ExecutionMode,
+    pub(crate) dynamic_checks: bool,
+    pub(crate) trace: bool,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            delegate_threads: None,
+            virtual_delegates: None,
+            program_share: 0,
+            queue_capacity: 512,
+            wait_policy: WaitPolicy::SpinPark,
+            mode: ExecutionMode::Parallel,
+            dynamic_checks: true,
+            trace: false,
+        }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Number of delegate threads. Default: `available_parallelism() - 1`
+    /// (at least 1), the paper's default of "one less than the number of
+    /// processors". `0` is allowed and makes every set execute inline on the
+    /// program thread (equivalent to [`ExecutionMode::Serial`] but with the
+    /// parallel bookkeeping paths).
+    pub fn delegate_threads(mut self, n: usize) -> Self {
+        self.delegate_threads = Some(n);
+        self
+    }
+
+    /// Number of *virtual* delegates the static assignment hashes sets onto
+    /// (§4). Must be ≥ `program_share`. Default: `program_share +
+    /// delegate_threads`.
+    pub fn virtual_delegates(mut self, n: usize) -> Self {
+        self.virtual_delegates = Some(n);
+        self
+    }
+
+    /// How many of the virtual delegates are executed by the program thread
+    /// itself (the paper's *assignment ratio*: "Prometheus uses the program
+    /// thread to execute some of the delegated methods"). Default 0.
+    pub fn program_share(mut self, n: usize) -> Self {
+        self.program_share = n;
+        self
+    }
+
+    /// Capacity of each program→delegate communication queue (rounded up to
+    /// a power of two). The queues "provide buffering to help tolerate
+    /// bursts of operations mapped to the same serialization set" (§4).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(2);
+        self
+    }
+
+    /// Idle behaviour of delegate threads. Default [`WaitPolicy::SpinPark`].
+    pub fn wait_policy(mut self, p: WaitPolicy) -> Self {
+        self.wait_policy = p;
+        self
+    }
+
+    /// Parallel or sequential-debug execution. Default parallel.
+    pub fn mode(mut self, m: ExecutionMode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    /// Enables/disables the dynamic protocol checks (serializer consistency,
+    /// state machine). The paper disables them for performance measurements
+    /// (§5); the checks that guard memory safety in Rust are *not* affected
+    /// by this switch — only the purely diagnostic ones are.
+    pub fn dynamic_checks(mut self, on: bool) -> Self {
+        self.dynamic_checks = on;
+        self
+    }
+
+    /// Enables execution tracing (§3.3's debug facility): the runtime
+    /// records every model-level operation — epoch boundaries, delegations
+    /// with their serialization set and executor, ownership reclaims,
+    /// program-context accesses, reductions — in program order, readable
+    /// via [`Runtime::take_trace`](crate::Runtime::take_trace). Default off.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Spawns the delegate threads and returns the runtime handle.
+    pub fn build(self) -> crate::SsResult<crate::Runtime> {
+        crate::Runtime::from_builder(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let b = RuntimeBuilder::default();
+        assert_eq!(b.program_share, 0);
+        assert!(b.dynamic_checks);
+        assert_eq!(b.mode, ExecutionMode::Parallel);
+        assert_eq!(b.wait_policy, WaitPolicy::SpinPark);
+    }
+
+    #[test]
+    fn queue_capacity_has_floor() {
+        let b = RuntimeBuilder::default().queue_capacity(0);
+        assert_eq!(b.queue_capacity, 2);
+    }
+}

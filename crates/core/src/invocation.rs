@@ -1,0 +1,136 @@
+//! Invocation objects — the unit of work shipped through the communication
+//! queues (§4).
+//!
+//! Prometheus instantiates a typed *invocation object* per delegated call
+//! (holding the object pointer, method pointer, arguments and serialization
+//! set). In Rust a boxed `FnOnce` closure plays that role: the compiler
+//! monomorphizes a capture struct per delegation site, exactly like the C++
+//! template instantiation the paper describes, and type errors in arguments
+//! are caught at compile time rather than run time.
+//!
+//! Besides ordinary executions, the runtime uses two *special* invocation
+//! kinds, mirroring §4:
+//!
+//! * **synchronization objects** — sent by the program thread to reclaim
+//!   ownership of a data domain (or, at `end_isolation`, of all domains).
+//!   Because the queues are FIFO, when the delegate reaches the token every
+//!   earlier operation on that queue has completed.
+//! * **termination objects** — sent by `terminate` to shut delegate threads
+//!   down after draining their queues.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+
+use crate::serializer::SsId;
+
+/// One message on a program→delegate communication queue.
+pub(crate) enum Invocation {
+    /// Execute a delegated operation. The closure is self-contained: it
+    /// performs the unsafe receiver access, decrements the object's pending
+    /// count, and traps panics into the runtime poison flag.
+    Execute {
+        /// The packaged operation.
+        task: Box<dyn FnOnce() + Send>,
+        /// Serialization set, kept for diagnostics/tracing.
+        ss: SsId,
+    },
+    /// Synchronization object: signal the token and continue.
+    Sync(Arc<SyncToken>),
+    /// Termination object: signal and exit the delegate loop.
+    Terminate(Arc<SyncToken>),
+}
+
+impl std::fmt::Debug for Invocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Invocation::Execute { ss, .. } => f.debug_struct("Execute").field("ss", ss).finish(),
+            Invocation::Sync(_) => f.write_str("Sync"),
+            Invocation::Terminate(_) => f.write_str("Terminate"),
+        }
+    }
+}
+
+/// A one-shot completion flag the program thread can block on.
+///
+/// The program thread spins briefly (delegation queues drain in microseconds
+/// when the system is healthy) and then parks; the delegate unparks it on
+/// signal. Parking tolerates spurious wakeups by re-checking the flag.
+pub(crate) struct SyncToken {
+    done: AtomicBool,
+    waiter: Thread,
+}
+
+impl SyncToken {
+    /// Creates a token whose `wait` will be called by the current thread.
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(SyncToken {
+            done: AtomicBool::new(false),
+            waiter: std::thread::current(),
+        })
+    }
+
+    /// Marks the token complete and wakes the waiter.
+    pub(crate) fn signal(&self) {
+        self.done.store(true, Ordering::Release);
+        self.waiter.unpark();
+    }
+
+    /// Blocks until `signal` is called. Must only be invoked by the thread
+    /// that created the token.
+    pub(crate) fn wait(&self) {
+        debug_assert_eq!(std::thread::current().id(), self.waiter.id());
+        let mut spins = 0u32;
+        while !self.done.load(Ordering::Acquire) {
+            if spins < 64 {
+                core::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::park();
+            }
+        }
+    }
+
+    /// Non-blocking check (used by tests).
+    #[cfg(test)]
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_signals_across_threads() {
+        let token = SyncToken::new();
+        assert!(!token.is_done());
+        let t2 = Arc::clone(&token);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                t2.signal();
+            });
+            token.wait();
+        });
+        assert!(token.is_done());
+    }
+
+    #[test]
+    fn wait_returns_immediately_if_signalled() {
+        let token = SyncToken::new();
+        token.signal();
+        token.wait(); // must not block
+    }
+
+    #[test]
+    fn invocation_debug_format() {
+        let inv = Invocation::Execute {
+            task: Box::new(|| {}),
+            ss: SsId(3),
+        };
+        assert!(format!("{inv:?}").contains("SsId(3)"));
+        assert_eq!(format!("{:?}", Invocation::Sync(SyncToken::new())), "Sync");
+    }
+}

@@ -1,0 +1,1013 @@
+//! The serialization-sets runtime: program context, delegate contexts,
+//! epochs, static delegate assignment, synchronization and termination.
+//!
+//! Architecture (mirroring §4 of the paper):
+//!
+//! * The thread that constructs the [`Runtime`] is the **program thread**; it
+//!   implements the *program context* and is the only thread allowed to
+//!   delegate, call, or switch epochs.
+//! * `N` **delegate threads** implement the *delegate context*. Each owns the
+//!   consumer side of a FastForward SPSC queue; the program thread owns all
+//!   producer sides.
+//! * A delegated operation is packaged as an *invocation object* and routed
+//!   by **static delegate assignment**: serialization-set id modulo the
+//!   number of *virtual delegates*; the first `program_share` virtual
+//!   delegates execute inline on the program thread (the paper's assignment
+//!   ratio), the rest round-robin over the physical delegate threads.
+//! * **Synchronization objects** flush a delegate queue when the program
+//!   context reclaims ownership of an object, or all queues at
+//!   `end_isolation`. **Termination objects** shut the delegates down.
+
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, ThreadId};
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use ss_queue::{Consumer, Pop, Producer, SpscQueue};
+
+use crate::cell::ProgramOnly;
+use crate::config::{ExecutionMode, RuntimeBuilder, WaitPolicy};
+use crate::error::{SsError, SsResult};
+use crate::invocation::{Invocation, SyncToken};
+use crate::serializer::SsId;
+use crate::stats::{Stats, StatsCell};
+use crate::trace::{TraceEvent, TraceExecutor, TraceKind, TraceLog};
+
+/// Global runtime-id dispenser so multiple runtimes (e.g. in tests) never
+/// confuse each other's delegate threads.
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(runtime id, delegate index)` for delegate threads; `None` elsewhere.
+    static DELEGATE_CTX: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
+}
+
+/// Which executor runs a serialization set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Executor {
+    /// Inline on the program thread.
+    Program,
+    /// Delegate thread with this index.
+    Delegate(usize),
+}
+
+/// State shared between the runtime and in-flight invocation closures.
+///
+/// Kept in its own `Arc` (instead of handing tasks the whole runtime) so
+/// queued closures never form reference cycles with the queues that carry
+/// them, and so delegate threads hold no strong reference to [`Inner`].
+pub(crate) struct Core {
+    pub(crate) stats: StatsCell,
+    pub(crate) poisoned: AtomicBool,
+    pub(crate) panic_msg: Mutex<Option<String>>,
+}
+
+impl Core {
+    /// Records the first delegated panic; later ones are dropped (the run is
+    /// already non-deterministic at that point).
+    pub(crate) fn poison(&self, msg: String) {
+        let mut slot = self.panic_msg.lock();
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn poison_error(&self) -> SsError {
+        let msg = self
+            .panic_msg
+            .lock()
+            .clone()
+            .unwrap_or_else(|| "<unknown panic>".to_string());
+        SsError::DelegatePanicked(msg)
+    }
+}
+
+/// Sleep/wake channel for one delegate thread (used by the `SpinPark` wait
+/// policy and by [`Runtime::sleep`]).
+struct Wakeup {
+    mutex: Mutex<()>,
+    condvar: Condvar,
+    /// Set by the delegate *before* it re-checks its queue and parks; the
+    /// program thread checks it *after* publishing an invocation. SeqCst
+    /// fences on both sides close the store-buffer race (see `park_if_empty`
+    /// / `notify`).
+    sleeping: AtomicBool,
+}
+
+impl Wakeup {
+    fn new() -> Self {
+        Wakeup {
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+            sleeping: AtomicBool::new(false),
+        }
+    }
+
+    /// Producer side: wake the delegate if it is (or is about to be) parked.
+    fn notify(&self) {
+        // Pairs with the fence in `park_if_empty`. The preceding queue push
+        // used Release; the SeqCst fences on both sides forbid the
+        // store-buffer outcome where the delegate misses the new item *and*
+        // we miss `sleeping == true`.
+        fence(Ordering::SeqCst);
+        if self.sleeping.load(Ordering::Relaxed) {
+            let _g = self.mutex.lock();
+            self.condvar.notify_one();
+        }
+    }
+
+    /// Delegate side: park until notified, unless `queue_nonempty` observes
+    /// work after the sleeping flag is raised. A bounded wait is used as a
+    /// belt-and-suspenders guard so a missed wakeup degrades to latency,
+    /// never deadlock.
+    fn park_if_empty(&self, queue_nonempty: impl Fn() -> bool) {
+        let mut guard = self.mutex.lock();
+        self.sleeping.store(true, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        if !queue_nonempty() {
+            self.condvar
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+        self.sleeping.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Program-thread-only epoch bookkeeping.
+struct EpochState {
+    in_isolation: bool,
+    /// Increments at every `begin_isolation`; wrappers compare it to their
+    /// stored serial to lazily reset per-epoch object state.
+    serial: u64,
+    started: Option<Instant>,
+    /// True while a delegated operation executes inline on the program
+    /// thread (guards against nested delegation / re-entrant wrapper use).
+    executing_inline: bool,
+}
+
+pub(crate) struct Inner {
+    id: u64,
+    program_thread: ThreadId,
+    mode: ExecutionMode,
+    dynamic_checks: bool,
+    n_delegates: usize,
+    virtual_delegates: usize,
+    program_share: usize,
+    producers: Box<[ProgramOnly<Producer<Invocation>>]>,
+    wakeups: Box<[Arc<Wakeup>]>,
+    join_handles: Mutex<Vec<JoinHandle<()>>>,
+    epoch: ProgramOnly<EpochState>,
+    started_at: Instant,
+    terminated: AtomicBool,
+    force_sleep: Arc<AtomicBool>,
+    next_instance: AtomicU64,
+    /// Cross-thread epoch generation: bumped at `begin_isolation` (odd while
+    /// isolating) and again at `end_isolation` (even during aggregation).
+    /// Readable by any executor — stable for the duration of any delegated
+    /// task, because epochs only change when all queues are drained.
+    epoch_gen: AtomicU64,
+    /// §3.3 execution trace, when enabled (program-thread-only).
+    trace_log: Option<ProgramOnly<TraceLog>>,
+    pub(crate) core: Arc<Core>,
+}
+
+/// Handle to a serialization-sets runtime.
+///
+/// Cloning is cheap (an `Arc` bump); all clones refer to the same program
+/// context and delegate threads. The thread that called
+/// [`Runtime::builder`]`.build()` is the program context; epoch control and
+/// delegation are restricted to it, as in the paper (§4 — recursive
+/// delegation is listed as future work).
+///
+/// Dropping the last handle (including those held by live `Writable` /
+/// `Reducible` wrappers) terminates the delegate threads.
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("id", &self.inner.id)
+            .field("delegates", &self.inner.n_delegates)
+            .field("virtual_delegates", &self.inner.virtual_delegates)
+            .field("program_share", &self.inner.program_share)
+            .field("mode", &self.inner.mode)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Starts configuring a runtime (the paper's `initialize`).
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Builds a runtime with all defaults: `available_parallelism() - 1`
+    /// delegate threads (the paper's default of one less than the number of
+    /// processors), no program share, parallel mode.
+    pub fn new() -> SsResult<Runtime> {
+        Self::builder().build()
+    }
+
+    pub(crate) fn from_builder(b: RuntimeBuilder) -> SsResult<Runtime> {
+        let n_delegates = match b.mode {
+            ExecutionMode::Serial => 0,
+            ExecutionMode::Parallel => b.delegate_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get().saturating_sub(1).max(1))
+                    .unwrap_or(1)
+            }),
+        };
+        let program_share = b.program_share;
+        let virtual_delegates = b
+            .virtual_delegates
+            .unwrap_or(program_share + n_delegates)
+            .max(1)
+            .max(program_share);
+
+        let id = NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(Core {
+            stats: StatsCell::default(),
+            poisoned: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
+        });
+        let force_sleep = Arc::new(AtomicBool::new(false));
+
+        let mut producers = Vec::with_capacity(n_delegates);
+        let mut consumers = Vec::with_capacity(n_delegates);
+        for _ in 0..n_delegates {
+            let (tx, rx) = SpscQueue::with_capacity(b.queue_capacity);
+            producers.push(ProgramOnly::new(tx));
+            consumers.push(rx);
+        }
+        let wakeups: Box<[Arc<Wakeup>]> =
+            (0..n_delegates).map(|_| Arc::new(Wakeup::new())).collect();
+
+        let inner = Arc::new(Inner {
+            id,
+            program_thread: std::thread::current().id(),
+            mode: b.mode,
+            dynamic_checks: b.dynamic_checks,
+            n_delegates,
+            virtual_delegates,
+            program_share,
+            producers: producers.into_boxed_slice(),
+            wakeups,
+            join_handles: Mutex::new(Vec::new()),
+            epoch: ProgramOnly::new(EpochState {
+                in_isolation: false,
+                serial: 0,
+                started: None,
+                executing_inline: false,
+            }),
+            started_at: Instant::now(),
+            terminated: AtomicBool::new(false),
+            force_sleep,
+            next_instance: AtomicU64::new(0),
+            epoch_gen: AtomicU64::new(0),
+            trace_log: b.trace.then(|| ProgramOnly::new(TraceLog::default())),
+            core,
+        });
+
+        // Delegate threads receive only the pieces they need (consumer,
+        // wakeup, force-sleep flag) — deliberately *not* an `Arc<Inner>`,
+        // which would keep the runtime alive forever (threads are joined by
+        // `Inner::drop`).
+        let mut handles = inner.join_handles.lock();
+        for (idx, consumer) in consumers.into_iter().enumerate() {
+            let wakeup = Arc::clone(&inner.wakeups[idx]);
+            let force_sleep = Arc::clone(&inner.force_sleep);
+            let policy = b.wait_policy;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ss-delegate-{idx}"))
+                    .spawn(move || {
+                        delegate_main(id, idx as u32, consumer, wakeup, policy, force_sleep)
+                    })
+                    .expect("failed to spawn delegate thread"),
+            );
+        }
+        drop(handles);
+
+        Ok(Runtime { inner })
+    }
+
+    // ------------------------------------------------------------------
+    // introspection
+
+    /// Number of physical delegate threads.
+    pub fn delegate_threads(&self) -> usize {
+        self.inner.n_delegates
+    }
+
+    /// Number of virtual delegates used by static assignment.
+    pub fn virtual_delegates(&self) -> usize {
+        self.inner.virtual_delegates
+    }
+
+    /// Virtual delegates executed inline by the program thread.
+    pub fn program_share(&self) -> usize {
+        self.inner.program_share
+    }
+
+    /// Execution mode (parallel or sequential debug).
+    pub fn mode(&self) -> ExecutionMode {
+        self.inner.mode
+    }
+
+    /// True once a delegated operation has panicked.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.core.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Whether the diagnostic dynamic checks are enabled.
+    pub fn dynamic_checks(&self) -> bool {
+        self.inner.dynamic_checks
+    }
+
+    /// Instrumentation snapshot (Figure 5a components and operation counts).
+    pub fn stats(&self) -> Stats {
+        self.inner.core.stats.snapshot(self.inner.started_at)
+    }
+
+    /// Next instance number for a new wrapped object (the *sequence*
+    /// serializer's identifying information).
+    pub(crate) fn next_instance(&self) -> u64 {
+        self.inner.next_instance.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // tracing (§3.3 debug facility)
+
+    /// Whether execution tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.trace_log.is_some()
+    }
+
+    /// Records one trace event (program thread only; no-op when disabled).
+    pub(crate) fn trace_record(
+        &self,
+        kind: TraceKind,
+        object: Option<u64>,
+        set: Option<SsId>,
+        executor: Option<Executor>,
+    ) {
+        let Some(log) = &self.inner.trace_log else {
+            return;
+        };
+        debug_assert!(self.is_program_thread());
+        let executor = executor.map(|e| match e {
+            Executor::Program => TraceExecutor::Program,
+            Executor::Delegate(i) => TraceExecutor::Delegate(i),
+        });
+        // SAFETY: program thread (all call sites are program-thread paths);
+        // scoped borrow.
+        let epoch = unsafe { self.inner.epoch.get() }.serial;
+        unsafe { log.get() }.record(epoch, kind, object, set, executor);
+    }
+
+    /// Removes and returns the recorded trace (program thread only; empty
+    /// when tracing is disabled). Sequence numbers continue across takes.
+    pub fn take_trace(&self) -> SsResult<Vec<TraceEvent>> {
+        self.require_program_thread()?;
+        match &self.inner.trace_log {
+            // SAFETY: program thread (checked above).
+            Some(log) => Ok(unsafe { log.get() }.take()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // context checks
+
+    #[inline]
+    pub(crate) fn is_program_thread(&self) -> bool {
+        std::thread::current().id() == self.inner.program_thread
+    }
+
+    /// Executor identity of the calling thread, if it belongs to this
+    /// runtime. Slot 0 is the program context; `1 + i` is delegate `i`
+    /// (the indices `Reducible` views use).
+    pub(crate) fn current_executor_slot(&self) -> Option<usize> {
+        if self.is_program_thread() {
+            return Some(0);
+        }
+        DELEGATE_CTX.with(|c| match c.get() {
+            Some((rt, idx)) if rt == self.inner.id => Some(1 + idx as usize),
+            _ => None,
+        })
+    }
+
+    /// Total executor slots: program + delegates.
+    pub(crate) fn executor_slots(&self) -> usize {
+        1 + self.inner.n_delegates
+    }
+
+    /// Public form of the executor identity: `Some(0)` on the program
+    /// thread, `Some(1 + i)` on delegate `i`, `None` on foreign threads.
+    /// Used by ownership-tracking data structures built on top of the
+    /// runtime (e.g. `ss-collections::OwnerTracked`).
+    pub fn executor_slot(&self) -> Option<usize> {
+        self.current_executor_slot()
+    }
+
+    /// Cross-thread epoch generation counter: odd while an isolation epoch
+    /// is open, even during aggregation. Monotonic; stable for the duration
+    /// of any delegated operation.
+    pub fn epoch_generation(&self) -> u64 {
+        self.inner.epoch_gen.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub(crate) fn require_program_thread(&self) -> SsResult<()> {
+        if self.is_program_thread() {
+            Ok(())
+        } else {
+            Err(SsError::WrongContext)
+        }
+    }
+
+    fn check_live(&self) -> SsResult<()> {
+        if self.inner.terminated.load(Ordering::Acquire) {
+            return Err(SsError::Terminated);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // epochs
+
+    /// Begins an isolation epoch (Table 1 `begin_isolation`): wakes delegate
+    /// processor resources if necessary and enables delegation.
+    pub fn begin_isolation(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        {
+            // SAFETY: program thread (checked above); borrow scoped.
+            let epoch = unsafe { self.inner.epoch.get() };
+            if epoch.executing_inline {
+                return Err(SsError::WrongContext);
+            }
+            if epoch.in_isolation {
+                return Err(SsError::AlreadyInIsolation);
+            }
+        }
+        if self.is_poisoned() {
+            return Err(self.inner.core.poison_error());
+        }
+        self.inner.force_sleep.store(false, Ordering::Release);
+        for w in self.inner.wakeups.iter() {
+            w.notify();
+        }
+        // SAFETY: program thread; scoped.
+        let epoch = unsafe { self.inner.epoch.get() };
+        epoch.in_isolation = true;
+        epoch.serial += 1;
+        epoch.started = Some(Instant::now());
+        self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → odd
+        self.trace_record(TraceKind::BeginIsolation, None, None, None);
+        Ok(())
+    }
+
+    /// Ends the isolation epoch (Table 1 `end_isolation`): synchronizes the
+    /// program context with all delegate contexts, then starts a new
+    /// aggregation epoch.
+    pub fn end_isolation(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        {
+            // SAFETY: program thread; scoped.
+            let epoch = unsafe { self.inner.epoch.get() };
+            if epoch.executing_inline {
+                return Err(SsError::WrongContext);
+            }
+            if !epoch.in_isolation {
+                return Err(SsError::NotIsolating);
+            }
+        }
+        self.barrier_all_delegates();
+        {
+            // SAFETY: program thread; scoped.
+            let epoch = unsafe { self.inner.epoch.get() };
+            epoch.in_isolation = false;
+            if let Some(t0) = epoch.started.take() {
+                StatsCell::add_nanos(&self.inner.core.stats.isolation_nanos, t0.elapsed());
+            }
+        }
+        StatsCell::bump(&self.inner.core.stats.isolation_epochs);
+        self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → even
+        self.trace_record(TraceKind::EndIsolation, None, None, None);
+        if self.is_poisoned() {
+            return Err(self.inner.core.poison_error());
+        }
+        Ok(())
+    }
+
+    /// Runs `f` inside an isolation epoch, synchronizing with all delegates
+    /// before returning (even for work still in flight when `f` returns).
+    ///
+    /// ```
+    /// # use ss_core::{Runtime, Writable};
+    /// let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    /// let w: Writable<u64> = Writable::new(&rt, 0);
+    /// rt.isolated(|| {
+    ///     for _ in 0..10 { w.delegate(|n| *n += 1).unwrap(); }
+    /// }).unwrap();
+    /// assert_eq!(w.call(|n| *n).unwrap(), 10);
+    /// ```
+    pub fn isolated<R>(&self, f: impl FnOnce() -> R) -> SsResult<R> {
+        self.begin_isolation()?;
+        let out = f();
+        self.end_isolation()?;
+        Ok(out)
+    }
+
+    /// True while an isolation epoch is open (program thread only; other
+    /// threads always observe `false`).
+    pub fn in_isolation(&self) -> bool {
+        if !self.is_program_thread() {
+            return false;
+        }
+        // SAFETY: program thread.
+        unsafe { self.inner.epoch.get() }.in_isolation
+    }
+
+    /// `(in_isolation, epoch serial, executing_inline)` — program thread
+    /// only; used by the wrappers.
+    pub(crate) fn epoch_flags(&self) -> (bool, u64, bool) {
+        debug_assert!(self.is_program_thread());
+        // SAFETY: program thread (debug-asserted; all callers check).
+        let e = unsafe { self.inner.epoch.get() };
+        (e.in_isolation, e.serial, e.executing_inline)
+    }
+
+    // ------------------------------------------------------------------
+    // delegation plumbing (used by the wrappers)
+
+    /// Routes a serialization set to its executor via static assignment:
+    /// `v = ss mod virtual_delegates`; virtual delegates `< program_share`
+    /// run inline, the rest map round-robin onto physical delegates (§4).
+    #[inline]
+    pub(crate) fn executor_for(&self, ss: SsId) -> Executor {
+        if self.inner.n_delegates == 0 {
+            return Executor::Program;
+        }
+        let v = (ss.0 % self.inner.virtual_delegates as u64) as usize;
+        if v < self.inner.program_share {
+            Executor::Program
+        } else {
+            Executor::Delegate((v - self.inner.program_share) % self.inner.n_delegates)
+        }
+    }
+
+    /// Submits a packaged task for the given serialization set. Must be
+    /// called on the program thread during an isolation epoch (wrappers
+    /// enforce both). Returns the executor chosen.
+    pub(crate) fn submit(&self, ss: SsId, task: Box<dyn FnOnce() + Send>) -> SsResult<Executor> {
+        self.check_live()?;
+        let executor = self.executor_for(ss);
+        match executor {
+            Executor::Program => {
+                {
+                    // SAFETY: program thread (wrappers checked); scoped so the
+                    // task below may legally re-enter the runtime.
+                    let epoch = unsafe { self.inner.epoch.get() };
+                    if epoch.executing_inline {
+                        return Err(SsError::NestedDelegation);
+                    }
+                    epoch.executing_inline = true;
+                }
+                task();
+                // SAFETY: program thread; fresh scoped borrow after user code.
+                unsafe { self.inner.epoch.get() }.executing_inline = false;
+                StatsCell::bump(&self.inner.core.stats.inline_executions);
+            }
+            Executor::Delegate(i) => {
+                // SAFETY: producers are program-thread-only; wrappers
+                // verified the calling context.
+                let producer = unsafe { self.inner.producers[i].get() };
+                if producer
+                    .push_blocking(Invocation::Execute { task, ss })
+                    .is_err()
+                {
+                    return Err(SsError::Terminated);
+                }
+                self.inner.wakeups[i].notify();
+                StatsCell::bump(&self.inner.core.stats.delegations);
+            }
+        }
+        Ok(executor)
+    }
+
+    /// Sends a synchronization object to `executor`'s queue and waits until
+    /// the delegate has drained everything before it — the ownership-reclaim
+    /// mechanism of §4 ("it will be the last object in the queue, since the
+    /// program thread has ceased sending invocations").
+    pub(crate) fn sync_executor(&self, executor: Executor) -> SsResult<()> {
+        let Executor::Delegate(i) = executor else {
+            return Ok(()); // program-owned sets are always already drained
+        };
+        self.check_live()?;
+        let token = SyncToken::new();
+        // SAFETY: producers are program-thread-only; callers verified.
+        let producer = unsafe { self.inner.producers[i].get() };
+        if producer
+            .push_blocking(Invocation::Sync(Arc::clone(&token)))
+            .is_err()
+        {
+            return Err(SsError::Terminated);
+        }
+        self.inner.wakeups[i].notify();
+        StatsCell::bump(&self.inner.core.stats.sync_objects);
+        token.wait();
+        Ok(())
+    }
+
+    /// Synchronizes with every delegate thread (used by `end_isolation`).
+    /// Tokens are sent to all queues first, then awaited, so delegates drain
+    /// in parallel.
+    fn barrier_all_delegates(&self) {
+        let mut tokens = Vec::with_capacity(self.inner.n_delegates);
+        for i in 0..self.inner.n_delegates {
+            let token = SyncToken::new();
+            // SAFETY: program thread (callers checked).
+            let producer = unsafe { self.inner.producers[i].get() };
+            if producer
+                .push_blocking(Invocation::Sync(Arc::clone(&token)))
+                .is_ok()
+            {
+                self.inner.wakeups[i].notify();
+                StatsCell::bump(&self.inner.core.stats.sync_objects);
+                tokens.push(token);
+            }
+        }
+        for t in tokens {
+            t.wait();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle
+
+    /// Releases delegate processor resources during a long aggregation epoch
+    /// (Table 1 `sleep`): delegate threads park as soon as their queues are
+    /// empty, regardless of wait policy, until the next `begin_isolation`.
+    pub fn sleep(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        if self.in_isolation() {
+            return Err(SsError::NotInAggregation);
+        }
+        self.inner.force_sleep.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Terminates the delegate threads after they drain their queues (Table 1
+    /// `terminate`). Idempotent; also implied by dropping the last handle.
+    pub fn shutdown(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        if self.in_isolation() {
+            return Err(SsError::NotIsolating); // must end the epoch first
+        }
+        self.inner.terminate_and_join();
+        Ok(())
+    }
+
+    /// Records reduction time (called by `Reducible`; Figure 5a component).
+    pub(crate) fn add_reduction_time(&self, d: std::time::Duration) {
+        StatsCell::add_nanos(&self.inner.core.stats.reduction_nanos, d);
+        StatsCell::bump(&self.inner.core.stats.reductions);
+    }
+}
+
+impl Inner {
+    /// Sends termination objects, wakes and joins all delegates. Called from
+    /// `shutdown` (program thread) or from `Drop` (sole owner) — both give
+    /// exclusive access to the producers.
+    fn terminate_and_join(&self) {
+        if !self.terminated.swap(true, Ordering::AcqRel) {
+            for i in 0..self.n_delegates {
+                let token = SyncToken::new();
+                // SAFETY: exclusive by the method contract above.
+                let producer = unsafe { self.producers[i].get() };
+                let _ = producer.push_blocking(Invocation::Terminate(token));
+                self.wakeups[i].notify();
+            }
+        }
+        let mut handles = self.join_handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.terminate_and_join();
+    }
+}
+
+/// Delegate thread main loop (§4): repeatedly read invocation objects from
+/// the communication queue and execute them.
+fn delegate_main(
+    rt_id: u64,
+    idx: u32,
+    consumer: Consumer<Invocation>,
+    wakeup: Arc<Wakeup>,
+    policy: WaitPolicy,
+    force_sleep: Arc<AtomicBool>,
+) {
+    DELEGATE_CTX.with(|c| c.set(Some((rt_id, idx))));
+    let backoff = ss_queue::Backoff::new();
+    loop {
+        match consumer.try_pop() {
+            Pop::Value(inv) => {
+                backoff.reset();
+                match inv {
+                    Invocation::Execute { task, .. } => task(),
+                    Invocation::Sync(token) => token.signal(),
+                    Invocation::Terminate(token) => {
+                        token.signal();
+                        break;
+                    }
+                }
+            }
+            Pop::Disconnected => break,
+            Pop::Empty => {
+                let force = force_sleep.load(Ordering::Acquire);
+                match policy {
+                    WaitPolicy::Spin if !force => backoff.spin(),
+                    WaitPolicy::SpinYield if !force => backoff.snooze(),
+                    _ => {
+                        if force || backoff.is_completed() {
+                            wakeup.park_if_empty(|| consumer.has_pending());
+                            backoff.reset();
+                        } else {
+                            backoff.snooze();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    DELEGATE_CTX.with(|c| c.set(None));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_assignment_is_static_modulo() {
+        let rt = Runtime::builder()
+            .delegate_threads(3)
+            .virtual_delegates(4)
+            .program_share(1)
+            .build()
+            .unwrap();
+        // v = ss % 4; v == 0 → program; v in 1..4 → delegate (v-1) % 3.
+        assert_eq!(rt.executor_for(SsId(0)), Executor::Program);
+        assert_eq!(rt.executor_for(SsId(4)), Executor::Program);
+        assert_eq!(rt.executor_for(SsId(1)), Executor::Delegate(0));
+        assert_eq!(rt.executor_for(SsId(2)), Executor::Delegate(1));
+        assert_eq!(rt.executor_for(SsId(3)), Executor::Delegate(2));
+        assert_eq!(rt.executor_for(SsId(5)), Executor::Delegate(0));
+    }
+
+    #[test]
+    fn zero_delegates_run_inline() {
+        let rt = Runtime::builder().delegate_threads(0).build().unwrap();
+        assert_eq!(rt.executor_for(SsId(17)), Executor::Program);
+        assert_eq!(rt.delegate_threads(), 0);
+    }
+
+    #[test]
+    fn serial_mode_spawns_no_threads() {
+        let rt = Runtime::builder()
+            .mode(ExecutionMode::Serial)
+            .build()
+            .unwrap();
+        assert_eq!(rt.delegate_threads(), 0);
+        assert_eq!(rt.mode(), ExecutionMode::Serial);
+    }
+
+    #[test]
+    fn epoch_state_machine() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert!(!rt.in_isolation());
+        assert_eq!(rt.end_isolation(), Err(SsError::NotIsolating));
+        rt.begin_isolation().unwrap();
+        assert!(rt.in_isolation());
+        assert_eq!(rt.begin_isolation(), Err(SsError::AlreadyInIsolation));
+        rt.end_isolation().unwrap();
+        assert!(!rt.in_isolation());
+    }
+
+    #[test]
+    fn epoch_control_from_wrong_thread_fails() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let rt2 = rt.clone();
+        std::thread::spawn(move || {
+            assert_eq!(rt2.begin_isolation(), Err(SsError::WrongContext));
+            assert_eq!(rt2.end_isolation(), Err(SsError::WrongContext));
+            assert!(!rt2.in_isolation());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn submit_runs_on_delegates_and_barrier_waits() {
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        rt.begin_isolation().unwrap();
+        for ss in 0..100u64 {
+            let c = Arc::clone(&counter);
+            rt.submit(
+                SsId(ss),
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn same_set_preserves_program_order() {
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        rt.begin_isolation().unwrap();
+        for i in 0..1000u64 {
+            let log = Arc::clone(&log);
+            rt.submit(SsId(7), Box::new(move || log.lock().push(i)))
+                .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let log = log.lock();
+        assert_eq!(*log, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_sets_execute_immediately() {
+        let rt = Runtime::builder()
+            .delegate_threads(1)
+            .virtual_delegates(2)
+            .program_share(2)
+            .build()
+            .unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        rt.begin_isolation().unwrap();
+        let h = Arc::clone(&hits);
+        rt.submit(
+            SsId(0),
+            Box::new(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
+        .unwrap();
+        // Inline execution is synchronous: visible before end_isolation.
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        rt.end_isolation().unwrap();
+        assert_eq!(rt.stats().inline_executions, 1);
+    }
+
+    #[test]
+    fn nested_delegation_rejected() {
+        let rt = Runtime::builder().delegate_threads(0).build().unwrap();
+        let rt2 = rt.clone();
+        rt.begin_isolation().unwrap();
+        let err = Arc::new(Mutex::new(None));
+        let err2 = Arc::clone(&err);
+        rt.submit(
+            SsId(0),
+            Box::new(move || {
+                let e = rt2.submit(SsId(1), Box::new(|| {})).unwrap_err();
+                *err2.lock() = Some(e);
+            }),
+        )
+        .unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(err.lock().take(), Some(SsError::NestedDelegation));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_blocks_later_use() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        rt.shutdown().unwrap();
+        rt.shutdown().unwrap();
+        assert_eq!(rt.begin_isolation(), Err(SsError::Terminated));
+    }
+
+    #[test]
+    fn sleep_requires_aggregation_and_wakes_on_isolation() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        rt.begin_isolation().unwrap();
+        assert_eq!(rt.sleep(), Err(SsError::NotInAggregation));
+        rt.end_isolation().unwrap();
+        rt.sleep().unwrap();
+        // Delegates park; a new epoch must wake them and still work.
+        rt.begin_isolation().unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        rt.submit(
+            SsId(1),
+            Box::new(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
+        .unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        rt.begin_isolation().unwrap();
+        for i in 0..10u64 {
+            rt.submit(SsId(i), Box::new(|| {})).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let s = rt.stats();
+        assert_eq!(s.delegations, 10);
+        assert_eq!(s.isolation_epochs, 1);
+        assert!(s.sync_objects >= 1);
+        assert!(s.isolation > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn many_runtimes_coexist() {
+        let a = Runtime::builder().delegate_threads(1).build().unwrap();
+        let b = Runtime::builder().delegate_threads(1).build().unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        for rt in [&a, &b] {
+            rt.begin_isolation().unwrap();
+            let h = Arc::clone(&hits);
+            rt.submit(
+                SsId(0),
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+            rt.end_isolation().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn wait_policies_all_deliver() {
+        for policy in [WaitPolicy::Spin, WaitPolicy::SpinYield, WaitPolicy::SpinPark] {
+            let rt = Runtime::builder()
+                .delegate_threads(1)
+                .wait_policy(policy)
+                .build()
+                .unwrap();
+            let hits = Arc::new(AtomicU64::new(0));
+            rt.begin_isolation().unwrap();
+            for i in 0..50u64 {
+                let h = Arc::clone(&hits);
+                rt.submit(
+                    SsId(i),
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }),
+                )
+                .unwrap();
+            }
+            rt.end_isolation().unwrap();
+            assert_eq!(hits.load(Ordering::Relaxed), 50, "policy {policy:?}");
+            rt.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn tiny_queue_applies_backpressure_without_deadlock() {
+        let rt = Runtime::builder()
+            .delegate_threads(1)
+            .queue_capacity(2)
+            .build()
+            .unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        rt.begin_isolation().unwrap();
+        for i in 0..5000u64 {
+            let c = Arc::clone(&counter);
+            rt.submit(
+                SsId(i),
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 5000);
+    }
+}

@@ -1,0 +1,155 @@
+//! Runtime instrumentation.
+//!
+//! Figure 5a of the paper breaks program execution time into *aggregation*,
+//! *isolation*, and *reduction* components; this module provides the
+//! counters and timers the `fig5a_breakdown` harness reads. Counters are
+//! plain relaxed atomics — they are statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Internal atomic counters owned by the runtime.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCell {
+    pub delegations: AtomicU64,
+    pub inline_executions: AtomicU64,
+    pub executed: AtomicU64,
+    pub sync_objects: AtomicU64,
+    pub isolation_epochs: AtomicU64,
+    pub isolation_nanos: AtomicU64,
+    pub reduction_nanos: AtomicU64,
+    pub reductions: AtomicU64,
+}
+
+impl StatsCell {
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_nanos(counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, since: Instant) -> Stats {
+        let total = since.elapsed();
+        let isolation = Duration::from_nanos(self.isolation_nanos.load(Ordering::Relaxed));
+        let reduction = Duration::from_nanos(self.reduction_nanos.load(Ordering::Relaxed));
+        Stats {
+            delegations: self.delegations.load(Ordering::Relaxed),
+            inline_executions: self.inline_executions.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            sync_objects: self.sync_objects.load(Ordering::Relaxed),
+            isolation_epochs: self.isolation_epochs.load(Ordering::Relaxed),
+            reductions: self.reductions.load(Ordering::Relaxed),
+            total,
+            isolation,
+            reduction,
+            aggregation: total.saturating_sub(isolation).saturating_sub(reduction),
+        }
+    }
+}
+
+/// A point-in-time snapshot of runtime activity (see
+/// [`Runtime::stats`](crate::Runtime::stats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Operations sent to delegate threads.
+    pub delegations: u64,
+    /// Operations executed inline on the program thread (program-share
+    /// virtual delegates, serial mode, or zero-delegate runtimes).
+    pub inline_executions: u64,
+    /// Operations whose execution has completed (on any executor).
+    pub executed: u64,
+    /// Synchronization objects sent (ownership reclaims + epoch barriers).
+    pub sync_objects: u64,
+    /// Completed isolation epochs.
+    pub isolation_epochs: u64,
+    /// Reducible reductions performed.
+    pub reductions: u64,
+    /// Wall-clock time since the runtime was created.
+    pub total: Duration,
+    /// Wall-clock time spent inside isolation epochs (program-thread view).
+    pub isolation: Duration,
+    /// Wall-clock time spent reducing reducible objects.
+    pub reduction: Duration,
+    /// Everything else: `total - isolation - reduction` — the Figure 5a
+    /// "aggregation" component.
+    pub aggregation: Duration,
+}
+
+impl Stats {
+    /// Fraction of total time in isolation epochs (0..=1).
+    pub fn isolation_fraction(&self) -> f64 {
+        self.fraction(self.isolation)
+    }
+
+    /// Fraction of total time spent in reductions (0..=1).
+    pub fn reduction_fraction(&self) -> f64 {
+        self.fraction(self.reduction)
+    }
+
+    /// Fraction of total time in ordinary sequential execution (0..=1).
+    pub fn aggregation_fraction(&self) -> f64 {
+        self.fraction(self.aggregation)
+    }
+
+    fn fraction(&self, part: Duration) -> f64 {
+        let total = self.total.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            part.as_secs_f64() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_decomposes_time() {
+        let cell = StatsCell::default();
+        let t0 = Instant::now();
+        StatsCell::add_nanos(&cell.isolation_nanos, Duration::from_millis(2));
+        StatsCell::add_nanos(&cell.reduction_nanos, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let s = cell.snapshot(t0);
+        assert!(s.total >= Duration::from_millis(5));
+        assert_eq!(s.isolation, Duration::from_millis(2));
+        assert_eq!(s.reduction, Duration::from_millis(1));
+        assert_eq!(s.total, s.aggregation + s.isolation + s.reduction);
+        let f = s.isolation_fraction() + s.reduction_fraction() + s.aggregation_fraction();
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let cell = StatsCell::default();
+        StatsCell::bump(&cell.delegations);
+        StatsCell::bump(&cell.delegations);
+        StatsCell::bump(&cell.executed);
+        let s = cell.snapshot(Instant::now());
+        assert_eq!(s.delegations, 2);
+        assert_eq!(s.executed, 1);
+    }
+
+    #[test]
+    fn zero_total_fraction_is_zero() {
+        let s = Stats {
+            delegations: 0,
+            inline_executions: 0,
+            executed: 0,
+            sync_objects: 0,
+            isolation_epochs: 0,
+            reductions: 0,
+            total: Duration::ZERO,
+            isolation: Duration::ZERO,
+            reduction: Duration::ZERO,
+            aggregation: Duration::ZERO,
+        };
+        assert_eq!(s.isolation_fraction(), 0.0);
+    }
+}

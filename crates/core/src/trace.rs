@@ -1,0 +1,157 @@
+//! Execution tracing — the §3.3 debugging facility.
+//!
+//! "Using a compile-time flag, programs may be compiled into a debug version
+//! that simulates a parallel execution by tracking the context and
+//! serialization set of each operation."
+//!
+//! With [`RuntimeBuilder::trace`](crate::RuntimeBuilder::trace) enabled, the
+//! runtime records one [`TraceEvent`] per model-level operation *in program
+//! order* (all events are emitted by the program thread, so tracing costs no
+//! synchronization and does not perturb delegate timing). The trace answers
+//! the questions a Prometheus debug build answers: which serialization set
+//! did this operation land in, which executor owns it, where did the program
+//! context block to reclaim ownership, and what did each epoch look like.
+//!
+//! Works in both `Parallel` and `Serial` modes; in `Serial` mode the trace
+//! *is* the simulated parallel execution.
+
+use crate::serializer::SsId;
+
+/// Which executor a traced operation was assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceExecutor {
+    /// Inline on the program thread (program-share virtual delegates, serial
+    /// mode, or zero-delegate runtimes).
+    Program,
+    /// Delegate thread with this index.
+    Delegate(usize),
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `begin_isolation` — a new isolation epoch opened.
+    BeginIsolation,
+    /// `end_isolation` — barrier with all delegates, epoch closed.
+    EndIsolation,
+    /// An operation was delegated.
+    Delegate,
+    /// A delegated operation executed inline on the program thread.
+    InlineExecute,
+    /// The program context reclaimed ownership of an object (sent a
+    /// synchronization object and waited for the owning queue to drain).
+    Reclaim,
+    /// A program-context read (`call`) on a wrapped object.
+    Call,
+    /// A program-context write (`call_mut`) on a wrapped object.
+    CallMut,
+    /// A reducible was folded to its final view.
+    Reduce,
+}
+
+/// One program-order event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in program order (0-based, monotonically increasing).
+    pub seq: u64,
+    /// Isolation-epoch serial the event occurred in (0 before the first
+    /// epoch; unchanged during the aggregation epoch that follows).
+    pub epoch: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Instance number of the object involved, if any.
+    pub object: Option<u64>,
+    /// Serialization set involved, if any.
+    pub set: Option<SsId>,
+    /// Executor assigned, if meaningful for this kind.
+    pub executor: Option<TraceExecutor>,
+}
+
+/// Program-thread-only trace buffer.
+#[derive(Default)]
+pub(crate) struct TraceLog {
+    events: Vec<TraceEvent>,
+    next_seq: u64,
+}
+
+impl TraceLog {
+    pub(crate) fn record(
+        &mut self,
+        epoch: u64,
+        kind: TraceKind,
+        object: Option<u64>,
+        set: Option<SsId>,
+        executor: Option<TraceExecutor>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(TraceEvent {
+            seq,
+            epoch,
+            kind,
+            object,
+            set,
+            executor,
+        });
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Renders a trace compactly, one event per line (for debugging sessions
+/// and the `debug_trace` example).
+pub fn format_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let exec = match e.executor {
+            Some(TraceExecutor::Program) => " on program".to_string(),
+            Some(TraceExecutor::Delegate(i)) => format!(" on delegate {i}"),
+            None => String::new(),
+        };
+        let obj = e
+            .object
+            .map(|o| format!(" obj #{o}"))
+            .unwrap_or_default();
+        let set = e.set.map(|s| format!(" set {}", s.0)).unwrap_or_default();
+        out.push_str(&format!(
+            "[{:>5}] epoch {:>3} {:?}{}{}{}\n",
+            e.seq, e.epoch, e.kind, obj, set, exec
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_preserves_program_order() {
+        let mut log = TraceLog::default();
+        log.record(1, TraceKind::BeginIsolation, None, None, None);
+        log.record(1, TraceKind::Delegate, Some(3), Some(SsId(7)), Some(TraceExecutor::Delegate(0)));
+        log.record(1, TraceKind::EndIsolation, None, None, None);
+        let events = log.take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].object, Some(3));
+        assert!(log.take().is_empty());
+        // Sequence numbers keep increasing across takes.
+        log.record(2, TraceKind::Call, Some(1), None, None);
+        assert_eq!(log.take()[0].seq, 3);
+    }
+
+    #[test]
+    fn formatting_is_line_per_event() {
+        let mut log = TraceLog::default();
+        log.record(1, TraceKind::Delegate, Some(0), Some(SsId(5)), Some(TraceExecutor::Program));
+        let s = format_trace(&log.take());
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("Delegate"));
+        assert!(s.contains("set 5"));
+        assert!(s.contains("on program"));
+    }
+}

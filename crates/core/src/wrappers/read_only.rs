@@ -1,0 +1,155 @@
+//! The `read_only` wrapper: immutable shared data domains.
+//!
+//! "Read-only data may be freely accessed by any operation" (§2). In
+//! Prometheus the `read_only<T>` wrapper rejects non-const calls during
+//! isolation epochs at run time; in Rust the same guarantee is structural:
+//! [`ReadOnly`] hands out only `&T`, so a delegated closure capturing a clone
+//! can never write — there is no check to forget.
+//!
+//! The paper additionally allows *any* method during aggregation epochs.
+//! The Rust analogue is [`ReadOnly::get_mut`]: mutation is possible exactly
+//! when no other context can observe the object (unique handle), which is
+//! necessarily the case in a correct aggregation epoch — delegated closures
+//! holding clones have all completed and been dropped once `end_isolation`
+//! drains the queues.
+
+use std::sync::Arc;
+
+/// An immutable shared data domain (Prometheus `read_only<T>`).
+///
+/// Cheap to clone; clones may be captured by delegated operations on any
+/// executor and read concurrently.
+///
+/// ```
+/// use ss_core::{ReadOnly, Runtime, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let table = ReadOnly::new(vec![10u64, 20, 30]);
+/// let sums: Vec<Writable<u64>> = (0..3).map(|_| Writable::new(&rt, 0)).collect();
+///
+/// rt.begin_isolation().unwrap();
+/// for (i, s) in sums.iter().enumerate() {
+///     let t = table.clone(); // read-only argument, shared freely
+///     s.delegate(move |acc| *acc += t[i]).unwrap();
+/// }
+/// rt.end_isolation().unwrap();
+/// let total: u64 = sums.iter().map(|s| s.call(|n| *n).unwrap()).sum();
+/// assert_eq!(total, 60);
+/// ```
+pub struct ReadOnly<T> {
+    inner: Arc<T>,
+}
+
+impl<T> ReadOnly<T> {
+    /// Wraps `value` as read-only shared data.
+    pub fn new(value: T) -> Self {
+        ReadOnly {
+            inner: Arc::new(value),
+        }
+    }
+
+    /// Borrows the value ("const method" access — valid in any epoch, from
+    /// any context).
+    #[inline]
+    pub fn get(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access when this is the only handle — the aggregation-epoch
+    /// "any method may be called" case. Returns `None` while clones exist
+    /// (e.g. still captured by queued invocations).
+    pub fn get_mut(&mut self) -> Option<&mut T> {
+        Arc::get_mut(&mut self.inner)
+    }
+
+    /// Clone-on-write mutable access (never fails; clones the value if other
+    /// handles exist).
+    pub fn make_mut(&mut self) -> &mut T
+    where
+        T: Clone,
+    {
+        Arc::make_mut(&mut self.inner)
+    }
+
+    /// Recovers the value if this is the only handle.
+    pub fn try_unwrap(self) -> Result<T, Self> {
+        Arc::try_unwrap(self.inner).map_err(|inner| ReadOnly { inner })
+    }
+
+    /// Number of live handles (diagnostic).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl<T> Clone for ReadOnly<T> {
+    fn clone(&self) -> Self {
+        ReadOnly {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> core::ops::Deref for ReadOnly<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ReadOnly<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ReadOnly").field(&*self.inner).finish()
+    }
+}
+
+impl<T> From<T> for ReadOnly<T> {
+    fn from(v: T) -> Self {
+        ReadOnly::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_reads() {
+        let ro = ReadOnly::new(vec![1, 2, 3]);
+        let ro2 = ro.clone();
+        assert_eq!(ro.get()[0], 1);
+        assert_eq!(ro2[2], 3); // Deref
+        assert_eq!(ro.handle_count(), 2);
+    }
+
+    #[test]
+    fn mutation_requires_uniqueness() {
+        let mut ro = ReadOnly::new(5u32);
+        *ro.get_mut().unwrap() = 6;
+        let ro2 = ro.clone();
+        assert!(ro.get_mut().is_none());
+        drop(ro2);
+        *ro.get_mut().unwrap() = 7;
+        assert_eq!(*ro, 7);
+    }
+
+    #[test]
+    fn make_mut_clones_when_shared() {
+        let mut a = ReadOnly::new(vec![1]);
+        let b = a.clone();
+        a.make_mut().push(2);
+        assert_eq!(*a, vec![1, 2]);
+        assert_eq!(*b, vec![1]); // untouched copy
+    }
+
+    #[test]
+    fn try_unwrap_roundtrip() {
+        let ro = ReadOnly::new(String::from("data"));
+        assert_eq!(ro.try_unwrap().unwrap(), "data");
+        let ro = ReadOnly::new(1u8);
+        let ro2 = ro.clone();
+        assert!(ro.try_unwrap().is_err());
+        drop(ro2);
+    }
+}

@@ -1,0 +1,777 @@
+//! The `writable` wrapper: privately-writable data domains.
+//!
+//! A [`Writable<T, S>`] owns a `T` and mediates every access through the
+//! serialization-sets protocol:
+//!
+//! * [`delegate`](Writable::delegate) assigns a potentially independent
+//!   operation to the delegate context, in the serialization set computed by
+//!   the internal serializer `S`;
+//! * [`delegate_in`](Writable::delegate_in) is the external-serializer form
+//!   (the set is supplied at the delegation site);
+//! * [`call`](Writable::call) / [`call_mut`](Writable::call_mut) execute in
+//!   the program context, implicitly *reclaiming ownership* (flushing the
+//!   owning delegate's queue) when delegated operations are outstanding;
+//! * a per-epoch state machine rejects using the same object as both
+//!   read-only and privately-writable within one isolation epoch, and a
+//!   per-epoch tag detects serializers that map one object to two sets
+//!   (§3.3).
+//!
+//! # Safety model
+//!
+//! The single `unsafe` kernel is the access to `UnsafeCell<T>`. It is sound
+//! because, at any instant, exactly one executor may touch the value:
+//!
+//! 1. All delegations of an object within an epoch carry the same
+//!    serialization set (enforced *before* enqueueing — even with diagnostics
+//!    disabled, the first tag of the epoch is authoritative), and one set maps
+//!    to one executor whose queue executes serially in FIFO order.
+//! 2. The program context only touches the value when no delegated operation
+//!    can be in flight: during aggregation epochs (every `end_isolation`
+//!    drains all queues), or after reclaiming ownership via a synchronization
+//!    object (FIFO ⇒ all prior operations on the object completed, with the
+//!    token's Release/Acquire edge ordering their effects).
+//! 3. `pending` (incremented at delegation, decremented with Release after
+//!    execution) gives the cheap "no outstanding work" fast path, read with
+//!    Acquire.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::cell::ProgramOnly;
+use crate::error::{SsError, SsResult};
+use crate::runtime::{Executor, Runtime};
+use crate::serializer::{ObjectSerializer, SerializeCx, Serializer, SsId};
+use crate::stats::StatsCell;
+use crate::trace::TraceKind;
+use crate::wrappers::panic_message;
+
+/// Per-epoch use of a writable object (the §3.1 state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UseState {
+    /// Not yet used in this isolation epoch.
+    Unused,
+    /// Used as a read-only object this epoch: const calls allowed, delegation
+    /// and mutation are errors.
+    ReadShared,
+    /// Used as a privately-writable object this epoch: owned by one
+    /// serialization set (or by the program context after reclaim).
+    PrivateWritable,
+}
+
+/// Epoch-local bookkeeping; program-thread-only by protocol.
+struct EpochLocal {
+    /// Isolation-epoch serial this state belongs to (lazy reset).
+    serial: u64,
+    use_state: UseState,
+    /// Serialization set recorded at the first delegation of the epoch.
+    tag: Option<SsId>,
+    /// Executor that owns the tagged set.
+    owner: Option<Executor>,
+}
+
+impl EpochLocal {
+    fn refresh(&mut self, serial: u64) {
+        if self.serial != serial {
+            self.serial = serial;
+            self.use_state = UseState::Unused;
+            self.tag = None;
+            self.owner = None;
+        }
+    }
+}
+
+struct Shared<T> {
+    value: core::cell::UnsafeCell<T>,
+    instance: u64,
+    /// Outstanding delegated operations on this object.
+    pending: AtomicU32,
+    local: ProgramOnly<EpochLocal>,
+}
+
+// SAFETY: `value` is accessed under the executor-exclusivity protocol
+// documented at module level; `local` is program-thread-only; `pending` is
+// atomic. `T: Send` because the value migrates between executor threads.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// A privately-writable data domain (Prometheus `writable<T, S>`).
+///
+/// `S` is the *internal serializer* type; it defaults to
+/// [`ObjectSerializer`] (each object its own set). Handles are cheap to
+/// clone and share the underlying object, like the C++ wrapper references.
+///
+/// ```
+/// use ss_core::{Runtime, SequenceSerializer, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let words: Vec<Writable<Vec<String>, SequenceSerializer>> =
+///     (0..4).map(|_| Writable::new(&rt, Vec::new())).collect();
+///
+/// rt.begin_isolation().unwrap();
+/// for i in 0..100usize {
+///     words[i % 4].delegate(move |v| v.push(format!("item-{i}"))).unwrap();
+/// }
+/// rt.end_isolation().unwrap();
+///
+/// let total: usize = words.iter().map(|w| w.call(|v| v.len()).unwrap()).sum();
+/// assert_eq!(total, 100);
+/// ```
+pub struct Writable<T: Send + 'static, S: Serializer<T> = ObjectSerializer> {
+    shared: Arc<Shared<T>>,
+    serializer: Arc<S>,
+    rt: Runtime,
+}
+
+impl<T: Send + 'static, S: Serializer<T>> Clone for Writable<T, S> {
+    fn clone(&self) -> Self {
+        Writable {
+            shared: Arc::clone(&self.shared),
+            serializer: Arc::clone(&self.serializer),
+            rt: self.rt.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static, S: Serializer<T>> std::fmt::Debug for Writable<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Writable")
+            .field("instance", &self.shared.instance)
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send + 'static, S: Serializer<T> + Default> Writable<T, S> {
+    /// Wraps `value` in a writable domain using the default-constructed
+    /// internal serializer.
+    pub fn new(rt: &Runtime, value: T) -> Self {
+        Self::with_serializer(rt, value, S::default())
+    }
+}
+
+impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
+    /// Wraps `value` using an explicit serializer instance (for stateful /
+    /// closure serializers).
+    pub fn with_serializer(rt: &Runtime, value: T, serializer: S) -> Self {
+        Writable {
+            shared: Arc::new(Shared {
+                value: core::cell::UnsafeCell::new(value),
+                instance: rt.next_instance(),
+                pending: AtomicU32::new(0),
+                local: ProgramOnly::new(EpochLocal {
+                    serial: 0,
+                    use_state: UseState::Unused,
+                    tag: None,
+                    owner: None,
+                }),
+            }),
+            serializer: Arc::new(serializer),
+            rt: rt.clone(),
+        }
+    }
+
+    /// This object's sequence number (the *sequence* serializer's key).
+    pub fn instance(&self) -> u64 {
+        self.shared.instance
+    }
+
+    /// The runtime this object belongs to.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Outstanding delegated operations (diagnostic).
+    pub fn pending_operations(&self) -> u32 {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Serialization set this object was tagged with in the current epoch,
+    /// if it has been delegated (program thread only).
+    pub fn current_set(&self) -> SsResult<Option<SsId>> {
+        self.rt.require_program_thread()?;
+        let (in_iso, serial, _) = self.rt.epoch_flags();
+        if !in_iso {
+            return Ok(None);
+        }
+        // SAFETY: program thread; scoped.
+        let local = unsafe { self.shared.local.get() };
+        if local.serial != serial {
+            return Ok(None);
+        }
+        Ok(local.tag)
+    }
+
+    // ------------------------------------------------------------------
+    // delegation
+
+    /// Assigns a potentially independent operation to the delegate context,
+    /// in the set computed by the internal serializer (Table 1 `delegate`).
+    ///
+    /// The operation's "return type must be void" (results should be stored
+    /// in the object and read later via [`call`](Writable::call)); its
+    /// captures must be `Send` — the Rust analogue of the paper's
+    /// "arguments … passed by value, or pointers/references to classes
+    /// derived from `shared`".
+    pub fn delegate<F>(&self, f: F) -> SsResult<()>
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        self.delegate_impl(None, f)
+    }
+
+    /// Delegates in an explicitly supplied serialization set — the external
+    /// serializer form (Table 1 `delegate(ss_t serializer, …)`).
+    pub fn delegate_in<F>(&self, ss: impl Into<SsId>, f: F) -> SsResult<()>
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        self.delegate_impl(Some(ss.into()), f)
+    }
+
+    fn delegate_impl<F>(&self, external: Option<SsId>, f: F) -> SsResult<()>
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        let rt = &self.rt;
+        rt.require_program_thread()?;
+        let (in_iso, serial, inline) = rt.epoch_flags();
+        if inline {
+            return Err(SsError::NestedDelegation);
+        }
+        if !in_iso {
+            return Err(SsError::NotInIsolation);
+        }
+        if rt.is_poisoned() {
+            return Err(rt.inner.core.poison_error());
+        }
+
+        // Phase 1 — epoch-local checks and set computation (scoped borrow:
+        // nothing below may run user code).
+        let ss = {
+            // SAFETY: program thread; scoped.
+            let local = unsafe { self.shared.local.get() };
+            local.refresh(serial);
+            if local.use_state == UseState::ReadShared {
+                return Err(SsError::StateConflict {
+                    instance: self.shared.instance,
+                    was_read_shared: true,
+                });
+            }
+            let effective = if let Some(tag) = local.tag {
+                // Already tagged this epoch. The first tag is authoritative
+                // for routing (this keeps executor exclusivity even when a
+                // buggy serializer would disagree); with diagnostics on we
+                // also verify consistency as in §3.3.
+                if rt.dynamic_checks() {
+                    let recomputed = match external {
+                        Some(e) => Some(e),
+                        // Recomputing the internal serializer needs `&T`,
+                        // which is only safe when no delegated operation is
+                        // in flight.
+                        None if self.shared.pending.load(Ordering::Acquire) == 0 => {
+                            // SAFETY: pending == 0 ⇒ no executor holds the value.
+                            let value = unsafe { &*self.shared.value.get() };
+                            self.serializer.serialize(value, self.cx())
+                        }
+                        None => None,
+                    };
+                    if let Some(got) = recomputed {
+                        if got != tag {
+                            return Err(SsError::InconsistentSerializer {
+                                instance: self.shared.instance,
+                                tagged: tag,
+                                got,
+                            });
+                        }
+                    }
+                }
+                tag
+            } else {
+                let computed = match external {
+                    Some(e) => e,
+                    None => {
+                        // First delegation this epoch ⇒ pending == 0 (all
+                        // previous epochs drained at end_isolation), so the
+                        // serializer may inspect the object.
+                        debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
+                        // SAFETY: no delegated operations in flight (above).
+                        let value = unsafe { &*self.shared.value.get() };
+                        self.serializer
+                            .serialize(value, self.cx())
+                            .ok_or(SsError::MissingSerializer)?
+                    }
+                };
+                local.tag = Some(computed);
+                computed
+            };
+            local.use_state = UseState::PrivateWritable;
+            effective
+        };
+
+        // Phase 2 — package the invocation and submit.
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&self.shared);
+        let core = Arc::clone(&rt.inner.core);
+        let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+            if !core.poisoned.load(Ordering::Acquire) {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // SAFETY: executor exclusivity — see module-level safety
+                    // model. This closure runs on the single executor that
+                    // owns this object's serialization set, serially with all
+                    // other operations on the object.
+                    let value = unsafe { &mut *shared.value.get() };
+                    f(value);
+                }));
+                if let Err(p) = result {
+                    core.poison(panic_message(p.as_ref()));
+                }
+            }
+            StatsCell::bump(&core.stats.executed);
+            shared.pending.fetch_sub(1, Ordering::Release);
+        });
+        let executor = match rt.submit(ss, task) {
+            Ok(e) => e,
+            Err(e) => {
+                // The invocation never ran (and was dropped): undo `pending`.
+                self.shared.pending.fetch_sub(1, Ordering::Release);
+                return Err(e);
+            }
+        };
+
+        // Phase 3 — record the owning executor for later reclaims.
+        {
+            // SAFETY: program thread; scoped; no user code live.
+            let local = unsafe { self.shared.local.get() };
+            local.owner = Some(executor);
+        }
+        if rt.trace_enabled() {
+            let kind = if executor == Executor::Program {
+                TraceKind::InlineExecute
+            } else {
+                TraceKind::Delegate
+            };
+            rt.trace_record(kind, Some(self.shared.instance), Some(ss), Some(executor));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // program-context access
+
+    /// Executes a read ("const method") in the program context
+    /// (Table 1 `call`).
+    ///
+    /// * Aggregation epoch: always allowed.
+    /// * Isolation epoch, object unused or read-only: allowed; first such use
+    ///   marks the object read-only for the epoch.
+    /// * Isolation epoch, object privately-writable: the program context
+    ///   first *reclaims ownership* — a synchronization object flushes the
+    ///   owning delegate's queue — then reads.
+    pub fn call<R>(&self, f: impl FnOnce(&T) -> R) -> SsResult<R> {
+        self.access(false, |v| f(v))
+    }
+
+    /// Executes a mutation ("non-const method") in the program context.
+    ///
+    /// * Aggregation epoch: always allowed.
+    /// * Isolation epoch, object read-only this epoch: error
+    ///   ([`SsError::StateConflict`]).
+    /// * Isolation epoch, otherwise: reclaims ownership if needed, then
+    ///   mutates; the object is privately-writable for the rest of the epoch.
+    pub fn call_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> SsResult<R> {
+        self.access(true, f)
+    }
+
+    fn access<R>(&self, mutate: bool, f: impl FnOnce(&mut T) -> R) -> SsResult<R> {
+        let rt = &self.rt;
+        rt.require_program_thread()?;
+        let (in_iso, serial, inline) = rt.epoch_flags();
+        if inline {
+            return Err(SsError::WrongContext);
+        }
+        if rt.is_poisoned() {
+            return Err(rt.inner.core.poison_error());
+        }
+        if !in_iso {
+            // Aggregation epoch: "any method may be called" (Table 1); all
+            // queues were drained at end_isolation.
+            debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
+            // SAFETY: program context is the sole accessor in aggregation.
+            return Ok(f(unsafe { &mut *self.shared.value.get() }));
+        }
+        let owner = {
+            // SAFETY: program thread; scoped.
+            let local = unsafe { self.shared.local.get() };
+            local.refresh(serial);
+            match local.use_state {
+                UseState::Unused => {
+                    local.use_state = if mutate {
+                        UseState::PrivateWritable
+                    } else {
+                        UseState::ReadShared
+                    };
+                    None
+                }
+                UseState::ReadShared if mutate => {
+                    return Err(SsError::StateConflict {
+                        instance: self.shared.instance,
+                        was_read_shared: true,
+                    });
+                }
+                UseState::ReadShared => None,
+                UseState::PrivateWritable => local.owner,
+            }
+        };
+        if let Some(owner) = owner {
+            if self.shared.pending.load(Ordering::Acquire) > 0 {
+                rt.sync_executor(owner)?;
+                debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
+                rt.trace_record(
+                    TraceKind::Reclaim,
+                    Some(self.shared.instance),
+                    None,
+                    Some(owner),
+                );
+            }
+            if rt.is_poisoned() {
+                return Err(rt.inner.core.poison_error());
+            }
+        }
+        if rt.trace_enabled() {
+            let kind = if mutate { TraceKind::CallMut } else { TraceKind::Call };
+            rt.trace_record(kind, Some(self.shared.instance), None, None);
+        }
+        // SAFETY: read-shared (no writer can exist this epoch — the state
+        // machine rejects delegation/mutation) or reclaimed/unused private
+        // (pending == 0 with Acquire edge ⇒ delegate effects visible).
+        Ok(f(unsafe { &mut *self.shared.value.get() }))
+    }
+
+    /// Consumes this handle and returns the value if it is the only handle,
+    /// no work is outstanding, and no isolation epoch is open.
+    pub fn try_unwrap(self) -> Result<T, Self> {
+        if !self.rt.is_program_thread()
+            || self.rt.in_isolation()
+            || self.shared.pending.load(Ordering::Acquire) != 0
+        {
+            return Err(self);
+        }
+        let serializer = Arc::clone(&self.serializer);
+        let rt = self.rt.clone();
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => Ok(shared.value.into_inner()),
+            Err(shared) => Err(Writable {
+                shared,
+                serializer,
+                rt,
+            }),
+        }
+    }
+}
+
+/// Executes `method` on every object in `objects` via delegation — the
+/// Table 1 `doall` embarrassingly-parallel helper.
+///
+/// ```
+/// use ss_core::{doall, Runtime, SequenceSerializer, Writable};
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let cells: Vec<Writable<u64, SequenceSerializer>> =
+///     (0..16).map(|_| Writable::new(&rt, 0)).collect();
+/// rt.isolated(|| doall(&cells, |n| *n += 1).unwrap()).unwrap();
+/// assert!(cells.iter().all(|c| c.call(|n| *n).unwrap() == 1));
+/// ```
+pub fn doall<T, S, F>(objects: &[Writable<T, S>], method: F) -> SsResult<()>
+where
+    T: Send + 'static,
+    S: Serializer<T>,
+    F: Fn(&mut T) + Send + Sync + 'static,
+{
+    let method = Arc::new(method);
+    for obj in objects {
+        let m = Arc::clone(&method);
+        obj.delegate(move |t| m(t))?;
+    }
+    Ok(())
+}
+
+impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
+    fn cx(&self) -> SerializeCx {
+        SerializeCx {
+            address: self.shared.value.get() as usize,
+            instance: self.shared.instance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializer::{FnSerializer, NullSerializer, SequenceSerializer};
+
+    fn rt(delegates: usize) -> Runtime {
+        Runtime::builder().delegate_threads(delegates).build().unwrap()
+    }
+
+    #[test]
+    fn delegate_then_read_back() {
+        let rt = rt(2);
+        let w: Writable<u64> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        for _ in 0..100 {
+            w.delegate(|n| *n += 1).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|n| *n).unwrap(), 100);
+    }
+
+    #[test]
+    fn delegate_outside_isolation_errors() {
+        let rt = rt(1);
+        let w: Writable<u64> = Writable::new(&rt, 0);
+        assert_eq!(w.delegate(|n| *n += 1), Err(SsError::NotInIsolation));
+    }
+
+    #[test]
+    fn call_during_isolation_reclaims_ownership() {
+        let rt = rt(2);
+        let w: Writable<Vec<u32>> = Writable::new(&rt, Vec::new());
+        rt.begin_isolation().unwrap();
+        for i in 0..50 {
+            w.delegate(move |v| v.push(i)).unwrap();
+        }
+        // Dependent read mid-epoch: implicit ownership reclaim.
+        let len = w.call(|v| v.len()).unwrap();
+        assert_eq!(len, 50);
+        // Re-delegation after reclaim (Figure 1, second epoch).
+        w.delegate(|v| v.push(999)).unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|v| v.len()).unwrap(), 51);
+    }
+
+    #[test]
+    fn read_then_delegate_same_epoch_conflicts() {
+        let rt = rt(1);
+        let w: Writable<u64> = Writable::new(&rt, 7);
+        rt.begin_isolation().unwrap();
+        assert_eq!(w.call(|n| *n).unwrap(), 7); // marks read-only this epoch
+        let err = w.delegate(|n| *n += 1).unwrap_err();
+        assert!(matches!(err, SsError::StateConflict { .. }));
+        rt.end_isolation().unwrap();
+        // Fresh epoch: usable as privately-writable again.
+        rt.begin_isolation().unwrap();
+        w.delegate(|n| *n += 1).unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|n| *n).unwrap(), 8);
+    }
+
+    #[test]
+    fn call_mut_on_read_shared_conflicts() {
+        let rt = rt(1);
+        let w: Writable<u64> = Writable::new(&rt, 7);
+        rt.begin_isolation().unwrap();
+        w.call(|_| ()).unwrap();
+        assert!(matches!(
+            w.call_mut(|n| *n = 0),
+            Err(SsError::StateConflict { .. })
+        ));
+        rt.end_isolation().unwrap();
+    }
+
+    #[test]
+    fn call_mut_then_delegate_is_fine() {
+        let rt = rt(1);
+        let w: Writable<u64> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        w.call_mut(|n| *n = 10).unwrap();
+        w.delegate(|n| *n += 5).unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|n| *n).unwrap(), 15);
+    }
+
+    #[test]
+    fn external_serializer_with_null_internal() {
+        let rt = rt(2);
+        let w: Writable<u64, NullSerializer> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        // Implicit delegation has no serializer:
+        assert_eq!(w.delegate(|n| *n += 1), Err(SsError::MissingSerializer));
+        // External works:
+        w.delegate_in(42u64, |n| *n += 1).unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|n| *n).unwrap(), 1);
+    }
+
+    #[test]
+    fn inconsistent_external_serializer_detected() {
+        let rt = rt(2);
+        let w: Writable<u64, NullSerializer> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        w.delegate_in(1u64, |n| *n += 1).unwrap();
+        let err = w.delegate_in(2u64, |n| *n += 1).unwrap_err();
+        assert!(matches!(err, SsError::InconsistentSerializer { .. }));
+        rt.end_isolation().unwrap();
+    }
+
+    #[test]
+    fn inconsistent_serializer_ignored_when_checks_off_but_still_safe() {
+        let rt = Runtime::builder()
+            .delegate_threads(2)
+            .dynamic_checks(false)
+            .build()
+            .unwrap();
+        let w: Writable<u64, NullSerializer> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        w.delegate_in(1u64, |n| *n += 1).unwrap();
+        // Checks off: no error, but routing sticks to the first tag so the
+        // object still has a single owner.
+        w.delegate_in(2u64, |n| *n += 1).unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|n| *n).unwrap(), 2);
+    }
+
+    #[test]
+    fn fn_serializer_groups_objects() {
+        let rt = rt(2);
+        struct Row {
+            row: u64,
+            hits: u64,
+        }
+        let mk = |row| {
+            Writable::with_serializer(&rt, Row { row, hits: 0 }, FnSerializer::new(|r: &Row| r.row))
+        };
+        let a = mk(1);
+        let b = mk(1); // same set as a
+        let c = mk(2);
+        rt.begin_isolation().unwrap();
+        for w in [&a, &b, &c] {
+            w.delegate(|r| r.hits += 1).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(a.current_set().unwrap(), None); // aggregation: tag cleared view
+        rt.begin_isolation().unwrap();
+        a.delegate(|r| r.hits += 1).unwrap();
+        b.delegate(|r| r.hits += 1).unwrap();
+        assert_eq!(a.current_set().unwrap(), b.current_set().unwrap());
+        rt.end_isolation().unwrap();
+    }
+
+    #[test]
+    fn sequence_serializer_uses_instance_numbers() {
+        let rt = rt(2);
+        let a: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        let b: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        assert_ne!(a.instance(), b.instance());
+        rt.begin_isolation().unwrap();
+        a.delegate(|n| *n += 1).unwrap();
+        b.delegate(|n| *n += 1).unwrap();
+        assert_eq!(a.current_set().unwrap(), Some(SsId(a.instance())));
+        assert_eq!(b.current_set().unwrap(), Some(SsId(b.instance())));
+        rt.end_isolation().unwrap();
+    }
+
+    #[test]
+    fn wrong_thread_operations_rejected() {
+        let rt = rt(1);
+        let w: Writable<u64> = Writable::new(&rt, 0);
+        let w2 = w.clone();
+        std::thread::spawn(move || {
+            assert_eq!(w2.delegate(|n| *n += 1), Err(SsError::WrongContext));
+            assert_eq!(w2.call(|n| *n), Err(SsError::WrongContext));
+            assert_eq!(w2.call_mut(|n| *n = 1), Err(SsError::WrongContext));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(w.call(|n| *n).unwrap(), 0);
+    }
+
+    #[test]
+    fn panic_in_delegate_poisons_runtime() {
+        let rt = rt(1);
+        let w: Writable<u64> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        w.delegate(|_| panic!("boom")).unwrap();
+        let err = rt.end_isolation().unwrap_err();
+        assert!(matches!(err, SsError::DelegatePanicked(ref m) if m.contains("boom")));
+        assert!(rt.is_poisoned());
+        // Everything afterwards reports the panic.
+        assert!(matches!(w.call(|n| *n), Err(SsError::DelegatePanicked(_))));
+        assert!(matches!(rt.begin_isolation(), Err(SsError::DelegatePanicked(_))));
+    }
+
+    #[test]
+    fn panic_skips_remaining_work_but_does_not_deadlock() {
+        let rt = rt(1);
+        let w: Writable<u64> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        w.delegate(|_| panic!("first")).unwrap();
+        for _ in 0..100 {
+            // Some of these may be rejected once the poison flag is seen by
+            // the program thread; both outcomes are fine as long as nothing
+            // hangs.
+            let _ = w.delegate(|n| *n += 1);
+        }
+        assert!(rt.end_isolation().is_err());
+    }
+
+    #[test]
+    fn doall_covers_every_object() {
+        let rt = rt(2);
+        let objs: Vec<Writable<u64, SequenceSerializer>> =
+            (0..32).map(|_| Writable::new(&rt, 0)).collect();
+        rt.begin_isolation().unwrap();
+        doall(&objs, |n| *n += 3).unwrap();
+        rt.end_isolation().unwrap();
+        for o in &objs {
+            assert_eq!(o.call(|n| *n).unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn try_unwrap_rules() {
+        let rt = rt(1);
+        let w: Writable<String> = Writable::new(&rt, "x".into());
+        let w2 = w.clone();
+        let w = w.try_unwrap().unwrap_err(); // two handles
+        drop(w2);
+        rt.begin_isolation().unwrap();
+        let w = w.try_unwrap().unwrap_err(); // isolation open
+        rt.end_isolation().unwrap();
+        assert_eq!(w.try_unwrap().unwrap(), "x");
+    }
+
+    #[test]
+    fn zero_delegate_runtime_is_fully_inline_and_deterministic() {
+        let rt = rt(0);
+        let w: Writable<Vec<u32>> = Writable::new(&rt, Vec::new());
+        rt.begin_isolation().unwrap();
+        for i in 0..10 {
+            w.delegate(move |v| v.push(i)).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|v| v.clone()).unwrap(), (0..10).collect::<Vec<_>>());
+        assert_eq!(rt.stats().inline_executions, 10);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let mut outputs = Vec::new();
+        for delegates in [0, 1, 2, 3] {
+            let rt = rt(delegates);
+            let objs: Vec<Writable<Vec<u64>, SequenceSerializer>> =
+                (0..8).map(|_| Writable::new(&rt, Vec::new())).collect();
+            rt.begin_isolation().unwrap();
+            for i in 0..500u64 {
+                objs[(i % 8) as usize]
+                    .delegate(move |v| v.push(i * i))
+                    .unwrap();
+            }
+            rt.end_isolation().unwrap();
+            let snapshot: Vec<Vec<u64>> =
+                objs.iter().map(|o| o.call(|v| v.clone()).unwrap()).collect();
+            outputs.push(snapshot);
+        }
+        for w in outputs.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Tests for the §3.3 execution-trace facility.
+
+use ss_core::{
+    Reduce, Reducible, Runtime, SequenceSerializer, SsError, TraceExecutor, TraceKind, Writable,
+};
+
+struct Acc(u64);
+impl Reduce for Acc {
+    fn reduce(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+#[test]
+fn trace_records_model_operations_in_program_order() {
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .trace(true)
+        .build()
+        .unwrap();
+    let w: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    let acc = Reducible::new(&rt, || Acc(0));
+
+    rt.begin_isolation().unwrap();
+    w.delegate(|n| *n += 1).unwrap();
+    w.delegate(|n| *n += 1).unwrap();
+    let _ = w.call(|n| *n).unwrap(); // reclaim + call
+    rt.end_isolation().unwrap();
+    rt.isolated(|| {
+        let a = acc.clone();
+        w.delegate(move |_| a.view(|x| x.0 += 1).unwrap()).unwrap();
+    })
+    .unwrap();
+    let total = acc.view(|a| a.0).unwrap(); // triggers the reduction
+    assert_eq!(total, 1);
+
+    let trace = rt.take_trace().unwrap();
+    let kinds: Vec<TraceKind> = trace.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TraceKind::BeginIsolation,
+            TraceKind::Delegate,
+            TraceKind::Delegate,
+            TraceKind::Reclaim,
+            TraceKind::Call,
+            TraceKind::EndIsolation,
+            TraceKind::BeginIsolation,
+            TraceKind::Delegate,
+            TraceKind::EndIsolation,
+            TraceKind::Reduce,
+        ],
+    );
+    // Sequence numbers are strictly increasing program order.
+    for pair in trace.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+    // Both delegations in epoch 1 carry the same object, set, and executor.
+    let delegations: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::Delegate && e.epoch == 1)
+        .collect();
+    assert_eq!(delegations.len(), 2);
+    assert_eq!(delegations[0].object, Some(w.instance()));
+    assert_eq!(delegations[0].set, delegations[1].set);
+    assert_eq!(delegations[0].executor, delegations[1].executor);
+}
+
+#[test]
+fn inline_executions_are_distinguished() {
+    let rt = Runtime::builder()
+        .delegate_threads(0)
+        .trace(true)
+        .build()
+        .unwrap();
+    let w: Writable<u64> = Writable::new(&rt, 0);
+    rt.isolated(|| w.delegate(|n| *n += 1).unwrap()).unwrap();
+    let trace = rt.take_trace().unwrap();
+    let inline: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::InlineExecute)
+        .collect();
+    assert_eq!(inline.len(), 1);
+    assert_eq!(inline[0].executor, Some(TraceExecutor::Program));
+}
+
+#[test]
+fn tracing_disabled_yields_empty_trace() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    assert!(!rt.trace_enabled());
+    let w: Writable<u64> = Writable::new(&rt, 0);
+    rt.isolated(|| w.delegate(|n| *n += 1).unwrap()).unwrap();
+    assert!(rt.take_trace().unwrap().is_empty());
+}
+
+#[test]
+fn take_trace_requires_program_thread() {
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .trace(true)
+        .build()
+        .unwrap();
+    let rt2 = rt.clone();
+    std::thread::spawn(move || {
+        assert_eq!(rt2.take_trace(), Err(SsError::WrongContext));
+    })
+    .join()
+    .unwrap();
+}
+
+#[test]
+fn serial_and_parallel_traces_have_identical_shape() {
+    // The debug build's trace predicts the parallel run's structure:
+    // same kinds, objects and sets in the same program order (executors may
+    // differ — Serial runs everything inline).
+    fn run(rt: &Runtime) -> Vec<(TraceKind, Option<u64>)> {
+        let objs: Vec<Writable<u64, SequenceSerializer>> =
+            (0..3).map(|_| Writable::new(rt, 0)).collect();
+        rt.begin_isolation().unwrap();
+        for i in 0..12u64 {
+            objs[(i % 3) as usize].delegate(move |n| *n += i).unwrap();
+        }
+        let _ = objs[1].call(|n| *n).unwrap();
+        rt.end_isolation().unwrap();
+        rt.take_trace()
+            .unwrap()
+            .into_iter()
+            // Normalize: object instance numbers are per-runtime; map to a
+            // relative id by order of first appearance.
+            .map(|e| (e.kind, e.object))
+            .collect()
+    }
+    let serial = Runtime::builder()
+        .mode(ss_core::ExecutionMode::Serial)
+        .trace(true)
+        .build()
+        .unwrap();
+    let parallel = Runtime::builder()
+        .delegate_threads(2)
+        .trace(true)
+        .build()
+        .unwrap();
+    let a = run(&serial);
+    let b = run(&parallel);
+    // Kinds align except Delegate↔InlineExecute and the possible absence of
+    // Reclaim in serial mode (nothing is ever pending inline).
+    let normalize = |v: Vec<(TraceKind, Option<u64>)>| -> Vec<TraceKind> {
+        v.into_iter()
+            .map(|(k, _)| match k {
+                TraceKind::InlineExecute => TraceKind::Delegate,
+                other => other,
+            })
+            .filter(|k| *k != TraceKind::Reclaim)
+            .collect()
+    };
+    assert_eq!(normalize(a), normalize(b));
+}
+
+#[test]
+fn format_trace_renders_lines() {
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .trace(true)
+        .build()
+        .unwrap();
+    let w: Writable<u64> = Writable::new(&rt, 0);
+    rt.isolated(|| w.delegate(|n| *n += 1).unwrap()).unwrap();
+    let trace = rt.take_trace().unwrap();
+    let text = ss_core::format_trace(&trace);
+    assert_eq!(text.lines().count(), trace.len());
+    assert!(text.contains("BeginIsolation"));
+    assert!(text.contains("Delegate"));
+}

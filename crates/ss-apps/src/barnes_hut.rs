@@ -1,0 +1,531 @@
+//! barnes-hut — Lonestar's N-body simulation (Table 2).
+//!
+//! Each timestep: build an octree over the bodies, compute approximate
+//! forces per body with the Barnes–Hut multipole criterion (θ = 0.5), then
+//! integrate with leapfrog. Tree construction is sequential (as in the
+//! Lonestar baseline) and the force/update pass is the parallel section —
+//! the serialization-sets version owns body blocks as `Writable` domains and
+//! shares the octree read-only.
+//!
+//! Force evaluation is per-body deterministic given the tree, so all three
+//! implementations produce **bitwise identical** trajectories.
+
+use ss_core::{ReadOnly, Runtime, SequenceSerializer, Writable};
+use ss_workloads::bodies::Body;
+
+use crate::common::{even_ranges, Fingerprint};
+
+/// Barnes–Hut opening criterion.
+pub const THETA: f64 = 0.5;
+/// Leapfrog timestep.
+pub const DT: f64 = 0.025;
+/// Plummer softening to avoid singular close encounters.
+pub const SOFTENING: f64 = 0.05;
+
+/// One octree node: internal nodes carry aggregate mass/center-of-mass,
+/// leaves carry a body index. Stored in an arena so the tree is `Send +
+/// Sync` without `Rc`.
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        half: f64,
+        children: [Option<u32>; 8],
+        mass: f64,
+        com: [f64; 3],
+    },
+    Leaf {
+        body: u32,
+        pos: [f64; 3],
+        mass: f64,
+    },
+}
+
+/// A Barnes–Hut octree over a snapshot of body positions.
+pub struct Octree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+}
+
+impl Octree {
+    /// Builds the tree for the given positions/masses.
+    pub fn build(bodies: &[Body]) -> Octree {
+        let mut tree = Octree {
+            nodes: Vec::with_capacity(bodies.len() * 2),
+            root: None,
+        };
+        if bodies.is_empty() {
+            return tree;
+        }
+        // Bounding cube.
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for b in bodies {
+            for d in 0..3 {
+                lo[d] = lo[d].min(b.pos[d]);
+                hi[d] = hi[d].max(b.pos[d]);
+            }
+        }
+        let center = [
+            (lo[0] + hi[0]) / 2.0,
+            (lo[1] + hi[1]) / 2.0,
+            (lo[2] + hi[2]) / 2.0,
+        ];
+        let half = (0..3)
+            .map(|d| (hi[d] - lo[d]) / 2.0)
+            .fold(1e-9_f64, f64::max)
+            * 1.0001;
+        for (i, b) in bodies.iter().enumerate() {
+            let root = tree.root;
+            tree.root = Some(tree.insert(root, center, half, i as u32, b.pos, b.mass, 0));
+        }
+        tree.summarize();
+        tree
+    }
+
+    fn insert(
+        &mut self,
+        node: Option<u32>,
+        center: [f64; 3],
+        half: f64,
+        body: u32,
+        pos: [f64; 3],
+        mass: f64,
+        depth: u32,
+    ) -> u32 {
+        match node {
+            None => {
+                self.nodes.push(Node::Leaf { body, pos, mass });
+                (self.nodes.len() - 1) as u32
+            }
+            Some(idx) => match self.nodes[idx as usize].clone() {
+                Node::Leaf {
+                    body: old_body,
+                    pos: old_pos,
+                    mass: old_mass,
+                } => {
+                    // Degenerate case: coincident points — merge into one
+                    // leaf by nudging; beyond depth 64 treat as coincident.
+                    if depth > 64 || (old_pos == pos) {
+                        self.nodes[idx as usize] = Node::Leaf {
+                            body: old_body,
+                            pos: old_pos,
+                            mass: old_mass + mass,
+                        };
+                        return idx;
+                    }
+                    // Split: replace the leaf with an internal node and
+                    // reinsert both bodies.
+                    self.nodes[idx as usize] = Node::Internal {
+                        half,
+                        children: [None; 8],
+                        mass: 0.0,
+                        com: [0.0; 3],
+                    };
+                    let a = self.insert(Some(idx), center, half, old_body, old_pos, old_mass, depth);
+                    debug_assert_eq!(a, idx);
+                    self.insert(Some(idx), center, half, body, pos, mass, depth)
+                }
+                Node::Internal { .. } => {
+                    let (octant, child_center, child_half) = child_cell(center, half, pos);
+                    let child = match &self.nodes[idx as usize] {
+                        Node::Internal { children, .. } => children[octant],
+                        _ => unreachable!(),
+                    };
+                    let new_child =
+                        self.insert(child, child_center, child_half, body, pos, mass, depth + 1);
+                    if let Node::Internal { children, .. } = &mut self.nodes[idx as usize] {
+                        children[octant] = Some(new_child);
+                    }
+                    idx
+                }
+            },
+        }
+    }
+
+    /// Bottom-up center-of-mass aggregation.
+    fn summarize(&mut self) {
+        fn rec(nodes: &mut Vec<Node>, idx: u32) -> (f64, [f64; 3]) {
+            match nodes[idx as usize].clone() {
+                Node::Leaf { pos, mass, .. } => (mass, pos),
+                Node::Internal { children, .. } => {
+                    let mut m = 0.0;
+                    let mut c = [0.0; 3];
+                    for child in children.into_iter().flatten() {
+                        let (cm, ccom) = rec(nodes, child);
+                        m += cm;
+                        for d in 0..3 {
+                            c[d] += cm * ccom[d];
+                        }
+                    }
+                    if m > 0.0 {
+                        for x in &mut c {
+                            *x /= m;
+                        }
+                    }
+                    if let Node::Internal { mass, com, .. } = &mut nodes[idx as usize] {
+                        *mass = m;
+                        *com = c;
+                    }
+                    (m, c)
+                }
+            }
+        }
+        if let Some(root) = self.root {
+            rec(&mut self.nodes, root);
+        }
+    }
+
+    /// Accumulated acceleration on a test position (skipping `self_body`).
+    pub fn acceleration(&self, pos: [f64; 3], self_body: u32) -> [f64; 3] {
+        let mut acc = [0.0; 3];
+        if let Some(root) = self.root {
+            self.acc_rec(root, pos, self_body, &mut acc);
+        }
+        acc
+    }
+
+    fn acc_rec(&self, idx: u32, pos: [f64; 3], self_body: u32, acc: &mut [f64; 3]) {
+        match &self.nodes[idx as usize] {
+            Node::Leaf {
+                body,
+                pos: bpos,
+                mass,
+            } => {
+                if *body != self_body {
+                    add_gravity(pos, *bpos, *mass, acc);
+                }
+            }
+            Node::Internal {
+                half,
+                children,
+                mass,
+                com,
+                ..
+            } => {
+                let dx = com[0] - pos[0];
+                let dy = com[1] - pos[1];
+                let dz = com[2] - pos[2];
+                let dist = (dx * dx + dy * dy + dz * dz).sqrt();
+                if (2.0 * half) / dist.max(1e-12) < THETA {
+                    add_gravity(pos, *com, *mass, acc);
+                } else {
+                    for c in children.iter().flatten() {
+                        self.acc_rec(*c, pos, self_body, acc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Node count (diagnostic).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree holds no bodies.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+}
+
+#[inline]
+fn child_cell(center: [f64; 3], half: f64, pos: [f64; 3]) -> (usize, [f64; 3], f64) {
+    let mut octant = 0;
+    let mut child_center = center;
+    let q = half / 2.0;
+    for d in 0..3 {
+        if pos[d] >= center[d] {
+            octant |= 1 << d;
+            child_center[d] += q;
+        } else {
+            child_center[d] -= q;
+        }
+    }
+    (octant, child_center, q)
+}
+
+#[inline]
+fn add_gravity(pos: [f64; 3], src: [f64; 3], mass: f64, acc: &mut [f64; 3]) {
+    let dx = src[0] - pos[0];
+    let dy = src[1] - pos[1];
+    let dz = src[2] - pos[2];
+    let d2 = dx * dx + dy * dy + dz * dz + SOFTENING * SOFTENING;
+    let inv = 1.0 / (d2 * d2.sqrt());
+    acc[0] += mass * dx * inv;
+    acc[1] += mass * dy * inv;
+    acc[2] += mass * dz * inv;
+}
+
+/// Direct O(n²) force summation — the oracle the octree is property-tested
+/// against.
+pub fn direct_acceleration(bodies: &[Body], i: usize) -> [f64; 3] {
+    let mut acc = [0.0; 3];
+    for (j, b) in bodies.iter().enumerate() {
+        if j != i {
+            add_gravity(bodies[i].pos, b.pos, b.mass, &mut acc);
+        }
+    }
+    acc
+}
+
+fn kick_drift(b: &mut Body, acc: [f64; 3]) {
+    for d in 0..3 {
+        b.vel[d] += acc[d] * DT;
+        b.pos[d] += b.vel[d] * DT;
+    }
+}
+
+/// Sequential oracle. Forces are applied in place per body: the tree is a
+/// positional snapshot, so updating body `i` before evaluating body `j` does
+/// not change `j`'s force — identical results, no intermediate allocation
+/// (keeps the memory behaviour comparable with the parallel versions).
+pub fn seq(bodies: &[Body], steps: usize) -> Vec<Body> {
+    let mut bodies = bodies.to_vec();
+    for _ in 0..steps {
+        let tree = Octree::build(&bodies);
+        for i in 0..bodies.len() {
+            let acc = tree.acceleration(bodies[i].pos, i as u32);
+            kick_drift(&mut bodies[i], acc);
+        }
+    }
+    bodies
+}
+
+/// Conventional-parallel baseline: sequential tree build; force + update
+/// chunked over scoped threads each step (pthreads structure).
+pub fn cp(bodies: &[Body], steps: usize, threads: usize) -> Vec<Body> {
+    let mut bodies = bodies.to_vec();
+    let n = bodies.len();
+    for _ in 0..steps {
+        let tree = Octree::build(&bodies);
+        let ranges = even_ranges(n, threads.max(1));
+        std::thread::scope(|s| {
+            let tree = &tree;
+            let mut rest: &mut [Body] = &mut bodies;
+            let mut offset = 0;
+            for r in &ranges {
+                let (head, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let base = offset;
+                offset += r.len();
+                s.spawn(move || {
+                    for (j, b) in head.iter_mut().enumerate() {
+                        let acc = tree.acceleration(b.pos, (base + j) as u32);
+                        kick_drift(b, acc);
+                    }
+                });
+            }
+        });
+    }
+    bodies
+}
+
+/// Serialization-sets version: body blocks are privately-writable domains;
+/// each step shares the octree read-only, delegates force+update per block
+/// (`doall`), then the program context gathers positions to rebuild the
+/// tree — the §2.2 "different partitions in different isolation epochs"
+/// technique.
+pub fn ss(bodies: &[Body], steps: usize, rt: &Runtime) -> Vec<Body> {
+    let n = bodies.len();
+    let parts = (rt.delegate_threads().max(1) * 4).max(1);
+    struct Block {
+        base: u32,
+        bodies: Vec<Body>,
+    }
+    let blocks: Vec<Writable<Block, SequenceSerializer>> = even_ranges(n, parts)
+        .into_iter()
+        .map(|r| {
+            Writable::new(
+                rt,
+                Block {
+                    base: r.start as u32,
+                    bodies: bodies[r].to_vec(),
+                },
+            )
+        })
+        .collect();
+
+    for _ in 0..steps {
+        // Aggregation: gather a position snapshot and build the tree.
+        let mut snapshot = Vec::with_capacity(n);
+        for blk in &blocks {
+            blk.call(|b| snapshot.extend_from_slice(&b.bodies)).expect("gather");
+        }
+        let tree = ReadOnly::new(Octree::build(&snapshot));
+
+        // Isolation: distribute the tree and update blocks in parallel.
+        rt.begin_isolation().expect("begin_isolation");
+        for blk in &blocks {
+            let tree = tree.clone();
+            blk.delegate(move |b| {
+                let base = b.base;
+                for (j, body) in b.bodies.iter_mut().enumerate() {
+                    let acc = tree.get().acceleration(body.pos, base + j as u32);
+                    kick_drift(body, acc);
+                }
+            })
+            .expect("delegate step");
+        }
+        rt.end_isolation().expect("end_isolation");
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for blk in &blocks {
+        blk.call(|b| out.extend_from_slice(&b.bodies)).expect("collect");
+    }
+    out
+}
+
+/// Canonical output fingerprint (bitwise — trajectories are deterministic).
+pub fn fingerprint(bodies: &[Body]) -> u64 {
+    let mut fp = Fingerprint::new();
+    for b in bodies {
+        for d in 0..3 {
+            fp.update(&b.pos[d].to_bits().to_le_bytes());
+            fp.update(&b.vel[d].to_bits().to_le_bytes());
+        }
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    bodies: Vec<Body>,
+    steps: usize,
+}
+
+impl Bench {
+    /// Generates the Plummer cluster for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        let (n, steps) = ss_workloads::scale::barnes_hut(scale);
+        Bench {
+            bodies: ss_workloads::bodies::plummer(n, ss_workloads::scale::DEFAULT_SEED),
+            steps,
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "barnes-hut"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.bodies, self.steps))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.bodies, self.steps, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.bodies, self.steps, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::bodies::plummer;
+
+    #[test]
+    fn octree_matches_direct_summation() {
+        let bodies = plummer(300, 2);
+        let tree = Octree::build(&bodies);
+        assert!(!tree.is_empty());
+        // θ-approximation error should be small relative to force magnitude.
+        for i in (0..bodies.len()).step_by(17) {
+            let approx = tree.acceleration(bodies[i].pos, i as u32);
+            let exact = direct_acceleration(&bodies, i);
+            let mag = (exact[0].powi(2) + exact[1].powi(2) + exact[2].powi(2)).sqrt();
+            let err = ((approx[0] - exact[0]).powi(2)
+                + (approx[1] - exact[1]).powi(2)
+                + (approx[2] - exact[2]).powi(2))
+            .sqrt();
+            assert!(err < 0.05 * mag.max(1e-3), "body {i}: err {err}, mag {mag}");
+        }
+    }
+
+    #[test]
+    fn tree_total_mass_is_conserved() {
+        let bodies = plummer(200, 3);
+        let tree = Octree::build(&bodies);
+        if let Some(root) = tree.root {
+            if let Node::Internal { mass, .. } = &tree.nodes[root as usize] {
+                assert!((mass - 1.0).abs() < 1e-9, "root mass {mass}");
+            }
+        }
+    }
+
+    #[test]
+    fn implementations_are_bitwise_identical() {
+        let bodies = plummer(400, 7);
+        let a = seq(&bodies, 3);
+        let b = cp(&bodies, 3, 3);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let c = ss(&bodies, 3, &rt);
+        assert_eq!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let bodies = plummer(150, 9);
+        let expected = fingerprint(&seq(&bodies, 2));
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert_eq!(fingerprint(&ss(&bodies, 2, &rt)), expected);
+        }
+    }
+
+    #[test]
+    fn energy_is_roughly_conserved() {
+        // Leapfrog on a softened Plummer system should keep total energy
+        // within a few percent over a few steps.
+        fn energy(bodies: &[Body]) -> f64 {
+            let mut e = 0.0;
+            for (i, b) in bodies.iter().enumerate() {
+                e += 0.5
+                    * b.mass
+                    * (b.vel[0] * b.vel[0] + b.vel[1] * b.vel[1] + b.vel[2] * b.vel[2]);
+                for other in bodies.iter().skip(i + 1) {
+                    let dx = b.pos[0] - other.pos[0];
+                    let dy = b.pos[1] - other.pos[1];
+                    let dz = b.pos[2] - other.pos[2];
+                    let d = (dx * dx + dy * dy + dz * dz + SOFTENING * SOFTENING).sqrt();
+                    e -= b.mass * other.mass / d;
+                }
+            }
+            e
+        }
+        let bodies = plummer(300, 11);
+        let e0 = energy(&bodies);
+        let after = seq(&bodies, 8);
+        let e1 = energy(&after);
+        assert!(
+            ((e1 - e0) / e0.abs()).abs() < 0.05,
+            "energy drifted {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(seq(&[], 2).is_empty());
+        let one = plummer(1, 1);
+        let out = seq(&one, 2);
+        assert_eq!(out.len(), 1);
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert_eq!(fingerprint(&ss(&one, 2, &rt)), fingerprint(&out));
+    }
+
+    #[test]
+    fn coincident_bodies_do_not_recurse_forever() {
+        let b = Body {
+            pos: [1.0, 1.0, 1.0],
+            vel: [0.0; 3],
+            mass: 0.5,
+        };
+        let bodies = vec![b, b, b];
+        let tree = Octree::build(&bodies);
+        assert!(!tree.is_empty());
+        let out = seq(&bodies, 1);
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,264 @@
+//! blackscholes — PARSEC's option-pricing benchmark (Table 2).
+//!
+//! Embarrassingly parallel: each option is priced independently with the
+//! Black–Scholes closed form. The serialization-sets version partitions the
+//! portfolio into blocks wrapped in `Writable` and prices them with `doall`
+//! (Figure 2's "embarrassing parallelism" scheme); results are stored inside
+//! the objects and read back with `call`, per the delegation rules (delegated
+//! methods return no value).
+
+use ss_core::{doall, ReadOnly, Runtime, SequenceSerializer, Writable};
+use ss_workloads::options::{OptionData, OptionKind};
+
+use crate::common::{even_ranges, Fingerprint};
+
+/// Repetitions per option (PARSEC re-prices each option many times to give
+/// the kernel measurable weight; it uses 100, we use 25).
+pub const RUNS: usize = 25;
+
+/// Cumulative normal distribution function, using the Abramowitz–Stegun
+/// polynomial approximation PARSEC's kernel uses (error < 7.5e-8).
+pub fn cndf(x: f64) -> f64 {
+    let neg = x < 0.0;
+    let x = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * x);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let pdf = (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let w = 1.0 - pdf * poly;
+    if neg {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// Black–Scholes closed-form price of one option.
+pub fn price(o: &OptionData) -> f64 {
+    let sqrt_t = o.time.sqrt();
+    let d1 = ((o.spot / o.strike).ln() + (o.rate + o.volatility * o.volatility / 2.0) * o.time)
+        / (o.volatility * sqrt_t);
+    let d2 = d1 - o.volatility * sqrt_t;
+    let discounted_strike = o.strike * (-o.rate * o.time).exp();
+    match o.kind {
+        OptionKind::Call => o.spot * cndf(d1) - discounted_strike * cndf(d2),
+        OptionKind::Put => discounted_strike * cndf(-d2) - o.spot * cndf(-d1),
+    }
+}
+
+fn price_block(options: &[OptionData], out: &mut [f64]) {
+    for (o, slot) in options.iter().zip(out.iter_mut()) {
+        let mut p = 0.0;
+        for _ in 0..RUNS {
+            p = price(o);
+            std::hint::black_box(p);
+        }
+        *slot = p;
+    }
+}
+
+/// Sequential oracle.
+pub fn seq(options: &[OptionData]) -> Vec<f64> {
+    let mut out = vec![0.0; options.len()];
+    price_block(options, &mut out);
+    out
+}
+
+/// Conventional-parallel baseline: static chunking over scoped threads,
+/// like PARSEC's pthreads version.
+pub fn cp(options: &[OptionData], threads: usize) -> Vec<f64> {
+    let mut out = vec![0.0; options.len()];
+    let ranges = even_ranges(options.len(), threads.max(1));
+    std::thread::scope(|s| {
+        // Split the output buffer to hand each worker its own disjoint part.
+        let mut rest: &mut [f64] = &mut out;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let opts = &options[r.clone()];
+            s.spawn(move || price_block(opts, head));
+        }
+    });
+    out
+}
+
+/// Serialization-sets version: `doall` over option blocks. Takes the
+/// portfolio pre-wrapped in [`ReadOnly`] — the paper's programs wrap their
+/// data once at load time, so wrapping is not part of the parallel kernel.
+pub fn ss(shared: &ReadOnly<Vec<OptionData>>, rt: &Runtime) -> Vec<f64> {
+    let options: &[OptionData] = shared.get();
+    // Blocks sized so each delegation carries enough work to amortize the
+    // invocation overhead (§5: "fine-grained parallelization must amortize
+    // overheads over smaller units of work").
+    let block = (options.len() / (rt.delegate_threads().max(1) * 16)).clamp(256, 16_384);
+    struct Block {
+        range: std::ops::Range<usize>,
+        input: ReadOnly<Vec<OptionData>>,
+        prices: Vec<f64>,
+    }
+    let blocks: Vec<Writable<Block, SequenceSerializer>> = (0..options.len())
+        .step_by(block)
+        .map(|start| {
+            let range = start..(start + block).min(options.len());
+            Writable::new(
+                rt,
+                Block {
+                    prices: vec![0.0; range.len()],
+                    range,
+                    input: shared.clone(),
+                },
+            )
+        })
+        .collect();
+
+    rt.begin_isolation().expect("begin_isolation");
+    doall(&blocks, |b| {
+        let opts = &b.input.get()[b.range.clone()];
+        let mut out = std::mem::take(&mut b.prices);
+        price_block(opts, &mut out);
+        b.prices = out;
+    })
+    .expect("doall");
+    rt.end_isolation().expect("end_isolation");
+
+    let mut out = Vec::with_capacity(options.len());
+    for b in &blocks {
+        b.call(|blk| out.extend_from_slice(&blk.prices)).expect("call");
+    }
+    out
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(prices: &[f64]) -> u64 {
+    let mut fp = Fingerprint::new();
+    for &p in prices {
+        fp.update_f64_rounded(p, 8);
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    options: ReadOnly<Vec<OptionData>>,
+}
+
+impl Bench {
+    /// Generates the input for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        let n = ss_workloads::scale::blackscholes(scale);
+        Bench {
+            options: ReadOnly::new(ss_workloads::options::options(
+                n,
+                ss_workloads::scale::DEFAULT_SEED,
+            )),
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.options))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.options, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.options, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::options::options;
+
+    #[test]
+    fn cndf_known_values() {
+        assert!((cndf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cndf(1.0) - 0.8413447).abs() < 1e-6);
+        assert!((cndf(-1.0) - 0.1586553).abs() < 1e-6);
+        assert!((cndf(3.0) - 0.9986501).abs() < 1e-6);
+        // The polynomial approximation has ~7.5e-8 absolute error, so the
+        // symmetry at zero holds only to that precision.
+        assert!((cndf(0.0) + cndf(-0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn price_matches_textbook_example() {
+        // Hull's classic example: S=42, K=40, r=10%, σ=20%, T=0.5:
+        // call ≈ 4.76, put ≈ 0.81.
+        let call = price(&OptionData {
+            spot: 42.0,
+            strike: 40.0,
+            rate: 0.10,
+            volatility: 0.20,
+            time: 0.5,
+            kind: OptionKind::Call,
+        });
+        assert!((call - 4.76).abs() < 0.01, "call {call}");
+        let put = price(&OptionData {
+            spot: 42.0,
+            strike: 40.0,
+            rate: 0.10,
+            volatility: 0.20,
+            time: 0.5,
+            kind: OptionKind::Put,
+        });
+        assert!((put - 0.81).abs() < 0.01, "put {put}");
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        for o in options(200, 11) {
+            let call = price(&OptionData { kind: OptionKind::Call, ..o });
+            let put = price(&OptionData { kind: OptionKind::Put, ..o });
+            // C - P = S - K·e^{-rT}
+            let lhs = call - put;
+            let rhs = o.spot - o.strike * (-o.rate * o.time).exp();
+            assert!((lhs - rhs).abs() < 1e-6, "parity violated: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn all_three_implementations_agree_exactly() {
+        let opts = options(5000, 42);
+        let a = seq(&opts);
+        let b = cp(&opts, 3);
+        assert_eq!(a, b);
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let c = ss(&ReadOnly::new(opts.clone()), &rt);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let opts = options(2000, 7);
+        let expected = seq(&opts);
+        let shared = ReadOnly::new(opts);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_outputs() {
+        let opts = options(100, 1);
+        let a = fingerprint(&seq(&opts));
+        let opts2 = options(100, 2);
+        let b = fingerprint(&seq(&opts2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_portfolio() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert!(seq(&[]).is_empty());
+        assert!(cp(&[], 4).is_empty());
+        assert!(ss(&ReadOnly::new(vec![]), &rt).is_empty());
+    }
+}

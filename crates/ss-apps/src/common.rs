@@ -1,0 +1,196 @@
+//! Shared plumbing for the benchmark applications: chunking helpers, output
+//! fingerprints, float comparison, and the harness-facing registry types.
+
+use ss_core::Runtime;
+use ss_workloads::scale::Scale;
+
+/// Splits `0..len` into `parts` contiguous ranges of near-equal size
+/// (the chunking every conventional-parallel baseline uses).
+pub fn even_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+/// Splits text into `parts` ranges aligned to whitespace so no token spans a
+/// boundary; shared by the word_count implementations so they tokenize the
+/// identical chunks.
+pub fn text_ranges(text: &str, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let bytes = text.as_bytes();
+    let parts = parts.max(1);
+    let mut cuts = vec![0usize];
+    for i in 1..parts {
+        let mut pos = i * bytes.len() / parts;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if pos > *cuts.last().unwrap() && pos < bytes.len() {
+            cuts.push(pos);
+        }
+    }
+    cuts.push(bytes.len());
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// FNV-1a, the crate's canonical output fingerprint (stable across runs and
+/// implementations; used by the harness to verify seq == cp == ss cheaply).
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1_0000_01b3;
+
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Fingerprint(Self::OFFSET)
+    }
+
+    /// Mixes raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Mixes a `u64`.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Mixes a float rounded to `decimals` decimal places (so impls that
+    /// legally reorder float sums still agree).
+    pub fn update_f64_rounded(&mut self, v: f64, decimals: i32) {
+        let scale = 10f64.powi(decimals);
+        let q = (v * scale).round() as i64;
+        self.update(&q.to_le_bytes());
+    }
+
+    /// Final value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Relative-tolerance float comparison for outputs whose summation order
+/// legitimately differs across implementations (kmeans partial sums).
+pub fn approx_eq(a: f64, b: f64, rel: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= rel * a.abs().max(b.abs()).max(1.0)
+}
+
+/// One benchmark wired for the harness: input pre-generated, three
+/// implementations runnable and fingerprint-checked.
+pub trait BenchInstance: Send {
+    /// Benchmark name (Table 2 row).
+    fn name(&self) -> &'static str;
+    /// Sequential implementation; returns the output fingerprint.
+    fn run_seq(&self) -> u64;
+    /// Conventional-parallel baseline with `threads` worker threads.
+    fn run_cp(&self, threads: usize) -> u64;
+    /// Serialization-sets implementation on the given runtime.
+    fn run_ss(&self, rt: &Runtime) -> u64;
+}
+
+/// Registry entry: how to build a [`BenchInstance`] at a given scale.
+pub struct BenchSpec {
+    /// Benchmark name (Table 2 row).
+    pub name: &'static str,
+    /// Builds the instance (generates the input deterministically).
+    pub make: fn(Scale) -> Box<dyn BenchInstance>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_cover_everything() {
+        for (len, parts) in [(10, 3), (7, 7), (5, 9), (0, 4), (100, 1)] {
+            let rs = even_ranges(len, parts);
+            assert_eq!(rs.len(), parts.max(1));
+            assert_eq!(rs.iter().map(|r| r.len()).sum::<usize>(), len);
+            let mut pos = 0;
+            for r in rs {
+                assert_eq!(r.start, pos);
+                pos = r.end;
+            }
+            assert_eq!(pos, len);
+        }
+    }
+
+    #[test]
+    fn even_ranges_are_balanced() {
+        let rs = even_ranges(10, 3);
+        let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn text_ranges_respect_word_boundaries() {
+        let text = "alpha beta gamma delta epsilon zeta eta theta";
+        let rs = text_ranges(text, 3);
+        assert_eq!(rs.iter().map(|r| r.len()).sum::<usize>(), text.len());
+        // No range may start mid-word (except position 0).
+        for r in &rs[1..] {
+            assert!(text.as_bytes()[r.start].is_ascii_whitespace());
+        }
+        // Re-tokenizing the chunks yields the same words as the whole.
+        let whole: Vec<&str> = text.split_whitespace().collect();
+        let mut chunked = Vec::new();
+        for r in &rs {
+            chunked.extend(text[r.clone()].split_whitespace());
+        }
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn text_ranges_handles_degenerate_inputs() {
+        assert_eq!(text_ranges("", 4).len(), 1);
+        let one_word = text_ranges("supercalifragilistic", 5);
+        assert_eq!(one_word.iter().map(|r| r.len()).sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_stable() {
+        let mut a = Fingerprint::new();
+        a.update(b"hello");
+        let mut b = Fingerprint::new();
+        b.update(b"hello");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.update(b"olleh");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn rounded_floats_absorb_noise() {
+        let mut a = Fingerprint::new();
+        a.update_f64_rounded(1.000000001, 6);
+        let mut b = Fingerprint::new();
+        b.update_f64_rounded(0.999999999, 6);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn approx_eq_behaviour() {
+        assert!(approx_eq(100.0, 100.0000001, 1e-6));
+        assert!(!approx_eq(100.0, 101.0, 1e-6));
+        assert!(approx_eq(0.0, 1e-9, 1e-6)); // absolute floor near zero
+    }
+}

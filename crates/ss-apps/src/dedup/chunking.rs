@@ -1,0 +1,145 @@
+//! Content-defined chunking with a rolling hash (the Rabin-fingerprint stage
+//! of PARSEC dedup).
+//!
+//! A polynomial rolling hash over a sliding window declares a chunk boundary
+//! whenever the low bits of the hash match a fixed pattern, subject to
+//! minimum/maximum chunk lengths. Because boundaries depend only on local
+//! content, inserting bytes early in the stream does not shift every later
+//! boundary — the property that makes dedup find duplicates across offsets.
+
+/// Rolling-hash window size in bytes.
+pub const WINDOW: usize = 48;
+/// Boundary mask: ~1/4096 bytes are boundaries → ~4 KiB average chunks.
+pub const MASK: u64 = (1 << 12) - 1;
+/// Hash pattern that marks a boundary.
+pub const PATTERN: u64 = 0x78A;
+/// Minimum chunk length.
+pub const MIN_CHUNK: usize = 1 << 10;
+/// Maximum chunk length.
+pub const MAX_CHUNK: usize = 1 << 15;
+
+const BASE: u64 = 1_000_003;
+
+/// Precomputed `BASE^(WINDOW-1)` for removing the outgoing byte.
+fn base_pow() -> u64 {
+    let mut p = 1u64;
+    for _ in 0..WINDOW - 1 {
+        p = p.wrapping_mul(BASE);
+    }
+    p
+}
+
+/// Splits `data` into content-defined chunk ranges covering it exactly.
+pub fn chunk_ranges(data: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    if data.is_empty() {
+        return out;
+    }
+    let pow = base_pow();
+    let mut start = 0usize;
+    let mut hash = 0u64;
+    let mut filled = 0usize; // bytes currently in the window
+    let mut i = 0usize;
+    while i < data.len() {
+        // Roll the hash.
+        if filled == WINDOW {
+            let outgoing = data[i - WINDOW] as u64;
+            hash = hash.wrapping_sub(outgoing.wrapping_mul(pow));
+        } else {
+            filled += 1;
+        }
+        hash = hash.wrapping_mul(BASE).wrapping_add(data[i] as u64);
+        let len = i - start + 1;
+        let at_boundary = filled == WINDOW && (hash & MASK) == PATTERN;
+        if (at_boundary && len >= MIN_CHUNK) || len >= MAX_CHUNK {
+            out.push(start..i + 1);
+            start = i + 1;
+            hash = 0;
+            filled = 0;
+        }
+        i += 1;
+    }
+    if start < data.len() {
+        out.push(start..data.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn ranges_partition_the_input() {
+        let data = ss_workloads::stream::stream(&ss_workloads::stream::StreamParams {
+            bytes: 200_000,
+            seed: 1,
+            ..Default::default()
+        });
+        let ranges = chunk_ranges(&data);
+        assert!(!ranges.is_empty());
+        let mut pos = 0;
+        for r in &ranges {
+            assert_eq!(r.start, pos);
+            assert!(r.len() <= MAX_CHUNK);
+            pos = r.end;
+        }
+        assert_eq!(pos, data.len());
+        // All but the final chunk respect the minimum.
+        for r in &ranges[..ranges.len() - 1] {
+            assert!(r.len() >= MIN_CHUNK, "chunk of {} bytes", r.len());
+        }
+    }
+
+    #[test]
+    fn average_chunk_size_is_sane() {
+        let mut r = ss_workloads::rng::rng(2, 0);
+        let data: Vec<u8> = (0..1_000_000).map(|_| r.random()).collect();
+        let ranges = chunk_ranges(&data);
+        let avg = data.len() / ranges.len();
+        // Expected ~MIN + 4096; accept a broad band.
+        assert!(avg > 2_000 && avg < 16_000, "avg chunk {avg}");
+    }
+
+    #[test]
+    fn boundaries_are_content_defined() {
+        // Identical suffixes should chunk identically after resync, even
+        // when a prefix is inserted.
+        let mut r = ss_workloads::rng::rng(3, 0);
+        let tail: Vec<u8> = (0..300_000).map(|_| r.random()).collect();
+        let a = tail.clone();
+        let mut b = vec![0xEE; 1313];
+        b.extend_from_slice(&tail);
+
+        let ra = chunk_ranges(&a);
+        let rb = chunk_ranges(&b);
+        // Compare chunk *contents* from the back: the trailing chunks must
+        // coincide once the rolling hash resynchronizes.
+        let ca: Vec<&[u8]> = ra.iter().map(|r| &a[r.clone()]).collect();
+        let cb: Vec<&[u8]> = rb.iter().map(|r| &b[r.clone()]).collect();
+        let mut matching = 0;
+        for (x, y) in ca.iter().rev().zip(cb.iter().rev()) {
+            if x == y {
+                matching += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(matching >= ca.len() / 2, "only {matching} trailing chunks matched");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(chunk_ranges(&[]).is_empty());
+        let tiny = vec![1u8; 10];
+        let r = chunk_ranges(&tiny);
+        assert_eq!(r, vec![0..10]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = vec![7u8; 100_000];
+        assert_eq!(chunk_ranges(&data), chunk_ranges(&data));
+    }
+}

@@ -1,0 +1,239 @@
+//! LZSS compression, from scratch (the "compress" stage of the dedup
+//! pipeline; PARSEC uses gzip — LZSS is the same LZ77 family with a simpler
+//! container, which preserves the stage's computational character:
+//! match-finding dominated, byte-oriented output).
+//!
+//! Format: groups of 8 tokens preceded by a flag byte (bit i set = token i
+//! is a literal byte; clear = a 2-byte match reference). Matches encode
+//! `offset` (12 bits, 1-based back-distance) and `length - MIN_MATCH`
+//! (4 bits), window 4 KiB, match lengths 3..=18. Match finding uses 3-byte
+//! hash chains.
+
+/// Sliding window size (offset range).
+const WINDOW: usize = 1 << 12;
+/// Minimum encodable match length.
+const MIN_MATCH: usize = 3;
+/// Maximum encodable match length.
+const MAX_MATCH: usize = MIN_MATCH + 15;
+/// Hash-chain table size.
+const HASH_SIZE: usize = 1 << 13;
+/// Limit on chain walks per position (bounds worst-case time).
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x7F4A));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+/// Compresses `data`. Output begins with the original length (u32 LE).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    if data.is_empty() {
+        return out;
+    }
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let mut i = 0usize;
+    let mut flags_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+
+    macro_rules! bump_group {
+        () => {
+            if flag_bit == 8 {
+                flags_pos = out.len();
+                out.push(0);
+                flag_bit = 0;
+            }
+        };
+    }
+
+    while i < data.len() {
+        // Find the longest match within the window via the hash chain.
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chains = 0;
+            while cand != usize::MAX && chains < MAX_CHAIN {
+                if i - cand <= WINDOW {
+                    let limit = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < limit && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                } else {
+                    break; // chain is ordered by position; older = farther
+                }
+                cand = prev[cand];
+                chains += 1;
+            }
+        }
+
+        bump_group!();
+        if best_len >= MIN_MATCH {
+            // Match token: 12-bit offset-1 | 4-bit (len - MIN_MATCH).
+            let token =
+                (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16 & 0xF);
+            out.extend_from_slice(&token.to_le_bytes());
+            // Insert every covered position into the chains.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash3(data, i);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            out[flags_pos] |= 1 << flag_bit;
+            out.push(data[i]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        flag_bit += 1;
+    }
+    out
+}
+
+/// Decompresses a [`compress`] stream. Returns `None` on malformed input.
+pub fn decompress(comp: &[u8]) -> Option<Vec<u8>> {
+    if comp.len() < 4 {
+        return None;
+    }
+    let orig_len = u32::from_le_bytes(comp[0..4].try_into().ok()?) as usize;
+    let mut out = Vec::with_capacity(orig_len);
+    let mut i = 4usize;
+    let mut flags = 0u8;
+    let mut flag_bit = 8u8; // force a flag-byte read first
+    while out.len() < orig_len {
+        if flag_bit == 8 {
+            flags = *comp.get(i)?;
+            i += 1;
+            flag_bit = 0;
+        }
+        if flags & (1 << flag_bit) != 0 {
+            out.push(*comp.get(i)?);
+            i += 1;
+        } else {
+            let lo = *comp.get(i)? as u16;
+            let hi = *comp.get(i + 1)? as u16;
+            i += 2;
+            let token = lo | (hi << 8);
+            let off = ((token >> 4) as usize) + 1;
+            let len = (token & 0xF) as usize + MIN_MATCH;
+            if off > out.len() {
+                return None;
+            }
+            let start = out.len() - off;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+        flag_bit += 1;
+    }
+    (out.len() == orig_len).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcabcabcabcabcabc");
+        roundtrip(b"the quick brown fox jumps over the lazy dog");
+        roundtrip(&vec![0u8; 100_000]);
+        let mut r = ss_workloads::rng::rng(1, 0);
+        use rand::RngExt;
+        let random: Vec<u8> = (0..50_000).map(|_| r.random()).collect();
+        roundtrip(&random);
+    }
+
+    #[test]
+    fn compresses_redundant_data() {
+        let data = b"abcdefgh".repeat(10_000);
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 4,
+            "only {} -> {} bytes",
+            data.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_data_grows_bounded() {
+        let mut r = ss_workloads::rng::rng(7, 0);
+        use rand::RngExt;
+        let data: Vec<u8> = (0..10_000).map(|_| r.random()).collect();
+        let c = compress(&data);
+        // Worst case: 1 flag byte per 8 literals + 4-byte header.
+        assert!(c.len() <= data.len() + data.len() / 8 + 8);
+    }
+
+    #[test]
+    fn long_range_matches_within_window() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        data.extend(std::iter::repeat_n(0u8, 3000));
+        data.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        roundtrip(&data);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        assert!(decompress(&[]).is_none());
+        assert!(decompress(&[1, 0, 0]).is_none());
+        // Claims 10 bytes but provides none.
+        assert!(decompress(&10u32.to_le_bytes()).is_none());
+        // Match referencing before the start of output.
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&8u32.to_le_bytes());
+        bogus.push(0x00); // flags: first token is a match
+        bogus.extend_from_slice(&0xFFFFu16.to_le_bytes());
+        assert!(decompress(&bogus).is_none());
+    }
+
+    #[test]
+    fn workload_stream_compresses() {
+        let data = ss_workloads::stream::stream(&ss_workloads::stream::StreamParams {
+            bytes: 100_000,
+            alphabet: 32,
+            seed: 5,
+            ..Default::default()
+        });
+        let c = compress(&data);
+        assert!(c.len() < data.len(), "{} -> {}", data.len(), c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+}

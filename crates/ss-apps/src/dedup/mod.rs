@@ -1,0 +1,514 @@
+//! dedup — PARSEC's fingerprint-based compression pipeline (Table 2).
+//!
+//! The pipeline: content-defined chunking → SHA-1 fingerprint → duplicate
+//! elimination (hash-indexed table, first occurrence wins) → LZ compression
+//! of unique chunks → in-order reassembly. All stages are built from scratch
+//! in the submodules ([`chunking`], [`sha1`], [`lzss`]).
+//!
+//! * The **conventional-parallel** version mirrors PARSEC's pthreads
+//!   pipeline: a hasher pool, an in-order dedup stage, a compressor pool and
+//!   a reordering reassembler, connected by bounded channels.
+//! * The **serialization-sets** version uses the paper's §2.2 techniques:
+//!   *different partitions in different isolation epochs* (epoch 1 hashes
+//!   chunk blocks, epoch 2 compresses unique blocks) and *container accesses
+//!   in the program context* (the dedup hash table is only ever touched by
+//!   the program thread between the epochs, eliminating its lock entirely —
+//!   the hash-table discussion of §2.2).
+//!
+//! All three implementations emit byte-identical archives, verified by
+//! round-trip decompression.
+
+pub mod chunking;
+pub mod lzss;
+pub mod sha1;
+
+use std::collections::HashMap;
+
+use ss_core::{doall, ReadOnly, Runtime, SequenceSerializer, Writable};
+
+use crate::common::{even_ranges, Fingerprint};
+use sha1::Digest;
+
+/// One archive entry: a unique chunk (stored compressed) or a reference to
+/// an earlier unique chunk by its unique-index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// First occurrence of this content: fingerprint + compressed bytes.
+    Unique {
+        /// SHA-1 of the uncompressed chunk.
+        digest: Digest,
+        /// LZSS-compressed chunk body.
+        compressed: Vec<u8>,
+    },
+    /// Repeat of unique chunk number `index`.
+    Ref {
+        /// Index into the sequence of `Unique` entries.
+        index: u32,
+    },
+}
+
+/// A deduplicated, compressed archive.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Archive {
+    /// Entries in original stream order.
+    pub entries: Vec<Entry>,
+}
+
+impl Archive {
+    /// Total compressed payload bytes (excluding per-entry metadata).
+    pub fn compressed_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                Entry::Unique { compressed, .. } => compressed.len() + 24,
+                Entry::Ref { .. } => 4,
+            })
+            .sum()
+    }
+
+    /// Number of unique chunks.
+    pub fn unique_chunks(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, Entry::Unique { .. }))
+            .count()
+    }
+}
+
+/// Restores the original stream from an archive (`None` on corruption) —
+/// the verification path every test runs.
+pub fn restore(archive: &Archive) -> Option<Vec<u8>> {
+    let mut uniques: Vec<Vec<u8>> = Vec::new();
+    let mut out = Vec::new();
+    for e in &archive.entries {
+        match e {
+            Entry::Unique { digest, compressed } => {
+                let body = lzss::decompress(compressed)?;
+                if sha1::sha1(&body) != *digest {
+                    return None;
+                }
+                out.extend_from_slice(&body);
+                uniques.push(body);
+            }
+            Entry::Ref { index } => {
+                out.extend_from_slice(uniques.get(*index as usize)?);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Sequential oracle: the whole pipeline in one pass.
+pub fn seq(data: &[u8]) -> Archive {
+    let mut table: HashMap<Digest, u32> = HashMap::new();
+    let mut entries = Vec::new();
+    for range in chunking::chunk_ranges(data) {
+        let chunk = &data[range];
+        let digest = sha1::sha1(chunk);
+        match table.get(&digest) {
+            Some(&idx) => entries.push(Entry::Ref { index: idx }),
+            None => {
+                let idx = table.len() as u32;
+                table.insert(digest, idx);
+                entries.push(Entry::Unique {
+                    digest,
+                    compressed: lzss::compress(chunk),
+                });
+            }
+        }
+    }
+    Archive { entries }
+}
+
+/// Conventional-parallel baseline: PARSEC's stage-per-thread pipeline.
+///
+/// `threads` sizes the hasher and compressor pools (at least 1 each); the
+/// chunker, the in-order dedup stage, and the reordering reassembler are one
+/// thread each, as in the original.
+pub fn cp(data: &[u8], threads: usize) -> Archive {
+    use crossbeam::channel::bounded;
+
+    let pool = threads.max(2) / 2; // split the budget between the two pools
+    let hashers = pool.max(1);
+    let compressors = pool.max(1);
+
+    let ranges = chunking::chunk_ranges(data);
+    let n_chunks = ranges.len();
+    if n_chunks == 0 {
+        return Archive::default();
+    }
+
+    let (tx_chunk, rx_chunk) = bounded::<(usize, std::ops::Range<usize>)>(256);
+    let (tx_hashed, rx_hashed) = bounded::<(usize, Digest)>(256);
+    let (tx_unique, rx_unique) = bounded::<(usize, u32)>(256);
+    let (tx_comp, rx_comp) = bounded::<(usize, u32, Digest, Vec<u8>)>(256);
+
+    std::thread::scope(|s| {
+        // Stage 1: chunker (feeds indices + ranges).
+        {
+            let tx_chunk = tx_chunk.clone();
+            let ranges = ranges.clone();
+            s.spawn(move || {
+                for (i, r) in ranges.into_iter().enumerate() {
+                    if tx_chunk.send((i, r)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx_chunk);
+
+        // Stage 2: hasher pool.
+        for _ in 0..hashers {
+            let rx = rx_chunk.clone();
+            let tx = tx_hashed.clone();
+            s.spawn(move || {
+                while let Ok((i, r)) = rx.recv() {
+                    let digest = sha1::sha1(&data[r]);
+                    if tx.send((i, digest)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(rx_chunk);
+        drop(tx_hashed);
+
+        // Stage 3: dedup — single thread, *in chunk order* (reorder buffer),
+        // so unique/ref decisions are deterministic. Forwards unique chunks
+        // to the compressor pool and ref decisions straight to reassembly.
+        let dedup_handle = {
+            let rx = rx_hashed;
+            let tx_unique = tx_unique.clone();
+            s.spawn(move || {
+                let mut table: HashMap<Digest, u32> = HashMap::new();
+                let mut pendings: HashMap<usize, Digest> = HashMap::new();
+                let mut next = 0usize;
+                let mut decisions: Vec<(usize, Option<u32>, Digest)> = Vec::new();
+                while let Ok((i, digest)) = rx.recv() {
+                    pendings.insert(i, digest);
+                    while let Some(d) = pendings.remove(&next) {
+                        let decision = match table.get(&d) {
+                            Some(&idx) => (next, Some(idx), d),
+                            None => {
+                                let idx = table.len() as u32;
+                                table.insert(d, idx);
+                                let _ = tx_unique.send((next, idx));
+                                (next, None, d)
+                            }
+                        };
+                        decisions.push(decision);
+                        next += 1;
+                    }
+                }
+                decisions
+            })
+        };
+        drop(tx_unique);
+
+        // Stage 4: compressor pool (unique chunks only).
+        for _ in 0..compressors {
+            let rx = rx_unique.clone();
+            let tx = tx_comp.clone();
+            let ranges = &ranges;
+            s.spawn(move || {
+                while let Ok((i, uidx)) = rx.recv() {
+                    let chunk = &data[ranges[i].clone()];
+                    let digest = sha1::sha1(chunk);
+                    let compressed = lzss::compress(chunk);
+                    if tx.send((i, uidx, digest, compressed)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(rx_unique);
+        drop(tx_comp);
+
+        // Stage 5: reassembler (this thread): collect compressed uniques,
+        // then stitch entries in order using the dedup decisions.
+        let mut compressed: HashMap<usize, (Digest, Vec<u8>)> = HashMap::new();
+        while let Ok((i, _uidx, digest, comp)) = rx_comp.recv() {
+            compressed.insert(i, (digest, comp));
+        }
+        let decisions = dedup_handle.join().expect("dedup thread");
+        let mut entries = Vec::with_capacity(n_chunks);
+        for (i, reuse, _digest) in decisions {
+            match reuse {
+                Some(idx) => entries.push(Entry::Ref { index: idx }),
+                None => {
+                    let (digest, comp) = compressed.remove(&i).expect("compressed unique");
+                    entries.push(Entry::Unique {
+                        digest,
+                        compressed: comp,
+                    });
+                }
+            }
+        }
+        Archive { entries }
+    })
+}
+
+/// Serialization-sets version: hash epoch → program-context dedup →
+/// compress epoch.
+pub fn ss(shared: &ReadOnly<Vec<u8>>, rt: &Runtime) -> Archive {
+    let data: &[u8] = shared.get();
+    let ranges = chunking::chunk_ranges(data);
+    let n_chunks = ranges.len();
+    if n_chunks == 0 {
+        return Archive::default();
+    }
+    let shared_ranges = ReadOnly::new(ranges.clone());
+    let parts = (rt.delegate_threads().max(1) * 8).max(1);
+
+    // Epoch 1: digest blocks of chunks.
+    struct HashBlock {
+        chunks: std::ops::Range<usize>,
+        data: ReadOnly<Vec<u8>>,
+        ranges: ReadOnly<Vec<std::ops::Range<usize>>>,
+        digests: Vec<Digest>,
+    }
+    let blocks: Vec<Writable<HashBlock, SequenceSerializer>> = even_ranges(n_chunks, parts)
+        .into_iter()
+        .map(|chunks| {
+            Writable::new(
+                rt,
+                HashBlock {
+                    digests: Vec::with_capacity(chunks.len()),
+                    chunks,
+                    data: shared.clone(),
+                    ranges: shared_ranges.clone(),
+                },
+            )
+        })
+        .collect();
+    rt.begin_isolation().expect("begin epoch 1");
+    doall(&blocks, |b| {
+        let data = b.data.get();
+        for ci in b.chunks.clone() {
+            let r = b.ranges.get()[ci].clone();
+            b.digests.push(sha1::sha1(&data[r]));
+        }
+    })
+    .expect("doall hash");
+    rt.end_isolation().expect("end epoch 1");
+
+    // Aggregation: dedup table in the program context — no lock, sequential
+    // semantics (§2.2 technique 3).
+    let mut digests = Vec::with_capacity(n_chunks);
+    for b in &blocks {
+        b.call(|blk| digests.extend_from_slice(&blk.digests)).expect("gather digests");
+    }
+    let mut table: HashMap<Digest, u32> = HashMap::new();
+    // decision[i] = Err(unique_rank) for first occurrences, Ok(ref idx) else.
+    let mut decisions: Vec<Result<u32, u32>> = Vec::with_capacity(n_chunks);
+    let mut unique_ids: Vec<usize> = Vec::new(); // chunk index of each unique
+    for (i, d) in digests.iter().enumerate() {
+        match table.get(d) {
+            Some(&idx) => decisions.push(Ok(idx)),
+            None => {
+                let idx = table.len() as u32;
+                table.insert(*d, idx);
+                decisions.push(Err(idx));
+                unique_ids.push(i);
+            }
+        }
+    }
+
+    // Epoch 2: compress unique chunks (new partition, same machinery).
+    struct CompressBlock {
+        uniques: Vec<usize>, // chunk indices
+        data: ReadOnly<Vec<u8>>,
+        ranges: ReadOnly<Vec<std::ops::Range<usize>>>,
+        out: Vec<Vec<u8>>,
+    }
+    let cblocks: Vec<Writable<CompressBlock, SequenceSerializer>> =
+        even_ranges(unique_ids.len(), parts)
+            .into_iter()
+            .map(|r| {
+                Writable::new(
+                    rt,
+                    CompressBlock {
+                        uniques: unique_ids[r].to_vec(),
+                        data: shared.clone(),
+                        ranges: shared_ranges.clone(),
+                        out: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+    rt.begin_isolation().expect("begin epoch 2");
+    doall(&cblocks, |b| {
+        let data = b.data.get();
+        for &ci in &b.uniques {
+            let r = b.ranges.get()[ci].clone();
+            b.out.push(lzss::compress(&data[r]));
+        }
+    })
+    .expect("doall compress");
+    rt.end_isolation().expect("end epoch 2");
+
+    // Assemble in original order.
+    let mut compressed: HashMap<usize, Vec<u8>> = HashMap::new();
+    for b in &cblocks {
+        b.call(|blk| {
+            for (ci, comp) in blk.uniques.iter().zip(&blk.out) {
+                compressed.insert(*ci, comp.clone());
+            }
+        })
+        .expect("gather compressed");
+    }
+    let entries = decisions
+        .iter()
+        .enumerate()
+        .map(|(i, d)| match d {
+            Ok(idx) => Entry::Ref { index: *idx },
+            Err(_) => Entry::Unique {
+                digest: digests[i],
+                compressed: compressed.remove(&i).expect("unique compressed"),
+            },
+        })
+        .collect();
+    Archive { entries }
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(a: &Archive) -> u64 {
+    let mut fp = Fingerprint::new();
+    for e in &a.entries {
+        match e {
+            Entry::Unique { digest, compressed } => {
+                fp.update(&[1]);
+                fp.update(digest);
+                fp.update(compressed);
+            }
+            Entry::Ref { index } => {
+                fp.update(&[2]);
+                fp.update_u64(*index as u64);
+            }
+        }
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    data: ReadOnly<Vec<u8>>,
+}
+
+impl Bench {
+    /// Generates the input stream for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        Bench {
+            data: ReadOnly::new(ss_workloads::stream::stream(&ss_workloads::scale::dedup(
+                scale,
+            ))),
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "dedup"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.data))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.data, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.data, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::stream::{stream, StreamParams};
+
+    fn input(bytes: usize, dup: f64) -> Vec<u8> {
+        stream(&StreamParams {
+            bytes,
+            dup_fraction: dup,
+            seed: 77,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn roundtrip_restores_the_stream() {
+        let data = input(300_000, 0.5);
+        let archive = seq(&data);
+        assert_eq!(restore(&archive).unwrap(), data);
+    }
+
+    #[test]
+    fn duplicates_are_eliminated() {
+        let data = input(400_000, 0.7);
+        let archive = seq(&data);
+        let refs = archive.entries.len() - archive.unique_chunks();
+        assert!(refs > 0, "no duplicate chunks found");
+        assert!(
+            archive.compressed_bytes() < data.len(),
+            "archive not smaller: {} vs {}",
+            archive.compressed_bytes(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn implementations_agree_bytewise() {
+        let data = input(250_000, 0.5);
+        let a = seq(&data);
+        let b = cp(&data, 4);
+        assert_eq!(a, b);
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let c = ss(&ReadOnly::new(data.clone()), &rt);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let data = input(150_000, 0.4);
+        let expected = seq(&data);
+        let shared = ReadOnly::new(data);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(seq(&[]), Archive::default());
+        assert_eq!(cp(&[], 3), Archive::default());
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert_eq!(ss(&ReadOnly::new(vec![]), &rt), Archive::default());
+        assert_eq!(restore(&Archive::default()).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corrupted_archive_is_rejected() {
+        let data = input(100_000, 0.3);
+        let mut archive = seq(&data);
+        // Flip a byte in the first unique chunk's compressed body.
+        for e in &mut archive.entries {
+            if let Entry::Unique { compressed, .. } = e {
+                if compressed.len() > 8 {
+                    compressed[8] ^= 0xFF;
+                    break;
+                }
+            }
+        }
+        assert!(restore(&archive).is_none());
+    }
+
+    #[test]
+    fn dangling_ref_is_rejected() {
+        let archive = Archive {
+            entries: vec![Entry::Ref { index: 3 }],
+        };
+        assert!(restore(&archive).is_none());
+    }
+}

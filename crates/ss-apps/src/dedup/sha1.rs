@@ -1,0 +1,114 @@
+//! SHA-1, from scratch (FIPS 180-1).
+//!
+//! PARSEC's dedup fingerprints chunks with SHA-1; building it here keeps the
+//! pipeline faithful without external dependencies. Collision resistance is
+//! not a goal (dedup uses it as a content fingerprint, as the original does).
+
+/// A 160-bit SHA-1 digest.
+pub type Digest = [u8; 20];
+
+const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = H0;
+    let ml = (data.len() as u64).wrapping_mul(8);
+
+    // Process all complete blocks of the message proper.
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        process_block(&mut h, block.try_into().unwrap());
+    }
+
+    // Padding: 0x80, zeros, 64-bit big-endian length.
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_blocks = if rem.len() + 9 <= 64 { 1 } else { 2 };
+    tail[tail_blocks * 64 - 8..tail_blocks * 64].copy_from_slice(&ml.to_be_bytes());
+    for i in 0..tail_blocks {
+        process_block(&mut h, tail[i * 64..(i + 1) * 64].try_into().unwrap());
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+fn process_block(h: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, word) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(word.try_into().unwrap());
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+            20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+            _ => (b ^ c ^ d, 0xCA62C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+}
+
+/// Hex rendering for diagnostics.
+pub fn hex(d: &Digest) -> String {
+    d.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        // One million 'a's.
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha1(&million)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths around the 64-byte boundary exercise the padding logic.
+        for len in [55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x5Au8; len];
+            let d = sha1(&data);
+            // Self-consistency: same input, same digest; nearby length differs.
+            assert_eq!(d, sha1(&data), "len {len}");
+            let mut data2 = data.clone();
+            data2.push(0);
+            assert_ne!(d, sha1(&data2), "len {len}");
+        }
+    }
+}

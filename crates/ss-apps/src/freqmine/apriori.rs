@@ -1,0 +1,124 @@
+//! Apriori (Agrawal & Srikant, VLDB 1994) — the brute-force oracle used to
+//! cross-check FP-growth on small inputs. Level-wise candidate generation
+//! with subset pruning; exponential in the worst case, so tests keep inputs
+//! small.
+
+use std::collections::{HashMap, HashSet};
+
+use ss_workloads::transactions::Transaction;
+
+use super::fptree::{canonicalize, Pattern};
+
+/// Mines all frequent itemsets with support ≥ `min_support`.
+pub fn mine(txs: &[Transaction], min_support: u32) -> Vec<Pattern> {
+    let mut out: Vec<Pattern> = Vec::new();
+
+    // L1.
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for tx in txs {
+        for &i in tx {
+            *counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut level: Vec<Vec<u32>> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_support)
+        .map(|(&i, _)| vec![i])
+        .collect();
+    level.sort();
+    for items in &level {
+        out.push((items.clone(), counts[&items[0]]));
+    }
+
+    // Lk from Lk-1.
+    while !level.is_empty() {
+        let prev: HashSet<Vec<u32>> = level.iter().cloned().collect();
+        let mut candidates: HashSet<Vec<u32>> = HashSet::new();
+        for (i, a) in level.iter().enumerate() {
+            for b in level.iter().skip(i + 1) {
+                // Join step: same prefix, different last item.
+                if a[..a.len() - 1] == b[..b.len() - 1] {
+                    let mut c = a.clone();
+                    c.push(*b.last().unwrap());
+                    c.sort_unstable();
+                    // Prune step: all (k-1)-subsets must be frequent.
+                    let all_frequent = (0..c.len()).all(|skip| {
+                        let mut sub = c.clone();
+                        sub.remove(skip);
+                        prev.contains(&sub)
+                    });
+                    if all_frequent {
+                        candidates.insert(c);
+                    }
+                }
+            }
+        }
+        // Count supports.
+        let mut next = Vec::new();
+        for c in candidates {
+            let support = txs
+                .iter()
+                .filter(|tx| c.iter().all(|i| tx.binary_search(i).is_ok()))
+                .count() as u32;
+            if support >= min_support {
+                out.push((c.clone(), support));
+                next.push(c);
+            }
+        }
+        next.sort();
+        level = next;
+    }
+    canonicalize(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed_example() {
+        let txs = vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ];
+        let got = mine(&txs, 3);
+        assert!(got.contains(&(vec![2], 7)));
+        assert!(got.contains(&(vec![1, 2], 4)));
+        assert!(!got.iter().any(|(items, _)| items == &vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn agrees_with_fpgrowth_on_random_inputs() {
+        use ss_workloads::transactions::{transactions, TxParams};
+        for seed in [1, 2, 3] {
+            let txs = transactions(&TxParams {
+                count: 150,
+                items: 25,
+                patterns: 6,
+                pattern_len: 3,
+                patterns_per_tx: 2,
+                corruption: 0.2,
+                seed,
+            });
+            let min_support = 8;
+            let apriori = mine(&txs, min_support);
+            let tree = super::super::fptree::from_transactions(&txs, min_support);
+            let mut fp = Vec::new();
+            tree.mine_into(&[], &mut fp);
+            let fp = canonicalize(fp);
+            assert_eq!(apriori, fp, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mine(&[], 1).is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! FP-tree and FP-growth frequent-itemset mining (Han, Pei & Yin, SIGMOD
+//! 2000) — the algorithm behind PARSEC's `freqmine`.
+//!
+//! The tree is an arena of nodes (indices instead of `Rc`), which makes it
+//! `Send + Sync` so one immutable tree can be shared read-only across
+//! executors — the top-level mining loop parallelizes over items, each item
+//! mining its conditional pattern base independently.
+
+use std::collections::HashMap;
+
+use ss_workloads::transactions::Transaction;
+
+/// Itemset with its support count.
+pub type Pattern = (Vec<u32>, u32);
+
+#[derive(Debug, Clone)]
+struct FpNode {
+    item: u32,
+    count: u32,
+    parent: u32,
+    children: HashMap<u32, u32>,
+}
+
+/// An FP-tree over a transaction database (or a conditional pattern base).
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// item → indices of all nodes carrying that item.
+    headers: HashMap<u32, Vec<u32>>,
+    /// Frequent items in canonical order (descending support, ascending id).
+    order: Vec<u32>,
+    min_support: u32,
+}
+
+const ROOT: u32 = 0;
+
+impl FpTree {
+    /// Builds the tree from weighted transactions (weight 1 each for the
+    /// initial database; conditional bases carry node counts).
+    pub fn build(transactions: &[(Vec<u32>, u32)], min_support: u32) -> FpTree {
+        // Pass 1: item supports.
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for (tx, w) in transactions {
+            for &i in tx {
+                *counts.entry(i).or_insert(0) += w;
+            }
+        }
+        // Canonical frequent-item order.
+        let mut order: Vec<u32> = counts
+            .iter()
+            .filter(|(_, &c)| c >= min_support)
+            .map(|(&i, _)| i)
+            .collect();
+        order.sort_by(|a, b| counts[b].cmp(&counts[a]).then(a.cmp(b)));
+        let rank: HashMap<u32, usize> =
+            order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
+
+        let mut tree = FpTree {
+            nodes: vec![FpNode {
+                item: u32::MAX,
+                count: 0,
+                parent: u32::MAX,
+                children: HashMap::new(),
+            }],
+            headers: HashMap::new(),
+            order,
+            min_support,
+        };
+
+        // Pass 2: insert filtered, rank-sorted transactions.
+        for (tx, w) in transactions {
+            let mut items: Vec<u32> = tx.iter().copied().filter(|i| rank.contains_key(i)).collect();
+            items.sort_by_key(|i| rank[i]);
+            tree.insert(&items, *w);
+        }
+        tree
+    }
+
+    fn insert(&mut self, items: &[u32], weight: u32) {
+        let mut at = ROOT;
+        for &item in items {
+            let next = match self.nodes[at as usize].children.get(&item) {
+                Some(&c) => {
+                    self.nodes[c as usize].count += weight;
+                    c
+                }
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(FpNode {
+                        item,
+                        count: weight,
+                        parent: at,
+                        children: HashMap::new(),
+                    });
+                    self.nodes[at as usize].children.insert(item, idx);
+                    self.headers.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            at = next;
+        }
+    }
+
+    /// Frequent items in canonical order.
+    pub fn items(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Total nodes (diagnostic).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no transaction contributed a frequent item.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Support of `item` in this tree.
+    pub fn support(&self, item: u32) -> u32 {
+        self.headers
+            .get(&item)
+            .map(|ns| ns.iter().map(|&n| self.nodes[n as usize].count).sum())
+            .unwrap_or(0)
+    }
+
+    /// The conditional pattern base of `item`: prefix paths with the counts
+    /// of the item's nodes.
+    pub fn conditional_base(&self, item: u32) -> Vec<(Vec<u32>, u32)> {
+        let mut base = Vec::new();
+        if let Some(nodes) = self.headers.get(&item) {
+            for &n in nodes {
+                let count = self.nodes[n as usize].count;
+                let mut path = Vec::new();
+                let mut at = self.nodes[n as usize].parent;
+                while at != ROOT && at != u32::MAX {
+                    path.push(self.nodes[at as usize].item);
+                    at = self.nodes[at as usize].parent;
+                }
+                if !path.is_empty() {
+                    path.reverse();
+                    base.push((path, count));
+                }
+            }
+        }
+        base
+    }
+
+    /// Mines all frequent patterns that end with `suffix` (empty for the
+    /// whole database), appending to `out`.
+    pub fn mine_into(&self, suffix: &[u32], out: &mut Vec<Pattern>) {
+        for &item in self.order.iter().rev() {
+            let support = self.support(item);
+            if support < self.min_support {
+                continue;
+            }
+            let mut itemset = suffix.to_vec();
+            itemset.push(item);
+            itemset.sort_unstable();
+            out.push((itemset.clone(), support));
+
+            let base = self.conditional_base(item);
+            if !base.is_empty() {
+                let cond = FpTree::build(&base, self.min_support);
+                if !cond.is_empty() {
+                    itemset.sort_unstable();
+                    cond.mine_into(&itemset, out);
+                }
+            }
+        }
+    }
+
+    /// Mines the patterns for a *single* top-level item (the parallel unit:
+    /// each item's conditional tree is independent).
+    pub fn mine_item(&self, item: u32) -> Vec<Pattern> {
+        let mut out = Vec::new();
+        let support = self.support(item);
+        if support < self.min_support {
+            return out;
+        }
+        out.push((vec![item], support));
+        let base = self.conditional_base(item);
+        if !base.is_empty() {
+            let cond = FpTree::build(&base, self.min_support);
+            if !cond.is_empty() {
+                cond.mine_into(&[item], &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: builds the tree from unweighted transactions.
+pub fn from_transactions(txs: &[Transaction], min_support: u32) -> FpTree {
+    let weighted: Vec<(Vec<u32>, u32)> = txs.iter().map(|t| (t.clone(), 1)).collect();
+    FpTree::build(&weighted, min_support)
+}
+
+/// Canonical pattern ordering: by itemset lexicographically.
+pub fn canonicalize(mut patterns: Vec<Pattern>) -> Vec<Pattern> {
+    for (items, _) in &mut patterns {
+        items.sort_unstable();
+    }
+    patterns.sort();
+    patterns.dedup();
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic FP-growth example from Han et al.'s paper.
+    fn textbook_db() -> Vec<Transaction> {
+        vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]
+    }
+
+    #[test]
+    fn single_item_supports() {
+        let tree = from_transactions(&textbook_db(), 3);
+        assert_eq!(tree.support(2), 7);
+        assert_eq!(tree.support(1), 6);
+        assert_eq!(tree.support(3), 6);
+        // Items below min_support are pruned at build time, so the tree
+        // reports no support for them at all.
+        assert_eq!(tree.support(4), 0);
+        assert_eq!(tree.support(5), 0);
+    }
+
+    #[test]
+    fn textbook_patterns() {
+        let tree = from_transactions(&textbook_db(), 3);
+        let mut out = Vec::new();
+        tree.mine_into(&[], &mut out);
+        let got = canonicalize(out);
+        // Known frequent itemsets at min_support 3.
+        let expect: Vec<Pattern> = canonicalize(vec![
+            (vec![1], 6),
+            (vec![2], 7),
+            (vec![3], 6),
+            (vec![1, 2], 4),
+            (vec![1, 3], 4),
+            (vec![2, 3], 4),
+            (vec![1, 2, 3], 2), // support 2 < 3: must NOT appear
+        ])
+        .into_iter()
+        .filter(|(_, s)| *s >= 3)
+        .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn per_item_mining_unions_to_full_mining() {
+        let tree = from_transactions(&textbook_db(), 3);
+        let mut whole = Vec::new();
+        tree.mine_into(&[], &mut whole);
+        let whole = canonicalize(whole);
+
+        let mut pieces = Vec::new();
+        for &item in tree.items() {
+            pieces.extend(tree.mine_item(item));
+        }
+        assert_eq!(canonicalize(pieces), whole);
+    }
+
+    #[test]
+    fn empty_database() {
+        let tree = from_transactions(&[], 2);
+        assert!(tree.is_empty());
+        let mut out = Vec::new();
+        tree.mine_into(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn min_support_one_enumerates_everything_present() {
+        let tree = from_transactions(&[vec![1, 2], vec![1]], 1);
+        let mut out = Vec::new();
+        tree.mine_into(&[], &mut out);
+        let got = canonicalize(out);
+        assert_eq!(
+            got,
+            vec![(vec![1], 2), (vec![1, 2], 1), (vec![2], 1)]
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! freqmine — PARSEC's frequent-itemset mining benchmark (Table 2).
+//!
+//! FP-growth over a synthetic retail-basket database. The FP-tree is built
+//! sequentially (as in the original), then the top-level mining loop — one
+//! conditional pattern base per frequent item — is the parallel section:
+//!
+//! * the conventional baseline partitions the item list across threads
+//!   (the OpenMP `parallel for` of the original);
+//! * the serialization-sets version shares the tree read-only, wraps each
+//!   item's mining task in a `Writable` delegated in its own set, and
+//!   collects patterns through a `ReducibleVec`.
+//!
+//! Submodules: [`fptree`] (the miner) and [`apriori`] (the brute-force
+//! oracle the tests cross-check against).
+
+pub mod apriori;
+pub mod fptree;
+
+use ss_collections::ReducibleVec;
+use ss_core::{ReadOnly, Runtime, SequenceSerializer, Writable};
+use ss_workloads::transactions::Transaction;
+
+use crate::common::{even_ranges, Fingerprint};
+use fptree::{canonicalize, from_transactions, FpTree, Pattern};
+
+/// Support threshold as a fraction of the database size (2%).
+pub const SUPPORT_FRACTION: f64 = 0.02;
+
+/// Derives the absolute support threshold for a database.
+pub fn min_support(txs: &[Transaction]) -> u32 {
+    ((txs.len() as f64 * SUPPORT_FRACTION).ceil() as u32).max(2)
+}
+
+/// Sequential oracle.
+pub fn seq(txs: &[Transaction]) -> Vec<Pattern> {
+    let tree = from_transactions(txs, min_support(txs));
+    let mut out = Vec::new();
+    tree.mine_into(&[], &mut out);
+    canonicalize(out)
+}
+
+/// Conventional-parallel baseline: the item list chunked across threads,
+/// each mining its items' conditional trees against the shared read-only
+/// FP-tree.
+pub fn cp(txs: &[Transaction], threads: usize) -> Vec<Pattern> {
+    let tree = from_transactions(txs, min_support(txs));
+    let items = tree.items().to_vec();
+    let ranges = even_ranges(items.len(), threads.max(1));
+    let piles: Vec<Vec<Pattern>> = std::thread::scope(|s| {
+        let tree = &tree;
+        let items = &items;
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for &item in &items[r] {
+                        out.extend(tree.mine_item(item));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    canonicalize(piles.into_iter().flatten().collect())
+}
+
+/// Serialization-sets version: one delegated mining task per frequent item.
+pub fn ss(txs: &[Transaction], rt: &Runtime) -> Vec<Pattern> {
+    let tree = ReadOnly::new(from_transactions(txs, min_support(txs)));
+    let results: ReducibleVec<Pattern> = ReducibleVec::new(rt);
+    struct MineTask {
+        item: u32,
+        tree: ReadOnly<FpTree>,
+        results: ReducibleVec<Pattern>,
+    }
+    let tasks: Vec<Writable<MineTask, SequenceSerializer>> = tree
+        .get()
+        .items()
+        .iter()
+        .map(|&item| {
+            Writable::new(
+                rt,
+                MineTask {
+                    item,
+                    tree: tree.clone(),
+                    results: results.clone(),
+                },
+            )
+        })
+        .collect();
+
+    rt.begin_isolation().expect("begin_isolation");
+    for t in &tasks {
+        t.delegate(|task| {
+            let mined = task.tree.get().mine_item(task.item);
+            task.results.extend(mined).expect("collect patterns");
+        })
+        .expect("delegate mine");
+    }
+    rt.end_isolation().expect("end_isolation");
+
+    canonicalize(results.take().expect("take patterns"))
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(patterns: &[Pattern]) -> u64 {
+    let mut fp = Fingerprint::new();
+    for (items, support) in patterns {
+        for &i in items {
+            fp.update_u64(i as u64);
+        }
+        fp.update_u64(u64::MAX); // separator
+        fp.update_u64(*support as u64);
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    txs: Vec<Transaction>,
+}
+
+impl Bench {
+    /// Generates the transaction database for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        Bench {
+            txs: ss_workloads::transactions::transactions(&ss_workloads::scale::freqmine(scale)),
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "freqmine"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.txs))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.txs, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.txs, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::transactions::{transactions, TxParams};
+
+    fn db() -> Vec<Transaction> {
+        transactions(&TxParams {
+            count: 800,
+            items: 120,
+            patterns: 15,
+            pattern_len: 4,
+            patterns_per_tx: 2,
+            corruption: 0.15,
+            seed: 55,
+        })
+    }
+
+    #[test]
+    fn finds_patterns() {
+        let txs = db();
+        let patterns = seq(&txs);
+        assert!(!patterns.is_empty());
+        // Some multi-item pattern should be frequent (the generator seeds
+        // them deliberately).
+        assert!(patterns.iter().any(|(items, _)| items.len() >= 2));
+    }
+
+    #[test]
+    fn implementations_agree() {
+        let txs = db();
+        let a = seq(&txs);
+        assert_eq!(a, cp(&txs, 3));
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        assert_eq!(a, ss(&txs, &rt));
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let txs = db();
+        let expected = seq(&txs);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert_eq!(ss(&txs, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_apriori_oracle() {
+        let txs = transactions(&TxParams {
+            count: 200,
+            items: 30,
+            patterns: 5,
+            pattern_len: 3,
+            patterns_per_tx: 2,
+            corruption: 0.2,
+            seed: 99,
+        });
+        let tree = from_transactions(&txs, min_support(&txs));
+        let mut fp = Vec::new();
+        tree.mine_into(&[], &mut fp);
+        assert_eq!(canonicalize(fp), apriori::mine(&txs, min_support(&txs)));
+    }
+
+    #[test]
+    fn supports_never_below_threshold() {
+        let txs = db();
+        let ms = min_support(&txs);
+        for (items, support) in seq(&txs) {
+            assert!(support >= ms, "{items:?} has support {support} < {ms}");
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        assert!(seq(&[]).is_empty());
+        assert!(cp(&[], 2).is_empty());
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert!(ss(&[], &rt).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! histogram — Phoenix's bitmap colour-histogram benchmark (Table 2).
+//!
+//! Tally the 256-bin intensity histogram of each RGB channel. The
+//! serialization-sets version scans row bands in delegated operations that
+//! accumulate into a [`ReducibleHistogram`] — the paper notes histogram's
+//! reduction time is "negligible" (Figure 5a), which our `fig5a_breakdown`
+//! harness confirms for this port.
+
+use ss_collections::ReducibleHistogram;
+use ss_core::{doall, ReadOnly, Runtime, SequenceSerializer, Writable};
+use ss_workloads::bitmap::Bitmap;
+
+use crate::common::{even_ranges, Fingerprint};
+
+/// Per-channel histograms: `[blue, green, red]`, 256 bins each (BMP pixel
+/// order is BGR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histograms {
+    /// Blue-channel bins.
+    pub blue: Vec<u64>,
+    /// Green-channel bins.
+    pub green: Vec<u64>,
+    /// Red-channel bins.
+    pub red: Vec<u64>,
+}
+
+impl Histograms {
+    fn zero() -> Self {
+        Histograms {
+            blue: vec![0; 256],
+            green: vec![0; 256],
+            red: vec![0; 256],
+        }
+    }
+
+    fn merge(&mut self, other: &Histograms) {
+        for (a, b) in self.blue.iter_mut().zip(&other.blue) {
+            *a += b;
+        }
+        for (a, b) in self.green.iter_mut().zip(&other.green) {
+            *a += b;
+        }
+        for (a, b) in self.red.iter_mut().zip(&other.red) {
+            *a += b;
+        }
+    }
+}
+
+fn tally(pixels: &[u8], h: &mut Histograms) {
+    for px in pixels.chunks_exact(3) {
+        h.blue[px[0] as usize] += 1;
+        h.green[px[1] as usize] += 1;
+        h.red[px[2] as usize] += 1;
+    }
+}
+
+/// Sequential oracle.
+pub fn seq(img: &Bitmap) -> Histograms {
+    let mut h = Histograms::zero();
+    tally(&img.data, &mut h);
+    h
+}
+
+/// Conventional-parallel baseline: chunk the pixel array across threads,
+/// merge local histograms at the end (Phoenix structure).
+pub fn cp(img: &Bitmap, threads: usize) -> Histograms {
+    let px_count = img.pixels();
+    let ranges = even_ranges(px_count, threads.max(1));
+    let locals: Vec<Histograms> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let data = &img.data[r.start * 3..r.end * 3];
+                s.spawn(move || {
+                    let mut h = Histograms::zero();
+                    tally(data, &mut h);
+                    h
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total = Histograms::zero();
+    for l in &locals {
+        total.merge(l);
+    }
+    total
+}
+
+/// Serialization-sets version: `doall` over row bands, accumulating into one
+/// 768-bin reducible histogram (b: 0..256, g: 256..512, r: 512..768).
+/// Takes the image pre-wrapped in [`ReadOnly`] (wrapped once at load time).
+pub fn ss(img: &ReadOnly<Bitmap>, rt: &Runtime) -> Histograms {
+    let hist = ReducibleHistogram::new(rt, 768);
+    let bands = (rt.delegate_threads().max(1) * 8).max(1);
+    struct Band {
+        range: std::ops::Range<usize>, // pixel indices
+        data: ReadOnly<Bitmap>,
+        hist: ReducibleHistogram,
+    }
+    let bands: Vec<Writable<Band, SequenceSerializer>> = even_ranges(img.get().pixels(), bands)
+        .into_iter()
+        .map(|range| {
+            Writable::new(
+                rt,
+                Band {
+                    range,
+                    data: img.clone(),
+                    hist: hist.clone(),
+                },
+            )
+        })
+        .collect();
+
+    rt.begin_isolation().expect("begin_isolation");
+    doall(&bands, |band| {
+        let px = &band.data.get().data[band.range.start * 3..band.range.end * 3];
+        band.hist
+            .with_bins(|bins| {
+                for p in px.chunks_exact(3) {
+                    bins[p[0] as usize] += 1;
+                    bins[256 + p[1] as usize] += 1;
+                    bins[512 + p[2] as usize] += 1;
+                }
+            })
+            .expect("histogram view");
+    })
+    .expect("doall");
+    rt.end_isolation().expect("end_isolation");
+
+    let bins = hist.take().expect("take histogram");
+    Histograms {
+        blue: bins[0..256].to_vec(),
+        green: bins[256..512].to_vec(),
+        red: bins[512..768].to_vec(),
+    }
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(h: &Histograms) -> u64 {
+    let mut fp = Fingerprint::new();
+    for bins in [&h.blue, &h.green, &h.red] {
+        for &b in bins {
+            fp.update_u64(b);
+        }
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    img: ReadOnly<Bitmap>,
+}
+
+impl Bench {
+    /// Generates the input bitmap for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        Bench {
+            img: ReadOnly::new(ss_workloads::scale::histogram_bitmap(scale)),
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.img))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.img, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.img, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::bitmap::bitmap;
+
+    #[test]
+    fn totals_equal_pixel_count() {
+        let img = bitmap(100, 40, 1);
+        let h = seq(&img);
+        for bins in [&h.blue, &h.green, &h.red] {
+            assert_eq!(bins.iter().sum::<u64>(), 4000);
+        }
+    }
+
+    #[test]
+    fn implementations_agree_exactly() {
+        let img = bitmap(257, 33, 5); // deliberately odd dimensions
+        let a = seq(&img);
+        assert_eq!(a, cp(&img, 3));
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        assert_eq!(a, ss(&ReadOnly::new(img.clone()), &rt));
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let img = bitmap(64, 64, 9);
+        let expected = seq(&img);
+        let shared = ReadOnly::new(img);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn single_pixel_image() {
+        let img = Bitmap {
+            width: 1,
+            height: 1,
+            data: vec![7, 8, 9],
+        };
+        let h = seq(&img);
+        assert_eq!(h.blue[7], 1);
+        assert_eq!(h.green[8], 1);
+        assert_eq!(h.red[9], 1);
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert_eq!(ss(&ReadOnly::new(img), &rt), h);
+    }
+
+    #[test]
+    fn cp_with_more_threads_than_pixels() {
+        let img = bitmap(2, 1, 3);
+        assert_eq!(cp(&img, 16), seq(&img));
+    }
+}

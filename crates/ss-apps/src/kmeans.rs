@@ -1,0 +1,454 @@
+//! kmeans — NU-MineBench's clustering benchmark (Table 2).
+//!
+//! Lloyd's algorithm with a fixed iteration count (deterministic across
+//! implementations). The paper is candid that its Prometheus port used "an
+//! inferior algorithm": "The original benchmark iterates over the points and
+//! updates the cluster points at the same time. The Prometheus implementation
+//! iterates over the data points and cluster points separately. We believe we
+//! can reduce the performance difference by computing partial sums of the
+//! cluster means during clustering, and using a reduction…" (§5.1).
+//!
+//! Both versions are implemented: [`ss_paper`] (two separate passes — the
+//! version the paper measured) and [`ss`] (the reduction-based version the
+//! paper proposed as future work). The `ablation_kmeans` bench compares them.
+
+use ss_collections::ReducibleVec;
+use ss_core::{doall, ReadOnly, Reduce, Reducible, Runtime, SequenceSerializer, Writable};
+use ss_workloads::points::PointSet;
+
+use crate::common::{approx_eq, even_ranges, Fingerprint};
+
+/// Fixed Lloyd iterations (paper-style fixed work per input).
+pub const ITERATIONS: usize = 10;
+
+/// Clustering result: final centroids and cluster populations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// `k × dims` centroid coordinates.
+    pub centroids: Vec<Vec<f64>>,
+    /// Points assigned to each centroid in the last iteration.
+    pub counts: Vec<usize>,
+}
+
+impl Clustering {
+    /// Tolerant comparison: centroid sums are accumulated in different
+    /// orders by different implementations.
+    pub fn approx_eq(&self, other: &Clustering, rel: f64) -> bool {
+        self.counts == other.counts
+            && self.centroids.len() == other.centroids.len()
+            && self
+                .centroids
+                .iter()
+                .zip(&other.centroids)
+                .all(|(a, b)| a.iter().zip(b).all(|(x, y)| approx_eq(*x, *y, rel)))
+    }
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[inline]
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(c, p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Deterministic initialization: the first `k` points.
+fn init_centroids(ps: &PointSet, k: usize) -> Vec<Vec<f64>> {
+    (0..k.min(ps.n)).map(|i| ps.point(i).to_vec()).collect()
+}
+
+fn finalize(sums: Vec<Vec<f64>>, counts: Vec<usize>, old: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    sums.into_iter()
+        .zip(&counts)
+        .zip(old)
+        .map(|((s, &c), prev)| {
+            if c == 0 {
+                prev.clone() // empty cluster keeps its centroid
+            } else {
+                s.into_iter().map(|x| x / c as f64).collect()
+            }
+        })
+        .collect()
+}
+
+/// Sequential oracle: the original benchmark's fused loop (assign + update
+/// "at the same time").
+pub fn seq(ps: &PointSet, k: usize) -> Clustering {
+    let mut centroids = init_centroids(ps, k);
+    let mut counts = vec![0usize; centroids.len()];
+    for _ in 0..ITERATIONS {
+        let mut sums = vec![vec![0.0; ps.dims]; centroids.len()];
+        counts = vec![0; centroids.len()];
+        for i in 0..ps.n {
+            let p = ps.point(i);
+            let c = nearest(&centroids, p);
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        centroids = finalize(sums, counts.clone(), &centroids);
+    }
+    Clustering { centroids, counts }
+}
+
+/// Conventional-parallel baseline (OpenMP structure): chunk points across
+/// threads, thread-local partial sums, merge, recompute centroids.
+pub fn cp(ps: &PointSet, k: usize, threads: usize) -> Clustering {
+    let mut centroids = init_centroids(ps, k);
+    let mut counts = vec![0usize; centroids.len()];
+    let ranges = even_ranges(ps.n, threads.max(1));
+    for _ in 0..ITERATIONS {
+        let partials: Vec<(Vec<Vec<f64>>, Vec<usize>)> = std::thread::scope(|s| {
+            let centroids = &centroids;
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    s.spawn(move || {
+                        let mut sums = vec![vec![0.0; ps.dims]; centroids.len()];
+                        let mut cnt = vec![0usize; centroids.len()];
+                        for i in r {
+                            let p = ps.point(i);
+                            let c = nearest(centroids, p);
+                            cnt[c] += 1;
+                            for (s, x) in sums[c].iter_mut().zip(p) {
+                                *s += x;
+                            }
+                        }
+                        (sums, cnt)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut sums = vec![vec![0.0; ps.dims]; centroids.len()];
+        counts = vec![0; centroids.len()];
+        for (psums, pcnt) in partials {
+            for (acc, s) in sums.iter_mut().zip(psums) {
+                for (a, x) in acc.iter_mut().zip(s) {
+                    *a += x;
+                }
+            }
+            for (a, c) in counts.iter_mut().zip(pcnt) {
+                *a += c;
+            }
+        }
+        centroids = finalize(sums, counts.clone(), &centroids);
+    }
+    Clustering { centroids, counts }
+}
+
+/// Partial sums accumulated by one executor (the reducible of [`ss`]).
+struct PartialSums {
+    sums: Vec<Vec<f64>>,
+    counts: Vec<usize>,
+}
+
+impl Reduce for PartialSums {
+    fn reduce(&mut self, other: Self) {
+        for (acc, s) in self.sums.iter_mut().zip(other.sums) {
+            for (a, x) in acc.iter_mut().zip(s) {
+                *a += x;
+            }
+        }
+        for (a, c) in self.counts.iter_mut().zip(other.counts) {
+            *a += c;
+        }
+    }
+}
+
+/// Serialization-sets version with reduction — the improvement the paper
+/// proposes in §5.1: partial sums are computed during the assignment pass
+/// and merged by a reducible at each epoch boundary.
+pub fn ss(shared: &ReadOnly<PointSet>, k: usize, rt: &Runtime) -> Clustering {
+    let ps: &PointSet = shared.get();
+    let dims = ps.dims;
+    let parts = (rt.delegate_threads().max(1) * 4).max(1);
+    struct Chunk {
+        range: std::ops::Range<usize>,
+        points: ReadOnly<PointSet>,
+        dims: usize,
+        centroids: ReadOnly<Vec<Vec<f64>>>,
+        partial: Reducible<PartialSums>,
+    }
+    let mut centroids = init_centroids(ps, k);
+    let mut counts = vec![0usize; centroids.len()];
+    let kk = centroids.len();
+
+    for _ in 0..ITERATIONS {
+        let partial = Reducible::new(rt, {
+            move || PartialSums {
+                sums: vec![vec![0.0; dims]; kk],
+                counts: vec![0; kk],
+            }
+        });
+        let cent = ReadOnly::new(centroids.clone());
+        let chunks: Vec<Writable<Chunk, SequenceSerializer>> = even_ranges(ps.n, parts)
+            .into_iter()
+            .map(|range| {
+                Writable::new(
+                    rt,
+                    Chunk {
+                        range,
+                        points: shared.clone(),
+                        dims,
+                        centroids: cent.clone(),
+                        partial: partial.clone(),
+                    },
+                )
+            })
+            .collect();
+
+        rt.begin_isolation().expect("begin_isolation");
+        doall(&chunks, |chunk| {
+            let cs = chunk.centroids.get();
+            chunk
+                .partial
+                .view(|acc| {
+                    for i in chunk.range.clone() {
+                        let p = &chunk.points.get().coords[i * chunk.dims..(i + 1) * chunk.dims];
+                        let c = nearest(cs, p);
+                        acc.counts[c] += 1;
+                        for (s, x) in acc.sums[c].iter_mut().zip(p) {
+                            *s += x;
+                        }
+                    }
+                })
+                .expect("partial view");
+        })
+        .expect("doall");
+        rt.end_isolation().expect("end_isolation");
+
+        let merged = partial.take().expect("take partials").expect("nonempty");
+        counts = merged.counts;
+        centroids = finalize(merged.sums, counts.clone(), &centroids);
+    }
+    Clustering { centroids, counts }
+}
+
+/// The paper's measured ("inferior") variant: pass 1 assigns points to
+/// clusters (writing assignments into the chunk objects), pass 2 iterates
+/// the clusters separately to gather sums — "iterates over the data points
+/// and cluster points separately".
+pub fn ss_paper(shared: &ReadOnly<PointSet>, k: usize, rt: &Runtime) -> Clustering {
+    let ps: &PointSet = shared.get();
+    let dims = ps.dims;
+    let parts = (rt.delegate_threads().max(1) * 4).max(1);
+    struct Chunk {
+        range: std::ops::Range<usize>,
+        points: ReadOnly<PointSet>,
+        dims: usize,
+        centroids: ReadOnly<Vec<Vec<f64>>>,
+        assignments: Vec<u32>,
+        results: ReducibleVec<(usize, Vec<u32>)>,
+    }
+    let mut centroids = init_centroids(ps, k);
+    let mut counts = vec![0usize; centroids.len()];
+
+    for _ in 0..ITERATIONS {
+        let cent = ReadOnly::new(centroids.clone());
+        let results: ReducibleVec<(usize, Vec<u32>)> = ReducibleVec::new(rt);
+        let chunks: Vec<Writable<Chunk, SequenceSerializer>> = even_ranges(ps.n, parts)
+            .into_iter()
+            .map(|range| {
+                Writable::new(
+                    rt,
+                    Chunk {
+                        assignments: vec![0; range.len()],
+                        range,
+                        points: shared.clone(),
+                        dims,
+                        centroids: cent.clone(),
+                        results: results.clone(),
+                    },
+                )
+            })
+            .collect();
+
+        // Pass 1 (parallel): assignment only.
+        rt.begin_isolation().expect("begin_isolation");
+        doall(&chunks, |chunk| {
+            let cs = chunk.centroids.get();
+            for (j, i) in chunk.range.clone().enumerate() {
+                let p = &chunk.points.get().coords[i * chunk.dims..(i + 1) * chunk.dims];
+                chunk.assignments[j] = nearest(cs, p) as u32;
+            }
+            chunk
+                .results
+                .push((chunk.range.start, chunk.assignments.clone()))
+                .expect("push assignments");
+        })
+        .expect("doall");
+        rt.end_isolation().expect("end_isolation");
+
+        // Pass 2 (sequential, the "inferior" part): walk clusters separately.
+        let mut assign = vec![0u32; ps.n];
+        for (start, a) in results.take().expect("take") {
+            assign[start..start + a.len()].copy_from_slice(&a);
+        }
+        let mut sums = vec![vec![0.0; dims]; centroids.len()];
+        counts = vec![0; centroids.len()];
+        for i in 0..ps.n {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(ps.point(i)) {
+                *s += x;
+            }
+        }
+        centroids = finalize(sums, counts.clone(), &centroids);
+    }
+    Clustering { centroids, counts }
+}
+
+/// Canonical output fingerprint (floats rounded so legal sum reordering does
+/// not change the value).
+pub fn fingerprint(c: &Clustering) -> u64 {
+    let mut fp = Fingerprint::new();
+    for cnt in &c.counts {
+        fp.update_u64(*cnt as u64);
+    }
+    for cent in &c.centroids {
+        for &x in cent {
+            fp.update_f64_rounded(x, 6);
+        }
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    points: ReadOnly<PointSet>,
+    k: usize,
+}
+
+impl Bench {
+    /// Generates the point cloud for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        let (params, k) = ss_workloads::scale::kmeans(scale);
+        Bench {
+            points: ReadOnly::new(ss_workloads::points::points(&params)),
+            k,
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.points, self.k))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.points, self.k, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.points, self.k, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::points::{points, PointParams};
+
+    fn input() -> PointSet {
+        points(&PointParams {
+            n: 1200,
+            dims: 4,
+            k_true: 6,
+            spread: 1.0,
+            noise: 0.02,
+            seed: 33,
+        })
+    }
+
+    #[test]
+    fn seq_finds_the_generative_clusters() {
+        // Noise-free input: the deterministic init (first k points) then
+        // starts with one point per generative cluster, so Lloyd converges
+        // to the true centers instead of a noise-seeded local optimum.
+        let ps = points(&PointParams {
+            n: 1200,
+            dims: 4,
+            k_true: 6,
+            spread: 1.0,
+            noise: 0.0,
+            seed: 33,
+        });
+        let c = seq(&ps, 6);
+        // Every final centroid should be near a true center.
+        for centroid in &c.centroids {
+            let best = ps
+                .true_centers
+                .iter()
+                .map(|t| dist2(t, centroid).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 8.0, "centroid strayed {best}");
+        }
+        assert_eq!(c.counts.iter().sum::<usize>(), ps.n);
+    }
+
+    #[test]
+    fn implementations_agree_within_tolerance() {
+        let ps = input();
+        let a = seq(&ps, 6);
+        let b = cp(&ps, 6, 3);
+        assert!(a.approx_eq(&b, 1e-9), "cp diverged");
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let shared = ReadOnly::new(ps.clone());
+        let c = ss(&shared, 6, &rt);
+        assert!(a.approx_eq(&c, 1e-9), "ss diverged");
+        let d = ss_paper(&shared, 6, &rt);
+        assert!(a.approx_eq(&d, 1e-9), "ss_paper diverged");
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let ps = input();
+        let expected = seq(&ps, 4);
+        let shared = ReadOnly::new(ps);
+        for delegates in [0, 2] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert!(ss(&shared, 4, &rt).approx_eq(&expected, 1e-9));
+        }
+    }
+
+    #[test]
+    fn more_clusters_than_points_is_handled() {
+        let ps = points(&PointParams {
+            n: 3,
+            dims: 2,
+            k_true: 2,
+            spread: 0.5,
+            noise: 0.0,
+            seed: 1,
+        });
+        let c = seq(&ps, 10);
+        assert_eq!(c.centroids.len(), 3); // clamped to n
+        assert_eq!(c.counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tolerates_reordered_sums() {
+        let ps = input();
+        let rt = Runtime::builder().delegate_threads(3).build().unwrap();
+        assert_eq!(
+            fingerprint(&seq(&ps, 6)),
+            fingerprint(&ss(&ReadOnly::new(ps), 6, &rt)),
+            "rounded fingerprints must match"
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! matmul — the worked example of §2.1, used for the serializer-granularity
+//! ablation.
+//!
+//! "Consider an implementation of matrix multiplication, where a `matrix`
+//! object stores an array of `matrix_element` objects in row-major order. …
+//! the row number could be used as the serializer for each multiply
+//! operation, in order to improve the spatial locality of these operations."
+//!
+//! Three serializer granularities are implemented for C = A × B:
+//!
+//! * [`ss_element`] — every output element its own serialization set (the
+//!   external serializer is the element's flat index): maximal concurrency,
+//!   maximal delegation overhead, false sharing between adjacent elements.
+//! * [`ss_row`] — the row number as the serializer (the paper's
+//!   recommendation): one delegation per (row, op), rows spread across
+//!   delegates, spatially local writes.
+//! * [`ss_row_blocked`] — rows grouped into bands, one delegation per band:
+//!   the coarsest granularity.
+//!
+//! `ablation_serializer` in `ss-bench` measures the three against [`seq`]
+//! and [`cp`].
+
+use ss_core::{NullSerializer, ReadOnly, Runtime, Writable};
+
+use crate::common::{even_ranges, Fingerprint};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Deterministic pseudo-random matrix.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        use rand::RngExt;
+        let mut r = ss_workloads::rng::rng(seed, 0x3A7);
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| r.random_range(-1.0..1.0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+#[inline]
+fn dot_row_col(a: &Matrix, b: &Matrix, r: usize, c: usize) -> f64 {
+    let arow = a.row(r);
+    let mut acc = 0.0;
+    for k in 0..a.cols {
+        acc += arow[k] * b.data[k * b.cols + c];
+    }
+    acc
+}
+
+fn mul_rows_into(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f64]) {
+    for (i, r) in rows.enumerate() {
+        for c in 0..b.cols {
+            out[i * b.cols + c] = dot_row_col(a, b, r, c);
+        }
+    }
+}
+
+/// Sequential oracle.
+pub fn seq(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows);
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    mul_rows_into(a, b, 0..a.rows, &mut out.data);
+    out
+}
+
+/// Conventional-parallel baseline: row bands over scoped threads.
+pub fn cp(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.cols, b.rows);
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    let ranges = even_ranges(a.rows, threads.max(1));
+    std::thread::scope(|s| {
+        let mut rest: &mut [f64] = &mut out.data;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len() * b.cols);
+            rest = tail;
+            let r = r.clone();
+            s.spawn(move || mul_rows_into(a, b, r, head));
+        }
+    });
+    out
+}
+
+/// Element-granularity serialization sets: one delegation per output
+/// element, externally serialized on the element's flat index.
+pub fn ss_element(a: &Matrix, b: &Matrix, rt: &Runtime) -> Matrix {
+    assert_eq!(a.cols, b.rows);
+    let (ra, rb) = (ReadOnly::new(a.clone()), ReadOnly::new(b.clone()));
+    let cells: Vec<Writable<f64, NullSerializer>> =
+        (0..a.rows * b.cols).map(|_| Writable::new(rt, 0.0)).collect();
+    rt.begin_isolation().expect("begin_isolation");
+    for r in 0..a.rows {
+        for c in 0..b.cols {
+            let idx = r * b.cols + c;
+            let (ra, rb) = (ra.clone(), rb.clone());
+            cells[idx]
+                .delegate_in(idx as u64, move |out| {
+                    *out = dot_row_col(ra.get(), rb.get(), r, c);
+                })
+                .expect("delegate element");
+        }
+    }
+    rt.end_isolation().expect("end_isolation");
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    for (slot, cell) in out.data.iter_mut().zip(&cells) {
+        *slot = cell.call(|v| *v).expect("read element");
+    }
+    out
+}
+
+/// Row-granularity serialization sets — the paper's recommended serializer:
+/// each output row is one writable domain, serialized on its row number.
+pub fn ss_row(a: &Matrix, b: &Matrix, rt: &Runtime) -> Matrix {
+    assert_eq!(a.cols, b.rows);
+    let (ra, rb) = (ReadOnly::new(a.clone()), ReadOnly::new(b.clone()));
+    let rows: Vec<Writable<Vec<f64>, NullSerializer>> = (0..a.rows)
+        .map(|_| Writable::new(rt, vec![0.0; b.cols]))
+        .collect();
+    rt.begin_isolation().expect("begin_isolation");
+    for (r, row) in rows.iter().enumerate() {
+        let (ra, rb) = (ra.clone(), rb.clone());
+        row.delegate_in(r as u64, move |out| {
+            mul_rows_into(ra.get(), rb.get(), r..r + 1, out);
+        })
+        .expect("delegate row");
+    }
+    rt.end_isolation().expect("end_isolation");
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    for (r, row) in rows.iter().enumerate() {
+        row.call(|v| out.data[r * b.cols..(r + 1) * b.cols].copy_from_slice(v))
+            .expect("read row");
+    }
+    out
+}
+
+/// Band-granularity serialization sets: rows grouped so each delegate gets a
+/// few large operations.
+pub fn ss_row_blocked(a: &Matrix, b: &Matrix, rt: &Runtime) -> Matrix {
+    assert_eq!(a.cols, b.rows);
+    let (ra, rb) = (ReadOnly::new(a.clone()), ReadOnly::new(b.clone()));
+    let bands = (rt.delegate_threads().max(1) * 4).max(1);
+    let ranges = even_ranges(a.rows, bands);
+    let cols = b.cols;
+    let blocks: Vec<Writable<(std::ops::Range<usize>, Vec<f64>), NullSerializer>> = ranges
+        .iter()
+        .map(|r| Writable::new(rt, (r.clone(), vec![0.0; r.len() * cols])))
+        .collect();
+    rt.begin_isolation().expect("begin_isolation");
+    for (i, blk) in blocks.iter().enumerate() {
+        let (ra, rb) = (ra.clone(), rb.clone());
+        blk.delegate_in(i as u64, move |(range, out)| {
+            mul_rows_into(ra.get(), rb.get(), range.clone(), out);
+        })
+        .expect("delegate band");
+    }
+    rt.end_isolation().expect("end_isolation");
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    for blk in &blocks {
+        blk.call(|(range, data)| {
+            out.data[range.start * cols..range.end * cols].copy_from_slice(data);
+        })
+        .expect("read band");
+    }
+    out
+}
+
+/// Canonical output fingerprint (bitwise; dot products run in identical
+/// order in every implementation).
+pub fn fingerprint(m: &Matrix) -> u64 {
+    let mut fp = Fingerprint::new();
+    for &x in &m.data {
+        fp.update(&x.to_bits().to_le_bytes());
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let mut i3 = Matrix::zeros(3, 3);
+        for d in 0..3 {
+            i3.data[d * 3 + d] = 1.0;
+        }
+        let a = Matrix::random(3, 3, 1);
+        assert_eq!(seq(&a, &i3), a);
+        assert_eq!(seq(&i3, &a), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let b = Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![5.0, 6.0, 7.0, 8.0],
+        };
+        let c = seq(&a, &b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn all_variants_agree_bitwise() {
+        let a = Matrix::random(17, 23, 5);
+        let b = Matrix::random(23, 11, 6);
+        let expect = seq(&a, &b);
+        assert_eq!(cp(&a, &b, 3), expect);
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        assert_eq!(ss_element(&a, &b, &rt), expect);
+        assert_eq!(ss_row(&a, &b, &rt), expect);
+        assert_eq!(ss_row_blocked(&a, &b, &rt), expect);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::random(1, 8, 2);
+        let b = Matrix::random(8, 1, 3);
+        let c = seq(&a, &b);
+        assert_eq!((c.rows, c.cols), (1, 1));
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert_eq!(ss_row(&a, &b, &rt), c);
+    }
+}

@@ -1,0 +1,275 @@
+//! reverse_index — Phoenix's HTML link indexer, the paper's running example
+//! (Figure 3, §3.2).
+//!
+//! "reverse_index recursively reads a directory tree containing HTML files,
+//! extracts the links, and produces an index of all files that contain each
+//! link."
+//!
+//! The serialization-sets version reproduces Figure 3 structurally: the
+//! program context recurses over directories (`find_files`); each file
+//! becomes a `writable<file_t, sequence>` whose `find_links` method is
+//! delegated; links accumulate in a `reducible_map<url, file_set>` merged at
+//! the first aggregation access. Crucially, "the parallel portion of the
+//! program execution (searching files for links) is overlapped with the
+//! sequential part (locating the files)". The conventional baseline cannot
+//! overlap: it "first ha\[s\] to locate all the files, then parcel them into
+//! equally-sized sets" — both shapes are implemented.
+
+use std::collections::BTreeMap;
+
+use ss_collections::{ReducibleMap, UnionSet};
+use ss_core::{Runtime, SequenceSerializer, Writable};
+use ss_workloads::html::extract_links;
+use ss_workloads::vfs::{VDir, VFile, Vfs};
+
+use crate::common::{even_ranges, Fingerprint};
+
+/// Canonical output: link → sorted list of files containing it, ordered by
+/// link.
+pub type Index = BTreeMap<String, Vec<String>>;
+
+fn canonicalize(map: impl IntoIterator<Item = (String, Vec<String>)>) -> Index {
+    map.into_iter()
+        .map(|(k, mut files)| {
+            files.sort();
+            files.dedup();
+            (k, files)
+        })
+        .collect()
+}
+
+/// Sequential oracle: depth-first traversal, links accumulated in one map.
+pub fn seq(tree: &Vfs) -> Index {
+    let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    tree.walk_files(|f| {
+        for link in extract_links(&f.content) {
+            map.entry(link.to_string()).or_default().push(f.path.clone());
+        }
+    });
+    canonicalize(map)
+}
+
+/// Conventional-parallel baseline: locate **all** files first (no overlap),
+/// then chunk them across threads with local maps, merge, sort.
+pub fn cp(tree: &Vfs, threads: usize) -> Index {
+    let files: Vec<&VFile> = tree.collect_files();
+    let ranges = even_ranges(files.len(), threads.max(1));
+    let locals: Vec<BTreeMap<String, Vec<String>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let slice = &files[r.clone()];
+                s.spawn(move || {
+                    let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+                    for f in slice {
+                        for link in extract_links(&f.content) {
+                            map.entry(link.to_string()).or_default().push(f.path.clone());
+                        }
+                    }
+                    map
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for l in locals {
+        for (k, mut v) in l {
+            total.entry(k).or_default().append(&mut v);
+        }
+    }
+    canonicalize(total)
+}
+
+/// The wrapped file object of Figure 3 (`ss_file_t`).
+struct FileTask {
+    path: String,
+    content: std::sync::Arc<str>,
+    link_map: ReducibleMap<String, UnionSet<String>>,
+}
+
+impl FileTask {
+    /// `file_t::find_links` — scans the file, adding `(link → this file)`
+    /// to the reducible link map.
+    fn find_links(&mut self) {
+        for link in extract_links(&self.content) {
+            self.link_map
+                .update(
+                    link.to_string(),
+                    UnionSet::default,
+                    |set| {
+                        set.0.insert(self.path.clone());
+                    },
+                )
+                .expect("link map update");
+        }
+    }
+}
+
+/// Serialization-sets version (Figure 3): traversal in the program context
+/// overlapped with delegated `find_links` calls.
+pub fn ss(tree: &Vfs, rt: &Runtime) -> Index {
+    let link_map: ReducibleMap<String, UnionSet<String>> = ReducibleMap::new(rt);
+
+    rt.begin_isolation().expect("begin_isolation");
+    // find_files: recursive directory walk in the program context; each file
+    // found is wrapped and its find_links method delegated immediately.
+    fn find_files(
+        dir: &VDir,
+        rt: &Runtime,
+        link_map: &ReducibleMap<String, UnionSet<String>>,
+    ) {
+        for f in &dir.files {
+            let task: Writable<FileTask, SequenceSerializer> = Writable::new(
+                rt,
+                FileTask {
+                    path: f.path.clone(),
+                    content: f.content.clone(),
+                    link_map: link_map.clone(),
+                },
+            );
+            task.delegate(FileTask::find_links).expect("delegate find_links");
+            // The wrapper handle drops here; the runtime still owns the
+            // queued invocation, exactly like Figure 3's `new ss_file_t`.
+        }
+        for sub in &dir.dirs {
+            find_files(sub, rt, link_map);
+        }
+    }
+    find_files(&tree.root, rt, &link_map);
+    rt.end_isolation().expect("end_isolation");
+
+    // First aggregation access triggers the reduction (Figure 3 step L/M).
+    canonicalize(
+        link_map
+            .take()
+            .expect("take link map")
+            .into_iter()
+            .map(|(k, v)| (k, v.0.into_iter().collect::<Vec<_>>())),
+    )
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(index: &Index) -> u64 {
+    let mut fp = Fingerprint::new();
+    for (link, files) in index {
+        fp.update(link.as_bytes());
+        for f in files {
+            fp.update(f.as_bytes());
+        }
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    tree: Vfs,
+}
+
+impl Bench {
+    /// Generates the HTML tree for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        Bench {
+            tree: ss_workloads::html::tree(&ss_workloads::scale::reverse_index(scale)),
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "reverse_index"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.tree))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.tree, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.tree, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::html::{tree, HtmlParams};
+
+    fn small_tree() -> Vfs {
+        tree(&HtmlParams {
+            files: 40,
+            link_pool: 60,
+            links_per_file: 6,
+            body_bytes: 256,
+            seed: 23,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn implementations_agree() {
+        let t = small_tree();
+        let a = seq(&t);
+        assert!(!a.is_empty());
+        assert_eq!(a, cp(&t, 3));
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        assert_eq!(a, ss(&t, &rt));
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let t = small_tree();
+        let expected = seq(&t);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert_eq!(ss(&t, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn index_inverts_the_links() {
+        let t = small_tree();
+        let index = seq(&t);
+        // Spot-check: every (link, file) pair in the index really occurs.
+        let mut checked = 0;
+        t.walk_files(|f| {
+            for link in extract_links(&f.content) {
+                assert!(index[link].contains(&f.path), "{link} missing {}", f.path);
+                checked += 1;
+            }
+        });
+        assert!(checked > 0);
+        // And no phantom entries: total pairs match distinct (link, file).
+        let mut expected_pairs = std::collections::HashSet::new();
+        t.walk_files(|f| {
+            for link in extract_links(&f.content) {
+                expected_pairs.insert((link.to_string(), f.path.clone()));
+            }
+        });
+        let actual_pairs: usize = index.values().map(|v| v.len()).sum();
+        assert_eq!(actual_pairs, expected_pairs.len());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = Vfs {
+            root: VDir {
+                name: "empty".into(),
+                dirs: vec![],
+                files: vec![],
+            },
+        };
+        assert!(seq(&t).is_empty());
+        assert!(cp(&t, 2).is_empty());
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert!(ss(&t, &rt).is_empty());
+    }
+
+    #[test]
+    fn popular_links_touch_many_files() {
+        let t = small_tree();
+        let index = seq(&t);
+        let max_files = index.values().map(|v| v.len()).max().unwrap();
+        assert!(max_files >= 3, "most popular link in {max_files} files");
+    }
+}

@@ -1,0 +1,223 @@
+//! word_count — Phoenix's word-frequency benchmark (Table 2).
+//!
+//! Count word occurrences in a text file and report them ordered by
+//! frequency. The paper's §5.1 contrasts the two finales: the Phoenix
+//! baseline "maintains its dictionary of words in a set of lists, and uses
+//! all processors in the system to merge different pieces of the lists at the
+//! end", while the Prometheus version "uses a reducible map …, which performs
+//! quicker insertions during the word counting phase, but cannot use all
+//! processors to perform the reduction". Both structures are reproduced here.
+
+use std::collections::HashMap;
+
+use ss_collections::{FxHashMap, ReducibleMap, Sum};
+use ss_core::{doall, ReadOnly, Runtime, SequenceSerializer, Writable};
+use ss_workloads::text::tokenize;
+
+use crate::common::{text_ranges, Fingerprint};
+
+/// Canonical output: `(word, count)` sorted by count descending, then word
+/// ascending — deterministic regardless of hash iteration order.
+pub type Counts = Vec<(String, u64)>;
+
+fn canonicalize(map: impl IntoIterator<Item = (String, u64)>) -> Counts {
+    let mut v: Counts = map.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+/// Sequential oracle.
+pub fn seq(text: &str) -> Counts {
+    let mut map: HashMap<String, u64> = HashMap::new();
+    for w in tokenize(text) {
+        *map.entry(w.to_string()).or_insert(0) += 1;
+    }
+    canonicalize(map)
+}
+
+/// Conventional-parallel baseline (Phoenix structure): threads count their
+/// chunk into local maps, then the maps are merged by a parallel pairwise
+/// tree using all threads, then sorted.
+pub fn cp(text: &str, threads: usize) -> Counts {
+    let ranges = text_ranges(text, threads.max(1));
+    let mut locals: Vec<FxHashMap<String, u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let chunk = &text[r.clone()];
+                s.spawn(move || {
+                    let mut map = FxHashMap::default();
+                    for w in tokenize(chunk) {
+                        *map.entry(w.to_string()).or_insert(0) += 1;
+                    }
+                    map
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Parallel pairwise merge (the "uses all processors … to merge" finale).
+    while locals.len() > 1 {
+        let spare = if locals.len() % 2 == 1 { locals.pop() } else { None };
+        locals = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(locals.len() / 2);
+            let mut it = locals.drain(..);
+            while let (Some(mut a), Some(b)) = (it.next(), it.next()) {
+                handles.push(s.spawn(move || {
+                    for (k, v) in b {
+                        *a.entry(k).or_insert(0) += v;
+                    }
+                    a
+                }));
+            }
+            drop(it);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        if let Some(x) = spare {
+            locals.push(x);
+        }
+    }
+    canonicalize(locals.pop().unwrap_or_default())
+}
+
+/// Serialization-sets version: text chunks delegated with `doall`, counting
+/// into a [`ReducibleMap`]; the reduction happens at the first aggregation
+/// access (Figure 3's pattern applied to words).
+pub fn ss(shared: &ReadOnly<String>, rt: &Runtime) -> Counts {
+    let text: &str = shared.get();
+    let counts: ReducibleMap<String, Sum<u64>> = ReducibleMap::new(rt);
+    let parts = (rt.delegate_threads().max(1) * 8).max(1);
+    struct Chunk {
+        range: std::ops::Range<usize>,
+        text: ReadOnly<String>,
+        counts: ReducibleMap<String, Sum<u64>>,
+    }
+    let chunks: Vec<Writable<Chunk, SequenceSerializer>> = text_ranges(text, parts)
+        .into_iter()
+        .map(|range| {
+            Writable::new(
+                rt,
+                Chunk {
+                    range,
+                    text: shared.clone(),
+                    counts: counts.clone(),
+                },
+            )
+        })
+        .collect();
+
+    rt.begin_isolation().expect("begin_isolation");
+    doall(&chunks, |c| {
+        let piece = &c.text.get()[c.range.clone()];
+        for w in tokenize(piece) {
+            c.counts
+                .update(w.to_string(), || Sum(0), |s| s.0 += 1)
+                .expect("count update");
+        }
+    })
+    .expect("doall");
+    rt.end_isolation().expect("end_isolation");
+
+    canonicalize(counts.take().expect("take").into_iter().map(|(k, v)| (k, v.0)))
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(counts: &Counts) -> u64 {
+    let mut fp = Fingerprint::new();
+    for (w, c) in counts {
+        fp.update(w.as_bytes());
+        fp.update_u64(*c);
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    text: ReadOnly<String>,
+}
+
+impl Bench {
+    /// Generates the corpus for `scale`.
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        Bench {
+            text: ReadOnly::new(ss_workloads::text::corpus(&ss_workloads::scale::word_count(
+                scale,
+            ))),
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "word_count"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.text))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.text, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.text, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_text() {
+        let counts = seq("the cat and the dog and the bird");
+        assert_eq!(counts[0], ("the".to_string(), 3));
+        assert_eq!(counts[1], ("and".to_string(), 2));
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn implementations_agree() {
+        let text = ss_workloads::text::corpus(&ss_workloads::text::TextParams {
+            bytes: 50_000,
+            vocabulary: 500,
+            zipf_s: 1.0,
+            seed: 17,
+        });
+        let a = seq(&text);
+        assert_eq!(a, cp(&text, 4));
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        assert_eq!(a, ss(&ReadOnly::new(text.clone()), &rt));
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let text = "one fish two fish red fish blue fish ".repeat(100);
+        let expected = seq(&text);
+        let shared = ReadOnly::new(text);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(seq("").is_empty());
+        assert!(seq("..., !!! 123").is_empty());
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        assert!(ss(&ReadOnly::new(String::new()), &rt).is_empty());
+        assert!(cp("%%%", 2).is_empty());
+    }
+
+    #[test]
+    fn ordering_ties_break_alphabetically() {
+        let counts = seq("b a c a b c");
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 2),
+                ("c".to_string(), 2)
+            ]
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the from-scratch application substrates: compression
+//! round-trips, chunking partition laws, miner-vs-oracle agreement, and
+//! whole-pipeline equality on arbitrary inputs.
+
+use proptest::prelude::*;
+use ss_apps::dedup::{self, chunking, lzss, sha1};
+use ss_apps::freqmine::{apriori, fptree};
+use ss_core::{ReadOnly, Runtime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lzss_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..5000)) {
+        let c = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&c).expect("decompress"), data);
+    }
+
+    #[test]
+    fn lzss_roundtrips_low_entropy(
+        pattern in proptest::collection::vec(any::<u8>(), 1..16),
+        repeats in 1usize..400,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * repeats).copied().collect();
+        let c = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&c).expect("decompress"), data);
+    }
+
+    #[test]
+    fn chunking_partitions_any_input(data in proptest::collection::vec(any::<u8>(), 0..100_000)) {
+        let ranges = chunking::chunk_ranges(&data);
+        let mut pos = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, pos);
+            prop_assert!(r.len() <= chunking::MAX_CHUNK);
+            pos = r.end;
+        }
+        prop_assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn sha1_distinguishes_mutations(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        flip in any::<usize>(),
+    ) {
+        let d1 = sha1::sha1(&data);
+        let mut mutated = data.clone();
+        let idx = flip % mutated.len();
+        mutated[idx] ^= 0x01;
+        prop_assert_ne!(d1, sha1::sha1(&mutated));
+        prop_assert_eq!(d1, sha1::sha1(&data));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dedup_pipeline_roundtrips_and_impls_agree(
+        seed in any::<u64>(),
+        dup in 0.0f64..0.9,
+    ) {
+        let data = ss_workloads::stream::stream(&ss_workloads::stream::StreamParams {
+            bytes: 60_000,
+            block_len: 2048,
+            dup_fraction: dup,
+            alphabet: 64,
+            seed,
+        });
+        let archive = dedup::seq(&data);
+        prop_assert_eq!(dedup::restore(&archive).expect("restore"), data.clone());
+        prop_assert_eq!(dedup::cp(&data, 3), archive.clone());
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        prop_assert_eq!(dedup::ss(&ReadOnly::new(data), &rt), archive);
+    }
+
+    #[test]
+    fn fpgrowth_agrees_with_apriori_on_random_databases(
+        seed in any::<u64>(),
+        count in 50usize..250,
+        items in 8u32..40,
+    ) {
+        let txs = ss_workloads::transactions::transactions(
+            &ss_workloads::transactions::TxParams {
+                count,
+                items,
+                patterns: 6,
+                pattern_len: 3,
+                patterns_per_tx: 2,
+                corruption: 0.2,
+                seed,
+            },
+        );
+        let min_support = (count / 12).max(2) as u32;
+        let tree = fptree::from_transactions(&txs, min_support);
+        let mut fp = Vec::new();
+        tree.mine_into(&[], &mut fp);
+        prop_assert_eq!(fptree::canonicalize(fp), apriori::mine(&txs, min_support));
+    }
+
+    #[test]
+    fn matmul_variants_agree_on_random_shapes(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        use ss_apps::matmul::{self, Matrix};
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed ^ 1);
+        let want = matmul::seq(&a, &b);
+        prop_assert_eq!(matmul::cp(&a, &b, 2), want.clone());
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        prop_assert_eq!(matmul::ss_row(&a, &b, &rt), want.clone());
+        prop_assert_eq!(matmul::ss_row_blocked(&a, &b, &rt), want);
+    }
+}

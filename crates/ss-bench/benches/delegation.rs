@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the runtime's delegation machinery: the
+//! §5 overhead discussion quantified — per-delegation cost (indirect calls +
+//! invocation allocation + queue transfer), ownership-reclaim latency, and
+//! epoch open/close cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ss_core::{Runtime, SequenceSerializer, Writable};
+
+fn delegation_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/delegation_throughput");
+    g.sample_size(20);
+    const OPS: u64 = 10_000;
+    g.throughput(Throughput::Elements(OPS));
+    for delegates in [1usize, 2] {
+        g.bench_function(format!("{delegates}_delegates"), |b| {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let objs: Vec<Writable<u64, SequenceSerializer>> =
+                (0..8).map(|_| Writable::new(&rt, 0)).collect();
+            b.iter(|| {
+                rt.begin_isolation().unwrap();
+                for i in 0..OPS {
+                    objs[(i % 8) as usize]
+                        .delegate(move |n| *n = n.wrapping_add(i))
+                        .unwrap();
+                }
+                rt.end_isolation().unwrap();
+            });
+        });
+    }
+    g.bench_function("inline_0_delegates", |b| {
+        let rt = Runtime::builder().delegate_threads(0).build().unwrap();
+        let objs: Vec<Writable<u64, SequenceSerializer>> =
+            (0..8).map(|_| Writable::new(&rt, 0)).collect();
+        b.iter(|| {
+            rt.begin_isolation().unwrap();
+            for i in 0..OPS {
+                objs[(i % 8) as usize]
+                    .delegate(move |n| *n = n.wrapping_add(i))
+                    .unwrap();
+            }
+            rt.end_isolation().unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn ownership_reclaim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/ownership_reclaim");
+    g.sample_size(20);
+    g.bench_function("call_after_delegate", |b| {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let w: Writable<u64> = Writable::new(&rt, 0);
+        b.iter(|| {
+            rt.begin_isolation().unwrap();
+            w.delegate(|n| *n += 1).unwrap();
+            // Dependent read: synchronization object + wait.
+            black_box(w.call(|n| *n).unwrap());
+            rt.end_isolation().unwrap();
+        });
+    });
+    g.bench_function("call_no_pending", |b| {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let w: Writable<u64> = Writable::new(&rt, 7);
+        b.iter(|| black_box(w.call(|n| *n).unwrap()));
+    });
+    g.finish();
+}
+
+fn epoch_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/epoch_overhead");
+    g.sample_size(20);
+    for delegates in [1usize, 2] {
+        g.bench_function(format!("empty_epoch_{delegates}_delegates"), |b| {
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            b.iter(|| {
+                rt.begin_isolation().unwrap();
+                rt.end_isolation().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, delegation_throughput, ownership_reclaim, epoch_overhead);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks for the from-scratch application substrates:
+//! SHA-1, LZSS, content-defined chunking, Black–Scholes pricing, octree
+//! construction and FP-tree construction. These bound the sequential kernels
+//! that the figure harnesses parallelize.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sha1_bench(c: &mut Criterion) {
+    let data = vec![0xABu8; 64 * 1024];
+    let mut g = c.benchmark_group("kernels/sha1");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("64KiB", |b| {
+        b.iter(|| black_box(ss_apps::dedup::sha1::sha1(black_box(&data))))
+    });
+    g.finish();
+}
+
+fn lzss_bench(c: &mut Criterion) {
+    let data = ss_workloads::stream::stream(&ss_workloads::stream::StreamParams {
+        bytes: 64 * 1024,
+        alphabet: 48,
+        dup_fraction: 0.0,
+        seed: 1,
+        ..Default::default()
+    });
+    let compressed = ss_apps::dedup::lzss::compress(&data);
+    let mut g = c.benchmark_group("kernels/lzss");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_64KiB", |b| {
+        b.iter(|| black_box(ss_apps::dedup::lzss::compress(black_box(&data))))
+    });
+    g.bench_function("decompress_64KiB", |b| {
+        b.iter(|| black_box(ss_apps::dedup::lzss::decompress(black_box(&compressed)).unwrap()))
+    });
+    g.finish();
+}
+
+fn chunking_bench(c: &mut Criterion) {
+    let data = ss_workloads::stream::stream(&ss_workloads::stream::StreamParams {
+        bytes: 1 << 20,
+        seed: 2,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("kernels/chunking");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(20);
+    g.bench_function("rolling_hash_1MiB", |b| {
+        b.iter(|| black_box(ss_apps::dedup::chunking::chunk_ranges(black_box(&data))))
+    });
+    g.finish();
+}
+
+fn blackscholes_bench(c: &mut Criterion) {
+    let opts = ss_workloads::options::options(10_000, 3);
+    let mut g = c.benchmark_group("kernels/blackscholes");
+    g.throughput(Throughput::Elements(opts.len() as u64));
+    g.bench_function("price_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for o in &opts {
+                acc += ss_apps::blackscholes::price(black_box(o));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn octree_bench(c: &mut Criterion) {
+    let bodies = ss_workloads::bodies::plummer(5_000, 4);
+    let mut g = c.benchmark_group("kernels/octree");
+    g.sample_size(20);
+    g.bench_function("build_5k_bodies", |b| {
+        b.iter(|| black_box(ss_apps::barnes_hut::Octree::build(black_box(&bodies))))
+    });
+    g.finish();
+}
+
+fn fptree_bench(c: &mut Criterion) {
+    let txs = ss_workloads::transactions::transactions(&ss_workloads::transactions::TxParams {
+        count: 5_000,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("kernels/fptree");
+    g.sample_size(10);
+    g.bench_function("build_5k_tx", |b| {
+        b.iter(|| black_box(ss_apps::freqmine::fptree::from_transactions(black_box(&txs), 100)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    sha1_bench,
+    lzss_bench,
+    chunking_bench,
+    blackscholes_bench,
+    octree_bench,
+    fptree_bench
+);
+criterion_main!(benches);

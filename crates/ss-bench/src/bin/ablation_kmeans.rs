@@ -1,0 +1,78 @@
+//! Ablation: the two kmeans ports of §5.1 — the paper's measured version
+//! ("iterates over the data points and cluster points separately", which it
+//! calls an inferior algorithm) versus the reduction-based version the paper
+//! proposes as the fix ("computing partial sums of the cluster means during
+//! clustering, and using a reduction").
+//!
+//! Expected shape: the reduction version closes most of the gap to the
+//! conventional-parallel baseline, validating the paper's §5.1 hypothesis.
+
+use ss_apps::kmeans;
+use ss_bench::*;
+use ss_core::Runtime;
+use ss_workloads::scale;
+
+fn main() {
+    let reps = env_reps();
+    let delegates = (host_threads() - 1).max(1);
+    let sc = env_scale();
+    let (params, k) = scale::kmeans(sc);
+    let ps = ss_workloads::points::points(&params);
+    let shared = ss_core::ReadOnly::new(ps.clone());
+    println!(
+        "Ablation: kmeans variants (scale {}, n={}, k={}, {} delegates)\n",
+        sc.label(),
+        params.n,
+        k,
+        delegates
+    );
+
+    let mut table = Table::new(&["variant", "time", "speedup vs seq", "output"]);
+
+    let mut best_seq = std::time::Duration::MAX;
+    let mut reference = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let out = kmeans::seq(&ps, k);
+        best_seq = best_seq.min(t0.elapsed());
+        reference = Some(out);
+    }
+    let reference = reference.unwrap();
+    table.row(vec!["sequential (fused loop)".into(), fmt_dur(best_seq), "1.00".into(), "ref".into()]);
+
+    let mut run = |name: &str, f: &dyn Fn() -> kmeans::Clustering| {
+        let mut best = std::time::Duration::MAX;
+        let mut out = None;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let r = f();
+            best = best.min(t0.elapsed());
+            out = Some(r);
+        }
+        let ok = out.unwrap().approx_eq(&reference, 1e-6);
+        table.row(vec![
+            name.to_string(),
+            fmt_dur(best),
+            format!("{:.2}", best_seq.as_secs_f64() / best.as_secs_f64()),
+            if ok { "ok".into() } else { "MISMATCH".into() },
+        ]);
+    };
+
+    run("threads (partial sums)", &|| kmeans::cp(&ps, k, delegates + 1));
+    // Sweep the delegate count: with d delegates + the program thread, the
+    // host's cores are saturated at d = contexts; on a small host the
+    // reduction variant's benefit only appears once both cores compute.
+    for d in [delegates, delegates + 1] {
+        let rt = Runtime::builder().delegate_threads(d).build().unwrap();
+        run(
+            &format!("ss paper: separate passes ({d} delegates)"),
+            &|| kmeans::ss_paper(&shared, k, &rt),
+        );
+        run(
+            &format!("ss reduction: proposed fix ({d} delegates)"),
+            &|| kmeans::ss(&shared, k, &rt),
+        );
+    }
+
+    println!("{}", table.render());
+}

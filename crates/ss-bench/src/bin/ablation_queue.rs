@@ -1,0 +1,73 @@
+//! Ablation: FastForward slot-signalled SPSC queue vs the classic Lamport
+//! shared-index queue (§4's justification for adopting FastForward).
+//!
+//! Measures cross-thread transfer throughput at several payload batch sizes.
+//! Expected shape: FastForward sustains noticeably higher items/sec because
+//! producer and consumer share no index cache lines.
+
+use std::time::Instant;
+
+use ss_bench::{env_reps, Table};
+use ss_queue::{LamportQueue, SpscQueue};
+
+const ITEMS: u64 = 2_000_000;
+
+fn run_fastforward(cap: usize) -> f64 {
+    let (tx, rx) = SpscQueue::with_capacity(cap);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..ITEMS {
+                tx.push_blocking(i).unwrap();
+            }
+        });
+        s.spawn(move || {
+            let mut expect = 0;
+            while let Some(v) = rx.pop_blocking() {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        });
+    });
+    ITEMS as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn run_lamport(cap: usize) -> f64 {
+    let (tx, rx) = LamportQueue::with_capacity(cap);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..ITEMS {
+                tx.push_blocking(i).unwrap();
+            }
+        });
+        s.spawn(move || {
+            let mut expect = 0;
+            while let Some(v) = rx.pop_blocking() {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        });
+    });
+    ITEMS as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let reps = env_reps();
+    println!(
+        "Ablation: SPSC queue implementations ({} items/run, best of {} reps)\n",
+        ITEMS, reps
+    );
+    let mut table = Table::new(&["capacity", "FastForward (Mitem/s)", "Lamport (Mitem/s)", "FF/Lamport"]);
+    for cap in [64usize, 256, 1024, 4096] {
+        let ff = (0..reps).map(|_| run_fastforward(cap)).fold(0.0f64, f64::max);
+        let lp = (0..reps).map(|_| run_lamport(cap)).fold(0.0f64, f64::max);
+        table.row(vec![
+            cap.to_string(),
+            format!("{:.2}", ff / 1e6),
+            format!("{:.2}", lp / 1e6),
+            format!("{:.2}x", ff / lp),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,56 @@
+//! Ablation: the §4 *assignment ratio* — how many virtual delegates the
+//! program thread executes inline. "Because many programs contain small
+//! sequential components, the program thread has little work to do compared
+//! to the delegate thread, so Prometheus uses the program thread to execute
+//! some of the delegated methods."
+//!
+//! Sweeps `program_share` for a fixed virtual-delegate count on two
+//! contrasting benchmarks: blackscholes (program thread idle → inline work
+//! helps) and reverse_index (program thread busy traversing → inline work
+//! steals from the critical path).
+
+use ss_bench::*;
+use ss_core::Runtime;
+use ss_workloads::scale::Scale;
+
+fn main() {
+    let reps = env_reps();
+    let delegates = (host_threads() - 1).max(1);
+    let virtuals = (delegates + 3).max(4);
+    println!(
+        "Ablation: program-thread assignment ratio ({} delegates, {} virtual delegates)\n",
+        delegates, virtuals
+    );
+
+    let specs: Vec<_> = ss_apps::registry()
+        .into_iter()
+        .filter(|s| s.name == "blackscholes" || s.name == "reverse_index")
+        .collect();
+
+    let mut table = Table::new(&["benchmark", "program_share", "time", "speedup vs seq"]);
+    for spec in &specs {
+        let inst = (spec.make)(Scale::S);
+        let (t_seq, _) = measure(reps, || inst.run_seq());
+        for share in 0..=virtuals.min(3) {
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .virtual_delegates(virtuals)
+                .program_share(share)
+                .build()
+                .unwrap();
+            let (t_ss, _) = measure(reps, || inst.run_ss(&rt));
+            table.row(vec![
+                spec.name.to_string(),
+                format!("{share}/{virtuals}"),
+                fmt_dur(t_ss),
+                format!("{:.2}", t_seq.as_secs_f64() / t_ss.as_secs_f64()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "share = k/{virtuals} means the program thread executes k of the {virtuals}\n\
+         virtual delegates inline. Expected: inline share helps compute-bound\n\
+         kernels with an idle program thread, hurts traversal-overlap programs."
+    );
+}

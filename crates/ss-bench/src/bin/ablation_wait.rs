@@ -1,0 +1,71 @@
+//! Ablation: delegate-thread wait policies — pure spin (the paper's choice:
+//! "blocking OS synchronization … would incur prohibitive overheads"),
+//! spin-then-yield, and spin-then-park.
+//!
+//! Two workload shapes: a dense delegation stream (spin should win or tie)
+//! and a sparse stream with idle gaps (parking should win by not burning the
+//! sibling hardware thread). On an oversubscribed host, yield typically
+//! beats pure spin even when dense — the effect the `PAUSE` discussion in §4
+//! anticipates for multithreaded cores.
+
+use std::time::{Duration, Instant};
+
+use ss_bench::*;
+use ss_core::{Runtime, WaitPolicy, Writable};
+
+fn dense(rt: &Runtime) -> Duration {
+    let w: Vec<Writable<u64, ss_core::SequenceSerializer>> =
+        (0..8).map(|_| Writable::new(rt, 0)).collect();
+    let t0 = Instant::now();
+    rt.begin_isolation().unwrap();
+    for i in 0..60_000u64 {
+        w[(i % 8) as usize].delegate(move |n| *n = n.wrapping_add(i)).unwrap();
+    }
+    rt.end_isolation().unwrap();
+    t0.elapsed()
+}
+
+fn sparse(rt: &Runtime) -> Duration {
+    let w: Writable<u64> = Writable::new(rt, 0);
+    let t0 = Instant::now();
+    for _ in 0..50 {
+        rt.begin_isolation().unwrap();
+        for i in 0..200u64 {
+            w.delegate(move |n| *n = n.wrapping_add(i)).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        // Aggregation gap: program context does sequential work.
+        std::thread::sleep(Duration::from_micros(300));
+    }
+    t0.elapsed()
+}
+
+fn main() {
+    let reps = env_reps();
+    let delegates = (host_threads() - 1).max(1);
+    println!(
+        "Ablation: wait policies ({} delegates, best of {} reps)\n",
+        delegates, reps
+    );
+    let mut table = Table::new(&["policy", "dense stream", "sparse epochs"]);
+    for (name, policy) in [
+        ("Spin (paper)", WaitPolicy::Spin),
+        ("SpinYield", WaitPolicy::SpinYield),
+        ("SpinPark (default)", WaitPolicy::SpinPark),
+    ] {
+        let mut best_dense = Duration::MAX;
+        let mut best_sparse = Duration::MAX;
+        for _ in 0..reps {
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .wait_policy(policy)
+                .build()
+                .unwrap();
+            best_dense = best_dense.min(dense(&rt));
+            best_sparse = best_sparse.min(sparse(&rt));
+            rt.shutdown().unwrap();
+        }
+        table.row(vec![name.into(), fmt_dur(best_dense), fmt_dur(best_sparse)]);
+    }
+    println!("{}", table.render());
+}

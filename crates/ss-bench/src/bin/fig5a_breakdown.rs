@@ -1,0 +1,52 @@
+//! Regenerates **Figure 5a**: per-benchmark breakdown of execution time into
+//! aggregation, isolation, and reduction components, measured by the
+//! runtime's built-in instrumentation on the serialization-sets version.
+//!
+//! Paper shape to check: better-scaling benchmarks spend a higher fraction
+//! in isolation; histogram's reduction is negligible while reverse_index and
+//! word_count spend a visible share (~30% in the paper) reducing.
+
+use ss_bench::*;
+use ss_core::Runtime;
+
+fn main() {
+    let scale = env_scale();
+    let delegates = (host_threads() - 1).max(1);
+    println!(
+        "Figure 5a: execution time breakdown (scale {}, {} delegate threads)\n",
+        scale.label(),
+        delegates
+    );
+
+    let mut table = Table::new(&[
+        "benchmark",
+        "aggregation %",
+        "isolation %",
+        "reduction %",
+        "total",
+        "reductions",
+    ]);
+    for spec in ss_apps::registry() {
+        eprint!("running {} …", spec.name);
+        let inst = (spec.make)(scale);
+        // Fresh runtime per app so `stats.total` covers exactly this run.
+        let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+        let _fp = inst.run_ss(&rt);
+        let s = rt.stats();
+        eprintln!(" {}", fmt_dur(s.total));
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{:.1}", 100.0 * s.aggregation_fraction()),
+            format!("{:.1}", 100.0 * s.isolation_fraction()),
+            format!("{:.1}", 100.0 * s.reduction_fraction()),
+            fmt_dur(s.total),
+            s.reductions.to_string(),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Components are wall-clock fractions from runtime instrumentation\n\
+         (ss-core::stats): isolation = open isolation epochs, reduction =\n\
+         reducible folds, aggregation = the remainder."
+    );
+}

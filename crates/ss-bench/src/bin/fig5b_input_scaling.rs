@@ -1,0 +1,48 @@
+//! Regenerates **Figure 5b**: serialization-sets speedup over sequential as
+//! the input scales S → M → L.
+//!
+//! Paper shape to check: speedups are broadly stable or improve with input
+//! size (overheads amortize), with dedup as the called-out exception — its
+//! speedup tracks the stream's redundancy, not its size.
+
+use ss_bench::*;
+use ss_core::Runtime;
+use ss_workloads::scale::Scale;
+
+fn main() {
+    let reps = env_reps();
+    let delegates = (host_threads() - 1).max(1);
+    println!(
+        "Figure 5b: SS speedup vs input scale ({} delegate threads, min of {} reps)\n",
+        delegates, reps
+    );
+
+    let mut table = Table::new(&["benchmark", "S", "M", "L"]);
+    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for spec in ss_apps::registry() {
+        let mut cells = vec![spec.name.to_string()];
+        for (si, scale) in Scale::ALL.into_iter().enumerate() {
+            eprint!("{} @ {} …", spec.name, scale.label());
+            let inst = (spec.make)(scale);
+            let (t_seq, fp_seq) = measure(reps, || inst.run_seq());
+            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let (t_ss, fp_ss) = measure(reps, || inst.run_ss(&rt));
+            eprintln!(" seq {} ss {}", fmt_dur(t_seq), fmt_dur(t_ss));
+            let s = t_seq.as_secs_f64() / t_ss.as_secs_f64();
+            per_scale[si].push(s);
+            cells.push(format!(
+                "{:.2}{}",
+                s,
+                if fp_seq == fp_ss { "" } else { " !FP" }
+            ));
+        }
+        table.row(cells);
+    }
+    table.row(vec![
+        "H_MEAN".to_string(),
+        format!("{:.2}", harmonic_mean(&per_scale[0])),
+        format!("{:.2}", harmonic_mean(&per_scale[1])),
+        format!("{:.2}", harmonic_mean(&per_scale[2])),
+    ]);
+    println!("\n{}", table.render());
+}

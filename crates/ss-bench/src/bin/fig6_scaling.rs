@@ -1,0 +1,50 @@
+//! Regenerates **Figure 6**: serialization-sets speedup as a function of the
+//! number of delegate threads (the paper sweeps 1–15 on the 16-core
+//! Barcelona).
+//!
+//! On this host only the points up to `available_parallelism() - 1` add real
+//! compute; beyond that the sweep continues oversubscribed (marked `*`) so
+//! the curve's knee is still visible, as in the paper's histogram discussion.
+//!
+//! `SS_BENCH_MAX_THREADS` caps the sweep; `SS_BENCH_SCALE` sets input size.
+
+use ss_bench::*;
+use ss_core::Runtime;
+
+fn main() {
+    let scale = env_scale();
+    let reps = env_reps();
+    let max = env_max_threads().max(1);
+    let host = host_threads();
+    let sweep: Vec<usize> = (1..=max).collect();
+    println!(
+        "Figure 6: SS speedup vs delegate threads (scale {}, sweep 1..={}, host has {} contexts)\n",
+        scale.label(),
+        max,
+        host
+    );
+
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(
+        sweep
+            .iter()
+            .map(|t| format!("{}{}", t, if *t >= host { "*" } else { "" })),
+    );
+    let mut table = Table::new(&headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for spec in ss_apps::registry() {
+        eprint!("{} …", spec.name);
+        let inst = (spec.make)(scale);
+        let (t_seq, _) = measure(reps, || inst.run_seq());
+        let mut cells = vec![spec.name.to_string()];
+        for &threads in &sweep {
+            let rt = Runtime::builder().delegate_threads(threads).build().unwrap();
+            let (t_ss, _) = measure(reps, || inst.run_ss(&rt));
+            cells.push(format!("{:.2}", t_seq.as_secs_f64() / t_ss.as_secs_f64()));
+        }
+        eprintln!(" done (seq {})", fmt_dur(t_seq));
+        table.row(cells);
+    }
+    println!("\n{}", table.render());
+    println!("Columns marked * are oversubscribed (delegates ≥ host contexts).");
+}

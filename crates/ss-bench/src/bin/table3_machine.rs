@@ -1,0 +1,72 @@
+//! Regenerates **Table 3**: the machine configuration used for the
+//! experiments — the paper's four machines beside the actual host this
+//! reproduction runs on.
+
+use ss_bench::{host_threads, Table};
+
+fn read_cpuinfo(key: &str) -> Option<String> {
+    let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    text.lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().to_string())
+}
+
+fn read_meminfo_gb() -> Option<f64> {
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let kb: f64 = text
+        .lines()
+        .find(|l| l.starts_with("MemTotal"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0 / 1024.0)
+}
+
+fn main() {
+    println!("Table 3: Machine parameters\n");
+    println!("Paper's machines:");
+    let mut t = Table::new(&[
+        "",
+        "x86 Multicore",
+        "x86 ccNUMA",
+        "SPARC Multicore",
+        "SPARC SMP",
+    ]);
+    t.row(vec!["Processor".into(), "AMD Phenom 9850".into(), "AMD Opteron 8350".into(), "Sun Fire T2000".into(), "Sun Fire V880".into()]);
+    t.row(vec!["Total contexts".into(), "4".into(), "16".into(), "32".into(), "8".into()]);
+    t.row(vec!["Clock".into(), "2.5 GHz".into(), "2.0 GHz".into(), "1.0 GHz".into(), "900 MHz".into()]);
+    t.row(vec!["Memory".into(), "8 GB".into(), "16 GB".into(), "16 GB".into(), "32 GB".into()]);
+    t.row(vec!["OS".into(), "Linux 2.6.18".into(), "Linux 2.6.25".into(), "OpenSolaris".into(), "Solaris 9".into()]);
+    println!("{}", t.render());
+
+    println!("This reproduction's host:");
+    let mut t = Table::new(&["Parameter", "Value"]);
+    t.row(vec![
+        "Processor".into(),
+        read_cpuinfo("model name").unwrap_or_else(|| std::env::consts::ARCH.to_string()),
+    ]);
+    t.row(vec!["Total execution contexts".into(), host_threads().to_string()]);
+    if let Some(mhz) = read_cpuinfo("cpu MHz") {
+        t.row(vec!["Clock".into(), format!("{mhz} MHz")]);
+    }
+    if let Some(gb) = read_meminfo_gb() {
+        t.row(vec!["Memory".into(), format!("{gb:.1} GB")]);
+    }
+    t.row(vec![
+        "OS".into(),
+        format!("{} ({})", std::env::consts::OS, std::env::consts::ARCH),
+    ]);
+    t.row(vec![
+        "rustc".into(),
+        option_env!("CARGO_PKG_RUST_VERSION").unwrap_or("see rustc --version").into(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "Substitution note (DESIGN.md §4): the paper's machine axis is emulated\n\
+         by the delegate-thread count; configurations beyond {} contexts are\n\
+         oversubscribed on this host and marked as such in Figure 4/6 output.",
+        host_threads()
+    );
+}

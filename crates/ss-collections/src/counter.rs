@@ -1,0 +1,200 @@
+//! Reducible tallies: a scalar counter and a fixed-width histogram.
+//!
+//! The `histogram` benchmark (Table 2) tallies 3×256 colour bins over a
+//! bitmap; [`ReducibleHistogram`] is its accumulation structure — each
+//! executor owns a private bin array, merged element-wise at reduction
+//! (the paper notes `histogram` "spends a negligible amount of time" in
+//! reduction, which the Figure 5a harness verifies for our port).
+
+use ss_core::{Reduce, Reducible, Runtime, SsResult};
+
+struct CounterView(u64);
+
+impl Reduce for CounterView {
+    fn reduce(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+/// A reducible additive counter.
+///
+/// ```
+/// use ss_collections::ReducibleCounter;
+/// use ss_core::{Runtime, SequenceSerializer, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let hits = ReducibleCounter::new(&rt);
+/// let jobs: Vec<Writable<u64, SequenceSerializer>> =
+///     (0..10).map(|i| Writable::new(&rt, i)).collect();
+/// rt.begin_isolation().unwrap();
+/// for j in &jobs {
+///     let hits = hits.clone();
+///     j.delegate(move |v| hits.add(*v).unwrap()).unwrap();
+/// }
+/// rt.end_isolation().unwrap();
+/// assert_eq!(hits.get().unwrap(), (0..10).sum::<u64>());
+/// ```
+pub struct ReducibleCounter {
+    inner: Reducible<CounterView>,
+}
+
+impl Clone for ReducibleCounter {
+    fn clone(&self) -> Self {
+        ReducibleCounter {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl ReducibleCounter {
+    /// Creates a zeroed counter on `rt`.
+    pub fn new(rt: &Runtime) -> Self {
+        ReducibleCounter {
+            inner: Reducible::new(rt, || CounterView(0)),
+        }
+    }
+
+    /// Adds `n` to the calling executor's tally.
+    pub fn add(&self, n: u64) -> SsResult<()> {
+        self.inner.view(|c| c.0 += n)
+    }
+
+    /// Increments by one.
+    pub fn increment(&self) -> SsResult<()> {
+        self.add(1)
+    }
+
+    /// Reads the merged total (program context, aggregation epoch) or the
+    /// local tally (inside delegated operations).
+    pub fn get(&self) -> SsResult<u64> {
+        self.inner.view(|c| c.0)
+    }
+
+    /// Removes and returns the merged total, resetting to zero.
+    pub fn take(&self) -> SsResult<u64> {
+        Ok(self.inner.take()?.map(|c| c.0).unwrap_or(0))
+    }
+}
+
+struct HistView(Vec<u64>);
+
+impl Reduce for HistView {
+    fn reduce(&mut self, other: Self) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a += b;
+        }
+    }
+}
+
+/// A reducible fixed-width histogram: per-executor bin arrays merged
+/// element-wise.
+pub struct ReducibleHistogram {
+    inner: Reducible<HistView>,
+    bins: usize,
+}
+
+impl Clone for ReducibleHistogram {
+    fn clone(&self) -> Self {
+        ReducibleHistogram {
+            inner: self.inner.clone(),
+            bins: self.bins,
+        }
+    }
+}
+
+impl ReducibleHistogram {
+    /// Creates a histogram with `bins` zeroed buckets on `rt`.
+    pub fn new(rt: &Runtime, bins: usize) -> Self {
+        ReducibleHistogram {
+            inner: Reducible::new(rt, move || HistView(vec![0; bins])),
+            bins,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Increments bucket `bin` (panics on out-of-range, like slice indexing).
+    pub fn bump(&self, bin: usize) -> SsResult<()> {
+        self.inner.view(|h| h.0[bin] += 1)
+    }
+
+    /// Adds `n` to bucket `bin`.
+    pub fn add(&self, bin: usize, n: u64) -> SsResult<()> {
+        self.inner.view(|h| h.0[bin] += n)
+    }
+
+    /// Bulk update: hands the executor's bin array to `f` (one view access
+    /// for a whole scan — the fast path for the histogram benchmark).
+    pub fn with_bins<R>(&self, f: impl FnOnce(&mut [u64]) -> R) -> SsResult<R> {
+        self.inner.view(|h| f(&mut h.0))
+    }
+
+    /// Snapshot of the merged histogram (program context, aggregation).
+    pub fn snapshot(&self) -> SsResult<Vec<u64>> {
+        self.inner.read(|h| h.0.clone())
+    }
+
+    /// Removes and returns the merged histogram, resetting all buckets.
+    pub fn take(&self) -> SsResult<Vec<u64>> {
+        let bins = self.bins;
+        Ok(self.inner.take()?.map(|h| h.0).unwrap_or_else(|| vec![0; bins]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{SequenceSerializer, Writable};
+
+    #[test]
+    fn counter_merges() {
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let c = ReducibleCounter::new(&rt);
+        let jobs: Vec<Writable<u64, SequenceSerializer>> =
+            (0..20).map(|_| Writable::new(&rt, 1)).collect();
+        rt.begin_isolation().unwrap();
+        for j in &jobs {
+            let c = c.clone();
+            j.delegate(move |_| c.increment().unwrap()).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(c.get().unwrap(), 20);
+        assert_eq!(c.take().unwrap(), 20);
+        assert_eq!(c.get().unwrap(), 0);
+    }
+
+    #[test]
+    fn histogram_bins_merge_elementwise() {
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let h = ReducibleHistogram::new(&rt, 4);
+        let jobs: Vec<Writable<u64, SequenceSerializer>> =
+            (0..16).map(|i| Writable::new(&rt, i)).collect();
+        rt.begin_isolation().unwrap();
+        for j in &jobs {
+            let h = h.clone();
+            j.delegate(move |v| h.bump((*v % 4) as usize).unwrap()).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(h.snapshot().unwrap(), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn with_bins_bulk_update() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let h = ReducibleHistogram::new(&rt, 3);
+        rt.isolated(|| {
+            h.with_bins(|bins| {
+                bins[0] += 5;
+                bins[2] += 7;
+            })
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(h.take().unwrap(), vec![5, 0, 7]);
+        assert_eq!(h.snapshot().unwrap(), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ss-collections — reducible shared data structures
+//!
+//! The Prometheus library "provides a library of useful programming tools,
+//! including pre-written serializers, and a set of shared data structures"
+//! (§1) — in particular `reducible_map` and `reducible_set`, which the
+//! `reverse_index` example of Figure 3 is built on, and "a set of smart
+//! pointer types that can track ownership of pointed-to objects" (§3.1).
+//!
+//! This crate supplies those data structures on top of
+//! [`ss_core::Reducible`]:
+//!
+//! * [`ReducibleMap`] — per-executor hash maps; values merged by
+//!   [`Reduce`](ss_core::Reduce) on key collisions at reduction time.
+//! * [`ReducibleSet`] — per-executor hash sets; union at reduction.
+//! * [`ReducibleVec`] — per-executor vectors; concatenation at reduction.
+//! * [`ReducibleCounter`] / [`ReducibleHistogram`] / [`ReducibleStats`] —
+//!   scalar, binned, and streaming-moment tallies.
+//! * [`Sum`], [`MaxVal`], [`MinVal`], [`Concat`], [`UnionSet`] — `Reduce`
+//!   newtypes for common merge semantics.
+//! * [`OwnerTracked`] — the ownership-tracking smart pointer: detects a
+//!   pointee touched by more than one executor within an epoch.
+//! * [`FxHasher`] — a fast non-cryptographic hasher (the rustc `FxHash`
+//!   algorithm) used by the reducible containers, since delegated operations
+//!   hash small keys in their hot loop.
+
+#![warn(missing_docs)]
+
+mod counter;
+mod fxhash;
+mod map;
+mod reduce_ops;
+mod set;
+mod stats_acc;
+mod tracked;
+mod vec;
+
+pub use counter::{ReducibleCounter, ReducibleHistogram};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use map::ReducibleMap;
+pub use reduce_ops::{Concat, MaxVal, MinVal, Sum, UnionSet};
+pub use set::ReducibleSet;
+pub use stats_acc::{ReducibleStats, StatsSnapshot};
+pub use tracked::OwnerTracked;
+pub use vec::ReducibleVec;

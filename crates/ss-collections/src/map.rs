@@ -1,0 +1,270 @@
+//! `reducible_map`: a hash map with per-executor views.
+//!
+//! This is the data structure behind Figure 3's `link_map`: delegated
+//! operations insert into (and look up in) their executor's private view
+//! with zero synchronization; the first aggregation-epoch access "finds
+//! instances of the same link in different views of the link map, and calls
+//! their reduce method to merge them together".
+//!
+//! Because lookups during isolation see only the local view, a key inserted
+//! by one executor is *not* visible to another until reduction — exactly the
+//! paper's semantics (duplicate `link_t` objects are created and merged
+//! later). Code that needs cross-view uniqueness should perform container
+//! accesses in the program context (§2.2, third technique).
+
+use ss_core::{Reduce, Reducible, Runtime, SsResult};
+
+use crate::fxhash::FxHashMap;
+
+/// Inner per-executor view: a hash map whose values merge on key collision.
+struct MapView<K, V>(FxHashMap<K, V>);
+
+impl<K, V> Reduce for MapView<K, V>
+where
+    K: Eq + std::hash::Hash + Send + 'static,
+    V: Reduce,
+{
+    fn reduce(&mut self, other: Self) {
+        for (k, v) in other.0 {
+            match self.0.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().reduce(v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+}
+
+/// A reducible hash map (Prometheus `reducible_map<K, V>`).
+///
+/// ```
+/// use ss_collections::{ReducibleMap, Sum};
+/// use ss_core::{Runtime, SequenceSerializer, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let counts: ReducibleMap<String, Sum<u64>> = ReducibleMap::new(&rt);
+/// let docs: Vec<Writable<Vec<&'static str>, SequenceSerializer>> = vec![
+///     Writable::new(&rt, vec!["a", "b", "a"]),
+///     Writable::new(&rt, vec!["b", "c"]),
+/// ];
+///
+/// rt.begin_isolation().unwrap();
+/// for d in &docs {
+///     let counts = counts.clone();
+///     d.delegate(move |words| {
+///         for w in words.iter() {
+///             counts.update(w.to_string(), || Sum(0), |c| c.0 += 1).unwrap();
+///         }
+///     }).unwrap();
+/// }
+/// rt.end_isolation().unwrap();
+///
+/// assert_eq!(counts.get(&"a".to_string(), |v| v.map(|s| s.0)).unwrap(), Some(2));
+/// assert_eq!(counts.len().unwrap(), 3);
+/// ```
+pub struct ReducibleMap<K, V>
+where
+    K: Eq + std::hash::Hash + Send + 'static,
+    V: Reduce,
+{
+    inner: Reducible<MapView<K, V>>,
+}
+
+impl<K, V> Clone for ReducibleMap<K, V>
+where
+    K: Eq + std::hash::Hash + Send + 'static,
+    V: Reduce,
+{
+    fn clone(&self) -> Self {
+        ReducibleMap {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<K, V> ReducibleMap<K, V>
+where
+    K: Eq + std::hash::Hash + Send + 'static,
+    V: Reduce,
+{
+    /// Creates an empty reducible map on `rt`.
+    pub fn new(rt: &Runtime) -> Self {
+        ReducibleMap {
+            inner: Reducible::new(rt, || MapView(FxHashMap::default())),
+        }
+    }
+
+    /// Inserts into the calling executor's view, returning the view-local
+    /// previous value.
+    pub fn insert(&self, key: K, value: V) -> SsResult<Option<V>> {
+        self.inner.view(|m| m.0.insert(key, value))
+    }
+
+    /// The Figure 3 find-or-create pattern: if `key` exists in this
+    /// executor's view apply `apply`, otherwise insert `init()` first and
+    /// apply to it.
+    pub fn update<R>(
+        &self,
+        key: K,
+        init: impl FnOnce() -> V,
+        apply: impl FnOnce(&mut V) -> R,
+    ) -> SsResult<R> {
+        self.inner
+            .view(|m| apply(m.0.entry(key).or_insert_with(init)))
+    }
+
+    /// Looks `key` up in the calling executor's view (after reduction, the
+    /// program context sees the merged map).
+    pub fn get<R>(&self, key: &K, f: impl FnOnce(Option<&V>) -> R) -> SsResult<R> {
+        self.inner.view(|m| f(m.0.get(key)))
+    }
+
+    /// View-local membership test (merged view in aggregation epochs).
+    pub fn contains_key(&self, key: &K) -> SsResult<bool> {
+        self.inner.view(|m| m.0.contains_key(key))
+    }
+
+    /// Number of entries visible to the calling executor (the merged total
+    /// when called from the program context during aggregation).
+    pub fn len(&self) -> SsResult<usize> {
+        self.inner.view(|m| m.0.len())
+    }
+
+    /// True when the visible view has no entries.
+    pub fn is_empty(&self) -> SsResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Iterates the merged map (program context, aggregation epoch).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) -> SsResult<()> {
+        self.inner.read(|m| {
+            for (k, v) in m.0.iter() {
+                f(k, v);
+            }
+        })
+    }
+
+    /// Removes and returns the merged map (program context, aggregation
+    /// epoch). Subsequent epochs start empty.
+    pub fn take(&self) -> SsResult<FxHashMap<K, V>> {
+        Ok(self.inner.take()?.map(|v| v.0).unwrap_or_default())
+    }
+
+    /// Sorted snapshot of the merged map (program context, aggregation
+    /// epoch); requires `K: Ord + Clone`, `V: Clone`.
+    pub fn to_sorted_vec(&self) -> SsResult<Vec<(K, V)>>
+    where
+        K: Ord + Clone,
+        V: Clone,
+    {
+        let mut out = self
+            .inner
+            .read(|m| m.0.iter().map(|(k, v)| (k.clone(), v.clone())).collect::<Vec<_>>())?;
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce_ops::{Sum, UnionSet};
+    use ss_core::{SequenceSerializer, Writable};
+
+    fn rt(n: usize) -> Runtime {
+        Runtime::builder().delegate_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn merges_counts_across_views() {
+        let rt = rt(2);
+        let map: ReducibleMap<u32, Sum<u64>> = ReducibleMap::new(&rt);
+        let cells: Vec<Writable<u32, SequenceSerializer>> =
+            (0..8).map(|i| Writable::new(&rt, i)).collect();
+        rt.begin_isolation().unwrap();
+        for c in &cells {
+            let map = map.clone();
+            c.delegate(move |val| {
+                // Every object counts key (val % 3).
+                map.update(*val % 3, || Sum(0), |s| s.0 += 1).unwrap();
+            })
+            .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let total: u64 = [0u32, 1, 2]
+            .iter()
+            .map(|k| map.get(k, |v| v.map_or(0, |s| s.0)).unwrap())
+            .sum();
+        assert_eq!(total, 8);
+        assert_eq!(map.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn values_reduce_on_collision() {
+        let rt = rt(3);
+        let map: ReducibleMap<&'static str, UnionSet<u32>> = ReducibleMap::new(&rt);
+        let cells: Vec<Writable<u32, SequenceSerializer>> =
+            (0..6).map(|i| Writable::new(&rt, i)).collect();
+        rt.begin_isolation().unwrap();
+        for c in &cells {
+            let map = map.clone();
+            c.delegate(move |val| {
+                map.update(
+                    "shared-key",
+                    UnionSet::default,
+                    |s| {
+                        s.0.insert(*val);
+                    },
+                )
+                .unwrap();
+            })
+            .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let merged = map
+            .get(&"shared-key", |v| v.map(|s| s.0.clone()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(merged.len(), 6);
+    }
+
+    #[test]
+    fn take_resets_the_map() {
+        let rt = rt(1);
+        let map: ReducibleMap<u8, Sum<u32>> = ReducibleMap::new(&rt);
+        rt.isolated(|| {
+            map.insert(1, Sum(10)).unwrap();
+        })
+        .unwrap();
+        let taken = map.take().unwrap();
+        assert_eq!(taken.len(), 1);
+        assert!(map.is_empty().unwrap());
+    }
+
+    #[test]
+    fn sorted_snapshot() {
+        let rt = rt(1);
+        let map: ReducibleMap<u8, Sum<u32>> = ReducibleMap::new(&rt);
+        rt.isolated(|| {
+            for k in [3u8, 1, 2] {
+                map.insert(k, Sum(k as u32)).unwrap();
+            }
+        })
+        .unwrap();
+        let v = map.to_sorted_vec().unwrap();
+        assert_eq!(v, vec![(1, Sum(1)), (2, Sum(2)), (3, Sum(3))]);
+    }
+
+    #[test]
+    fn program_context_sees_local_view_during_isolation() {
+        let rt = rt(1);
+        let map: ReducibleMap<u8, Sum<u32>> = ReducibleMap::new(&rt);
+        rt.begin_isolation().unwrap();
+        map.insert(1, Sum(1)).unwrap();
+        // Program context sees its own view only.
+        assert!(map.contains_key(&1).unwrap());
+        rt.end_isolation().unwrap();
+        assert!(map.contains_key(&1).unwrap());
+    }
+}

@@ -1,0 +1,144 @@
+//! `Reduce` newtypes for common merge semantics.
+//!
+//! `ss_core::Reduce` cannot be implemented for foreign primitives without
+//! picking one arbitrary merge (sum? max?), so these transparent newtypes
+//! carry the semantics in the type: `ReducibleMap<String, Sum<u64>>` is a
+//! word-count map, `ReducibleMap<Url, UnionSet<File>>` is Figure 3's
+//! link→files index.
+
+use ss_core::Reduce;
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash};
+
+/// Additive merge: `a.reduce(b)` is `a += b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Sum<T>(pub T);
+
+impl<T> Reduce for Sum<T>
+where
+    T: core::ops::AddAssign + Send + 'static,
+{
+    fn reduce(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+/// Maximum merge: keeps the larger value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct MaxVal<T>(pub T);
+
+impl<T> Reduce for MaxVal<T>
+where
+    T: Ord + Send + 'static,
+{
+    fn reduce(&mut self, other: Self) {
+        if other.0 > self.0 {
+            self.0 = other.0;
+        }
+    }
+}
+
+/// Minimum merge: keeps the smaller value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct MinVal<T>(pub T);
+
+impl<T> Reduce for MinVal<T>
+where
+    T: Ord + Send + 'static,
+{
+    fn reduce(&mut self, other: Self) {
+        if other.0 < self.0 {
+            self.0 = other.0;
+        }
+    }
+}
+
+/// Concatenating merge for vectors. Note concatenation is associative but
+/// not commutative: the final order depends on executor slot order (which is
+/// deterministic for a fixed runtime configuration, but differs across
+/// configurations). Sort afterwards when a canonical order matters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Concat<T>(pub Vec<T>);
+
+impl<T: Send + 'static> Reduce for Concat<T> {
+    fn reduce(&mut self, mut other: Self) {
+        self.0.append(&mut other.0);
+    }
+}
+
+/// Set-union merge — the `file_set.reducer(...)` of Figure 3.
+#[derive(Debug, Clone)]
+pub struct UnionSet<T, H = std::hash::RandomState>(pub HashSet<T, H>);
+
+impl<T, H> PartialEq for UnionSet<T, H>
+where
+    T: Eq + Hash,
+    H: BuildHasher,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<T, H> Eq for UnionSet<T, H>
+where
+    T: Eq + Hash,
+    H: BuildHasher,
+{
+}
+
+impl<T, H: Default> Default for UnionSet<T, H> {
+    fn default() -> Self {
+        UnionSet(HashSet::default())
+    }
+}
+
+impl<T, H> Reduce for UnionSet<T, H>
+where
+    T: Eq + Hash + Send + 'static,
+    H: BuildHasher + Send + 'static,
+{
+    fn reduce(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_adds() {
+        let mut a = Sum(3u64);
+        a.reduce(Sum(4));
+        assert_eq!(a, Sum(7));
+    }
+
+    #[test]
+    fn max_and_min_keep_extremes() {
+        let mut mx = MaxVal(3);
+        mx.reduce(MaxVal(9));
+        mx.reduce(MaxVal(1));
+        assert_eq!(mx.0, 9);
+        let mut mn = MinVal(3);
+        mn.reduce(MinVal(9));
+        mn.reduce(MinVal(1));
+        assert_eq!(mn.0, 1);
+    }
+
+    #[test]
+    fn concat_appends_in_order() {
+        let mut a = Concat(vec![1, 2]);
+        a.reduce(Concat(vec![3]));
+        assert_eq!(a.0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_set_merges() {
+        let mut a: UnionSet<u32> = UnionSet([1, 2].into_iter().collect());
+        a.reduce(UnionSet([2, 3].into_iter().collect()));
+        let mut v: Vec<u32> = a.0.into_iter().collect();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,160 @@
+//! `reducible_set`: a hash set with per-executor views, merged by union.
+
+use ss_core::{Reduce, Reducible, Runtime, SsResult};
+
+use crate::fxhash::FxHashSet;
+
+struct SetView<T>(FxHashSet<T>);
+
+impl<T> Reduce for SetView<T>
+where
+    T: Eq + std::hash::Hash + Send + 'static,
+{
+    fn reduce(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+/// A reducible hash set (Prometheus `reducible_set<T>`) — Figure 3 uses one
+/// per link to hold "the set of files in which the link has been found".
+///
+/// ```
+/// use ss_collections::ReducibleSet;
+/// use ss_core::{Runtime, SequenceSerializer, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let seen: ReducibleSet<u64> = ReducibleSet::new(&rt);
+/// let cells: Vec<Writable<u64, SequenceSerializer>> =
+///     (0..10).map(|i| Writable::new(&rt, i)).collect();
+///
+/// rt.begin_isolation().unwrap();
+/// for c in &cells {
+///     let seen = seen.clone();
+///     c.delegate(move |v| { seen.insert(*v % 4).unwrap(); }).unwrap();
+/// }
+/// rt.end_isolation().unwrap();
+/// assert_eq!(seen.len().unwrap(), 4);
+/// ```
+pub struct ReducibleSet<T>
+where
+    T: Eq + std::hash::Hash + Send + 'static,
+{
+    inner: Reducible<SetView<T>>,
+}
+
+impl<T> Clone for ReducibleSet<T>
+where
+    T: Eq + std::hash::Hash + Send + 'static,
+{
+    fn clone(&self) -> Self {
+        ReducibleSet {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> ReducibleSet<T>
+where
+    T: Eq + std::hash::Hash + Send + 'static,
+{
+    /// Creates an empty reducible set on `rt`.
+    pub fn new(rt: &Runtime) -> Self {
+        ReducibleSet {
+            inner: Reducible::new(rt, || SetView(FxHashSet::default())),
+        }
+    }
+
+    /// Inserts into the calling executor's view; returns whether the value
+    /// was new *to that view*.
+    pub fn insert(&self, value: T) -> SsResult<bool> {
+        self.inner.view(|s| s.0.insert(value))
+    }
+
+    /// View-local membership (merged view from the program context during
+    /// aggregation).
+    pub fn contains(&self, value: &T) -> SsResult<bool> {
+        self.inner.view(|s| s.0.contains(value))
+    }
+
+    /// Entries visible to the calling executor.
+    pub fn len(&self) -> SsResult<usize> {
+        self.inner.view(|s| s.0.len())
+    }
+
+    /// True when no entries are visible.
+    pub fn is_empty(&self) -> SsResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Iterates the merged set (program context, aggregation epoch).
+    pub fn for_each(&self, mut f: impl FnMut(&T)) -> SsResult<()> {
+        self.inner.read(|s| {
+            for v in s.0.iter() {
+                f(v);
+            }
+        })
+    }
+
+    /// Removes and returns the merged set (program context, aggregation).
+    pub fn take(&self) -> SsResult<FxHashSet<T>> {
+        Ok(self.inner.take()?.map(|v| v.0).unwrap_or_default())
+    }
+
+    /// Sorted snapshot of the merged set.
+    pub fn to_sorted_vec(&self) -> SsResult<Vec<T>>
+    where
+        T: Ord + Clone,
+    {
+        let mut out = self.inner.read(|s| s.0.iter().cloned().collect::<Vec<_>>())?;
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{SequenceSerializer, Writable};
+
+    #[test]
+    fn union_across_views() {
+        let rt = Runtime::builder().delegate_threads(3).build().unwrap();
+        let set: ReducibleSet<u32> = ReducibleSet::new(&rt);
+        let cells: Vec<Writable<u32, SequenceSerializer>> =
+            (0..12).map(|i| Writable::new(&rt, i)).collect();
+        rt.begin_isolation().unwrap();
+        for c in &cells {
+            let set = set.clone();
+            c.delegate(move |v| {
+                set.insert(*v / 2).unwrap();
+            })
+            .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(set.to_sorted_vec().unwrap(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let set: ReducibleSet<&'static str> = ReducibleSet::new(&rt);
+        rt.isolated(|| {
+            assert!(set.insert("x").unwrap());
+            assert!(!set.insert("x").unwrap());
+        })
+        .unwrap();
+        assert_eq!(set.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn take_resets() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let set: ReducibleSet<u8> = ReducibleSet::new(&rt);
+        rt.isolated(|| {
+            set.insert(1).unwrap();
+        })
+        .unwrap();
+        assert_eq!(set.take().unwrap().len(), 1);
+        assert!(set.is_empty().unwrap());
+    }
+}

@@ -1,0 +1,177 @@
+//! A reducible streaming-statistics accumulator: count / sum / min / max /
+//! mean in one pass, merged across executors at reduction time. The moments
+//! are order-insensitive, making this a canonical reducible (§2.2).
+
+use ss_core::{Reduce, Reducible, Runtime, SsResult};
+
+/// Snapshot of accumulated statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+}
+
+impl StatsSnapshot {
+    /// Arithmetic mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+struct StatsView {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StatsView {
+    fn empty() -> Self {
+        StatsView {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Reduce for StatsView {
+    fn reduce(&mut self, other: Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A reducible statistics accumulator.
+///
+/// ```
+/// use ss_collections::ReducibleStats;
+/// use ss_core::{Runtime, SequenceSerializer, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let stats = ReducibleStats::new(&rt);
+/// let jobs: Vec<Writable<f64, SequenceSerializer>> =
+///     (0..10).map(|i| Writable::new(&rt, i as f64)).collect();
+/// rt.begin_isolation().unwrap();
+/// for j in &jobs {
+///     let stats = stats.clone();
+///     j.delegate(move |v| stats.record(*v).unwrap()).unwrap();
+/// }
+/// rt.end_isolation().unwrap();
+/// let s = stats.snapshot().unwrap();
+/// assert_eq!(s.count, 10);
+/// assert_eq!(s.min, 0.0);
+/// assert_eq!(s.max, 9.0);
+/// assert_eq!(s.mean(), Some(4.5));
+/// ```
+pub struct ReducibleStats {
+    inner: Reducible<StatsView>,
+}
+
+impl Clone for ReducibleStats {
+    fn clone(&self) -> Self {
+        ReducibleStats {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl ReducibleStats {
+    /// Creates an empty accumulator on `rt`.
+    pub fn new(rt: &Runtime) -> Self {
+        ReducibleStats {
+            inner: Reducible::new(rt, StatsView::empty),
+        }
+    }
+
+    /// Records one observation into the calling executor's view.
+    pub fn record(&self, value: f64) -> SsResult<()> {
+        self.inner.view(|s| {
+            s.count += 1;
+            s.sum += value;
+            s.min = s.min.min(value);
+            s.max = s.max.max(value);
+        })
+    }
+
+    /// Merged snapshot (program context, aggregation epoch — triggers the
+    /// reduction on first use).
+    pub fn snapshot(&self) -> SsResult<StatsSnapshot> {
+        self.inner.view(|s| StatsSnapshot {
+            count: s.count,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+        })
+    }
+
+    /// Removes and returns the merged snapshot, resetting the accumulator.
+    pub fn take(&self) -> SsResult<StatsSnapshot> {
+        let out = self.inner.take()?;
+        Ok(out
+            .map(|s| StatsSnapshot {
+                count: s.count,
+                sum: s.sum,
+                min: s.min,
+                max: s.max,
+            })
+            .unwrap_or(StatsSnapshot {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{SequenceSerializer, Writable};
+
+    #[test]
+    fn accumulates_across_executors() {
+        let rt = Runtime::builder().delegate_threads(3).build().unwrap();
+        let stats = ReducibleStats::new(&rt);
+        let jobs: Vec<Writable<f64, SequenceSerializer>> =
+            (0..100).map(|i| Writable::new(&rt, i as f64)).collect();
+        rt.begin_isolation().unwrap();
+        for j in &jobs {
+            let s = stats.clone();
+            j.delegate(move |v| s.record(*v).unwrap()).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let s = stats.snapshot().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, (0..100).sum::<i32>() as f64);
+        assert_eq!((s.min, s.max), (0.0, 99.0));
+        assert!((s.mean().unwrap() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let stats = ReducibleStats::new(&rt);
+        let s = stats.snapshot().unwrap();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn take_resets() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let stats = ReducibleStats::new(&rt);
+        rt.isolated(|| stats.record(5.0).unwrap()).unwrap();
+        assert_eq!(stats.take().unwrap().count, 1);
+        assert_eq!(stats.snapshot().unwrap().count, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The ownership-tracking smart pointer (§3.1).
+//!
+//! "Prometheus also provides a set of smart pointer types that can track
+//! ownership of pointed-to objects, and detect errors when they are accessed
+//! by more than one owner in an isolation epoch."
+//!
+//! In safe Rust, closures can only share state via `Send`/`Sync` types, so
+//! the class of bug this pointer guards against (two delegated operations
+//! reaching one mutable pointee) cannot cause undefined behaviour here — but
+//! it is still a *model* violation worth detecting: it breaks determinism of
+//! outcome ordering. [`OwnerTracked`] reproduces the check: the first
+//! executor to touch the pointee in an epoch becomes its owner; access by a
+//! different executor in the same epoch reports
+//! [`SsError::OwnershipViolation`].
+
+use core::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ss_core::{Runtime, SsError, SsResult};
+
+const SLOT_BITS: u32 = 12;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+/// Sentinel slot meaning "unclaimed in this generation".
+const NO_OWNER: u64 = SLOT_MASK;
+
+struct Inner<T> {
+    value: UnsafeCell<T>,
+    /// Packed `(epoch generation << SLOT_BITS) | owner slot`.
+    claim: AtomicU64,
+    /// Re-entrancy guard for same-executor nested access.
+    borrowed: AtomicBool,
+}
+
+// SAFETY: `value` is only reachable through `with`, which admits exactly one
+// executor per epoch generation (CAS on `claim`) and excludes re-entrancy
+// (`borrowed`); executors themselves are single-threaded streams.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// A shared pointer whose pointee may be touched by only one executor per
+/// epoch.
+///
+/// ```
+/// use ss_collections::OwnerTracked;
+/// use ss_core::{Runtime, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+/// let shared = OwnerTracked::new(&rt, vec![0u8; 16]);
+///
+/// // One serialization set (= one executor) may use it freely:
+/// let w: Writable<u32> = Writable::new(&rt, 0);
+/// rt.begin_isolation().unwrap();
+/// let s = shared.clone();
+/// w.delegate(move |_| { s.with(|buf| buf[0] = 1).unwrap(); }).unwrap();
+/// let s = shared.clone();
+/// w.delegate(move |_| { s.with(|buf| buf[1] = 2).unwrap(); }).unwrap();
+/// rt.end_isolation().unwrap();
+/// assert_eq!(shared.with(|buf| (buf[0], buf[1])).unwrap(), (1, 2));
+/// ```
+pub struct OwnerTracked<T> {
+    inner: Arc<Inner<T>>,
+    rt: Runtime,
+}
+
+impl<T> Clone for OwnerTracked<T> {
+    fn clone(&self) -> Self {
+        OwnerTracked {
+            inner: Arc::clone(&self.inner),
+            rt: self.rt.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> OwnerTracked<T> {
+    /// Wraps `value` in an ownership-tracked pointer on `rt`.
+    pub fn new(rt: &Runtime, value: T) -> Self {
+        OwnerTracked {
+            inner: Arc::new(Inner {
+                value: UnsafeCell::new(value),
+                claim: AtomicU64::new(NO_OWNER), // generation 0, unclaimed
+                borrowed: AtomicBool::new(false),
+            }),
+            rt: rt.clone(),
+        }
+    }
+
+    /// Accesses the pointee, claiming ownership for the calling executor for
+    /// the rest of the epoch.
+    ///
+    /// Errors with [`SsError::OwnershipViolation`] if another executor owns
+    /// the pointee this epoch, [`SsError::NoExecutorContext`] from foreign
+    /// threads, and [`SsError::ReentrantView`] on nested access.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> SsResult<R> {
+        let slot = self
+            .rt
+            .executor_slot()
+            .ok_or(SsError::NoExecutorContext)? as u64;
+        debug_assert!(slot < NO_OWNER);
+        let generation = self.rt.epoch_generation();
+        let want = (generation << SLOT_BITS) | slot;
+        let mut current = self.inner.claim.load(Ordering::Acquire);
+        loop {
+            let cur_gen = current >> SLOT_BITS;
+            let cur_slot = current & SLOT_MASK;
+            if cur_gen == generation && cur_slot != NO_OWNER {
+                if cur_slot == slot {
+                    break; // already ours this epoch
+                }
+                return Err(SsError::OwnershipViolation {
+                    owner_slot: cur_slot as usize,
+                    accessor_slot: slot as usize,
+                });
+            }
+            // Stale generation (or never claimed): try to claim.
+            match self.inner.claim.compare_exchange_weak(
+                current,
+                want,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        if self.inner.borrowed.swap(true, Ordering::Relaxed) {
+            return Err(SsError::ReentrantView);
+        }
+        struct Unborrow<'a>(&'a AtomicBool);
+        impl Drop for Unborrow<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Relaxed);
+            }
+        }
+        let _guard = Unborrow(&self.inner.borrowed);
+        // SAFETY: sole owner this epoch (claim), not re-entrant (borrowed),
+        // and ownership migrates only across epoch boundaries, which are
+        // full synchronization points (end_isolation drains all queues).
+        Ok(f(unsafe { &mut *self.inner.value.get() }))
+    }
+
+    /// Executor slot currently owning the pointee this epoch, if any.
+    pub fn owner_slot(&self) -> Option<usize> {
+        let claim = self.inner.claim.load(Ordering::Acquire);
+        let generation = self.rt.epoch_generation();
+        if claim >> SLOT_BITS == generation && claim & SLOT_MASK != NO_OWNER {
+            Some((claim & SLOT_MASK) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::Writable;
+
+    #[test]
+    fn single_owner_per_epoch() {
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        let p = OwnerTracked::new(&rt, 0u64);
+
+        // Two objects pinned to *different* executors (sets 0 and 1 map to
+        // delegates 0 and 1) → the second access must be rejected.
+        let a: Writable<u32, ss_core::NullSerializer> = Writable::new(&rt, 0);
+        let b: Writable<u32, ss_core::NullSerializer> = Writable::new(&rt, 0);
+        let errors = crate::ReducibleVec::new(&rt);
+
+        rt.begin_isolation().unwrap();
+        let (p1, e1) = (p.clone(), errors.clone());
+        a.delegate_in(0u64, move |_| {
+            if let Err(e) = p1.with(|v| *v += 1) {
+                e1.push(format!("{e}")).unwrap();
+            }
+        })
+        .unwrap();
+        let (p2, e2) = (p.clone(), errors.clone());
+        b.delegate_in(1u64, move |_| {
+            if let Err(e) = p2.with(|v| *v += 1) {
+                e2.push(format!("{e}")).unwrap();
+            }
+        })
+        .unwrap();
+        rt.end_isolation().unwrap();
+
+        let errs = errors.take().unwrap();
+        // Exactly one of the two delegated accesses must have been rejected
+        // (they ran on different executors within one epoch).
+        assert_eq!(errs.len(), 1, "errors: {errs:?}");
+        assert!(errs[0].contains("ownership-tracked"));
+    }
+
+    #[test]
+    fn ownership_resets_across_epochs() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let p = OwnerTracked::new(&rt, 0u64);
+        let w: Writable<u32> = Writable::new(&rt, 0);
+
+        rt.begin_isolation().unwrap();
+        let p1 = p.clone();
+        w.delegate(move |_| {
+            p1.with(|v| *v += 1).unwrap();
+        })
+        .unwrap();
+        rt.end_isolation().unwrap();
+
+        // Aggregation epoch: program context may claim it now.
+        p.with(|v| *v += 1).unwrap();
+        assert_eq!(p.with(|v| *v).unwrap(), 2);
+
+        // Next isolation epoch: a delegate may own it again.
+        rt.begin_isolation().unwrap();
+        let p1 = p.clone();
+        w.delegate(move |_| {
+            p1.with(|v| *v += 1).unwrap();
+        })
+        .unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(p.with(|v| *v).unwrap(), 3);
+    }
+
+    #[test]
+    fn reentrant_access_rejected() {
+        let rt = Runtime::builder().delegate_threads(0).build().unwrap();
+        let p = OwnerTracked::new(&rt, 0u64);
+        let p2 = p.clone();
+        let inner = p.with(move |_| p2.with(|v| *v)).unwrap();
+        assert_eq!(inner, Err(SsError::ReentrantView));
+    }
+
+    #[test]
+    fn foreign_thread_rejected() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let p = OwnerTracked::new(&rt, 0u64);
+        let p2 = p.clone();
+        std::thread::spawn(move || {
+            assert_eq!(p2.with(|v| *v), Err(SsError::NoExecutorContext));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn owner_slot_reporting() {
+        let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+        let p = OwnerTracked::new(&rt, 0u64);
+        assert_eq!(p.owner_slot(), None);
+        p.with(|_| ()).unwrap();
+        assert_eq!(p.owner_slot(), Some(0)); // program context
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: the reducible containers must behave exactly like their
+//! sequential counterparts for arbitrary operation mixes, regardless of how
+//! operations are scattered across serialization sets and delegate counts.
+
+use proptest::prelude::*;
+use ss_collections::{ReducibleMap, ReducibleSet, ReducibleVec, Sum};
+use ss_core::{Runtime, SequenceSerializer, Writable};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    /// Add `v` to key `k` (update-or-insert).
+    Add(u8, u32),
+}
+
+fn map_ops() -> impl Strategy<Value = MapOp> {
+    (any::<u8>(), 1u32..100).prop_map(|(k, v)| MapOp::Add(k % 16, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reducible_map_equals_hashmap_oracle(
+        ops in proptest::collection::vec(map_ops(), 0..200),
+        delegates in 0usize..4,
+        objects in 1usize..6,
+    ) {
+        // Oracle.
+        let mut oracle: HashMap<u8, u64> = HashMap::new();
+        for MapOp::Add(k, v) in &ops {
+            *oracle.entry(*k).or_insert(0) += *v as u64;
+        }
+
+        // Runtime: scatter the ops across `objects` serialization sets.
+        let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+        let map: ReducibleMap<u8, Sum<u64>> = ReducibleMap::new(&rt);
+        let cells: Vec<Writable<u32, SequenceSerializer>> =
+            (0..objects).map(|_| Writable::new(&rt, 0)).collect();
+        rt.begin_isolation().unwrap();
+        for (i, MapOp::Add(k, v)) in ops.iter().enumerate() {
+            let (k, v) = (*k, *v);
+            let map = map.clone();
+            cells[i % objects]
+                .delegate(move |_| {
+                    map.update(k, || Sum(0), |s| s.0 += v as u64).unwrap();
+                })
+                .unwrap();
+        }
+        rt.end_isolation().unwrap();
+
+        let merged = map.take().unwrap();
+        let got: HashMap<u8, u64> = merged.into_iter().map(|(k, v)| (k, v.0)).collect();
+        prop_assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn reducible_set_equals_hashset_oracle(
+        values in proptest::collection::vec(any::<u16>(), 0..300),
+        delegates in 0usize..4,
+    ) {
+        let oracle: HashSet<u16> = values.iter().copied().collect();
+        let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+        let set: ReducibleSet<u16> = ReducibleSet::new(&rt);
+        let cells: Vec<Writable<u32, SequenceSerializer>> =
+            (0..4).map(|_| Writable::new(&rt, 0)).collect();
+        rt.begin_isolation().unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let v = *v;
+            let set = set.clone();
+            cells[i % 4]
+                .delegate(move |_| {
+                    set.insert(v).unwrap();
+                })
+                .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let got: HashSet<u16> = set.take().unwrap().into_iter().collect();
+        prop_assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn reducible_vec_preserves_multiset_and_per_set_order(
+        values in proptest::collection::vec(any::<u32>(), 0..200),
+        delegates in 1usize..4,
+    ) {
+        let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+        let out: ReducibleVec<(usize, u32)> = ReducibleVec::new(&rt);
+        let cells: Vec<Writable<u32, SequenceSerializer>> =
+            (0..3).map(|_| Writable::new(&rt, 0)).collect();
+        rt.begin_isolation().unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let v = *v;
+            let out = out.clone();
+            let lane = i % 3;
+            cells[lane]
+                .delegate(move |_| {
+                    out.push((lane, v)).unwrap();
+                })
+                .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let collected = out.take().unwrap();
+        // Multiset equality with the input.
+        let mut got: Vec<u32> = collected.iter().map(|(_, v)| *v).collect();
+        let mut want = values.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Per-lane (= per-serialization-set) order is the program order.
+        for lane in 0..3 {
+            let lane_vals: Vec<u32> = collected
+                .iter()
+                .filter(|(l, _)| *l == lane)
+                .map(|(_, v)| *v)
+                .collect();
+            let expected: Vec<u32> = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == lane)
+                .map(|(_, v)| *v)
+                .collect();
+            prop_assert_eq!(lane_vals, expected, "lane {}", lane);
+        }
+    }
+}

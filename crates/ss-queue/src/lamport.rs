@@ -1,0 +1,278 @@
+//! Classic Lamport SPSC ring buffer — the ablation baseline.
+//!
+//! Lamport's queue keeps *shared* head and tail indices: every enqueue writes
+//! `head` and reads `tail`, every dequeue writes `tail` and reads `head`, so
+//! the index cache lines ping-pong between the two cores on every operation.
+//! FastForward's contribution (and the reason the serialization-sets paper
+//! adopted it) is eliminating exactly this traffic. The `ablation_queue`
+//! benchmark in `ss-bench` measures the difference on this machine.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::pad::CachePadded;
+use crate::{Backoff, Full, Pop};
+
+/// Shared state of a [`LamportQueue`].
+struct Shared<T> {
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the producer will write. Padded so it at least does not
+    /// false-share with `tail`; it still true-shares with the consumer,
+    /// which is the behaviour under study.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the consumer will read.
+    tail: CachePadded<AtomicUsize>,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: same SPSC protocol argument as `SpscQueue`, but ordering is carried
+// by the shared indices: a slot in [tail, head) was published by a Release
+// store to `head` and is read after an Acquire load of `head` (and vice versa
+// for reuse after `tail` advances).
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        let head = self.head.load(Ordering::Relaxed);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        while tail != head {
+            // SAFETY: slots in [tail, head) are initialized and unconsumed.
+            unsafe { (*self.buffer[tail & self.mask].get()).assume_init_drop() };
+            tail = tail.wrapping_add(1);
+        }
+    }
+}
+
+/// Bounded SPSC queue with shared atomic indices (Lamport, 1983).
+pub struct LamportQueue<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T> LamportQueue<T> {
+    /// Creates a queue with at least `capacity` slots (rounded up to a power
+    /// of two) and returns the producer/consumer pair.
+    pub fn with_capacity(capacity: usize) -> (LamportProducer<T>, LamportConsumer<T>) {
+        let cap = capacity.max(1).next_power_of_two();
+        let buffer = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let shared = Arc::new(Shared {
+            buffer,
+            mask: cap - 1,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            producer_alive: AtomicBool::new(true),
+            consumer_alive: AtomicBool::new(true),
+        });
+        (
+            LamportProducer {
+                shared: Arc::clone(&shared),
+            },
+            LamportConsumer { shared },
+        )
+    }
+}
+
+/// Sending half of a [`LamportQueue`].
+pub struct LamportProducer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+unsafe impl<T: Send> Send for LamportProducer<T> {}
+
+impl<T> LamportProducer<T> {
+    /// Attempts to enqueue without blocking.
+    #[inline]
+    pub fn try_push(&self, value: T) -> Result<(), Full<T>> {
+        let q = &*self.shared;
+        let head = q.head.load(Ordering::Relaxed);
+        let tail = q.tail.load(Ordering::Acquire); // the shared-index read FastForward avoids
+        if head.wrapping_sub(tail) == q.buffer.len() {
+            return Err(Full(value));
+        }
+        // SAFETY: slot `head` is outside [tail, head) so the consumer is not
+        // reading it; we are the only producer.
+        unsafe { (*q.buffer[head & q.mask].get()).write(value) };
+        q.head.store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues, spinning while full; `Err(value)` if the consumer is gone.
+    pub fn push_blocking(&self, mut value: T) -> Result<(), T> {
+        let backoff = Backoff::new();
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(Full(v)) => {
+                    if !self.shared.consumer_alive.load(Ordering::Acquire) {
+                        return Err(v);
+                    }
+                    value = v;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Ring capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.shared.buffer.len()
+    }
+}
+
+impl<T> Drop for LamportProducer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Receiving half of a [`LamportQueue`].
+pub struct LamportConsumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+unsafe impl<T: Send> Send for LamportConsumer<T> {}
+
+impl<T> LamportConsumer<T> {
+    /// Attempts to dequeue without blocking.
+    #[inline]
+    pub fn try_pop(&self) -> Pop<T> {
+        let q = &*self.shared;
+        let tail = q.tail.load(Ordering::Relaxed);
+        let head = q.head.load(Ordering::Acquire);
+        if tail == head {
+            if !q.producer_alive.load(Ordering::Acquire) {
+                // Re-check: the producer may have pushed right before dying.
+                if q.head.load(Ordering::Acquire) != tail {
+                    return self.try_pop();
+                }
+                return Pop::Disconnected;
+            }
+            return Pop::Empty;
+        }
+        // SAFETY: slot `tail` is inside [tail, head), published by the
+        // producer's Release store to `head`.
+        let value = unsafe { (*q.buffer[tail & q.mask].get()).assume_init_read() };
+        q.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Pop::Value(value)
+    }
+
+    /// Dequeues, spinning while empty; `None` after producer disconnect and
+    /// drain.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let backoff = Backoff::new();
+        loop {
+            match self.try_pop() {
+                Pop::Value(v) => return Some(v),
+                Pop::Disconnected => return None,
+                Pop::Empty => backoff.snooze(),
+            }
+        }
+    }
+
+    /// Current queue length (exact for SPSC, unlike FastForward).
+    pub fn len(&self) -> usize {
+        let q = &*self.shared;
+        q.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(q.tail.load(Ordering::Relaxed))
+    }
+
+    /// True when no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for LamportConsumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn fifo_and_full() {
+        let (tx, rx) = LamportQueue::with_capacity(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(matches!(tx.try_push(9), Err(Full(9))));
+        for i in 0..4 {
+            assert_eq!(rx.try_pop().value(), Some(i));
+        }
+        assert!(matches!(rx.try_pop(), Pop::Empty));
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let (tx, rx) = LamportQueue::with_capacity(8);
+        assert!(rx.is_empty());
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.try_pop().value().unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn disconnect_protocol() {
+        let (tx, rx) = LamportQueue::with_capacity(4);
+        tx.try_push(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop_blocking(), Some(7));
+        assert_eq!(rx.pop_blocking(), None);
+    }
+
+    #[derive(Debug)]
+    struct DropCounter<'a>(&'a AtomicUsize);
+    impl Drop for DropCounter<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn drops_in_flight_values() {
+        let drops = AtomicUsize::new(0);
+        {
+            let (tx, _rx) = LamportQueue::with_capacity(8);
+            for _ in 0..3 {
+                tx.try_push(DropCounter(&drops)).unwrap();
+            }
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn cross_thread_stream_integrity() {
+        const N: u64 = 100_000;
+        let (tx, rx) = LamportQueue::with_capacity(128);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.push_blocking(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                let mut expected = 0;
+                while let Some(v) = rx.pop_blocking() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                assert_eq!(expected, N);
+            });
+        });
+    }
+}

@@ -1,0 +1,83 @@
+//! Cache-optimized lock-free single-producer / single-consumer queues.
+//!
+//! This crate is the communication substrate of the serialization-sets
+//! runtime, reproducing the queue design the paper builds on:
+//!
+//! > "The communication queue is based on FastForward \[6\], a cache-optimized
+//! > lock-free concurrent queue, which performs very low overhead data
+//! > transfers between processors. … the only synchronization required is
+//! > checking the full condition on the producer side, and the empty
+//! > condition on the consumer side. … these conditions are checked in a spin
+//! > loop rather than using blocking OS synchronization." — §4
+//!
+//! Two queue implementations are provided:
+//!
+//! * [`SpscQueue`] — FastForward-style: *no shared head/tail indices at all*.
+//!   Each slot carries its own full/empty flag; the producer and consumer
+//!   keep purely thread-local cursors, so in steady state they touch disjoint
+//!   cache lines and never contend on index words.
+//! * [`LamportQueue`] — the classic Lamport ring buffer with shared atomic
+//!   head/tail indices. Retained as the ablation baseline for the
+//!   `ablation_queue` experiment (FastForward's contribution is precisely the
+//!   removal of this index sharing).
+//!
+//! Both queues are bounded, lock-free, and split statically into a
+//! [`Producer`]/[`Consumer`] handle pair so the single-producer /
+//! single-consumer contract is enforced by the type system rather than by
+//! convention.
+//!
+//! # Example
+//!
+//! ```
+//! let (tx, rx) = ss_queue::SpscQueue::with_capacity(64);
+//! std::thread::scope(|s| {
+//!     s.spawn(move || {
+//!         for i in 0..1000u64 {
+//!             tx.push_blocking(i);
+//!         }
+//!     });
+//!     s.spawn(move || {
+//!         for i in 0..1000u64 {
+//!             assert_eq!(rx.pop_blocking(), Some(i));
+//!         }
+//!     });
+//! });
+//! ```
+
+mod backoff;
+mod lamport;
+mod pad;
+mod spsc;
+
+pub use backoff::Backoff;
+pub use lamport::LamportQueue;
+pub use pad::CachePadded;
+pub use spsc::{Consumer, Producer, SpscQueue};
+
+/// Error returned by `try_push` when the ring is full; carries the rejected
+/// value so the caller can retry without cloning.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Full<T>(pub T);
+
+/// Result of a `try_pop` on a queue whose producer may disconnect.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// A value was dequeued.
+    Value(T),
+    /// The queue is currently empty but the producer is still connected.
+    Empty,
+    /// The queue is empty and the producer handle has been dropped; no more
+    /// values will ever arrive.
+    Disconnected,
+}
+
+impl<T> Pop<T> {
+    /// Converts to `Option`, mapping both `Empty` and `Disconnected` to `None`.
+    #[inline]
+    pub fn value(self) -> Option<T> {
+        match self {
+            Pop::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Cache-line padding to prevent false sharing between adjacent fields that
+//! are written by different threads.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes.
+///
+/// 128 rather than 64 because recent Intel (and some ARM) parts prefetch
+/// cache lines in adjacent pairs, so two logically-independent 64-byte lines
+/// can still ping-pong ("spatial prefetcher" false sharing). This matches
+/// what `crossbeam_utils::CachePadded` does on x86-64.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(core::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(core::mem::size_of::<CachePadded<u8>>(), 128);
+        // Large values keep their own size, rounded up to the alignment.
+        assert_eq!(core::mem::size_of::<CachePadded<[u8; 200]>>(), 256);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn adjacent_elements_do_not_share_lines() {
+        let v = [CachePadded::new(0u8), CachePadded::new(0u8)];
+        let a = &v[0] as *const _ as usize;
+        let b = &v[1] as *const _ as usize;
+        assert!(b - a >= 128);
+    }
+}

@@ -1,0 +1,392 @@
+//! FastForward-style SPSC ring buffer.
+//!
+//! The defining property of FastForward (Giacomoni et al., PPoPP 2008) is
+//! that the producer and consumer share **no index variables**: each slot
+//! carries its own full/empty flag, and each side keeps a purely thread-local
+//! cursor. In steady state the producer's and consumer's working sets are
+//! disjoint cache lines, so an enqueue/dequeue pair costs two uncontended
+//! atomic operations. This is the queue the serialization-sets runtime uses
+//! for program-thread → delegate-thread communication.
+
+use core::cell::{Cell, UnsafeCell};
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::{Backoff, Full, Pop};
+
+/// One ring slot: the `full` flag doubles as the synchronization variable
+/// (FastForward uses the data word itself; we need a separate flag to support
+/// arbitrary `T`, but the cache behaviour is the same — flag and payload live
+/// on the same line for small `T`).
+struct Slot<T> {
+    full: AtomicBool,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free SPSC queue with slot-local signalling.
+///
+/// Construct with [`SpscQueue::with_capacity`], which returns the
+/// statically-split [`Producer`] / [`Consumer`] handle pair.
+pub struct SpscQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: slots are only accessed according to the SPSC protocol — the
+// producer writes a slot only while `full == false` and the consumer reads it
+// only while `full == true`, with Release/Acquire edges on `full` ordering
+// the payload accesses. Values of `T` move between threads, hence `T: Send`.
+unsafe impl<T: Send> Send for SpscQueue<T> {}
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+
+impl<T> SpscQueue<T> {
+    /// Creates a queue with at least `capacity` slots (rounded up to a power
+    /// of two) and returns the producer and consumer handles.
+    pub fn with_capacity(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        let cap = capacity.max(1).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| Slot {
+                full: AtomicBool::new(false),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let shared = Arc::new(SpscQueue {
+            slots,
+            mask: cap - 1,
+            producer_alive: AtomicBool::new(true),
+            consumer_alive: AtomicBool::new(true),
+        });
+        (
+            Producer {
+                shared: Arc::clone(&shared),
+                head: Cell::new(0),
+            },
+            Consumer {
+                shared,
+                tail: Cell::new(0),
+            },
+        )
+    }
+
+    /// Number of slots in the ring.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate number of occupied slots (O(capacity) scan; diagnostic
+    /// use only — the whole point of FastForward is *not* maintaining a
+    /// shared length).
+    pub fn occupied_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.full.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+impl<T> Drop for SpscQueue<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: both handles are gone. Drop any values
+        // still in flight.
+        for slot in self.slots.iter() {
+            if slot.full.load(Ordering::Relaxed) {
+                // SAFETY: `full == true` means the producer fully initialized
+                // this slot and the consumer never took it.
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Sending half of an [`SpscQueue`]; owned by exactly one thread.
+pub struct Producer<T> {
+    shared: Arc<SpscQueue<T>>,
+    head: Cell<usize>,
+}
+
+// The `Cell` cursor makes `Producer` `!Sync`, which is exactly the
+// single-producer contract; it may still move between threads.
+unsafe impl<T: Send> Send for Producer<T> {}
+
+impl<T> Producer<T> {
+    /// Attempts to enqueue without blocking. Returns the value back inside
+    /// [`Full`] if the ring has no free slot.
+    #[inline]
+    pub fn try_push(&self, value: T) -> Result<(), Full<T>> {
+        let q = &*self.shared;
+        let idx = self.head.get() & q.mask;
+        let slot = &q.slots[idx];
+        if slot.full.load(Ordering::Acquire) {
+            return Err(Full(value));
+        }
+        // SAFETY: `full == false` and we are the only producer, so no one
+        // else touches the payload until we publish it below.
+        unsafe { (*slot.value.get()).write(value) };
+        slot.full.store(true, Ordering::Release);
+        self.head.set(self.head.get().wrapping_add(1));
+        Ok(())
+    }
+
+    /// Enqueues, spinning (then yielding) while the ring is full.
+    ///
+    /// Returns `Err(value)` if the consumer has disconnected, since the value
+    /// would otherwise never be received.
+    pub fn push_blocking(&self, mut value: T) -> Result<(), T> {
+        let backoff = Backoff::new();
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(Full(v)) => {
+                    if !self.shared.consumer_alive.load(Ordering::Acquire) {
+                        return Err(v);
+                    }
+                    value = v;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// True if the consumer handle has been dropped.
+    #[inline]
+    pub fn is_disconnected(&self) -> bool {
+        !self.shared.consumer_alive.load(Ordering::Acquire)
+    }
+
+    /// Ring capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Receiving half of an [`SpscQueue`]; owned by exactly one thread.
+pub struct Consumer<T> {
+    shared: Arc<SpscQueue<T>>,
+    tail: Cell<usize>,
+}
+
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+impl<T> Consumer<T> {
+    #[inline]
+    fn take_slot(&self, idx: usize) -> T {
+        let slot = &self.shared.slots[idx];
+        // SAFETY: caller observed `full == true` with Acquire, so the
+        // producer's initialization happens-before this read, and the
+        // producer will not rewrite the slot until we clear `full`.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.full.store(false, Ordering::Release);
+        self.tail.set(self.tail.get().wrapping_add(1));
+        value
+    }
+
+    /// Attempts to dequeue without blocking.
+    #[inline]
+    pub fn try_pop(&self) -> Pop<T> {
+        let q = &*self.shared;
+        let idx = self.tail.get() & q.mask;
+        if q.slots[idx].full.load(Ordering::Acquire) {
+            return Pop::Value(self.take_slot(idx));
+        }
+        if !q.producer_alive.load(Ordering::Acquire) {
+            // The producer may have pushed and then disconnected between our
+            // two loads; the Acquire on `producer_alive` makes that final
+            // push visible, so re-check before declaring the stream over.
+            if q.slots[idx].full.load(Ordering::Acquire) {
+                return Pop::Value(self.take_slot(idx));
+            }
+            return Pop::Disconnected;
+        }
+        Pop::Empty
+    }
+
+    /// Dequeues, spinning (then yielding) while the ring is empty.
+    ///
+    /// Returns `None` once the producer has disconnected *and* the ring has
+    /// drained — i.e. after the last value has been delivered.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let backoff = Backoff::new();
+        loop {
+            match self.try_pop() {
+                Pop::Value(v) => return Some(v),
+                Pop::Disconnected => return None,
+                Pop::Empty => backoff.snooze(),
+            }
+        }
+    }
+
+    /// True if a value is immediately available, without consuming it.
+    /// (Consumer-side peek; the slot cannot be emptied by anyone else.)
+    #[inline]
+    pub fn has_pending(&self) -> bool {
+        let q = &*self.shared;
+        q.slots[self.tail.get() & q.mask].full.load(Ordering::Acquire)
+    }
+
+    /// True if the producer handle has been dropped (values may still remain
+    /// in the ring).
+    #[inline]
+    pub fn is_disconnected(&self) -> bool {
+        !self.shared.producer_alive.load(Ordering::Acquire)
+    }
+
+    /// Ring capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = SpscQueue::with_capacity(8);
+        for i in 0..8 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(matches!(tx.try_push(99), Err(Full(99))));
+        for i in 0..8 {
+            assert_eq!(rx.try_pop().value(), Some(i));
+        }
+        assert!(matches!(rx.try_pop(), Pop::Empty));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (tx, rx) = SpscQueue::with_capacity(4);
+        for round in 0..100u64 {
+            for i in 0..3 {
+                tx.try_push(round * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(rx.try_pop().value(), Some(round * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (tx, _rx) = SpscQueue::<u8>::with_capacity(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = SpscQueue::<u8>::with_capacity(0);
+        assert_eq!(tx.capacity(), 1);
+    }
+
+    #[test]
+    fn capacity_one_alternates() {
+        let (tx, rx) = SpscQueue::with_capacity(1);
+        for i in 0..10 {
+            tx.try_push(i).unwrap();
+            assert!(matches!(tx.try_push(999), Err(Full(999))));
+            assert_eq!(rx.try_pop().value(), Some(i));
+        }
+    }
+
+    #[test]
+    fn disconnect_drains_then_reports() {
+        let (tx, rx) = SpscQueue::with_capacity(8);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop_blocking(), Some(1));
+        assert_eq!(rx.pop_blocking(), Some(2));
+        assert_eq!(rx.pop_blocking(), None);
+        assert!(matches!(rx.try_pop(), Pop::Disconnected));
+    }
+
+    #[test]
+    fn push_fails_after_consumer_drop() {
+        let (tx, rx) = SpscQueue::with_capacity(1);
+        tx.try_push(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.push_blocking(2), Err(2));
+        assert!(tx.is_disconnected());
+    }
+
+    #[test]
+    fn non_copy_values() {
+        let (tx, rx) = SpscQueue::with_capacity(4);
+        tx.try_push(String::from("hello")).unwrap();
+        tx.try_push(String::from("world")).unwrap();
+        assert_eq!(rx.try_pop().value().unwrap(), "hello");
+        assert_eq!(rx.try_pop().value().unwrap(), "world");
+    }
+
+    #[derive(Debug)]
+    struct DropCounter<'a>(&'a AtomicUsize);
+    impl Drop for DropCounter<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn queue_drop_releases_in_flight_values() {
+        let drops = AtomicUsize::new(0);
+        {
+            let (tx, rx) = SpscQueue::with_capacity(8);
+            for _ in 0..5 {
+                tx.try_push(DropCounter(&drops)).unwrap();
+            }
+            let taken = rx.try_pop().value().unwrap();
+            drop(taken);
+            assert_eq!(drops.load(Ordering::Relaxed), 1);
+            // tx, rx dropped here with 4 values still queued.
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn cross_thread_stream_integrity() {
+        const N: u64 = 200_000;
+        let (tx, rx) = SpscQueue::with_capacity(256);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.push_blocking(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                let mut expected = 0;
+                while let Some(v) = rx.pop_blocking() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                assert_eq!(expected, N);
+            });
+        });
+    }
+
+    #[test]
+    fn occupied_slots_reflects_contents() {
+        let (tx, rx) = SpscQueue::with_capacity(8);
+        assert_eq!(tx.shared.occupied_slots(), 0);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.shared.occupied_slots(), 2);
+        rx.try_pop().value().unwrap();
+        assert_eq!(tx.shared.occupied_slots(), 1);
+    }
+}

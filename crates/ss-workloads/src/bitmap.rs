@@ -1,0 +1,119 @@
+//! Synthetic RGB bitmaps (histogram input).
+//!
+//! The Phoenix `histogram` benchmark scans a 24-bit BMP and tallies
+//! per-channel intensity counts. We generate pixel data with a mix of smooth
+//! gradients and noise so bins are non-uniformly filled (a uniform image
+//! would make verification trivial and vectorize unrealistically).
+
+use rand::RngExt;
+
+use crate::rng::rng;
+
+/// A 24-bit RGB image, row-major `[b, g, r, b, g, r, …]` like BMP pixel data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// `width * height * 3` bytes, BGR order.
+    pub data: Vec<u8>,
+}
+
+impl Bitmap {
+    /// Number of pixels.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Serializes to an uncompressed 24-bit BMP file image (with the 54-byte
+    /// header and 4-byte row padding), for the on-disk example.
+    pub fn to_bmp_bytes(&self) -> Vec<u8> {
+        let row_bytes = self.width * 3;
+        let pad = (4 - row_bytes % 4) % 4;
+        let image_size = (row_bytes + pad) * self.height;
+        let file_size = 54 + image_size;
+        let mut out = Vec::with_capacity(file_size);
+        // BITMAPFILEHEADER
+        out.extend_from_slice(b"BM");
+        out.extend_from_slice(&(file_size as u32).to_le_bytes());
+        out.extend_from_slice(&[0; 4]);
+        out.extend_from_slice(&54u32.to_le_bytes());
+        // BITMAPINFOHEADER
+        out.extend_from_slice(&40u32.to_le_bytes());
+        out.extend_from_slice(&(self.width as i32).to_le_bytes());
+        out.extend_from_slice(&(self.height as i32).to_le_bytes());
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&24u16.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&(image_size as u32).to_le_bytes());
+        out.extend_from_slice(&[0; 16]);
+        // Pixel data, bottom-up rows with padding.
+        for y in (0..self.height).rev() {
+            let row = &self.data[y * row_bytes..(y + 1) * row_bytes];
+            out.extend_from_slice(row);
+            out.extend(std::iter::repeat_n(0u8, pad));
+        }
+        out
+    }
+}
+
+/// Generates a `width × height` bitmap: horizontal/vertical gradients plus
+/// seeded noise, different phase per channel.
+pub fn bitmap(width: usize, height: usize, seed: u64) -> Bitmap {
+    let mut r = rng(seed, 0xB17);
+    let mut data = Vec::with_capacity(width * height * 3);
+    for y in 0..height {
+        for x in 0..width {
+            let noise: i16 = r.random_range(-24..=24);
+            let b = ((x * 255 / width.max(1)) as i16 + noise).clamp(0, 255) as u8;
+            let g = ((y * 255 / height.max(1)) as i16 + noise / 2).clamp(0, 255) as u8;
+            let rr = (((x + y) * 255 / (width + height).max(1)) as i16 - noise).clamp(0, 255) as u8;
+            data.extend_from_slice(&[b, g, rr]);
+        }
+    }
+    Bitmap {
+        width,
+        height,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_determinism() {
+        let a = bitmap(64, 32, 5);
+        assert_eq!(a.pixels(), 64 * 32);
+        assert_eq!(a.data.len(), 64 * 32 * 3);
+        assert_eq!(a, bitmap(64, 32, 5));
+        assert_ne!(a, bitmap(64, 32, 6));
+    }
+
+    #[test]
+    fn bmp_serialization_is_well_formed() {
+        let img = bitmap(31, 7, 1); // odd width forces row padding
+        let bytes = img.to_bmp_bytes();
+        assert_eq!(&bytes[0..2], b"BM");
+        let file_size = u32::from_le_bytes(bytes[2..6].try_into().unwrap()) as usize;
+        assert_eq!(file_size, bytes.len());
+        let width = i32::from_le_bytes(bytes[18..22].try_into().unwrap());
+        let height = i32::from_le_bytes(bytes[22..26].try_into().unwrap());
+        assert_eq!((width, height), (31, 7));
+        let row = 31 * 3;
+        assert_eq!(bytes.len(), 54 + (row + (4 - row % 4) % 4) * 7);
+    }
+
+    #[test]
+    fn channels_fill_many_bins() {
+        let img = bitmap(256, 64, 2);
+        let mut blue_bins = [0u32; 256];
+        for px in img.data.chunks_exact(3) {
+            blue_bins[px[0] as usize] += 1;
+        }
+        let nonzero = blue_bins.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero > 200, "only {nonzero} blue bins filled");
+    }
+}

@@ -1,0 +1,111 @@
+//! Plummer-model N-body initial conditions (barnes-hut input).
+//!
+//! The Lonestar `barnes-hut` benchmark simulates a Plummer star cluster —
+//! the standard initial-condition model for galactic N-body codes (and what
+//! Barnes & Hut's original code shipped with). Positions follow the Plummer
+//! density profile; velocities are sampled from the self-consistent
+//! distribution via von Neumann rejection (Aarseth, Hénon & Wielen 1974).
+
+use rand::{Rng, RngExt};
+
+use crate::rng::rng;
+
+/// One body: position, velocity, mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position (x, y, z).
+    pub pos: [f64; 3],
+    /// Velocity (vx, vy, vz).
+    pub vel: [f64; 3],
+    /// Mass (total system mass is 1).
+    pub mass: f64,
+}
+
+/// Generates `n` bodies in a Plummer sphere (G = M = 1, virial units).
+pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
+    let mut r = rng(seed, 0x6B0D);
+    let mass = 1.0 / n.max(1) as f64;
+    let scale = 16.0 / (3.0 * std::f64::consts::PI); // standard length rescale
+    let mut bodies = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Radius from inverse-CDF of the Plummer cumulative mass profile.
+        let m: f64 = r.random_range(1e-6..0.999_999);
+        let radius = 1.0 / (m.powf(-2.0 / 3.0) - 1.0).sqrt();
+        let pos = sphere_point(&mut r, radius);
+        // Velocity magnitude by rejection from g(q) = q²(1-q²)^3.5.
+        let q = loop {
+            let x: f64 = r.random();
+            let y: f64 = r.random_range(0.0..0.1);
+            if y < x * x * (1.0 - x * x).powf(3.5) {
+                break x;
+            }
+        };
+        let speed = q * std::f64::consts::SQRT_2 * (1.0 + radius * radius).powf(-0.25);
+        let vel = sphere_point(&mut r, speed);
+        bodies.push(Body {
+            pos: [pos[0] / scale, pos[1] / scale, pos[2] / scale],
+            vel: [
+                vel[0] * scale.sqrt(),
+                vel[1] * scale.sqrt(),
+                vel[2] * scale.sqrt(),
+            ],
+            mass,
+        });
+    }
+    bodies
+}
+
+/// Uniformly random direction scaled to magnitude `r_mag`.
+fn sphere_point(r: &mut impl Rng, r_mag: f64) -> [f64; 3] {
+    loop {
+        let x = r.random_range(-1.0..1.0_f64);
+        let y = r.random_range(-1.0..1.0_f64);
+        let z = r.random_range(-1.0..1.0_f64);
+        let d2 = x * x + y * y + z * z;
+        if d2 > 1e-12 && d2 <= 1.0 {
+            let s = r_mag / d2.sqrt();
+            return [x * s, y * s, z * s];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_mass_normalized() {
+        let a = plummer(500, 3);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, plummer(500, 3));
+        let total_mass: f64 = a.iter().map(|b| b.mass).sum();
+        assert!((total_mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_is_centrally_concentrated() {
+        let bodies = plummer(4000, 1);
+        let radii: Vec<f64> = bodies
+            .iter()
+            .map(|b| (b.pos[0].powi(2) + b.pos[1].powi(2) + b.pos[2].powi(2)).sqrt())
+            .collect();
+        let inner = radii.iter().filter(|&&r| r < 1.0).count();
+        let outer = radii.iter().filter(|&&r| (1.0..2.0).contains(&r)).count();
+        // Plummer: most mass within ~1 virial length; density falls steeply.
+        assert!(inner > outer, "inner {inner} outer {outer}");
+    }
+
+    #[test]
+    fn velocities_are_bound() {
+        // Escape velocity at radius r is sqrt(2)·(1+r²)^(-1/4) (model units);
+        // every sampled speed must be below escape at its own radius.
+        let scale = 16.0 / (3.0 * std::f64::consts::PI);
+        for b in plummer(2000, 5) {
+            let r = (b.pos[0].powi(2) + b.pos[1].powi(2) + b.pos[2].powi(2)).sqrt() * scale;
+            let v = ((b.vel[0].powi(2) + b.vel[1].powi(2) + b.vel[2].powi(2)).sqrt())
+                / scale.sqrt();
+            let v_esc = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
+            assert!(v <= v_esc + 1e-9, "v {v} > escape {v_esc} at r {r}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Synthetic HTML document trees (reverse_index input).
+//!
+//! Generates a directory tree of HTML files whose `<a href>` links are drawn
+//! from a Zipf-distributed URL pool: a few links appear in nearly every file
+//! (head of the distribution), most appear in only one or two (tail) —
+//! exactly the collision structure that exercises Figure 3's
+//! `reducible_map` merge.
+
+use rand::{Rng, RngExt};
+
+use crate::rng::{rng, Zipf};
+use crate::text;
+use crate::vfs::{VDir, VFile, Vfs};
+
+/// Parameters for [`tree`].
+#[derive(Debug, Clone, Copy)]
+pub struct HtmlParams {
+    /// Total number of HTML files.
+    pub files: usize,
+    /// Maximum directory fan-out (subdirectories per directory).
+    pub dir_fanout: usize,
+    /// Files per directory before spilling into subdirectories.
+    pub files_per_dir: usize,
+    /// Size of the global URL pool links are drawn from.
+    pub link_pool: usize,
+    /// Mean number of links per file.
+    pub links_per_file: usize,
+    /// Approximate body text bytes per file (excluding links).
+    pub body_bytes: usize,
+    /// Zipf exponent for link popularity.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HtmlParams {
+    fn default() -> Self {
+        HtmlParams {
+            files: 200,
+            dir_fanout: 4,
+            files_per_dir: 8,
+            link_pool: 500,
+            links_per_file: 12,
+            body_bytes: 2048,
+            zipf_s: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The URL pool used by a given parameter set (rank order = popularity).
+pub fn url_pool(params: &HtmlParams) -> Vec<String> {
+    (0..params.link_pool)
+        .map(|i| format!("http://site{}.example/page{}.html", i % 97, i))
+        .collect()
+}
+
+/// Canonical link extractor shared by every reverse_index implementation:
+/// returns the target of each `href="…"` attribute in document order.
+pub fn extract_links(html: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = html;
+    while let Some(pos) = rest.find("href=\"") {
+        rest = &rest[pos + 6..];
+        if let Some(end) = rest.find('"') {
+            out.push(&rest[..end]);
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Generates a directory tree of HTML files.
+pub fn tree(params: &HtmlParams) -> Vfs {
+    let urls = url_pool(params);
+    let zipf = Zipf::new(urls.len(), params.zipf_s);
+    let vocab = text::vocabulary(800, params.seed ^ 0x11);
+    let mut r = rng(params.seed, 0x47D1);
+    let mut remaining = params.files;
+    let mut file_no = 0usize;
+
+    // Build directories breadth-first until all files are placed.
+    fn build(
+        name: String,
+        path: String,
+        remaining: &mut usize,
+        file_no: &mut usize,
+        depth: usize,
+        params: &HtmlParams,
+        urls: &[String],
+        zipf: &Zipf,
+        vocab: &[String],
+        r: &mut impl Rng,
+    ) -> VDir {
+        let mut dir = VDir {
+            name,
+            dirs: Vec::new(),
+            files: Vec::new(),
+        };
+        let here = (*remaining).min(params.files_per_dir);
+        for _ in 0..here {
+            let fname = format!("file{}.html", *file_no);
+            *file_no += 1;
+            *remaining -= 1;
+            let fpath = format!("{path}/{fname}");
+            dir.files.push(VFile {
+                content: document(&fpath, params, urls, zipf, vocab, r).into(),
+                path: fpath,
+            });
+        }
+        if *remaining > 0 && depth < 12 {
+            let subs = params.dir_fanout.min(1 + *remaining / params.files_per_dir.max(1));
+            for s in 0..subs {
+                if *remaining == 0 {
+                    break;
+                }
+                let name = format!("d{depth}_{s}");
+                let sub_path = format!("{path}/{name}");
+                dir.dirs.push(build(
+                    name, sub_path, remaining, file_no, depth + 1, params, urls, zipf, vocab, r,
+                ));
+            }
+        }
+        dir
+    }
+
+    let root = build(
+        "corpus".to_string(),
+        "corpus".to_string(),
+        &mut remaining,
+        &mut file_no,
+        0,
+        params,
+        &urls,
+        &zipf,
+        &vocab,
+        &mut r,
+    );
+    Vfs { root }
+}
+
+/// One HTML document with Zipf-drawn links interleaved into filler text.
+fn document(
+    path: &str,
+    params: &HtmlParams,
+    urls: &[String],
+    zipf: &Zipf,
+    vocab: &[String],
+    r: &mut impl Rng,
+) -> String {
+    let n_links = if params.links_per_file == 0 {
+        0
+    } else {
+        // 50%–150% of the mean, at least 1.
+        r.random_range(params.links_per_file / 2..=params.links_per_file * 3 / 2)
+            .max(1)
+    };
+    let mut html = String::with_capacity(params.body_bytes + n_links * 64 + 128);
+    html.push_str("<html><head><title>");
+    html.push_str(path);
+    html.push_str("</title></head>\n<body>\n");
+    let mut body_written = 0;
+    for i in 0..n_links.max(1) {
+        // Paragraph of filler words.
+        let quota = params.body_bytes / n_links.max(1);
+        html.push_str("<p>");
+        while body_written < quota * (i + 1) {
+            let w = &vocab[r.random_range(0..vocab.len())];
+            body_written += w.len() + 1;
+            html.push_str(w);
+            html.push(' ');
+        }
+        html.push_str("</p>\n");
+        if i < n_links {
+            let url = &urls[zipf.sample(r)];
+            html.push_str("<a href=\"");
+            html.push_str(url);
+            html.push_str("\">link</a>\n");
+        }
+    }
+    html.push_str("</body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_places_all_files_deterministically() {
+        let p = HtmlParams {
+            files: 57,
+            ..Default::default()
+        };
+        let a = tree(&p);
+        let b = tree(&p);
+        assert_eq!(a.file_count(), 57);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn documents_contain_extractable_links() {
+        let p = HtmlParams {
+            files: 20,
+            ..Default::default()
+        };
+        let v = tree(&p);
+        let pool: std::collections::HashSet<String> = url_pool(&p).into_iter().collect();
+        let mut total_links = 0;
+        v.walk_files(|f| {
+            let links = extract_links(&f.content);
+            total_links += links.len();
+            for l in links {
+                assert!(pool.contains(l), "unknown link {l}");
+            }
+        });
+        assert!(total_links >= 20, "links found: {total_links}");
+    }
+
+    #[test]
+    fn link_popularity_is_skewed() {
+        let p = HtmlParams {
+            files: 150,
+            links_per_file: 10,
+            link_pool: 200,
+            ..Default::default()
+        };
+        let v = tree(&p);
+        let mut counts: std::collections::HashMap<String, u32> = Default::default();
+        v.walk_files(|f| {
+            for l in extract_links(&f.content) {
+                *counts.entry(l.to_string()).or_default() += 1;
+            }
+        });
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(freqs[0] >= 5 * freqs[freqs.len() - 1].max(1));
+    }
+
+    #[test]
+    fn extract_links_handles_edge_cases() {
+        assert!(extract_links("no links here").is_empty());
+        assert_eq!(
+            extract_links(r#"<a href="x">a</a><a href="y">b</a>"#),
+            vec!["x", "y"]
+        );
+        // Unterminated href does not panic.
+        assert!(extract_links(r#"<a href="unclosed"#).is_empty());
+    }
+
+    #[test]
+    fn nested_directories_appear() {
+        let p = HtmlParams {
+            files: 100,
+            files_per_dir: 5,
+            dir_fanout: 3,
+            ..Default::default()
+        };
+        let v = tree(&p);
+        assert!(!v.root.dirs.is_empty());
+        assert_eq!(v.file_count(), 100);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ss-workloads — deterministic synthetic benchmark inputs
+//!
+//! The paper evaluates on external datasets (PARSEC/Phoenix/Lonestar/
+//! NU-MineBench files, Table 2) that are not redistributable here. This
+//! crate replaces them with seeded generators that preserve the
+//! *distributional structure* the benchmarks' parallel behaviour depends on
+//! (Zipf word/link frequencies, directory fan-out, chunk-level redundancy,
+//! Gaussian point clusters, Plummer star clusters) while exposing the same
+//! scaling knobs Table 2 varies. Every generator is a pure function of its
+//! seed: identical inputs across runs, thread counts and implementations.
+//!
+//! | Benchmark      | Paper input                  | Generator               |
+//! |----------------|------------------------------|--------------------------|
+//! | barnes-hut     | (1k/10k/100k bodies, steps)  | [`bodies`] Plummer model |
+//! | blackscholes   | 16k…10M options              | [`options`]              |
+//! | dedup          | 31–673 MB archive stream     | [`stream`] dup-controlled|
+//! | freqmine       | 250k–990k transactions       | [`transactions`] Quest-like |
+//! | histogram      | 100 MB–1.4 GB bitmap         | [`bitmap`]               |
+//! | kmeans         | (points, clusters)           | [`points`] Gaussian mix  |
+//! | reverse_index  | 100 MB–1 GB HTML tree        | [`html`] over [`vfs`]    |
+//! | word_count     | 10–100 MB text               | [`text`] Zipf corpus     |
+//!
+//! [`scale`] holds the S/M/L presets (Table 2, sized for laptop runs).
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod bodies;
+pub mod html;
+pub mod options;
+pub mod points;
+pub mod rng;
+pub mod scale;
+pub mod stream;
+pub mod text;
+pub mod transactions;
+pub mod vfs;

@@ -1,0 +1,88 @@
+//! Synthetic option batches (blackscholes input).
+//!
+//! PARSEC's `blackscholes` prices a portfolio of European options; the input
+//! file is rows of `(spot, strike, rate, volatility, time, type)`. We draw
+//! the same fields from the ranges PARSEC's generator uses.
+
+use rand::RngExt;
+
+use crate::rng::rng;
+
+/// Put or call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionKind {
+    /// Right to buy.
+    Call,
+    /// Right to sell.
+    Put,
+}
+
+/// One European option contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptionData {
+    /// Spot price of the underlying.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Risk-free interest rate.
+    pub rate: f64,
+    /// Volatility.
+    pub volatility: f64,
+    /// Time to expiry in years.
+    pub time: f64,
+    /// Put or call.
+    pub kind: OptionKind,
+}
+
+/// Generates `n` options with PARSEC-like parameter ranges.
+pub fn options(n: usize, seed: u64) -> Vec<OptionData> {
+    let mut r = rng(seed, 0xB5);
+    (0..n)
+        .map(|_| {
+            let spot = r.random_range(20.0..120.0_f64);
+            OptionData {
+                spot,
+                strike: spot * r.random_range(0.6..1.4_f64),
+                rate: r.random_range(0.01..0.10),
+                volatility: r.random_range(0.05..0.65),
+                time: r.random_range(0.05..2.0),
+                kind: if r.random_range(0..2) == 0 {
+                    OptionKind::Call
+                } else {
+                    OptionKind::Put
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = options(1000, 3);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, options(1000, 3));
+        assert_ne!(a, options(1000, 4));
+    }
+
+    #[test]
+    fn fields_are_in_range() {
+        for o in options(5000, 1) {
+            assert!(o.spot >= 20.0 && o.spot < 120.0);
+            assert!(o.strike > 0.0);
+            assert!(o.rate > 0.0 && o.rate < 0.1);
+            assert!(o.volatility > 0.0 && o.volatility < 0.65);
+            assert!(o.time > 0.0 && o.time <= 2.0);
+        }
+    }
+
+    #[test]
+    fn both_kinds_occur() {
+        let os = options(200, 9);
+        assert!(os.iter().any(|o| o.kind == OptionKind::Call));
+        assert!(os.iter().any(|o| o.kind == OptionKind::Put));
+    }
+}

@@ -1,0 +1,140 @@
+//! Synthetic clustered point clouds (kmeans input).
+//!
+//! NU-MineBench's `kmeans` clusters n-dimensional points. We generate a
+//! Gaussian mixture — `k_true` well-separated centers with noise — so
+//! clustering is meaningful and implementations can be checked for identical
+//! assignments, plus a fraction of uniform background noise.
+
+use rand::RngExt;
+
+use crate::rng::{normal_with, rng};
+
+/// A point cloud with generation metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    /// Row-major points: `n × dims` coordinates.
+    pub coords: Vec<f64>,
+    /// Number of points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// True generative centers (for sanity checks, not used by solvers).
+    pub true_centers: Vec<Vec<f64>>,
+}
+
+impl PointSet {
+    /// Borrow point `i` as a coordinate slice.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+}
+
+/// Parameters for [`points`].
+#[derive(Debug, Clone, Copy)]
+pub struct PointParams {
+    /// Number of points.
+    pub n: usize,
+    /// Dimensions per point.
+    pub dims: usize,
+    /// Number of generative clusters.
+    pub k_true: usize,
+    /// Cluster standard deviation.
+    pub spread: f64,
+    /// Fraction of uniform background noise points (0..1).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PointParams {
+    fn default() -> Self {
+        PointParams {
+            n: 10_000,
+            dims: 8,
+            k_true: 16,
+            spread: 2.0,
+            noise: 0.05,
+            seed: 1,
+        }
+    }
+}
+
+const DOMAIN: f64 = 100.0;
+
+/// Generates a Gaussian-mixture point cloud.
+pub fn points(params: &PointParams) -> PointSet {
+    let mut r = rng(params.seed, 0x90C);
+    let true_centers: Vec<Vec<f64>> = (0..params.k_true)
+        .map(|_| (0..params.dims).map(|_| r.random_range(0.0..DOMAIN)).collect())
+        .collect();
+    let mut coords = Vec::with_capacity(params.n * params.dims);
+    for i in 0..params.n {
+        if (i as f64 / params.n.max(1) as f64) < params.noise {
+            for _ in 0..params.dims {
+                coords.push(r.random_range(0.0..DOMAIN));
+            }
+        } else {
+            let c = &true_centers[i % params.k_true];
+            for d in 0..params.dims {
+                coords.push(normal_with(&mut r, c[d], params.spread));
+            }
+        }
+    }
+    PointSet {
+        coords,
+        n: params.n,
+        dims: params.dims,
+        true_centers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let p = PointParams {
+            n: 500,
+            dims: 4,
+            ..Default::default()
+        };
+        let a = points(&p);
+        assert_eq!(a.coords.len(), 500 * 4);
+        assert_eq!(a.point(3).len(), 4);
+        assert_eq!(a, points(&p));
+    }
+
+    #[test]
+    fn points_cluster_near_true_centers() {
+        let p = PointParams {
+            n: 2000,
+            dims: 3,
+            k_true: 4,
+            spread: 1.0,
+            noise: 0.0,
+            seed: 7,
+        };
+        let ps = points(&p);
+        // Every point should be close to *some* true center.
+        let mut close = 0;
+        for i in 0..ps.n {
+            let pt = ps.point(i);
+            let best = ps
+                .true_centers
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .zip(pt)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            if best < 6.0 {
+                close += 1;
+            }
+        }
+        assert!(close as f64 > 0.99 * ps.n as f64);
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic sampling helpers shared by all generators.
+//!
+//! Everything is built on `rand::rngs::StdRng` seeded explicitly, so a
+//! `(seed, parameters)` pair fully determines every workload byte — the
+//! foundation of the cross-implementation equality tests (`seq == cp == ss`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates the standard deterministic RNG for a workload component.
+///
+/// `stream` separates independent sub-streams of one logical seed (e.g. the
+/// word pool vs. the word sequence) so adding a consumer never perturbs the
+/// others.
+pub fn rng(seed: u64, stream: u64) -> StdRng {
+    // SplitMix64-style mixing so nearby (seed, stream) pairs decorrelate.
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `s`.
+///
+/// Word frequencies, link popularity and retail item popularity are all
+/// heavy-tailed; the paper's text/HTML benchmarks inherit their parallel
+/// behaviour (reduction sizes, map collision rates) from this shape.
+///
+/// Implemented as an explicit cumulative table + binary search: exact, O(n)
+/// setup, O(log n) per sample — plenty for vocabulary-sized `n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n ≥ 1` ranks with exponent `s > 0`
+    /// (s ≈ 1.0 for natural language).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf over empty support");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Standard normal via Box–Muller (rand's normal distribution lives in
+/// `rand_distr`, which is outside the approved dependency set).
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    mean + sd * normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_stream_separated() {
+        let a: Vec<u32> = {
+            let mut r = rng(42, 0);
+            (0..8).map(|_| r.random()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = rng(42, 0);
+            (0..8).map(|_| r.random()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = rng(42, 1);
+            (0..8).map(|_| r.random()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng(7, 0);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Rank 0 of Zipf(1.0, 1000) carries ~13% of the mass.
+        assert!(counts[0] as f64 > 0.08 * 100_000.0);
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let z = Zipf::new(3, 1.2);
+        let mut r = rng(1, 2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 3);
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut r = rng(1, 3);
+        assert_eq!(z.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(11, 0);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_scales() {
+        let mut r = rng(12, 0);
+        let n = 100_000;
+        let mean = (0..n).map(|_| normal_with(&mut r, 5.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Input-scale presets mirroring Table 2.
+//!
+//! The paper's S/M/L inputs range up to gigabytes (673 MB archives, 10M
+//! options). The presets here keep the three-point scaling *ratios* but are
+//! sized so a full S/M/L sweep of all eight benchmarks completes in minutes
+//! on a laptop-class container — the Figure 5b experiment measures relative
+//! speedup across sizes, which needs the ratio, not the absolute bytes.
+//! `paper_input` records the original Table 2 value for the inventory
+//! report.
+
+use crate::bitmap;
+use crate::html::HtmlParams;
+use crate::points::PointParams;
+use crate::stream::StreamParams;
+use crate::text::TextParams;
+use crate::transactions::TxParams;
+
+/// Input scale (Table 2's S / M / L columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small input.
+    S,
+    /// Medium input.
+    M,
+    /// Large input.
+    L,
+}
+
+impl Scale {
+    /// All three scales in order.
+    pub const ALL: [Scale; 3] = [Scale::S, Scale::M, Scale::L];
+
+    /// Short label ("S"/"M"/"L").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::S => "S",
+            Scale::M => "M",
+            Scale::L => "L",
+        }
+    }
+}
+
+/// Base seed shared by all preset workloads; vary to get fresh instances.
+pub const DEFAULT_SEED: u64 = 0x5EED;
+
+/// barnes-hut: (bodies, timesteps). Paper: (1,000, 25) / (10,000, 50) /
+/// (100,000, 75).
+pub fn barnes_hut(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::S => (1_000, 2),
+        Scale::M => (4_000, 3),
+        Scale::L => (12_000, 4),
+    }
+}
+
+/// blackscholes: option count. Paper: 16,384 / 65,536 / 10,000,000.
+pub fn blackscholes(scale: Scale) -> usize {
+    match scale {
+        Scale::S => 16_384,
+        Scale::M => 65_536,
+        Scale::L => 524_288,
+    }
+}
+
+/// dedup: stream parameters. Paper: 31 MB / 185 MB / 673 MB files.
+pub fn dedup(scale: Scale) -> StreamParams {
+    let bytes = match scale {
+        Scale::S => 1 << 21, // 2 MiB
+        Scale::M => 1 << 23, // 8 MiB
+        Scale::L => 1 << 25, // 32 MiB
+    };
+    StreamParams {
+        bytes,
+        block_len: 4096,
+        dup_fraction: 0.45,
+        alphabet: 48,
+        seed: DEFAULT_SEED,
+    }
+}
+
+/// freqmine: transaction DB parameters. Paper: 250k / 500k / 990k
+/// transactions.
+pub fn freqmine(scale: Scale) -> TxParams {
+    let count = match scale {
+        Scale::S => 4_000,
+        Scale::M => 10_000,
+        Scale::L => 25_000,
+    };
+    TxParams {
+        count,
+        items: 600,
+        patterns: 40,
+        pattern_len: 4,
+        patterns_per_tx: 3,
+        corruption: 0.15,
+        seed: DEFAULT_SEED,
+    }
+}
+
+/// histogram: bitmap dimensions. Paper: 100 MB / 400 MB / 1.4 GB bitmaps.
+pub fn histogram(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::S => (1024, 768),   // ~2.3 MB of pixels
+        Scale::M => (2048, 1536),  // ~9.4 MB
+        Scale::L => (4096, 3072),  // ~37 MB
+    }
+}
+
+/// Builds the histogram input bitmap for `scale`.
+pub fn histogram_bitmap(scale: Scale) -> bitmap::Bitmap {
+    let (w, h) = histogram(scale);
+    bitmap::bitmap(w, h, DEFAULT_SEED)
+}
+
+/// kmeans: (point-set parameters, k). Paper: (5,000, 50) / (10,000, 100) /
+/// (50,000, 100) points, clusters — kept verbatim; they are laptop-sized.
+pub fn kmeans(scale: Scale) -> (PointParams, usize) {
+    let (n, k) = match scale {
+        Scale::S => (5_000, 50),
+        Scale::M => (10_000, 100),
+        Scale::L => (50_000, 100),
+    };
+    (
+        PointParams {
+            n,
+            dims: 8,
+            k_true: k,
+            spread: 2.0,
+            noise: 0.05,
+            seed: DEFAULT_SEED,
+        },
+        k,
+    )
+}
+
+/// reverse_index: HTML tree parameters. Paper: 100 MB / 500 MB / 1 GB trees.
+pub fn reverse_index(scale: Scale) -> HtmlParams {
+    let files = match scale {
+        Scale::S => 250,
+        Scale::M => 1_000,
+        Scale::L => 2_500,
+    };
+    HtmlParams {
+        files,
+        dir_fanout: 4,
+        files_per_dir: 8,
+        link_pool: 600,
+        links_per_file: 14,
+        body_bytes: 3072,
+        zipf_s: 1.0,
+        seed: DEFAULT_SEED,
+    }
+}
+
+/// word_count: corpus parameters. Paper: 10 MB / 50 MB / 100 MB files.
+pub fn word_count(scale: Scale) -> TextParams {
+    let bytes = match scale {
+        Scale::S => 1 << 20,      // 1 MiB
+        Scale::M => 4 << 20,      // 4 MiB
+        Scale::L => 12 << 20,     // 12 MiB
+    };
+    TextParams {
+        bytes,
+        vocabulary: 25_000,
+        zipf_s: 1.0,
+        seed: DEFAULT_SEED,
+    }
+}
+
+/// One row of the Table 2 inventory report.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub program: &'static str,
+    /// Original suite the paper drew it from.
+    pub source: &'static str,
+    /// One-line description (verbatim from Table 2).
+    pub description: &'static str,
+    /// Baseline model of the conventional-parallel version.
+    pub baseline: &'static str,
+    /// Paper's S/M/L inputs (verbatim).
+    pub paper_inputs: &'static str,
+    /// This reproduction's S/M/L inputs.
+    pub our_inputs: String,
+}
+
+/// The full benchmark inventory (Table 2), paper values beside ours.
+pub fn table2() -> Vec<Table2Row> {
+    vec![
+        Table2Row {
+            program: "barnes-hut",
+            source: "Lonestar",
+            description: "N-body simulation",
+            baseline: "pthreads",
+            paper_inputs: "(1,000, 25) / (10,000, 50) / (100,000, 75) bodies, steps",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| {
+                        let (n, t) = barnes_hut(s);
+                        format!("({n}, {t})")
+                    })
+                    .collect();
+                v.join(" / ")
+            },
+        },
+        Table2Row {
+            program: "blackscholes",
+            source: "PARSEC",
+            description: "Financial analysis",
+            baseline: "pthreads",
+            paper_inputs: "16,384 / 65,536 / 10,000,000 options",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| format!("{}", blackscholes(s)))
+                    .collect();
+                format!("{} options", v.join(" / "))
+            },
+        },
+        Table2Row {
+            program: "dedup",
+            source: "PARSEC",
+            description: "Enterprise storage",
+            baseline: "pthreads",
+            paper_inputs: "31 MB / 185 MB / 673 MB file",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| format!("{} MiB", dedup(s).bytes >> 20))
+                    .collect();
+                v.join(" / ")
+            },
+        },
+        Table2Row {
+            program: "freqmine",
+            source: "PARSEC",
+            description: "Data mining",
+            baseline: "OpenMP",
+            paper_inputs: "250,000 / 500,000 / 990,000 transactions",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| format!("{}", freqmine(s).count))
+                    .collect();
+                format!("{} transactions", v.join(" / "))
+            },
+        },
+        Table2Row {
+            program: "histogram",
+            source: "Phoenix",
+            description: "Image analysis",
+            baseline: "pthreads",
+            paper_inputs: "100 MB / 400 MB / 1.4 GB bitmap",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| {
+                        let (w, h) = histogram(s);
+                        format!("{}x{}", w, h)
+                    })
+                    .collect();
+                format!("{} bitmap", v.join(" / "))
+            },
+        },
+        Table2Row {
+            program: "kmeans",
+            source: "NU-MineBench",
+            description: "Data mining",
+            baseline: "OpenMP",
+            paper_inputs: "(5,000, 50) / (10,000, 100) / (50,000, 100) points, clusters",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| {
+                        let (p, k) = kmeans(s);
+                        format!("({}, {})", p.n, k)
+                    })
+                    .collect();
+                v.join(" / ")
+            },
+        },
+        Table2Row {
+            program: "reverse_index",
+            source: "Phoenix",
+            description: "HTML analysis",
+            baseline: "pthreads",
+            paper_inputs: "100 MB / 500 MB / 1.0 GB directory",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| format!("{} files", reverse_index(s).files))
+                    .collect();
+                v.join(" / ")
+            },
+        },
+        Table2Row {
+            program: "word_count",
+            source: "Phoenix",
+            description: "Text processing",
+            baseline: "pthreads",
+            paper_inputs: "10 MB / 50 MB / 100 MB file",
+            our_inputs: {
+                let v: Vec<String> = Scale::ALL
+                    .iter()
+                    .map(|&s| format!("{} MiB", word_count(s).bytes >> 20))
+                    .collect();
+                v.join(" / ")
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_monotone() {
+        assert!(blackscholes(Scale::S) < blackscholes(Scale::M));
+        assert!(blackscholes(Scale::M) < blackscholes(Scale::L));
+        assert!(dedup(Scale::S).bytes < dedup(Scale::L).bytes);
+        assert!(word_count(Scale::S).bytes < word_count(Scale::L).bytes);
+        assert!(barnes_hut(Scale::S).0 < barnes_hut(Scale::L).0);
+        assert!(freqmine(Scale::S).count < freqmine(Scale::L).count);
+        assert!(reverse_index(Scale::S).files < reverse_index(Scale::L).files);
+        let (s, _) = kmeans(Scale::S);
+        let (l, _) = kmeans(Scale::L);
+        assert!(s.n < l.n);
+    }
+
+    #[test]
+    fn table2_covers_all_eight() {
+        let rows = table2();
+        assert_eq!(rows.len(), 8);
+        let names: Vec<&str> = rows.iter().map(|r| r.program).collect();
+        assert!(names.contains(&"dedup"));
+        assert!(names.contains(&"word_count"));
+        for r in rows {
+            assert!(!r.our_inputs.is_empty());
+        }
+    }
+
+    #[test]
+    fn kmeans_matches_paper_sizes() {
+        // The paper's kmeans inputs are laptop-sized; we keep them verbatim.
+        assert_eq!(kmeans(Scale::S).0.n, 5_000);
+        assert_eq!(kmeans(Scale::M).0.n, 10_000);
+        assert_eq!(kmeans(Scale::L).0.n, 50_000);
+    }
+}

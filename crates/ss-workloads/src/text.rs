@@ -1,0 +1,156 @@
+//! Synthetic English-like text corpus (word_count input).
+//!
+//! A pronounceable vocabulary is generated from syllables, then a corpus is
+//! drawn with Zipf(1.0) frequencies and light punctuation/line structure —
+//! matching the statistical profile (type/token ratio, heavy head) that
+//! drives word_count's reducible-map behaviour.
+
+use rand::RngExt;
+
+use crate::rng::{rng, Zipf};
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
+    "pr", "qu", "r", "s", "sh", "sl", "st", "t", "th", "tr", "v", "w", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ie", "oo", "ou"];
+const CODAS: &[&str] = &["", "b", "ck", "d", "g", "l", "m", "n", "ng", "nt", "p", "r", "s", "st", "t"];
+
+/// Generates a vocabulary of `n` distinct pronounceable words.
+pub fn vocabulary(n: usize, seed: u64) -> Vec<String> {
+    let mut r = rng(seed, 0xE0CAB);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut words = Vec::with_capacity(n);
+    while words.len() < n {
+        let syllables = 1 + r.random_range(0..3);
+        let mut w = String::new();
+        for _ in 0..syllables {
+            w.push_str(ONSETS[r.random_range(0..ONSETS.len())]);
+            w.push_str(NUCLEI[r.random_range(0..NUCLEI.len())]);
+            w.push_str(CODAS[r.random_range(0..CODAS.len())]);
+        }
+        if seen.insert(w.clone()) {
+            words.push(w);
+        }
+    }
+    words
+}
+
+/// Parameters for [`corpus`].
+#[derive(Debug, Clone, Copy)]
+pub struct TextParams {
+    /// Approximate corpus size in bytes.
+    pub bytes: usize,
+    /// Vocabulary size (distinct words).
+    pub vocabulary: usize,
+    /// Zipf exponent of word frequencies (≈1.0 for natural language).
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TextParams {
+    fn default() -> Self {
+        TextParams {
+            bytes: 1 << 20,
+            vocabulary: 20_000,
+            zipf_s: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a text corpus of roughly `params.bytes` bytes: words separated
+/// by spaces, sentences ended with periods, ~12 words per line on average.
+pub fn corpus(params: &TextParams) -> String {
+    let vocab = vocabulary(params.vocabulary, params.seed);
+    let zipf = Zipf::new(vocab.len(), params.zipf_s);
+    let mut r = rng(params.seed, 0x7E47);
+    let mut out = String::with_capacity(params.bytes + 64);
+    let mut words_on_line = 0;
+    while out.len() < params.bytes {
+        let w = &vocab[zipf.sample(&mut r)];
+        out.push_str(w);
+        words_on_line += 1;
+        let roll: f64 = r.random();
+        if roll < 0.08 {
+            out.push('.');
+        } else if roll < 0.12 {
+            out.push(',');
+        }
+        if words_on_line >= 8 && r.random_range(0..8) == 0 {
+            out.push('\n');
+            words_on_line = 0;
+        } else {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// Splits `text` into lowercase alphabetic words — the canonical tokenizer
+/// all word_count implementations share, so their outputs are comparable.
+pub fn tokenize(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_ascii_alphabetic())
+        .filter(|w| !w.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_distinct_and_deterministic() {
+        let a = vocabulary(500, 9);
+        let b = vocabulary(500, 9);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn corpus_has_requested_size_and_reproducibility() {
+        let p = TextParams {
+            bytes: 10_000,
+            vocabulary: 300,
+            zipf_s: 1.0,
+            seed: 3,
+        };
+        let a = corpus(&p);
+        let b = corpus(&p);
+        assert_eq!(a, b);
+        assert!(a.len() >= 10_000 && a.len() < 10_200, "len {}", a.len());
+    }
+
+    #[test]
+    fn corpus_word_frequencies_are_heavy_tailed() {
+        let p = TextParams {
+            bytes: 200_000,
+            vocabulary: 1000,
+            zipf_s: 1.0,
+            seed: 5,
+        };
+        let text = corpus(&p);
+        let mut counts = std::collections::HashMap::new();
+        for w in tokenize(&text) {
+            *counts.entry(w).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top word should be much more frequent than the median word.
+        assert!(freqs[0] > 10 * freqs[freqs.len() / 2]);
+    }
+
+    #[test]
+    fn tokenize_strips_punctuation() {
+        let words: Vec<&str> = tokenize("hello, world. foo\nbar").collect();
+        assert_eq!(words, vec!["hello", "world", "foo", "bar"]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p1 = TextParams { seed: 1, bytes: 5_000, ..Default::default() };
+        let p2 = TextParams { seed: 2, bytes: 5_000, ..Default::default() };
+        assert_ne!(corpus(&p1), corpus(&p2));
+    }
+}

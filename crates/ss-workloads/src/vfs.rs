@@ -1,0 +1,167 @@
+//! In-memory virtual filesystem.
+//!
+//! `reverse_index` in the paper walks a real directory tree ("recursively
+//! reads a directory tree containing HTML files"). Its interesting property —
+//! the *program context* discovers files while the *delegate context*
+//! already parses them — depends only on the traversal structure, so an
+//! in-memory tree exercises the identical code path without I/O noise. A
+//! [`Vfs`] can also be materialized to disk for the runnable example.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A generated file: full path plus content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VFile {
+    /// Slash-separated path from the VFS root, e.g. `root/d0/d1/file3.html`.
+    pub path: String,
+    /// File body. `Arc<str>` so wrapped per-file objects (Figure 3's
+    /// `ss_file_t`) can take ownership of the content without copying it.
+    pub content: Arc<str>,
+}
+
+/// A directory node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VDir {
+    /// Directory name (path component).
+    pub name: String,
+    /// Sub-directories, in traversal order.
+    pub dirs: Vec<VDir>,
+    /// Files in this directory, in traversal order.
+    pub files: Vec<VFile>,
+}
+
+/// An in-memory directory tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vfs {
+    /// Root directory.
+    pub root: VDir,
+}
+
+impl Vfs {
+    /// Total number of files in the tree.
+    pub fn file_count(&self) -> usize {
+        fn rec(d: &VDir) -> usize {
+            d.files.len() + d.dirs.iter().map(rec).sum::<usize>()
+        }
+        rec(&self.root)
+    }
+
+    /// Total bytes of file content.
+    pub fn total_bytes(&self) -> usize {
+        fn rec(d: &VDir) -> usize {
+            d.files.iter().map(|f| f.content.len()).sum::<usize>()
+                + d.dirs.iter().map(rec).sum::<usize>()
+        }
+        rec(&self.root)
+    }
+
+    /// Depth-first pre-order visit of every file (the traversal order the
+    /// benchmarks' sequential `find_files` uses).
+    pub fn walk_files(&self, mut f: impl FnMut(&VFile)) {
+        fn rec(d: &VDir, f: &mut impl FnMut(&VFile)) {
+            for file in &d.files {
+                f(file);
+            }
+            for sub in &d.dirs {
+                rec(sub, f);
+            }
+        }
+        rec(&self.root, &mut f);
+    }
+
+    /// Flattens the tree into traversal order (for chunk-based baselines
+    /// that "first have to locate all the files" — §3.2).
+    pub fn collect_files(&self) -> Vec<&VFile> {
+        fn rec<'a>(d: &'a VDir, v: &mut Vec<&'a VFile>) {
+            for file in &d.files {
+                v.push(file);
+            }
+            for sub in &d.dirs {
+                rec(sub, v);
+            }
+        }
+        let mut v = Vec::new();
+        rec(&self.root, &mut v);
+        v
+    }
+
+    /// Writes the tree under `base` on the real filesystem.
+    pub fn write_to_disk(&self, base: &Path) -> io::Result<()> {
+        fn rec(d: &VDir, at: &Path) -> io::Result<()> {
+            let dir = at.join(&d.name);
+            std::fs::create_dir_all(&dir)?;
+            for f in &d.files {
+                let fname = f.path.rsplit('/').next().unwrap_or(&f.path);
+                std::fs::write(dir.join(fname), f.content.as_bytes())?;
+            }
+            for sub in &d.dirs {
+                rec(sub, &dir)?;
+            }
+            Ok(())
+        }
+        rec(&self.root, base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vfs {
+        Vfs {
+            root: VDir {
+                name: "root".into(),
+                dirs: vec![VDir {
+                    name: "sub".into(),
+                    dirs: vec![],
+                    files: vec![VFile {
+                        path: "root/sub/b.html".into(),
+                        content: Arc::from("bb"),
+                    }],
+                }],
+                files: vec![VFile {
+                    path: "root/a.html".into(),
+                    content: Arc::from("a"),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let v = sample();
+        assert_eq!(v.file_count(), 2);
+        assert_eq!(v.total_bytes(), 3);
+    }
+
+    #[test]
+    fn walk_is_preorder() {
+        let v = sample();
+        let mut paths = Vec::new();
+        v.walk_files(|f| paths.push(f.path.clone()));
+        assert_eq!(paths, vec!["root/a.html", "root/sub/b.html"]);
+    }
+
+    #[test]
+    fn collect_matches_walk() {
+        let v = sample();
+        let collected: Vec<String> = v.collect_files().iter().map(|f| f.path.clone()).collect();
+        let mut walked = Vec::new();
+        v.walk_files(|f| walked.push(f.path.clone()));
+        assert_eq!(collected, walked);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let v = sample();
+        let tmp = std::env::temp_dir().join(format!("ss-vfs-test-{}", std::process::id()));
+        v.write_to_disk(&tmp).unwrap();
+        let a = std::fs::read_to_string(tmp.join("root/a.html")).unwrap();
+        assert_eq!(a, "a");
+        let b = std::fs::read_to_string(tmp.join("root/sub/b.html")).unwrap();
+        assert_eq!(b, "bb");
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+}

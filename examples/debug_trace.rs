@@ -1,0 +1,55 @@
+//! The §3.3 debugging workflow: run a small serialization-sets program with
+//! execution tracing enabled and print what the runtime did — every
+//! delegation with its serialization set and executor, every ownership
+//! reclaim, every epoch boundary, every reduction — in program order.
+//!
+//! Run with: `cargo run --release --example debug_trace`
+
+use prometheus_rs::prelude::*;
+use ss_core::format_trace;
+
+struct Tally(u64);
+impl Reduce for Tally {
+    fn reduce(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+fn main() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .trace(true)
+        .build()
+        .expect("runtime");
+
+    let inbox: Writable<Vec<String>, SequenceSerializer> = Writable::new(&rt, vec![]);
+    let outbox: Writable<Vec<String>, SequenceSerializer> = Writable::new(&rt, vec![]);
+    let processed = Reducible::new(&rt, || Tally(0));
+
+    rt.begin_isolation().expect("begin");
+    for i in 0..3 {
+        let p = processed.clone();
+        inbox
+            .delegate(move |v| {
+                v.push(format!("message {i}"));
+                p.view(|t| t.0 += 1).unwrap();
+            })
+            .expect("delegate inbox");
+    }
+    // Dependent read mid-epoch: the runtime reclaims ownership of `inbox`.
+    let n = inbox.call(|v| v.len()).expect("call");
+    outbox
+        .delegate(move |v| v.push(format!("{n} messages seen")))
+        .expect("delegate outbox");
+    rt.end_isolation().expect("end");
+
+    let total = processed.view(|t| t.0).expect("reduce + read");
+
+    println!("processed {total} messages; the runtime's own account of the run:\n");
+    let trace = rt.take_trace().expect("trace");
+    print!("{}", format_trace(&trace));
+    println!(
+        "\n{} events — deterministic: re-running this program yields the identical trace.",
+        trace.len()
+    );
+}

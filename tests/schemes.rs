@@ -1,0 +1,111 @@
+//! Figure 2's parallelization schemes as executable specifications, plus
+//! failure-injection for the scheme plumbing (a panicking stage must poison,
+//! not deadlock, the pipeline).
+
+use prometheus_rs::prelude::*;
+use ss_core::doall;
+
+#[test]
+fn embarrassing_parallelism_doall() {
+    let rt = Runtime::builder().delegate_threads(3).build().unwrap();
+    let objects: Vec<Writable<u64, SequenceSerializer>> =
+        (0..100).map(|i| Writable::new(&rt, i)).collect();
+    rt.isolated(|| doall(&objects, |n| *n = *n * *n).unwrap()).unwrap();
+    for (i, o) in objects.iter().enumerate() {
+        assert_eq!(o.call(|n| *n).unwrap(), (i * i) as u64);
+    }
+}
+
+#[test]
+fn task_parallelism_independent_objects() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let a: Writable<String> = Writable::new(&rt, String::new());
+    let b: Writable<String> = Writable::new(&rt, String::new());
+    rt.isolated(|| {
+        a.delegate(|s| s.push_str("task-a")).unwrap();
+        b.delegate(|s| s.push_str("task-b")).unwrap();
+    })
+    .unwrap();
+    assert_eq!(a.call(|s| s.clone()).unwrap(), "task-a");
+    assert_eq!(b.call(|s| s.clone()).unwrap(), "task-b");
+}
+
+#[test]
+fn data_parallelism_loop_over_vector() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let objects: Vec<Writable<Vec<u32>, SequenceSerializer>> =
+        (0..16).map(|i| Writable::new(&rt, vec![i as u32; 10])).collect();
+    rt.isolated(|| {
+        for o in &objects {
+            o.delegate(|v| v.iter_mut().for_each(|x| *x += 1)).unwrap();
+        }
+    })
+    .unwrap();
+    for (i, o) in objects.iter().enumerate() {
+        assert_eq!(o.call(|v| v[0]).unwrap(), i as u32 + 1);
+    }
+}
+
+#[test]
+fn pipeline_parallelism_stage_order_per_object() {
+    // Figure 2 bottom: delegating stage_1..3 per object — each object's
+    // stages execute in order (same serialization set), objects overlap.
+    let rt = Runtime::builder().delegate_threads(3).build().unwrap();
+    let items: Vec<Writable<Vec<&'static str>, SequenceSerializer>> =
+        (0..50).map(|_| Writable::new(&rt, vec![])).collect();
+    rt.isolated(|| {
+        for item in &items {
+            item.delegate(|log| log.push("stage1")).unwrap();
+            item.delegate(|log| log.push("stage2")).unwrap();
+            item.delegate(|log| log.push("stage3")).unwrap();
+        }
+    })
+    .unwrap();
+    for item in &items {
+        assert_eq!(
+            item.call(|log| log.clone()).unwrap(),
+            vec!["stage1", "stage2", "stage3"]
+        );
+    }
+}
+
+#[test]
+fn pipeline_with_failing_stage_poisons_cleanly() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let items: Vec<Writable<u32, SequenceSerializer>> =
+        (0..20).map(|_| Writable::new(&rt, 0)).collect();
+    rt.begin_isolation().unwrap();
+    for (i, item) in items.iter().enumerate() {
+        item.delegate(|n| *n += 1).unwrap();
+        if i == 7 {
+            item.delegate(|_| panic!("stage blew up")).unwrap();
+        }
+        // Later delegations may or may not observe the poison flag — either
+        // way the program must not hang or corrupt memory.
+        let _ = item.delegate(|n| *n += 1);
+    }
+    let err = rt.end_isolation().unwrap_err();
+    assert!(matches!(err, SsError::DelegatePanicked(_)));
+    assert!(rt.is_poisoned());
+}
+
+#[test]
+fn mixed_schemes_in_one_epoch() {
+    // Delegation patterns compose freely inside one isolation epoch.
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let grid: Vec<Writable<u64, SequenceSerializer>> =
+        (0..32).map(|_| Writable::new(&rt, 1)).collect();
+    let stagep: Writable<Vec<u64>> = Writable::new(&rt, vec![]);
+    rt.isolated(|| {
+        doall(&grid, |n| *n += 1).unwrap(); // data parallel
+        for i in 0..10u64 {
+            stagep.delegate(move |v| v.push(i)).unwrap(); // pipeline on one object
+        }
+        doall(&grid, |n| *n *= 3).unwrap(); // second wave, same objects
+    })
+    .unwrap();
+    for g in &grid {
+        assert_eq!(g.call(|n| *n).unwrap(), 6);
+    }
+    assert_eq!(stagep.call(|v| v.len()).unwrap(), 10);
+}
