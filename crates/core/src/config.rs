@@ -1,11 +1,77 @@
 //! Runtime configuration: delegate-thread count, virtual delegates,
-//! assignment ratio, queue capacity, wait policy, execution mode.
+//! assignment ratio, assignment policy, queue capacity, wait policy,
+//! execution mode.
 //!
 //! Mirrors the environment knobs of §4: "The number of delegate threads is
 //! one less than the number of processors by default, but may be configured
 //! to some other number"; "Virtual delegates allow runtime configuration of
 //! the assignment ratio of serialization sets assigned to the program thread
-//! and the delegate threads."
+//! and the delegate threads." The [`Assignment`] selector goes beyond the
+//! paper: it swaps the set→executor mapping itself (see
+//! [`DelegateAssignment`]).
+
+use std::sync::Arc;
+
+use crate::runtime::{DelegateAssignment, LeastLoaded, RoundRobinFirstTouch, StaticAssignment};
+
+/// Factory closure for custom assignment policies (kept in an `Arc` so
+/// builders stay cloneable).
+type PolicyFactory = Arc<dyn Fn() -> Box<dyn DelegateAssignment> + Send + Sync>;
+
+/// Which delegate-assignment policy the runtime routes serialization sets
+/// with (see the [`crate::runtime`] module docs for the epoch-stability
+/// contract all policies operate under).
+#[derive(Clone, Default)]
+pub enum Assignment {
+    /// The paper's static assignment: `SsId mod virtual_delegates` with a
+    /// program-thread share (§4). Zero-coordination; the default.
+    #[default]
+    Static,
+    /// First-touch round-robin over executors (immune to id aliasing).
+    RoundRobinFirstTouch,
+    /// First-touch pinning to the delegate with the shallowest queue.
+    LeastLoaded,
+    /// A user-supplied policy, built fresh for each runtime.
+    Custom(PolicyFactory),
+}
+
+impl Assignment {
+    /// Wraps a policy constructor as a custom assignment selector.
+    ///
+    /// ```
+    /// use ss_core::{Assignment, Runtime, StaticAssignment};
+    /// let rt = Runtime::builder()
+    ///     .delegate_threads(1)
+    ///     .assignment(Assignment::custom(|| Box::new(StaticAssignment)))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(rt.assignment_name(), "static");
+    /// ```
+    pub fn custom(f: impl Fn() -> Box<dyn DelegateAssignment> + Send + Sync + 'static) -> Self {
+        Assignment::Custom(Arc::new(f))
+    }
+
+    /// Builds the policy instance for a new runtime.
+    pub(crate) fn instantiate(&self) -> Box<dyn DelegateAssignment> {
+        match self {
+            Assignment::Static => Box::new(StaticAssignment),
+            Assignment::RoundRobinFirstTouch => Box::new(RoundRobinFirstTouch::default()),
+            Assignment::LeastLoaded => Box::new(LeastLoaded),
+            Assignment::Custom(f) => f(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Assignment::Static => f.write_str("Static"),
+            Assignment::RoundRobinFirstTouch => f.write_str("RoundRobinFirstTouch"),
+            Assignment::LeastLoaded => f.write_str("LeastLoaded"),
+            Assignment::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
 
 /// How delegated operations are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +129,7 @@ pub struct RuntimeBuilder {
     pub(crate) mode: ExecutionMode,
     pub(crate) dynamic_checks: bool,
     pub(crate) trace: bool,
+    pub(crate) assignment: Assignment,
 }
 
 impl Default for RuntimeBuilder {
@@ -76,6 +143,7 @@ impl Default for RuntimeBuilder {
             mode: ExecutionMode::Parallel,
             dynamic_checks: true,
             trace: false,
+            assignment: Assignment::Static,
         }
     }
 }
@@ -136,6 +204,26 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the delegate-assignment policy routing serialization sets
+    /// to executors. Default [`Assignment::Static`] — the paper's
+    /// behaviour, preserved bit-for-bit. All policies pin a set to its
+    /// first-touch executor for the remainder of the isolation epoch, so
+    /// same-set program order holds under every policy.
+    ///
+    /// ```
+    /// use ss_core::{Assignment, Runtime};
+    /// let rt = Runtime::builder()
+    ///     .delegate_threads(2)
+    ///     .assignment(Assignment::LeastLoaded)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(rt.assignment_name(), "least-loaded");
+    /// ```
+    pub fn assignment(mut self, a: Assignment) -> Self {
+        self.assignment = a;
+        self
+    }
+
     /// Enables execution tracing (§3.3's debug facility): the runtime
     /// records every model-level operation — epoch boundaries, delegations
     /// with their serialization set and executor, ownership reclaims,
@@ -163,6 +251,18 @@ mod tests {
         assert!(b.dynamic_checks);
         assert_eq!(b.mode, ExecutionMode::Parallel);
         assert_eq!(b.wait_policy, WaitPolicy::SpinPark);
+        assert!(matches!(b.assignment, Assignment::Static));
+    }
+
+    #[test]
+    fn assignment_selector_instantiates_named_policies() {
+        assert_eq!(Assignment::Static.instantiate().name(), "static");
+        assert_eq!(
+            Assignment::RoundRobinFirstTouch.instantiate().name(),
+            "round-robin"
+        );
+        assert_eq!(Assignment::LeastLoaded.instantiate().name(), "least-loaded");
+        assert_eq!(format!("{:?}", Assignment::LeastLoaded), "LeastLoaded");
     }
 
     #[test]

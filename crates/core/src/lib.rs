@@ -74,9 +74,12 @@ mod stats;
 mod trace;
 mod wrappers;
 
-pub use config::{ExecutionMode, RuntimeBuilder, WaitPolicy};
+pub use config::{Assignment, ExecutionMode, RuntimeBuilder, WaitPolicy};
 pub use error::{SsError, SsResult};
-pub use runtime::Runtime;
+pub use runtime::{
+    AssignTopology, DelegateAssignment, DelegateLoads, Executor, LeastLoaded, RoundRobinFirstTouch,
+    Runtime, StaticAssignment,
+};
 pub use serializer::{
     FnSerializer, NullSerializer, ObjectSerializer, SequenceSerializer, SerializeCx, Serializer,
     SsId,

@@ -1,0 +1,398 @@
+//! Delegate assignment: mapping serialization sets to executors.
+//!
+//! The paper uses **static assignment** — `SsId mod virtual_delegates`,
+//! with the first `program_share` virtual delegates executing inline on
+//! the program thread (§4). Static assignment is zero-coordination (any
+//! thread could compute it from the id alone) but trades away load
+//! balance: under a skewed set distribution a few delegates receive most
+//! of the work while others idle.
+//!
+//! This module makes the mapping a pluggable layer. A
+//! [`DelegateAssignment`] policy decides, at the *first* delegation of a
+//! set in an isolation epoch, which executor owns the set; the runtime
+//! then **pins** that decision for the remainder of the epoch. Epoch
+//! stability is the correctness invariant: all operations of one set must
+//! land in one FIFO queue so they execute in program order, and the
+//! `end_isolation` barrier (which drains every queue) is the only point
+//! where re-routing a set is safe. The pin table is therefore cleared
+//! only at epoch boundaries — lazily, when the first delegation of a new
+//! epoch reaches the scheduler — never mid-epoch.
+//!
+//! Three built-in policies ship with the runtime (selectable via
+//! [`RuntimeBuilder::assignment`](crate::RuntimeBuilder::assignment)):
+//!
+//! * [`StaticAssignment`] — the paper's default, bit-for-bit the seed
+//!   behaviour. Pure (stateless), so the runtime skips the pin table.
+//! * [`RoundRobinFirstTouch`] — first-touch order round-robins over the
+//!   executors; robust to clustered id spaces (e.g. object serializers
+//!   whose addresses share alignment, which alias badly under modulo).
+//! * [`LeastLoaded`] — pins a first-seen set to the delegate with the
+//!   shallowest queue at that instant, using the depth counters kept in
+//!   [`stats`](crate::Stats::queue_depths).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::serializer::SsId;
+
+/// Which executor runs a serialization set.
+///
+/// Returned by [`DelegateAssignment::assign`]; also used internally to
+/// route every delegated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Executor {
+    /// Inline on the program thread.
+    Program,
+    /// Delegate thread with this index.
+    Delegate(usize),
+}
+
+/// The executor topology a policy assigns over.
+#[derive(Debug, Clone, Copy)]
+pub struct AssignTopology {
+    /// Number of physical delegate threads (≥ 1 when a policy is
+    /// consulted; zero-delegate runtimes bypass assignment entirely).
+    pub n_delegates: usize,
+    /// Virtual delegates used by static assignment (§4).
+    pub virtual_delegates: usize,
+    /// Virtual delegates executed inline by the program thread.
+    pub program_share: usize,
+}
+
+/// Read-only view of per-delegate load, sampled at assignment time.
+///
+/// Depths count *delegated operations* currently enqueued or executing on
+/// each delegate (synchronization tokens are not counted). The snapshot
+/// is racy by design — delegates drain concurrently — but a stale read
+/// only costs balance, never correctness, because the chosen executor is
+/// pinned for the epoch either way.
+pub struct DelegateLoads<'a> {
+    pub(crate) depths: &'a [AtomicU64],
+}
+
+impl DelegateLoads<'_> {
+    /// Number of delegates with tracked load.
+    pub fn delegates(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// Current queue depth of delegate `i` (enqueued + executing).
+    pub fn queue_depth(&self, i: usize) -> u64 {
+        self.depths[i].load(Ordering::Relaxed)
+    }
+
+    /// Index of the delegate with the shallowest queue (lowest index on
+    /// ties); `None` when there are no delegates.
+    pub fn shallowest(&self) -> Option<usize> {
+        (0..self.depths.len()).min_by_key(|&i| (self.queue_depth(i), i))
+    }
+}
+
+/// A delegate-assignment policy: maps a serialization set to the executor
+/// that will own it for the current isolation epoch.
+///
+/// The runtime consults the policy **once per set per epoch** (first
+/// touch) and pins the answer until `end_isolation`; policies therefore
+/// never see the same set twice within an epoch unless
+/// [`is_pure`](DelegateAssignment::is_pure) is true. Policies run on the
+/// program thread only — `Send` is required so the runtime handle stays
+/// `Send`, but no synchronization is needed inside a policy.
+///
+/// ```
+/// use ss_core::{AssignTopology, DelegateAssignment, DelegateLoads, Executor, SsId};
+///
+/// /// Everything on delegate 0 — a deliberately terrible policy.
+/// #[derive(Debug)]
+/// struct Pinhole;
+/// impl DelegateAssignment for Pinhole {
+///     fn name(&self) -> &'static str { "pinhole" }
+///     fn assign(&mut self, _: SsId, _: &AssignTopology, _: &DelegateLoads<'_>) -> Executor {
+///         Executor::Delegate(0)
+///     }
+/// }
+/// ```
+pub trait DelegateAssignment: Send + std::fmt::Debug + 'static {
+    /// Short identifier used in traces, stats and bench output.
+    fn name(&self) -> &'static str;
+
+    /// True when `assign` is a pure function of `(ss, topology)` — the
+    /// runtime then skips the per-epoch pin table (static assignment is
+    /// already epoch-stable by construction). Read once at runtime
+    /// construction; the answer must not change over the policy's life.
+    fn is_pure(&self) -> bool {
+        false
+    }
+
+    /// Called with the new epoch serial immediately before the *first*
+    /// `assign` of that epoch. The call is lazy: epochs that delegate
+    /// nothing never reach the policy at all, so serials may skip values
+    /// — treat the argument as an identifier, not a counter.
+    fn begin_epoch(&mut self, _serial: u64) {}
+
+    /// Chooses the owning executor for `ss`. `topology.n_delegates ≥ 1`
+    /// is guaranteed; returning `Executor::Delegate(i)` with
+    /// `i ≥ n_delegates` is a contract violation (debug-asserted by the
+    /// runtime).
+    fn assign(
+        &mut self,
+        ss: SsId,
+        topology: &AssignTopology,
+        loads: &DelegateLoads<'_>,
+    ) -> Executor;
+}
+
+/// The paper's static assignment: `v = ss mod virtual_delegates`; virtual
+/// delegates `< program_share` run inline, the rest map round-robin onto
+/// physical delegates (§4). Pure and zero-coordination.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticAssignment;
+
+/// Shared by [`StaticAssignment`] and the pre-refactor call sites: the
+/// exact seed routing function.
+pub(crate) fn static_executor(ss: SsId, topo: &AssignTopology) -> Executor {
+    let v = (ss.0 % topo.virtual_delegates as u64) as usize;
+    if v < topo.program_share {
+        Executor::Program
+    } else {
+        Executor::Delegate((v - topo.program_share) % topo.n_delegates)
+    }
+}
+
+impl DelegateAssignment for StaticAssignment {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
+
+    fn assign(&mut self, ss: SsId, topo: &AssignTopology, _: &DelegateLoads<'_>) -> Executor {
+        static_executor(ss, topo)
+    }
+}
+
+/// First-touch round-robin: the `k`-th *distinct* set of the runtime's
+/// lifetime goes to executor `k mod (program_share + n_delegates)`, with
+/// the first `program_share` slots executing inline (preserving the
+/// paper's assignment-ratio knob). Immune to id-space aliasing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobinFirstTouch {
+    next: usize,
+}
+
+impl DelegateAssignment for RoundRobinFirstTouch {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn assign(&mut self, _ss: SsId, topo: &AssignTopology, _: &DelegateLoads<'_>) -> Executor {
+        let slots = topo.program_share + topo.n_delegates;
+        let slot = self.next % slots;
+        self.next = (self.next + 1) % slots;
+        if slot < topo.program_share {
+            Executor::Program
+        } else {
+            Executor::Delegate(slot - topo.program_share)
+        }
+    }
+}
+
+/// Depth-aware first touch: a first-seen set is pinned to the delegate
+/// with the shallowest queue at that instant. Under skewed set
+/// distributions this keeps hot sets from stacking onto one delegate the
+/// way modulo hashing can. The program share is intentionally ignored —
+/// inline execution has no queue to measure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LeastLoaded;
+
+impl DelegateAssignment for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn assign(&mut self, _ss: SsId, topo: &AssignTopology, loads: &DelegateLoads<'_>) -> Executor {
+        debug_assert_eq!(loads.delegates(), topo.n_delegates);
+        Executor::Delegate(loads.shallowest().unwrap_or(0))
+    }
+}
+
+/// Program-thread-only assignment state: the active policy plus the
+/// epoch-scoped pin table that enforces set→executor stability.
+pub(crate) struct Scheduler {
+    policy: Box<dyn DelegateAssignment>,
+    /// Cached `policy.is_pure()` — consulted on every delegation, so the
+    /// answer must not cost a virtual call each time.
+    pure: bool,
+    pins: std::collections::HashMap<u64, Executor>,
+    pin_serial: u64,
+}
+
+impl Scheduler {
+    pub(crate) fn new(policy: Box<dyn DelegateAssignment>) -> Self {
+        Scheduler {
+            pure: policy.is_pure(),
+            policy,
+            pins: std::collections::HashMap::new(),
+            pin_serial: 0,
+        }
+    }
+
+    /// Routes `ss` for epoch `serial`. Returns the executor and whether
+    /// this call created a fresh pin (first touch of the set this epoch).
+    pub(crate) fn executor_for(
+        &mut self,
+        ss: SsId,
+        serial: u64,
+        topo: &AssignTopology,
+        loads: &DelegateLoads<'_>,
+    ) -> (Executor, bool) {
+        if self.pure {
+            return (self.policy.assign(ss, topo, loads), false);
+        }
+        if self.pin_serial != serial {
+            self.pins.clear();
+            self.pin_serial = serial;
+            self.policy.begin_epoch(serial);
+        }
+        match self.pins.entry(ss.0) {
+            std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let executor = self.policy.assign(ss, topo, loads);
+                if let Executor::Delegate(i) = executor {
+                    debug_assert!(
+                        i < topo.n_delegates,
+                        "policy returned delegate {i} of {}",
+                        topo.n_delegates
+                    );
+                }
+                slot.insert(executor);
+                (executor, true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(n: usize, virt: usize, share: usize) -> AssignTopology {
+        AssignTopology {
+            n_delegates: n,
+            virtual_delegates: virt,
+            program_share: share,
+        }
+    }
+
+    fn loads_of(depths: &[AtomicU64]) -> DelegateLoads<'_> {
+        DelegateLoads { depths }
+    }
+
+    fn depths(values: &[u64]) -> Vec<AtomicU64> {
+        values.iter().map(|&v| AtomicU64::new(v)).collect()
+    }
+
+    #[test]
+    fn static_matches_paper_modulo() {
+        let t = topo(3, 4, 1);
+        let mut p = StaticAssignment;
+        let d = depths(&[0, 0, 0]);
+        assert_eq!(p.assign(SsId(0), &t, &loads_of(&d)), Executor::Program);
+        assert_eq!(p.assign(SsId(4), &t, &loads_of(&d)), Executor::Program);
+        assert_eq!(p.assign(SsId(1), &t, &loads_of(&d)), Executor::Delegate(0));
+        assert_eq!(p.assign(SsId(2), &t, &loads_of(&d)), Executor::Delegate(1));
+        assert_eq!(p.assign(SsId(3), &t, &loads_of(&d)), Executor::Delegate(2));
+        assert_eq!(p.assign(SsId(5), &t, &loads_of(&d)), Executor::Delegate(0));
+    }
+
+    #[test]
+    fn round_robin_cycles_executors_in_first_touch_order() {
+        let t = topo(2, 2, 1);
+        let mut p = RoundRobinFirstTouch::default();
+        let d = depths(&[0, 0]);
+        // Ids are arbitrary — only touch order matters.
+        assert_eq!(p.assign(SsId(900), &t, &loads_of(&d)), Executor::Program);
+        assert_eq!(p.assign(SsId(17), &t, &loads_of(&d)), Executor::Delegate(0));
+        assert_eq!(p.assign(SsId(3), &t, &loads_of(&d)), Executor::Delegate(1));
+        assert_eq!(p.assign(SsId(42), &t, &loads_of(&d)), Executor::Program);
+    }
+
+    #[test]
+    fn least_loaded_picks_shallowest_queue_with_stable_ties() {
+        let t = topo(3, 3, 0);
+        let mut p = LeastLoaded;
+        let d = depths(&[5, 2, 2]);
+        assert_eq!(p.assign(SsId(1), &t, &loads_of(&d)), Executor::Delegate(1));
+        d[1].store(9, Ordering::Relaxed);
+        assert_eq!(p.assign(SsId(2), &t, &loads_of(&d)), Executor::Delegate(2));
+        d[2].store(9, Ordering::Relaxed);
+        d[0].store(0, Ordering::Relaxed);
+        assert_eq!(p.assign(SsId(3), &t, &loads_of(&d)), Executor::Delegate(0));
+    }
+
+    #[test]
+    fn scheduler_pins_are_epoch_stable() {
+        // LeastLoaded would migrate a set as depths change; the pin table
+        // must hold it on its first-touch executor within one epoch.
+        let t = topo(2, 2, 0);
+        let d = depths(&[0, 4]);
+        let mut s = Scheduler::new(Box::new(LeastLoaded));
+        let (e1, fresh1) = s.executor_for(SsId(7), 1, &t, &loads_of(&d));
+        assert_eq!(e1, Executor::Delegate(0));
+        assert!(fresh1);
+        // Delegate 0 is now much busier — but set 7 must stay pinned.
+        d[0].store(100, Ordering::Relaxed);
+        let (e2, fresh2) = s.executor_for(SsId(7), 1, &t, &loads_of(&d));
+        assert_eq!(e2, Executor::Delegate(0));
+        assert!(!fresh2);
+        // A *different* set may go elsewhere.
+        let (e3, _) = s.executor_for(SsId(8), 1, &t, &loads_of(&d));
+        assert_eq!(e3, Executor::Delegate(1));
+    }
+
+    #[test]
+    fn scheduler_repins_only_at_epoch_boundary() {
+        let t = topo(2, 2, 0);
+        let d = depths(&[10, 0]);
+        let mut s = Scheduler::new(Box::new(LeastLoaded));
+        let (e1, _) = s.executor_for(SsId(7), 1, &t, &loads_of(&d));
+        assert_eq!(e1, Executor::Delegate(1));
+        d[1].store(50, Ordering::Relaxed);
+        // Same epoch: stays.
+        assert_eq!(
+            s.executor_for(SsId(7), 1, &t, &loads_of(&d)).0,
+            Executor::Delegate(1)
+        );
+        // New epoch: free to move to the now-shallow delegate 0.
+        d[0].store(0, Ordering::Relaxed);
+        let (e2, fresh) = s.executor_for(SsId(7), 2, &t, &loads_of(&d));
+        assert_eq!(e2, Executor::Delegate(0));
+        assert!(fresh);
+    }
+
+    #[test]
+    fn pure_policies_bypass_the_pin_table() {
+        let t = topo(2, 2, 0);
+        let d = depths(&[0, 0]);
+        let mut s = Scheduler::new(Box::new(StaticAssignment));
+        // Fresh-pin flag never fires for pure policies (no Pin trace spam).
+        for ss in 0..10u64 {
+            let (_, fresh) = s.executor_for(SsId(ss), 1, &t, &loads_of(&d));
+            assert!(!fresh);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_epoch_stable_through_scheduler() {
+        let t = topo(3, 3, 0);
+        let d = depths(&[0, 0, 0]);
+        let mut s = Scheduler::new(Box::new(RoundRobinFirstTouch::default()));
+        let (first, _) = s.executor_for(SsId(5), 3, &t, &loads_of(&d));
+        for _ in 0..5 {
+            // Interleave other sets; set 5 must keep its executor.
+            s.executor_for(SsId(1), 3, &t, &loads_of(&d));
+            s.executor_for(SsId(2), 3, &t, &loads_of(&d));
+            assert_eq!(s.executor_for(SsId(5), 3, &t, &loads_of(&d)).0, first);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The delegate context: worker threads, their wakeup channel and wait
+//! policy (§4).
+//!
+//! Each delegate thread owns the consumer side of one FastForward SPSC
+//! queue and repeatedly reads invocation objects from it. While the queue
+//! is empty the thread follows the configured [`WaitPolicy`]: spin,
+//! spin-then-yield, or spin-then-park — plus the `force_sleep` override
+//! that [`Runtime::sleep`](super::Runtime::sleep) raises during long
+//! aggregation epochs.
+
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use ss_queue::{Consumer, Pop};
+
+use crate::config::WaitPolicy;
+use crate::invocation::Invocation;
+use crate::stats::StatsCell;
+
+use super::Core;
+
+thread_local! {
+    /// `(runtime id, delegate index)` for delegate threads; `None` elsewhere.
+    pub(super) static DELEGATE_CTX: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
+}
+
+/// Sleep/wake channel for one delegate thread (used by the `SpinPark` wait
+/// policy and by [`Runtime::sleep`](super::Runtime::sleep)).
+pub(super) struct Wakeup {
+    mutex: Mutex<()>,
+    condvar: Condvar,
+    /// Set by the delegate *before* it re-checks its queue and parks; the
+    /// program thread checks it *after* publishing an invocation. SeqCst
+    /// fences on both sides close the store-buffer race (see `park_if_empty`
+    /// / `notify`).
+    sleeping: AtomicBool,
+}
+
+impl Wakeup {
+    pub(super) fn new() -> Self {
+        Wakeup {
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+            sleeping: AtomicBool::new(false),
+        }
+    }
+
+    /// Producer side: wake the delegate if it is (or is about to be) parked.
+    pub(super) fn notify(&self) {
+        // Pairs with the fence in `park_if_empty`. The preceding queue push
+        // used Release; the SeqCst fences on both sides forbid the
+        // store-buffer outcome where the delegate misses the new item *and*
+        // we miss `sleeping == true`.
+        fence(Ordering::SeqCst);
+        if self.sleeping.load(Ordering::Relaxed) {
+            let _g = self.mutex.lock();
+            self.condvar.notify_one();
+        }
+    }
+
+    /// Delegate side: park until notified, unless `queue_nonempty` observes
+    /// work after the sleeping flag is raised. A bounded wait is used as a
+    /// belt-and-suspenders guard so a missed wakeup degrades to latency,
+    /// never deadlock.
+    fn park_if_empty(&self, queue_nonempty: impl Fn() -> bool) {
+        let mut guard = self.mutex.lock();
+        self.sleeping.store(true, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        if !queue_nonempty() {
+            self.condvar
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+        self.sleeping.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Delegate thread main loop (§4): repeatedly read invocation objects from
+/// the communication queue and execute them.
+///
+/// The thread receives only the pieces it needs (consumer, wakeup,
+/// force-sleep flag, the shared [`Core`] for stats) — deliberately *not*
+/// an `Arc` of the runtime's `Inner`, which would keep the runtime alive
+/// forever (threads are joined by `Inner::drop`).
+pub(super) fn delegate_main(
+    rt_id: u64,
+    idx: u32,
+    consumer: Consumer<Invocation>,
+    wakeup: Arc<Wakeup>,
+    policy: WaitPolicy,
+    force_sleep: Arc<AtomicBool>,
+    core: Arc<Core>,
+) {
+    DELEGATE_CTX.with(|c| c.set(Some((rt_id, idx))));
+    let backoff = ss_queue::Backoff::new();
+    loop {
+        match consumer.try_pop() {
+            Pop::Value(inv) => {
+                backoff.reset();
+                match inv {
+                    Invocation::Execute { task, .. } => {
+                        task();
+                        // Depth was raised at submit; the Release pairs with
+                        // assignment-time Relaxed reads (stale is fine) and
+                        // keeps the counter exact for stats snapshots.
+                        core.stats.queue_depths[idx as usize].fetch_sub(1, Ordering::Release);
+                        StatsCell::bump(&core.stats.delegate_executed[idx as usize]);
+                    }
+                    Invocation::Sync(token) => token.signal(),
+                    Invocation::Terminate(token) => {
+                        token.signal();
+                        break;
+                    }
+                }
+            }
+            Pop::Disconnected => break,
+            Pop::Empty => {
+                let force = force_sleep.load(Ordering::Acquire);
+                match policy {
+                    WaitPolicy::Spin if !force => backoff.spin(),
+                    WaitPolicy::SpinYield if !force => backoff.snooze(),
+                    _ => {
+                        if force || backoff.is_completed() {
+                            wakeup.park_if_empty(|| consumer.has_pending());
+                            backoff.reset();
+                        } else {
+                            backoff.snooze();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    DELEGATE_CTX.with(|c| c.set(None));
+}

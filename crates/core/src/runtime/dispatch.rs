@@ -1,0 +1,152 @@
+//! Delegation dispatch: routing, submission, and queue synchronization.
+//!
+//! This is the hot path between the wrappers and the delegate threads:
+//! [`Runtime::executor_for`] consults the assignment layer (with
+//! first-touch pinning), [`Runtime::submit`] publishes the invocation to
+//! the owning executor, and the synchronization entry points implement
+//! §4's ownership-reclaim and epoch-barrier protocols on top of FIFO
+//! queue tokens.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::error::{SsError, SsResult};
+use crate::invocation::{Invocation, SyncToken};
+use crate::serializer::SsId;
+use crate::stats::StatsCell;
+use crate::trace::TraceKind;
+
+use super::assign::static_executor;
+use super::{DelegateLoads, Executor, Runtime};
+
+impl Runtime {
+    /// Routes a serialization set to its executor via the configured
+    /// assignment policy, pinning first-touch decisions for the rest of
+    /// the isolation epoch (program thread only).
+    pub(crate) fn executor_for(&self, ss: SsId) -> Executor {
+        debug_assert!(self.is_program_thread());
+        if self.inner.topology.n_delegates == 0 {
+            return Executor::Program;
+        }
+        if self.inner.static_assignment {
+            // The seed's routing, inlined: no scheduler state, no pins.
+            return static_executor(ss, &self.inner.topology);
+        }
+        // SAFETY: program thread (debug-asserted; all callers are
+        // program-thread paths); borrows scoped, no user code runs inside.
+        let serial = unsafe { self.inner.epoch.get() }.serial;
+        let loads = DelegateLoads {
+            depths: &self.inner.core.stats.queue_depths,
+        };
+        let (executor, fresh_pin) = unsafe { self.inner.scheduler.get() }.executor_for(
+            ss,
+            serial,
+            &self.inner.topology,
+            &loads,
+        );
+        if fresh_pin {
+            StatsCell::bump(&self.inner.core.stats.pins);
+            if self.trace_enabled() {
+                self.trace_record(TraceKind::Pin, None, Some(ss), Some(executor));
+            }
+        }
+        executor
+    }
+
+    /// Submits a packaged task for the given serialization set. Must be
+    /// called on the program thread during an isolation epoch (wrappers
+    /// enforce both). Returns the executor chosen.
+    pub(crate) fn submit(&self, ss: SsId, task: Box<dyn FnOnce() + Send>) -> SsResult<Executor> {
+        self.check_live()?;
+        let executor = self.executor_for(ss);
+        match executor {
+            Executor::Program => {
+                {
+                    // SAFETY: program thread (wrappers checked); scoped so the
+                    // task below may legally re-enter the runtime.
+                    let epoch = unsafe { self.inner.epoch.get() };
+                    if epoch.executing_inline {
+                        return Err(SsError::NestedDelegation);
+                    }
+                    epoch.executing_inline = true;
+                }
+                task();
+                // SAFETY: program thread; fresh scoped borrow after user code.
+                unsafe { self.inner.epoch.get() }.executing_inline = false;
+                StatsCell::bump(&self.inner.core.stats.inline_executions);
+            }
+            Executor::Delegate(i) => {
+                // Raise the depth before publishing so a LeastLoaded
+                // assignment racing with this submit sees the queue grow.
+                self.inner.core.stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                // SAFETY: producers are program-thread-only; wrappers
+                // verified the calling context.
+                let producer = unsafe { self.inner.producers[i].get() };
+                if producer
+                    .push_blocking(Invocation::Execute { task, ss })
+                    .is_err()
+                {
+                    self.inner.core.stats.queue_depths[i].fetch_sub(1, Ordering::Relaxed);
+                    return Err(SsError::Terminated);
+                }
+                self.inner.wakeups[i].notify();
+                StatsCell::bump(&self.inner.core.stats.delegations);
+            }
+        }
+        Ok(executor)
+    }
+
+    /// Sends a synchronization object to `executor`'s queue and waits until
+    /// the delegate has drained everything before it — the ownership-reclaim
+    /// mechanism of §4 ("it will be the last object in the queue, since the
+    /// program thread has ceased sending invocations").
+    pub(crate) fn sync_executor(&self, executor: Executor) -> SsResult<()> {
+        let Executor::Delegate(i) = executor else {
+            return Ok(()); // program-owned sets are always already drained
+        };
+        self.check_live()?;
+        let token = SyncToken::new();
+        // SAFETY: producers are program-thread-only; callers verified.
+        let producer = unsafe { self.inner.producers[i].get() };
+        if producer
+            .push_blocking(Invocation::Sync(Arc::clone(&token)))
+            .is_err()
+        {
+            return Err(SsError::Terminated);
+        }
+        self.inner.wakeups[i].notify();
+        StatsCell::bump(&self.inner.core.stats.sync_objects);
+        token.wait();
+        Ok(())
+    }
+
+    /// Synchronizes with every delegate thread (used by `end_isolation`).
+    /// Tokens are sent to all queues first, then awaited, so delegates drain
+    /// in parallel.
+    pub(crate) fn barrier_all_delegates(&self) {
+        let n = self.inner.topology.n_delegates;
+        let mut tokens = Vec::with_capacity(n);
+        for i in 0..n {
+            let token = SyncToken::new();
+            // SAFETY: program thread (callers checked).
+            let producer = unsafe { self.inner.producers[i].get() };
+            if producer
+                .push_blocking(Invocation::Sync(Arc::clone(&token)))
+                .is_ok()
+            {
+                self.inner.wakeups[i].notify();
+                StatsCell::bump(&self.inner.core.stats.sync_objects);
+                tokens.push(token);
+            }
+        }
+        for t in tokens {
+            t.wait();
+        }
+    }
+
+    /// Records reduction time (called by `Reducible`; Figure 5a component).
+    pub(crate) fn add_reduction_time(&self, d: std::time::Duration) {
+        StatsCell::add_nanos(&self.inner.core.stats.reduction_nanos, d);
+        StatsCell::bump(&self.inner.core.stats.reductions);
+    }
+}

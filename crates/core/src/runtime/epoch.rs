@@ -1,0 +1,153 @@
+//! The aggregation/isolation epoch state machine (Table 1, §2).
+//!
+//! Execution alternates between *aggregation* epochs (ordinary sequential
+//! execution on the program thread) and *isolation* epochs (data is
+//! partitioned, potentially-independent operations are delegated). All
+//! epoch control is restricted to the program thread; `end_isolation`
+//! synchronizes with every delegate queue, which is what makes it safe to
+//! clear the assignment pin table and touch writable objects again.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crate::error::{SsError, SsResult};
+use crate::stats::StatsCell;
+use crate::trace::TraceKind;
+
+use super::Runtime;
+
+/// Program-thread-only epoch bookkeeping.
+pub(super) struct EpochState {
+    pub(super) in_isolation: bool,
+    /// Increments at every `begin_isolation`; wrappers compare it to their
+    /// stored serial to lazily reset per-epoch object state.
+    pub(super) serial: u64,
+    pub(super) started: Option<Instant>,
+    /// True while a delegated operation executes inline on the program
+    /// thread (guards against nested delegation / re-entrant wrapper use).
+    pub(super) executing_inline: bool,
+}
+
+impl EpochState {
+    pub(super) fn new() -> Self {
+        EpochState {
+            in_isolation: false,
+            serial: 0,
+            started: None,
+            executing_inline: false,
+        }
+    }
+}
+
+impl Runtime {
+    /// Begins an isolation epoch (Table 1 `begin_isolation`): wakes delegate
+    /// processor resources if necessary and enables delegation.
+    pub fn begin_isolation(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        {
+            // SAFETY: program thread (checked above); borrow scoped.
+            let epoch = unsafe { self.inner.epoch.get() };
+            if epoch.executing_inline {
+                return Err(SsError::WrongContext);
+            }
+            if epoch.in_isolation {
+                return Err(SsError::AlreadyInIsolation);
+            }
+        }
+        if self.is_poisoned() {
+            return Err(self.inner.core.poison_error());
+        }
+        self.inner.force_sleep.store(false, Ordering::Release);
+        for w in self.inner.wakeups.iter() {
+            w.notify();
+        }
+        // SAFETY: program thread; scoped.
+        let epoch = unsafe { self.inner.epoch.get() };
+        epoch.in_isolation = true;
+        epoch.serial += 1;
+        epoch.started = Some(Instant::now());
+        self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → odd
+        self.trace_record(TraceKind::BeginIsolation, None, None, None);
+        Ok(())
+    }
+
+    /// Ends the isolation epoch (Table 1 `end_isolation`): synchronizes the
+    /// program context with all delegate contexts, then starts a new
+    /// aggregation epoch.
+    pub fn end_isolation(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        {
+            // SAFETY: program thread; scoped.
+            let epoch = unsafe { self.inner.epoch.get() };
+            if epoch.executing_inline {
+                return Err(SsError::WrongContext);
+            }
+            if !epoch.in_isolation {
+                return Err(SsError::NotIsolating);
+            }
+        }
+        self.barrier_all_delegates();
+        {
+            // SAFETY: program thread; scoped.
+            let epoch = unsafe { self.inner.epoch.get() };
+            epoch.in_isolation = false;
+            if let Some(t0) = epoch.started.take() {
+                StatsCell::add_nanos(&self.inner.core.stats.isolation_nanos, t0.elapsed());
+            }
+        }
+        StatsCell::bump(&self.inner.core.stats.isolation_epochs);
+        self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → even
+        self.trace_record(TraceKind::EndIsolation, None, None, None);
+        if self.is_poisoned() {
+            return Err(self.inner.core.poison_error());
+        }
+        Ok(())
+    }
+
+    /// Runs `f` inside an isolation epoch, synchronizing with all delegates
+    /// before returning (even for work still in flight when `f` returns).
+    ///
+    /// ```
+    /// # use ss_core::{Runtime, Writable};
+    /// let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    /// let w: Writable<u64> = Writable::new(&rt, 0);
+    /// rt.isolated(|| {
+    ///     for _ in 0..10 { w.delegate(|n| *n += 1).unwrap(); }
+    /// }).unwrap();
+    /// assert_eq!(w.call(|n| *n).unwrap(), 10);
+    /// ```
+    pub fn isolated<R>(&self, f: impl FnOnce() -> R) -> SsResult<R> {
+        self.begin_isolation()?;
+        let out = f();
+        self.end_isolation()?;
+        Ok(out)
+    }
+
+    /// True while an isolation epoch is open (program thread only; other
+    /// threads always observe `false`).
+    pub fn in_isolation(&self) -> bool {
+        if !self.is_program_thread() {
+            return false;
+        }
+        // SAFETY: program thread.
+        unsafe { self.inner.epoch.get() }.in_isolation
+    }
+
+    /// Cross-thread epoch generation counter: odd while an isolation epoch
+    /// is open, even during aggregation. Monotonic; stable for the duration
+    /// of any delegated operation.
+    pub fn epoch_generation(&self) -> u64 {
+        self.inner.epoch_gen.load(Ordering::Acquire)
+    }
+
+    /// `(in_isolation, epoch serial, executing_inline)` — program thread
+    /// only; used by the wrappers.
+    pub(crate) fn epoch_flags(&self) -> (bool, u64, bool) {
+        debug_assert!(self.is_program_thread());
+        // SAFETY: program thread (debug-asserted; all callers check).
+        let e = unsafe { self.inner.epoch.get() };
+        (e.in_isolation, e.serial, e.executing_inline)
+    }
+}

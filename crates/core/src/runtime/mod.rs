@@ -1,0 +1,441 @@
+//! The serialization-sets runtime: program context, delegate contexts,
+//! epochs, pluggable delegate assignment, synchronization and termination.
+//!
+//! Architecture (mirroring §4 of the paper):
+//!
+//! * The thread that constructs the [`Runtime`] is the **program thread**; it
+//!   implements the *program context* and is the only thread allowed to
+//!   delegate, call, or switch epochs. Epoch control lives in [`epoch`].
+//! * `N` **delegate threads** implement the *delegate context*. Each owns the
+//!   consumer side of a FastForward SPSC queue; the program thread owns all
+//!   producer sides. The worker loop and wakeup machinery live in
+//!   [`delegate`].
+//! * A delegated operation is packaged as an *invocation object* and routed
+//!   by the configured [`DelegateAssignment`] policy ([`assign`]); the
+//!   paper's **static delegate assignment** (serialization-set id modulo the
+//!   number of *virtual delegates*, with a program-thread share) is the
+//!   default and preserves the seed semantics bit-for-bit.
+//! * **Synchronization objects** flush a delegate queue when the program
+//!   context reclaims ownership of an object, or all queues at
+//!   `end_isolation`. **Termination objects** shut the delegates down.
+
+mod assign;
+mod delegate;
+mod dispatch;
+mod epoch;
+#[cfg(test)]
+mod tests;
+
+pub use assign::{
+    AssignTopology, DelegateAssignment, DelegateLoads, Executor, LeastLoaded, RoundRobinFirstTouch,
+    StaticAssignment,
+};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, ThreadId};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use ss_queue::{Producer, SpscQueue};
+
+use assign::Scheduler;
+use delegate::{delegate_main, Wakeup, DELEGATE_CTX};
+use epoch::EpochState;
+
+use crate::cell::ProgramOnly;
+use crate::config::{ExecutionMode, RuntimeBuilder};
+use crate::error::{SsError, SsResult};
+use crate::invocation::{Invocation, SyncToken};
+use crate::serializer::SsId;
+use crate::stats::{Stats, StatsCell};
+use crate::trace::{TraceEvent, TraceExecutor, TraceKind, TraceLog};
+
+/// Global runtime-id dispenser so multiple runtimes (e.g. in tests) never
+/// confuse each other's delegate threads.
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+/// State shared between the runtime and in-flight invocation closures.
+///
+/// Kept in its own `Arc` (instead of handing tasks the whole runtime) so
+/// queued closures never form reference cycles with the queues that carry
+/// them, and so delegate threads hold no strong reference to [`Inner`].
+pub(crate) struct Core {
+    pub(crate) stats: StatsCell,
+    pub(crate) poisoned: AtomicBool,
+    pub(crate) panic_msg: Mutex<Option<String>>,
+}
+
+impl Core {
+    /// Records the first delegated panic; later ones are dropped (the run is
+    /// already non-deterministic at that point).
+    pub(crate) fn poison(&self, msg: String) {
+        let mut slot = self.panic_msg.lock();
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn poison_error(&self) -> SsError {
+        let msg = self
+            .panic_msg
+            .lock()
+            .clone()
+            .unwrap_or_else(|| "<unknown panic>".to_string());
+        SsError::DelegatePanicked(msg)
+    }
+}
+
+pub(crate) struct Inner {
+    id: u64,
+    program_thread: ThreadId,
+    mode: ExecutionMode,
+    dynamic_checks: bool,
+    topology: AssignTopology,
+    assignment_name: &'static str,
+    /// True for the default `Assignment::Static` — the dispatch path then
+    /// computes the seed's inline modulo and never touches the scheduler
+    /// (no pin table, no virtual calls on the per-delegation hot path).
+    static_assignment: bool,
+    scheduler: ProgramOnly<Scheduler>,
+    producers: Box<[ProgramOnly<Producer<Invocation>>]>,
+    wakeups: Box<[Arc<Wakeup>]>,
+    join_handles: Mutex<Vec<JoinHandle<()>>>,
+    epoch: ProgramOnly<EpochState>,
+    started_at: Instant,
+    terminated: AtomicBool,
+    force_sleep: Arc<AtomicBool>,
+    next_instance: AtomicU64,
+    /// Cross-thread epoch generation: bumped at `begin_isolation` (odd while
+    /// isolating) and again at `end_isolation` (even during aggregation).
+    /// Readable by any executor — stable for the duration of any delegated
+    /// task, because epochs only change when all queues are drained.
+    epoch_gen: AtomicU64,
+    /// §3.3 execution trace, when enabled (program-thread-only).
+    trace_log: Option<ProgramOnly<TraceLog>>,
+    pub(crate) core: Arc<Core>,
+}
+
+/// Handle to a serialization-sets runtime.
+///
+/// Cloning is cheap (an `Arc` bump); all clones refer to the same program
+/// context and delegate threads. The thread that called
+/// [`Runtime::builder`]`.build()` is the program context; epoch control and
+/// delegation are restricted to it, as in the paper (§4 — recursive
+/// delegation is listed as future work).
+///
+/// Dropping the last handle (including those held by live `Writable` /
+/// `Reducible` wrappers) terminates the delegate threads.
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("id", &self.inner.id)
+            .field("delegates", &self.inner.topology.n_delegates)
+            .field("virtual_delegates", &self.inner.topology.virtual_delegates)
+            .field("program_share", &self.inner.topology.program_share)
+            .field("assignment", &self.inner.assignment_name)
+            .field("mode", &self.inner.mode)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Starts configuring a runtime (the paper's `initialize`).
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Builds a runtime with all defaults: `available_parallelism() - 1`
+    /// delegate threads (the paper's default of one less than the number of
+    /// processors), no program share, static assignment, parallel mode.
+    pub fn new() -> SsResult<Runtime> {
+        Self::builder().build()
+    }
+
+    pub(crate) fn from_builder(b: RuntimeBuilder) -> SsResult<Runtime> {
+        let n_delegates = match b.mode {
+            ExecutionMode::Serial => 0,
+            ExecutionMode::Parallel => b.delegate_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get().saturating_sub(1).max(1))
+                    .unwrap_or(1)
+            }),
+        };
+        let program_share = b.program_share;
+        let virtual_delegates = b
+            .virtual_delegates
+            .unwrap_or(program_share + n_delegates)
+            .max(1)
+            .max(program_share);
+        let topology = AssignTopology {
+            n_delegates,
+            virtual_delegates,
+            program_share,
+        };
+
+        let id = NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(Core {
+            stats: StatsCell::new(n_delegates),
+            poisoned: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
+        });
+        let force_sleep = Arc::new(AtomicBool::new(false));
+
+        let mut producers = Vec::with_capacity(n_delegates);
+        let mut consumers = Vec::with_capacity(n_delegates);
+        for _ in 0..n_delegates {
+            let (tx, rx) = SpscQueue::with_capacity(b.queue_capacity);
+            producers.push(ProgramOnly::new(tx));
+            consumers.push(rx);
+        }
+        let wakeups: Box<[Arc<Wakeup>]> =
+            (0..n_delegates).map(|_| Arc::new(Wakeup::new())).collect();
+
+        let static_assignment = matches!(b.assignment, crate::config::Assignment::Static);
+        let policy = b.assignment.instantiate();
+        let assignment_name = policy.name();
+
+        let inner = Arc::new(Inner {
+            id,
+            program_thread: std::thread::current().id(),
+            mode: b.mode,
+            dynamic_checks: b.dynamic_checks,
+            topology,
+            assignment_name,
+            static_assignment,
+            scheduler: ProgramOnly::new(Scheduler::new(policy)),
+            producers: producers.into_boxed_slice(),
+            wakeups,
+            join_handles: Mutex::new(Vec::new()),
+            epoch: ProgramOnly::new(EpochState::new()),
+            started_at: Instant::now(),
+            terminated: AtomicBool::new(false),
+            force_sleep,
+            next_instance: AtomicU64::new(0),
+            epoch_gen: AtomicU64::new(0),
+            trace_log: b.trace.then(|| ProgramOnly::new(TraceLog::default())),
+            core,
+        });
+
+        let mut handles = inner.join_handles.lock();
+        for (idx, consumer) in consumers.into_iter().enumerate() {
+            let wakeup = Arc::clone(&inner.wakeups[idx]);
+            let force_sleep = Arc::clone(&inner.force_sleep);
+            let core = Arc::clone(&inner.core);
+            let policy = b.wait_policy;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ss-delegate-{idx}"))
+                    .spawn(move || {
+                        delegate_main(id, idx as u32, consumer, wakeup, policy, force_sleep, core)
+                    })
+                    .expect("failed to spawn delegate thread"),
+            );
+        }
+        drop(handles);
+
+        Ok(Runtime { inner })
+    }
+
+    // ------------------------------------------------------------------
+    // introspection
+
+    /// Number of physical delegate threads.
+    pub fn delegate_threads(&self) -> usize {
+        self.inner.topology.n_delegates
+    }
+
+    /// Number of virtual delegates used by static assignment.
+    pub fn virtual_delegates(&self) -> usize {
+        self.inner.topology.virtual_delegates
+    }
+
+    /// Virtual delegates executed inline by the program thread.
+    pub fn program_share(&self) -> usize {
+        self.inner.topology.program_share
+    }
+
+    /// Name of the active delegate-assignment policy (`"static"`,
+    /// `"round-robin"`, `"least-loaded"`, or a custom policy's name).
+    pub fn assignment_name(&self) -> &'static str {
+        self.inner.assignment_name
+    }
+
+    /// Execution mode (parallel or sequential debug).
+    pub fn mode(&self) -> ExecutionMode {
+        self.inner.mode
+    }
+
+    /// True once a delegated operation has panicked.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.core.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Whether the diagnostic dynamic checks are enabled.
+    pub fn dynamic_checks(&self) -> bool {
+        self.inner.dynamic_checks
+    }
+
+    /// Instrumentation snapshot (Figure 5a components, operation counts and
+    /// per-delegate load).
+    pub fn stats(&self) -> Stats {
+        self.inner.core.stats.snapshot(self.inner.started_at)
+    }
+
+    /// Next instance number for a new wrapped object (the *sequence*
+    /// serializer's identifying information).
+    pub(crate) fn next_instance(&self) -> u64 {
+        self.inner.next_instance.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // tracing (§3.3 debug facility)
+
+    /// Whether execution tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.trace_log.is_some()
+    }
+
+    /// Records one trace event (program thread only; no-op when disabled).
+    pub(crate) fn trace_record(
+        &self,
+        kind: TraceKind,
+        object: Option<u64>,
+        set: Option<SsId>,
+        executor: Option<Executor>,
+    ) {
+        let Some(log) = &self.inner.trace_log else {
+            return;
+        };
+        debug_assert!(self.is_program_thread());
+        let executor = executor.map(|e| match e {
+            Executor::Program => TraceExecutor::Program,
+            Executor::Delegate(i) => TraceExecutor::Delegate(i),
+        });
+        // SAFETY: program thread (all call sites are program-thread paths);
+        // scoped borrow.
+        let epoch = unsafe { self.inner.epoch.get() }.serial;
+        unsafe { log.get() }.record(epoch, kind, object, set, executor);
+    }
+
+    /// Removes and returns the recorded trace (program thread only; empty
+    /// when tracing is disabled). Sequence numbers continue across takes.
+    pub fn take_trace(&self) -> SsResult<Vec<TraceEvent>> {
+        self.require_program_thread()?;
+        match &self.inner.trace_log {
+            // SAFETY: program thread (checked above).
+            Some(log) => Ok(unsafe { log.get() }.take()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // context checks
+
+    #[inline]
+    pub(crate) fn is_program_thread(&self) -> bool {
+        std::thread::current().id() == self.inner.program_thread
+    }
+
+    /// Executor identity of the calling thread, if it belongs to this
+    /// runtime. Slot 0 is the program context; `1 + i` is delegate `i`
+    /// (the indices `Reducible` views use).
+    pub(crate) fn current_executor_slot(&self) -> Option<usize> {
+        if self.is_program_thread() {
+            return Some(0);
+        }
+        DELEGATE_CTX.with(|c| match c.get() {
+            Some((rt, idx)) if rt == self.inner.id => Some(1 + idx as usize),
+            _ => None,
+        })
+    }
+
+    /// Total executor slots: program + delegates.
+    pub(crate) fn executor_slots(&self) -> usize {
+        1 + self.inner.topology.n_delegates
+    }
+
+    /// Public form of the executor identity: `Some(0)` on the program
+    /// thread, `Some(1 + i)` on delegate `i`, `None` on foreign threads.
+    /// Used by ownership-tracking data structures built on top of the
+    /// runtime (e.g. `ss-collections::OwnerTracked`).
+    pub fn executor_slot(&self) -> Option<usize> {
+        self.current_executor_slot()
+    }
+
+    #[inline]
+    pub(crate) fn require_program_thread(&self) -> SsResult<()> {
+        if self.is_program_thread() {
+            Ok(())
+        } else {
+            Err(SsError::WrongContext)
+        }
+    }
+
+    pub(crate) fn check_live(&self) -> SsResult<()> {
+        if self.inner.terminated.load(Ordering::Acquire) {
+            return Err(SsError::Terminated);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle
+
+    /// Releases delegate processor resources during a long aggregation epoch
+    /// (Table 1 `sleep`): delegate threads park as soon as their queues are
+    /// empty, regardless of wait policy, until the next `begin_isolation`.
+    pub fn sleep(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        if self.in_isolation() {
+            return Err(SsError::NotInAggregation);
+        }
+        self.inner.force_sleep.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Terminates the delegate threads after they drain their queues (Table 1
+    /// `terminate`). Idempotent; also implied by dropping the last handle.
+    pub fn shutdown(&self) -> SsResult<()> {
+        self.require_program_thread()?;
+        if self.in_isolation() {
+            return Err(SsError::NotIsolating); // must end the epoch first
+        }
+        self.inner.terminate_and_join();
+        Ok(())
+    }
+}
+
+impl Inner {
+    /// Sends termination objects, wakes and joins all delegates. Called from
+    /// `shutdown` (program thread) or from `Drop` (sole owner) — both give
+    /// exclusive access to the producers.
+    fn terminate_and_join(&self) {
+        if !self.terminated.swap(true, Ordering::AcqRel) {
+            for i in 0..self.topology.n_delegates {
+                let token = SyncToken::new();
+                // SAFETY: exclusive by the method contract above.
+                let producer = unsafe { self.producers[i].get() };
+                let _ = producer.push_blocking(Invocation::Terminate(token));
+                self.wakeups[i].notify();
+            }
+        }
+        let mut handles = self.join_handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.terminate_and_join();
+    }
+}

@@ -1,0 +1,426 @@
+//! Runtime-level tests: epoch state machine, delegation, termination,
+//! wait policies, and the assignment layer's end-to-end behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::*;
+use crate::config::{Assignment, WaitPolicy};
+
+/// Boxed task that bumps `counter` (the common body of delivery tests).
+fn bump(counter: &Arc<AtomicU64>) -> Box<dyn FnOnce() + Send> {
+    let c = Arc::clone(counter);
+    Box::new(move || {
+        c.fetch_add(1, Ordering::Relaxed);
+    })
+}
+
+#[test]
+fn executor_assignment_is_static_modulo() {
+    let rt = Runtime::builder()
+        .delegate_threads(3)
+        .virtual_delegates(4)
+        .program_share(1)
+        .build()
+        .unwrap();
+    // v = ss % 4; v == 0 → program; v in 1..4 → delegate (v-1) % 3.
+    assert_eq!(rt.executor_for(SsId(0)), Executor::Program);
+    assert_eq!(rt.executor_for(SsId(4)), Executor::Program);
+    assert_eq!(rt.executor_for(SsId(1)), Executor::Delegate(0));
+    assert_eq!(rt.executor_for(SsId(2)), Executor::Delegate(1));
+    assert_eq!(rt.executor_for(SsId(3)), Executor::Delegate(2));
+    assert_eq!(rt.executor_for(SsId(5)), Executor::Delegate(0));
+}
+
+#[test]
+fn zero_delegates_run_inline() {
+    let rt = Runtime::builder().delegate_threads(0).build().unwrap();
+    assert_eq!(rt.executor_for(SsId(17)), Executor::Program);
+    assert_eq!(rt.delegate_threads(), 0);
+}
+
+#[test]
+fn serial_mode_spawns_no_threads() {
+    let rt = Runtime::builder()
+        .mode(ExecutionMode::Serial)
+        .build()
+        .unwrap();
+    assert_eq!(rt.delegate_threads(), 0);
+    assert_eq!(rt.mode(), ExecutionMode::Serial);
+}
+
+#[test]
+fn epoch_state_machine() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    assert!(!rt.in_isolation());
+    assert_eq!(rt.end_isolation(), Err(SsError::NotIsolating));
+    rt.begin_isolation().unwrap();
+    assert!(rt.in_isolation());
+    assert_eq!(rt.begin_isolation(), Err(SsError::AlreadyInIsolation));
+    rt.end_isolation().unwrap();
+    assert!(!rt.in_isolation());
+}
+
+#[test]
+fn epoch_control_from_wrong_thread_fails() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    let rt2 = rt.clone();
+    std::thread::spawn(move || {
+        assert_eq!(rt2.begin_isolation(), Err(SsError::WrongContext));
+        assert_eq!(rt2.end_isolation(), Err(SsError::WrongContext));
+        assert!(!rt2.in_isolation());
+    })
+    .join()
+    .unwrap();
+}
+
+#[test]
+fn submit_runs_on_delegates_and_barrier_waits() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let counter = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    for ss in 0..100u64 {
+        rt.submit(SsId(ss), bump(&counter)).unwrap();
+    }
+    rt.end_isolation().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 100);
+}
+
+#[test]
+fn same_set_preserves_program_order() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    rt.begin_isolation().unwrap();
+    for i in 0..1000u64 {
+        let log = Arc::clone(&log);
+        rt.submit(SsId(7), Box::new(move || log.lock().push(i)))
+            .unwrap();
+    }
+    rt.end_isolation().unwrap();
+    let log = log.lock();
+    assert_eq!(*log, (0..1000).collect::<Vec<_>>());
+}
+
+#[test]
+fn inline_sets_execute_immediately() {
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .virtual_delegates(2)
+        .program_share(2)
+        .build()
+        .unwrap();
+    let hits = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    rt.submit(SsId(0), bump(&hits)).unwrap();
+    // Inline execution is synchronous: visible before end_isolation.
+    assert_eq!(hits.load(Ordering::Relaxed), 1);
+    rt.end_isolation().unwrap();
+    assert_eq!(rt.stats().inline_executions, 1);
+}
+
+#[test]
+fn nested_delegation_rejected() {
+    let rt = Runtime::builder().delegate_threads(0).build().unwrap();
+    let rt2 = rt.clone();
+    rt.begin_isolation().unwrap();
+    let err = Arc::new(Mutex::new(None));
+    let err2 = Arc::clone(&err);
+    rt.submit(
+        SsId(0),
+        Box::new(move || {
+            let e = rt2.submit(SsId(1), Box::new(|| {})).unwrap_err();
+            *err2.lock() = Some(e);
+        }),
+    )
+    .unwrap();
+    rt.end_isolation().unwrap();
+    assert_eq!(err.lock().take(), Some(SsError::NestedDelegation));
+}
+
+#[test]
+fn shutdown_is_idempotent_and_blocks_later_use() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    rt.shutdown().unwrap();
+    rt.shutdown().unwrap();
+    assert_eq!(rt.begin_isolation(), Err(SsError::Terminated));
+}
+
+#[test]
+fn sleep_requires_aggregation_and_wakes_on_isolation() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    rt.begin_isolation().unwrap();
+    assert_eq!(rt.sleep(), Err(SsError::NotInAggregation));
+    rt.end_isolation().unwrap();
+    rt.sleep().unwrap();
+    // Delegates park; a new epoch must wake them and still work.
+    rt.begin_isolation().unwrap();
+    let hits = Arc::new(AtomicU64::new(0));
+    rt.submit(SsId(1), bump(&hits)).unwrap();
+    rt.end_isolation().unwrap();
+    assert_eq!(hits.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn stats_count_operations() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    rt.begin_isolation().unwrap();
+    for i in 0..10u64 {
+        rt.submit(SsId(i), Box::new(|| {})).unwrap();
+    }
+    rt.end_isolation().unwrap();
+    let s = rt.stats();
+    assert_eq!(s.delegations, 10);
+    assert_eq!(s.isolation_epochs, 1);
+    assert!(s.sync_objects >= 1);
+    assert!(s.isolation > std::time::Duration::ZERO);
+}
+
+#[test]
+fn many_runtimes_coexist() {
+    let a = Runtime::builder().delegate_threads(1).build().unwrap();
+    let b = Runtime::builder().delegate_threads(1).build().unwrap();
+    let hits = Arc::new(AtomicU64::new(0));
+    for rt in [&a, &b] {
+        rt.begin_isolation().unwrap();
+        rt.submit(SsId(0), bump(&hits)).unwrap();
+        rt.end_isolation().unwrap();
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn wait_policies_all_deliver() {
+    for policy in [
+        WaitPolicy::Spin,
+        WaitPolicy::SpinYield,
+        WaitPolicy::SpinPark,
+    ] {
+        let rt = Runtime::builder()
+            .delegate_threads(1)
+            .wait_policy(policy)
+            .build()
+            .unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        rt.begin_isolation().unwrap();
+        for i in 0..50u64 {
+            rt.submit(SsId(i), bump(&hits)).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 50, "policy {policy:?}");
+        rt.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn tiny_queue_applies_backpressure_without_deadlock() {
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .queue_capacity(2)
+        .build()
+        .unwrap();
+    let counter = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    for i in 0..5000u64 {
+        rt.submit(SsId(i), bump(&counter)).unwrap();
+    }
+    rt.end_isolation().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 5000);
+}
+
+// ----------------------------------------------------------------------
+// assignment layer
+
+#[test]
+fn all_policies_deliver_all_work() {
+    for assignment in [
+        Assignment::Static,
+        Assignment::RoundRobinFirstTouch,
+        Assignment::LeastLoaded,
+    ] {
+        let rt = Runtime::builder()
+            .delegate_threads(3)
+            .assignment(assignment.clone())
+            .build()
+            .unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        rt.begin_isolation().unwrap();
+        for i in 0..500u64 {
+            rt.submit(SsId(i % 13), bump(&counter)).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 500, "{assignment:?}");
+    }
+}
+
+#[test]
+fn all_policies_preserve_same_set_program_order() {
+    for assignment in [
+        Assignment::Static,
+        Assignment::RoundRobinFirstTouch,
+        Assignment::LeastLoaded,
+    ] {
+        let rt = Runtime::builder()
+            .delegate_threads(3)
+            .assignment(assignment.clone())
+            .build()
+            .unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        rt.begin_isolation().unwrap();
+        for i in 0..800u64 {
+            let log = Arc::clone(&log);
+            rt.submit(SsId(i % 3), Box::new(move || log.lock().push(i)))
+                .unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let log = log.lock();
+        for set in 0..3u64 {
+            let per_set: Vec<u64> = log.iter().copied().filter(|i| i % 3 == set).collect();
+            let mut sorted = per_set.clone();
+            sorted.sort_unstable();
+            assert_eq!(per_set, sorted, "{assignment:?} reordered set {set}");
+        }
+    }
+}
+
+#[test]
+fn dynamic_policies_keep_a_set_on_one_executor_within_an_epoch() {
+    let rt = Runtime::builder()
+        .delegate_threads(3)
+        .assignment(Assignment::LeastLoaded)
+        .build()
+        .unwrap();
+    rt.begin_isolation().unwrap();
+    let first = rt.executor_for(SsId(42));
+    // Load up other delegates so a re-assignment would move the set.
+    for i in 0..200u64 {
+        rt.submit(SsId(i), Box::new(|| {})).unwrap();
+    }
+    assert_eq!(rt.executor_for(SsId(42)), first);
+    rt.end_isolation().unwrap();
+}
+
+#[test]
+fn pins_counter_tracks_first_touches() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::RoundRobinFirstTouch)
+        .build()
+        .unwrap();
+    rt.begin_isolation().unwrap();
+    for i in 0..60u64 {
+        rt.submit(SsId(i % 6), Box::new(|| {})).unwrap();
+    }
+    rt.end_isolation().unwrap();
+    // 6 distinct sets → 6 pins; static assignment would report 0.
+    assert_eq!(rt.stats().pins, 6);
+}
+
+#[test]
+fn static_assignment_reports_no_pins() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    rt.begin_isolation().unwrap();
+    for i in 0..60u64 {
+        rt.submit(SsId(i % 6), Box::new(|| {})).unwrap();
+    }
+    rt.end_isolation().unwrap();
+    assert_eq!(rt.stats().pins, 0);
+    assert_eq!(rt.assignment_name(), "static");
+}
+
+#[test]
+fn custom_policy_is_pluggable() {
+    #[derive(Debug)]
+    struct AlwaysLast;
+    impl DelegateAssignment for AlwaysLast {
+        fn name(&self) -> &'static str {
+            "always-last"
+        }
+        fn assign(
+            &mut self,
+            _ss: SsId,
+            topo: &AssignTopology,
+            _loads: &DelegateLoads<'_>,
+        ) -> Executor {
+            Executor::Delegate(topo.n_delegates - 1)
+        }
+    }
+    let rt = Runtime::builder()
+        .delegate_threads(3)
+        .assignment(Assignment::custom(|| Box::new(AlwaysLast)))
+        .build()
+        .unwrap();
+    assert_eq!(rt.assignment_name(), "always-last");
+    let hits = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    for i in 0..50u64 {
+        rt.submit(SsId(i), bump(&hits)).unwrap();
+    }
+    assert_eq!(rt.executor_for(SsId(999)), Executor::Delegate(2));
+    rt.end_isolation().unwrap();
+    assert_eq!(hits.load(Ordering::Relaxed), 50);
+    let s = rt.stats();
+    assert_eq!(s.delegate_executed[2], 50);
+    assert_eq!(s.delegate_executed[0], 0);
+}
+
+#[test]
+fn queue_depths_return_to_zero_after_barrier() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::LeastLoaded)
+        .build()
+        .unwrap();
+    rt.begin_isolation().unwrap();
+    for i in 0..300u64 {
+        rt.submit(SsId(i), Box::new(|| {})).unwrap();
+    }
+    rt.end_isolation().unwrap();
+    let s = rt.stats();
+    assert!(
+        s.queue_depths.iter().all(|&d| d == 0),
+        "{:?}",
+        s.queue_depths
+    );
+    assert_eq!(s.delegate_executed.iter().sum::<u64>(), s.delegations);
+}
+
+#[test]
+fn least_loaded_routes_away_from_a_busy_delegate() {
+    // Deterministic version of "least-loaded balances": hold delegate 0
+    // busy with a gated task so its queue depth is observably non-zero,
+    // then check the next first-touch goes to the idle delegate. (A
+    // timing-based variant — submit many short tasks and assert both
+    // delegates ran some — is flaky on fast hosts where queues drain
+    // between submits.)
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::LeastLoaded)
+        .build()
+        .unwrap();
+    let gate = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    // First touch with both queues empty: tie-break picks delegate 0.
+    let g = Arc::clone(&gate);
+    rt.submit(
+        SsId(1),
+        Box::new(move || {
+            while g.load(Ordering::Acquire) == 0 {
+                std::hint::spin_loop();
+            }
+        }),
+    )
+    .unwrap();
+    assert_eq!(rt.executor_for(SsId(1)), Executor::Delegate(0));
+    // Delegate 0's depth is pinned at 1 until the gate opens, so the
+    // next first-touch must see [1, 0] and pick delegate 1.
+    assert_eq!(rt.executor_for(SsId(2)), Executor::Delegate(1));
+    // And set 2 stays there even after more load lands on delegate 1.
+    rt.submit(SsId(2), Box::new(|| {})).unwrap();
+    assert_eq!(rt.executor_for(SsId(2)), Executor::Delegate(1));
+    gate.store(1, Ordering::Release);
+    rt.end_isolation().unwrap();
+    let s = rt.stats();
+    assert_eq!(s.delegate_executed, vec![1, 1]);
+}

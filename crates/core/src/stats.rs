@@ -4,12 +4,19 @@
 //! *isolation*, and *reduction* components; this module provides the
 //! counters and timers the `fig5a_breakdown` harness reads. Counters are
 //! plain relaxed atomics — they are statistics, not synchronization.
+//!
+//! The per-delegate arrays (`queue_depths`, `delegate_executed`) do double
+//! duty: they feed the [`Stats`] snapshot *and* the `LeastLoaded`
+//! delegate-assignment policy, which reads queue depths at first-touch
+//! pinning time. A depth is raised by the program thread at submit and
+//! lowered by the owning delegate after execution, so at any instant it
+//! counts enqueued-or-executing operations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Internal atomic counters owned by the runtime.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct StatsCell {
     pub delegations: AtomicU64,
     pub inline_executions: AtomicU64,
@@ -19,9 +26,37 @@ pub(crate) struct StatsCell {
     pub isolation_nanos: AtomicU64,
     pub reduction_nanos: AtomicU64,
     pub reductions: AtomicU64,
+    /// First-touch assignment pins created by non-static policies.
+    pub pins: AtomicU64,
+    /// Per-delegate count of enqueued-or-executing operations.
+    pub queue_depths: Box<[AtomicU64]>,
+    /// Per-delegate count of completed operations.
+    pub delegate_executed: Box<[AtomicU64]>,
+}
+
+impl Default for StatsCell {
+    fn default() -> Self {
+        StatsCell::new(0)
+    }
 }
 
 impl StatsCell {
+    /// Creates counters for a runtime with `n_delegates` delegate threads.
+    pub fn new(n_delegates: usize) -> Self {
+        StatsCell {
+            delegations: AtomicU64::new(0),
+            inline_executions: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            sync_objects: AtomicU64::new(0),
+            isolation_epochs: AtomicU64::new(0),
+            isolation_nanos: AtomicU64::new(0),
+            reduction_nanos: AtomicU64::new(0),
+            reductions: AtomicU64::new(0),
+            pins: AtomicU64::new(0),
+            queue_depths: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
+            delegate_executed: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
     #[inline]
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
@@ -43,6 +78,17 @@ impl StatsCell {
             sync_objects: self.sync_objects.load(Ordering::Relaxed),
             isolation_epochs: self.isolation_epochs.load(Ordering::Relaxed),
             reductions: self.reductions.load(Ordering::Relaxed),
+            pins: self.pins.load(Ordering::Relaxed),
+            queue_depths: self
+                .queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            delegate_executed: self
+                .delegate_executed
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
             total,
             isolation,
             reduction,
@@ -53,7 +99,7 @@ impl StatsCell {
 
 /// A point-in-time snapshot of runtime activity (see
 /// [`Runtime::stats`](crate::Runtime::stats)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stats {
     /// Operations sent to delegate threads.
     pub delegations: u64,
@@ -68,6 +114,17 @@ pub struct Stats {
     pub isolation_epochs: u64,
     /// Reducible reductions performed.
     pub reductions: u64,
+    /// First-touch assignment pins created by non-static delegate
+    /// assignment policies (0 under the default static assignment).
+    pub pins: u64,
+    /// Per-delegate queue depth at snapshot time (enqueued + executing).
+    /// All zeros during aggregation epochs — `end_isolation` drains every
+    /// queue.
+    pub queue_depths: Vec<u64>,
+    /// Per-delegate count of completed delegated operations; the spread
+    /// across delegates is the load-balance signal the
+    /// `ablation_assignment` bench reports.
+    pub delegate_executed: Vec<u64>,
     /// Wall-clock time since the runtime was created.
     pub total: Duration,
     /// Wall-clock time spent inside isolation epochs (program-thread view).
@@ -145,11 +202,26 @@ mod tests {
             sync_objects: 0,
             isolation_epochs: 0,
             reductions: 0,
+            pins: 0,
+            queue_depths: Vec::new(),
+            delegate_executed: Vec::new(),
             total: Duration::ZERO,
             isolation: Duration::ZERO,
             reduction: Duration::ZERO,
             aggregation: Duration::ZERO,
         };
         assert_eq!(s.isolation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn per_delegate_arrays_are_sized_and_snapshotted() {
+        let cell = StatsCell::new(3);
+        cell.queue_depths[1].store(4, Ordering::Relaxed);
+        cell.delegate_executed[2].store(9, Ordering::Relaxed);
+        StatsCell::bump(&cell.pins);
+        let s = cell.snapshot(Instant::now());
+        assert_eq!(s.queue_depths, vec![0, 4, 0]);
+        assert_eq!(s.delegate_executed, vec![0, 0, 9]);
+        assert_eq!(s.pins, 1);
     }
 }

@@ -34,6 +34,10 @@ pub enum TraceKind {
     BeginIsolation,
     /// `end_isolation` — barrier with all delegates, epoch closed.
     EndIsolation,
+    /// A serialization set was pinned to its executor for the epoch by a
+    /// non-static delegate-assignment policy (first touch of the set).
+    /// Static assignment emits no pin events — the mapping is pure.
+    Pin,
     /// An operation was delegated.
     Delegate,
     /// A delegated operation executed inline on the program thread.
@@ -110,10 +114,7 @@ pub fn format_trace(events: &[TraceEvent]) -> String {
             Some(TraceExecutor::Delegate(i)) => format!(" on delegate {i}"),
             None => String::new(),
         };
-        let obj = e
-            .object
-            .map(|o| format!(" obj #{o}"))
-            .unwrap_or_default();
+        let obj = e.object.map(|o| format!(" obj #{o}")).unwrap_or_default();
         let set = e.set.map(|s| format!(" set {}", s.0)).unwrap_or_default();
         out.push_str(&format!(
             "[{:>5}] epoch {:>3} {:?}{}{}{}\n",
@@ -131,7 +132,13 @@ mod tests {
     fn log_preserves_program_order() {
         let mut log = TraceLog::default();
         log.record(1, TraceKind::BeginIsolation, None, None, None);
-        log.record(1, TraceKind::Delegate, Some(3), Some(SsId(7)), Some(TraceExecutor::Delegate(0)));
+        log.record(
+            1,
+            TraceKind::Delegate,
+            Some(3),
+            Some(SsId(7)),
+            Some(TraceExecutor::Delegate(0)),
+        );
         log.record(1, TraceKind::EndIsolation, None, None, None);
         let events = log.take();
         assert_eq!(events.len(), 3);
@@ -147,7 +154,13 @@ mod tests {
     #[test]
     fn formatting_is_line_per_event() {
         let mut log = TraceLog::default();
-        log.record(1, TraceKind::Delegate, Some(0), Some(SsId(5)), Some(TraceExecutor::Program));
+        log.record(
+            1,
+            TraceKind::Delegate,
+            Some(0),
+            Some(SsId(5)),
+            Some(TraceExecutor::Program),
+        );
         let s = format_trace(&log.take());
         assert_eq!(s.lines().count(), 1);
         assert!(s.contains("Delegate"));

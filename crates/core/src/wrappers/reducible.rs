@@ -285,7 +285,11 @@ impl<T: Reduce> Reducible<T> {
 /// obvious sequential merge.
 fn tree_reduce<T: Reduce>(mut items: Vec<T>) -> T {
     while items.len() > 2 {
-        let spare = if items.len() % 2 == 1 { items.pop() } else { None };
+        let spare = if items.len() % 2 == 1 {
+            items.pop()
+        } else {
+            None
+        };
         let mut merged: Vec<T> = Vec::with_capacity(items.len() / 2 + 1);
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(items.len() / 2);
@@ -329,7 +333,10 @@ mod tests {
     }
 
     fn rt(delegates: usize) -> Runtime {
-        Runtime::builder().delegate_threads(delegates).build().unwrap()
+        Runtime::builder()
+            .delegate_threads(delegates)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -438,7 +438,11 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             }
         }
         if rt.trace_enabled() {
-            let kind = if mutate { TraceKind::CallMut } else { TraceKind::Call };
+            let kind = if mutate {
+                TraceKind::CallMut
+            } else {
+                TraceKind::Call
+            };
             rt.trace_record(kind, Some(self.shared.instance), None, None);
         }
         // SAFETY: read-shared (no writer can exist this epoch — the state
@@ -509,7 +513,10 @@ mod tests {
     use crate::serializer::{FnSerializer, NullSerializer, SequenceSerializer};
 
     fn rt(delegates: usize) -> Runtime {
-        Runtime::builder().delegate_threads(delegates).build().unwrap()
+        Runtime::builder()
+            .delegate_threads(delegates)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -637,7 +644,11 @@ mod tests {
             hits: u64,
         }
         let mk = |row| {
-            Writable::with_serializer(&rt, Row { row, hits: 0 }, FnSerializer::new(|r: &Row| r.row))
+            Writable::with_serializer(
+                &rt,
+                Row { row, hits: 0 },
+                FnSerializer::new(|r: &Row| r.row),
+            )
         };
         let a = mk(1);
         let b = mk(1); // same set as a
@@ -695,7 +706,10 @@ mod tests {
         assert!(rt.is_poisoned());
         // Everything afterwards reports the panic.
         assert!(matches!(w.call(|n| *n), Err(SsError::DelegatePanicked(_))));
-        assert!(matches!(rt.begin_isolation(), Err(SsError::DelegatePanicked(_))));
+        assert!(matches!(
+            rt.begin_isolation(),
+            Err(SsError::DelegatePanicked(_))
+        ));
     }
 
     #[test]
@@ -766,8 +780,10 @@ mod tests {
                     .unwrap();
             }
             rt.end_isolation().unwrap();
-            let snapshot: Vec<Vec<u64>> =
-                objs.iter().map(|o| o.call(|v| v.clone()).unwrap()).collect();
+            let snapshot: Vec<Vec<u64>> = objs
+                .iter()
+                .map(|o| o.call(|v| v.clone()).unwrap())
+                .collect();
             outputs.push(snapshot);
         }
         for w in outputs.windows(2) {

@@ -82,6 +82,7 @@ impl Octree {
         tree
     }
 
+    #[allow(clippy::too_many_arguments)] // recursive octree descent carries its whole frame
     fn insert(
         &mut self,
         node: Option<u32>,
@@ -121,7 +122,8 @@ impl Octree {
                         mass: 0.0,
                         com: [0.0; 3],
                     };
-                    let a = self.insert(Some(idx), center, half, old_body, old_pos, old_mass, depth);
+                    let a =
+                        self.insert(Some(idx), center, half, old_body, old_pos, old_mass, depth);
                     debug_assert_eq!(a, idx);
                     self.insert(Some(idx), center, half, body, pos, mass, depth)
                 }
@@ -269,9 +271,9 @@ pub fn direct_acceleration(bodies: &[Body], i: usize) -> [f64; 3] {
 }
 
 fn kick_drift(b: &mut Body, acc: [f64; 3]) {
-    for d in 0..3 {
-        b.vel[d] += acc[d] * DT;
-        b.pos[d] += b.vel[d] * DT;
+    for ((v, p), a) in b.vel.iter_mut().zip(&mut b.pos).zip(acc) {
+        *v += a * DT;
+        *p += *v * DT;
     }
 }
 
@@ -283,9 +285,9 @@ pub fn seq(bodies: &[Body], steps: usize) -> Vec<Body> {
     let mut bodies = bodies.to_vec();
     for _ in 0..steps {
         let tree = Octree::build(&bodies);
-        for i in 0..bodies.len() {
-            let acc = tree.acceleration(bodies[i].pos, i as u32);
-            kick_drift(&mut bodies[i], acc);
+        for (i, b) in bodies.iter_mut().enumerate() {
+            let acc = tree.acceleration(b.pos, i as u32);
+            kick_drift(b, acc);
         }
     }
     bodies
@@ -349,7 +351,8 @@ pub fn ss(bodies: &[Body], steps: usize, rt: &Runtime) -> Vec<Body> {
         // Aggregation: gather a position snapshot and build the tree.
         let mut snapshot = Vec::with_capacity(n);
         for blk in &blocks {
-            blk.call(|b| snapshot.extend_from_slice(&b.bodies)).expect("gather");
+            blk.call(|b| snapshot.extend_from_slice(&b.bodies))
+                .expect("gather");
         }
         let tree = ReadOnly::new(Octree::build(&snapshot));
 
@@ -371,7 +374,8 @@ pub fn ss(bodies: &[Body], steps: usize, rt: &Runtime) -> Vec<Body> {
 
     let mut out = Vec::with_capacity(n);
     for blk in &blocks {
-        blk.call(|b| out.extend_from_slice(&b.bodies)).expect("collect");
+        blk.call(|b| out.extend_from_slice(&b.bodies))
+            .expect("collect");
     }
     out
 }
@@ -470,7 +474,10 @@ mod tests {
         let bodies = plummer(150, 9);
         let expected = fingerprint(&seq(&bodies, 2));
         for delegates in [0, 1, 3] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert_eq!(fingerprint(&ss(&bodies, 2, &rt)), expected);
         }
     }

@@ -124,7 +124,8 @@ pub fn ss(shared: &ReadOnly<Vec<OptionData>>, rt: &Runtime) -> Vec<f64> {
 
     let mut out = Vec::with_capacity(options.len());
     for b in &blocks {
-        b.call(|blk| out.extend_from_slice(&blk.prices)).expect("call");
+        b.call(|blk| out.extend_from_slice(&blk.prices))
+            .expect("call");
     }
     out
 }
@@ -214,8 +215,14 @@ mod tests {
     #[test]
     fn put_call_parity_holds() {
         for o in options(200, 11) {
-            let call = price(&OptionData { kind: OptionKind::Call, ..o });
-            let put = price(&OptionData { kind: OptionKind::Put, ..o });
+            let call = price(&OptionData {
+                kind: OptionKind::Call,
+                ..o
+            });
+            let put = price(&OptionData {
+                kind: OptionKind::Put,
+                ..o
+            });
             // C - P = S - K·e^{-rT}
             let lhs = call - put;
             let rhs = o.spot - o.strike * (-o.rate * o.time).exp();
@@ -240,7 +247,10 @@ mod tests {
         let expected = seq(&opts);
         let shared = ReadOnly::new(opts);
         for delegates in [0, 1, 3] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
         }
     }

@@ -126,7 +126,10 @@ mod tests {
                 break;
             }
         }
-        assert!(matching >= ca.len() / 2, "only {matching} trailing chunks matched");
+        assert!(
+            matching >= ca.len() / 2,
+            "only {matching} trailing chunks matched"
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         bump_group!();
         if best_len >= MIN_MATCH {
             // Match token: 12-bit offset-1 | 4-bit (len - MIN_MATCH).
-            let token =
-                (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16 & 0xF);
+            let token = (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16 & 0xF);
             out.extend_from_slice(&token.to_le_bytes());
             // Insert every covered position into the chains.
             let end = i + best_len;

@@ -297,7 +297,8 @@ pub fn ss(shared: &ReadOnly<Vec<u8>>, rt: &Runtime) -> Archive {
     // semantics (§2.2 technique 3).
     let mut digests = Vec::with_capacity(n_chunks);
     for b in &blocks {
-        b.call(|blk| digests.extend_from_slice(&blk.digests)).expect("gather digests");
+        b.call(|blk| digests.extend_from_slice(&blk.digests))
+            .expect("gather digests");
     }
     let mut table: HashMap<Digest, u32> = HashMap::new();
     // decision[i] = Err(unique_rank) for first occurrences, Ok(ref idx) else.
@@ -474,7 +475,10 @@ mod tests {
         let expected = seq(&data);
         let shared = ReadOnly::new(data);
         for delegates in [0, 1, 3] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
         }
     }

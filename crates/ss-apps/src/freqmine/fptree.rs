@@ -52,8 +52,7 @@ impl FpTree {
             .map(|(&i, _)| i)
             .collect();
         order.sort_by(|a, b| counts[b].cmp(&counts[a]).then(a.cmp(b)));
-        let rank: HashMap<u32, usize> =
-            order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
+        let rank: HashMap<u32, usize> = order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
 
         let mut tree = FpTree {
             nodes: vec![FpNode {
@@ -69,7 +68,11 @@ impl FpTree {
 
         // Pass 2: insert filtered, rank-sorted transactions.
         for (tx, w) in transactions {
-            let mut items: Vec<u32> = tx.iter().copied().filter(|i| rank.contains_key(i)).collect();
+            let mut items: Vec<u32> = tx
+                .iter()
+                .copied()
+                .filter(|i| rank.contains_key(i))
+                .collect();
             items.sort_by_key(|i| rank[i]);
             tree.insert(&items, *w);
         }
@@ -288,9 +291,6 @@ mod tests {
         let mut out = Vec::new();
         tree.mine_into(&[], &mut out);
         let got = canonicalize(out);
-        assert_eq!(
-            got,
-            vec![(vec![1], 2), (vec![1, 2], 1), (vec![2], 1)]
-        );
+        assert_eq!(got, vec![(vec![1], 2), (vec![1, 2], 1), (vec![2], 1)]);
     }
 }

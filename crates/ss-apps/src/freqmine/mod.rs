@@ -188,7 +188,10 @@ mod tests {
         let txs = db();
         let expected = seq(&txs);
         for delegates in [0, 1, 3] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert_eq!(ss(&txs, &rt), expected, "delegates = {delegates}");
         }
     }

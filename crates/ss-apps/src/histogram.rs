@@ -205,7 +205,10 @@ mod tests {
         let expected = seq(&img);
         let shared = ReadOnly::new(img);
         for delegates in [0, 1, 3] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
         }
     }

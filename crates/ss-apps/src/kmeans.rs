@@ -300,8 +300,8 @@ pub fn ss_paper(shared: &ReadOnly<PointSet>, k: usize, rt: &Runtime) -> Clusteri
         }
         let mut sums = vec![vec![0.0; dims]; centroids.len()];
         counts = vec![0; centroids.len()];
-        for i in 0..ps.n {
-            let c = assign[i] as usize;
+        for (i, &ci) in assign.iter().enumerate() {
+            let c = ci as usize;
             counts[c] += 1;
             for (s, x) in sums[c].iter_mut().zip(ps.point(i)) {
                 *s += x;
@@ -421,7 +421,10 @@ mod tests {
         let expected = seq(&ps, 4);
         let shared = ReadOnly::new(ps);
         for delegates in [0, 2] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert!(ss(&shared, 4, &rt).approx_eq(&expected, 1e-9));
         }
     }

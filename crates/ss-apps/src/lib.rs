@@ -38,14 +38,38 @@ pub fn registry() -> Vec<BenchSpec> {
         Box::new(b)
     }
     vec![
-        BenchSpec { name: "barnes-hut", make: |s: Scale| boxed(barnes_hut::Bench::at(s)) },
-        BenchSpec { name: "blackscholes", make: |s: Scale| boxed(blackscholes::Bench::at(s)) },
-        BenchSpec { name: "dedup", make: |s: Scale| boxed(dedup::Bench::at(s)) },
-        BenchSpec { name: "freqmine", make: |s: Scale| boxed(freqmine::Bench::at(s)) },
-        BenchSpec { name: "histogram", make: |s: Scale| boxed(histogram::Bench::at(s)) },
-        BenchSpec { name: "kmeans", make: |s: Scale| boxed(kmeans::Bench::at(s)) },
-        BenchSpec { name: "reverse_index", make: |s: Scale| boxed(reverse_index::Bench::at(s)) },
-        BenchSpec { name: "word_count", make: |s: Scale| boxed(word_count::Bench::at(s)) },
+        BenchSpec {
+            name: "barnes-hut",
+            make: |s: Scale| boxed(barnes_hut::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "blackscholes",
+            make: |s: Scale| boxed(blackscholes::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "dedup",
+            make: |s: Scale| boxed(dedup::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "freqmine",
+            make: |s: Scale| boxed(freqmine::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "histogram",
+            make: |s: Scale| boxed(histogram::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "kmeans",
+            make: |s: Scale| boxed(kmeans::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "reverse_index",
+            make: |s: Scale| boxed(reverse_index::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "word_count",
+            make: |s: Scale| boxed(word_count::Bench::at(s)),
+        },
     ]
 }
 
@@ -76,7 +100,10 @@ mod tests {
         // Smoke: every benchmark's three implementations agree at scale S
         // with a small runtime. (Deep equality is covered per-module and in
         // the integration tests; this catches registry wiring mistakes.)
-        let rt = ss_core::Runtime::builder().delegate_threads(1).build().unwrap();
+        let rt = ss_core::Runtime::builder()
+            .delegate_threads(1)
+            .build()
+            .unwrap();
         for spec in registry() {
             if spec.name == "dedup" || spec.name == "barnes-hut" {
                 continue; // exercised at S scale in integration tests (slow here)

@@ -52,7 +52,9 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: (0..rows * cols).map(|_| r.random_range(-1.0..1.0)).collect(),
+            data: (0..rows * cols)
+                .map(|_| r.random_range(-1.0..1.0))
+                .collect(),
         }
     }
 
@@ -66,8 +68,8 @@ impl Matrix {
 fn dot_row_col(a: &Matrix, b: &Matrix, r: usize, c: usize) -> f64 {
     let arow = a.row(r);
     let mut acc = 0.0;
-    for k in 0..a.cols {
-        acc += arow[k] * b.data[k * b.cols + c];
+    for (k, &av) in arow.iter().enumerate() {
+        acc += av * b.data[k * b.cols + c];
     }
     acc
 }
@@ -110,8 +112,9 @@ pub fn cp(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 pub fn ss_element(a: &Matrix, b: &Matrix, rt: &Runtime) -> Matrix {
     assert_eq!(a.cols, b.rows);
     let (ra, rb) = (ReadOnly::new(a.clone()), ReadOnly::new(b.clone()));
-    let cells: Vec<Writable<f64, NullSerializer>> =
-        (0..a.rows * b.cols).map(|_| Writable::new(rt, 0.0)).collect();
+    let cells: Vec<Writable<f64, NullSerializer>> = (0..a.rows * b.cols)
+        .map(|_| Writable::new(rt, 0.0))
+        .collect();
     rt.begin_isolation().expect("begin_isolation");
     for r in 0..a.rows {
         for c in 0..b.cols {
@@ -157,6 +160,10 @@ pub fn ss_row(a: &Matrix, b: &Matrix, rt: &Runtime) -> Matrix {
     out
 }
 
+/// A contiguous band of output rows plus its backing buffer (the unit of
+/// delegation in [`ss_row_blocked`]).
+type RowBlock = (std::ops::Range<usize>, Vec<f64>);
+
 /// Band-granularity serialization sets: rows grouped so each delegate gets a
 /// few large operations.
 pub fn ss_row_blocked(a: &Matrix, b: &Matrix, rt: &Runtime) -> Matrix {
@@ -165,7 +172,7 @@ pub fn ss_row_blocked(a: &Matrix, b: &Matrix, rt: &Runtime) -> Matrix {
     let bands = (rt.delegate_threads().max(1) * 4).max(1);
     let ranges = even_ranges(a.rows, bands);
     let cols = b.cols;
-    let blocks: Vec<Writable<(std::ops::Range<usize>, Vec<f64>), NullSerializer>> = ranges
+    let blocks: Vec<Writable<RowBlock, NullSerializer>> = ranges
         .iter()
         .map(|r| Writable::new(rt, (r.clone(), vec![0.0; r.len() * cols])))
         .collect();

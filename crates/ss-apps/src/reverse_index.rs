@@ -43,7 +43,9 @@ pub fn seq(tree: &Vfs) -> Index {
     let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
     tree.walk_files(|f| {
         for link in extract_links(&f.content) {
-            map.entry(link.to_string()).or_default().push(f.path.clone());
+            map.entry(link.to_string())
+                .or_default()
+                .push(f.path.clone());
         }
     });
     canonicalize(map)
@@ -63,7 +65,9 @@ pub fn cp(tree: &Vfs, threads: usize) -> Index {
                     let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
                     for f in slice {
                         for link in extract_links(&f.content) {
-                            map.entry(link.to_string()).or_default().push(f.path.clone());
+                            map.entry(link.to_string())
+                                .or_default()
+                                .push(f.path.clone());
                         }
                     }
                     map
@@ -94,13 +98,9 @@ impl FileTask {
     fn find_links(&mut self) {
         for link in extract_links(&self.content) {
             self.link_map
-                .update(
-                    link.to_string(),
-                    UnionSet::default,
-                    |set| {
-                        set.0.insert(self.path.clone());
-                    },
-                )
+                .update(link.to_string(), UnionSet::default, |set| {
+                    set.0.insert(self.path.clone());
+                })
                 .expect("link map update");
         }
     }
@@ -114,11 +114,7 @@ pub fn ss(tree: &Vfs, rt: &Runtime) -> Index {
     rt.begin_isolation().expect("begin_isolation");
     // find_files: recursive directory walk in the program context; each file
     // found is wrapped and its find_links method delegated immediately.
-    fn find_files(
-        dir: &VDir,
-        rt: &Runtime,
-        link_map: &ReducibleMap<String, UnionSet<String>>,
-    ) {
+    fn find_files(dir: &VDir, rt: &Runtime, link_map: &ReducibleMap<String, UnionSet<String>>) {
         for f in &dir.files {
             let task: Writable<FileTask, SequenceSerializer> = Writable::new(
                 rt,
@@ -128,7 +124,8 @@ pub fn ss(tree: &Vfs, rt: &Runtime) -> Index {
                     link_map: link_map.clone(),
                 },
             );
-            task.delegate(FileTask::find_links).expect("delegate find_links");
+            task.delegate(FileTask::find_links)
+                .expect("delegate find_links");
             // The wrapper handle drops here; the runtime still owns the
             // queued invocation, exactly like Figure 3's `new ss_file_t`.
         }
@@ -221,7 +218,10 @@ mod tests {
         let t = small_tree();
         let expected = seq(&t);
         for delegates in [0, 1, 3] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert_eq!(ss(&t, &rt), expected, "delegates = {delegates}");
         }
     }

@@ -58,7 +58,11 @@ pub fn cp(text: &str, threads: usize) -> Counts {
     });
     // Parallel pairwise merge (the "uses all processors … to merge" finale).
     while locals.len() > 1 {
-        let spare = if locals.len() % 2 == 1 { locals.pop() } else { None };
+        let spare = if locals.len() % 2 == 1 {
+            locals.pop()
+        } else {
+            None
+        };
         locals = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(locals.len() / 2);
             let mut it = locals.drain(..);
@@ -118,7 +122,13 @@ pub fn ss(shared: &ReadOnly<String>, rt: &Runtime) -> Counts {
     .expect("doall");
     rt.end_isolation().expect("end_isolation");
 
-    canonicalize(counts.take().expect("take").into_iter().map(|(k, v)| (k, v.0)))
+    canonicalize(
+        counts
+            .take()
+            .expect("take")
+            .into_iter()
+            .map(|(k, v)| (k, v.0)),
+    )
 }
 
 /// Canonical output fingerprint.
@@ -140,9 +150,9 @@ impl Bench {
     /// Generates the corpus for `scale`.
     pub fn at(scale: ss_workloads::scale::Scale) -> Self {
         Bench {
-            text: ReadOnly::new(ss_workloads::text::corpus(&ss_workloads::scale::word_count(
-                scale,
-            ))),
+            text: ReadOnly::new(ss_workloads::text::corpus(
+                &ss_workloads::scale::word_count(scale),
+            )),
         }
     }
 }
@@ -194,7 +204,10 @@ mod tests {
         let expected = seq(&text);
         let shared = ReadOnly::new(text);
         for delegates in [0, 1, 3] {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             assert_eq!(ss(&shared, &rt), expected, "delegates = {delegates}");
         }
     }

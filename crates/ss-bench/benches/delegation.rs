@@ -4,8 +4,8 @@
 //! epoch open/close cost.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use ss_core::{Runtime, SequenceSerializer, Writable};
+use std::hint::black_box;
 
 fn delegation_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtime/delegation_throughput");
@@ -14,7 +14,10 @@ fn delegation_throughput(c: &mut Criterion) {
     g.throughput(Throughput::Elements(OPS));
     for delegates in [1usize, 2] {
         g.bench_function(format!("{delegates}_delegates"), |b| {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             let objs: Vec<Writable<u64, SequenceSerializer>> =
                 (0..8).map(|_| Writable::new(&rt, 0)).collect();
             b.iter(|| {
@@ -72,7 +75,10 @@ fn epoch_overhead(c: &mut Criterion) {
     g.sample_size(20);
     for delegates in [1usize, 2] {
         g.bench_function(format!("empty_epoch_{delegates}_delegates"), |b| {
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             b.iter(|| {
                 rt.begin_isolation().unwrap();
                 rt.end_isolation().unwrap();
@@ -82,5 +88,10 @@ fn epoch_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, delegation_throughput, ownership_reclaim, epoch_overhead);
+criterion_group!(
+    benches,
+    delegation_throughput,
+    ownership_reclaim,
+    epoch_overhead
+);
 criterion_main!(benches);

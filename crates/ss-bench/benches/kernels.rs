@@ -85,7 +85,12 @@ fn fptree_bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/fptree");
     g.sample_size(10);
     g.bench_function("build_5k_tx", |b| {
-        b.iter(|| black_box(ss_apps::freqmine::fptree::from_transactions(black_box(&txs), 100)))
+        b.iter(|| {
+            black_box(ss_apps::freqmine::fptree::from_transactions(
+                black_box(&txs),
+                100,
+            ))
+        })
     });
     g.finish();
 }

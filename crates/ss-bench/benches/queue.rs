@@ -3,8 +3,8 @@
 //! transfer (the §4 "cache-optimized lock-free queue" claim).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use ss_queue::{LamportQueue, SpscQueue};
+use std::hint::black_box;
 
 fn single_thread_cycles(c: &mut Criterion) {
     let mut g = c.benchmark_group("queue/single_thread_cycle");

@@ -38,7 +38,12 @@ fn main() {
         reference = Some(out);
     }
     let reference = reference.unwrap();
-    table.row(vec!["sequential (fused loop)".into(), fmt_dur(best_seq), "1.00".into(), "ref".into()]);
+    table.row(vec![
+        "sequential (fused loop)".into(),
+        fmt_dur(best_seq),
+        "1.00".into(),
+        "ref".into(),
+    ]);
 
     let mut run = |name: &str, f: &dyn Fn() -> kmeans::Clustering| {
         let mut best = std::time::Duration::MAX;
@@ -58,7 +63,9 @@ fn main() {
         ]);
     };
 
-    run("threads (partial sums)", &|| kmeans::cp(&ps, k, delegates + 1));
+    run("threads (partial sums)", &|| {
+        kmeans::cp(&ps, k, delegates + 1)
+    });
     // Sweep the delegate count: with d delegates + the program thread, the
     // host's cores are saturated at d = contexts; on a small host the
     // reduction variant's benefit only appears once both cores compute.

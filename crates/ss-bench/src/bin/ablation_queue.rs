@@ -58,9 +58,16 @@ fn main() {
         "Ablation: SPSC queue implementations ({} items/run, best of {} reps)\n",
         ITEMS, reps
     );
-    let mut table = Table::new(&["capacity", "FastForward (Mitem/s)", "Lamport (Mitem/s)", "FF/Lamport"]);
+    let mut table = Table::new(&[
+        "capacity",
+        "FastForward (Mitem/s)",
+        "Lamport (Mitem/s)",
+        "FF/Lamport",
+    ]);
     for cap in [64usize, 256, 1024, 4096] {
-        let ff = (0..reps).map(|_| run_fastforward(cap)).fold(0.0f64, f64::max);
+        let ff = (0..reps)
+            .map(|_| run_fastforward(cap))
+            .fold(0.0f64, f64::max);
         let lp = (0..reps).map(|_| run_lamport(cap)).fold(0.0f64, f64::max);
         table.row(vec![
             cap.to_string(),

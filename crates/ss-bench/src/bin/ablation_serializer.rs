@@ -40,7 +40,13 @@ fn main() {
 
     let (t_seq, fp) = time(Box::new(|| matmul::seq(&a, &b)));
     let mut table = Table::new(&["variant", "time", "speedup", "delegations", "output"]);
-    table.row(vec!["sequential".into(), fmt_dur(t_seq), "1.00".into(), "-".into(), "ref".into()]);
+    table.row(vec![
+        "sequential".into(),
+        fmt_dur(t_seq),
+        "1.00".into(),
+        "-".into(),
+        "ref".into(),
+    ]);
 
     let (t_cp, fp_cp) = time(Box::new(|| matmul::cp(&a, &b, delegates + 1)));
     table.row(vec![
@@ -48,7 +54,11 @@ fn main() {
         fmt_dur(t_cp),
         format!("{:.2}", t_seq.as_secs_f64() / t_cp.as_secs_f64()),
         "-".into(),
-        if fp_cp == fp { "ok".into() } else { "MISMATCH".into() },
+        if fp_cp == fp {
+            "ok".into()
+        } else {
+            "MISMATCH".into()
+        },
     ]);
 
     type Variant = (&'static str, fn(&Matrix, &Matrix, &Runtime) -> Matrix);
@@ -58,7 +68,10 @@ fn main() {
         ("ss / row bands", matmul::ss_row_blocked),
     ];
     for (name, f) in variants {
-        let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+        let rt = Runtime::builder()
+            .delegate_threads(delegates)
+            .build()
+            .unwrap();
         let mut best = std::time::Duration::MAX;
         let mut got = 0;
         for _ in 0..reps {
@@ -73,7 +86,11 @@ fn main() {
             fmt_dur(best),
             format!("{:.2}", t_seq.as_secs_f64() / best.as_secs_f64()),
             delegations.to_string(),
-            if got == fp { "ok".into() } else { "MISMATCH".into() },
+            if got == fp {
+                "ok".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
     }
     println!("{}", table.render());

@@ -19,7 +19,9 @@ fn dense(rt: &Runtime) -> Duration {
     let t0 = Instant::now();
     rt.begin_isolation().unwrap();
     for i in 0..60_000u64 {
-        w[(i % 8) as usize].delegate(move |n| *n = n.wrapping_add(i)).unwrap();
+        w[(i % 8) as usize]
+            .delegate(move |n| *n = n.wrapping_add(i))
+            .unwrap();
     }
     rt.end_isolation().unwrap();
     t0.elapsed()

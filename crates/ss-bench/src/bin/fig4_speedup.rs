@@ -50,7 +50,10 @@ fn main() {
             // CP with `threads + 1` workers total (the paper's CP uses every
             // context; ours uses the same total context count as SS).
             let (t_cp, fp_cp) = measure(reps, || inst.run_cp(cfg.threads + 1));
-            let rt = Runtime::builder().delegate_threads(cfg.threads).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(cfg.threads)
+                .build()
+                .unwrap();
             let (t_ss, fp_ss) = measure(reps, || inst.run_ss(&rt));
             drop(rt);
             let ok_cp = fp_cp == *fp_seq;

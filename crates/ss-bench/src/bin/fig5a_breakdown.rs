@@ -30,7 +30,10 @@ fn main() {
         eprint!("running {} …", spec.name);
         let inst = (spec.make)(scale);
         // Fresh runtime per app so `stats.total` covers exactly this run.
-        let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+        let rt = Runtime::builder()
+            .delegate_threads(delegates)
+            .build()
+            .unwrap();
         let _fp = inst.run_ss(&rt);
         let s = rt.stats();
         eprintln!(" {}", fmt_dur(s.total));

@@ -25,7 +25,10 @@ fn main() {
             eprint!("{} @ {} …", spec.name, scale.label());
             let inst = (spec.make)(scale);
             let (t_seq, fp_seq) = measure(reps, || inst.run_seq());
-            let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
             let (t_ss, fp_ss) = measure(reps, || inst.run_ss(&rt));
             eprintln!(" seq {} ss {}", fmt_dur(t_seq), fmt_dur(t_ss));
             let s = t_seq.as_secs_f64() / t_ss.as_secs_f64();

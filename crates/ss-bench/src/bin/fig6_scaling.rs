@@ -38,7 +38,10 @@ fn main() {
         let (t_seq, _) = measure(reps, || inst.run_seq());
         let mut cells = vec![spec.name.to_string()];
         for &threads in &sweep {
-            let rt = Runtime::builder().delegate_threads(threads).build().unwrap();
+            let rt = Runtime::builder()
+                .delegate_threads(threads)
+                .build()
+                .unwrap();
             let (t_ss, _) = measure(reps, || inst.run_ss(&rt));
             cells.push(format!("{:.2}", t_seq.as_secs_f64() / t_ss.as_secs_f64()));
         }

@@ -34,11 +34,41 @@ fn main() {
         "SPARC Multicore",
         "SPARC SMP",
     ]);
-    t.row(vec!["Processor".into(), "AMD Phenom 9850".into(), "AMD Opteron 8350".into(), "Sun Fire T2000".into(), "Sun Fire V880".into()]);
-    t.row(vec!["Total contexts".into(), "4".into(), "16".into(), "32".into(), "8".into()]);
-    t.row(vec!["Clock".into(), "2.5 GHz".into(), "2.0 GHz".into(), "1.0 GHz".into(), "900 MHz".into()]);
-    t.row(vec!["Memory".into(), "8 GB".into(), "16 GB".into(), "16 GB".into(), "32 GB".into()]);
-    t.row(vec!["OS".into(), "Linux 2.6.18".into(), "Linux 2.6.25".into(), "OpenSolaris".into(), "Solaris 9".into()]);
+    t.row(vec![
+        "Processor".into(),
+        "AMD Phenom 9850".into(),
+        "AMD Opteron 8350".into(),
+        "Sun Fire T2000".into(),
+        "Sun Fire V880".into(),
+    ]);
+    t.row(vec![
+        "Total contexts".into(),
+        "4".into(),
+        "16".into(),
+        "32".into(),
+        "8".into(),
+    ]);
+    t.row(vec![
+        "Clock".into(),
+        "2.5 GHz".into(),
+        "2.0 GHz".into(),
+        "1.0 GHz".into(),
+        "900 MHz".into(),
+    ]);
+    t.row(vec![
+        "Memory".into(),
+        "8 GB".into(),
+        "16 GB".into(),
+        "16 GB".into(),
+        "32 GB".into(),
+    ]);
+    t.row(vec![
+        "OS".into(),
+        "Linux 2.6.18".into(),
+        "Linux 2.6.25".into(),
+        "OpenSolaris".into(),
+        "Solaris 9".into(),
+    ]);
     println!("{}", t.render());
 
     println!("This reproduction's host:");
@@ -47,7 +77,10 @@ fn main() {
         "Processor".into(),
         read_cpuinfo("model name").unwrap_or_else(|| std::env::consts::ARCH.to_string()),
     ]);
-    t.row(vec!["Total execution contexts".into(), host_threads().to_string()]);
+    t.row(vec![
+        "Total execution contexts".into(),
+        host_threads().to_string(),
+    ]);
     if let Some(mhz) = read_cpuinfo("cpu MHz") {
         t.row(vec!["Clock".into(), format!("{mhz} MHz")]);
     }
@@ -60,7 +93,9 @@ fn main() {
     ]);
     t.row(vec![
         "rustc".into(),
-        option_env!("CARGO_PKG_RUST_VERSION").unwrap_or("see rustc --version").into(),
+        option_env!("CARGO_PKG_RUST_VERSION")
+            .unwrap_or("see rustc --version")
+            .into(),
     ]);
     println!("{}", t.render());
     println!(

@@ -55,7 +55,9 @@ pub fn env_max_threads() -> usize {
 
 /// Host hardware parallelism.
 pub fn host_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f` `reps` times; returns the minimum wall time and the (last)

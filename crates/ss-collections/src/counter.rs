@@ -141,7 +141,11 @@ impl ReducibleHistogram {
     /// Removes and returns the merged histogram, resetting all buckets.
     pub fn take(&self) -> SsResult<Vec<u64>> {
         let bins = self.bins;
-        Ok(self.inner.take()?.map(|h| h.0).unwrap_or_else(|| vec![0; bins]))
+        Ok(self
+            .inner
+            .take()?
+            .map(|h| h.0)
+            .unwrap_or_else(|| vec![0; bins]))
     }
 }
 
@@ -176,7 +180,8 @@ mod tests {
         rt.begin_isolation().unwrap();
         for j in &jobs {
             let h = h.clone();
-            j.delegate(move |v| h.bump((*v % 4) as usize).unwrap()).unwrap();
+            j.delegate(move |v| h.bump((*v % 4) as usize).unwrap())
+                .unwrap();
         }
         rt.end_isolation().unwrap();
         assert_eq!(h.snapshot().unwrap(), vec![4, 4, 4, 4]);

@@ -158,9 +158,11 @@ where
         K: Ord + Clone,
         V: Clone,
     {
-        let mut out = self
-            .inner
-            .read(|m| m.0.iter().map(|(k, v)| (k.clone(), v.clone())).collect::<Vec<_>>())?;
+        let mut out = self.inner.read(|m| {
+            m.0.iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect::<Vec<_>>()
+        })?;
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
@@ -210,13 +212,9 @@ mod tests {
         for c in &cells {
             let map = map.clone();
             c.delegate(move |val| {
-                map.update(
-                    "shared-key",
-                    UnionSet::default,
-                    |s| {
-                        s.0.insert(*val);
-                    },
-                )
+                map.update("shared-key", UnionSet::default, |s| {
+                    s.0.insert(*val);
+                })
                 .unwrap();
             })
             .unwrap();

@@ -105,7 +105,9 @@ where
     where
         T: Ord + Clone,
     {
-        let mut out = self.inner.read(|s| s.0.iter().cloned().collect::<Vec<_>>())?;
+        let mut out = self
+            .inner
+            .read(|s| s.0.iter().cloned().collect::<Vec<_>>())?;
         out.sort();
         Ok(out)
     }

@@ -92,10 +92,7 @@ impl<T: Send + 'static> OwnerTracked<T> {
     /// the pointee this epoch, [`SsError::NoExecutorContext`] from foreign
     /// threads, and [`SsError::ReentrantView`] on nested access.
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> SsResult<R> {
-        let slot = self
-            .rt
-            .executor_slot()
-            .ok_or(SsError::NoExecutorContext)? as u64;
+        let slot = self.rt.executor_slot().ok_or(SsError::NoExecutorContext)? as u64;
         debug_assert!(slot < NO_OWNER);
         let generation = self.rt.epoch_generation();
         let want = (generation << SLOT_BITS) | slot;

@@ -232,7 +232,9 @@ impl<T> Consumer<T> {
     #[inline]
     pub fn has_pending(&self) -> bool {
         let q = &*self.shared;
-        q.slots[self.tail.get() & q.mask].full.load(Ordering::Acquire)
+        q.slots[self.tail.get() & q.mask]
+            .full
+            .load(Ordering::Acquire)
     }
 
     /// True if the producer handle has been dropped (values may still remain

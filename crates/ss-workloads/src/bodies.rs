@@ -102,8 +102,8 @@ mod tests {
         let scale = 16.0 / (3.0 * std::f64::consts::PI);
         for b in plummer(2000, 5) {
             let r = (b.pos[0].powi(2) + b.pos[1].powi(2) + b.pos[2].powi(2)).sqrt() * scale;
-            let v = ((b.vel[0].powi(2) + b.vel[1].powi(2) + b.vel[2].powi(2)).sqrt())
-                / scale.sqrt();
+            let v =
+                ((b.vel[0].powi(2) + b.vel[1].powi(2) + b.vel[2].powi(2)).sqrt()) / scale.sqrt();
             let v_esc = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
             assert!(v <= v_esc + 1e-9, "v {v} > escape {v_esc} at r {r}");
         }

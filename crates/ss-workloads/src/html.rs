@@ -82,6 +82,7 @@ pub fn tree(params: &HtmlParams) -> Vfs {
     let mut file_no = 0usize;
 
     // Build directories breadth-first until all files are placed.
+    #[allow(clippy::too_many_arguments)] // breadth-first builder threads its whole environment
     fn build(
         name: String,
         path: String,
@@ -111,7 +112,9 @@ pub fn tree(params: &HtmlParams) -> Vfs {
             });
         }
         if *remaining > 0 && depth < 12 {
-            let subs = params.dir_fanout.min(1 + *remaining / params.files_per_dir.max(1));
+            let subs = params
+                .dir_fanout
+                .min(1 + *remaining / params.files_per_dir.max(1));
             for s in 0..subs {
                 if *remaining == 0 {
                     break;
@@ -119,7 +122,16 @@ pub fn tree(params: &HtmlParams) -> Vfs {
                 let name = format!("d{depth}_{s}");
                 let sub_path = format!("{path}/{name}");
                 dir.dirs.push(build(
-                    name, sub_path, remaining, file_no, depth + 1, params, urls, zipf, vocab, r,
+                    name,
+                    sub_path,
+                    remaining,
+                    file_no,
+                    depth + 1,
+                    params,
+                    urls,
+                    zipf,
+                    vocab,
+                    r,
                 ));
             }
         }

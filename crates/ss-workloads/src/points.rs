@@ -65,7 +65,11 @@ const DOMAIN: f64 = 100.0;
 pub fn points(params: &PointParams) -> PointSet {
     let mut r = rng(params.seed, 0x90C);
     let true_centers: Vec<Vec<f64>> = (0..params.k_true)
-        .map(|_| (0..params.dims).map(|_| r.random_range(0.0..DOMAIN)).collect())
+        .map(|_| {
+            (0..params.dims)
+                .map(|_| r.random_range(0.0..DOMAIN))
+                .collect()
+        })
         .collect();
     let mut coords = Vec::with_capacity(params.n * params.dims);
     for i in 0..params.n {
@@ -75,8 +79,8 @@ pub fn points(params: &PointParams) -> PointSet {
             }
         } else {
             let c = &true_centers[i % params.k_true];
-            for d in 0..params.dims {
-                coords.push(normal_with(&mut r, c[d], params.spread));
+            for &cd in c.iter().take(params.dims) {
+                coords.push(normal_with(&mut r, cd, params.spread));
             }
         }
     }

@@ -100,9 +100,9 @@ pub fn freqmine(scale: Scale) -> TxParams {
 /// histogram: bitmap dimensions. Paper: 100 MB / 400 MB / 1.4 GB bitmaps.
 pub fn histogram(scale: Scale) -> (usize, usize) {
     match scale {
-        Scale::S => (1024, 768),   // ~2.3 MB of pixels
-        Scale::M => (2048, 1536),  // ~9.4 MB
-        Scale::L => (4096, 3072),  // ~37 MB
+        Scale::S => (1024, 768),  // ~2.3 MB of pixels
+        Scale::M => (2048, 1536), // ~9.4 MB
+        Scale::L => (4096, 3072), // ~37 MB
     }
 }
 
@@ -155,9 +155,9 @@ pub fn reverse_index(scale: Scale) -> HtmlParams {
 /// word_count: corpus parameters. Paper: 10 MB / 50 MB / 100 MB files.
 pub fn word_count(scale: Scale) -> TextParams {
     let bytes = match scale {
-        Scale::S => 1 << 20,      // 1 MiB
-        Scale::M => 4 << 20,      // 4 MiB
-        Scale::L => 12 << 20,     // 12 MiB
+        Scale::S => 1 << 20,  // 1 MiB
+        Scale::M => 4 << 20,  // 4 MiB
+        Scale::L => 12 << 20, // 12 MiB
     };
     TextParams {
         bytes,

@@ -50,7 +50,9 @@ pub fn stream(params: &StreamParams) -> Vec<u8> {
             let block = &pool[r.random_range(0..pool.len())];
             out.extend_from_slice(block);
         } else {
-            let len = r.random_range(params.block_len / 2..=params.block_len * 3 / 2).max(16);
+            let len = r
+                .random_range(params.block_len / 2..=params.block_len * 3 / 2)
+                .max(16);
             let mut block = Vec::with_capacity(len);
             // Runs of repeated symbols make fresh blocks LZ-compressible.
             while block.len() < len {

@@ -10,11 +10,13 @@ use rand::RngExt;
 use crate::rng::{rng, Zipf};
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
-    "pr", "qu", "r", "s", "sh", "sl", "st", "t", "th", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pr",
+    "qu", "r", "s", "sh", "sl", "st", "t", "th", "tr", "v", "w", "z",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ie", "oo", "ou"];
-const CODAS: &[&str] = &["", "b", "ck", "d", "g", "l", "m", "n", "ng", "nt", "p", "r", "s", "st", "t"];
+const CODAS: &[&str] = &[
+    "", "b", "ck", "d", "g", "l", "m", "n", "ng", "nt", "p", "r", "s", "st", "t",
+];
 
 /// Generates a vocabulary of `n` distinct pronounceable words.
 pub fn vocabulary(n: usize, seed: u64) -> Vec<String> {
@@ -149,8 +151,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let p1 = TextParams { seed: 1, bytes: 5_000, ..Default::default() };
-        let p2 = TextParams { seed: 2, bytes: 5_000, ..Default::default() };
+        let p1 = TextParams {
+            seed: 1,
+            bytes: 5_000,
+            ..Default::default()
+        };
+        let p2 = TextParams {
+            seed: 2,
+            bytes: 5_000,
+            ..Default::default()
+        };
         assert_ne!(corpus(&p1), corpus(&p2));
     }
 }

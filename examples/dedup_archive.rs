@@ -14,7 +14,10 @@ use prometheus_rs::ss_workloads::stream::{stream, StreamParams};
 
 fn main() {
     let rt = Runtime::new().expect("runtime");
-    println!("duplicate-rate sweep (4 MiB streams, {} delegates):\n", rt.delegate_threads());
+    println!(
+        "duplicate-rate sweep (4 MiB streams, {} delegates):\n",
+        rt.delegate_threads()
+    );
     println!(
         "{:>10}  {:>8}  {:>8}  {:>9}  {:>9}  {:>9}",
         "dup rate", "chunks", "unique", "archive", "ratio", "ss time"

@@ -27,7 +27,9 @@ fn main() {
     let reference = matmul::seq(&a, &b);
     println!("sequential        : {:>10.2?}", t0.elapsed());
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let t0 = Instant::now();
     let out = matmul::cp(&a, &b, threads);
     println!("threads (chunked) : {:>10.2?}", t0.elapsed());

@@ -65,11 +65,13 @@ fn main() {
     );
 
     // --- Data parallelism: same method over every element of a vector.
-    let rows: Vec<Writable<Vec<f64>, SequenceSerializer>> =
-        (0..32).map(|i| Writable::new(&rt, vec![i as f64; 128])).collect();
+    let rows: Vec<Writable<Vec<f64>, SequenceSerializer>> = (0..32)
+        .map(|i| Writable::new(&rt, vec![i as f64; 128]))
+        .collect();
     rt.isolated(|| {
         for r in &rows {
-            r.delegate(|v| v.iter_mut().for_each(|x| *x = x.sqrt())).expect("delegate");
+            r.delegate(|v| v.iter_mut().for_each(|x| *x = x.sqrt()))
+                .expect("delegate");
         }
     })
     .expect("epoch");
@@ -97,11 +99,18 @@ fn main() {
     .expect("epoch");
     for p in &packets {
         p.call(|pkt| {
-            assert_eq!(pkt.log, vec!["decode", "checksum", "encode"], "stage order violated");
+            assert_eq!(
+                pkt.log,
+                vec!["decode", "checksum", "encode"],
+                "stage order violated"
+            );
         })
         .expect("verify");
     }
-    let total: u32 = packets.iter().map(|p| p.call(|pkt| pkt.checksum).unwrap()).sum();
+    let total: u32 = packets
+        .iter()
+        .map(|p| p.call(|pkt| pkt.checksum).unwrap())
+        .sum();
     println!("pipeline   : 16 packets × 3 ordered stages, checksum total {total}");
 
     let s = rt.stats();

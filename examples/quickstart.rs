@@ -70,7 +70,9 @@ fn main() {
     // Aggregation epoch: read results; the audit log reduces on first touch.
     let mut total = 0;
     for a in &accounts {
-        let (id, balance, ops) = a.call(|a| (a.id, a.balance, a.history.len())).expect("call");
+        let (id, balance, ops) = a
+            .call(|a| (a.id, a.balance, a.history.len()))
+            .expect("call");
         println!("account {id}: balance {balance:>6} after {ops} operations");
         total += balance;
     }

@@ -31,7 +31,9 @@ fn main() {
     let index_seq = reverse_index::seq(&tree);
     let t_seq = t0.elapsed();
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let t0 = Instant::now();
     let index_cp = reverse_index::cp(&tree, threads);
     let t_cp = t0.elapsed();

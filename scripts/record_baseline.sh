@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Records BENCH_baseline.json from the ss-bench criterion suites.
+#
+# The vendored criterion shim prints one machine-readable line per
+# benchmark ("bench <id> median_ns=<n> ..."); this script folds those
+# lines into a JSON object keyed by benchmark id, with enough metadata to
+# interpret the numbers later. Run from the repo root:
+#
+#   scripts/record_baseline.sh            # writes BENCH_baseline.json
+#   OUT=/tmp/now.json scripts/record_baseline.sh   # compare runs
+set -euo pipefail
+
+OUT="${OUT:-BENCH_baseline.json}"
+SAMPLE_MS="${CRITERION_SAMPLE_MS:-25}"
+
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+CRITERION_SAMPLE_MS="$SAMPLE_MS" cargo bench -q -p ss-bench --bench kernels --bench queue 2>&1 |
+    grep '^bench ' >"$raw" || true
+
+python3 - "$raw" "$OUT" "$SAMPLE_MS" <<'EOF'
+import json, sys, subprocess, os
+
+raw_path, out_path, sample_ms = sys.argv[1], sys.argv[2], int(sys.argv[3])
+benches = {}
+with open(raw_path) as f:
+    for line in f:
+        parts = line.split()
+        if len(parts) < 2 or parts[0] != "bench":
+            continue
+        name = parts[1]
+        fields = dict(p.split("=", 1) for p in parts[2:] if "=" in p)
+        entry = {"median_ns": int(fields["median_ns"])}
+        if "throughput_bytes" in fields:
+            entry["throughput_bytes"] = int(fields["throughput_bytes"])
+        if "throughput_elements" in fields:
+            entry["throughput_elements"] = int(fields["throughput_elements"])
+        benches[name] = entry
+
+rustc = subprocess.run(["rustc", "--version"], capture_output=True, text=True).stdout.strip()
+doc = {
+    "_comment": "Median ns/iter from the vendored criterion shim; see scripts/record_baseline.sh",
+    "host": {
+        "cpus": os.cpu_count(),
+        "rustc": rustc,
+        "criterion_sample_ms": sample_ms,
+    },
+    "benches": dict(sorted(benches.items())),
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} with {len(benches)} benchmarks")
+EOF

@@ -50,8 +50,10 @@ pub mod prelude {
         ReducibleStats, ReducibleVec,
     };
     pub use ss_core::{
-        doall, ExecutionMode, FnSerializer, NullSerializer, ObjectSerializer, ReadOnly, Reduce,
-        Reducible, Runtime, RuntimeBuilder, SequenceSerializer, Serializer, SsError, SsId, Stats,
-        TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
+        doall, AssignTopology, Assignment, DelegateAssignment, DelegateLoads, ExecutionMode,
+        Executor, FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer, ReadOnly, Reduce,
+        Reducible, RoundRobinFirstTouch, Runtime, RuntimeBuilder, SequenceSerializer, Serializer,
+        SsError, SsId, StaticAssignment, Stats, TraceEvent, TraceExecutor, TraceKind, WaitPolicy,
+        Writable,
     };
 }

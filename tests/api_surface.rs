@@ -83,7 +83,10 @@ fn writable_call_semantics() {
     rt.begin_isolation().unwrap();
     // Isolation, read-only state: const ok, non-const errors.
     assert_eq!(w.call(|n| *n).unwrap(), 8);
-    assert!(matches!(w.call_mut(|n| *n = 0), Err(SsError::StateConflict { .. })));
+    assert!(matches!(
+        w.call_mut(|n| *n = 0),
+        Err(SsError::StateConflict { .. })
+    ));
     rt.end_isolation().unwrap();
     // Isolation, private state: any method (after implicit reclaim).
     rt.begin_isolation().unwrap();

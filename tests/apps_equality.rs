@@ -17,7 +17,23 @@ fn runtimes() -> Vec<Runtime> {
             .virtual_delegates(5)
             .build()
             .unwrap(),
-        Runtime::builder().mode(ExecutionMode::Serial).build().unwrap(),
+        Runtime::builder()
+            .mode(ExecutionMode::Serial)
+            .build()
+            .unwrap(),
+        // Non-default delegate-assignment policies must be observationally
+        // identical: assignment only moves sets between executors, never
+        // across epoch boundaries or within-set order.
+        Runtime::builder()
+            .delegate_threads(2)
+            .assignment(Assignment::RoundRobinFirstTouch)
+            .build()
+            .unwrap(),
+        Runtime::builder()
+            .delegate_threads(2)
+            .assignment(Assignment::LeastLoaded)
+            .build()
+            .unwrap(),
     ]
 }
 
@@ -106,7 +122,10 @@ fn barnes_hut_equality() {
         expect
     );
     for rt in runtimes() {
-        assert_eq!(barnes_hut::fingerprint(&barnes_hut::ss(&bodies, 2, &rt)), expect);
+        assert_eq!(
+            barnes_hut::fingerprint(&barnes_hut::ss(&bodies, 2, &rt)),
+            expect
+        );
     }
 }
 

@@ -1,0 +1,180 @@
+//! Delegate-assignment policies are a pure scheduling choice: for every
+//! policy, same-set operations execute in program order and whole-program
+//! results are identical to the sequential oracle. These tests
+//! parameterize the `apps_equality` harness over all three built-in
+//! policies plus a custom one.
+
+use prometheus_rs::prelude::*;
+use prometheus_rs::ss_apps::registry;
+use prometheus_rs::ss_workloads::scale::Scale;
+
+fn policies() -> Vec<(&'static str, Assignment)> {
+    vec![
+        ("static", Assignment::Static),
+        ("round-robin", Assignment::RoundRobinFirstTouch),
+        ("least-loaded", Assignment::LeastLoaded),
+    ]
+}
+
+fn runtime_with(assignment: Assignment, delegates: usize) -> Runtime {
+    Runtime::builder()
+        .delegate_threads(delegates)
+        .assignment(assignment)
+        .build()
+        .unwrap()
+}
+
+/// Same-set program order: operations delegated into one serialization set
+/// must execute in delegation order under every policy, even while other
+/// sets churn around them.
+#[test]
+fn same_set_program_order_all_policies() {
+    for (name, assignment) in policies() {
+        for delegates in [1, 2, 4] {
+            let rt = runtime_with(assignment.clone(), delegates);
+            let hot: Writable<Vec<u64>, NullSerializer> = Writable::new(&rt, Vec::new());
+            let noise: Vec<Writable<u64, SequenceSerializer>> =
+                (0..8).map(|_| Writable::new(&rt, 0)).collect();
+            rt.begin_isolation().unwrap();
+            for i in 0..2_000u64 {
+                hot.delegate_in(7u64, move |v| v.push(i)).unwrap();
+                // Interleave traffic on other sets so queues stay busy.
+                noise[(i % 8) as usize].delegate(|n| *n += 1).unwrap();
+            }
+            rt.end_isolation().unwrap();
+            let got = hot.call(|v| v.clone()).unwrap();
+            assert_eq!(
+                got,
+                (0..2_000).collect::<Vec<_>>(),
+                "policy {name} with {delegates} delegates reordered a set"
+            );
+        }
+    }
+}
+
+/// Cross-policy result equality over the full Table 2 registry: every
+/// benchmark's serialization-sets implementation must produce the
+/// sequential fingerprint under every assignment policy.
+#[test]
+fn registry_equality_all_policies() {
+    for spec in registry() {
+        let inst = (spec.make)(Scale::S);
+        let expect = inst.run_seq();
+        for (name, assignment) in policies() {
+            let rt = runtime_with(assignment, 2);
+            assert_eq!(
+                expect,
+                inst.run_ss(&rt),
+                "{} under {} diverged from sequential",
+                spec.name,
+                name
+            );
+        }
+    }
+}
+
+/// A skewed set distribution (most operations in a handful of hot sets)
+/// must still produce identical results — this is the shape where
+/// least-loaded actually routes differently from static.
+#[test]
+fn skewed_sets_equal_results_across_policies() {
+    let mut outputs = Vec::new();
+    for (name, assignment) in policies() {
+        let rt = runtime_with(assignment, 3);
+        let objs: Vec<Writable<Vec<u64>, SequenceSerializer>> =
+            (0..16).map(|_| Writable::new(&rt, Vec::new())).collect();
+        rt.begin_isolation().unwrap();
+        for i in 0..4_000u64 {
+            // Zipf-ish skew: ~half the traffic on object 0, tail spread out.
+            let target = match i % 16 {
+                0..=7 => 0,
+                8..=11 => 1,
+                12..=13 => 2,
+                _ => (i % 16) as usize,
+            };
+            objs[target].delegate(move |v| v.push(i * i)).unwrap();
+        }
+        rt.end_isolation().unwrap();
+        let snapshot: Vec<Vec<u64>> = objs
+            .iter()
+            .map(|o| o.call(|v| v.clone()).unwrap())
+            .collect();
+        outputs.push((name, snapshot));
+    }
+    for pair in outputs.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "{} and {} disagree",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
+/// The policy choice must also be invisible to reductions and mid-epoch
+/// ownership reclaims (the protocol paths that interact with queue state).
+#[test]
+fn reclaims_and_reductions_all_policies() {
+    for (name, assignment) in policies() {
+        let rt = runtime_with(assignment, 2);
+        let w: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+        let counter = ReducibleCounter::new(&rt);
+        rt.begin_isolation().unwrap();
+        for i in 0..500u64 {
+            let c = counter.clone();
+            w.delegate(move |v| {
+                v.push(i);
+                c.add(1).unwrap();
+            })
+            .unwrap();
+        }
+        // Mid-epoch dependent read: reclaim must drain exactly this set's
+        // executor queue regardless of which executor the policy picked.
+        let len = w.call(|v| v.len()).unwrap();
+        assert_eq!(len, 500, "policy {name} lost work before reclaim");
+        w.delegate(|v| v.push(999)).unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(w.call(|v| v.len()).unwrap(), 501, "policy {name}");
+        assert_eq!(counter.get().unwrap(), 500, "policy {name}");
+    }
+}
+
+/// A user-supplied policy plugged in through `Assignment::custom` goes
+/// through the same pinning layer and must preserve the same guarantees.
+#[test]
+fn custom_policy_preserves_program_order() {
+    #[derive(Debug)]
+    struct ReverseRobin {
+        next: usize,
+    }
+    impl DelegateAssignment for ReverseRobin {
+        fn name(&self) -> &'static str {
+            "reverse-robin"
+        }
+        fn assign(
+            &mut self,
+            _ss: SsId,
+            topo: &AssignTopology,
+            _loads: &DelegateLoads<'_>,
+        ) -> Executor {
+            self.next = (self.next + topo.n_delegates - 1) % topo.n_delegates;
+            Executor::Delegate(self.next)
+        }
+    }
+    let rt = Runtime::builder()
+        .delegate_threads(3)
+        .assignment(Assignment::custom(|| Box::new(ReverseRobin { next: 0 })))
+        .build()
+        .unwrap();
+    assert_eq!(rt.assignment_name(), "reverse-robin");
+    let w: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+    rt.isolated(|| {
+        for i in 0..1_000u64 {
+            w.delegate(move |v| v.push(i)).unwrap();
+        }
+    })
+    .unwrap();
+    assert_eq!(
+        w.call(|v| v.clone()).unwrap(),
+        (0..1_000).collect::<Vec<_>>()
+    );
+}

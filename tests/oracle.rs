@@ -8,8 +8,8 @@
 //! through a trivial sequential interpreter. Final states must match
 //! exactly, for every generated program, across runtime shapes.
 
-use proptest::prelude::*;
 use prometheus_rs::prelude::*;
+use proptest::prelude::*;
 
 /// One step of a generated program. Operations are simple enough to
 /// interpret sequentially but arbitrary enough to exercise ordering: each
@@ -55,7 +55,12 @@ fn interpret(k: usize, ops: &[Op]) -> (Vec<u64>, u64, Vec<u64>) {
 }
 
 /// Runs the same program through the serialization-sets runtime.
-fn run_parallel(k: usize, ops: &[Op], delegates: usize, program_share: usize) -> (Vec<u64>, u64, Vec<u64>) {
+fn run_parallel(
+    k: usize,
+    ops: &[Op],
+    delegates: usize,
+    program_share: usize,
+) -> (Vec<u64>, u64, Vec<u64>) {
     let rt = Runtime::builder()
         .delegate_threads(delegates)
         .program_share(program_share)
@@ -78,7 +83,9 @@ fn run_parallel(k: usize, ops: &[Op], delegates: usize, program_share: usize) ->
         match op {
             Op::Mutate { obj, x } => {
                 let x = *x;
-                objects[*obj].delegate(move |s| *s = s.wrapping_mul(31).wrapping_add(x)).unwrap();
+                objects[*obj]
+                    .delegate(move |s| *s = s.wrapping_mul(31).wrapping_add(x))
+                    .unwrap();
             }
             Op::Read { obj } => {
                 // Dependent use: implicit ownership reclaim mid-epoch. Uses

@@ -44,7 +44,10 @@ fn determinism_across_runs_and_configurations() {
     // of delegate count, wait policy, and repetition — the model's core
     // promise.
     fn run(delegates: usize) -> Vec<Vec<u64>> {
-        let rt = Runtime::builder().delegate_threads(delegates).build().unwrap();
+        let rt = Runtime::builder()
+            .delegate_threads(delegates)
+            .build()
+            .unwrap();
         let objs: Vec<Writable<Vec<u64>, SequenceSerializer>> =
             (0..5).map(|_| Writable::new(&rt, vec![])).collect();
         rt.begin_isolation().unwrap();
@@ -57,7 +60,9 @@ fn determinism_across_runs_and_configurations() {
             .unwrap();
         }
         rt.end_isolation().unwrap();
-        objs.iter().map(|o| o.call(|v| v.clone()).unwrap()).collect()
+        objs.iter()
+            .map(|o| o.call(|v| v.clone()).unwrap())
+            .collect()
     }
     let reference = run(0);
     for delegates in [1, 2, 4] {
@@ -75,12 +80,16 @@ fn serial_mode_equals_parallel_mode() {
         let acc: Writable<u64> = Writable::new(rt, 0);
         rt.begin_isolation().unwrap();
         for i in 0..500u64 {
-            acc.delegate(move |n| *n = n.wrapping_mul(7).wrapping_add(i)).unwrap();
+            acc.delegate(move |n| *n = n.wrapping_mul(7).wrapping_add(i))
+                .unwrap();
         }
         rt.end_isolation().unwrap();
         acc.call(|n| *n).unwrap()
     }
-    let serial = Runtime::builder().mode(ExecutionMode::Serial).build().unwrap();
+    let serial = Runtime::builder()
+        .mode(ExecutionMode::Serial)
+        .build()
+        .unwrap();
     let parallel = Runtime::builder().delegate_threads(3).build().unwrap();
     assert_eq!(run(&serial), run(&parallel));
     assert_eq!(serial.stats().inline_executions, 500);
@@ -96,8 +105,10 @@ fn improper_serializer_is_detected() {
     rt.begin_isolation().unwrap();
     w.delegate_in(SsId(1), |n| *n += 1).unwrap();
     let err = w.delegate_in(SsId(9), |n| *n += 1).unwrap_err();
-    assert!(matches!(err, SsError::InconsistentSerializer { tagged, got, .. }
-        if tagged == SsId(1) && got == SsId(9)));
+    assert!(
+        matches!(err, SsError::InconsistentSerializer { tagged, got, .. }
+        if tagged == SsId(1) && got == SsId(9))
+    );
     rt.end_isolation().unwrap();
 }
 
@@ -133,11 +144,12 @@ fn wrong_context_operations_are_rejected() {
     let obs = observed.clone();
     // Delegated operations may not delegate, call, or switch epochs.
     w.delegate(move |_| {
-        let mut errs = vec![];
-        errs.push(w2.delegate(|n| *n += 1).unwrap_err());
-        errs.push(w2.call(|n| *n).unwrap_err());
-        errs.push(w2.call_mut(|n| *n += 1).unwrap_err());
-        errs.push(w2.runtime().begin_isolation().unwrap_err());
+        let errs = [
+            w2.delegate(|n| *n += 1).unwrap_err(),
+            w2.call(|n| *n).unwrap_err(),
+            w2.call_mut(|n| *n += 1).unwrap_err(),
+            w2.runtime().begin_isolation().unwrap_err(),
+        ];
         // Reporting through another writable would be a protocol violation
         // itself; stash errors via a plain channel-free trick: panic-free
         // assertion inside the task.
@@ -171,7 +183,11 @@ fn ownership_moves_between_partitions_across_epochs() {
 
     for round in 0..4 {
         // Read one buffer (freeze its contents), write the other.
-        let (src, dst) = if round % 2 == 0 { (&ping, &pong) } else { (&pong, &ping) };
+        let (src, dst) = if round % 2 == 0 {
+            (&ping, &pong)
+        } else {
+            (&pong, &ping)
+        };
         let snapshot = ReadOnly::new(src.call(|v| v.clone()).unwrap());
         rt.begin_isolation().unwrap();
         let snap = snapshot.clone();

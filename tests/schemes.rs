@@ -10,7 +10,8 @@ fn embarrassing_parallelism_doall() {
     let rt = Runtime::builder().delegate_threads(3).build().unwrap();
     let objects: Vec<Writable<u64, SequenceSerializer>> =
         (0..100).map(|i| Writable::new(&rt, i)).collect();
-    rt.isolated(|| doall(&objects, |n| *n = *n * *n).unwrap()).unwrap();
+    rt.isolated(|| doall(&objects, |n| *n = *n * *n).unwrap())
+        .unwrap();
     for (i, o) in objects.iter().enumerate() {
         assert_eq!(o.call(|n| *n).unwrap(), (i * i) as u64);
     }
@@ -33,8 +34,9 @@ fn task_parallelism_independent_objects() {
 #[test]
 fn data_parallelism_loop_over_vector() {
     let rt = Runtime::builder().delegate_threads(2).build().unwrap();
-    let objects: Vec<Writable<Vec<u32>, SequenceSerializer>> =
-        (0..16).map(|i| Writable::new(&rt, vec![i as u32; 10])).collect();
+    let objects: Vec<Writable<Vec<u32>, SequenceSerializer>> = (0..16)
+        .map(|i| Writable::new(&rt, vec![i as u32; 10]))
+        .collect();
     rt.isolated(|| {
         for o in &objects {
             o.delegate(|v| v.iter_mut().for_each(|x| *x += 1)).unwrap();

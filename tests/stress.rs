@@ -73,7 +73,10 @@ fn stateful_serializer_instances_are_respected() {
     let rt = Runtime::builder().delegate_threads(2).build().unwrap();
     let acct = Writable::with_serializer(
         &rt,
-        Account { shard: 0, log: vec![] },
+        Account {
+            shard: 0,
+            log: vec![],
+        },
         FnSerializer::new(|a: &Account| a.shard),
     );
     rt.isolated(|| {

@@ -1,0 +1,295 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace vendors this shim because the build environment has no
+//! network access to crates.io. It keeps the authoring API the workspace
+//! uses — `criterion_group!` / `criterion_main!`, `Criterion::
+//! benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `black_box` — and implements a simple median-of-samples wall-clock
+//! measurement instead of criterion's statistical machinery.
+//!
+//! Each benchmark prints exactly one line:
+//!
+//! ```text
+//! bench <group>/<name> median_ns=<u128> samples=<n> iters_per_sample=<n> [throughput=...]
+//! ```
+//!
+//! so callers (e.g. the `BENCH_baseline.json` recorder) can parse results
+//! without depending on criterion's on-disk format. Set
+//! `CRITERION_SAMPLE_MS` to change the per-sample time budget
+//! (default 50 ms).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration across samples, filled by `iter`.
+    median_ns: u128,
+    samples: usize,
+    iters_per_sample: u64,
+    sample_budget: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count to the per-sample time
+    /// budget, takes `samples` timed samples, records the median.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibration: find how many iterations fill the sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let el = t0.elapsed();
+            if el >= self.sample_budget / 4 || iters >= 1 << 24 {
+                let per_iter = el.as_nanos().max(1) / iters as u128;
+                let target = self.sample_budget.as_nanos();
+                iters = ((target / per_iter.max(1)) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(t0.elapsed().as_nanos() / iters as u128);
+        }
+        times.sort_unstable();
+        self.median_ns = times[times.len() / 2];
+        self.iters_per_sample = iters;
+    }
+
+    /// `iter` variant that hands the closure a batch size (compatibility).
+    pub fn iter_custom<R>(&mut self, mut f: impl FnMut(u64) -> R) {
+        self.iter(|| f(1));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work performed per iteration, echoed in the output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the measurement time budget per sample (compatibility).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.sample_budget = d / 10;
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            median_ns: 0,
+            samples: self.sample_size,
+            iters_per_sample: 0,
+            sample_budget: self.criterion.sample_budget,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark under this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            median_ns: 0,
+            samples: self.sample_size,
+            iters_per_sample: 0,
+            sample_budget: self.criterion.sample_budget,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let tp = match self.throughput {
+            Some(Throughput::Bytes(n)) => format!(" throughput_bytes={n}"),
+            Some(Throughput::Elements(n)) => format!(" throughput_elements={n}"),
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{} median_ns={} samples={} iters_per_sample={}{}",
+            self.name, id.id, b.median_ns, b.samples, b.iters_per_sample, tp
+        );
+    }
+
+    /// Ends the group (output is emitted eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point (one per `criterion_group!` run).
+pub struct Criterion {
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(50u64);
+        Criterion {
+            sample_budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.benchmark_group(name.clone())
+            .bench_function(BenchmarkId { id: name }, f);
+        self
+    }
+
+    /// Compatibility no-op (the real crate parses CLI args here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Compatibility no-op terminal summary.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "2");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim/self_test");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        g.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        let id = BenchmarkId::new("fastforward", 256);
+        assert_eq!(id.id, "fastforward/256");
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace vendors this shim because the build environment has no
+//! network access to crates.io. Only `crossbeam::channel::bounded` and the
+//! `Sender` / `Receiver` pair are provided — the surface the
+//! conventional-parallel dedup pipeline uses. The implementation is a
+//! classic bounded MPMC queue (mutex + two condvars) with crossbeam's
+//! disconnection semantics: `send` fails once every receiver is gone,
+//! `recv` drains remaining messages and then fails once every sender is
+//! gone. Both handle types are cloneable.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        capacity: usize,
+        /// Signalled when the queue gains an item or all senders leave.
+        not_empty: Condvar,
+        /// Signalled when the queue loses an item or all receivers leave.
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message like the real crate.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel. Cloneable.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates a bounded MPMC channel with the given capacity (at least 1).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.max(1)),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `msg`. Fails (returning
+        /// the message) once every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let shared = &self.0;
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if st.queue.len() < shared.capacity {
+                    st.queue.push_back(msg);
+                    drop(st);
+                    shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = shared.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives. Fails once the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &self.0;
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = shared.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive: `None` when empty (regardless of sender
+        /// liveness).
+        pub fn try_recv(&self) -> Option<T> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            let v = st.queue.pop_front();
+            if v.is_some() {
+                drop(st);
+                self.0.not_full.notify_one();
+            }
+            v
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake all receivers so they observe the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake all senders so they observe the disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_capacity() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn backpressure_across_threads() {
+            let (tx, rx) = bounded::<u64>(2);
+            let producer = {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000 {
+                        tx.send(i).unwrap();
+                    }
+                })
+            };
+            drop(tx);
+            let mut sum = 0u64;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            producer.join().unwrap();
+            assert_eq!(sum, (0..10_000u64).sum());
+        }
+
+        #[test]
+        fn mpmc_clones_share_the_stream() {
+            let (tx, rx) = bounded::<u64>(8);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..999 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, (0..999u64).sum());
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace vendors this shim because the build environment has no
+//! network access to crates.io. It keeps the property-testing *surface*
+//! the workspace uses — `proptest!`, `prop_assert*`, `prop_oneof!`,
+//! `any::<T>()`, range strategies, tuple strategies, `prop_map`,
+//! `proptest::collection::vec`, `ProptestConfig::with_cases` — but
+//! implements only generation, not shrinking: a failing case panics with
+//! the generating seed so the run can be reproduced, rather than
+//! minimized.
+//!
+//! Strategies are pure generator objects: [`Strategy::generate`] maps a
+//! deterministic RNG to a value. Each test case derives its seed from the
+//! test name and case index, so failures are reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::{Rng, RngExt};
+
+/// A deterministic per-case random source handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Creates the RNG for `(test, case)`, mixing both into the seed.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+/// A value generator: the (shrink-free) core abstraction.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value from the deterministic source.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying generation. Gives up
+    /// (panics) after 1000 rejections, like the real crate's
+    /// `prop_filter` exhaustion error.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Strategy,
+        F: Fn(Self::Value) -> U,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+            self.generate(rng)
+        }))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 rejections: {}", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy(std::rc::Rc::new(|rng: &mut TestRng| rng.0.random()))
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64, char);
+
+impl Arbitrary for String {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy(std::rc::Rc::new(|rng: &mut TestRng| {
+            let len = rng.0.random_range(0usize..32);
+            (0..len).map(|_| rng.0.random::<char>()).collect()
+        }))
+    }
+}
+
+/// The canonical strategy for `T` (the free-function form).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+)
+            ;
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Weighted union of same-valued strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = variants.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { variants, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.0.random_range(0u32..self.total);
+        for (w, s) in &self.variants {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A strategy for `Vec<T>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() {
+                0
+            } else {
+                rng.0.random_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `HashMap`s from key/value strategies.
+    pub fn hash_map<K: Strategy + 'static, V: Strategy + 'static>(
+        keys: K,
+        values: V,
+        len: core::ops::Range<usize>,
+    ) -> BoxedStrategy<std::collections::HashMap<K::Value, V::Value>>
+    where
+        K::Value: std::hash::Hash + Eq,
+    {
+        vec((keys, values), len)
+            .prop_map(|pairs| pairs.into_iter().collect())
+            .boxed()
+    }
+}
+
+/// Run-configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a test file needs, star-importable.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; the harness
+/// prints the reproducing seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, …)
+/// { body }` item becomes a test that generates `cases` inputs and runs
+/// the body (callers write the `#[test]` attribute themselves, as with
+/// the real crate).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_item!(($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_item!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_item {
+    (($config:expr) ) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let run = || $body;
+                if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {case} of {} failed (reproduce: seed = test name + case index)",
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(p);
+                }
+            }
+        }
+        $crate::__proptest_item!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::TestRng::for_case("union", 0);
+        let trues = (0..1000)
+            .filter(|_| crate::Strategy::generate(&u, &mut rng))
+            .count();
+        assert!(trues > 700, "trues {trues}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let s = crate::collection::vec(any::<u8>(), 3..7);
+        let mut rng = crate::TestRng::for_case("vec", 1);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            a in 0usize..10,
+            (b, c) in (0u32..5, any::<u8>()),
+            v in crate::collection::vec(any::<u16>(), 0..4),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+            let _ = c;
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn maps_and_filters_compose(
+            x in (0u64..100).prop_map(|v| v * 2).prop_filter("even", |v| v % 2 == 0),
+        ) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = any::<u64>();
+        let a = crate::Strategy::generate(&s, &mut crate::TestRng::for_case("d", 3));
+        let b = crate::Strategy::generate(&s, &mut crate::TestRng::for_case("d", 3));
+        assert_eq!(a, b);
+    }
+}
