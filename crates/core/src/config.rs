@@ -19,8 +19,8 @@ use crate::runtime::{DelegateAssignment, LeastLoaded, RoundRobinFirstTouch, Stat
 type PolicyFactory = Arc<dyn Fn() -> Box<dyn DelegateAssignment> + Send + Sync>;
 
 /// Which delegate-assignment policy the runtime routes serialization sets
-/// with (see the [`crate::runtime`] module docs for the epoch-stability
-/// contract all policies operate under).
+/// with (see [`DelegateAssignment`] for the epoch-stability contract all
+/// policies operate under).
 #[derive(Clone, Default)]
 pub enum Assignment {
     /// The paper's static assignment: `SsId mod virtual_delegates` with a
@@ -69,6 +69,54 @@ impl std::fmt::Debug for Assignment {
             Assignment::RoundRobinFirstTouch => f.write_str("RoundRobinFirstTouch"),
             Assignment::LeastLoaded => f.write_str("LeastLoaded"),
             Assignment::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// When idle delegates may steal queued serialization sets from a loaded
+/// peer (see [`RuntimeBuilder::stealing`]).
+///
+/// Stealing migrates **whole sets** and only sets that have not started
+/// executing on their current delegate this epoch; the migration rewrites
+/// the set's pin atomically with moving its queued operations, so same-set
+/// program order is preserved under every policy (the full argument lives
+/// in `docs/ARCHITECTURE.md`). Results are therefore identical to
+/// [`StealPolicy::Off`] — stealing is a pure scheduling choice.
+///
+/// ```
+/// use ss_core::{Runtime, StealPolicy};
+/// let rt = Runtime::builder()
+///     .delegate_threads(4)
+///     .stealing(StealPolicy::WhenIdle)
+///     .build()
+///     .unwrap();
+/// assert_eq!(rt.steal_policy(), StealPolicy::WhenIdle);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// No stealing. Delegate queues stay FastForward SPSC channels — the
+    /// seed behaviour, bit for bit. The default.
+    #[default]
+    Off,
+    /// An idle delegate (empty queue, nothing left to pop) steals from the
+    /// deepest peer queue whenever that queue has at least one entry.
+    WhenIdle,
+    /// An idle delegate steals only when the deepest peer queue holds at
+    /// least `depth` entries. Higher thresholds tolerate short bursts
+    /// (which the victim will drain quickly anyway) and reserve migration
+    /// for genuine skew; `Threshold(1)` behaves like
+    /// [`StealPolicy::WhenIdle`].
+    Threshold(usize),
+}
+
+impl StealPolicy {
+    /// The minimum victim-queue depth this policy requires before an idle
+    /// delegate attempts a steal; `None` when stealing is off.
+    pub fn min_victim_depth(&self) -> Option<usize> {
+        match self {
+            StealPolicy::Off => None,
+            StealPolicy::WhenIdle => Some(1),
+            StealPolicy::Threshold(d) => Some((*d).max(1)),
         }
     }
 }
@@ -130,6 +178,7 @@ pub struct RuntimeBuilder {
     pub(crate) dynamic_checks: bool,
     pub(crate) trace: bool,
     pub(crate) assignment: Assignment,
+    pub(crate) stealing: StealPolicy,
 }
 
 impl Default for RuntimeBuilder {
@@ -144,6 +193,7 @@ impl Default for RuntimeBuilder {
             dynamic_checks: true,
             trace: false,
             assignment: Assignment::Static,
+            stealing: StealPolicy::Off,
         }
     }
 }
@@ -221,6 +271,36 @@ impl RuntimeBuilder {
     /// ```
     pub fn assignment(mut self, a: Assignment) -> Self {
         self.assignment = a;
+        self
+    }
+
+    /// Lets idle delegates steal never-started serialization sets from a
+    /// loaded peer's queue. Default [`StealPolicy::Off`], which keeps the
+    /// paper's SPSC queues and routing unchanged.
+    ///
+    /// With stealing enabled the delegate queues become shared
+    /// [`StealDeque`](ss_queue::StealDeque)s and every routing decision
+    /// goes through a pinned set table, so per-delegation overhead is
+    /// higher; the win is load balance under skewed set popularity (see
+    /// the `ablation_stealing` bench and `docs/POLICIES.md`). Runtimes
+    /// with fewer than two delegate threads have no one to steal from and
+    /// fall back to [`StealPolicy::Off`].
+    ///
+    /// ```
+    /// use ss_core::{Runtime, StealPolicy, Writable};
+    /// let rt = Runtime::builder()
+    ///     .delegate_threads(2)
+    ///     .stealing(StealPolicy::Threshold(4))
+    ///     .build()
+    ///     .unwrap();
+    /// let w: Writable<u64> = Writable::new(&rt, 0);
+    /// rt.isolated(|| {
+    ///     for _ in 0..10 { w.delegate(|n| *n += 1).unwrap(); }
+    /// }).unwrap();
+    /// assert_eq!(w.call(|n| *n).unwrap(), 10); // results identical to Off
+    /// ```
+    pub fn stealing(mut self, policy: StealPolicy) -> Self {
+        self.stealing = policy;
         self
     }
 

@@ -74,7 +74,7 @@ mod stats;
 mod trace;
 mod wrappers;
 
-pub use config::{Assignment, ExecutionMode, RuntimeBuilder, WaitPolicy};
+pub use config::{Assignment, ExecutionMode, RuntimeBuilder, StealPolicy, WaitPolicy};
 pub use error::{SsError, SsResult};
 pub use runtime::{
     AssignTopology, DelegateAssignment, DelegateLoads, Executor, LeastLoaded, RoundRobinFirstTouch,

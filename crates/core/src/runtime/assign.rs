@@ -30,8 +30,14 @@
 //!   shallowest queue at that instant, using the depth counters kept in
 //!   [`stats`](crate::Stats::queue_depths).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
+use ss_queue::StealDeque;
+
+use crate::config::StealPolicy;
+use crate::invocation::Invocation;
 use crate::serializer::SsId;
 
 /// Which executor runs a serialization set.
@@ -237,6 +243,25 @@ impl Scheduler {
         }
     }
 
+    /// Consults the policy directly, bypassing the scheduler's own pin
+    /// table — the stealing path keeps pins in the shared [`PinTable`]
+    /// instead, because thieves (delegate threads) must be able to rewrite
+    /// them. Still tracks epoch serials so `begin_epoch` fires exactly
+    /// once per (delegating) epoch.
+    pub(crate) fn assign_raw(
+        &mut self,
+        ss: SsId,
+        serial: u64,
+        topo: &AssignTopology,
+        loads: &DelegateLoads<'_>,
+    ) -> Executor {
+        if self.pin_serial != serial {
+            self.pin_serial = serial;
+            self.policy.begin_epoch(serial);
+        }
+        self.policy.assign(ss, topo, loads)
+    }
+
     /// Routes `ss` for epoch `serial`. Returns the executor and whether
     /// this call created a fresh pin (first touch of the set this epoch).
     pub(crate) fn executor_for(
@@ -268,6 +293,70 @@ impl Scheduler {
                 slot.insert(executor);
                 (executor, true)
             }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// work stealing (the stealing-mode routing state)
+
+/// The set→executor pin table used when stealing is enabled.
+///
+/// In stealing mode the pin table must be shared — idle delegates rewrite
+/// pins when they migrate a set — so it moves out of the program-only
+/// [`Scheduler`] into this mutex-guarded map. The mutex is the *routing
+/// lock*: every operation that reads or writes set→queue placement
+/// (delegation, reclaim-token placement, steal, epoch reset) holds it, so
+/// "where do operations of set S go?" has a single consistent answer at
+/// every instant. See `docs/ARCHITECTURE.md` for the full steal-safety
+/// argument this lock anchors.
+pub(crate) struct PinTable {
+    /// Set id → owning executor, for the epoch in `serial`.
+    pub(crate) pins: HashMap<u64, Executor>,
+    /// Isolation-epoch serial the pins belong to (lazy clear on rollover,
+    /// plus an eager clear at `end_isolation`).
+    pub(crate) serial: u64,
+}
+
+/// A steal recorded by a delegate thread, awaiting fold into the
+/// program-order trace log.
+pub(crate) struct StealEvent {
+    pub(crate) serial: u64,
+    pub(crate) set: SsId,
+    pub(crate) thief: usize,
+}
+
+/// Everything the stealing mode shares between the program thread and the
+/// delegate threads: one [`StealDeque`] per delegate (replacing the SPSC
+/// channels), the routing lock, and the policy knob.
+pub(crate) struct StealShared {
+    pub(crate) deques: Box<[StealDeque<Invocation>]>,
+    pub(crate) table: Mutex<PinTable>,
+    pub(crate) policy: StealPolicy,
+    /// Steal events awaiting trace fold; `None` when tracing is disabled.
+    pub(crate) steal_events: Option<Mutex<Vec<StealEvent>>>,
+}
+
+impl StealShared {
+    pub(crate) fn new(n_delegates: usize, policy: StealPolicy, trace: bool) -> Self {
+        StealShared {
+            deques: (0..n_delegates).map(|_| StealDeque::new()).collect(),
+            table: Mutex::new(PinTable {
+                pins: HashMap::new(),
+                serial: 0,
+            }),
+            policy,
+            steal_events: trace.then(|| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Epoch reset: drop all pins and forget started sets. Only sound when
+    /// every deque has drained (the `end_isolation` barrier guarantees it).
+    pub(crate) fn reset_epoch(&self) {
+        let mut table = self.table.lock();
+        table.pins.clear();
+        for d in self.deques.iter() {
+            d.begin_epoch();
         }
     }
 }

@@ -1,12 +1,23 @@
 //! The delegate context: worker threads, their wakeup channel and wait
 //! policy (§4).
 //!
-//! Each delegate thread owns the consumer side of one FastForward SPSC
-//! queue and repeatedly reads invocation objects from it. While the queue
-//! is empty the thread follows the configured [`WaitPolicy`]: spin,
-//! spin-then-yield, or spin-then-park — plus the `force_sleep` override
-//! that [`Runtime::sleep`](super::Runtime::sleep) raises during long
+//! Each delegate thread owns one incoming queue and repeatedly reads
+//! invocation objects from it. While the queue is empty the thread follows
+//! the configured [`WaitPolicy`]: spin, spin-then-yield, or spin-then-park
+//! — plus the `force_sleep` override that
+//! [`Runtime::sleep`](super::Runtime::sleep) raises during long
 //! aggregation epochs.
+//!
+//! Two worker loops exist, matching the two transports:
+//!
+//! * [`delegate_main`] — the seed's loop over a FastForward SPSC consumer.
+//! * [`delegate_main_stealing`] — pops the delegate's own
+//!   [`StealDeque`](ss_queue::StealDeque) and, when it runs dry, attempts
+//!   to steal never-started serialization sets from the deepest peer queue
+//!   ([`try_steal`]) before falling back to the wait policy. A parked
+//!   thief re-checks for steal opportunities on its bounded-wait wakeups
+//!   (≤ 1 ms), so a victim that becomes loaded while peers sleep is
+//!   relieved within a millisecond even if no push ever wakes them.
 
 use std::cell::Cell;
 use std::sync::atomic::{fence, AtomicBool, Ordering};
@@ -17,9 +28,11 @@ use ss_queue::{Consumer, Pop};
 
 use crate::config::WaitPolicy;
 use crate::invocation::Invocation;
+use crate::runtime::assign::StealEvent;
+use crate::serializer::SsId;
 use crate::stats::StatsCell;
 
-use super::Core;
+use super::{Core, Executor, StealShared};
 
 thread_local! {
     /// `(runtime id, delegate index)` for delegate threads; `None` elsewhere.
@@ -133,4 +146,160 @@ pub(super) fn delegate_main(
         }
     }
     DELEGATE_CTX.with(|c| c.set(None));
+}
+
+/// Delegate thread main loop for the stealing transport: drain the own
+/// deque FIFO; when it runs dry, try to steal a batch of never-started
+/// sets from the deepest peer; otherwise idle per the wait policy.
+pub(super) fn delegate_main_stealing(
+    rt_id: u64,
+    idx: u32,
+    shared: Arc<StealShared>,
+    wakeup: Arc<Wakeup>,
+    policy: WaitPolicy,
+    force_sleep: Arc<AtomicBool>,
+    core: Arc<Core>,
+) {
+    DELEGATE_CTX.with(|c| c.set(Some((rt_id, idx))));
+    let me = idx as usize;
+    let deque = &shared.deques[me];
+    let backoff = ss_queue::Backoff::new();
+    // Per-victim push counts at the last *failed* steal: a victim whose
+    // count hasn't moved since then has nothing new to offer, so skip the
+    // O(queue) scan (see `StealDeque::pushes`).
+    let mut stale_at: Vec<Option<usize>> = vec![None; shared.deques.len()];
+    'main: loop {
+        // Popping marks the entry's set *started* here (inside the deque's
+        // critical section), which is the point of no return for
+        // migration: from now until the epoch ends, the set is ours.
+        while let Some((_tag, inv)) = deque.pop() {
+            backoff.reset();
+            match inv {
+                Invocation::Execute { task, .. } => {
+                    task();
+                    core.stats.queue_depths[me].fetch_sub(1, Ordering::Release);
+                    // The Release pairs with the barrier's Acquire load:
+                    // `in_flight == 0` must imply every operation's
+                    // effects are visible to the program thread.
+                    core.stats.in_flight.fetch_sub(1, Ordering::Release);
+                    StatsCell::bump(&core.stats.delegate_executed[me]);
+                }
+                Invocation::Sync(token) => token.signal(),
+                Invocation::Terminate(token) => {
+                    token.signal();
+                    break 'main;
+                }
+            }
+        }
+        if try_steal(&shared, me, &core, &mut stale_at) {
+            backoff.reset();
+            continue;
+        }
+        let force = force_sleep.load(Ordering::Acquire);
+        match policy {
+            WaitPolicy::Spin if !force => backoff.spin(),
+            WaitPolicy::SpinYield if !force => backoff.snooze(),
+            _ => {
+                if force || backoff.is_completed() {
+                    // The bounded park (≤ 1 ms) doubles as the steal
+                    // retry tick for delegates whose own queue stays
+                    // empty while a peer's grows.
+                    wakeup.park_if_empty(|| !deque.is_empty());
+                    backoff.reset();
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+    DELEGATE_CTX.with(|c| c.set(None));
+}
+
+/// One steal attempt by delegate `me`: pick the deepest peer queue that
+/// clears the policy's depth bar, then — under the routing lock — migrate
+/// roughly half of its never-started, unfenced set batches into our own
+/// deque and rewrite their pins. Returns true if any work arrived.
+///
+/// Everything between "batch leaves the victim" and "batch is landed and
+/// re-pinned here" happens in one critical section of the routing lock,
+/// so the program thread can never route an operation of a migrating set
+/// to either queue mid-flight, and a reclaim token can never chase a set
+/// to a queue it has already left.
+fn try_steal(shared: &StealShared, me: usize, core: &Core, stale_at: &mut [Option<usize>]) -> bool {
+    let Some(min_depth) = shared.policy.min_victim_depth() else {
+        return false;
+    };
+    // Victim selection is lock-free: scan the cache-padded length counters
+    // and take the deepest qualifying peer, skipping victims that have
+    // received no pushes since our last failed scan of them (a failed
+    // scan proves everything they held was started or fenced, and only
+    // new pushes can add stealable batches).
+    let mut victim: Option<(usize, usize, usize)> = None;
+    for (j, d) in shared.deques.iter().enumerate() {
+        if j == me {
+            continue;
+        }
+        let len = d.len();
+        if len < min_depth {
+            continue;
+        }
+        let pushes = d.pushes();
+        if stale_at[j] == Some(pushes) {
+            continue;
+        }
+        if victim.is_none_or(|(_, best, _)| len > best) {
+            victim = Some((j, len, pushes));
+        }
+    }
+    let Some((victim, _, victim_pushes)) = victim else {
+        return false; // nothing met the bar — not an attempt, no failure
+    };
+
+    let mut batch: Vec<(u64, Invocation)> = Vec::new();
+    let mut table = shared.table.lock();
+    let taken = shared.deques[victim].steal_half_into(&mut batch);
+    if taken == 0 {
+        drop(table);
+        // The victim looked deep but had nothing migratable (all started,
+        // fenced, or drained since the depth check). Remember the push
+        // count we scanned at so we do not rescan an unchanged queue.
+        stale_at[victim] = Some(victim_pushes);
+        StatsCell::bump(&core.stats.steal_failures);
+        return false;
+    }
+    stale_at[victim] = None;
+    let mut sets: Vec<u64> = Vec::new();
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for (key, _) in &batch {
+        if seen.insert(*key) {
+            sets.push(*key);
+        }
+    }
+    for &key in &sets {
+        debug_assert!(
+            matches!(table.pins.get(&key), Some(Executor::Delegate(v)) if *v == victim),
+            "stolen set {key} was not pinned to victim {victim}"
+        );
+        table.pins.insert(key, Executor::Delegate(me));
+    }
+    // Depths are stats + victim-selection signals; `in_flight` (which the
+    // barrier's drain check reads) is untouched by steals, so the order of
+    // this transfer is not load-bearing.
+    core.stats.queue_depths[me].fetch_add(taken as u64, Ordering::Relaxed);
+    core.stats.queue_depths[victim].fetch_sub(taken as u64, Ordering::Relaxed);
+    shared.deques[me].extend_keyed(batch);
+    if let Some(buf) = &shared.steal_events {
+        let serial = table.serial;
+        let mut buf = buf.lock();
+        for &key in &sets {
+            buf.push(StealEvent {
+                serial,
+                set: SsId(key),
+                thief: me,
+            });
+        }
+    }
+    drop(table);
+    StatsCell::bump(&core.stats.steals);
+    true
 }

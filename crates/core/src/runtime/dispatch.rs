@@ -6,6 +6,20 @@
 //! the owning executor, and the synchronization entry points implement
 //! §4's ownership-reclaim and epoch-barrier protocols on top of FIFO
 //! queue tokens.
+//!
+//! Two transports exist, chosen at build time ([`Channels`]):
+//!
+//! * **SPSC** (stealing off, the default) — the seed's path, bit for bit:
+//!   program-thread-owned FastForward producers, per-delegation routing
+//!   through the program-only scheduler (or the inline static modulo).
+//! * **Stealing** — every routing decision happens under the shared
+//!   routing lock ([`StealShared::table`](super::StealShared)) so that a
+//!   concurrent steal can never observe (or create) a half-routed set:
+//!   the pin lookup/insert and the queue push are one atomic step with
+//!   respect to pin rewrites. Synchronization tokens are pushed as
+//!   *fences*, which the deque refuses to steal across, preserving the
+//!   "token pops ⇒ everything it was ordered after ran *here*" reclaim
+//!   argument.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -16,13 +30,15 @@ use crate::serializer::SsId;
 use crate::stats::StatsCell;
 use crate::trace::TraceKind;
 
-use super::assign::static_executor;
-use super::{DelegateLoads, Executor, Runtime};
+use super::assign::{static_executor, StealShared};
+use super::{Channels, DelegateLoads, Executor, Runtime};
 
 impl Runtime {
     /// Routes a serialization set to its executor via the configured
     /// assignment policy, pinning first-touch decisions for the rest of
-    /// the isolation epoch (program thread only).
+    /// the isolation epoch (program thread only). Non-stealing transport
+    /// only — the stealing path routes under the routing lock inside
+    /// [`Runtime::submit`] so the answer cannot go stale before the push.
     pub(crate) fn executor_for(&self, ss: SsId) -> Executor {
         debug_assert!(self.is_program_thread());
         if self.inner.topology.n_delegates == 0 {
@@ -53,35 +69,46 @@ impl Runtime {
         executor
     }
 
+    /// Runs a delegated task inline on the program thread (program-share
+    /// virtual delegates and zero-delegate runtimes).
+    fn run_inline(&self, task: Box<dyn FnOnce() + Send>) -> SsResult<()> {
+        {
+            // SAFETY: program thread (wrappers checked); scoped so the
+            // task below may legally re-enter the runtime.
+            let epoch = unsafe { self.inner.epoch.get() };
+            if epoch.executing_inline {
+                return Err(SsError::NestedDelegation);
+            }
+            epoch.executing_inline = true;
+        }
+        task();
+        // SAFETY: program thread; fresh scoped borrow after user code.
+        unsafe { self.inner.epoch.get() }.executing_inline = false;
+        StatsCell::bump(&self.inner.core.stats.inline_executions);
+        Ok(())
+    }
+
     /// Submits a packaged task for the given serialization set. Must be
     /// called on the program thread during an isolation epoch (wrappers
     /// enforce both). Returns the executor chosen.
     pub(crate) fn submit(&self, ss: SsId, task: Box<dyn FnOnce() + Send>) -> SsResult<Executor> {
         self.check_live()?;
+        if let Channels::Steal(shared) = &self.inner.channels {
+            return self.submit_stealing(shared, ss, task);
+        }
         let executor = self.executor_for(ss);
         match executor {
-            Executor::Program => {
-                {
-                    // SAFETY: program thread (wrappers checked); scoped so the
-                    // task below may legally re-enter the runtime.
-                    let epoch = unsafe { self.inner.epoch.get() };
-                    if epoch.executing_inline {
-                        return Err(SsError::NestedDelegation);
-                    }
-                    epoch.executing_inline = true;
-                }
-                task();
-                // SAFETY: program thread; fresh scoped borrow after user code.
-                unsafe { self.inner.epoch.get() }.executing_inline = false;
-                StatsCell::bump(&self.inner.core.stats.inline_executions);
-            }
+            Executor::Program => self.run_inline(task)?,
             Executor::Delegate(i) => {
                 // Raise the depth before publishing so a LeastLoaded
                 // assignment racing with this submit sees the queue grow.
                 self.inner.core.stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                let Channels::Spsc(producers) = &self.inner.channels else {
+                    unreachable!("stealing transport handled above");
+                };
                 // SAFETY: producers are program-thread-only; wrappers
                 // verified the calling context.
-                let producer = unsafe { self.inner.producers[i].get() };
+                let producer = unsafe { producers[i].get() };
                 if producer
                     .push_blocking(Invocation::Execute { task, ss })
                     .is_err()
@@ -96,18 +123,132 @@ impl Runtime {
         Ok(executor)
     }
 
-    /// Sends a synchronization object to `executor`'s queue and waits until
-    /// the delegate has drained everything before it — the ownership-reclaim
-    /// mechanism of §4 ("it will be the last object in the queue, since the
-    /// program thread has ceased sending invocations").
-    pub(crate) fn sync_executor(&self, executor: Executor) -> SsResult<()> {
-        let Executor::Delegate(i) = executor else {
-            return Ok(()); // program-owned sets are always already drained
+    /// Stealing-transport submit: resolve the pin and publish the
+    /// invocation in one critical section of the routing lock, so a thief
+    /// can never migrate a set between "program thread decided queue i"
+    /// and "the operation landed in queue i".
+    fn submit_stealing(
+        &self,
+        shared: &StealShared,
+        ss: SsId,
+        task: Box<dyn FnOnce() + Send>,
+    ) -> SsResult<Executor> {
+        // SAFETY: program thread (wrappers checked); scoped borrow.
+        let serial = unsafe { self.inner.epoch.get() }.serial;
+        // Delegate-bound tasks are consumed inside the routing-lock scope;
+        // program-bound ones run inline after it (no user code under the
+        // lock).
+        let mut task = Some(task);
+        let (executor, fresh_pin) = {
+            let mut table = shared.table.lock();
+            if table.serial != serial {
+                // Lazy epoch rollover (belt and suspenders next to the
+                // eager reset in `end_isolation`).
+                table.pins.clear();
+                table.serial = serial;
+            }
+            let (executor, fresh_pin) = match table.pins.get(&ss.0) {
+                Some(&e) => (e, false),
+                None => {
+                    let loads = DelegateLoads {
+                        depths: &self.inner.core.stats.queue_depths,
+                    };
+                    // SAFETY: program thread; policies are consulted only
+                    // here, under the routing lock.
+                    let executor = unsafe { self.inner.scheduler.get() }.assign_raw(
+                        ss,
+                        serial,
+                        &self.inner.topology,
+                        &loads,
+                    );
+                    if let Executor::Delegate(i) = executor {
+                        debug_assert!(i < self.inner.topology.n_delegates);
+                    }
+                    table.pins.insert(ss.0, executor);
+                    (executor, true)
+                }
+            };
+            if let Executor::Delegate(i) = executor {
+                self.inner.core.stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .core
+                    .stats
+                    .in_flight
+                    .fetch_add(1, Ordering::Relaxed);
+                let task = task.take().expect("task consumed once");
+                shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss });
+                // Routing lock released here: the push is visible before
+                // any steal can re-route the set.
+            }
+            (executor, fresh_pin)
         };
+        if fresh_pin {
+            StatsCell::bump(&self.inner.core.stats.pins);
+            if self.trace_enabled() {
+                self.trace_record(TraceKind::Pin, None, Some(ss), Some(executor));
+            }
+        }
+        match executor {
+            Executor::Program => {
+                self.run_inline(task.take().expect("program-bound task unconsumed"))?
+            }
+            Executor::Delegate(i) => {
+                self.inner.wakeups[i].notify();
+                StatsCell::bump(&self.inner.core.stats.delegations);
+            }
+        }
+        Ok(executor)
+    }
+
+    /// Sends a synchronization object to the queue that currently owns the
+    /// reclaimed set and waits until that queue has drained everything
+    /// before it — the ownership-reclaim mechanism of §4 ("it will be the
+    /// last object in the queue, since the program thread has ceased
+    /// sending invocations").
+    ///
+    /// `owner` is the executor recorded at delegation time; `ss` the set
+    /// being reclaimed. Without stealing the two never disagree. With
+    /// stealing, the set may have migrated since, so the *current* pin is
+    /// resolved under the routing lock and the token is placed (as a
+    /// fence) in the same critical section — after which the set is frozen
+    /// on that queue until the token pops. Returns the executor actually
+    /// synchronized with.
+    pub(crate) fn sync_owner(&self, owner: Executor, ss: Option<SsId>) -> SsResult<Executor> {
         self.check_live()?;
+        if let Channels::Steal(shared) = &self.inner.channels {
+            let token = SyncToken::new();
+            let i = {
+                let table = shared.table.lock();
+                let executor = ss
+                    .and_then(|s| table.pins.get(&s.0).copied())
+                    .unwrap_or(owner);
+                let Executor::Delegate(i) = executor else {
+                    return Ok(Executor::Program); // inline sets are always drained
+                };
+                // The reclaimed set is frozen on this queue until the
+                // token pops; `All` is the conservative scope for the
+                // (unreachable in practice) caller that cannot name it.
+                let scope = match ss {
+                    Some(s) => ss_queue::FenceScope::Key(s.0),
+                    None => ss_queue::FenceScope::All,
+                };
+                shared.deques[i].push_fence(scope, Invocation::Sync(Arc::clone(&token)));
+                i
+            };
+            self.inner.wakeups[i].notify();
+            StatsCell::bump(&self.inner.core.stats.sync_objects);
+            token.wait();
+            return Ok(Executor::Delegate(i));
+        }
+        let Executor::Delegate(i) = owner else {
+            return Ok(owner); // program-owned sets are always already drained
+        };
         let token = SyncToken::new();
+        let Channels::Spsc(producers) = &self.inner.channels else {
+            unreachable!("stealing transport handled above");
+        };
         // SAFETY: producers are program-thread-only; callers verified.
-        let producer = unsafe { self.inner.producers[i].get() };
+        let producer = unsafe { producers[i].get() };
         if producer
             .push_blocking(Invocation::Sync(Arc::clone(&token)))
             .is_err()
@@ -117,30 +258,70 @@ impl Runtime {
         self.inner.wakeups[i].notify();
         StatsCell::bump(&self.inner.core.stats.sync_objects);
         token.wait();
-        Ok(())
+        Ok(owner)
     }
 
     /// Synchronizes with every delegate thread (used by `end_isolation`).
     /// Tokens are sent to all queues first, then awaited, so delegates drain
     /// in parallel.
+    ///
+    /// In stealing mode the barrier tokens are `Open` fences — stealing
+    /// stays *enabled* while the barrier drains, which is most of the
+    /// epoch's remaining parallelism in push-everything-then-end workloads.
+    /// Tokens alone therefore do not prove quiescence (a batch stolen
+    /// mid-barrier can still be running on the thief after the victim's
+    /// token popped), so the barrier additionally waits for the
+    /// `in_flight` counter to reach zero. That counter is deliberately a
+    /// *single* atomic: it is raised at submit and lowered (with Release)
+    /// only after an operation's effects are complete, and a steal never
+    /// touches it — so one Acquire load is a sound everything-executed
+    /// check. (Per-delegate depth counters would not be: a steal transfers
+    /// depth between two counters non-atomically with respect to a
+    /// multi-counter scan, which could read the victim after the transfer
+    /// and the thief before it and conclude quiescence with a stolen batch
+    /// still running.)
     pub(crate) fn barrier_all_delegates(&self) {
         let n = self.inner.topology.n_delegates;
         let mut tokens = Vec::with_capacity(n);
-        for i in 0..n {
-            let token = SyncToken::new();
-            // SAFETY: program thread (callers checked).
-            let producer = unsafe { self.inner.producers[i].get() };
-            if producer
-                .push_blocking(Invocation::Sync(Arc::clone(&token)))
-                .is_ok()
-            {
-                self.inner.wakeups[i].notify();
-                StatsCell::bump(&self.inner.core.stats.sync_objects);
-                tokens.push(token);
+        match &self.inner.channels {
+            Channels::Spsc(producers) => {
+                for (i, producer) in producers.iter().enumerate() {
+                    let token = SyncToken::new();
+                    // SAFETY: program thread (callers checked).
+                    let producer = unsafe { producer.get() };
+                    if producer
+                        .push_blocking(Invocation::Sync(Arc::clone(&token)))
+                        .is_ok()
+                    {
+                        self.inner.wakeups[i].notify();
+                        StatsCell::bump(&self.inner.core.stats.sync_objects);
+                        tokens.push(token);
+                    }
+                }
+            }
+            Channels::Steal(shared) => {
+                let table = shared.table.lock();
+                for (i, deque) in shared.deques.iter().enumerate() {
+                    let token = SyncToken::new();
+                    deque.push_fence(
+                        ss_queue::FenceScope::Open,
+                        Invocation::Sync(Arc::clone(&token)),
+                    );
+                    self.inner.wakeups[i].notify();
+                    StatsCell::bump(&self.inner.core.stats.sync_objects);
+                    tokens.push(token);
+                }
+                drop(table);
             }
         }
         for t in tokens {
             t.wait();
+        }
+        if matches!(self.inner.channels, Channels::Steal(_)) {
+            let backoff = ss_queue::Backoff::new();
+            while self.inner.core.stats.in_flight.load(Ordering::Acquire) != 0 {
+                backoff.snooze();
+            }
         }
     }
 

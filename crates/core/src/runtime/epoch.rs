@@ -89,6 +89,11 @@ impl Runtime {
             }
         }
         self.barrier_all_delegates();
+        if let super::Channels::Steal(shared) = &self.inner.channels {
+            // All queues just drained: safe to forget pins and started
+            // sets, so the next epoch re-routes (and re-steals) freely.
+            shared.reset_epoch();
+        }
         {
             // SAFETY: program thread; scoped.
             let epoch = unsafe { self.inner.epoch.get() };
@@ -99,6 +104,7 @@ impl Runtime {
         }
         StatsCell::bump(&self.inner.core.stats.isolation_epochs);
         self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → even
+        self.flush_steal_trace();
         self.trace_record(TraceKind::EndIsolation, None, None, None);
         if self.is_poisoned() {
             return Err(self.inner.core.poison_error());

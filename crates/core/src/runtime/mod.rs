@@ -15,6 +15,11 @@
 //!   paper's **static delegate assignment** (serialization-set id modulo the
 //!   number of *virtual delegates*, with a program-thread share) is the
 //!   default and preserves the seed semantics bit-for-bit.
+//! * With [`RuntimeBuilder::stealing`] enabled, the SPSC channels are
+//!   replaced by shared [`ss_queue::StealDeque`]s and idle delegates may
+//!   migrate **never-started** sets (whole batches, pins rewritten
+//!   atomically) off a loaded peer — `docs/ARCHITECTURE.md` holds the
+//!   steal-safety argument.
 //! * **Synchronization objects** flush a delegate queue when the program
 //!   context reclaims ownership of an object, or all queues at
 //!   `end_isolation`. **Termination objects** shut the delegates down.
@@ -26,6 +31,7 @@ mod epoch;
 #[cfg(test)]
 mod tests;
 
+pub(crate) use assign::StealShared;
 pub use assign::{
     AssignTopology, DelegateAssignment, DelegateLoads, Executor, LeastLoaded, RoundRobinFirstTouch,
     StaticAssignment,
@@ -40,11 +46,11 @@ use parking_lot::Mutex;
 use ss_queue::{Producer, SpscQueue};
 
 use assign::Scheduler;
-use delegate::{delegate_main, Wakeup, DELEGATE_CTX};
+use delegate::{delegate_main, delegate_main_stealing, Wakeup, DELEGATE_CTX};
 use epoch::EpochState;
 
 use crate::cell::ProgramOnly;
-use crate::config::{ExecutionMode, RuntimeBuilder};
+use crate::config::{ExecutionMode, RuntimeBuilder, StealPolicy};
 use crate::error::{SsError, SsResult};
 use crate::invocation::{Invocation, SyncToken};
 use crate::serializer::SsId;
@@ -87,6 +93,17 @@ impl Core {
     }
 }
 
+/// The program→delegate transport, chosen at build time.
+///
+/// `Off` stealing keeps the paper's FastForward SPSC channels (program
+/// thread owns every producer handle); any other [`StealPolicy`] swaps in
+/// shared [`ss_queue::StealDeque`]s plus the routing lock that lets idle
+/// delegates migrate never-started sets.
+pub(crate) enum Channels {
+    Spsc(Box<[ProgramOnly<Producer<Invocation>>]>),
+    Steal(Arc<StealShared>),
+}
+
 pub(crate) struct Inner {
     id: u64,
     program_thread: ThreadId,
@@ -94,12 +111,17 @@ pub(crate) struct Inner {
     dynamic_checks: bool,
     topology: AssignTopology,
     assignment_name: &'static str,
-    /// True for the default `Assignment::Static` — the dispatch path then
-    /// computes the seed's inline modulo and never touches the scheduler
-    /// (no pin table, no virtual calls on the per-delegation hot path).
+    /// Effective steal policy (normalized: `Off` unless ≥ 2 delegates in
+    /// parallel mode — with fewer there is no one to steal from).
+    steal_policy: StealPolicy,
+    /// True for the default `Assignment::Static` without stealing — the
+    /// dispatch path then computes the seed's inline modulo and never
+    /// touches the scheduler (no pin table, no virtual calls on the
+    /// per-delegation hot path). Stealing always pins, even under static
+    /// assignment, because a steal overrides the static mapping.
     static_assignment: bool,
     scheduler: ProgramOnly<Scheduler>,
-    producers: Box<[ProgramOnly<Producer<Invocation>>]>,
+    pub(crate) channels: Channels,
     wakeups: Box<[Arc<Wakeup>]>,
     join_handles: Mutex<Vec<JoinHandle<()>>>,
     epoch: ProgramOnly<EpochState>,
@@ -140,6 +162,7 @@ impl std::fmt::Debug for Runtime {
             .field("virtual_delegates", &self.inner.topology.virtual_delegates)
             .field("program_share", &self.inner.topology.program_share)
             .field("assignment", &self.inner.assignment_name)
+            .field("stealing", &self.inner.steal_policy)
             .field("mode", &self.inner.mode)
             .finish()
     }
@@ -187,17 +210,35 @@ impl Runtime {
         });
         let force_sleep = Arc::new(AtomicBool::new(false));
 
-        let mut producers = Vec::with_capacity(n_delegates);
+        // Stealing needs at least two delegates (someone to steal *from*);
+        // below that, fall back to the plain SPSC transport.
+        let steal_policy = if n_delegates >= 2 {
+            b.stealing
+        } else {
+            StealPolicy::Off
+        };
+
         let mut consumers = Vec::with_capacity(n_delegates);
-        for _ in 0..n_delegates {
-            let (tx, rx) = SpscQueue::with_capacity(b.queue_capacity);
-            producers.push(ProgramOnly::new(tx));
-            consumers.push(rx);
-        }
+        let channels = if steal_policy == StealPolicy::Off {
+            let mut producers = Vec::with_capacity(n_delegates);
+            for _ in 0..n_delegates {
+                let (tx, rx) = SpscQueue::with_capacity(b.queue_capacity);
+                producers.push(ProgramOnly::new(tx));
+                consumers.push(rx);
+            }
+            Channels::Spsc(producers.into_boxed_slice())
+        } else {
+            Channels::Steal(Arc::new(StealShared::new(
+                n_delegates,
+                steal_policy,
+                b.trace,
+            )))
+        };
         let wakeups: Box<[Arc<Wakeup>]> =
             (0..n_delegates).map(|_| Arc::new(Wakeup::new())).collect();
 
-        let static_assignment = matches!(b.assignment, crate::config::Assignment::Static);
+        let static_assignment = matches!(b.assignment, crate::config::Assignment::Static)
+            && steal_policy == StealPolicy::Off;
         let policy = b.assignment.instantiate();
         let assignment_name = policy.name();
 
@@ -208,9 +249,10 @@ impl Runtime {
             dynamic_checks: b.dynamic_checks,
             topology,
             assignment_name,
+            steal_policy,
             static_assignment,
             scheduler: ProgramOnly::new(Scheduler::new(policy)),
-            producers: producers.into_boxed_slice(),
+            channels,
             wakeups,
             join_handles: Mutex::new(Vec::new()),
             epoch: ProgramOnly::new(EpochState::new()),
@@ -224,19 +266,56 @@ impl Runtime {
         });
 
         let mut handles = inner.join_handles.lock();
-        for (idx, consumer) in consumers.into_iter().enumerate() {
-            let wakeup = Arc::clone(&inner.wakeups[idx]);
-            let force_sleep = Arc::clone(&inner.force_sleep);
-            let core = Arc::clone(&inner.core);
-            let policy = b.wait_policy;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ss-delegate-{idx}"))
-                    .spawn(move || {
-                        delegate_main(id, idx as u32, consumer, wakeup, policy, force_sleep, core)
-                    })
-                    .expect("failed to spawn delegate thread"),
-            );
+        match &inner.channels {
+            Channels::Spsc(_) => {
+                for (idx, consumer) in consumers.into_iter().enumerate() {
+                    let wakeup = Arc::clone(&inner.wakeups[idx]);
+                    let force_sleep = Arc::clone(&inner.force_sleep);
+                    let core = Arc::clone(&inner.core);
+                    let policy = b.wait_policy;
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("ss-delegate-{idx}"))
+                            .spawn(move || {
+                                delegate_main(
+                                    id,
+                                    idx as u32,
+                                    consumer,
+                                    wakeup,
+                                    policy,
+                                    force_sleep,
+                                    core,
+                                )
+                            })
+                            .expect("failed to spawn delegate thread"),
+                    );
+                }
+            }
+            Channels::Steal(shared) => {
+                for idx in 0..n_delegates {
+                    let shared = Arc::clone(shared);
+                    let wakeup = Arc::clone(&inner.wakeups[idx]);
+                    let force_sleep = Arc::clone(&inner.force_sleep);
+                    let core = Arc::clone(&inner.core);
+                    let policy = b.wait_policy;
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("ss-delegate-{idx}"))
+                            .spawn(move || {
+                                delegate_main_stealing(
+                                    id,
+                                    idx as u32,
+                                    shared,
+                                    wakeup,
+                                    policy,
+                                    force_sleep,
+                                    core,
+                                )
+                            })
+                            .expect("failed to spawn delegate thread"),
+                    );
+                }
+            }
         }
         drop(handles);
 
@@ -270,6 +349,13 @@ impl Runtime {
     /// Execution mode (parallel or sequential debug).
     pub fn mode(&self) -> ExecutionMode {
         self.inner.mode
+    }
+
+    /// The effective work-stealing policy. May differ from the builder's
+    /// request: runtimes with fewer than two delegate threads normalize to
+    /// [`StealPolicy::Off`] (there is no one to steal from).
+    pub fn steal_policy(&self) -> StealPolicy {
+        self.inner.steal_policy
     }
 
     /// True once a delegated operation has panicked.
@@ -324,10 +410,41 @@ impl Runtime {
         unsafe { log.get() }.record(epoch, kind, object, set, executor);
     }
 
+    /// Folds steal events recorded by delegate threads into the
+    /// program-order trace log (program thread only; no-op when tracing or
+    /// stealing is disabled). Called at epoch boundaries and before
+    /// [`take_trace`](Runtime::take_trace) so `TraceKind::Steal` events
+    /// appear near the epoch they happened in.
+    pub(crate) fn flush_steal_trace(&self) {
+        let Some(log) = &self.inner.trace_log else {
+            return;
+        };
+        let Channels::Steal(shared) = &self.inner.channels else {
+            return;
+        };
+        let Some(buf) = &shared.steal_events else {
+            return;
+        };
+        let events = std::mem::take(&mut *buf.lock());
+        debug_assert!(self.is_program_thread());
+        // SAFETY: program thread (all call sites are program-thread paths).
+        let log = unsafe { log.get() };
+        for e in events {
+            log.record(
+                e.serial,
+                TraceKind::Steal,
+                None,
+                Some(e.set),
+                Some(TraceExecutor::Delegate(e.thief)),
+            );
+        }
+    }
+
     /// Removes and returns the recorded trace (program thread only; empty
     /// when tracing is disabled). Sequence numbers continue across takes.
     pub fn take_trace(&self) -> SsResult<Vec<TraceEvent>> {
         self.require_program_thread()?;
+        self.flush_steal_trace();
         match &self.inner.trace_log {
             // SAFETY: program thread (checked above).
             Some(log) => Ok(unsafe { log.get() }.take()),
@@ -421,9 +538,21 @@ impl Inner {
         if !self.terminated.swap(true, Ordering::AcqRel) {
             for i in 0..self.topology.n_delegates {
                 let token = SyncToken::new();
-                // SAFETY: exclusive by the method contract above.
-                let producer = unsafe { self.producers[i].get() };
-                let _ = producer.push_blocking(Invocation::Terminate(token));
+                match &self.channels {
+                    Channels::Spsc(producers) => {
+                        // SAFETY: exclusive by the method contract above.
+                        let producer = unsafe { producers[i].get() };
+                        let _ = producer.push_blocking(Invocation::Terminate(token));
+                    }
+                    Channels::Steal(shared) => {
+                        // Queues are already drained at shutdown (an open
+                        // isolation epoch forbids it), so the scope is moot;
+                        // `Open` keeps a stuck-at-exit thief from being
+                        // frozen out of a peer's leftovers.
+                        shared.deques[i]
+                            .push_fence(ss_queue::FenceScope::Open, Invocation::Terminate(token));
+                    }
+                }
                 self.wakeups[i].notify();
             }
         }

@@ -424,3 +424,337 @@ fn least_loaded_routes_away_from_a_busy_delegate() {
     let s = rt.stats();
     assert_eq!(s.delegate_executed, vec![1, 1]);
 }
+
+// ----------------------------------------------------------------------
+// work stealing
+
+use crate::config::StealPolicy;
+
+/// A policy that routes every set to delegate 0 — the worst-case skew the
+/// stealing layer exists to repair.
+#[derive(Debug)]
+struct Pinhole;
+impl DelegateAssignment for Pinhole {
+    fn name(&self) -> &'static str {
+        "pinhole"
+    }
+    fn assign(&mut self, _: SsId, _: &AssignTopology, _: &DelegateLoads<'_>) -> Executor {
+        Executor::Delegate(0)
+    }
+}
+
+/// Routes even sets to delegate 0 and odd sets to delegate 1 — a pure,
+/// predictable two-delegate mapping for the stealing tests.
+#[derive(Debug)]
+struct ByParity;
+impl DelegateAssignment for ByParity {
+    fn name(&self) -> &'static str {
+        "by-parity"
+    }
+    fn assign(&mut self, ss: SsId, _: &AssignTopology, _: &DelegateLoads<'_>) -> Executor {
+        Executor::Delegate((ss.0 % 2) as usize)
+    }
+}
+
+/// Name of the delegate thread an operation executes on ("ss-delegate-N"),
+/// recorded so tests can assert placement without capturing the runtime
+/// inside a task (which would let a delegate thread join itself on drop).
+fn record_thread(log: &Arc<Mutex<Vec<(u64, String)>>>, set: u64) -> Box<dyn FnOnce() + Send> {
+    let log = Arc::clone(log);
+    Box::new(move || {
+        let name = std::thread::current().name().unwrap_or("?").to_string();
+        log.lock().push((set, name));
+    })
+}
+
+/// A task that records which delegate entered it, then blocks on `gate`.
+/// The (entered, name) pair lets tests wait until a set has *started* —
+/// the point after which the pinning invariant forbids migration — and
+/// learn where, without assuming who won any legal pre-start steal race.
+fn gated_task(
+    gate: &Arc<AtomicU64>,
+    entered: &Arc<Mutex<Option<String>>>,
+) -> Box<dyn FnOnce() + Send> {
+    let gate = Arc::clone(gate);
+    let entered = Arc::clone(entered);
+    Box::new(move || {
+        *entered.lock() = Some(std::thread::current().name().unwrap_or("?").to_string());
+        while gate.load(Ordering::Acquire) == 0 {
+            std::hint::spin_loop();
+        }
+    })
+}
+
+fn wait_entered(entered: &Arc<Mutex<Option<String>>>) -> String {
+    loop {
+        if let Some(name) = entered.lock().clone() {
+            return name;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+#[test]
+fn stealing_normalizes_off_below_two_delegates() {
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .stealing(StealPolicy::WhenIdle)
+        .build()
+        .unwrap();
+    assert_eq!(rt.steal_policy(), StealPolicy::Off);
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .stealing(StealPolicy::WhenIdle)
+        .build()
+        .unwrap();
+    assert_eq!(rt.steal_policy(), StealPolicy::WhenIdle);
+}
+
+#[test]
+fn idle_delegate_steals_from_skewed_queue() {
+    // One delegate is blocked inside a gated set while a backlog of
+    // never-started sets accumulates in *its* queue; the other delegate
+    // must steal some of them. The gate op itself may legally be stolen
+    // before anyone starts it, so the test discovers who got blocked and
+    // aims the backlog at that delegate instead of hard-coding a winner.
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::custom(|| Box::new(ByParity)))
+        .stealing(StealPolicy::WhenIdle)
+        .build()
+        .unwrap();
+    let gate = Arc::new(AtomicU64::new(0));
+    let entered = Arc::new(Mutex::new(None));
+    let log: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    rt.begin_isolation().unwrap();
+    rt.submit(SsId(1), gated_task(&gate, &entered)).unwrap();
+    let blocked = wait_entered(&entered);
+    // Route the backlog to the *blocked* delegate's queue: even set ids
+    // pin to delegate 0, odd to delegate 1 (ByParity is pure, and these
+    // sets are fresh, so no steal has re-pinned them yet).
+    let base: u64 = if blocked == "ss-delegate-0" { 100 } else { 101 };
+    for s in 0..32u64 {
+        let set = base + 2 * s;
+        for _ in 0..4 {
+            rt.submit(SsId(set), record_thread(&log, set)).unwrap();
+        }
+    }
+    // Give the free delegate time to steal while the other is gated.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    gate.store(1, Ordering::Release);
+    rt.end_isolation().unwrap();
+
+    let stats = rt.stats();
+    assert!(stats.steals > 0, "no steals happened: {stats:?}");
+    let log = log.lock();
+    assert_eq!(log.len(), 32 * 4);
+    // Same-set FIFO placement: every operation of one set ran on one
+    // executor (the log records per-op thread names).
+    let mut homes: std::collections::HashMap<u64, &str> = std::collections::HashMap::new();
+    for (set, name) in log.iter() {
+        let home = homes.entry(*set).or_insert(name);
+        assert_eq!(*home, name, "set {set} executed on two delegates");
+    }
+    // And the free delegate really did take some of the work.
+    assert!(
+        log.iter().any(|(_, name)| *name != blocked),
+        "the idle delegate never executed anything"
+    );
+}
+
+#[test]
+fn started_sets_never_migrate() {
+    // A set *starts* on whichever delegate pops (or steals, then pops)
+    // its first operation; from then on the rest of the set's operations
+    // must execute there, even with an idle thief circling.
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::custom(|| Box::new(ByParity)))
+        .stealing(StealPolicy::WhenIdle)
+        .build()
+        .unwrap();
+    let gate = Arc::new(AtomicU64::new(0));
+    let entered = Arc::new(Mutex::new(None));
+    let log: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    rt.begin_isolation().unwrap();
+    rt.submit(SsId(7), gated_task(&gate, &entered)).unwrap();
+    // Set 7 has started — wherever the race landed it, it is now pinned.
+    let home = wait_entered(&entered);
+    for _ in 0..16 {
+        rt.submit(SsId(7), record_thread(&log, 7)).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    gate.store(1, Ordering::Release);
+    rt.end_isolation().unwrap();
+    let log = log.lock();
+    assert_eq!(log.len(), 16);
+    for (_, name) in log.iter() {
+        assert_eq!(name, &home, "started set migrated");
+    }
+}
+
+#[test]
+fn steal_failures_are_counted() {
+    // One delegate is blocked inside the only set while its queue holds
+    // more of that (started) set: the idle delegate's steal attempts must
+    // fail, and the failures must be counted.
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::custom(|| Box::new(Pinhole)))
+        .stealing(StealPolicy::WhenIdle)
+        .build()
+        .unwrap();
+    let gate = Arc::new(AtomicU64::new(0));
+    let entered = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    let g = Arc::clone(&gate);
+    let e = Arc::clone(&entered);
+    rt.submit(
+        SsId(3),
+        Box::new(move || {
+            e.store(1, Ordering::Release);
+            while g.load(Ordering::Acquire) == 0 {
+                std::hint::spin_loop();
+            }
+        }),
+    )
+    .unwrap();
+    // Wait until set 3 has *started* on its executor — from here on it can
+    // never migrate, so the queued tail below is permanently unstealable.
+    while entered.load(Ordering::Acquire) == 0 {
+        std::hint::spin_loop();
+    }
+    for _ in 0..4 {
+        rt.submit(SsId(3), Box::new(|| {})).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    gate.store(1, Ordering::Release);
+    rt.end_isolation().unwrap();
+    let stats = rt.stats();
+    // The gate op itself may have been stolen before anyone started the
+    // set (a legal race); after `entered`, nothing more can move.
+    assert!(stats.steals <= 1, "started set migrated: {stats:?}");
+    assert!(stats.steal_failures > 0, "no failed attempts: {stats:?}");
+}
+
+#[test]
+fn reclaim_follows_a_stolen_set() {
+    // Set 5 is stolen by delegate 1; a mid-epoch reclaim must sync with
+    // the thief's queue (syncing the original owner would return while
+    // the stolen operations still run — unsoundness, caught by the
+    // assert on the observed count).
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::custom(|| Box::new(Pinhole)))
+        .stealing(StealPolicy::WhenIdle)
+        .build()
+        .unwrap();
+    let gate = Arc::new(AtomicU64::new(0));
+    let w: crate::Writable<u64> = crate::Writable::new(&rt, 0);
+    rt.begin_isolation().unwrap();
+    let g = Arc::clone(&gate);
+    rt.submit(
+        SsId(1_000_000),
+        Box::new(move || {
+            while g.load(Ordering::Acquire) == 0 {
+                std::hint::spin_loop();
+            }
+        }),
+    )
+    .unwrap();
+    for _ in 0..64 {
+        w.delegate(|n| *n += 1).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    // The blocked delegate guarantees w's set is still queued (or stolen);
+    // reclaim must find wherever it lives now.
+    let seen = w.call(|n| *n).unwrap();
+    assert_eq!(seen, 64);
+    gate.store(1, Ordering::Release);
+    rt.end_isolation().unwrap();
+}
+
+#[test]
+fn stealing_results_match_off_for_all_policies() {
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for policy in [
+        StealPolicy::Off,
+        StealPolicy::WhenIdle,
+        StealPolicy::Threshold(2),
+        StealPolicy::Threshold(16),
+    ] {
+        let rt = Runtime::builder()
+            .delegate_threads(3)
+            .stealing(policy)
+            .build()
+            .unwrap();
+        let cells: Vec<crate::Writable<Vec<u64>, crate::SequenceSerializer>> = (0..16)
+            .map(|_| crate::Writable::new(&rt, Vec::new()))
+            .collect();
+        for epoch in 0..5u64 {
+            rt.begin_isolation().unwrap();
+            for i in 0..400u64 {
+                // Zipf-ish skew: low cells get most of the operations.
+                let c = (i % 7 * i % 16) as usize % 16;
+                cells[c]
+                    .delegate(move |v| v.push(epoch * 1_000 + i))
+                    .unwrap();
+            }
+            rt.end_isolation().unwrap();
+        }
+        let out: Vec<Vec<u64>> = cells
+            .iter()
+            .map(|c| c.call(|v| v.clone()).unwrap())
+            .collect();
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(r, &out, "{policy:?} diverged from Off"),
+        }
+    }
+}
+
+#[test]
+fn steal_trace_events_are_recorded() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::custom(|| Box::new(Pinhole)))
+        .stealing(StealPolicy::WhenIdle)
+        .trace(true)
+        .build()
+        .unwrap();
+    let gate = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    let g = Arc::clone(&gate);
+    rt.submit(
+        SsId(0),
+        Box::new(move || {
+            while g.load(Ordering::Acquire) == 0 {
+                std::hint::spin_loop();
+            }
+        }),
+    )
+    .unwrap();
+    for s in 1..=16u64 {
+        rt.submit(SsId(s), Box::new(|| {})).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    gate.store(1, Ordering::Release);
+    rt.end_isolation().unwrap();
+    let trace = rt.take_trace().unwrap();
+    let steals: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == crate::TraceKind::Steal)
+        .collect();
+    assert!(!steals.is_empty(), "no Steal events in trace");
+    for e in &steals {
+        assert!(e.set.is_some());
+        assert!(matches!(
+            e.executor,
+            Some(crate::TraceExecutor::Delegate(_))
+        ));
+        assert_eq!(e.epoch, 1);
+    }
+    // Pin events exist too: stealing always pins, even under non-static
+    // policies… and a stolen set's pin rewrite is visible as placement.
+    assert!(trace.iter().any(|e| e.kind == crate::TraceKind::Pin));
+}

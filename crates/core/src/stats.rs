@@ -28,6 +28,17 @@ pub(crate) struct StatsCell {
     pub reductions: AtomicU64,
     /// First-touch assignment pins created by non-static policies.
     pub pins: AtomicU64,
+    /// Successful steal operations (whole-batch migrations).
+    pub steals: AtomicU64,
+    /// Steal attempts that found no eligible batch on the chosen victim.
+    pub steal_failures: AtomicU64,
+    /// Delegated operations submitted but not yet fully executed
+    /// (stealing transport only). A *single* counter on purpose: steals
+    /// never touch it, so the `end_isolation` drain check reads one
+    /// atomic instead of racing a cross-counter transfer (per-delegate
+    /// depths can transiently hide an in-flight batch from a non-atomic
+    /// multi-counter scan).
+    pub in_flight: AtomicU64,
     /// Per-delegate count of enqueued-or-executing operations.
     pub queue_depths: Box<[AtomicU64]>,
     /// Per-delegate count of completed operations.
@@ -53,6 +64,9 @@ impl StatsCell {
             reduction_nanos: AtomicU64::new(0),
             reductions: AtomicU64::new(0),
             pins: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_failures: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
             queue_depths: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
             delegate_executed: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -79,6 +93,8 @@ impl StatsCell {
             isolation_epochs: self.isolation_epochs.load(Ordering::Relaxed),
             reductions: self.reductions.load(Ordering::Relaxed),
             pins: self.pins.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_failures: self.steal_failures.load(Ordering::Relaxed),
             queue_depths: self
                 .queue_depths
                 .iter()
@@ -115,8 +131,20 @@ pub struct Stats {
     /// Reducible reductions performed.
     pub reductions: u64,
     /// First-touch assignment pins created by non-static delegate
-    /// assignment policies (0 under the default static assignment).
+    /// assignment policies (0 under the default static assignment; always
+    /// counted when stealing is enabled, since stealing requires pinning
+    /// even under static assignment).
     pub pins: u64,
+    /// Successful steals: whole-batch migrations of never-started sets
+    /// from a loaded delegate to an idle one. 0 when
+    /// [`StealPolicy::Off`](crate::StealPolicy::Off) (the default).
+    pub steals: u64,
+    /// Steal attempts that found no eligible batch (every queued set on
+    /// the chosen victim had already started, was fenced, or the queue
+    /// drained between the depth check and the steal). A high
+    /// failure-to-success ratio means the threshold is too low for the
+    /// workload's set structure.
+    pub steal_failures: u64,
     /// Per-delegate queue depth at snapshot time (enqueued + executing).
     /// All zeros during aggregation epochs — `end_isolation` drains every
     /// queue.
@@ -203,6 +231,8 @@ mod tests {
             isolation_epochs: 0,
             reductions: 0,
             pins: 0,
+            steals: 0,
+            steal_failures: 0,
             queue_depths: Vec::new(),
             delegate_executed: Vec::new(),
             total: Duration::ZERO,

@@ -38,6 +38,13 @@ pub enum TraceKind {
     /// non-static delegate-assignment policy (first touch of the set).
     /// Static assignment emits no pin events — the mapping is pure.
     Pin,
+    /// An idle delegate stole a never-started serialization set from a
+    /// peer's queue; `set` is the migrated set and `executor` the thief it
+    /// now pins to. Steal events originate on delegate threads and are
+    /// folded into the program-order log at the next epoch boundary or
+    /// [`take_trace`](crate::Runtime::take_trace), so their sequence
+    /// numbers reflect the fold point, not the instant of the steal.
+    Steal,
     /// An operation was delegated.
     Delegate,
     /// A delegated operation executed inline on the program thread.

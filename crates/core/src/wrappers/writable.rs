@@ -399,7 +399,7 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             // SAFETY: program context is the sole accessor in aggregation.
             return Ok(f(unsafe { &mut *self.shared.value.get() }));
         }
-        let owner = {
+        let (owner, tag) = {
             // SAFETY: program thread; scoped.
             let local = unsafe { self.shared.local.get() };
             local.refresh(serial);
@@ -410,7 +410,7 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                     } else {
                         UseState::ReadShared
                     };
-                    None
+                    (None, None)
                 }
                 UseState::ReadShared if mutate => {
                     return Err(SsError::StateConflict {
@@ -418,19 +418,22 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                         was_read_shared: true,
                     });
                 }
-                UseState::ReadShared => None,
-                UseState::PrivateWritable => local.owner,
+                UseState::ReadShared => (None, None),
+                UseState::PrivateWritable => (local.owner, local.tag),
             }
         };
         if let Some(owner) = owner {
             if self.shared.pending.load(Ordering::Acquire) > 0 {
-                rt.sync_executor(owner)?;
+                // With stealing enabled the set may have migrated since
+                // delegation, so the reclaim resolves the *current* owner
+                // from the pin table (the recorded one is the fallback).
+                let synced = rt.sync_owner(owner, tag)?;
                 debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
                 rt.trace_record(
                     TraceKind::Reclaim,
                     Some(self.shared.instance),
                     None,
-                    Some(owner),
+                    Some(synced),
                 );
             }
             if rt.is_poisoned() {

@@ -103,7 +103,10 @@ fn run(rt: &Runtime, shape: &Shape) -> (u64, f64) {
 
 fn main() {
     let reps = env_reps();
-    let delegates = (host_threads() - 1).clamp(1, 8);
+    // Placement is about queues, not cores: keep at least 4 delegates so
+    // the policies have a topology to disagree over even on small hosts
+    // (oversubscription affects all policies alike).
+    let delegates = (host_threads() - 1).clamp(4, 8);
     let ops = match env_scale() {
         ss_workloads::scale::Scale::S => 100_000,
         ss_workloads::scale::Scale::M => 400_000,

@@ -16,6 +16,8 @@
 //! | `ablation_ratio`   | §4 program-thread assignment ratio |
 //! | `ablation_kmeans`  | §5.1 kmeans variants (paper vs reduction) |
 //! | `ablation_wait`    | §4 spin vs yield vs park wait policies |
+//! | `ablation_assignment` | delegate-assignment policies under skew (docs/POLICIES.md) |
+//! | `ablation_stealing` | work stealing between delegate queues (docs/POLICIES.md) |
 //!
 //! Environment knobs (all optional): `SS_BENCH_SCALE` (`S`/`M`/`L`, default
 //! `S`), `SS_BENCH_REPS` (repetitions per measurement, default 3),

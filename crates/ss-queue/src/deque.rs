@@ -1,0 +1,546 @@
+//! Epoch-aware stealable work deque.
+//!
+//! The FastForward [`SpscQueue`](crate::SpscQueue) gives the
+//! serialization-sets runtime its cheap program→delegate channel, but its
+//! single-consumer contract is exactly what forbids work stealing: when
+//! set popularity is skewed, one delegate's queue grows while the others
+//! idle (the *serialization effect*). [`StealDeque`] is the substrate the
+//! runtime's stealing mode replaces it with. It trades the FastForward
+//! zero-sharing property for a short critical section (a [`Backoff`]-based
+//! spinlock around a ring of entries) in exchange for three operations the
+//! SPSC queue cannot express:
+//!
+//! * **keyed entries** — every item carries a `u64` key (the runtime uses
+//!   the serialization-set id), and the deque understands *batches*: all
+//!   entries sharing a key form one migration unit;
+//! * **epoch-aware steal filtering** — the deque remembers which keys the
+//!   owner has already popped since the last [`begin_epoch`]
+//!   ([`StealDeque::begin_epoch`]), and [`steal_half_into`]
+//!   ([`StealDeque::steal_half_into`]) refuses to migrate them. A key the
+//!   owner has *started* is burned onto the owner for the rest of the
+//!   epoch — the caller-side pinning invariant, enforced at the queue;
+//! * **scoped fences** — entries pushed with [`push_fence`]
+//!   ([`StealDeque::push_fence`]) carry a [`FenceScope`] naming the keys
+//!   that must provably drain *on this queue* while the fence is queued.
+//!   The runtime's ownership-reclaim tokens are `Key`-scoped fences (the
+//!   reclaimed set is frozen in place, so "the token popped" keeps
+//!   implying "every operation of that set the token was ordered after
+//!   has executed here"); epoch-barrier tokens are `Open` fences, because
+//!   the barrier has its own all-queues-drained check that covers batches
+//!   stolen mid-barrier.
+//!
+//! Unlike the bounded SPSC ring, the deque is unbounded: a thief must be
+//! able to land a whole stolen batch without blocking, or a full queue
+//! could deadlock two delegates against each other.
+//!
+//! # Example
+//!
+//! ```
+//! use ss_queue::{StealDeque, StealTag};
+//!
+//! let q: StealDeque<&'static str> = StealDeque::new();
+//! q.push_keyed(7, "a1");
+//! q.push_keyed(9, "b1");
+//! q.push_keyed(7, "a2");
+//!
+//! // The owner pops FIFO and thereby *starts* key 7 …
+//! assert_eq!(q.pop(), Some((StealTag::Key(7), "a1")));
+//!
+//! // … so a thief can only migrate key 9, and takes its whole batch.
+//! let mut batch = Vec::new();
+//! q.steal_half_into(&mut batch);
+//! assert_eq!(batch, vec![(9, "b1")]);
+//!
+//! // Key 7's remaining entries stayed with the owner.
+//! assert_eq!(q.pop(), Some((StealTag::Key(7), "a2")));
+//! assert!(q.pop().is_none());
+//! ```
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{HashSet, VecDeque};
+
+use crate::{Backoff, CachePadded};
+
+/// What kind of entry a [`StealDeque::pop`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StealTag {
+    /// A keyed entry — part of the batch identified by this key.
+    Key(u64),
+    /// A fence entry pushed with [`push_fence`](StealDeque::push_fence).
+    Fence,
+}
+
+/// How much a fence entry protects from stealing while it is queued.
+///
+/// A fence models a synchronization token the producer is blocked waiting
+/// on; the scope states which keys must *provably drain on this queue*
+/// before the token is reached, and therefore may not migrate while the
+/// fence is queued:
+///
+/// * [`FenceScope::Key`] — an ownership reclaim of one serialization set:
+///   that set is frozen here, everything else stays fair game.
+/// * [`FenceScope::All`] — freeze every key (the conservative scope for
+///   callers that cannot name the set they are reclaiming).
+/// * [`FenceScope::Open`] — freeze nothing. Used by epoch barriers whose
+///   caller has its own "all queues drained" check that covers migrated
+///   work (tokens alone say nothing about batches stolen mid-barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceScope {
+    /// Freeze nothing.
+    Open,
+    /// Freeze exactly this key.
+    Key(u64),
+    /// Freeze every key.
+    All,
+}
+
+enum Entry {
+    Key(u64),
+    Fence(FenceScope),
+}
+
+struct State<T> {
+    entries: VecDeque<(Entry, T)>,
+    /// Keys the owner has popped since the last `begin_epoch` — these are
+    /// *started* and may never migrate until the epoch rolls over.
+    started: HashSet<u64>,
+}
+
+/// Unbounded keyed deque with owner-FIFO pops and whole-batch steals.
+///
+/// All methods take `&self`; a [`Backoff`]-based spinlock serializes
+/// structural access (critical sections are a handful of `VecDeque` and
+/// hash operations). [`len`](StealDeque::len) and
+/// [`is_empty`](StealDeque::is_empty) read a cache-padded atomic without
+/// taking the lock, so idle thieves can scan for victims without
+/// disturbing them.
+///
+/// Role protocol (by convention, not by type): one *producer* pushes, one
+/// *owner* pops, any number of *thieves* steal. The deque itself is safe
+/// under any concurrent mix; the single-producer/single-owner convention
+/// is what makes the started-key bookkeeping meaningful.
+pub struct StealDeque<T> {
+    locked: CachePadded<AtomicBool>,
+    len: CachePadded<AtomicUsize>,
+    /// Monotonic count of keyed entries ever pushed (see
+    /// [`pushes`](StealDeque::pushes)).
+    pushes: CachePadded<AtomicUsize>,
+    state: UnsafeCell<State<T>>,
+}
+
+// SAFETY: `state` is only touched while `locked` is held (see `Guard`),
+// whose Acquire/Release edges order all accesses. `T: Send` because values
+// move between the pushing, popping, and stealing threads.
+unsafe impl<T: Send> Send for StealDeque<T> {}
+unsafe impl<T: Send> Sync for StealDeque<T> {}
+
+/// Scoped spinlock guard over the deque state.
+struct Guard<'a, T> {
+    deque: &'a StealDeque<T>,
+}
+
+impl<T> Guard<'_, T> {
+    fn state(&mut self) -> &mut State<T> {
+        // SAFETY: the lock is held for the guard's lifetime, giving this
+        // thread exclusive access to `state`.
+        unsafe { &mut *self.deque.state.get() }
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        self.deque.locked.store(false, Ordering::Release);
+    }
+}
+
+impl<T> Default for StealDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> StealDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        StealDeque {
+            locked: CachePadded::new(AtomicBool::new(false)),
+            len: CachePadded::new(AtomicUsize::new(0)),
+            pushes: CachePadded::new(AtomicUsize::new(0)),
+            state: UnsafeCell::new(State {
+                entries: VecDeque::new(),
+                started: HashSet::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> Guard<'_, T> {
+        let backoff = Backoff::new();
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.snooze();
+        }
+        Guard { deque: self }
+    }
+
+    /// Number of entries currently enqueued (keyed + fences). Lock-free
+    /// approximate read — exact only at quiescent points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no entries are enqueued (lock-free approximate read).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monotonic count of keyed entries ever pushed (including batch
+    /// re-insertions), lock-free. Thieves use it to rate-limit futile
+    /// steal scans: a failed steal means every queued batch was started
+    /// or fenced, and only a *new push* (or an epoch roll, which implies
+    /// new pushes before anything is stealable again) can change that —
+    /// so a victim whose push count hasn't moved is not worth re-scanning.
+    #[inline]
+    pub fn pushes(&self) -> usize {
+        self.pushes.load(Ordering::Acquire)
+    }
+
+    /// Appends a keyed entry at the back (producer side).
+    pub fn push_keyed(&self, key: u64, value: T) {
+        let mut g = self.lock();
+        g.state().entries.push_back((Entry::Key(key), value));
+        self.len.fetch_add(1, Ordering::Release);
+        self.pushes.fetch_add(1, Ordering::Release);
+    }
+
+    /// Appends a fence entry at the back. While the fence is queued, the
+    /// keys its [`FenceScope`] names are excluded from stealing; the fence
+    /// itself is popped by the owner like any other entry (at which point
+    /// its protection lifts — the producer it was blocking has resumed).
+    pub fn push_fence(&self, scope: FenceScope, value: T) {
+        let mut g = self.lock();
+        g.state().entries.push_back((Entry::Fence(scope), value));
+        self.len.fetch_add(1, Ordering::Release);
+    }
+
+    /// Appends a whole batch of keyed entries at the back, preserving
+    /// order — the thief side of a migration. The caller must ensure new
+    /// pushes for the batch's keys are routed here *before* releasing
+    /// whatever lock made the steal atomic, or batch entries could be
+    /// overtaken by newer ones.
+    pub fn extend_keyed(&self, batch: impl IntoIterator<Item = (u64, T)>) {
+        let mut g = self.lock();
+        let mut n = 0;
+        for (key, value) in batch {
+            g.state().entries.push_back((Entry::Key(key), value));
+            n += 1;
+        }
+        self.len.fetch_add(n, Ordering::Release);
+        self.pushes.fetch_add(n, Ordering::Release);
+    }
+
+    /// Pops the oldest entry (owner side). Popping a keyed entry marks its
+    /// key *started* for the current epoch, which excludes the key from
+    /// all future steals until [`begin_epoch`](StealDeque::begin_epoch).
+    pub fn pop(&self) -> Option<(StealTag, T)> {
+        let mut g = self.lock();
+        let state = g.state();
+        let (entry, value) = state.entries.pop_front()?;
+        let tag = match entry {
+            Entry::Key(k) => {
+                state.started.insert(k);
+                StealTag::Key(k)
+            }
+            Entry::Fence(_) => StealTag::Fence,
+        };
+        self.len.fetch_sub(1, Ordering::Release);
+        Some((tag, value))
+    }
+
+    /// Steals roughly half of the *eligible* batches into `out`,
+    /// preserving entry order; returns the number of entries taken.
+    ///
+    /// A key is eligible when all three hold:
+    ///
+    /// 1. the owner has not popped it this epoch (never *started* here);
+    /// 2. no queued fence protects it (see [`FenceScope`]);
+    /// 3. it has at least one entry enqueued.
+    ///
+    /// Of the eligible keys (in order of first appearance), the newest
+    /// ⌈k/2⌉ are taken — the oldest batches stay with the owner, who will
+    /// reach them soonest. Every entry of a chosen key is removed (whole
+    /// batches migrate, never fragments), so per-key FIFO order survives
+    /// as long as the caller re-routes future pushes of the stolen keys to
+    /// the destination atomically with this call.
+    pub fn steal_half_into(&self, out: &mut Vec<(u64, T)>) -> usize {
+        let mut g = self.lock();
+        let state = g.state();
+
+        // Keys protected by a queued fence are frozen.
+        let mut frozen: HashSet<u64> = HashSet::new();
+        for (entry, _) in state.entries.iter() {
+            match entry {
+                Entry::Fence(FenceScope::All) => return 0,
+                Entry::Fence(FenceScope::Key(k)) => {
+                    frozen.insert(*k);
+                }
+                _ => {}
+            }
+        }
+
+        // Eligible keys in first-appearance order (set for membership,
+        // vec for order — the scan must stay O(entries) under this lock).
+        let mut eligible: Vec<u64> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (entry, _) in state.entries.iter() {
+            if let Entry::Key(k) = entry {
+                if !frozen.contains(k) && !state.started.contains(k) && seen.insert(*k) {
+                    eligible.push(*k);
+                }
+            }
+        }
+        if eligible.is_empty() {
+            return 0;
+        }
+
+        // Take the newest half of the eligible batches.
+        let keep = eligible.len() / 2;
+        let chosen: HashSet<u64> = eligible.split_off(keep).into_iter().collect();
+
+        let mut taken = 0;
+        let entries = std::mem::take(&mut state.entries);
+        for (entry, value) in entries {
+            match entry {
+                Entry::Key(k) if chosen.contains(&k) => {
+                    out.push((k, value));
+                    taken += 1;
+                }
+                _ => state.entries.push_back((entry, value)),
+            }
+        }
+        self.len.fetch_sub(taken, Ordering::Release);
+        taken
+    }
+
+    /// Clears the started-key set for a new epoch. Must only be called at
+    /// a point where the epoch protocol guarantees quiescence (for the
+    /// runtime: after the `end_isolation` barrier, when every queue has
+    /// drained).
+    pub fn begin_epoch(&self) {
+        let mut g = self.lock();
+        g.state().started.clear();
+    }
+
+    /// True if the owner has popped an entry with this key since the last
+    /// [`begin_epoch`](StealDeque::begin_epoch) (diagnostic).
+    pub fn is_started(&self, key: u64) -> bool {
+        let mut g = self.lock();
+        g.state().started.contains(&key)
+    }
+}
+
+impl<T> std::fmt::Debug for StealDeque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealDeque")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pop_order() {
+        let q = StealDeque::new();
+        for i in 0..10u64 {
+            q.push_keyed(i % 3, i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10u64 {
+            assert_eq!(q.pop(), Some((StealTag::Key(i % 3), i)));
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn steal_takes_whole_batches_only() {
+        let q = StealDeque::new();
+        // Interleave three keys; steal must never split a key.
+        for i in 0..12u64 {
+            q.push_keyed(i % 3, i);
+        }
+        let mut out = Vec::new();
+        let n = q.steal_half_into(&mut out);
+        assert!(n > 0);
+        let stolen_keys: HashSet<u64> = out.iter().map(|(k, _)| *k).collect();
+        // Every entry of a stolen key migrated…
+        for key in &stolen_keys {
+            let expected: Vec<u64> = (0..12).filter(|i| i % 3 == *key).collect();
+            let got: Vec<u64> = out
+                .iter()
+                .filter(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .collect();
+            assert_eq!(got, expected, "key {key} fragmented");
+        }
+        // …and no entry of a kept key did.
+        let mut rest = Vec::new();
+        while let Some((StealTag::Key(k), v)) = q.pop() {
+            assert!(!stolen_keys.contains(&k));
+            rest.push(v);
+        }
+        assert_eq!(rest.len() + out.len(), 12);
+    }
+
+    #[test]
+    fn steal_skips_started_keys() {
+        let q = StealDeque::new();
+        q.push_keyed(1, "hot-1");
+        q.push_keyed(2, "cold-1");
+        q.push_keyed(1, "hot-2");
+        // Owner starts key 1.
+        assert_eq!(q.pop(), Some((StealTag::Key(1), "hot-1")));
+        assert!(q.is_started(1));
+        let mut out = Vec::new();
+        q.steal_half_into(&mut out);
+        assert_eq!(out, vec![(2, "cold-1")]);
+        // The started key's tail stayed.
+        assert_eq!(q.pop(), Some((StealTag::Key(1), "hot-2")));
+    }
+
+    #[test]
+    fn key_fence_freezes_only_its_key() {
+        let q = StealDeque::new();
+        q.push_keyed(1, 10);
+        q.push_keyed(2, 20);
+        q.push_fence(FenceScope::Key(1), 0);
+        let mut out = Vec::new();
+        // Key 1 is under reclaim: frozen. Key 2 is fair game.
+        assert_eq!(q.steal_half_into(&mut out), 1);
+        assert_eq!(out, vec![(2, 20)]);
+        assert_eq!(q.pop(), Some((StealTag::Key(1), 10)));
+        assert_eq!(q.pop(), Some((StealTag::Fence, 0)));
+        // Fence popped → protection lifted.
+        q.push_keyed(1, 11);
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 0); // …but key 1 is started now
+        q.begin_epoch();
+        q.push_keyed(1, 12);
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 2);
+    }
+
+    #[test]
+    fn all_fence_freezes_everything_open_fence_nothing() {
+        let q = StealDeque::new();
+        q.push_keyed(1, 10);
+        q.push_keyed(2, 20);
+        q.push_fence(FenceScope::All, 0);
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 0);
+        // Replace the All fence with an Open one: both keys are eligible
+        // again, and steal-half takes the newer of the two batches.
+        let q = StealDeque::new();
+        q.push_keyed(1, 10);
+        q.push_keyed(2, 20);
+        q.push_fence(FenceScope::Open, 0);
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 1);
+        assert_eq!(out, vec![(2, 20)]);
+        // The older batch and the fence stayed behind for the owner.
+        assert_eq!(q.pop(), Some((StealTag::Key(1), 10)));
+        assert_eq!(q.pop(), Some((StealTag::Fence, 0)));
+    }
+
+    #[test]
+    fn begin_epoch_clears_started_set() {
+        let q = StealDeque::new();
+        q.push_keyed(5, 1);
+        q.pop();
+        assert!(q.is_started(5));
+        q.begin_epoch();
+        assert!(!q.is_started(5));
+        q.push_keyed(5, 2);
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 1);
+    }
+
+    #[test]
+    fn steal_half_takes_newest_half_of_batches() {
+        let q = StealDeque::new();
+        for key in 0..4u64 {
+            q.push_keyed(key, key);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 2);
+        // 4 eligible batches → the 2 newest (keys 2, 3) migrate.
+        assert_eq!(out, vec![(2, 2), (3, 3)]);
+        assert_eq!(q.pop(), Some((StealTag::Key(0), 0)));
+        assert_eq!(q.pop(), Some((StealTag::Key(1), 1)));
+    }
+
+    #[test]
+    fn single_eligible_batch_is_stolen_whole() {
+        let q = StealDeque::new();
+        q.push_keyed(9, 1);
+        q.push_keyed(9, 2);
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 2);
+        assert_eq!(out, vec![(9, 1), (9, 2)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn extend_keyed_appends_in_order() {
+        let q = StealDeque::new();
+        q.push_keyed(1, 100);
+        q.extend_keyed(vec![(2, 200), (2, 201)]);
+        q.push_keyed(3, 300);
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(got, vec![100, 200, 201, 300]);
+    }
+
+    #[test]
+    fn empty_steal_reports_zero() {
+        let q: StealDeque<u8> = StealDeque::new();
+        let mut out = Vec::new();
+        assert_eq!(q.steal_half_into(&mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn concurrent_push_pop_stream() {
+        let q = std::sync::Arc::new(StealDeque::new());
+        let n = 50_000u64;
+        let p = std::sync::Arc::clone(&q);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..n {
+                    p.push_keyed(0, i);
+                }
+            });
+            s.spawn(move || {
+                let mut expected = 0;
+                let backoff = Backoff::new();
+                while expected < n {
+                    match q.pop() {
+                        Some((_, v)) => {
+                            assert_eq!(v, expected);
+                            expected += 1;
+                            backoff.reset();
+                        }
+                        None => backoff.snooze(),
+                    }
+                }
+            });
+        });
+    }
+}

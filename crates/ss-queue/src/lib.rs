@@ -10,7 +10,7 @@
 //! > condition on the consumer side. … these conditions are checked in a spin
 //! > loop rather than using blocking OS synchronization." — §4
 //!
-//! Two queue implementations are provided:
+//! Three queue implementations are provided:
 //!
 //! * [`SpscQueue`] — FastForward-style: *no shared head/tail indices at all*.
 //!   Each slot carries its own full/empty flag; the producer and consumer
@@ -20,11 +20,18 @@
 //!   head/tail indices. Retained as the ablation baseline for the
 //!   `ablation_queue` experiment (FastForward's contribution is precisely the
 //!   removal of this index sharing).
+//! * [`StealDeque`] — the work-stealing substrate of the runtime's stealing
+//!   mode: keyed entries, whole-batch steals, epoch-aware started-key
+//!   filtering, and fence entries that freeze everything before them. This
+//!   is what replaces the SPSC channel when idle delegates are allowed to
+//!   steal never-started serialization sets from a loaded peer.
 //!
-//! Both queues are bounded, lock-free, and split statically into a
+//! The SPSC queues are bounded, lock-free, and split statically into a
 //! [`Producer`]/[`Consumer`] handle pair so the single-producer /
 //! single-consumer contract is enforced by the type system rather than by
-//! convention.
+//! convention. The steal deque is unbounded and shared (`&self` API): the
+//! stealing protocol needs producer, owner and thieves to reach the same
+//! structure.
 //!
 //! # Example
 //!
@@ -45,11 +52,13 @@
 //! ```
 
 mod backoff;
+mod deque;
 mod lamport;
 mod pad;
 mod spsc;
 
 pub use backoff::Backoff;
+pub use deque::{FenceScope, StealDeque, StealTag};
 pub use lamport::LamportQueue;
 pub use pad::CachePadded;
 pub use spsc::{Consumer, Producer, SpscQueue};

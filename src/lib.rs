@@ -53,7 +53,7 @@ pub mod prelude {
         doall, AssignTopology, Assignment, DelegateAssignment, DelegateLoads, ExecutionMode,
         Executor, FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer, ReadOnly, Reduce,
         Reducible, RoundRobinFirstTouch, Runtime, RuntimeBuilder, SequenceSerializer, Serializer,
-        SsError, SsId, StaticAssignment, Stats, TraceEvent, TraceExecutor, TraceKind, WaitPolicy,
-        Writable,
+        SsError, SsId, StaticAssignment, Stats, StealPolicy, TraceEvent, TraceExecutor, TraceKind,
+        WaitPolicy, Writable,
     };
 }

@@ -1,0 +1,103 @@
+//! Work stealing is a pure scheduling choice: for every [`StealPolicy`],
+//! whole-program results must be identical to `StealPolicy::Off` (and
+//! therefore to the sequential oracle), across every Table 2 kernel and
+//! under every assignment policy. Only never-started sets migrate, whole
+//! and re-pinned atomically — so same-set program order, and with it the
+//! output, cannot depend on who executed what.
+
+use prometheus_rs::prelude::*;
+use prometheus_rs::ss_apps::registry;
+use prometheus_rs::ss_workloads::scale::Scale;
+
+fn steal_policies() -> Vec<(&'static str, StealPolicy)> {
+    vec![
+        ("off", StealPolicy::Off),
+        ("when-idle", StealPolicy::WhenIdle),
+        ("threshold-2", StealPolicy::Threshold(2)),
+        ("threshold-32", StealPolicy::Threshold(32)),
+    ]
+}
+
+/// Every kernel, every steal policy: `ss` fingerprint equals the
+/// sequential oracle's (which `StealPolicy::Off` is already held to by
+/// `apps_equality.rs`).
+#[test]
+fn all_kernels_identical_under_every_steal_policy() {
+    for spec in registry() {
+        let bench = (spec.make)(Scale::S);
+        let expect = bench.run_seq();
+        for (label, policy) in steal_policies() {
+            let rt = Runtime::builder()
+                .delegate_threads(3)
+                .stealing(policy)
+                .build()
+                .unwrap();
+            let got = bench.run_ss(&rt);
+            assert_eq!(
+                got, expect,
+                "{} diverged under steal policy {label}",
+                spec.name
+            );
+            rt.shutdown().unwrap();
+        }
+    }
+}
+
+/// Stealing composes with every assignment policy: the pin table the
+/// thieves rewrite is the same one first-touch assignment fills, so any
+/// (assignment × stealing) pair must still be observationally sequential.
+#[test]
+fn stealing_composes_with_assignment_policies() {
+    type AssignmentFactory = fn() -> Assignment;
+    let assignments: Vec<(&str, AssignmentFactory)> = vec![
+        ("static", || Assignment::Static),
+        ("round-robin", || Assignment::RoundRobinFirstTouch),
+        ("least-loaded", || Assignment::LeastLoaded),
+    ];
+    // word_count exercises reducibles + skewed (Zipf) set popularity —
+    // the stealing-relevant kernel shape.
+    let spec = registry()
+        .into_iter()
+        .find(|s| s.name == "word_count")
+        .expect("word_count registered");
+    let bench = (spec.make)(Scale::S);
+    let expect = bench.run_seq();
+    for (a_label, make_assignment) in &assignments {
+        for (s_label, policy) in steal_policies() {
+            let rt = Runtime::builder()
+                .delegate_threads(2)
+                .assignment(make_assignment())
+                .stealing(policy)
+                .build()
+                .unwrap();
+            assert_eq!(
+                bench.run_ss(&rt),
+                expect,
+                "word_count diverged under {a_label} + {s_label}"
+            );
+            rt.shutdown().unwrap();
+        }
+    }
+}
+
+/// A runtime with a program share keeps inline sets inline (they are
+/// pinned to the program executor, which thieves never touch) while
+/// delegate-bound sets remain stealable — results still sequential.
+#[test]
+fn stealing_respects_program_share() {
+    let spec = registry()
+        .into_iter()
+        .find(|s| s.name == "histogram")
+        .expect("histogram registered");
+    let bench = (spec.make)(Scale::S);
+    let expect = bench.run_seq();
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .program_share(1)
+        .virtual_delegates(5)
+        .stealing(StealPolicy::WhenIdle)
+        .build()
+        .unwrap();
+    assert_eq!(bench.run_ss(&rt), expect);
+    rt.shutdown().unwrap();
+}
