@@ -19,14 +19,36 @@ pub enum SsError {
     AlreadyInIsolation,
     /// `end_isolation` without a matching `begin_isolation`.
     NotIsolating,
-    /// An operation that only the program context may perform (`delegate`,
-    /// `call`, epoch control) was invoked from another thread. The paper's
-    /// runtime has the same restriction ("recursive delegation" is listed as
-    /// future work in §4).
+    /// An operation that only the program context may perform (`call`,
+    /// epoch control, top-level `delegate`) was invoked from a thread that
+    /// is neither the program context nor — for the recursive-delegation
+    /// entry points — a delegate context of this runtime.
     WrongContext,
     /// `delegate` from inside a delegated operation executing inline on the
-    /// program thread.
+    /// program thread. (Delegation from *delegate* contexts is supported —
+    /// see [`Runtime::delegate_scope`](crate::Runtime::delegate_scope) —
+    /// but the program thread mid-inline-execution is not at a delegation
+    /// point.)
     NestedDelegation,
+    /// A delegate context delegated into territory owned by the program
+    /// context: the target serialization set is assigned to the program
+    /// executor (`Some(set)` — program-share sets cannot receive nested
+    /// operations, because the program thread is not at a delegation
+    /// point), or the target object was claimed by a program-context
+    /// mutation this epoch (`None`).
+    NestedOnProgram {
+        /// The program-owned set, when the conflict is set-level.
+        set: Option<SsId>,
+    },
+    /// A delegation raced a program-context access (`call` / `call_mut`)
+    /// of the same object whose closure is still running — including
+    /// re-entrant delegation from inside the access closure itself. The
+    /// delegation is rejected rather than allowed to alias the live
+    /// borrow.
+    AccessInProgress {
+        /// Sequence number of the object being accessed.
+        instance: u64,
+    },
     /// A `writable` object was used both read-only and privately-writable in
     /// the same isolation epoch (the wrapper's state machine, §3.1).
     StateConflict {
@@ -77,7 +99,9 @@ impl fmt::Display for SsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SsError::NotInIsolation => write!(f, "delegate requires an isolation epoch"),
-            SsError::AlreadyInIsolation => write!(f, "begin_isolation: already in an isolation epoch"),
+            SsError::AlreadyInIsolation => {
+                write!(f, "begin_isolation: already in an isolation epoch")
+            }
             SsError::NotIsolating => write!(f, "end_isolation: no isolation epoch in progress"),
             SsError::WrongContext => write!(
                 f,
@@ -85,15 +109,41 @@ impl fmt::Display for SsError {
             ),
             SsError::NestedDelegation => write!(
                 f,
-                "delegation from inside a delegated operation is not supported (paper §4 future work)"
+                "delegation from inside an inline-executing delegated operation is not supported \
+                 (use a delegate context: Runtime::delegate_scope)"
             ),
-            SsError::StateConflict { instance, was_read_shared } => write!(
+            SsError::NestedOnProgram { set: Some(ss) } => write!(
+                f,
+                "nested delegation targeted serialization set {ss:?}, which is assigned to the \
+                 program context (program-share sets cannot receive operations from delegate \
+                 contexts)"
+            ),
+            SsError::NestedOnProgram { set: None } => write!(
+                f,
+                "nested delegation targeted an object claimed by a program-context mutation this \
+                 isolation epoch"
+            ),
+            SsError::AccessInProgress { instance } => write!(
+                f,
+                "delegation on object #{instance} raced a program-context access whose closure is \
+                 still running"
+            ),
+            SsError::StateConflict {
+                instance,
+                was_read_shared,
+            } => {
+                write!(
                 f,
                 "writable object #{instance} used as both read-only and privately-writable in one \
                  isolation epoch (currently {})",
                 if *was_read_shared { "read-only" } else { "privately-writable" }
-            ),
-            SsError::InconsistentSerializer { instance, tagged, got } => write!(
+            )
+            }
+            SsError::InconsistentSerializer {
+                instance,
+                tagged,
+                got,
+            } => write!(
                 f,
                 "serializer mapped object #{instance} to set {got:?} but it was tagged {tagged:?} \
                  earlier in this isolation epoch"

@@ -77,8 +77,8 @@ mod wrappers;
 pub use config::{Assignment, ExecutionMode, RuntimeBuilder, StealPolicy, WaitPolicy};
 pub use error::{SsError, SsResult};
 pub use runtime::{
-    AssignTopology, DelegateAssignment, DelegateLoads, Executor, LeastLoaded, RoundRobinFirstTouch,
-    Runtime, StaticAssignment,
+    AssignTopology, DelegateAssignment, DelegateContext, DelegateLoads, Executor, LeastLoaded,
+    RoundRobinFirstTouch, Runtime, StaticAssignment,
 };
 pub use serializer::{
     FnSerializer, NullSerializer, ObjectSerializer, SequenceSerializer, SerializeCx, Serializer,

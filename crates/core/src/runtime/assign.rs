@@ -99,9 +99,12 @@ impl DelegateLoads<'_> {
 /// The runtime consults the policy **once per set per epoch** (first
 /// touch) and pins the answer until `end_isolation`; policies therefore
 /// never see the same set twice within an epoch unless
-/// [`is_pure`](DelegateAssignment::is_pure) is true. Policies run on the
-/// program thread only — `Send` is required so the runtime handle stays
-/// `Send`, but no synchronization is needed inside a policy.
+/// [`is_pure`](DelegateAssignment::is_pure) is true. Policy calls are
+/// always *serialized* (they happen under the runtime's routing lock),
+/// but with recursive delegation a first touch can originate on a
+/// delegate thread — so a policy may be consulted from different threads
+/// over its life, never concurrently. `Send` covers that migration; no
+/// synchronization is needed inside a policy.
 ///
 /// ```
 /// use ss_core::{AssignTopology, DelegateAssignment, DelegateLoads, Executor, SsId};
@@ -318,27 +321,19 @@ pub(crate) struct PinTable {
     pub(crate) serial: u64,
 }
 
-/// A steal recorded by a delegate thread, awaiting fold into the
-/// program-order trace log.
-pub(crate) struct StealEvent {
-    pub(crate) serial: u64,
-    pub(crate) set: SsId,
-    pub(crate) thief: usize,
-}
-
 /// Everything the stealing mode shares between the program thread and the
 /// delegate threads: one [`StealDeque`] per delegate (replacing the SPSC
-/// channels), the routing lock, and the policy knob.
+/// channels), the routing lock, and the policy knob. (Delegate-side trace
+/// events — steals, nested delegations — live in the runtime's shared
+/// `Core`, not here.)
 pub(crate) struct StealShared {
     pub(crate) deques: Box<[StealDeque<Invocation>]>,
     pub(crate) table: Mutex<PinTable>,
     pub(crate) policy: StealPolicy,
-    /// Steal events awaiting trace fold; `None` when tracing is disabled.
-    pub(crate) steal_events: Option<Mutex<Vec<StealEvent>>>,
 }
 
 impl StealShared {
-    pub(crate) fn new(n_delegates: usize, policy: StealPolicy, trace: bool) -> Self {
+    pub(crate) fn new(n_delegates: usize, policy: StealPolicy) -> Self {
         StealShared {
             deques: (0..n_delegates).map(|_| StealDeque::new()).collect(),
             table: Mutex::new(PinTable {
@@ -346,7 +341,6 @@ impl StealShared {
                 serial: 0,
             }),
             policy,
-            steal_events: trace.then(|| Mutex::new(Vec::new())),
         }
     }
 

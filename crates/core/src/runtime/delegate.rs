@@ -1,5 +1,7 @@
 //! The delegate context: worker threads, their wakeup channel and wait
-//! policy (§4).
+//! policy (§4) — and the scoped [`DelegateContext`] handle that makes
+//! **recursive delegation** (the paper's §4 future work) a safe public
+//! API.
 //!
 //! Each delegate thread owns one incoming queue and repeatedly reads
 //! invocation objects from it. While the queue is empty the thread follows
@@ -10,16 +12,21 @@
 //!
 //! Two worker loops exist, matching the two transports:
 //!
-//! * [`delegate_main`] — the seed's loop over a FastForward SPSC consumer.
+//! * [`delegate_main`] — the seed's loop over a FastForward SPSC consumer,
+//!   extended to drain the ring's multi-producer **injector lane** (where
+//!   nested delegations from other delegates land) whenever the ring runs
+//!   dry.
 //! * [`delegate_main_stealing`] — pops the delegate's own
-//!   [`StealDeque`](ss_queue::StealDeque) and, when it runs dry, attempts
-//!   to steal never-started serialization sets from the deepest peer queue
-//!   ([`try_steal`]) before falling back to the wait policy. A parked
-//!   thief re-checks for steal opportunities on its bounded-wait wakeups
-//!   (≤ 1 ms), so a victim that becomes loaded while peers sleep is
-//!   relieved within a millisecond even if no push ever wakes them.
+//!   [`StealDeque`](ss_queue::StealDeque) (which receives both program and
+//!   nested pushes) and, when it runs dry, attempts to steal never-started
+//!   serialization sets from the deepest peer queue ([`try_steal`]) before
+//!   falling back to the wait policy. A parked thief re-checks for steal
+//!   opportunities on its bounded-wait wakeups (≤ 1 ms), so a victim that
+//!   becomes loaded while peers sleep is relieved within a millisecond
+//!   even if no push ever wakes them.
 
 use std::cell::Cell;
+use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -27,12 +34,14 @@ use parking_lot::{Condvar, Mutex};
 use ss_queue::{Consumer, Pop};
 
 use crate::config::WaitPolicy;
+use crate::error::{SsError, SsResult};
 use crate::invocation::Invocation;
-use crate::runtime::assign::StealEvent;
-use crate::serializer::SsId;
+use crate::serializer::{Serializer, SsId};
 use crate::stats::StatsCell;
+use crate::trace::{SideEvent, TraceExecutor, TraceKind};
+use crate::wrappers::Writable;
 
-use super::{Core, Executor, StealShared};
+use super::{Core, Executor, Runtime, StealShared};
 
 thread_local! {
     /// `(runtime id, delegate index)` for delegate threads; `None` elsewhere.
@@ -129,13 +138,37 @@ pub(super) fn delegate_main(
             }
             Pop::Disconnected => break,
             Pop::Empty => {
+                // Ring dry: drain the multi-producer injector lane, where
+                // nested delegations from other delegate threads land.
+                // Lane operations carry their own `in_flight` count (the
+                // transitive-drain signal the epoch barrier waits on),
+                // because ring tokens say nothing about the lane.
+                if let Some(inv) = consumer.try_pop_injected() {
+                    backoff.reset();
+                    match inv {
+                        Invocation::Execute { task, .. } => {
+                            task();
+                            core.stats.queue_depths[idx as usize].fetch_sub(1, Ordering::Release);
+                            core.stats.in_flight.fetch_sub(1, Ordering::Release);
+                            StatsCell::bump(&core.stats.delegate_executed[idx as usize]);
+                        }
+                        Invocation::Sync(token) => token.signal(),
+                        Invocation::Terminate(token) => {
+                            token.signal();
+                            break;
+                        }
+                    }
+                    continue;
+                }
                 let force = force_sleep.load(Ordering::Acquire);
                 match policy {
                     WaitPolicy::Spin if !force => backoff.spin(),
                     WaitPolicy::SpinYield if !force => backoff.snooze(),
                     _ => {
                         if force || backoff.is_completed() {
-                            wakeup.park_if_empty(|| consumer.has_pending());
+                            wakeup.park_if_empty(|| {
+                                consumer.has_pending() || consumer.has_injected()
+                            });
                             backoff.reset();
                         } else {
                             backoff.snooze();
@@ -288,18 +321,174 @@ fn try_steal(shared: &StealShared, me: usize, core: &Core, stale_at: &mut [Optio
     core.stats.queue_depths[me].fetch_add(taken as u64, Ordering::Relaxed);
     core.stats.queue_depths[victim].fetch_sub(taken as u64, Ordering::Relaxed);
     shared.deques[me].extend_keyed(batch);
-    if let Some(buf) = &shared.steal_events {
-        let serial = table.serial;
-        let mut buf = buf.lock();
-        for &key in &sets {
-            buf.push(StealEvent {
-                serial,
-                set: SsId(key),
-                thief: me,
-            });
-        }
-    }
+    record_steal_events(core, table.serial, &sets, me);
     drop(table);
     StatsCell::bump(&core.stats.steals);
     true
+}
+
+/// Records one `TraceKind::Steal` side event per migrated set (no-op when
+/// tracing is disabled). Factored out of [`try_steal`] so the lock scope
+/// stays readable.
+fn record_steal_events(core: &Core, serial: u64, sets: &[u64], thief: usize) {
+    if let Some(buf) = &core.side_events {
+        let mut buf = buf.lock();
+        for &key in sets {
+            buf.push(SideEvent {
+                order: core.trace_clock.fetch_add(1, Ordering::Relaxed),
+                serial,
+                kind: TraceKind::Steal,
+                object: None,
+                set: Some(SsId(key)),
+                executor: TraceExecutor::Delegate(thief),
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// recursive delegation: the scoped delegate-context handle
+
+/// Scoped handle to the calling **delegate context**, enabling recursive
+/// delegation — a running delegated operation submitting further
+/// operations (the paper's §4 future work).
+///
+/// Obtained only inside [`Runtime::delegate_scope`], so a handle can
+/// exist exclusively on a delegate thread of its runtime, for the
+/// duration of the scope closure (it is `!Send`/`!Sync` and borrows the
+/// runtime handle, so it cannot escape to other threads; the submit path
+/// additionally re-validates the calling thread's identity). Nested
+/// delegations preserve every model guarantee:
+///
+/// * **Per-set program order.** A nested operation routes through the
+///   same pin table the program thread uses, under the same lock; all
+///   operations of one set land in one FIFO queue regardless of who
+///   delegated them. (The interleaving of *different producers'*
+///   operations within one set is scheduling-dependent — determinism is
+///   per producer, as it is for the program thread alone.)
+/// * **Barrier coverage.** A nested operation counts against the
+///   `end_isolation` barrier from the instant it is submitted — before
+///   its parent completes — so the epoch waits for the whole spawn tree.
+/// * **Reclaim soundness.** Once an epoch contains nested delegations, a
+///   mid-epoch `call`/`call_mut` reclaim quiesces the runtime instead of
+///   flushing one queue.
+///
+/// Sets assigned to the *program* context cannot receive nested
+/// operations ([`SsError::NestedOnProgram`]): the program thread is not
+/// at a delegation point.
+///
+/// ```
+/// use ss_core::{Runtime, SequenceSerializer, Writable};
+///
+/// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+/// let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+/// let child: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+///
+/// rt.isolated(|| {
+///     let (rt2, child2) = (rt.clone(), child.clone());
+///     parent
+///         .delegate(move |n| {
+///             *n = 7;
+///             // From inside the running operation, delegate three more
+///             // operations into the child's serialization set.
+///             rt2.delegate_scope(|cx| {
+///                 for i in 0..3 {
+///                     cx.delegate(&child2, move |v| v.push(i)).unwrap();
+///                 }
+///             })
+///             .unwrap();
+///         })
+///         .unwrap();
+/// })
+/// .unwrap();
+///
+/// assert_eq!(parent.call(|n| *n).unwrap(), 7);
+/// assert_eq!(child.call(|v| v.clone()).unwrap(), vec![0, 1, 2]);
+/// ```
+pub struct DelegateContext<'rt> {
+    rt: &'rt Runtime,
+    index: usize,
+    /// Pins the handle to the thread it was created on.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl std::fmt::Debug for DelegateContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelegateContext")
+            .field("delegate", &self.index)
+            .finish()
+    }
+}
+
+impl<'rt> DelegateContext<'rt> {
+    /// Index of the delegate thread this context runs on.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The runtime this context belongs to.
+    pub fn runtime(&self) -> &'rt Runtime {
+        self.rt
+    }
+
+    /// True when this context belongs to `rt` (used by the wrappers to
+    /// reject handles from a different runtime).
+    pub(crate) fn belongs_to(&self, rt: &Runtime) -> bool {
+        Arc::ptr_eq(&self.rt.inner, &rt.inner)
+    }
+
+    /// Delegates an operation on `target` from this delegate context, in
+    /// the set computed by the target's internal serializer — the nested
+    /// form of [`Writable::delegate`].
+    pub fn delegate<T, S, F>(&self, target: &Writable<T, S>, f: F) -> SsResult<()>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        target.delegate_nested(self, None, f)
+    }
+
+    /// Delegates in an explicitly supplied serialization set — the nested
+    /// form of [`Writable::delegate_in`].
+    pub fn delegate_in<T, S, F>(
+        &self,
+        target: &Writable<T, S>,
+        ss: impl Into<SsId>,
+        f: F,
+    ) -> SsResult<()>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        target.delegate_nested(self, Some(ss.into()), f)
+    }
+}
+
+impl Runtime {
+    /// Runs `f` with the [`DelegateContext`] of the calling delegate
+    /// thread — the entry point for recursive delegation. Errors with
+    /// [`SsError::WrongContext`] unless the calling thread is a delegate
+    /// of *this* runtime currently executing a delegated operation (the
+    /// program thread, foreign threads, and inline-executing operations
+    /// all fail; inline execution additionally reports
+    /// [`SsError::NestedDelegation`] from `Writable::delegate` itself).
+    ///
+    /// See [`DelegateContext`] for an example and the guarantees nested
+    /// delegation preserves.
+    pub fn delegate_scope<R>(&self, f: impl FnOnce(&DelegateContext<'_>) -> R) -> SsResult<R> {
+        let index = DELEGATE_CTX
+            .with(|c| match c.get() {
+                Some((rt, idx)) if rt == self.inner.id => Some(idx as usize),
+                _ => None,
+            })
+            .ok_or(SsError::WrongContext)?;
+        let cx = DelegateContext {
+            rt: self,
+            index,
+            _not_send: PhantomData,
+        };
+        Ok(f(&cx))
+    }
 }

@@ -11,7 +11,7 @@
 //!
 //! * **SPSC** (stealing off, the default) — the seed's path, bit for bit:
 //!   program-thread-owned FastForward producers, per-delegation routing
-//!   through the program-only scheduler (or the inline static modulo).
+//!   through the scheduler lock (or the inline static modulo).
 //! * **Stealing** — every routing decision happens under the shared
 //!   routing lock ([`StealShared::table`](super::StealShared)) so that a
 //!   concurrent steal can never observe (or create) a half-routed set:
@@ -20,6 +20,17 @@
 //!   *fences*, which the deque refuses to steal across, preserving the
 //!   "token pops ⇒ everything it was ordered after ran *here*" reclaim
 //!   argument.
+//!
+//! Both transports additionally carry a **re-entrant delegation path**
+//! ([`Runtime::submit_nested`]) used by [`DelegateContext`](super::DelegateContext):
+//! a delegate thread executing an operation may submit further operations.
+//! Nested routing resolves pins under the same lock the program thread
+//! uses (the scheduler mutex, or the stealing routing lock), nested
+//! pushes go through multi-producer paths that can never block on a full
+//! ring (injector lanes / the shared deques), and every nested submission
+//! raises `in_flight` *before* its parent completes — which is what lets
+//! the `end_isolation` barrier wait for transitively spawned work with a
+//! single drain loop and no lost-wakeup window.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -49,17 +60,9 @@ impl Runtime {
             return static_executor(ss, &self.inner.topology);
         }
         // SAFETY: program thread (debug-asserted; all callers are
-        // program-thread paths); borrows scoped, no user code runs inside.
+        // program-thread paths); borrow scoped, no user code runs inside.
         let serial = unsafe { self.inner.epoch.get() }.serial;
-        let loads = DelegateLoads {
-            depths: &self.inner.core.stats.queue_depths,
-        };
-        let (executor, fresh_pin) = unsafe { self.inner.scheduler.get() }.executor_for(
-            ss,
-            serial,
-            &self.inner.topology,
-            &loads,
-        );
+        let (executor, fresh_pin) = self.route_via_scheduler(ss, serial);
         if fresh_pin {
             StatsCell::bump(&self.inner.core.stats.pins);
             if self.trace_enabled() {
@@ -67,6 +70,23 @@ impl Runtime {
             }
         }
         executor
+    }
+
+    /// Resolves `ss` through the shared scheduler (policy + non-stealing
+    /// pin table) for epoch `serial` — the single routing authority for
+    /// the non-stealing transport, used by the program-thread
+    /// ([`Runtime::executor_for`]) and nested ([`Runtime::submit_nested`])
+    /// paths alike so their routing can never diverge. Returns the
+    /// executor and whether this call created a fresh pin (whose
+    /// accounting differs per caller: program-order trace vs side event).
+    fn route_via_scheduler(&self, ss: SsId, serial: u64) -> (Executor, bool) {
+        let loads = DelegateLoads {
+            depths: &self.inner.core.stats.queue_depths,
+        };
+        self.inner
+            .scheduler
+            .lock()
+            .executor_for(ss, serial, &self.inner.topology, &loads)
     }
 
     /// Runs a delegated task inline on the program thread (program-share
@@ -103,7 +123,7 @@ impl Runtime {
                 // Raise the depth before publishing so a LeastLoaded
                 // assignment racing with this submit sees the queue grow.
                 self.inner.core.stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
-                let Channels::Spsc(producers) = &self.inner.channels else {
+                let Channels::Spsc { producers, .. } = &self.inner.channels else {
                     unreachable!("stealing transport handled above");
                 };
                 // SAFETY: producers are program-thread-only; wrappers
@@ -153,9 +173,10 @@ impl Runtime {
                     let loads = DelegateLoads {
                         depths: &self.inner.core.stats.queue_depths,
                     };
-                    // SAFETY: program thread; policies are consulted only
-                    // here, under the routing lock.
-                    let executor = unsafe { self.inner.scheduler.get() }.assign_raw(
+                    // Policies are consulted only under the routing lock
+                    // (the scheduler mutex nests inside it — same order as
+                    // the nested-delegation path).
+                    let executor = self.inner.scheduler.lock().assign_raw(
                         ss,
                         serial,
                         &self.inner.topology,
@@ -200,6 +221,139 @@ impl Runtime {
         Ok(executor)
     }
 
+    /// Submits a packaged task from a **delegate context** — the
+    /// recursive-delegation path. The calling thread's identity is
+    /// re-validated against the runtime's thread-local delegate marker, so
+    /// a smuggled [`DelegateContext`](super::DelegateContext) cannot
+    /// submit from a foreign thread. Returns the executor chosen; sets
+    /// routed to the program context are rejected
+    /// ([`SsError::NestedOnProgram`]) because the program thread is not at
+    /// a delegation point.
+    ///
+    /// The caller (the wrapper's nested phase 1) has already marked the
+    /// epoch nested and raised the object's pending count under the
+    /// object's state lock.
+    pub(crate) fn submit_nested(
+        &self,
+        ss: SsId,
+        task: Box<dyn FnOnce() + Send>,
+    ) -> SsResult<Executor> {
+        self.check_live()?;
+        match self.current_executor_slot() {
+            Some(slot) if slot >= 1 => {}
+            _ => return Err(SsError::WrongContext),
+        }
+        let serial = self.cross_epoch_serial();
+        match &self.inner.channels {
+            Channels::Steal(shared) => self.submit_nested_stealing(shared, ss, serial, task),
+            Channels::Spsc { .. } => self.submit_nested_mpsc(ss, serial, task),
+        }
+    }
+
+    /// Nested submit over the MPSC transport: route via the static modulo
+    /// or the shared scheduler lock, then push into the owner's injector
+    /// lane (unbounded — a nested push must never block on a full ring,
+    /// or two delegates pushing into each other's queues could deadlock).
+    fn submit_nested_mpsc(
+        &self,
+        ss: SsId,
+        serial: u64,
+        task: Box<dyn FnOnce() + Send>,
+    ) -> SsResult<Executor> {
+        let executor = if self.inner.static_assignment {
+            static_executor(ss, &self.inner.topology)
+        } else {
+            let (executor, fresh_pin) = self.route_via_scheduler(ss, serial);
+            if fresh_pin {
+                StatsCell::bump(&self.inner.core.stats.pins);
+                self.record_side_event(TraceKind::Pin, None, Some(ss), executor);
+            }
+            executor
+        };
+        let Executor::Delegate(i) = executor else {
+            return Err(SsError::NestedOnProgram { set: Some(ss) });
+        };
+        let Channels::Spsc { injectors, .. } = &self.inner.channels else {
+            unreachable!("caller matched the MPSC transport");
+        };
+        let stats = &self.inner.core.stats;
+        stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+        // Raised before the push: the barrier's drain must see the child
+        // the instant it can exist (its parent is still running and
+        // counted only via its queue token, so the child must carry its
+        // own count from birth).
+        stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        if injectors[i].push(Invocation::Execute { task, ss }).is_err() {
+            stats.queue_depths[i].fetch_sub(1, Ordering::Relaxed);
+            stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(SsError::Terminated);
+        }
+        self.inner.wakeups[i].notify();
+        StatsCell::bump(&stats.delegations);
+        StatsCell::bump(&stats.nested_delegations);
+        Ok(executor)
+    }
+
+    /// Nested submit over the stealing transport: identical critical
+    /// section to [`Runtime::submit_stealing`] — pin resolution (consulting
+    /// the policy on first touch) and the deque push are one atomic step
+    /// under the routing lock, so a concurrent thief can never migrate the
+    /// set mid-publish.
+    fn submit_nested_stealing(
+        &self,
+        shared: &StealShared,
+        ss: SsId,
+        serial: u64,
+        task: Box<dyn FnOnce() + Send>,
+    ) -> SsResult<Executor> {
+        let mut task = Some(task);
+        let (executor, fresh_pin) = {
+            let mut table = shared.table.lock();
+            if table.serial != serial {
+                table.pins.clear();
+                table.serial = serial;
+            }
+            let (executor, fresh_pin) = match table.pins.get(&ss.0) {
+                Some(&e) => (e, false),
+                None => {
+                    let loads = DelegateLoads {
+                        depths: &self.inner.core.stats.queue_depths,
+                    };
+                    let executor = self.inner.scheduler.lock().assign_raw(
+                        ss,
+                        serial,
+                        &self.inner.topology,
+                        &loads,
+                    );
+                    table.pins.insert(ss.0, executor);
+                    (executor, true)
+                }
+            };
+            if let Executor::Delegate(i) = executor {
+                let stats = &self.inner.core.stats;
+                stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                let task = task.take().expect("task consumed once");
+                shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss });
+            }
+            (executor, fresh_pin)
+        };
+        if fresh_pin {
+            StatsCell::bump(&self.inner.core.stats.pins);
+            self.record_side_event(TraceKind::Pin, None, Some(ss), executor);
+        }
+        let Executor::Delegate(i) = executor else {
+            // The pin stays recorded (it is what the policy answered); the
+            // operation itself is rejected — the program thread cannot
+            // execute work it never delegated.
+            return Err(SsError::NestedOnProgram { set: Some(ss) });
+        };
+        self.inner.wakeups[i].notify();
+        StatsCell::bump(&self.inner.core.stats.delegations);
+        StatsCell::bump(&self.inner.core.stats.nested_delegations);
+        Ok(executor)
+    }
+
     /// Sends a synchronization object to the queue that currently owns the
     /// reclaimed set and waits until that queue has drained everything
     /// before it — the ownership-reclaim mechanism of §4 ("it will be the
@@ -213,8 +367,22 @@ impl Runtime {
     /// fence) in the same critical section — after which the set is frozen
     /// on that queue until the token pops. Returns the executor actually
     /// synchronized with.
+    ///
+    /// Once the epoch has seen a **nested** delegation, a single queue
+    /// token no longer bounds the reclaimed set's outstanding work: any
+    /// still-running parent, on any queue, could spawn another operation
+    /// onto the set after the token popped. The reclaim therefore
+    /// escalates to a full quiesce — the same token-broadcast +
+    /// transitive `in_flight` drain the epoch barrier uses — after which
+    /// nothing is running anywhere and the program context may touch the
+    /// value. (New parents cannot appear: only the program thread starts
+    /// roots, and it is here.)
     pub(crate) fn sync_owner(&self, owner: Executor, ss: Option<SsId>) -> SsResult<Executor> {
         self.check_live()?;
+        if self.nested_epoch_active() {
+            self.barrier_all_delegates();
+            return Ok(owner);
+        }
         if let Channels::Steal(shared) = &self.inner.channels {
             let token = SyncToken::new();
             let i = {
@@ -244,7 +412,7 @@ impl Runtime {
             return Ok(owner); // program-owned sets are always already drained
         };
         let token = SyncToken::new();
-        let Channels::Spsc(producers) = &self.inner.channels else {
+        let Channels::Spsc { producers, .. } = &self.inner.channels else {
             unreachable!("stealing transport handled above");
         };
         // SAFETY: producers are program-thread-only; callers verified.
@@ -261,30 +429,46 @@ impl Runtime {
         Ok(owner)
     }
 
-    /// Synchronizes with every delegate thread (used by `end_isolation`).
-    /// Tokens are sent to all queues first, then awaited, so delegates drain
-    /// in parallel.
+    /// Synchronizes with every delegate thread (used by `end_isolation`,
+    /// and by nested-epoch reclaims). Tokens are sent to all queues first,
+    /// then awaited, so delegates drain in parallel.
     ///
-    /// In stealing mode the barrier tokens are `Open` fences — stealing
-    /// stays *enabled* while the barrier drains, which is most of the
-    /// epoch's remaining parallelism in push-everything-then-end workloads.
-    /// Tokens alone therefore do not prove quiescence (a batch stolen
-    /// mid-barrier can still be running on the thief after the victim's
-    /// token popped), so the barrier additionally waits for the
-    /// `in_flight` counter to reach zero. That counter is deliberately a
-    /// *single* atomic: it is raised at submit and lowered (with Release)
-    /// only after an operation's effects are complete, and a steal never
-    /// touches it — so one Acquire load is a sound everything-executed
-    /// check. (Per-delegate depth counters would not be: a steal transfers
-    /// depth between two counters non-atomically with respect to a
-    /// multi-counter scan, which could read the victim after the transfer
-    /// and the thief before it and conclude quiescence with a stolen batch
-    /// still running.)
+    /// Tokens alone do not prove quiescence in two situations, so the
+    /// barrier additionally waits for the `in_flight` counter to reach
+    /// zero:
+    ///
+    /// * **Stealing** — barrier tokens are `Open` fences (stealing stays
+    ///   *enabled* while the barrier drains, which is most of the epoch's
+    ///   remaining parallelism in push-everything-then-end workloads), so
+    ///   a batch stolen mid-barrier can still be running on the thief
+    ///   after the victim's token popped.
+    /// * **Recursive delegation** — a running parent may spawn children
+    ///   onto queues whose token has already popped (including its own
+    ///   injector lane, which ring tokens do not cover at all). Every
+    ///   nested submission raises `in_flight` *before* its parent
+    ///   completes, so once all ring/deque tokens have popped (⇒ every
+    ///   root operation finished) the counter can only drain — each child
+    ///   is counted from birth, grandchildren are counted before their
+    ///   parents finish, and zero therefore means the whole spawn tree has
+    ///   executed. No lost-wakeup window exists: the count is raised
+    ///   before the push, and the waiter spins (it never parks).
+    ///
+    /// The counter is deliberately a *single* atomic: it is raised at
+    /// submit and lowered (with Release) only after an operation's effects
+    /// are complete, and a steal never touches it — so one Acquire load is
+    /// a sound everything-executed check. (Per-delegate depth counters
+    /// would not be: a steal transfers depth between two counters
+    /// non-atomically with respect to a multi-counter scan, which could
+    /// read the victim after the transfer and the thief before it and
+    /// conclude quiescence with a stolen batch still running.)
+    ///
+    /// Without stealing and without nesting, `in_flight` is permanently
+    /// zero and the drain is a single load — the seed path is unchanged.
     pub(crate) fn barrier_all_delegates(&self) {
         let n = self.inner.topology.n_delegates;
         let mut tokens = Vec::with_capacity(n);
         match &self.inner.channels {
-            Channels::Spsc(producers) => {
+            Channels::Spsc { producers, .. } => {
                 for (i, producer) in producers.iter().enumerate() {
                     let token = SyncToken::new();
                     // SAFETY: program thread (callers checked).
@@ -317,11 +501,9 @@ impl Runtime {
         for t in tokens {
             t.wait();
         }
-        if matches!(self.inner.channels, Channels::Steal(_)) {
-            let backoff = ss_queue::Backoff::new();
-            while self.inner.core.stats.in_flight.load(Ordering::Acquire) != 0 {
-                backoff.snooze();
-            }
+        let backoff = ss_queue::Backoff::new();
+        while self.inner.core.stats.in_flight.load(Ordering::Acquire) != 0 {
+            backoff.snooze();
         }
     }
 

@@ -67,6 +67,11 @@ impl Runtime {
         epoch.in_isolation = true;
         epoch.serial += 1;
         epoch.started = Some(Instant::now());
+        // Publish the serial for delegate threads (the nested-delegation
+        // path reads it) before delegation becomes possible.
+        self.inner
+            .epoch_serial
+            .store(epoch.serial, Ordering::Release);
         self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → odd
         self.trace_record(TraceKind::BeginIsolation, None, None, None);
         Ok(())
@@ -94,6 +99,14 @@ impl Runtime {
             // sets, so the next epoch re-routes (and re-steals) freely.
             shared.reset_epoch();
         }
+        // The barrier waited for all transitively spawned work (`in_flight`
+        // reached zero with every parent complete), so no nested producer
+        // survives into the next epoch: reset the flag that makes reclaims
+        // conservative.
+        self.inner
+            .core
+            .nested_in_epoch
+            .store(false, Ordering::Release);
         {
             // SAFETY: program thread; scoped.
             let epoch = unsafe { self.inner.epoch.get() };
@@ -104,7 +117,7 @@ impl Runtime {
         }
         StatsCell::bump(&self.inner.core.stats.isolation_epochs);
         self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → even
-        self.flush_steal_trace();
+        self.flush_side_trace();
         self.trace_record(TraceKind::EndIsolation, None, None, None);
         if self.is_poisoned() {
             return Err(self.inner.core.poison_error());

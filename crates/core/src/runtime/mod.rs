@@ -20,9 +20,19 @@
 //!   migrate **never-started** sets (whole batches, pins rewritten
 //!   atomically) off a loaded peer — `docs/ARCHITECTURE.md` holds the
 //!   steal-safety argument.
+//! * **Recursive delegation** (the paper's §4 future work): a running
+//!   delegated operation may itself delegate via the scoped
+//!   [`DelegateContext`] handle ([`Runtime::delegate_scope`]). The
+//!   transports become multi-producer — nested pushes go through the SPSC
+//!   queues' injector lanes or the shared steal deques — and the
+//!   `end_isolation` barrier waits for *transitively* spawned work via the
+//!   `in_flight` counter (a child is counted before its parent completes).
 //! * **Synchronization objects** flush a delegate queue when the program
 //!   context reclaims ownership of an object, or all queues at
-//!   `end_isolation`. **Termination objects** shut the delegates down.
+//!   `end_isolation`; once any nested delegation happened in an epoch, a
+//!   mid-epoch reclaim quiesces the whole runtime instead (any running
+//!   parent could still spawn onto the reclaimed set). **Termination
+//!   objects** shut the delegates down.
 
 mod assign;
 mod delegate;
@@ -36,6 +46,7 @@ pub use assign::{
     AssignTopology, DelegateAssignment, DelegateLoads, Executor, LeastLoaded, RoundRobinFirstTouch,
     StaticAssignment,
 };
+pub use delegate::DelegateContext;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,7 +54,7 @@ use std::thread::{JoinHandle, ThreadId};
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use ss_queue::{Producer, SpscQueue};
+use ss_queue::{Injector, Producer, SpscQueue};
 
 use assign::Scheduler;
 use delegate::{delegate_main, delegate_main_stealing, Wakeup, DELEGATE_CTX};
@@ -55,7 +66,7 @@ use crate::error::{SsError, SsResult};
 use crate::invocation::{Invocation, SyncToken};
 use crate::serializer::SsId;
 use crate::stats::{Stats, StatsCell};
-use crate::trace::{TraceEvent, TraceExecutor, TraceKind, TraceLog};
+use crate::trace::{SideEvent, TraceEvent, TraceExecutor, TraceKind, TraceLog};
 
 /// Global runtime-id dispenser so multiple runtimes (e.g. in tests) never
 /// confuse each other's delegate threads.
@@ -70,6 +81,23 @@ pub(crate) struct Core {
     pub(crate) stats: StatsCell,
     pub(crate) poisoned: AtomicBool,
     pub(crate) panic_msg: Mutex<Option<String>>,
+    /// True once any *nested* delegation (from a delegate context) has
+    /// happened in the current isolation epoch; cleared by
+    /// `end_isolation` after the barrier. While set, mid-epoch reclaims
+    /// quiesce the whole runtime — any still-running parent could spawn
+    /// onto the reclaimed set, so a per-queue token no longer bounds the
+    /// set's outstanding work. Written under the target object's state
+    /// lock (before the object's `pending` count is raised), and read
+    /// under the same lock by the program-context access path, so the two
+    /// sides serialize per object.
+    pub(crate) nested_in_epoch: AtomicBool,
+    /// Logical clock for delegate-side trace events (see
+    /// [`SideEvent::order`]): each steal / nested delegation draws a
+    /// token here, and the fold sorts by it.
+    pub(crate) trace_clock: AtomicU64,
+    /// Delegate-side trace events awaiting fold into the program-order
+    /// log; `None` when tracing is disabled.
+    pub(crate) side_events: Option<Mutex<Vec<SideEvent>>>,
 }
 
 impl Core {
@@ -96,11 +124,17 @@ impl Core {
 /// The program→delegate transport, chosen at build time.
 ///
 /// `Off` stealing keeps the paper's FastForward SPSC channels (program
-/// thread owns every producer handle); any other [`StealPolicy`] swaps in
-/// shared [`ss_queue::StealDeque`]s plus the routing lock that lets idle
-/// delegates migrate never-started sets.
+/// thread owns every producer handle; nested delegations from delegate
+/// contexts go through the rings' shared injector lanes); any other
+/// [`StealPolicy`] swaps in shared [`ss_queue::StealDeque`]s plus the
+/// routing lock that lets idle delegates migrate never-started sets —
+/// the deques are multi-producer already, so nested pushes join the
+/// program thread's under the same routing lock.
 pub(crate) enum Channels {
-    Spsc(Box<[ProgramOnly<Producer<Invocation>>]>),
+    Spsc {
+        producers: Box<[ProgramOnly<Producer<Invocation>>]>,
+        injectors: Box<[Injector<Invocation>]>,
+    },
     Steal(Arc<StealShared>),
 }
 
@@ -120,7 +154,12 @@ pub(crate) struct Inner {
     /// per-delegation hot path). Stealing always pins, even under static
     /// assignment, because a steal overrides the static mapping.
     static_assignment: bool,
-    scheduler: ProgramOnly<Scheduler>,
+    /// The assignment state (policy + non-stealing pin table). A mutex —
+    /// not a program-only cell — because the recursive-delegation path
+    /// resolves first touches from delegate threads; this is the
+    /// non-stealing transport's routing lock. Lock order: the stealing
+    /// `PinTable` lock, when held, is taken *before* this one.
+    pub(crate) scheduler: Mutex<Scheduler>,
     pub(crate) channels: Channels,
     wakeups: Box<[Arc<Wakeup>]>,
     join_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -134,6 +173,12 @@ pub(crate) struct Inner {
     /// Readable by any executor — stable for the duration of any delegated
     /// task, because epochs only change when all queues are drained.
     epoch_gen: AtomicU64,
+    /// Cross-thread copy of the isolation-epoch serial, published at
+    /// `begin_isolation`. The recursive-delegation path reads it from
+    /// delegate threads (the authoritative `epoch.serial` is
+    /// program-only); stable for the duration of any delegated task, for
+    /// the same drain reason as `epoch_gen`.
+    epoch_serial: AtomicU64,
     /// §3.3 execution trace, when enabled (program-thread-only).
     trace_log: Option<ProgramOnly<TraceLog>>,
     pub(crate) core: Arc<Core>,
@@ -207,6 +252,9 @@ impl Runtime {
             stats: StatsCell::new(n_delegates),
             poisoned: AtomicBool::new(false),
             panic_msg: Mutex::new(None),
+            nested_in_epoch: AtomicBool::new(false),
+            trace_clock: AtomicU64::new(0),
+            side_events: b.trace.then(|| Mutex::new(Vec::new())),
         });
         let force_sleep = Arc::new(AtomicBool::new(false));
 
@@ -221,18 +269,19 @@ impl Runtime {
         let mut consumers = Vec::with_capacity(n_delegates);
         let channels = if steal_policy == StealPolicy::Off {
             let mut producers = Vec::with_capacity(n_delegates);
+            let mut injectors = Vec::with_capacity(n_delegates);
             for _ in 0..n_delegates {
                 let (tx, rx) = SpscQueue::with_capacity(b.queue_capacity);
+                injectors.push(tx.injector());
                 producers.push(ProgramOnly::new(tx));
                 consumers.push(rx);
             }
-            Channels::Spsc(producers.into_boxed_slice())
+            Channels::Spsc {
+                producers: producers.into_boxed_slice(),
+                injectors: injectors.into_boxed_slice(),
+            }
         } else {
-            Channels::Steal(Arc::new(StealShared::new(
-                n_delegates,
-                steal_policy,
-                b.trace,
-            )))
+            Channels::Steal(Arc::new(StealShared::new(n_delegates, steal_policy)))
         };
         let wakeups: Box<[Arc<Wakeup>]> =
             (0..n_delegates).map(|_| Arc::new(Wakeup::new())).collect();
@@ -251,7 +300,7 @@ impl Runtime {
             assignment_name,
             steal_policy,
             static_assignment,
-            scheduler: ProgramOnly::new(Scheduler::new(policy)),
+            scheduler: Mutex::new(Scheduler::new(policy)),
             channels,
             wakeups,
             join_handles: Mutex::new(Vec::new()),
@@ -261,13 +310,14 @@ impl Runtime {
             force_sleep,
             next_instance: AtomicU64::new(0),
             epoch_gen: AtomicU64::new(0),
+            epoch_serial: AtomicU64::new(0),
             trace_log: b.trace.then(|| ProgramOnly::new(TraceLog::default())),
             core,
         });
 
         let mut handles = inner.join_handles.lock();
         match &inner.channels {
-            Channels::Spsc(_) => {
+            Channels::Spsc { .. } => {
                 for (idx, consumer) in consumers.into_iter().enumerate() {
                     let wakeup = Arc::clone(&inner.wakeups[idx]);
                     let force_sleep = Arc::clone(&inner.force_sleep);
@@ -410,41 +460,68 @@ impl Runtime {
         unsafe { log.get() }.record(epoch, kind, object, set, executor);
     }
 
-    /// Folds steal events recorded by delegate threads into the
-    /// program-order trace log (program thread only; no-op when tracing or
-    /// stealing is disabled). Called at epoch boundaries and before
-    /// [`take_trace`](Runtime::take_trace) so `TraceKind::Steal` events
-    /// appear near the epoch they happened in.
-    pub(crate) fn flush_steal_trace(&self) {
+    /// Folds delegate-side trace events (steals, nested delegations, pins
+    /// made on the nested path) into the program-order trace log (program
+    /// thread only; no-op when tracing is disabled). The drained buffer is
+    /// sorted by each event's logical-order token, so the folded sub-trace
+    /// is a linearization of the delegate threads' scheduling actions.
+    /// Called at epoch boundaries and before
+    /// [`take_trace`](Runtime::take_trace) so the events appear near the
+    /// epoch they happened in.
+    pub(crate) fn flush_side_trace(&self) {
         let Some(log) = &self.inner.trace_log else {
             return;
         };
-        let Channels::Steal(shared) = &self.inner.channels else {
+        let Some(buf) = &self.inner.core.side_events else {
             return;
         };
-        let Some(buf) = &shared.steal_events else {
+        let mut events = std::mem::take(&mut *buf.lock());
+        if events.is_empty() {
             return;
-        };
-        let events = std::mem::take(&mut *buf.lock());
+        }
+        events.sort_by_key(|e| e.order);
         debug_assert!(self.is_program_thread());
         // SAFETY: program thread (all call sites are program-thread paths).
         let log = unsafe { log.get() };
         for e in events {
-            log.record(
-                e.serial,
-                TraceKind::Steal,
-                None,
-                Some(e.set),
-                Some(TraceExecutor::Delegate(e.thief)),
-            );
+            log.record(e.serial, e.kind, e.object, e.set, Some(e.executor));
         }
+    }
+
+    /// Records one delegate-side trace event into the shared side buffer,
+    /// stamped with a fresh logical-order token (no-op when tracing is
+    /// disabled). Callable from any thread.
+    pub(crate) fn record_side_event(
+        &self,
+        kind: TraceKind,
+        object: Option<u64>,
+        set: Option<SsId>,
+        executor: Executor,
+    ) {
+        let core = &self.inner.core;
+        let Some(buf) = &core.side_events else {
+            return;
+        };
+        let executor = match executor {
+            Executor::Program => TraceExecutor::Program,
+            Executor::Delegate(i) => TraceExecutor::Delegate(i),
+        };
+        let event = SideEvent {
+            order: core.trace_clock.fetch_add(1, Ordering::Relaxed),
+            serial: self.inner.epoch_serial.load(Ordering::Acquire),
+            kind,
+            object,
+            set,
+            executor,
+        };
+        buf.lock().push(event);
     }
 
     /// Removes and returns the recorded trace (program thread only; empty
     /// when tracing is disabled). Sequence numbers continue across takes.
     pub fn take_trace(&self) -> SsResult<Vec<TraceEvent>> {
         self.require_program_thread()?;
-        self.flush_steal_trace();
+        self.flush_side_trace();
         match &self.inner.trace_log {
             // SAFETY: program thread (checked above).
             Some(log) => Ok(unsafe { log.get() }.take()),
@@ -484,6 +561,32 @@ impl Runtime {
     /// runtime (e.g. `ss-collections::OwnerTracked`).
     pub fn executor_slot(&self) -> Option<usize> {
         self.current_executor_slot()
+    }
+
+    /// True once a nested delegation has happened in the current isolation
+    /// epoch (cleared by `end_isolation` after the barrier).
+    #[inline]
+    pub(crate) fn nested_epoch_active(&self) -> bool {
+        self.inner.core.nested_in_epoch.load(Ordering::Acquire)
+    }
+
+    /// Marks the current isolation epoch as containing nested delegations.
+    /// Called under the target object's state lock, before raising the
+    /// object's pending count (see [`Core::nested_in_epoch`] for why that
+    /// ordering matters).
+    #[inline]
+    pub(crate) fn mark_nested_epoch(&self) {
+        self.inner
+            .core
+            .nested_in_epoch
+            .store(true, Ordering::Release);
+    }
+
+    /// Cross-thread view of the isolation-epoch serial (the nested
+    /// delegation path's substitute for the program-only `epoch.serial`).
+    #[inline]
+    pub(crate) fn cross_epoch_serial(&self) -> u64 {
+        self.inner.epoch_serial.load(Ordering::Acquire)
     }
 
     #[inline]
@@ -539,7 +642,7 @@ impl Inner {
             for i in 0..self.topology.n_delegates {
                 let token = SyncToken::new();
                 match &self.channels {
-                    Channels::Spsc(producers) => {
+                    Channels::Spsc { producers, .. } => {
                         // SAFETY: exclusive by the method contract above.
                         let producer = unsafe { producers[i].get() };
                         let _ = producer.push_blocking(Invocation::Terminate(token));

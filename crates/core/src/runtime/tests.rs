@@ -713,6 +713,295 @@ fn stealing_results_match_off_for_all_policies() {
     }
 }
 
+// ----------------------------------------------------------------------
+// recursive delegation
+
+use crate::{SequenceSerializer, Writable};
+
+/// Parent on one object spawns operations on other objects from inside its
+/// delegate context; the epoch barrier must wait for all of them.
+#[test]
+fn nested_delegation_from_delegate_context_works() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    let children: Vec<Writable<Vec<u64>, SequenceSerializer>> =
+        (0..3).map(|_| Writable::new(&rt, Vec::new())).collect();
+    rt.begin_isolation().unwrap();
+    let rt2 = rt.clone();
+    let kids: Vec<_> = children.to_vec();
+    parent
+        .delegate(move |n| {
+            *n = 1;
+            rt2.delegate_scope(|cx| {
+                for (c, kid) in kids.iter().enumerate() {
+                    for i in 0..10u64 {
+                        cx.delegate(kid, move |v| v.push(c as u64 * 100 + i))
+                            .unwrap();
+                    }
+                }
+            })
+            .unwrap();
+        })
+        .unwrap();
+    rt.end_isolation().unwrap();
+    assert_eq!(parent.call(|n| *n).unwrap(), 1);
+    for (c, kid) in children.iter().enumerate() {
+        let want: Vec<u64> = (0..10).map(|i| c as u64 * 100 + i).collect();
+        assert_eq!(kid.call(|v| v.clone()).unwrap(), want, "child {c}");
+    }
+    let s = rt.stats();
+    assert_eq!(s.nested_delegations, 30);
+    assert_eq!(s.executed, 31);
+}
+
+/// Depth-3 chains (parent → child → grandchild), each level delegated from
+/// the previous level's delegate context, under both transports.
+#[test]
+fn nested_depth_three_chain_under_both_transports() {
+    for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
+        let rt = Runtime::builder()
+            .delegate_threads(3)
+            .stealing(policy)
+            .build()
+            .unwrap();
+        let a: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+        let b: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+        let c: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+        rt.begin_isolation().unwrap();
+        let (rt1, b1, c1) = (rt.clone(), b.clone(), c.clone());
+        a.delegate(move |v| {
+            v.push(0);
+            let (rt2, c2) = (rt1.clone(), c1.clone());
+            rt1.delegate_scope(|cx| {
+                cx.delegate(&b1, move |v| {
+                    v.push(1);
+                    rt2.delegate_scope(|cx| {
+                        cx.delegate(&c2, |v| v.push(2)).unwrap();
+                    })
+                    .unwrap();
+                })
+                .unwrap();
+            })
+            .unwrap();
+        })
+        .unwrap();
+        rt.end_isolation().unwrap();
+        assert_eq!(a.call(|v| v.clone()).unwrap(), vec![0], "{policy:?}");
+        assert_eq!(b.call(|v| v.clone()).unwrap(), vec![1], "{policy:?}");
+        assert_eq!(c.call(|v| v.clone()).unwrap(), vec![2], "{policy:?}");
+        assert_eq!(rt.stats().nested_delegations, 2, "{policy:?}");
+    }
+}
+
+/// A parent may delegate onto its *own* object: the operation lands behind
+/// it in the same queue and runs after it, in submission order.
+#[test]
+fn nested_delegation_onto_own_set_appends() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let w: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+    rt.begin_isolation().unwrap();
+    let (rt2, w2) = (rt.clone(), w.clone());
+    w.delegate(move |v| {
+        v.push(1);
+        rt2.delegate_scope(|cx| {
+            cx.delegate(&w2, |v| v.push(2)).unwrap();
+            cx.delegate(&w2, |v| v.push(3)).unwrap();
+        })
+        .unwrap();
+    })
+    .unwrap();
+    w.delegate(|v| v.push(4)).unwrap();
+    rt.end_isolation().unwrap();
+    // 1 runs first; 4 was queued before 2 and 3 arrived or after — both are
+    // legal cross-producer interleavings, but per-producer order must hold.
+    let got = w.call(|v| v.clone()).unwrap();
+    assert_eq!(got[0], 1);
+    assert_eq!(got.len(), 4);
+    let pos = |x: u64| got.iter().position(|&v| v == x).unwrap();
+    assert!(pos(2) < pos(3), "nested producer reordered: {got:?}");
+}
+
+/// `delegate_scope` is rejected off delegate threads: on the program
+/// thread, on foreign threads, and inside inline-executing operations.
+#[test]
+fn delegate_scope_requires_a_delegate_context() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    assert_eq!(
+        rt.delegate_scope(|_| ()).unwrap_err(),
+        SsError::WrongContext
+    );
+    let rt2 = rt.clone();
+    std::thread::spawn(move || {
+        assert_eq!(
+            rt2.delegate_scope(|_| ()).unwrap_err(),
+            SsError::WrongContext
+        );
+    })
+    .join()
+    .unwrap();
+    // Inline execution (program-share set) is not a delegate context.
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .virtual_delegates(2)
+        .program_share(2)
+        .build()
+        .unwrap();
+    let seen = Arc::new(Mutex::new(None));
+    let (rt3, seen2) = (rt.clone(), Arc::clone(&seen));
+    rt.begin_isolation().unwrap();
+    rt.submit(
+        SsId(0),
+        Box::new(move || {
+            *seen2.lock() = Some(rt3.delegate_scope(|_| ()).unwrap_err());
+        }),
+    )
+    .unwrap();
+    rt.end_isolation().unwrap();
+    assert_eq!(seen.lock().take(), Some(SsError::WrongContext));
+}
+
+/// Nested delegation into a program-share set is rejected — the program
+/// thread is not at a delegation point.
+#[test]
+fn nested_delegation_onto_program_set_rejected() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .virtual_delegates(3)
+        .program_share(1)
+        .build()
+        .unwrap();
+    let child: Writable<u64, crate::NullSerializer> = Writable::new(&rt, 0);
+    let parent: Writable<u64, crate::NullSerializer> = Writable::new(&rt, 0);
+    let seen = Arc::new(Mutex::new(None));
+    rt.begin_isolation().unwrap();
+    let (rt2, child2, seen2) = (rt.clone(), child.clone(), Arc::clone(&seen));
+    // Set 1 → delegate 0; set 0 → program (v = ss % 3 < 1).
+    parent
+        .delegate_in(1u64, move |_| {
+            let err = rt2
+                .delegate_scope(|cx| cx.delegate_in(&child2, 0u64, |n| *n += 1).unwrap_err())
+                .unwrap();
+            *seen2.lock() = Some(err);
+        })
+        .unwrap();
+    rt.end_isolation().unwrap();
+    assert_eq!(
+        seen.lock().take(),
+        Some(SsError::NestedOnProgram { set: Some(SsId(0)) })
+    );
+    assert_eq!(child.call(|n| *n).unwrap(), 0);
+}
+
+/// Re-entrant delegation from inside an object's own access closure is
+/// rejected instead of aliasing the live borrow.
+#[test]
+fn delegation_inside_access_closure_rejected() {
+    let rt = Runtime::builder().delegate_threads(1).build().unwrap();
+    let w: Writable<u64> = Writable::new(&rt, 0);
+    rt.begin_isolation().unwrap();
+    w.delegate(|n| *n += 1).unwrap();
+    let w2 = w.clone();
+    let err = w
+        .call_mut(move |_| w2.delegate(|n| *n += 1).unwrap_err())
+        .unwrap();
+    assert!(matches!(err, SsError::AccessInProgress { .. }));
+    rt.end_isolation().unwrap();
+    assert_eq!(w.call(|n| *n).unwrap(), 1);
+}
+
+/// A mid-epoch reclaim with nesting active quiesces the runtime: once the
+/// nested-epoch flag is up, reclaiming *any* object waits for every
+/// operation transitively spawned by the roots submitted so far — even
+/// children on other queues that a per-set token would never cover.
+#[test]
+fn reclaim_with_nesting_waits_for_transitive_children() {
+    let rt = Runtime::builder().delegate_threads(3).build().unwrap();
+    let x: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    let roots: Vec<Writable<u64, SequenceSerializer>> =
+        (0..4).map(|_| Writable::new(&rt, 0)).collect();
+    let pool: Vec<Writable<u64, SequenceSerializer>> =
+        (0..4).map(|_| Writable::new(&rt, 0)).collect();
+    let hits = Arc::new(AtomicU64::new(0));
+    rt.begin_isolation().unwrap();
+    x.delegate(|n| *n = 7).unwrap();
+    for (i, r) in roots.iter().enumerate() {
+        let (rt2, p, h) = (rt.clone(), pool[i].clone(), Arc::clone(&hits));
+        r.delegate(move |n| {
+            *n += 1;
+            rt2.delegate_scope(|cx| {
+                for _ in 0..8 {
+                    let h2 = Arc::clone(&h);
+                    cx.delegate(&p, move |t| {
+                        *t += 1;
+                        h2.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .unwrap();
+                }
+            })
+            .unwrap();
+            // Keep the parent alive past its submissions so children are
+            // genuinely in flight when the reclaim below starts.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        })
+        .unwrap();
+    }
+    // Wait until nesting is observably active, so the reclaim is
+    // guaranteed to take the quiesce path.
+    while rt.stats().nested_delegations == 0 {
+        std::hint::spin_loop();
+    }
+    assert_eq!(x.call(|n| *n).unwrap(), 7);
+    // The reclaim of `x` returned ⇒ the runtime is quiescent ⇒ all four
+    // roots and all 32 transitively spawned children have executed.
+    assert_eq!(hits.load(Ordering::Relaxed), 32);
+    rt.end_isolation().unwrap();
+    for p in &pool {
+        assert_eq!(p.call(|n| *n).unwrap(), 8);
+    }
+}
+
+/// Nested delegations appear in the trace as `NestedDelegate` events with
+/// their set and executor, folded in logical submission order.
+#[test]
+fn nested_trace_events_are_recorded() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .trace(true)
+        .build()
+        .unwrap();
+    let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    let child: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+    rt.begin_isolation().unwrap();
+    let (rt2, child2) = (rt.clone(), child.clone());
+    parent
+        .delegate(move |_| {
+            rt2.delegate_scope(|cx| {
+                for i in 0..5 {
+                    cx.delegate(&child2, move |v| v.push(i)).unwrap();
+                }
+            })
+            .unwrap();
+        })
+        .unwrap();
+    rt.end_isolation().unwrap();
+    let trace = rt.take_trace().unwrap();
+    let nested: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == crate::TraceKind::NestedDelegate)
+        .collect();
+    assert_eq!(nested.len(), 5);
+    for e in &nested {
+        assert_eq!(e.object, Some(child.instance()));
+        assert_eq!(e.set, Some(SsId(child.instance())));
+        assert!(matches!(
+            e.executor,
+            Some(crate::TraceExecutor::Delegate(_))
+        ));
+        assert_eq!(e.epoch, 1);
+    }
+    assert_eq!(rt.stats().nested_delegations, 5);
+}
+
 #[test]
 fn steal_trace_events_are_recorded() {
     let rt = Runtime::builder()

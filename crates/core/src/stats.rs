@@ -28,6 +28,9 @@ pub(crate) struct StatsCell {
     pub reductions: AtomicU64,
     /// First-touch assignment pins created by non-static policies.
     pub pins: AtomicU64,
+    /// Operations delegated from *delegate* contexts (recursive
+    /// delegation via `DelegateContext`).
+    pub nested_delegations: AtomicU64,
     /// Successful steal operations (whole-batch migrations).
     pub steals: AtomicU64,
     /// Steal attempts that found no eligible batch on the chosen victim.
@@ -64,6 +67,7 @@ impl StatsCell {
             reduction_nanos: AtomicU64::new(0),
             reductions: AtomicU64::new(0),
             pins: AtomicU64::new(0),
+            nested_delegations: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -93,6 +97,7 @@ impl StatsCell {
             isolation_epochs: self.isolation_epochs.load(Ordering::Relaxed),
             reductions: self.reductions.load(Ordering::Relaxed),
             pins: self.pins.load(Ordering::Relaxed),
+            nested_delegations: self.nested_delegations.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             steal_failures: self.steal_failures.load(Ordering::Relaxed),
             queue_depths: self
@@ -135,6 +140,11 @@ pub struct Stats {
     /// counted when stealing is enabled, since stealing requires pinning
     /// even under static assignment).
     pub pins: u64,
+    /// Operations delegated from *delegate* contexts — the recursive
+    /// delegation path ([`Runtime::delegate_scope`](crate::Runtime::delegate_scope)).
+    /// Also included in [`delegations`](Stats::delegations). 0 for
+    /// programs that only delegate from the program thread.
+    pub nested_delegations: u64,
     /// Successful steals: whole-batch migrations of never-started sets
     /// from a loaded delegate to an idle one. 0 when
     /// [`StealPolicy::Off`](crate::StealPolicy::Off) (the default).
@@ -231,6 +241,7 @@ mod tests {
             isolation_epochs: 0,
             reductions: 0,
             pins: 0,
+            nested_delegations: 0,
             steals: 0,
             steal_failures: 0,
             queue_depths: Vec::new(),

@@ -47,6 +47,16 @@ pub enum TraceKind {
     Steal,
     /// An operation was delegated.
     Delegate,
+    /// An operation was delegated from a *delegate* context — the
+    /// recursive-delegation path
+    /// ([`Runtime::delegate_scope`](crate::Runtime::delegate_scope)).
+    /// Like [`Steal`](TraceKind::Steal) events, these originate off the
+    /// program thread: each one takes a logical-order token (a shared
+    /// monotonic clock) at submission, and the fold at the next epoch
+    /// boundary or `take_trace` emits all delegate-side events sorted by
+    /// that token, so the folded sub-trace is a linearization of what the
+    /// delegate threads actually did.
+    NestedDelegate,
     /// A delegated operation executed inline on the program thread.
     InlineExecute,
     /// The program context reclaimed ownership of an object (sent a
@@ -76,6 +86,24 @@ pub struct TraceEvent {
     pub set: Option<SsId>,
     /// Executor assigned, if meaningful for this kind.
     pub executor: Option<TraceExecutor>,
+}
+
+/// A model-level event recorded by a delegate thread (a steal, a nested
+/// delegation, or a first-touch pin made on the nested path), awaiting
+/// fold into the program-order [`TraceLog`].
+///
+/// `order` is the **logical-order token**: drawn from a shared monotonic
+/// clock at the instant the event's routing decision is made, so sorting
+/// a drained buffer by it reconstructs a linearization of the delegate
+/// threads' scheduling actions even though they were recorded
+/// concurrently.
+pub(crate) struct SideEvent {
+    pub(crate) order: u64,
+    pub(crate) serial: u64,
+    pub(crate) kind: TraceKind,
+    pub(crate) object: Option<u64>,
+    pub(crate) set: Option<SsId>,
+    pub(crate) executor: TraceExecutor,
 }
 
 /// Program-thread-only trace buffer.

@@ -24,22 +24,39 @@
 //! 1. All delegations of an object within an epoch carry the same
 //!    serialization set (enforced *before* enqueueing — even with diagnostics
 //!    disabled, the first tag of the epoch is authoritative), and one set maps
-//!    to one executor whose queue executes serially in FIFO order.
+//!    to one executor whose queue executes serially in FIFO order. With
+//!    recursive delegation, operations may be *submitted* by multiple
+//!    producers (program thread and delegate contexts), but the per-epoch
+//!    state machine lives under a mutex, so tagging and state transitions are
+//!    serialized, and every producer's operations still funnel into the one
+//!    owning queue.
 //! 2. The program context only touches the value when no delegated operation
 //!    can be in flight: during aggregation epochs (every `end_isolation`
-//!    drains all queues), or after reclaiming ownership via a synchronization
-//!    object (FIFO ⇒ all prior operations on the object completed, with the
-//!    token's Release/Acquire edge ordering their effects).
+//!    drains all queues — transitively, once nested delegation is involved),
+//!    or after reclaiming ownership via a synchronization object (FIFO ⇒ all
+//!    prior operations on the object completed, with the token's
+//!    Release/Acquire edge ordering their effects; once the epoch has seen a
+//!    nested delegation the reclaim escalates to a full quiesce, because a
+//!    running parent on any queue could still spawn onto the set). While the
+//!    program context's access closure runs, the `accessing` flag rejects
+//!    racing delegations ([`SsError::AccessInProgress`]) instead of letting
+//!    them alias the live borrow.
 //! 3. `pending` (incremented at delegation, decremented with Release after
 //!    execution) gives the cheap "no outstanding work" fast path, read with
-//!    Acquire.
+//!    Acquire. On the nested path it is incremented *under* the state mutex,
+//!    after the global nested-epoch flag is raised, so a program-context
+//!    access that observes `pending == 0` under the same mutex either
+//!    predates the nested submission entirely (and the submission will then
+//!    see `accessing`/state and reject or queue behind the reclaim) or sees
+//!    the flag and quiesces.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use crate::cell::ProgramOnly;
+use parking_lot::Mutex;
+
 use crate::error::{SsError, SsResult};
-use crate::runtime::{Executor, Runtime};
+use crate::runtime::{DelegateContext, Executor, Runtime};
 use crate::serializer::{ObjectSerializer, SerializeCx, Serializer, SsId};
 use crate::stats::StatsCell;
 use crate::trace::TraceKind;
@@ -58,7 +75,10 @@ enum UseState {
     PrivateWritable,
 }
 
-/// Epoch-local bookkeeping; program-thread-only by protocol.
+/// Epoch-local bookkeeping. Guarded by a mutex (not a program-only cell)
+/// because recursive delegation lets delegate contexts tag objects and
+/// record owners too; the mutex is what serializes the state machine
+/// across producers.
 struct EpochLocal {
     /// Isolation-epoch serial this state belongs to (lazy reset).
     serial: u64,
@@ -67,6 +87,11 @@ struct EpochLocal {
     tag: Option<SsId>,
     /// Executor that owns the tagged set.
     owner: Option<Executor>,
+    /// True while a program-context access closure (`call`/`call_mut`)
+    /// runs on the value. Delegations observing it are rejected
+    /// ([`SsError::AccessInProgress`]) — they would otherwise race the
+    /// live borrow.
+    accessing: bool,
 }
 
 impl EpochLocal {
@@ -85,14 +110,25 @@ struct Shared<T> {
     instance: u64,
     /// Outstanding delegated operations on this object.
     pending: AtomicU32,
-    local: ProgramOnly<EpochLocal>,
+    local: Mutex<EpochLocal>,
 }
 
 // SAFETY: `value` is accessed under the executor-exclusivity protocol
-// documented at module level; `local` is program-thread-only; `pending` is
+// documented at module level; `local` is mutex-guarded; `pending` is
 // atomic. `T: Send` because the value migrates between executor threads.
 unsafe impl<T: Send> Send for Shared<T> {}
 unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// Clears `accessing` when the program-context access closure finishes —
+/// including by unwinding, so a panicking closure does not wedge the
+/// object into permanent [`SsError::AccessInProgress`].
+struct AccessGuard<'a>(&'a Mutex<EpochLocal>);
+
+impl Drop for AccessGuard<'_> {
+    fn drop(&mut self) {
+        self.0.lock().accessing = false;
+    }
+}
 
 /// A privately-writable data domain (Prometheus `writable<T, S>`).
 ///
@@ -158,11 +194,12 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                 value: core::cell::UnsafeCell::new(value),
                 instance: rt.next_instance(),
                 pending: AtomicU32::new(0),
-                local: ProgramOnly::new(EpochLocal {
+                local: Mutex::new(EpochLocal {
                     serial: 0,
                     use_state: UseState::Unused,
                     tag: None,
                     owner: None,
+                    accessing: false,
                 }),
             }),
             serializer: Arc::new(serializer),
@@ -193,8 +230,7 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         if !in_iso {
             return Ok(None);
         }
-        // SAFETY: program thread; scoped.
-        let local = unsafe { self.shared.local.get() };
+        let local = self.shared.local.lock();
         if local.serial != serial {
             return Ok(None);
         }
@@ -245,12 +281,19 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             return Err(rt.inner.core.poison_error());
         }
 
-        // Phase 1 — epoch-local checks and set computation (scoped borrow:
-        // nothing below may run user code).
+        // Phase 1 — epoch-local checks and set computation (under the state
+        // mutex: nothing below may run user code).
         let ss = {
-            // SAFETY: program thread; scoped.
-            let local = unsafe { self.shared.local.get() };
+            let mut local = self.shared.local.lock();
+            let local = &mut *local;
             local.refresh(serial);
+            if local.accessing {
+                // Re-entrant delegation from inside this object's own
+                // `call`/`call_mut` closure would alias the live borrow.
+                return Err(SsError::AccessInProgress {
+                    instance: self.shared.instance,
+                });
+            }
             if local.use_state == UseState::ReadShared {
                 return Err(SsError::StateConflict {
                     instance: self.shared.instance,
@@ -310,9 +353,41 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
 
         // Phase 2 — package the invocation and submit.
         self.shared.pending.fetch_add(1, Ordering::Relaxed);
+        let task = self.package_task(f);
+        let executor = match rt.submit(ss, task) {
+            Ok(e) => e,
+            Err(e) => {
+                // The invocation never ran (and was dropped): undo `pending`.
+                self.shared.pending.fetch_sub(1, Ordering::Release);
+                return Err(e);
+            }
+        };
+
+        // Phase 3 — record the owning executor for later reclaims.
+        self.shared.local.lock().owner = Some(executor);
+        if rt.trace_enabled() {
+            let kind = if executor == Executor::Program {
+                TraceKind::InlineExecute
+            } else {
+                TraceKind::Delegate
+            };
+            rt.trace_record(kind, Some(self.shared.instance), Some(ss), Some(executor));
+        }
+        Ok(())
+    }
+
+    /// Packages `f` as the self-contained invocation closure shipped
+    /// through the queues: it performs the unsafe receiver access, traps
+    /// panics into the runtime poison flag, and settles the object's
+    /// pending count (shared by the program-thread and nested delegation
+    /// paths).
+    fn package_task<F>(&self, f: F) -> Box<dyn FnOnce() + Send>
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
         let shared = Arc::clone(&self.shared);
-        let core = Arc::clone(&rt.inner.core);
-        let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+        let core = Arc::clone(&self.rt.inner.core);
+        Box::new(move || {
             if !core.poisoned.load(Ordering::Acquire) {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     // SAFETY: executor exclusivity — see module-level safety
@@ -328,8 +403,115 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             }
             StatsCell::bump(&core.stats.executed);
             shared.pending.fetch_sub(1, Ordering::Release);
-        });
-        let executor = match rt.submit(ss, task) {
+        })
+    }
+
+    /// Delegation from a **delegate context** (recursive delegation) —
+    /// the backing implementation of [`DelegateContext::delegate`] and
+    /// [`DelegateContext::delegate_in`].
+    ///
+    /// The state machine runs under the object's mutex exactly like the
+    /// program-thread path, with three extra rules:
+    ///
+    /// * an object claimed by a program-context mutation this epoch
+    ///   (privately-writable with no set tag) rejects nested delegation
+    ///   ([`SsError::NestedOnProgram`]) — its value may be under the
+    ///   program thread's hands;
+    /// * a live program access rejects it ([`SsError::AccessInProgress`]);
+    /// * the global nested-epoch flag is raised and the pending count
+    ///   incremented *inside* the critical section, so a program-context
+    ///   access under the same mutex either sees the work coming (and
+    ///   quiesces) or strictly precedes it (and the rules above protect
+    ///   the access).
+    pub(crate) fn delegate_nested<F>(
+        &self,
+        cx: &DelegateContext<'_>,
+        external: Option<SsId>,
+        f: F,
+    ) -> SsResult<()>
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        let rt = &self.rt;
+        if !cx.belongs_to(rt) {
+            return Err(SsError::WrongContext);
+        }
+        rt.check_live()?;
+        if rt.is_poisoned() {
+            return Err(rt.inner.core.poison_error());
+        }
+        // Stable for the duration of the enclosing operation: the epoch
+        // cannot end while a parent runs (the barrier drains `in_flight`).
+        let serial = rt.cross_epoch_serial();
+
+        // Phase 1 — the same per-epoch state machine as the program path,
+        // serialized by the same mutex.
+        let ss = {
+            let mut local = self.shared.local.lock();
+            let local = &mut *local;
+            local.refresh(serial);
+            if local.accessing {
+                return Err(SsError::AccessInProgress {
+                    instance: self.shared.instance,
+                });
+            }
+            if local.use_state == UseState::ReadShared {
+                return Err(SsError::StateConflict {
+                    instance: self.shared.instance,
+                    was_read_shared: true,
+                });
+            }
+            let effective = if let Some(tag) = local.tag {
+                if rt.dynamic_checks() {
+                    if let Some(got) = external {
+                        if got != tag {
+                            return Err(SsError::InconsistentSerializer {
+                                instance: self.shared.instance,
+                                tagged: tag,
+                                got,
+                            });
+                        }
+                    }
+                }
+                tag
+            } else {
+                if local.use_state == UseState::PrivateWritable {
+                    // Privately writable without a tag ⇒ claimed by a
+                    // program-context mutation this epoch. The program
+                    // thread owns the value; a delegate context may not
+                    // route operations onto it.
+                    return Err(SsError::NestedOnProgram { set: None });
+                }
+                // Unused object, first delegation of the epoch: the tag is
+                // unset only while pending == 0 (the mutex serializes all
+                // taggers), so the serializer may inspect the value.
+                debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
+                let computed = match external {
+                    Some(e) => e,
+                    None => {
+                        // SAFETY: pending == 0 under the state mutex and no
+                        // program access is live (`accessing == false`) —
+                        // no executor holds the value.
+                        let value = unsafe { &*self.shared.value.get() };
+                        self.serializer
+                            .serialize(value, self.cx())
+                            .ok_or(SsError::MissingSerializer)?
+                    }
+                };
+                local.tag = Some(computed);
+                computed
+            };
+            local.use_state = UseState::PrivateWritable;
+            // Flag first, then pending, both inside the critical section:
+            // see the module-level safety model, point 3.
+            rt.mark_nested_epoch();
+            self.shared.pending.fetch_add(1, Ordering::Relaxed);
+            effective
+        };
+
+        // Phase 2 — package and submit through the re-entrant path.
+        let task = self.package_task(f);
+        let executor = match rt.submit_nested(ss, task) {
             Ok(e) => e,
             Err(e) => {
                 // The invocation never ran (and was dropped): undo `pending`.
@@ -339,19 +521,13 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         };
 
         // Phase 3 — record the owning executor for later reclaims.
-        {
-            // SAFETY: program thread; scoped; no user code live.
-            let local = unsafe { self.shared.local.get() };
-            local.owner = Some(executor);
-        }
-        if rt.trace_enabled() {
-            let kind = if executor == Executor::Program {
-                TraceKind::InlineExecute
-            } else {
-                TraceKind::Delegate
-            };
-            rt.trace_record(kind, Some(self.shared.instance), Some(ss), Some(executor));
-        }
+        self.shared.local.lock().owner = Some(executor);
+        rt.record_side_event(
+            TraceKind::NestedDelegate,
+            Some(self.shared.instance),
+            Some(ss),
+            executor,
+        );
         Ok(())
     }
 
@@ -399,9 +575,13 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             // SAFETY: program context is the sole accessor in aggregation.
             return Ok(f(unsafe { &mut *self.shared.value.get() }));
         }
-        let (owner, tag) = {
-            // SAFETY: program thread; scoped.
-            let local = unsafe { self.shared.local.get() };
+        // Phase 1 — the state machine, under the object mutex. Paths that
+        // will not reclaim claim `accessing` atomically with their state
+        // transition, so a racing nested delegation is either ordered
+        // before this critical section (and changes what we see) or after
+        // it (and is rejected by the flag / the state it left behind).
+        let (owner, tag, mid_submit) = {
+            let mut local = self.shared.local.lock();
             local.refresh(serial);
             match local.use_state {
                 UseState::Unused => {
@@ -410,7 +590,8 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                     } else {
                         UseState::ReadShared
                     };
-                    (None, None)
+                    local.accessing = true;
+                    (None, None, false)
                 }
                 UseState::ReadShared if mutate => {
                     return Err(SsError::StateConflict {
@@ -418,17 +599,68 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                         was_read_shared: true,
                     });
                 }
-                UseState::ReadShared => (None, None),
-                UseState::PrivateWritable => (local.owner, local.tag),
+                UseState::ReadShared => {
+                    local.accessing = true;
+                    (None, None, false)
+                }
+                UseState::PrivateWritable => match (local.owner, local.tag) {
+                    (Some(owner), tag) => (Some(owner), tag, false),
+                    (None, Some(tag)) => {
+                        // Tagged but owner-less: a nested delegation is
+                        // mid-submit (the owner is recorded only after the
+                        // queue publish), so an operation may already be
+                        // queued or executing. The nested-epoch flag was
+                        // raised under this mutex before the pending
+                        // count, so the reclaim below can escalate
+                        // straight to the full quiesce.
+                        (None, Some(tag), true)
+                    }
+                    (None, None) => {
+                        // Claimed by a program-context mutation: no
+                        // delegated operation can exist (nested delegation
+                        // rejects tag-less privately-writable objects).
+                        local.accessing = true;
+                        (None, None, false)
+                    }
+                },
             }
         };
-        if let Some(owner) = owner {
-            if self.shared.pending.load(Ordering::Acquire) > 0 {
-                // With stealing enabled the set may have migrated since
-                // delegation, so the reclaim resolves the *current* owner
-                // from the pin table (the recorded one is the fallback).
-                let synced = rt.sync_owner(owner, tag)?;
+        if owner.is_some() || mid_submit {
+            // Phase 2 — ownership reclaim, then claim `accessing` under the
+            // mutex. The loop exists for recursive delegation: a nested
+            // producer may appear *between* our pending/flag check and the
+            // claim (its flag-raise and our claim serialize on the object
+            // mutex), in which case we escalate once to the full quiesce
+            // and re-claim — after a quiesce nothing runs, so nothing can
+            // appear again. The `mid_submit` entry (owner unknown) starts
+            // escalated: the nested flag is set whenever a nested submit
+            // is in flight, so `sync_owner` goes straight to its quiesce
+            // branch and the fallback executor below is never consulted.
+            // (The only tag-Some/owner-None state with the flag clear is
+            // the husk of a failed submit on a dying runtime, where
+            // `sync_owner` reports `Terminated` before any access.)
+            let sync_target = owner.unwrap_or(Executor::Program);
+            let mut escalated = mid_submit;
+            let mut synced: Option<Executor> = None;
+            loop {
+                if escalated || self.shared.pending.load(Ordering::Acquire) > 0 {
+                    // With stealing enabled the set may have migrated since
+                    // delegation, so the reclaim resolves the *current*
+                    // owner from the pin table (the recorded one is the
+                    // fallback); with nesting active it quiesces the whole
+                    // runtime instead.
+                    synced = Some(rt.sync_owner(sync_target, tag)?);
+                }
+                let mut local = self.shared.local.lock();
+                if rt.nested_epoch_active() && !escalated {
+                    escalated = true;
+                    continue;
+                }
                 debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
+                local.accessing = true;
+                break;
+            }
+            if let Some(synced) = synced {
                 rt.trace_record(
                     TraceKind::Reclaim,
                     Some(self.shared.instance),
@@ -437,9 +669,11 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                 );
             }
             if rt.is_poisoned() {
+                self.shared.local.lock().accessing = false;
                 return Err(rt.inner.core.poison_error());
             }
         }
+        let _guard = AccessGuard(&self.shared.local);
         if rt.trace_enabled() {
             let kind = if mutate {
                 TraceKind::CallMut
@@ -450,7 +684,8 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         }
         // SAFETY: read-shared (no writer can exist this epoch — the state
         // machine rejects delegation/mutation) or reclaimed/unused private
-        // (pending == 0 with Acquire edge ⇒ delegate effects visible).
+        // (pending == 0 with Acquire edge ⇒ delegate effects visible);
+        // `accessing` rejects any delegation racing the closure below.
         Ok(f(unsafe { &mut *self.shared.value.get() }))
     }
 

@@ -11,10 +11,14 @@
 //! * `ss` — the serialization-sets version using `ss-core`'s wrappers.
 //!
 //! Plus [`matmul`], the worked example of §2.1, used by the
-//! serializer-granularity ablation, and the [`kmeans::ss_paper`] variant the
-//! paper measured next to the reduction-based [`kmeans::ss`] it proposed.
+//! serializer-granularity ablation; the [`kmeans::ss_paper`] variant the
+//! paper measured next to the reduction-based [`kmeans::ss`] it proposed;
+//! and [`nested`] (`nested_fanout`), a recursive-delegation kernel covering
+//! the paper's §4 future-work path.
 //!
-//! [`registry`] exposes all eight for the figure-regeneration harness.
+//! [`registry`] exposes all of them for the figure-regeneration harness,
+//! so every registry-driven equality sweep (assignment policies, steal
+//! policies, scale smoke) exercises the nested kernel too.
 
 #![warn(missing_docs)]
 
@@ -26,13 +30,15 @@ pub mod freqmine;
 pub mod histogram;
 pub mod kmeans;
 pub mod matmul;
+pub mod nested;
 pub mod reverse_index;
 pub mod word_count;
 
 use common::{BenchInstance, BenchSpec};
 use ss_workloads::scale::Scale;
 
-/// All Table 2 benchmarks, in the paper's order.
+/// All Table 2 benchmarks in the paper's order, plus the
+/// recursive-delegation kernel (`nested_fanout`).
 pub fn registry() -> Vec<BenchSpec> {
     fn boxed<B: BenchInstance + 'static>(b: B) -> Box<dyn BenchInstance> {
         Box::new(b)
@@ -70,6 +76,10 @@ pub fn registry() -> Vec<BenchSpec> {
             name: "word_count",
             make: |s: Scale| boxed(word_count::Bench::at(s)),
         },
+        BenchSpec {
+            name: "nested_fanout",
+            make: |s: Scale| boxed(nested::Bench::at(s)),
+        },
     ]
 }
 
@@ -78,7 +88,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_table2() {
+    fn registry_covers_table2_plus_nested() {
         let names: Vec<&str> = registry().iter().map(|b| b.name).collect();
         assert_eq!(
             names,
@@ -90,7 +100,8 @@ mod tests {
                 "histogram",
                 "kmeans",
                 "reverse_index",
-                "word_count"
+                "word_count",
+                "nested_fanout"
             ]
         );
     }

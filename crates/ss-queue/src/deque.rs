@@ -116,10 +116,16 @@ struct State<T> {
 /// taking the lock, so idle thieves can scan for victims without
 /// disturbing them.
 ///
-/// Role protocol (by convention, not by type): one *producer* pushes, one
-/// *owner* pops, any number of *thieves* steal. The deque itself is safe
-/// under any concurrent mix; the single-producer/single-owner convention
-/// is what makes the started-key bookkeeping meaningful.
+/// Role protocol (by convention, not by type): any number of *producers*
+/// push, one *owner* pops, any number of *thieves* steal. The deque is
+/// safe under any concurrent mix — all structural access serializes on
+/// the internal spinlock — and per-producer FIFO order holds because each
+/// push is a single critical section. Multi-producer pushing is what the
+/// runtime's recursive-delegation path relies on: the program thread and
+/// any delegate may push keyed entries concurrently (racing thieves),
+/// with the caller's routing lock making the pin-lookup + push atomic.
+/// The single-owner convention is what makes the started-key bookkeeping
+/// meaningful.
 pub struct StealDeque<T> {
     locked: CachePadded<AtomicBool>,
     len: CachePadded<AtomicUsize>,

@@ -15,7 +15,12 @@
 //! * [`SpscQueue`] — FastForward-style: *no shared head/tail indices at all*.
 //!   Each slot carries its own full/empty flag; the producer and consumer
 //!   keep purely thread-local cursors, so in steady state they touch disjoint
-//!   cache lines and never contend on index words.
+//!   cache lines and never contend on index words. Every ring also carries a
+//!   multi-producer **injector lane** ([`Producer::injector`] →
+//!   [`Injector`]): an unbounded spinlocked FIFO that turns the pair into an
+//!   MPSC queue when extra producers (the runtime's recursive-delegation
+//!   path) need to reach the same consumer without risking a
+//!   bounded-ring deadlock.
 //! * [`LamportQueue`] — the classic Lamport ring buffer with shared atomic
 //!   head/tail indices. Retained as the ablation baseline for the
 //!   `ablation_queue` experiment (FastForward's contribution is precisely the
@@ -61,7 +66,7 @@ pub use backoff::Backoff;
 pub use deque::{FenceScope, StealDeque, StealTag};
 pub use lamport::LamportQueue;
 pub use pad::CachePadded;
-pub use spsc::{Consumer, Producer, SpscQueue};
+pub use spsc::{Consumer, Injector, Producer, SpscQueue};
 
 /// Error returned by `try_push` when the ring is full; carries the rejected
 /// value so the caller can retry without cloning.

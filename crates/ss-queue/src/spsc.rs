@@ -1,4 +1,5 @@
-//! FastForward-style SPSC ring buffer.
+//! FastForward-style SPSC ring buffer, extensible to MPSC via an
+//! **injector lane**.
 //!
 //! The defining property of FastForward (Giacomoni et al., PPoPP 2008) is
 //! that the producer and consumer share **no index variables**: each slot
@@ -7,10 +8,29 @@
 //! disjoint cache lines, so an enqueue/dequeue pair costs two uncontended
 //! atomic operations. This is the queue the serialization-sets runtime uses
 //! for program-thread → delegate-thread communication.
+//!
+//! # The multi-producer push path
+//!
+//! The ring itself stays single-producer — that is what makes it cheap —
+//! but every queue also carries an **injector lane**: an unbounded,
+//! spinlock-guarded FIFO that any number of [`Injector`] handles
+//! (obtained via [`Producer::injector`]) may push into concurrently. The
+//! consumer drains the ring first and falls back to the lane
+//! ([`Consumer::try_pop_injected`]), so the two sides together form an
+//! MPSC queue: per-producer FIFO order holds on both paths, and the hot
+//! single-producer path is untouched when no injector is ever used.
+//!
+//! The lane is deliberately *unbounded* where the ring is bounded. The
+//! runtime's recursive-delegation path pushes from delegate threads; if
+//! those pushes could block on a full ring, two delegates pushing into
+//! each other's full queues would deadlock (each is the only thread that
+//! could drain the other). An unbounded side lane makes the nested push
+//! wait-free with respect to the consumer.
 
 use core::cell::{Cell, UnsafeCell};
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicBool, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::{Backoff, Full, Pop};
@@ -24,13 +44,53 @@ struct Slot<T> {
     value: UnsafeCell<MaybeUninit<T>>,
 }
 
-/// Bounded lock-free SPSC queue with slot-local signalling.
+/// Unbounded multi-producer side lane attached to every ring (see the
+/// module docs). Guarded by a tiny [`Backoff`] spinlock; `len` is a
+/// lock-free emptiness probe so the consumer's hot loop costs one relaxed
+/// load when the lane is unused.
+struct Lane<T> {
+    locked: AtomicBool,
+    len: AtomicUsize,
+    items: UnsafeCell<VecDeque<T>>,
+}
+
+impl<T> Lane<T> {
+    fn new() -> Self {
+        Lane {
+            locked: AtomicBool::new(false),
+            len: AtomicUsize::new(0),
+            items: UnsafeCell::new(VecDeque::new()),
+        }
+    }
+
+    /// Runs `f` with the lane queue under the spinlock.
+    fn with<R>(&self, f: impl FnOnce(&mut VecDeque<T>, &AtomicUsize) -> R) -> R {
+        let backoff = Backoff::new();
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.snooze();
+        }
+        // SAFETY: the spinlock is held, giving exclusive access to `items`;
+        // its Acquire/Release edges order all lane accesses.
+        let out = f(unsafe { &mut *self.items.get() }, &self.len);
+        self.locked.store(false, Ordering::Release);
+        out
+    }
+}
+
+/// Bounded lock-free SPSC queue with slot-local signalling, plus the
+/// multi-producer injector lane described in the module docs.
 ///
 /// Construct with [`SpscQueue::with_capacity`], which returns the
-/// statically-split [`Producer`] / [`Consumer`] handle pair.
+/// statically-split [`Producer`] / [`Consumer`] handle pair;
+/// [`Producer::injector`] mints shareable multi-producer handles.
 pub struct SpscQueue<T> {
     slots: Box<[Slot<T>]>,
     mask: usize,
+    lane: Lane<T>,
     producer_alive: AtomicBool,
     consumer_alive: AtomicBool,
 }
@@ -38,7 +98,8 @@ pub struct SpscQueue<T> {
 // SAFETY: slots are only accessed according to the SPSC protocol — the
 // producer writes a slot only while `full == false` and the consumer reads it
 // only while `full == true`, with Release/Acquire edges on `full` ordering
-// the payload accesses. Values of `T` move between threads, hence `T: Send`.
+// the payload accesses. The injector lane is only touched under its spinlock
+// (`Lane::with`). Values of `T` move between threads, hence `T: Send`.
 unsafe impl<T: Send> Send for SpscQueue<T> {}
 unsafe impl<T: Send> Sync for SpscQueue<T> {}
 
@@ -57,6 +118,7 @@ impl<T> SpscQueue<T> {
         let shared = Arc::new(SpscQueue {
             slots,
             mask: cap - 1,
+            lane: Lane::new(),
             producer_alive: AtomicBool::new(true),
             consumer_alive: AtomicBool::new(true),
         });
@@ -163,11 +225,66 @@ impl<T> Producer<T> {
     pub fn capacity(&self) -> usize {
         self.shared.capacity()
     }
+
+    /// Mints a shareable multi-producer handle onto this queue's injector
+    /// lane (see the module docs). Any number of injectors may coexist and
+    /// push concurrently; the ring producer keeps its exclusive fast path.
+    pub fn injector(&self) -> Injector<T> {
+        Injector {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
         self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Shareable multi-producer handle onto a queue's injector lane.
+///
+/// Obtained from [`Producer::injector`]; clones freely. Pushes are
+/// unbounded (they never wait on the consumer) and FIFO within the lane,
+/// so each injecting thread's items are delivered in its push order.
+/// Injector handles do not participate in the ring's disconnect protocol:
+/// dropping them says nothing about the stream.
+pub struct Injector<T> {
+    shared: Arc<SpscQueue<T>>,
+}
+
+impl<T> Clone for Injector<T> {
+    fn clone(&self) -> Self {
+        Injector {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Injector<T> {
+    /// Appends a value to the injector lane. Never blocks. Returns the
+    /// value back if the consumer handle is already observed dropped (the
+    /// value would otherwise never be received); the check is best-effort
+    /// — a push racing the consumer's drop may still be accepted, in
+    /// which case the value sits in the lane and is dropped with the
+    /// queue. Callers needing a hard delivery guarantee must order pushes
+    /// before the consumer's shutdown themselves (the runtime does: the
+    /// epoch protocol forbids shutdown with work in flight).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        if !self.shared.consumer_alive.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        self.shared.lane.with(|items, len| {
+            items.push_back(value);
+            len.fetch_add(1, Ordering::Release);
+        });
+        Ok(())
+    }
+
+    /// Number of values currently waiting in the lane (lock-free read).
+    #[inline]
+    pub fn injected_len(&self) -> usize {
+        self.shared.lane.len.load(Ordering::Acquire)
     }
 }
 
@@ -225,6 +342,31 @@ impl<T> Consumer<T> {
                 Pop::Empty => backoff.snooze(),
             }
         }
+    }
+
+    /// Attempts to dequeue from the injector lane (the multi-producer side
+    /// path; see the module docs). The consumer should drain the ring
+    /// first — [`try_pop`](Consumer::try_pop) — and fall back to this, so
+    /// the single-producer fast path stays hot.
+    #[inline]
+    pub fn try_pop_injected(&self) -> Option<T> {
+        let lane = &self.shared.lane;
+        if lane.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        lane.with(|items, len| {
+            let v = items.pop_front();
+            if v.is_some() {
+                len.fetch_sub(1, Ordering::Release);
+            }
+            v
+        })
+    }
+
+    /// True if the injector lane holds a value (lock-free read).
+    #[inline]
+    pub fn has_injected(&self) -> bool {
+        self.shared.lane.len.load(Ordering::Acquire) > 0
     }
 
     /// True if a value is immediately available, without consuming it.
@@ -390,5 +532,79 @@ mod tests {
         assert_eq!(tx.shared.occupied_slots(), 2);
         rx.try_pop().value().unwrap();
         assert_eq!(tx.shared.occupied_slots(), 1);
+    }
+
+    #[test]
+    fn injector_lane_is_fifo_and_independent_of_the_ring() {
+        let (tx, rx) = SpscQueue::with_capacity(2);
+        let inj = tx.injector();
+        tx.try_push(1).unwrap();
+        inj.push(10).unwrap();
+        inj.push(11).unwrap();
+        assert_eq!(inj.injected_len(), 2);
+        assert!(rx.has_injected());
+        // Ring and lane drain independently; lane keeps its own FIFO.
+        assert_eq!(rx.try_pop().value(), Some(1));
+        assert_eq!(rx.try_pop_injected(), Some(10));
+        assert_eq!(rx.try_pop_injected(), Some(11));
+        assert_eq!(rx.try_pop_injected(), None);
+        assert!(!rx.has_injected());
+    }
+
+    #[test]
+    fn injector_never_blocks_on_a_full_ring() {
+        let (tx, rx) = SpscQueue::with_capacity(1);
+        let inj = tx.injector();
+        tx.try_push(1).unwrap();
+        assert!(matches!(tx.try_push(2), Err(Full(2))));
+        // The lane is unbounded: pushes succeed while the ring is full.
+        for i in 0..1_000 {
+            inj.push(i).unwrap();
+        }
+        assert_eq!(inj.injected_len(), 1_000);
+        assert_eq!(rx.try_pop().value(), Some(1));
+        for i in 0..1_000 {
+            assert_eq!(rx.try_pop_injected(), Some(i));
+        }
+    }
+
+    #[test]
+    fn injector_push_fails_after_consumer_drop() {
+        let (tx, rx) = SpscQueue::<u32>::with_capacity(4);
+        let inj = tx.injector();
+        drop(rx);
+        assert_eq!(inj.push(7), Err(7));
+    }
+
+    #[test]
+    fn concurrent_injectors_preserve_per_producer_fifo() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 20_000;
+        let (tx, rx) = SpscQueue::with_capacity(8);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let inj = tx.injector();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        inj.push(p * PER + i).unwrap();
+                    }
+                });
+            }
+            let mut next = [0u64; PRODUCERS as usize];
+            let mut got = 0;
+            while got < PRODUCERS * PER {
+                if let Some(v) = rx.try_pop_injected() {
+                    let (p, i) = (v / PER, v % PER);
+                    assert_eq!(i, next[p as usize], "producer {p} reordered");
+                    next[p as usize] += 1;
+                    got += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            for (p, n) in next.iter().enumerate() {
+                assert_eq!(*n, PER, "producer {p} lost items");
+            }
+        });
     }
 }

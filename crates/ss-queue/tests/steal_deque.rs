@@ -1,7 +1,8 @@
-//! Seeded-interleaving stress tests for [`StealDeque`]: one producer, one
-//! owner, two thieves hammer a single deque under per-seed jitter
-//! schedules, and the full event logs are checked post-hoc against the
-//! deque's contracts:
+//! Seeded-interleaving stress tests for [`StealDeque`]: producers (one in
+//! the classic schedule, several in the multi-producer schedule that
+//! models recursive delegation), one owner and thieves hammer a single
+//! deque under per-seed jitter schedules, and the full event logs are
+//! checked post-hoc against the deque's contracts:
 //!
 //! 1. **conservation** — every pushed item is consumed exactly once, by
 //!    the owner or by exactly one steal batch;
@@ -194,6 +195,149 @@ fn stress_push_pop_steal_invariants() {
                 assert!(
                     hi < lo,
                     "seed {seed}: key {k} was stolen (seq {hi}) after the owner started it (seq {lo})"
+                );
+            }
+        }
+    }
+}
+
+/// Multi-producer stress (the recursive-delegation shape): N producers —
+/// the runtime's program thread plus delegate contexts — race a thief and
+/// the owner on one deque, each producer pushing its own disjoint key
+/// space under seeded jitter. Checked post-hoc:
+///
+/// 1. conservation — every pushed item consumed exactly once;
+/// 2. per-key FIFO — each key's items are observed in push order, whether
+///    the owner popped them or a steal batch carried them (a key's items
+///    come from one producer, so push order is well defined);
+/// 3. started keys never migrate — every stolen sequence number of a key
+///    precedes every owner-popped one.
+#[test]
+fn stress_multi_producer_racing_thief() {
+    const PRODUCERS: u64 = 3;
+    const KEYS_PER_PRODUCER: u64 = 6;
+    const PER_KEY_MP: u64 = 250;
+    for seed in [11, 0xFEED, 0xABCDEF] {
+        let total = (PRODUCERS * KEYS_PER_PRODUCER * PER_KEY_MP) as usize;
+        let deque: Arc<StealDeque<u64>> = Arc::new(StealDeque::new());
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let producers_done = Arc::new(AtomicUsize::new(0));
+
+        let mut owner_log: Vec<(u64, u64)> = Vec::new();
+        let mut steal_batches: Vec<Vec<(u64, u64)>> = Vec::new();
+
+        std::thread::scope(|s| {
+            // N producers, each with a private key range [p*K, (p+1)*K).
+            for p in 0..PRODUCERS {
+                let deque = Arc::clone(&deque);
+                let done = Arc::clone(&producers_done);
+                s.spawn(move || {
+                    let mut rng = XorShift((seed + p) | 1);
+                    let mut next_seq = [0u64; KEYS_PER_PRODUCER as usize];
+                    for _ in 0..KEYS_PER_PRODUCER * PER_KEY_MP {
+                        let mut slot = rng.next() % KEYS_PER_PRODUCER;
+                        while next_seq[slot as usize] == PER_KEY_MP {
+                            slot = (slot + 1) % KEYS_PER_PRODUCER;
+                        }
+                        let key = p * KEYS_PER_PRODUCER + slot;
+                        let seq = next_seq[slot as usize];
+                        next_seq[slot as usize] += 1;
+                        deque.push_keyed(key, seq);
+                        rng.jitter();
+                    }
+                    done.fetch_add(1, Ordering::AcqRel);
+                });
+            }
+
+            // One thief.
+            let thief = {
+                let deque = Arc::clone(&deque);
+                let consumed = Arc::clone(&consumed);
+                let done = Arc::clone(&producers_done);
+                s.spawn(move || {
+                    let mut rng = XorShift(seed.wrapping_mul(0x9E37_79B9) | 1);
+                    let mut batches = Vec::new();
+                    loop {
+                        rng.jitter();
+                        let mut out = Vec::new();
+                        let n = deque.steal_half_into(&mut out);
+                        if n > 0 {
+                            consumed.fetch_add(n, Ordering::AcqRel);
+                            batches.push(out);
+                        } else if done.load(Ordering::Acquire) == PRODUCERS as usize
+                            && deque.is_empty()
+                        {
+                            break;
+                        }
+                    }
+                    batches
+                })
+            };
+
+            // Owner pops until everything produced has been consumed.
+            {
+                let mut rng = XorShift(seed ^ 0xDEAD_BEEF);
+                let backoff = Backoff::new();
+                while consumed.load(Ordering::Acquire) < total {
+                    match deque.pop() {
+                        Some((StealTag::Key(k), seq)) => {
+                            owner_log.push((k, seq));
+                            consumed.fetch_add(1, Ordering::AcqRel);
+                            backoff.reset();
+                        }
+                        Some((StealTag::Fence, _)) => unreachable!("no fences pushed"),
+                        None => backoff.snooze(),
+                    }
+                    rng.jitter();
+                }
+            }
+
+            steal_batches.extend(thief.join().unwrap());
+        });
+
+        // 1. Conservation.
+        let mut seen: HashMap<(u64, u64), u32> = HashMap::new();
+        for &(k, s) in owner_log.iter().chain(steal_batches.iter().flatten()) {
+            *seen.entry((k, s)).or_insert(0) += 1;
+        }
+        assert_eq!(
+            seen.len(),
+            total,
+            "seed {seed}: items lost under multi-producer push"
+        );
+        assert!(seen.values().all(|&c| c == 1), "seed {seed}: duplicated");
+
+        // 2. Per-key FIFO across owner pops and steal batches combined:
+        // a key's consumption order is owner pops (in order) plus stolen
+        // batches (in batch order); both subsequences must be increasing,
+        // and (3) stolen seqs must all precede owner-popped ones.
+        let mut last_owner: HashMap<u64, u64> = HashMap::new();
+        let mut min_owner: HashMap<u64, u64> = HashMap::new();
+        for &(k, s) in &owner_log {
+            if let Some(prev) = last_owner.insert(k, s) {
+                assert!(prev < s, "seed {seed}: owner reordered key {k}");
+            }
+            let e = min_owner.entry(k).or_insert(u64::MAX);
+            *e = (*e).min(s);
+        }
+        // Batches come from a single thief, so their vec order is temporal
+        // order: per-key seqs must increase within *and across* batches.
+        let mut max_stolen: HashMap<u64, u64> = HashMap::new();
+        let mut last_stolen: HashMap<u64, u64> = HashMap::new();
+        for batch in &steal_batches {
+            for &(k, s) in batch {
+                if let Some(prev) = last_stolen.insert(k, s) {
+                    assert!(prev < s, "seed {seed}: steals reordered key {k}");
+                }
+                let e = max_stolen.entry(k).or_insert(0);
+                *e = (*e).max(s);
+            }
+        }
+        for (k, &hi) in &max_stolen {
+            if let Some(&lo) = min_owner.get(k) {
+                assert!(
+                    hi < lo,
+                    "seed {seed}: key {k} stolen (seq {hi}) after the owner started it (seq {lo})"
                 );
             }
         }

@@ -50,10 +50,10 @@ pub mod prelude {
         ReducibleStats, ReducibleVec,
     };
     pub use ss_core::{
-        doall, AssignTopology, Assignment, DelegateAssignment, DelegateLoads, ExecutionMode,
-        Executor, FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer, ReadOnly, Reduce,
-        Reducible, RoundRobinFirstTouch, Runtime, RuntimeBuilder, SequenceSerializer, Serializer,
-        SsError, SsId, StaticAssignment, Stats, StealPolicy, TraceEvent, TraceExecutor, TraceKind,
-        WaitPolicy, Writable,
+        doall, AssignTopology, Assignment, DelegateAssignment, DelegateContext, DelegateLoads,
+        ExecutionMode, Executor, FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer,
+        ReadOnly, Reduce, Reducible, RoundRobinFirstTouch, Runtime, RuntimeBuilder,
+        SequenceSerializer, Serializer, SsError, SsId, StaticAssignment, Stats, StealPolicy,
+        TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
     };
 }

@@ -154,6 +154,36 @@ fn method_pointer_style_delegation() {
     assert_eq!(w.call(|c| c.n).unwrap(), 1);
 }
 
+/// Recursive delegation (§4's future work, now implemented): a delegated
+/// operation delegates further operations through the scoped
+/// [`DelegateContext`] handle; sets owned by the program context reject
+/// nested operations.
+#[test]
+fn recursive_delegation_via_delegate_scope() {
+    let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    let child: Writable<Vec<u64>, SequenceSerializer> = Writable::new(&rt, Vec::new());
+    rt.begin_isolation().unwrap();
+    let (rt2, child2) = (rt.clone(), child.clone());
+    parent
+        .delegate(move |n| {
+            *n += 1;
+            rt2.delegate_scope(|cx| {
+                assert!(cx.index() < 2);
+                for i in 0..4 {
+                    cx.delegate(&child2, move |v| v.push(i)).unwrap();
+                }
+            })
+            .unwrap();
+        })
+        .unwrap();
+    rt.end_isolation().unwrap();
+    assert_eq!(child.call(|v| v.clone()).unwrap(), vec![0, 1, 2, 3]);
+    assert_eq!(rt.stats().nested_delegations, 4);
+    // Off a delegate thread there is no delegate context.
+    assert_eq!(rt.delegate_scope(|_| ()), Err(SsError::WrongContext));
+}
+
 /// Pre-written serializers from the library: object, sequence, null,
 /// closure-based (§3.1).
 #[test]

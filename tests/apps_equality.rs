@@ -179,6 +179,20 @@ fn matmul_equality_all_serializers() {
 }
 
 #[test]
+fn nested_fanout_equality() {
+    // The recursive-delegation kernel: depth-3 fan-out delegated from
+    // delegate contexts, with an overflow fallback on runtimes that cannot
+    // host nested contexts (serial mode and program-share routing below).
+    let shape = nested::shape(ss_workloads::scale::Scale::S);
+    let seeds = nested::seeds(shape.roots, 77);
+    let expect = nested::seq(&seeds, shape);
+    assert_eq!(nested::cp(&seeds, shape, 4), expect);
+    for rt in runtimes() {
+        assert_eq!(nested::ss(&seeds, shape, &rt), expect, "{rt:?}");
+    }
+}
+
+#[test]
 fn registry_scale_s_smoke() {
     // The harness path end-to-end: build each registry entry at scale S and
     // verify fingerprint agreement once (full sweeps live in ss-bench).

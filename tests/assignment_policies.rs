@@ -52,9 +52,10 @@ fn same_set_program_order_all_policies() {
     }
 }
 
-/// Cross-policy result equality over the full Table 2 registry: every
-/// benchmark's serialization-sets implementation must produce the
-/// sequential fingerprint under every assignment policy.
+/// Cross-policy result equality over the full registry — the Table 2
+/// kernels plus `nested_fanout`, whose sets are first-touched from
+/// delegate contexts: every benchmark's serialization-sets implementation
+/// must produce the sequential fingerprint under every assignment policy.
 #[test]
 fn registry_equality_all_policies() {
     for spec in registry() {

@@ -1,0 +1,326 @@
+//! Sequential-oracle equality for **recursive delegation**: random
+//! nested-delegation programs (delegation depth ≤ 3, mixed delegations,
+//! mid-epoch reclaims, reducible bumps and epoch boundaries) must produce
+//! bit-identical results — including per-set operation order — to a
+//! trivial depth-first sequential interpreter, under every
+//! `Assignment × StealPolicy` combination.
+//!
+//! Determinism discipline (what makes the oracle well-defined): every
+//! object has exactly one *producer context* —
+//!
+//! * lane objects receive operations only from the program thread;
+//! * root `r`'s child object receives operations only from root `r`'s
+//!   delegate context (per-set FIFO ⇒ submission order);
+//! * root `r`'s grandchild object receives operations only from the child
+//!   operations of root `r`'s child set, which execute serially on one
+//!   executor — so the grandchild arrival order is the depth-first order
+//!   the oracle uses;
+//! * the reducible counter is bumped commutatively from any context.
+//!
+//! Mid-epoch `Read`s reclaim lane objects; children never touch lanes, so
+//! a reclaim (token-based or, once nesting is active, a full quiesce)
+//! observes exactly the roots delegated before it — the oracle's prefix.
+
+use prometheus_rs::prelude::*;
+use proptest::prelude::*;
+
+const LANES: usize = 4;
+
+/// One step of a generated program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Delegate a root operation on `lane` that spawns `kids` child
+    /// operations from its delegate context, each of which spawns
+    /// `grands` grandchild operations (depth 3).
+    Root {
+        lane: usize,
+        kids: usize,
+        grands: usize,
+    },
+    /// Dependent read of a lane: mid-epoch ownership reclaim.
+    Read { lane: usize },
+    /// Commutative reducible bump from the program context.
+    Bump { x: u64 },
+    /// Close the current isolation epoch and open a new one.
+    Epoch,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..LANES, 0..4usize, 0..3usize)
+            .prop_map(|(lane, kids, grands)| Op::Root { lane, kids, grands }),
+        2 => (0..LANES).prop_map(|lane| Op::Read { lane }),
+        1 => any::<u64>().prop_map(|x| Op::Bump { x: x >> 1 }),
+        1 => Just(Op::Epoch),
+    ]
+}
+
+/// Unique, collision-free operation ids (r < 2^20, j/k tiny).
+fn root_id(r: usize) -> u64 {
+    1 + (r as u64) * 1_000
+}
+fn child_id(r: usize, j: usize) -> u64 {
+    root_id(r) + 10 * (j as u64 + 1)
+}
+fn grand_id(r: usize, j: usize, k: usize) -> u64 {
+    child_id(r, j) + k as u64 + 1
+}
+fn fold_grand(acc: u64, v: u64) -> u64 {
+    acc.wrapping_mul(31).wrapping_add(v)
+}
+
+/// Everything a run produces, compared field-for-field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Outcome {
+    /// Per-lane operation order (root ids in execution order).
+    lanes: Vec<Vec<u64>>,
+    /// Per-root child operation order.
+    children: Vec<Vec<u64>>,
+    /// Per-root grandchild fold (order-sensitive).
+    grands: Vec<u64>,
+    /// Values observed by mid-epoch reads, in program order.
+    read_log: Vec<Vec<u64>>,
+    /// Commutative counter total.
+    counter: u64,
+}
+
+fn roots_in(ops: &[Op]) -> usize {
+    ops.iter().filter(|o| matches!(o, Op::Root { .. })).count()
+}
+
+/// Depth-first sequential interpreter — the semantics the runtime must be
+/// indistinguishable from.
+fn interpret(ops: &[Op]) -> Outcome {
+    let n_roots = roots_in(ops);
+    let mut out = Outcome {
+        lanes: vec![Vec::new(); LANES],
+        children: vec![Vec::new(); n_roots],
+        grands: vec![0; n_roots],
+        read_log: Vec::new(),
+        counter: 0,
+    };
+    let mut r = 0usize;
+    for op in ops {
+        match *op {
+            Op::Root { lane, kids, grands } => {
+                out.lanes[lane].push(root_id(r));
+                for j in 0..kids {
+                    out.children[r].push(child_id(r, j));
+                    out.counter = out.counter.wrapping_add(child_id(r, j));
+                    for k in 0..grands {
+                        out.grands[r] = fold_grand(out.grands[r], grand_id(r, j, k));
+                    }
+                }
+                r += 1;
+            }
+            Op::Read { lane } => out.read_log.push(out.lanes[lane].clone()),
+            Op::Bump { x } => out.counter = out.counter.wrapping_add(x),
+            Op::Epoch => {}
+        }
+    }
+    out
+}
+
+struct Acc(u64);
+impl Reduce for Acc {
+    fn reduce(&mut self, other: Self) {
+        self.0 = self.0.wrapping_add(other.0);
+    }
+}
+
+/// Runs the same program through the runtime with real recursive
+/// delegation.
+fn run_parallel(
+    ops: &[Op],
+    delegates: usize,
+    assignment: Assignment,
+    stealing: StealPolicy,
+) -> Outcome {
+    let rt = Runtime::builder()
+        .delegate_threads(delegates)
+        .assignment(assignment)
+        .stealing(stealing)
+        .build()
+        .unwrap();
+    let n_roots = roots_in(ops);
+    let lanes: Vec<Writable<Vec<u64>, SequenceSerializer>> =
+        (0..LANES).map(|_| Writable::new(&rt, Vec::new())).collect();
+    let child_objs: Vec<Writable<Vec<u64>, SequenceSerializer>> = (0..n_roots)
+        .map(|_| Writable::new(&rt, Vec::new()))
+        .collect();
+    let grand_objs: Vec<Writable<u64, SequenceSerializer>> =
+        (0..n_roots).map(|_| Writable::new(&rt, 0)).collect();
+    let counter = Reducible::new(&rt, || Acc(0));
+    let mut read_log = Vec::new();
+
+    rt.begin_isolation().unwrap();
+    let mut r = 0usize;
+    for op in ops {
+        match *op {
+            Op::Root { lane, kids, grands } => {
+                let rt1 = rt.clone();
+                let child = child_objs[r].clone();
+                let grand = grand_objs[r].clone();
+                let cnt = counter.clone();
+                lanes[lane]
+                    .delegate(move |v| {
+                        v.push(root_id(r));
+                        rt1.delegate_scope(|cx| {
+                            for j in 0..kids {
+                                let rt2 = rt1.clone();
+                                let grand2 = grand.clone();
+                                let cnt2 = cnt.clone();
+                                cx.delegate(&child, move |v| {
+                                    v.push(child_id(r, j));
+                                    cnt2.view(|a| a.0 = a.0.wrapping_add(child_id(r, j)))
+                                        .unwrap();
+                                    rt2.delegate_scope(|cx| {
+                                        for k in 0..grands {
+                                            cx.delegate(&grand2, move |g| {
+                                                *g = fold_grand(*g, grand_id(r, j, k));
+                                            })
+                                            .unwrap();
+                                        }
+                                    })
+                                    .unwrap();
+                                })
+                                .unwrap();
+                            }
+                        })
+                        .unwrap();
+                    })
+                    .unwrap();
+                r += 1;
+            }
+            Op::Read { lane } => {
+                read_log.push(lanes[lane].call_mut(|v| v.clone()).unwrap());
+            }
+            Op::Bump { x } => {
+                counter.view(|a| a.0 = a.0.wrapping_add(x)).unwrap();
+            }
+            Op::Epoch => {
+                rt.end_isolation().unwrap();
+                rt.begin_isolation().unwrap();
+            }
+        }
+    }
+    rt.end_isolation().unwrap();
+
+    Outcome {
+        lanes: lanes
+            .iter()
+            .map(|o| o.call(|v| v.clone()).unwrap())
+            .collect(),
+        children: child_objs
+            .iter()
+            .map(|o| o.call(|v| v.clone()).unwrap())
+            .collect(),
+        grands: grand_objs.iter().map(|o| o.call(|g| *g).unwrap()).collect(),
+        read_log,
+        counter: counter.view(|a| a.0).unwrap(),
+    }
+}
+
+type AssignmentFactory = fn() -> Assignment;
+
+/// Every `Assignment × StealPolicy` combination as
+/// `(assignment label, steal label, assignment, policy)`.
+fn all_shapes() -> Vec<(&'static str, &'static str, Assignment, StealPolicy)> {
+    let assignments: [(&'static str, AssignmentFactory); 3] = [
+        ("static", || Assignment::Static),
+        ("round-robin", || Assignment::RoundRobinFirstTouch),
+        ("least-loaded", || Assignment::LeastLoaded),
+    ];
+    let steals = [
+        ("off", StealPolicy::Off),
+        ("when-idle", StealPolicy::WhenIdle),
+        ("threshold-2", StealPolicy::Threshold(2)),
+    ];
+    let mut shapes = Vec::new();
+    for (an, af) in &assignments {
+        for (sn, sp) in &steals {
+            shapes.push((*an, *sn, af(), *sp));
+        }
+    }
+    shapes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// The headline property: every Assignment × StealPolicy combination
+    /// executes random nested programs bit-identically to the depth-first
+    /// sequential oracle.
+    #[test]
+    fn nested_execution_matches_sequential_oracle(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        delegates in 1usize..4,
+    ) {
+        let expected = interpret(&ops);
+        for (a_label, s_label, assignment, stealing) in all_shapes() {
+            let actual = run_parallel(&ops, delegates, assignment, stealing);
+            prop_assert_eq!(
+                &actual, &expected,
+                "{}+{} with {} delegates diverged from the oracle", a_label, s_label, delegates
+            );
+        }
+    }
+
+    /// Determinism: two runs of the same nested program on the same shape
+    /// are identical (no schedule-dependence leaks into results).
+    #[test]
+    fn repeated_nested_runs_are_identical(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+    ) {
+        let a = run_parallel(&ops, 2, Assignment::Static, StealPolicy::WhenIdle);
+        let b = run_parallel(&ops, 2, Assignment::Static, StealPolicy::WhenIdle);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Deterministic (non-proptest) spot check kept cheap enough for `--test-
+/// threads` sweeps: a fixed deep program over every shape, so CI matrix
+/// legs with different thread counts still cover all nine combinations.
+#[test]
+fn fixed_deep_program_all_shapes() {
+    let ops = vec![
+        Op::Root {
+            lane: 0,
+            kids: 3,
+            grands: 2,
+        },
+        Op::Root {
+            lane: 1,
+            kids: 2,
+            grands: 1,
+        },
+        Op::Bump { x: 9 },
+        Op::Read { lane: 0 },
+        Op::Root {
+            lane: 0,
+            kids: 3,
+            grands: 2,
+        },
+        Op::Epoch,
+        Op::Root {
+            lane: 2,
+            kids: 1,
+            grands: 2,
+        },
+        Op::Read { lane: 2 },
+        Op::Root {
+            lane: 2,
+            kids: 2,
+            grands: 0,
+        },
+    ];
+    let expected = interpret(&ops);
+    let delegates = std::env::var("SS_DELEGATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize);
+    for (a_label, s_label, assignment, stealing) in all_shapes() {
+        let actual = run_parallel(&ops, delegates, assignment, stealing);
+        assert_eq!(actual, expected, "{a_label}+{s_label} diverged");
+    }
+}

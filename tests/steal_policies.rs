@@ -1,9 +1,11 @@
 //! Work stealing is a pure scheduling choice: for every [`StealPolicy`],
 //! whole-program results must be identical to `StealPolicy::Off` (and
-//! therefore to the sequential oracle), across every Table 2 kernel and
-//! under every assignment policy. Only never-started sets migrate, whole
-//! and re-pinned atomically — so same-set program order, and with it the
-//! output, cannot depend on who executed what.
+//! therefore to the sequential oracle), across every registry kernel —
+//! including `nested_fanout`, whose operations are delegated recursively
+//! from delegate contexts — and under every assignment policy. Only
+//! never-started sets migrate, whole and re-pinned atomically — so
+//! same-set program order, and with it the output, cannot depend on who
+//! executed what.
 
 use prometheus_rs::prelude::*;
 use prometheus_rs::ss_apps::registry;
@@ -74,6 +76,43 @@ fn stealing_composes_with_assignment_policies() {
                 bench.run_ss(&rt),
                 expect,
                 "word_count diverged under {a_label} + {s_label}"
+            );
+            rt.shutdown().unwrap();
+        }
+    }
+}
+
+/// Recursive delegation composes with stealing: the nested kernel's child
+/// and grandchild sets are first-touched *by delegate threads* under the
+/// routing lock, racing thieves — and must still match the sequential
+/// fingerprint under every steal policy and delegate count.
+#[test]
+fn nested_kernel_identical_under_every_steal_policy() {
+    let spec = registry()
+        .into_iter()
+        .find(|s| s.name == "nested_fanout")
+        .expect("nested_fanout registered");
+    let bench = (spec.make)(Scale::S);
+    let expect = bench.run_seq();
+    let env_delegates: usize = std::env::var("SS_DELEGATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mut counts = vec![2usize];
+    if env_delegates != 2 {
+        counts.push(env_delegates);
+    }
+    for delegates in counts {
+        for (label, policy) in steal_policies() {
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .stealing(policy)
+                .build()
+                .unwrap();
+            assert_eq!(
+                bench.run_ss(&rt),
+                expect,
+                "nested_fanout diverged under {label} with {delegates} delegates"
             );
             rt.shutdown().unwrap();
         }

@@ -1,8 +1,22 @@
 //! Endurance and oversubscription stress: the runtime must stay correct
 //! (not merely fast) when delegate threads outnumber cores, when epochs
-//! cycle thousands of times, and when serializers are stateful.
+//! cycle thousands of times, when serializers are stateful — and when
+//! delegations are *recursive* (spawned from delegate contexts), which is
+//! where epoch barriers and reclaims are easiest to undercount.
+//!
+//! Several tests read `SS_DELEGATES` so the CI matrix can vary the
+//! runtime's delegate count (2 vs 8) and actually shake different
+//! interleavings out of schedule-sensitive paths.
 
 use prometheus_rs::prelude::*;
+
+/// Delegate count override for CI matrix legs (default: `fallback`).
+fn delegates_from_env(fallback: usize) -> usize {
+    std::env::var("SS_DELEGATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
+}
 
 #[test]
 fn heavy_oversubscription_is_correct() {
@@ -155,6 +169,161 @@ fn bursty_small_queues_with_many_objects() {
     let total: u64 = objs.iter().map(|o| o.call(|n| *n).unwrap()).sum();
     let expected: u64 = (0..100).map(|i| ((i % 7) + 1) * 5).sum();
     assert_eq!(total, expected);
+}
+
+/// The nested-depth axis the original suite lacked: the same fan-out
+/// workload at delegation depths 1, 2 and 3, under oversubscription and
+/// both transports, compared against a closed-form expectation.
+#[test]
+fn nested_depth_axis_is_correct_under_oversubscription() {
+    const ROOTS: u64 = 64;
+    const FAN: u64 = 3;
+    for depth in [1usize, 2, 3] {
+        for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
+            let rt = Runtime::builder()
+                .delegate_threads(delegates_from_env(8))
+                .stealing(policy)
+                .build()
+                .unwrap();
+            // One accumulator per (root, level) so every object keeps a
+            // single producer context.
+            let cells: Vec<Vec<Writable<u64, SequenceSerializer>>> = (0..ROOTS)
+                .map(|_| (0..depth).map(|_| Writable::new(&rt, 0)).collect())
+                .collect();
+            rt.begin_isolation().unwrap();
+            for (r, levels) in cells.iter().enumerate() {
+                let rt1 = rt.clone();
+                let levels1: Vec<_> = levels.to_vec();
+                levels[0]
+                    .delegate(move |n| {
+                        *n += 1;
+                        spawn_level(&rt1, &levels1, 1, FAN);
+                    })
+                    .unwrap();
+                let _ = r;
+            }
+            rt.end_isolation().unwrap();
+            // Level l receives FAN^l operations per root.
+            for levels in &cells {
+                for (l, cell) in levels.iter().enumerate() {
+                    let expect = FAN.pow(l as u32);
+                    assert_eq!(
+                        cell.call(|n| *n).unwrap(),
+                        expect,
+                        "depth {depth}, level {l}, policy {policy:?}"
+                    );
+                }
+            }
+            let stats = rt.stats();
+            if depth > 1 {
+                assert!(stats.nested_delegations > 0, "{stats:?}");
+            } else {
+                assert_eq!(stats.nested_delegations, 0, "{stats:?}");
+            }
+        }
+    }
+}
+
+/// Recursively delegates `FAN` operations on `levels[l]` from the current
+/// delegate context, each spawning the next level.
+fn spawn_level(rt: &Runtime, levels: &[Writable<u64, SequenceSerializer>], l: usize, fan: u64) {
+    if l >= levels.len() {
+        return;
+    }
+    rt.delegate_scope(|cx| {
+        for _ in 0..fan {
+            let rt2 = rt.clone();
+            let levels2: Vec<_> = levels.to_vec();
+            cx.delegate(&levels[l], move |n| {
+                *n += 1;
+                spawn_level(&rt2, &levels2, l + 1, fan);
+            })
+            .unwrap();
+        }
+    })
+    .unwrap();
+}
+
+/// The barrier-under-load case that would have caught an `in_flight`
+/// undercount: parents are still running — and still spawning — when
+/// `end_isolation` starts, so a barrier that counted a child only after
+/// its parent returned (or relied on queue tokens alone) would return
+/// with grandchildren unexecuted. Every child's effect must be visible
+/// after `end_isolation`.
+#[test]
+fn barrier_under_load_waits_for_late_spawned_children() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    const ROOTS: usize = 24;
+    const KIDS: u64 = 4;
+    const GRANDS: u64 = 2;
+    for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
+        let rt = Runtime::builder()
+            .delegate_threads(delegates_from_env(4))
+            .stealing(policy)
+            .build()
+            .unwrap();
+        let roots: Vec<Writable<u64, SequenceSerializer>> =
+            (0..ROOTS).map(|_| Writable::new(&rt, 0)).collect();
+        let kids: Vec<Writable<u64, SequenceSerializer>> =
+            (0..ROOTS).map(|_| Writable::new(&rt, 0)).collect();
+        let grands: Vec<Writable<u64, SequenceSerializer>> =
+            (0..ROOTS).map(|_| Writable::new(&rt, 0)).collect();
+        let hits = Arc::new(AtomicU64::new(0));
+        rt.begin_isolation().unwrap();
+        for i in 0..ROOTS {
+            let (rt1, kid, grand, h) = (
+                rt.clone(),
+                kids[i].clone(),
+                grands[i].clone(),
+                Arc::clone(&hits),
+            );
+            roots[i]
+                .delegate(move |n| {
+                    // Stall so the program thread reaches end_isolation
+                    // while parents are mid-flight; children then arrive
+                    // *after* the barrier tokens were queued.
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                    *n += 1;
+                    rt1.delegate_scope(|cx| {
+                        for _ in 0..KIDS {
+                            let (rt2, grand2, h2) = (rt1.clone(), grand.clone(), Arc::clone(&h));
+                            cx.delegate(&kid, move |k| {
+                                *k += 1;
+                                std::thread::sleep(std::time::Duration::from_micros(100));
+                                rt2.delegate_scope(|cx| {
+                                    for _ in 0..GRANDS {
+                                        let h3 = Arc::clone(&h2);
+                                        cx.delegate(&grand2, move |g| {
+                                            *g += 1;
+                                            h3.fetch_add(1, Ordering::Relaxed);
+                                        })
+                                        .unwrap();
+                                    }
+                                })
+                                .unwrap();
+                            })
+                            .unwrap();
+                        }
+                    })
+                    .unwrap();
+                })
+                .unwrap();
+        }
+        // Barrier races everything above.
+        rt.end_isolation().unwrap();
+        let expect_grands = ROOTS as u64 * KIDS * GRANDS;
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            expect_grands,
+            "policy {policy:?}: barrier returned before transitive children"
+        );
+        for i in 0..ROOTS {
+            assert_eq!(roots[i].call(|n| *n).unwrap(), 1, "{policy:?}");
+            assert_eq!(kids[i].call(|n| *n).unwrap(), KIDS, "{policy:?}");
+            assert_eq!(grands[i].call(|n| *n).unwrap(), KIDS * GRANDS, "{policy:?}");
+        }
+    }
 }
 
 #[test]
