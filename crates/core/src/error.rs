@@ -70,6 +70,19 @@ pub enum SsError {
     /// A `NullSerializer`-specialized object was delegated without an
     /// external serialization-set argument (`delegate_in`).
     MissingSerializer,
+    /// A blocking [`SsFuture::wait`](crate::SsFuture::wait) from a
+    /// delegate context can never complete: the waited-on operation
+    /// belongs to a serialization set that is (transitively) blocked
+    /// behind the waiter itself. The immediate form is waiting on an
+    /// operation in the set the delegate is currently executing (per-set
+    /// FIFO orders it *after* the running operation); the general form is
+    /// a cross-delegate cycle in the waits-for graph. The wait is
+    /// rejected instead of deadlocking; the runtime is *not* poisoned —
+    /// the waiter may recover.
+    FutureDeadlock {
+        /// The serialization set of the operation being waited on.
+        set: SsId,
+    },
     /// A delegated operation panicked. The runtime is poisoned: parallel
     /// results are no longer the deterministic sequential results, so all
     /// subsequent epoch operations report this error.
@@ -151,6 +164,11 @@ impl fmt::Display for SsError {
             SsError::MissingSerializer => write!(
                 f,
                 "object uses the null serializer; provide a set via delegate_in"
+            ),
+            SsError::FutureDeadlock { set } => write!(
+                f,
+                "waiting on a future for serialization set {set:?} from this delegate context \
+                 would deadlock: the set is blocked behind the waiter itself"
             ),
             SsError::DelegatePanicked(msg) => write!(f, "a delegated operation panicked: {msg}"),
             SsError::Terminated => write!(f, "runtime has been terminated"),

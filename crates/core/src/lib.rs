@@ -67,6 +67,7 @@
 mod cell;
 mod config;
 mod error;
+mod future;
 mod invocation;
 mod runtime;
 mod serializer;
@@ -76,6 +77,7 @@ mod wrappers;
 
 pub use config::{Assignment, ExecutionMode, RuntimeBuilder, StealPolicy, WaitPolicy};
 pub use error::{SsError, SsResult};
+pub use future::SsFuture;
 pub use runtime::{
     AssignTopology, DelegateAssignment, DelegateContext, DelegateLoads, Executor, LeastLoaded,
     RoundRobinFirstTouch, Runtime, StaticAssignment,

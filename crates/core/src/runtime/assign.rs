@@ -265,6 +265,29 @@ impl Scheduler {
         self.policy.assign(ss, topo, loads)
     }
 
+    /// Read-only pin lookup for epoch `serial` — the future-wait deadlock
+    /// detector's view of the routing state. Never creates a pin: pure
+    /// policies are recomputed (side-effect-free by the
+    /// [`DelegateAssignment::is_pure`] contract), stateful ones answer
+    /// from the pin table only, with `None` for sets not yet touched this
+    /// epoch (the detector treats that as "no cycle" and retries).
+    pub(crate) fn peek(
+        &mut self,
+        ss: SsId,
+        serial: u64,
+        topo: &AssignTopology,
+        loads: &DelegateLoads<'_>,
+    ) -> Option<Executor> {
+        if self.pure {
+            return Some(self.policy.assign(ss, topo, loads));
+        }
+        if self.pin_serial == serial {
+            self.pins.get(&ss.0).copied()
+        } else {
+            None
+        }
+    }
+
     /// Routes `ss` for epoch `serial`. Returns the executor and whether
     /// this call created a fresh pin (first touch of the set this epoch).
     pub(crate) fn executor_for(

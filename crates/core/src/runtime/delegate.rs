@@ -25,16 +25,19 @@
 //!   becomes loaded while peers sleep is relieved within a millisecond
 //!   even if no push ever wakes them.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use ss_queue::oneshot::WaitSignal;
 use ss_queue::{Consumer, Pop};
 
 use crate::config::WaitPolicy;
 use crate::error::{SsError, SsResult};
+use crate::future::SsFuture;
 use crate::invocation::Invocation;
 use crate::serializer::{Serializer, SsId};
 use crate::stats::StatsCell;
@@ -98,6 +101,359 @@ impl Wakeup {
     }
 }
 
+// ----------------------------------------------------------------------
+// help-first execution (futures on delegated operations)
+//
+// A delegate blocked in `SsFuture::wait` must not simply park: the
+// operation it waits on may sit in its *own* queue (it transitively
+// spawned it there), in which case parking deadlocks. Instead the waiter
+// executes entries from its own queue — "help-first", the nested-reclaim
+// protocol the ROADMAP sketches, scoped to futures — with two carve-outs
+// that keep the execution model's invariants intact:
+//
+// * **Entries of an *active* set are deferred, not executed.** The
+//   delegate keeps a stack of the serialization sets whose operations are
+//   currently on its call stack; executing another operation of such a
+//   set would alias the live `&mut` borrow of the object (and would break
+//   per-set program order — those entries are ordered *after* the running
+//   operation). Deferred entries are re-queued locally and run, in their
+//   original FIFO order, once the stack unwinds.
+// * **Synchronization/termination tokens are always deferred.** A token's
+//   contract is "when signaled, everything ordered before it has
+//   completed" — but the operation the help loop is nested inside has
+//   not completed, so signaling from inside the loop would let a reclaim
+//   or epoch barrier observe a half-executed queue. The main loop drains
+//   the deferred buffer (tokens included, in order) before popping
+//   anything new, so the contract holds exactly.
+
+/// Where a queue entry was popped from. Decides which counters settle
+/// after execution: ring entries are covered by queue tokens alone, while
+/// injector-lane and deque entries each carry an `in_flight` count (the
+/// transitive-drain signal the epoch barrier waits on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// The delegate's own SPSC ring (program-thread pushes).
+    Ring,
+    /// The ring's multi-producer injector lane (nested pushes).
+    Injected,
+    /// The shared steal deque (stealing transport; all producers).
+    Deque,
+}
+
+/// An entry parked in the help-first deferred buffer (see the module
+/// comment above for the two reasons an entry gets deferred).
+struct DeferredEntry {
+    inv: Invocation,
+    origin: Origin,
+}
+
+/// Raw handles onto the queue the owning delegate thread pops from.
+/// Pointers into `delegate_main{,_stealing}`'s stack frame; valid for the
+/// lifetime of the installed [`HelpState`] (the loops uninstall before
+/// returning) and only ever dereferenced on the owning thread.
+#[derive(Clone, Copy)]
+enum SourcePtr {
+    Spsc(*const Consumer<Invocation>),
+    Steal(*const StealShared),
+}
+
+/// Per-delegate-thread help-first state, installed for the duration of
+/// the worker loop. Entirely thread-private — the deadlock detector sees
+/// other delegates' active stacks only through the snapshots they
+/// register in `Core::future_waits` when they block, so the per-op
+/// push/pop below costs no synchronization.
+struct HelpState {
+    rt_id: u64,
+    idx: usize,
+    source: SourcePtr,
+    core: *const Core,
+    /// Serialization sets whose operations are currently on this
+    /// thread's call stack (outermost first). Grows past one element
+    /// only when a help-executed operation itself blocks on a future.
+    active: Vec<u64>,
+    /// Entries popped by the help loop that may not run yet.
+    deferred: VecDeque<DeferredEntry>,
+}
+
+thread_local! {
+    /// The owning delegate loop's help state; `None` on non-delegate
+    /// threads and outside the loop.
+    static HELP: RefCell<Option<HelpState>> = const { RefCell::new(None) };
+}
+
+/// Installs the thread's [`HelpState`] and removes it on drop, so a
+/// worker loop that exits by any path leaves no dangling frame pointers
+/// behind in the thread-local.
+struct HelpInstall;
+
+impl HelpInstall {
+    fn new(state: HelpState) -> Self {
+        HELP.with(|h| *h.borrow_mut() = Some(state));
+        HelpInstall
+    }
+}
+
+impl Drop for HelpInstall {
+    fn drop(&mut self) {
+        HELP.with(|h| *h.borrow_mut() = None);
+    }
+}
+
+/// True when `set` is on the calling thread's active-set stack (an
+/// operation of that set is currently on this call stack).
+fn active_contains(set: u64) -> bool {
+    HELP.with(|h| h.borrow().as_ref().is_some_and(|s| s.active.contains(&set)))
+}
+
+/// A copy of the calling thread's active-set stack (registered alongside
+/// a blocked wait so the deadlock detector can read it).
+fn active_snapshot() -> Vec<u64> {
+    HELP.with(|h| {
+        h.borrow()
+            .as_ref()
+            .map(|s| s.active.clone())
+            .unwrap_or_default()
+    })
+}
+
+/// Pops the front of the deferred buffer (main-loop use: the active stack
+/// is empty at the loop's top level, so everything is runnable and tokens
+/// may be signaled).
+fn deferred_pop_front() -> Option<DeferredEntry> {
+    HELP.with(|h| h.borrow_mut().as_mut().and_then(|s| s.deferred.pop_front()))
+}
+
+fn deferred_push_back(entry: DeferredEntry) {
+    HELP.with(|h| {
+        if let Some(s) = h.borrow_mut().as_mut() {
+            s.deferred.push_back(entry);
+        }
+    });
+}
+
+/// Removes the first *runnable* deferred entry: an `Execute` whose set is
+/// not on the active stack (help-loop use). Same-set entries keep their
+/// relative order, so per-set FIFO survives the out-of-order removal of
+/// entries belonging to different sets.
+fn deferred_take_runnable() -> Option<DeferredEntry> {
+    HELP.with(|h| {
+        let mut b = h.borrow_mut();
+        let s = b.as_mut()?;
+        let pos = s.deferred.iter().position(
+            |d| matches!(&d.inv, Invocation::Execute { ss, .. } if !s.active.contains(&ss.0)),
+        )?;
+        s.deferred.remove(pos)
+    })
+}
+
+/// Executes one `Execute` invocation with active-set tracking and
+/// origin-correct counter settlement. Shared by the worker loops and the
+/// help loop so every path maintains identical accounting. The task box
+/// never unwinds (`package_task` traps panics), so the push/pop pair
+/// stays balanced.
+fn execute_op(core: &Core, idx: usize, ss: SsId, task: Box<dyn FnOnce() + Send>, origin: Origin) {
+    HELP.with(|h| {
+        if let Some(s) = h.borrow_mut().as_mut() {
+            s.active.push(ss.0);
+        }
+    });
+    task();
+    HELP.with(|h| {
+        if let Some(s) = h.borrow_mut().as_mut() {
+            s.active.pop();
+        }
+    });
+    // Depth was raised at submit; the Release pairs with assignment-time
+    // Relaxed reads (stale is fine) and keeps the counter exact for stats
+    // snapshots. Lane/deque entries additionally carry the `in_flight`
+    // count whose Release pairs with the barrier's Acquire drain load.
+    core.stats.queue_depths[idx].fetch_sub(1, Ordering::Release);
+    if origin != Origin::Ring {
+        core.stats.in_flight.fetch_sub(1, Ordering::Release);
+    }
+    StatsCell::bump(&core.stats.delegate_executed[idx]);
+}
+
+/// One help-first step by the calling delegate thread: execute a runnable
+/// deferred entry, or pop entries from the own queue until one is
+/// runnable (deferring the rest). Returns whether an operation executed.
+fn help_one(rt_id: u64) -> bool {
+    let Some((idx, source, core)) = HELP.with(|h| {
+        h.borrow()
+            .as_ref()
+            .filter(|s| s.rt_id == rt_id)
+            .map(|s| (s.idx, s.source, s.core))
+    }) else {
+        return false;
+    };
+    // SAFETY: the pointers were installed by this thread's worker loop,
+    // which is still on the stack below us; dereferenced only here, on
+    // the owning thread.
+    let core = unsafe { &*core };
+    if let Some(d) = deferred_take_runnable() {
+        let Invocation::Execute { task, ss } = d.inv else {
+            unreachable!("deferred_take_runnable only returns Execute entries");
+        };
+        execute_op(core, idx, ss, task, d.origin);
+        return true;
+    }
+    loop {
+        let popped = match source {
+            // SAFETY: as above — owning thread, frame alive.
+            SourcePtr::Spsc(consumer) => {
+                let consumer = unsafe { &*consumer };
+                match consumer.try_pop() {
+                    Pop::Value(inv) => Some((inv, Origin::Ring)),
+                    _ => consumer
+                        .try_pop_injected()
+                        .map(|inv| (inv, Origin::Injected)),
+                }
+            }
+            SourcePtr::Steal(shared) => {
+                let shared = unsafe { &*shared };
+                shared.deques[idx]
+                    .pop()
+                    .map(|(_, inv)| (inv, Origin::Deque))
+            }
+        };
+        let Some((inv, origin)) = popped else {
+            return false;
+        };
+        match inv {
+            Invocation::Execute { task, ss } if !active_contains(ss.0) => {
+                execute_op(core, idx, ss, task, origin);
+                return true;
+            }
+            inv => deferred_push_back(DeferredEntry { inv, origin }),
+        }
+    }
+}
+
+/// Outcome of one turn of a delegate-context future wait (see
+/// [`future_wait_turn`]).
+pub(crate) enum WaitTurn {
+    /// The calling thread is not a delegate of this runtime; the caller
+    /// should block conventionally.
+    NotDelegate,
+    /// A help-first step executed an operation; poll again.
+    Progress,
+    /// No local work; the waiter registered in the waits-for table and
+    /// parked briefly.
+    Waited,
+    /// The wait can never complete ([`SsError::FutureDeadlock`]).
+    Deadlock,
+}
+
+/// One turn of `SsFuture::wait` on a (potential) delegate thread:
+/// self-cycle rejection, then help-first, then a registered bounded park
+/// with waits-for cycle detection. `park` must be a bounded wait that
+/// returns early when `signal` settles (the future's receiver provides
+/// exactly that).
+pub(crate) fn future_wait_turn(
+    rt: &Runtime,
+    set: SsId,
+    signal: &WaitSignal,
+    park: &mut dyn FnMut(),
+) -> WaitTurn {
+    let me = DELEGATE_CTX.with(|c| match c.get() {
+        Some((id, idx)) if id == rt.inner.id => Some(idx as usize),
+        _ => None,
+    });
+    let Some(me) = me else {
+        return WaitTurn::NotDelegate;
+    };
+    // Immediate self-cycle: the waited-on operation belongs to a set this
+    // thread is currently executing, so per-set FIFO orders it after the
+    // operation doing the waiting. Deterministic, no timing involved.
+    if active_contains(set.0) {
+        return WaitTurn::Deadlock;
+    }
+    if help_one(rt.inner.id) {
+        return WaitTurn::Progress;
+    }
+    {
+        let mut waits = rt.inner.core.future_waits.lock();
+        waits[me] = Some((set.0, signal.clone(), active_snapshot()));
+        if wait_cycle_closes(rt, me, set.0, &waits) {
+            waits[me] = None;
+            return WaitTurn::Deadlock;
+        }
+    }
+    park();
+    rt.inner.core.future_waits.lock()[me] = None;
+    WaitTurn::Waited
+}
+
+/// Walks the waits-for graph from `first_set` and reports whether it
+/// closes back on delegate `me` — the only configuration no amount of
+/// helping or waiting can resolve.
+///
+/// A hop `set → delegate j` is a *stuck* edge only when **both** hold:
+///
+/// * `set` is on `j`'s active-set stack — an operation of `set` is
+///   (transitively) on `j`'s call stack, so per-set FIFO orders the
+///   waited-on operation behind frames that cannot unwind until `j`'s
+///   own wait resolves. (A set merely *queued* at `j` is not stuck: `j`
+///   help-executes it on its next turn, even while blocked — this is
+///   exactly what distinguishes a deadlock from an in-progress help.)
+/// * `j` is registered blocked on an unsettled future (or `j == me`,
+///   closing the cycle — `me`'s stack cannot unwind until this very
+///   wait resolves).
+///
+/// Soundness of the positive answer: while the `future_waits` mutex is
+/// held, registered waiters cannot deregister (deregistration takes the
+/// mutex) and are parked or walking — not executing — so the active-set
+/// snapshots they registered are still their live stacks; started sets
+/// never migrate, so the pins along the chain are stable too. Every edge
+/// of a reported cycle is therefore simultaneously stuck, and no member
+/// can ever run. Chains that end anywhere else (a program-owned or
+/// unpinned set, a merely-queued operation, an unregistered — i.e.
+/// running — delegate, a settled future) return `false` and the waiter
+/// retries after a bounded park.
+fn wait_cycle_closes(
+    rt: &Runtime,
+    me: usize,
+    first_set: u64,
+    waits: &[Option<super::FutureWait>],
+) -> bool {
+    let mut set = first_set;
+    // A simple cycle visits each delegate at most once; the hop cap
+    // bounds the walk without a visited set (longer chains revisit a
+    // delegate, whose wait entry would just be followed again — the cap
+    // cuts the walk with a conservative `false`).
+    for _ in 0..=waits.len() {
+        let Some(Executor::Delegate(j)) = rt.executor_of_set(SsId(set)) else {
+            return false;
+        };
+        if j == me {
+            // Closing hop: `me` is walking, so its live (thread-local)
+            // stack is the authority.
+            return active_contains(set);
+        }
+        match &waits[j] {
+            Some((next, sig, stack)) if !sig.is_settled() => {
+                if !stack.contains(&set) {
+                    return false; // queued at j, not stuck: j will help
+                }
+                set = *next;
+            }
+            _ => return false, // j is running; its stack will unwind
+        }
+    }
+    false
+}
+
+/// The [`TraceExecutor`] identity of the calling thread relative to
+/// runtime `rt_id`: a delegate index when called from one of its delegate
+/// threads, otherwise the program executor. Used by packaged future task
+/// closures, which capture only the shared [`Core`].
+pub(crate) fn trace_executor_for(rt_id: u64) -> TraceExecutor {
+    DELEGATE_CTX.with(|c| match c.get() {
+        Some((id, idx)) if id == rt_id => TraceExecutor::Delegate(idx as usize),
+        _ => TraceExecutor::Program,
+    })
+}
+
 /// Delegate thread main loop (§4): repeatedly read invocation objects from
 /// the communication queue and execute them.
 ///
@@ -115,19 +471,41 @@ pub(super) fn delegate_main(
     core: Arc<Core>,
 ) {
     DELEGATE_CTX.with(|c| c.set(Some((rt_id, idx))));
+    let _help = HelpInstall::new(HelpState {
+        rt_id,
+        idx: idx as usize,
+        source: SourcePtr::Spsc(&consumer),
+        core: Arc::as_ptr(&core),
+        active: Vec::new(),
+        deferred: VecDeque::new(),
+    });
     let backoff = ss_queue::Backoff::new();
     loop {
+        // Entries a nested future wait deferred come first: they were
+        // popped before anything still queued, and the active stack is
+        // empty at the loop's top level, so every entry is runnable and
+        // tokens may finally be signaled (their "everything before me has
+        // completed" contract now holds).
+        if let Some(d) = deferred_pop_front() {
+            backoff.reset();
+            match d.inv {
+                Invocation::Execute { task, ss } => {
+                    execute_op(&core, idx as usize, ss, task, d.origin)
+                }
+                Invocation::Sync(token) => token.signal(),
+                Invocation::Terminate(token) => {
+                    token.signal();
+                    break;
+                }
+            }
+            continue;
+        }
         match consumer.try_pop() {
             Pop::Value(inv) => {
                 backoff.reset();
                 match inv {
-                    Invocation::Execute { task, .. } => {
-                        task();
-                        // Depth was raised at submit; the Release pairs with
-                        // assignment-time Relaxed reads (stale is fine) and
-                        // keeps the counter exact for stats snapshots.
-                        core.stats.queue_depths[idx as usize].fetch_sub(1, Ordering::Release);
-                        StatsCell::bump(&core.stats.delegate_executed[idx as usize]);
+                    Invocation::Execute { task, ss } => {
+                        execute_op(&core, idx as usize, ss, task, Origin::Ring)
                     }
                     Invocation::Sync(token) => token.signal(),
                     Invocation::Terminate(token) => {
@@ -146,11 +524,8 @@ pub(super) fn delegate_main(
                 if let Some(inv) = consumer.try_pop_injected() {
                     backoff.reset();
                     match inv {
-                        Invocation::Execute { task, .. } => {
-                            task();
-                            core.stats.queue_depths[idx as usize].fetch_sub(1, Ordering::Release);
-                            core.stats.in_flight.fetch_sub(1, Ordering::Release);
-                            StatsCell::bump(&core.stats.delegate_executed[idx as usize]);
+                        Invocation::Execute { task, ss } => {
+                            execute_op(&core, idx as usize, ss, task, Origin::Injected)
                         }
                         Invocation::Sync(token) => token.signal(),
                         Invocation::Terminate(token) => {
@@ -195,6 +570,14 @@ pub(super) fn delegate_main_stealing(
 ) {
     DELEGATE_CTX.with(|c| c.set(Some((rt_id, idx))));
     let me = idx as usize;
+    let _help = HelpInstall::new(HelpState {
+        rt_id,
+        idx: me,
+        source: SourcePtr::Steal(Arc::as_ptr(&shared)),
+        core: Arc::as_ptr(&core),
+        active: Vec::new(),
+        deferred: VecDeque::new(),
+    });
     let deque = &shared.deques[me];
     let backoff = ss_queue::Backoff::new();
     // Per-victim push counts at the last *failed* steal: a victim whose
@@ -202,20 +585,35 @@ pub(super) fn delegate_main_stealing(
     // O(queue) scan (see `StealDeque::pushes`).
     let mut stale_at: Vec<Option<usize>> = vec![None; shared.deques.len()];
     'main: loop {
+        // Deferred-first, as in `delegate_main`: entries a nested future
+        // wait parked were popped before anything still in the deque.
+        while let Some(d) = deferred_pop_front() {
+            backoff.reset();
+            match d.inv {
+                Invocation::Execute { task, ss } => execute_op(&core, me, ss, task, d.origin),
+                Invocation::Sync(token) => token.signal(),
+                Invocation::Terminate(token) => {
+                    token.signal();
+                    break 'main;
+                }
+            }
+        }
         // Popping marks the entry's set *started* here (inside the deque's
         // critical section), which is the point of no return for
         // migration: from now until the epoch ends, the set is ours.
         while let Some((_tag, inv)) = deque.pop() {
             backoff.reset();
             match inv {
-                Invocation::Execute { task, .. } => {
-                    task();
-                    core.stats.queue_depths[me].fetch_sub(1, Ordering::Release);
-                    // The Release pairs with the barrier's Acquire load:
-                    // `in_flight == 0` must imply every operation's
+                Invocation::Execute { task, ss } => {
+                    // The Release inside pairs with the barrier's Acquire
+                    // load: `in_flight == 0` must imply every operation's
                     // effects are visible to the program thread.
-                    core.stats.in_flight.fetch_sub(1, Ordering::Release);
-                    StatsCell::bump(&core.stats.delegate_executed[me]);
+                    execute_op(&core, me, ss, task, Origin::Deque);
+                    // A nested wait inside the op may have deferred
+                    // entries; surface them before draining further.
+                    if HELP.with(|h| h.borrow().as_ref().is_some_and(|s| !s.deferred.is_empty())) {
+                        continue 'main;
+                    }
                 }
                 Invocation::Sync(token) => token.signal(),
                 Invocation::Terminate(token) => {
@@ -463,6 +861,68 @@ impl<'rt> DelegateContext<'rt> {
         F: FnOnce(&mut T) + Send + 'static,
     {
         target.delegate_nested(self, Some(ss.into()), f)
+    }
+
+    /// Delegates a *future-returning* operation on `target` from this
+    /// delegate context — the nested form of [`Writable::delegate_with`].
+    /// The returned [`SsFuture`] may be waited on right here, inside the
+    /// running operation: a delegate blocked on a future it transitively
+    /// spawned executes help-first from its own queue instead of
+    /// deadlocking, and a wait that genuinely can never complete (an
+    /// operation ordered behind the waiter itself) is rejected with
+    /// [`SsError::FutureDeadlock`].
+    ///
+    /// ```
+    /// use ss_core::{Runtime, SequenceSerializer, Writable};
+    ///
+    /// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    /// let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    /// let child: Writable<u64, SequenceSerializer> = Writable::new(&rt, 10);
+    ///
+    /// rt.isolated(|| {
+    ///     let (rt2, child2) = (rt.clone(), child.clone());
+    ///     parent
+    ///         .delegate(move |n| {
+    ///             // Spawn a future-returning child operation and consume
+    ///             // its result right here, in the parent operation.
+    ///             let fut = rt2
+    ///                 .delegate_scope(|cx| cx.delegate_with(&child2, |c| *c * 3))
+    ///                 .unwrap()
+    ///                 .unwrap();
+    ///             *n = fut.wait().unwrap();
+    ///         })
+    ///         .unwrap();
+    /// })
+    /// .unwrap();
+    ///
+    /// assert_eq!(parent.call(|n| *n).unwrap(), 30);
+    /// ```
+    pub fn delegate_with<T, S, R, F>(&self, target: &Writable<T, S>, f: F) -> SsResult<SsFuture<R>>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        target.delegate_nested_with(self, None, f)
+    }
+
+    /// Future-returning nested delegation in an explicitly supplied
+    /// serialization set — the nested form of
+    /// [`Writable::delegate_in_with`].
+    pub fn delegate_in_with<T, S, R, F>(
+        &self,
+        target: &Writable<T, S>,
+        ss: impl Into<SsId>,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        target.delegate_nested_with(self, Some(ss.into()), f)
     }
 }
 

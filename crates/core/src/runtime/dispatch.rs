@@ -89,6 +89,42 @@ impl Runtime {
             .executor_for(ss, serial, &self.inner.topology, &loads)
     }
 
+    /// Cross-thread, read-only resolution of the executor that owns `ss`
+    /// in the current epoch — the pin-lookup leg of the future-wait
+    /// deadlock detector. Conservative: `None` whenever the answer is not
+    /// already pinned (the detector then simply retries later), so this
+    /// never creates pins or consults stateful policies. Lock order: the
+    /// caller may hold the `future_waits` mutex; this takes the routing
+    /// lock (stealing) or the scheduler mutex, which nest inside it.
+    pub(crate) fn executor_of_set(&self, ss: SsId) -> Option<Executor> {
+        if self.inner.topology.n_delegates == 0 {
+            return Some(Executor::Program);
+        }
+        if self.inner.static_assignment {
+            return Some(static_executor(ss, &self.inner.topology));
+        }
+        let serial = self.cross_epoch_serial();
+        match &self.inner.channels {
+            Channels::Steal(shared) => {
+                let table = shared.table.lock();
+                if table.serial == serial {
+                    table.pins.get(&ss.0).copied()
+                } else {
+                    None
+                }
+            }
+            Channels::Spsc { .. } => {
+                let loads = DelegateLoads {
+                    depths: &self.inner.core.stats.queue_depths,
+                };
+                self.inner
+                    .scheduler
+                    .lock()
+                    .peek(ss, serial, &self.inner.topology, &loads)
+            }
+        }
+    }
+
     /// Runs a delegated task inline on the program thread (program-share
     /// virtual delegates and zero-delegate runtimes).
     fn run_inline(&self, task: Box<dyn FnOnce() + Send>) -> SsResult<()> {

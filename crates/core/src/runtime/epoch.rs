@@ -93,6 +93,11 @@ impl Runtime {
                 return Err(SsError::NotIsolating);
             }
         }
+        // The barrier also settles every `SsFuture` delegated this epoch:
+        // each operation's one-shot cell is completed before its queue
+        // token/`in_flight` count settles, so token-drain + counter-drain
+        // transitively implies future-resolution. A future carried across
+        // this boundary is a plain ready value.
         self.barrier_all_delegates();
         if let super::Channels::Steal(shared) = &self.inner.channels {
             // All queues just drained: safe to forget pins and started

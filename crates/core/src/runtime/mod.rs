@@ -27,6 +27,15 @@
 //!   queues' injector lanes or the shared steal deques — and the
 //!   `end_isolation` barrier waits for *transitively* spawned work via the
 //!   `in_flight` counter (a child is counted before its parent completes).
+//! * **Futures on delegated operations**: the `delegate_with` family
+//!   returns a typed [`SsFuture`](crate::SsFuture) whose one-shot cell the
+//!   executing context settles *before* publishing the operation's
+//!   completion to the drain machinery — so every drain proof covers every
+//!   future. A delegate blocked in `SsFuture::wait` executes **help-first**
+//!   from its own queue ([`delegate`] module), deferring entries of sets on
+//!   its call stack and all tokens; genuinely unresolvable waits are
+//!   rejected via waits-for cycle detection
+//!   ([`SsError::FutureDeadlock`](crate::SsError::FutureDeadlock)).
 //! * **Synchronization objects** flush a delegate queue when the program
 //!   context reclaims ownership of an object, or all queues at
 //!   `end_isolation`; once any nested delegation happened in an epoch, a
@@ -47,6 +56,7 @@ pub use assign::{
     StaticAssignment,
 };
 pub use delegate::DelegateContext;
+pub(crate) use delegate::{future_wait_turn, trace_executor_for, WaitTurn};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -98,7 +108,24 @@ pub(crate) struct Core {
     /// Delegate-side trace events awaiting fold into the program-order
     /// log; `None` when tracing is disabled.
     pub(crate) side_events: Option<Mutex<Vec<SideEvent>>>,
+    /// Waits-for table for blocking [`SsFuture`](crate::SsFuture) waits
+    /// from delegate contexts: slot `i` holds one [`FutureWait`] while
+    /// delegate `i` is blocked with its help-first options exhausted. The
+    /// deadlock detector walks `set → pinned executor → that delegate's
+    /// wait` under this mutex; lock order is this mutex first, then the
+    /// routing locks (stealing `PinTable` / scheduler).
+    pub(crate) future_waits: Mutex<Vec<Option<FutureWait>>>,
 }
+
+/// One registered blocked future wait: the waited-on serialization set, a
+/// settlement probe for the wait's cell, and a snapshot of the waiter's
+/// active-set stack (the sets whose operations are on its call stack)
+/// taken at registration. The snapshot is what lets the deadlock
+/// detector read *other* delegates' stacks without any hot-path sharing:
+/// a registered waiter is parked or walking — not executing — so its
+/// stack cannot change while the entry exists, and the detector only
+/// follows edges through registered delegates.
+pub(crate) type FutureWait = (u64, ss_queue::oneshot::WaitSignal, Vec<u64>);
 
 impl Core {
     /// Records the first delegated panic; later ones are dropped (the run is
@@ -118,6 +145,34 @@ impl Core {
             .clone()
             .unwrap_or_else(|| "<unknown panic>".to_string());
         SsError::DelegatePanicked(msg)
+    }
+
+    /// Records one delegate-side trace event directly against the shared
+    /// core (no-op when tracing is disabled). The `Runtime`-level
+    /// [`record_side_event`](Runtime::record_side_event) wrapper is
+    /// preferred where a runtime handle exists; this form is for packaged
+    /// task closures, which deliberately capture only the `Core` (see the
+    /// [`Core`] docs for why they must not hold the runtime alive).
+    pub(crate) fn record_side(
+        &self,
+        serial: u64,
+        kind: TraceKind,
+        object: Option<u64>,
+        set: Option<SsId>,
+        executor: TraceExecutor,
+    ) {
+        let Some(buf) = &self.side_events else {
+            return;
+        };
+        let event = SideEvent {
+            order: self.trace_clock.fetch_add(1, Ordering::Relaxed),
+            serial,
+            kind,
+            object,
+            set,
+            executor,
+        };
+        buf.lock().push(event);
     }
 }
 
@@ -255,6 +310,7 @@ impl Runtime {
             nested_in_epoch: AtomicBool::new(false),
             trace_clock: AtomicU64::new(0),
             side_events: b.trace.then(|| Mutex::new(Vec::new())),
+            future_waits: Mutex::new((0..n_delegates).map(|_| None).collect()),
         });
         let force_sleep = Arc::new(AtomicBool::new(false));
 
@@ -498,23 +554,17 @@ impl Runtime {
         set: Option<SsId>,
         executor: Executor,
     ) {
-        let core = &self.inner.core;
-        let Some(buf) = &core.side_events else {
-            return;
-        };
         let executor = match executor {
             Executor::Program => TraceExecutor::Program,
             Executor::Delegate(i) => TraceExecutor::Delegate(i),
         };
-        let event = SideEvent {
-            order: core.trace_clock.fetch_add(1, Ordering::Relaxed),
-            serial: self.inner.epoch_serial.load(Ordering::Acquire),
+        self.inner.core.record_side(
+            self.inner.epoch_serial.load(Ordering::Acquire),
             kind,
             object,
             set,
             executor,
-        };
-        buf.lock().push(event);
+        );
     }
 
     /// Removes and returns the recorded trace (program thread only; empty
@@ -531,6 +581,13 @@ impl Runtime {
 
     // ------------------------------------------------------------------
     // context checks
+
+    /// This runtime's process-unique id (delegate threads carry it in
+    /// their thread-local context marker).
+    #[inline]
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
+    }
 
     #[inline]
     pub(crate) fn is_program_thread(&self) -> bool {

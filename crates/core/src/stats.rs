@@ -31,6 +31,9 @@ pub(crate) struct StatsCell {
     /// Operations delegated from *delegate* contexts (recursive
     /// delegation via `DelegateContext`).
     pub nested_delegations: AtomicU64,
+    /// Futures resolved: completions delivered through an `SsFuture`'s
+    /// one-shot cell by `delegate_with`-style operations.
+    pub futures_resolved: AtomicU64,
     /// Successful steal operations (whole-batch migrations).
     pub steals: AtomicU64,
     /// Steal attempts that found no eligible batch on the chosen victim.
@@ -68,6 +71,7 @@ impl StatsCell {
             reductions: AtomicU64::new(0),
             pins: AtomicU64::new(0),
             nested_delegations: AtomicU64::new(0),
+            futures_resolved: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -98,8 +102,10 @@ impl StatsCell {
             reductions: self.reductions.load(Ordering::Relaxed),
             pins: self.pins.load(Ordering::Relaxed),
             nested_delegations: self.nested_delegations.load(Ordering::Relaxed),
+            futures_resolved: self.futures_resolved.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             steal_failures: self.steal_failures.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Acquire),
             queue_depths: self
                 .queue_depths
                 .iter()
@@ -145,6 +151,13 @@ pub struct Stats {
     /// Also included in [`delegations`](Stats::delegations). 0 for
     /// programs that only delegate from the program thread.
     pub nested_delegations: u64,
+    /// Futures resolved: completions delivered to
+    /// [`SsFuture`](crate::SsFuture)s by operations delegated through the
+    /// `delegate_with` family. Each future's cell is settled exactly once
+    /// (a dropped future still counts — the completion is delivered to
+    /// the cell regardless of whether anyone waits). 0 for programs that
+    /// never use future-returning delegation.
+    pub futures_resolved: u64,
     /// Successful steals: whole-batch migrations of never-started sets
     /// from a loaded delegate to an idle one. 0 when
     /// [`StealPolicy::Off`](crate::StealPolicy::Off) (the default).
@@ -155,6 +168,15 @@ pub struct Stats {
     /// failure-to-success ratio means the threshold is too low for the
     /// workload's set structure.
     pub steal_failures: u64,
+    /// Delegated operations submitted but not yet fully executed on the
+    /// transports that track them individually (the stealing transport
+    /// and the nested-delegation injector lanes; the seed SPSC ring path
+    /// keeps this permanently zero — ring drains are proven by queue
+    /// tokens instead). Always 0 after `end_isolation` returns: the epoch
+    /// barrier waits for this exact counter to drain, which is also what
+    /// makes dropped futures leak-free — their operations still run and
+    /// still settle their cells before the counter reaches zero.
+    pub in_flight: u64,
     /// Per-delegate queue depth at snapshot time (enqueued + executing).
     /// All zeros during aggregation epochs — `end_isolation` drains every
     /// queue.
@@ -242,8 +264,10 @@ mod tests {
             reductions: 0,
             pins: 0,
             nested_delegations: 0,
+            futures_resolved: 0,
             steals: 0,
             steal_failures: 0,
+            in_flight: 0,
             queue_depths: Vec::new(),
             delegate_executed: Vec::new(),
             total: Duration::ZERO,

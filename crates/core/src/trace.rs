@@ -57,6 +57,15 @@ pub enum TraceKind {
     /// that token, so the folded sub-trace is a linearization of what the
     /// delegate threads actually did.
     NestedDelegate,
+    /// A future-returning operation resolved its
+    /// [`SsFuture`](crate::SsFuture)'s completion cell. Recorded by the
+    /// executor that ran the operation (any thread), so — like
+    /// [`Steal`](TraceKind::Steal) and
+    /// [`NestedDelegate`](TraceKind::NestedDelegate) — these are folded
+    /// into the program-order log at the next epoch boundary or
+    /// [`take_trace`](crate::Runtime::take_trace), ordered by their
+    /// logical-order tokens.
+    FutureResolve,
     /// A delegated operation executed inline on the program thread.
     InlineExecute,
     /// The program context reclaimed ownership of an object (sent a

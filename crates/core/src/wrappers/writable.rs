@@ -55,8 +55,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use ss_queue::oneshot::{oneshot, OneshotSender};
+
 use crate::error::{SsError, SsResult};
-use crate::runtime::{DelegateContext, Executor, Runtime};
+use crate::future::SsFuture;
+use crate::runtime::{trace_executor_for, DelegateContext, Executor, Runtime};
 use crate::serializer::{ObjectSerializer, SerializeCx, Serializer, SsId};
 use crate::stats::StatsCell;
 use crate::trace::TraceKind;
@@ -264,10 +267,77 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         self.delegate_impl(Some(ss.into()), f)
     }
 
+    /// Future-returning delegation (Table 1 `delegate`, minus the "return
+    /// type must be void" restriction the paper imposes): the operation's
+    /// closure returns a value, which flows back to the delegator through
+    /// the returned [`SsFuture`] instead of being smuggled through the
+    /// shared object and reclaimed later.
+    ///
+    /// Routing, ordering and drain semantics are identical to
+    /// [`delegate`](Writable::delegate); the future adds only the result
+    /// channel (see [`SsFuture`] and the [`future`](crate::SsFuture)
+    /// module docs for the drain/drop/deadlock guarantees).
+    ///
+    /// ```
+    /// use ss_core::{Runtime, Writable};
+    ///
+    /// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    /// let w: Writable<Vec<u64>> = Writable::new(&rt, vec![3, 4]);
+    /// rt.begin_isolation().unwrap();
+    /// let fut = w.delegate_with(|v| { v.push(5); v.iter().product::<u64>() }).unwrap();
+    /// assert_eq!(fut.wait().unwrap(), 60);
+    /// rt.end_isolation().unwrap();
+    /// ```
+    pub fn delegate_with<R, F>(&self, f: F) -> SsResult<SsFuture<R>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        self.delegate_with_impl(None, f)
+    }
+
+    /// Future-returning delegation in an explicitly supplied
+    /// serialization set — the external-serializer form of
+    /// [`delegate_with`](Writable::delegate_with).
+    pub fn delegate_in_with<R, F>(&self, ss: impl Into<SsId>, f: F) -> SsResult<SsFuture<R>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        self.delegate_with_impl(Some(ss.into()), f)
+    }
+
     fn delegate_impl<F>(&self, external: Option<SsId>, f: F) -> SsResult<()>
     where
         F: FnOnce(&mut T) + Send + 'static,
     {
+        let (ss, _serial) = self.prepare_program_delegation(external)?;
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
+        let task = self.package_task(f);
+        self.submit_and_record(ss, task)?;
+        Ok(())
+    }
+
+    fn delegate_with_impl<R, F>(&self, external: Option<SsId>, f: F) -> SsResult<SsFuture<R>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let (ss, serial) = self.prepare_program_delegation(external)?;
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = oneshot(serial);
+        let task = self.package_task_with(f, tx, serial, ss);
+        let executor = self.submit_and_record(ss, task)?;
+        Ok(SsFuture::new(rx, self.rt.clone(), ss, executor))
+    }
+
+    /// Program-context delegation, phase 1: context/epoch/poison checks
+    /// plus the epoch-local state machine and set computation (under the
+    /// state mutex: nothing here may run user code). Returns the
+    /// effective set and the epoch serial. Shared by
+    /// [`delegate`](Writable::delegate) and
+    /// [`delegate_with`](Writable::delegate_with).
+    fn prepare_program_delegation(&self, external: Option<SsId>) -> SsResult<(SsId, u64)> {
         let rt = &self.rt;
         rt.require_program_thread()?;
         let (in_iso, serial, inline) = rt.epoch_flags();
@@ -281,8 +351,6 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             return Err(rt.inner.core.poison_error());
         }
 
-        // Phase 1 — epoch-local checks and set computation (under the state
-        // mutex: nothing below may run user code).
         let ss = {
             let mut local = self.shared.local.lock();
             let local = &mut *local;
@@ -350,20 +418,22 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             local.use_state = UseState::PrivateWritable;
             effective
         };
+        Ok((ss, serial))
+    }
 
-        // Phase 2 — package the invocation and submit.
-        self.shared.pending.fetch_add(1, Ordering::Relaxed);
-        let task = self.package_task(f);
+    /// Program-context delegation, phases 2–3: submit the packaged
+    /// invocation (the caller has already raised `pending`) and record
+    /// the owning executor for later reclaims. A failed submit undoes
+    /// `pending` — the invocation never ran and was dropped.
+    fn submit_and_record(&self, ss: SsId, task: Box<dyn FnOnce() + Send>) -> SsResult<Executor> {
+        let rt = &self.rt;
         let executor = match rt.submit(ss, task) {
             Ok(e) => e,
             Err(e) => {
-                // The invocation never ran (and was dropped): undo `pending`.
                 self.shared.pending.fetch_sub(1, Ordering::Release);
                 return Err(e);
             }
         };
-
-        // Phase 3 — record the owning executor for later reclaims.
         self.shared.local.lock().owner = Some(executor);
         if rt.trace_enabled() {
             let kind = if executor == Executor::Program {
@@ -373,7 +443,7 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             };
             rt.trace_record(kind, Some(self.shared.instance), Some(ss), Some(executor));
         }
-        Ok(())
+        Ok(executor)
     }
 
     /// Packages `f` as the self-contained invocation closure shipped
@@ -406,6 +476,66 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         })
     }
 
+    /// Packages a *future-returning* `f` as the invocation closure: like
+    /// [`package_task`](Writable::package_task), plus settling the
+    /// future's one-shot cell. Ordering is load-bearing twice over:
+    ///
+    /// * the cell is settled **before** the object's `pending` count (and
+    ///   the caller-side queue counters) drop — so every drain proof
+    ///   (`end_isolation`, reclaim quiesce) transitively proves all
+    ///   futures of the epoch are resolved;
+    /// * on the panic/poison paths the poison flag is set **before** the
+    ///   sender drops (closing the cell), so a waiter that wakes on a
+    ///   closed cell and consults the flag cannot miss the panic.
+    fn package_task_with<R, F>(
+        &self,
+        f: F,
+        tx: OneshotSender<R>,
+        serial: u64,
+        ss: SsId,
+    ) -> Box<dyn FnOnce() + Send>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        let core = Arc::clone(&self.rt.inner.core);
+        let rt_id = self.rt.id();
+        Box::new(move || {
+            let mut tx = Some(tx);
+            if !core.poisoned.load(Ordering::Acquire) {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // SAFETY: executor exclusivity — see module-level safety
+                    // model; identical to `package_task`.
+                    let value = unsafe { &mut *shared.value.get() };
+                    f(value)
+                }));
+                match result {
+                    Ok(out) => {
+                        tx.take().expect("sender consumed once").send(out);
+                        StatsCell::bump(&core.stats.futures_resolved);
+                        if core.side_events.is_some() {
+                            core.record_side(
+                                serial,
+                                TraceKind::FutureResolve,
+                                Some(shared.instance),
+                                Some(ss),
+                                trace_executor_for(rt_id),
+                            );
+                        }
+                    }
+                    Err(p) => core.poison(panic_message(p.as_ref())),
+                }
+            }
+            // Cancellation path (poisoned-skip or panic): the poison flag
+            // is already set, so dropping the unsent sender — which
+            // closes the cell and wakes the waiter — happens after it.
+            drop(tx);
+            StatsCell::bump(&core.stats.executed);
+            shared.pending.fetch_sub(1, Ordering::Release);
+        })
+    }
+
     /// Delegation from a **delegate context** (recursive delegation) —
     /// the backing implementation of [`DelegateContext::delegate`] and
     /// [`DelegateContext::delegate_in`].
@@ -432,6 +562,44 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
     where
         F: FnOnce(&mut T) + Send + 'static,
     {
+        let (ss, _serial) = self.prepare_nested_delegation(cx, external)?;
+        let task = self.package_task(f);
+        self.submit_nested_and_record(ss, task)?;
+        Ok(())
+    }
+
+    /// Future-returning delegation from a delegate context — the backing
+    /// implementation of [`DelegateContext::delegate_with`] and
+    /// [`DelegateContext::delegate_in_with`].
+    pub(crate) fn delegate_nested_with<R, F>(
+        &self,
+        cx: &DelegateContext<'_>,
+        external: Option<SsId>,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let (ss, serial) = self.prepare_nested_delegation(cx, external)?;
+        let (tx, rx) = oneshot(serial);
+        let task = self.package_task_with(f, tx, serial, ss);
+        let executor = self.submit_nested_and_record(ss, task)?;
+        Ok(SsFuture::new(rx, self.rt.clone(), ss, executor))
+    }
+
+    /// Nested delegation, phase 1: context/poison checks plus the
+    /// per-epoch state machine (same mutex as the program path), with the
+    /// three nested-only rules documented on
+    /// [`delegate_nested`](Writable::delegate_nested). On success the
+    /// epoch is marked nested and the object's `pending` count is already
+    /// raised — both *inside* the critical section (see the module-level
+    /// safety model, point 3).
+    fn prepare_nested_delegation(
+        &self,
+        cx: &DelegateContext<'_>,
+        external: Option<SsId>,
+    ) -> SsResult<(SsId, u64)> {
         let rt = &self.rt;
         if !cx.belongs_to(rt) {
             return Err(SsError::WrongContext);
@@ -444,8 +612,6 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         // cannot end while a parent runs (the barrier drains `in_flight`).
         let serial = rt.cross_epoch_serial();
 
-        // Phase 1 — the same per-epoch state machine as the program path,
-        // serialized by the same mutex.
         let ss = {
             let mut local = self.shared.local.lock();
             let local = &mut *local;
@@ -508,19 +674,25 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             self.shared.pending.fetch_add(1, Ordering::Relaxed);
             effective
         };
+        Ok((ss, serial))
+    }
 
-        // Phase 2 — package and submit through the re-entrant path.
-        let task = self.package_task(f);
+    /// Nested delegation, phases 2–3: submit through the re-entrant path
+    /// and record the owning executor. A failed submit undoes `pending`
+    /// (the invocation never ran and was dropped).
+    fn submit_nested_and_record(
+        &self,
+        ss: SsId,
+        task: Box<dyn FnOnce() + Send>,
+    ) -> SsResult<Executor> {
+        let rt = &self.rt;
         let executor = match rt.submit_nested(ss, task) {
             Ok(e) => e,
             Err(e) => {
-                // The invocation never ran (and was dropped): undo `pending`.
                 self.shared.pending.fetch_sub(1, Ordering::Release);
                 return Err(e);
             }
         };
-
-        // Phase 3 — record the owning executor for later reclaims.
         self.shared.local.lock().owner = Some(executor);
         rt.record_side_event(
             TraceKind::NestedDelegate,
@@ -528,7 +700,7 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             Some(ss),
             executor,
         );
-        Ok(())
+        Ok(executor)
     }
 
     // ------------------------------------------------------------------

@@ -13,8 +13,10 @@
 //! Plus [`matmul`], the worked example of §2.1, used by the
 //! serializer-granularity ablation; the [`kmeans::ss_paper`] variant the
 //! paper measured next to the reduction-based [`kmeans::ss`] it proposed;
-//! and [`nested`] (`nested_fanout`), a recursive-delegation kernel covering
-//! the paper's §4 future-work path.
+//! [`nested`] (`nested_fanout`), a recursive-delegation kernel covering
+//! the paper's §4 future-work path; and [`map_reduce`], whose reduction
+//! consumes `SsFuture`s returned by `delegate_with` instead of reclaiming
+//! a shared accumulator.
 //!
 //! [`registry`] exposes all of them for the figure-regeneration harness,
 //! so every registry-driven equality sweep (assignment policies, steal
@@ -29,6 +31,7 @@ pub mod dedup;
 pub mod freqmine;
 pub mod histogram;
 pub mod kmeans;
+pub mod map_reduce;
 pub mod matmul;
 pub mod nested;
 pub mod reverse_index;
@@ -80,6 +83,10 @@ pub fn registry() -> Vec<BenchSpec> {
             name: "nested_fanout",
             make: |s: Scale| boxed(nested::Bench::at(s)),
         },
+        BenchSpec {
+            name: "map_reduce",
+            make: |s: Scale| boxed(map_reduce::Bench::at(s)),
+        },
     ]
 }
 
@@ -88,7 +95,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_table2_plus_nested() {
+    fn registry_covers_table2_plus_extensions() {
         let names: Vec<&str> = registry().iter().map(|b| b.name).collect();
         assert_eq!(
             names,
@@ -101,7 +108,8 @@ mod tests {
                 "kmeans",
                 "reverse_index",
                 "word_count",
-                "nested_fanout"
+                "nested_fanout",
+                "map_reduce"
             ]
         );
     }

@@ -31,6 +31,13 @@
 //!   is what replaces the SPSC channel when idle delegates are allowed to
 //!   steal never-started serialization sets from a loaded peer.
 //!
+//! Beside the queues, the [`oneshot`] module provides one-shot completion
+//! cells: the result-return substrate of the runtime's futures on
+//! delegated operations (`SsFuture` in ss-core). A cell never loses its
+//! completion (sends succeed even after the receiver is dropped), reports
+//! cancellation to parked waiters, and exposes a value-blind settlement
+//! probe for the runtime's deadlock detector.
+//!
 //! The SPSC queues are bounded, lock-free, and split statically into a
 //! [`Producer`]/[`Consumer`] handle pair so the single-producer /
 //! single-consumer contract is enforced by the type system rather than by
@@ -59,6 +66,7 @@
 mod backoff;
 mod deque;
 mod lamport;
+pub mod oneshot;
 mod pad;
 mod spsc;
 

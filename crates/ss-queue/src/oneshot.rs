@@ -1,0 +1,340 @@
+//! One-shot completion cells — the substrate of the runtime's futures on
+//! delegated operations.
+//!
+//! A [`oneshot`] channel carries exactly one value from the executor that
+//! completes a delegated operation back to the context that spawned it.
+//! The design constraints come from the serialization-sets runtime rather
+//! than from generality:
+//!
+//! * **Completion is never lost.** [`OneshotSender::send`] succeeds
+//!   unconditionally — even when the receiver has already been dropped,
+//!   the value is stored in the cell and dropped with it. The runtime's
+//!   drain argument needs this: a delegated operation's completion
+//!   protocol must not depend on whether anyone still holds the future.
+//! * **Cancellation is observable.** Dropping the sender without sending
+//!   transitions the cell to *closed* ([`OneshotPoll::Closed`]), waking
+//!   any parked waiter, so a waiter behind a panicked or never-executed
+//!   operation unblocks with an error instead of hanging.
+//! * **Waiting composes with external work loops.** The receiver exposes
+//!   a non-consuming poll plus a bounded park
+//!   ([`OneshotReceiver::park_timeout`]); the caller owns the wait loop
+//!   and may interleave other work (the runtime's help-first execution)
+//!   between polls. A [`WaitSignal`] probe — non-generic, cloneable —
+//!   lets third parties (the runtime's deadlock detector) observe
+//!   settlement without access to the value.
+//! * **Epoch awareness.** Every cell carries an immutable `u64` tag; the
+//!   runtime stamps it with the isolation-epoch serial the operation was
+//!   delegated in, so diagnostics can relate a pending future to the
+//!   epoch whose barrier guarantees its resolution.
+//!
+//! ```
+//! use ss_queue::oneshot::{oneshot, OneshotPoll};
+//!
+//! let (tx, rx) = oneshot::<u64>(7);
+//! assert_eq!(rx.tag(), 7);
+//! assert!(matches!(rx.poll(), OneshotPoll::Pending));
+//! tx.send(42);
+//! assert!(matches!(rx.poll(), OneshotPoll::Ready(42)));
+//! // One-shot: a second poll observes the value as already taken.
+//! assert!(matches!(rx.poll(), OneshotPoll::Closed));
+//! ```
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Cell states (monotonic: `EMPTY` → `READY`/`CLOSED`, `READY` → `TAKEN`).
+const EMPTY: u8 = 0;
+/// A value is stored and may be taken by the receiver.
+const READY: u8 = 1;
+/// The receiver took the value.
+const TAKEN: u8 = 2;
+/// The sender was dropped without sending; no value will ever arrive.
+const CLOSED: u8 = 3;
+
+/// The non-generic synchronization core of a cell: the state machine plus
+/// a single parked-waiter slot. Shared by the sender, the receiver, and
+/// any number of [`WaitSignal`] probes.
+struct Signal {
+    state: AtomicU8,
+    /// Spinlock for the waiter slot (held for a handful of instructions).
+    waiter_lock: AtomicBool,
+    waiter: UnsafeCell<Option<Thread>>,
+    tag: u64,
+}
+
+// SAFETY: `waiter` is only accessed under `waiter_lock`; `state` and the
+// lock are atomics.
+unsafe impl Send for Signal {}
+unsafe impl Sync for Signal {}
+
+impl Signal {
+    fn with_waiter<R>(&self, f: impl FnOnce(&mut Option<Thread>) -> R) -> R {
+        while self
+            .waiter_lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            core::hint::spin_loop();
+        }
+        // SAFETY: the spinlock is held, giving exclusive access.
+        let out = f(unsafe { &mut *self.waiter.get() });
+        self.waiter_lock.store(false, Ordering::Release);
+        out
+    }
+
+    /// Settles the cell into `to` (READY or CLOSED) and wakes the waiter.
+    fn settle(&self, to: u8) {
+        self.state.store(to, Ordering::Release);
+        if let Some(t) = self.with_waiter(|w| w.take()) {
+            t.unpark();
+        }
+    }
+
+    fn is_settled(&self) -> bool {
+        self.state.load(Ordering::Acquire) != EMPTY
+    }
+}
+
+/// The full cell: signal plus the value slot.
+struct Shared<T> {
+    signal: Arc<Signal>,
+    value: UnsafeCell<Option<T>>,
+}
+
+// SAFETY: `value` is written exactly once by the sender before the
+// `READY` Release store and read at most once by the receiver after an
+// Acquire load observes `READY`; those edges order the accesses.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// Creates a one-shot cell tagged with `tag` (the runtime uses the
+/// isolation-epoch serial) and returns the sender/receiver handle pair.
+pub fn oneshot<T>(tag: u64) -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let shared = Arc::new(Shared {
+        signal: Arc::new(Signal {
+            state: AtomicU8::new(EMPTY),
+            waiter_lock: AtomicBool::new(false),
+            waiter: UnsafeCell::new(None),
+            tag,
+        }),
+        value: UnsafeCell::new(None),
+    });
+    (
+        OneshotSender {
+            shared: Arc::clone(&shared),
+            sent: false,
+        },
+        OneshotReceiver { shared },
+    )
+}
+
+/// Result of polling a [`OneshotReceiver`].
+#[derive(Debug)]
+pub enum OneshotPoll<T> {
+    /// No value yet; the sender is still live.
+    Pending,
+    /// The value arrived (each cell yields it exactly once).
+    Ready(T),
+    /// No value will ever arrive: the sender was dropped without sending,
+    /// or the value was already taken by an earlier poll.
+    Closed,
+}
+
+/// Completing half of a one-shot cell; owned by the executor that runs
+/// the delegated operation.
+pub struct OneshotSender<T> {
+    shared: Arc<Shared<T>>,
+    sent: bool,
+}
+
+impl<T> OneshotSender<T> {
+    /// Stores the value and wakes the waiter. Infallible: a dropped
+    /// receiver does not reject the completion (the value is dropped with
+    /// the cell) — see the module docs for why the runtime needs that.
+    pub fn send(mut self, value: T) {
+        // SAFETY: state is still EMPTY (only `send`/`Drop` of this unique
+        // sender move it out of EMPTY), so no reader touches the slot yet.
+        unsafe { *self.shared.value.get() = Some(value) };
+        self.sent = true;
+        self.shared.signal.settle(READY);
+    }
+
+    /// The tag the cell was created with.
+    pub fn tag(&self) -> u64 {
+        self.shared.signal.tag
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.shared.signal.settle(CLOSED);
+        }
+    }
+}
+
+/// Receiving half of a one-shot cell.
+pub struct OneshotReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Non-blocking poll; takes the value on the first `Ready`.
+    pub fn poll(&self) -> OneshotPoll<T> {
+        let signal = &self.shared.signal;
+        // READY → TAKEN must be a CAS, not load+store: `poll` takes
+        // `&self` on a `Sync` cell, so two threads may race it — exactly
+        // one may win the transition and touch the value slot.
+        match signal
+            .state
+            .compare_exchange(READY, TAKEN, Ordering::Acquire, Ordering::Acquire)
+        {
+            Ok(_) => {
+                // SAFETY: the Acquire CAS on READY ordered the sender's
+                // write before this read, and winning the transition
+                // makes us the slot's sole accessor; TAKEN keeps it
+                // one-shot.
+                match unsafe { (*self.shared.value.get()).take() } {
+                    Some(v) => OneshotPoll::Ready(v),
+                    None => OneshotPoll::Closed,
+                }
+            }
+            Err(EMPTY) => OneshotPoll::Pending,
+            Err(_) => OneshotPoll::Closed,
+        }
+    }
+
+    /// True once the cell is settled (ready, taken, or closed).
+    pub fn is_settled(&self) -> bool {
+        self.shared.signal.is_settled()
+    }
+
+    /// The tag the cell was created with.
+    pub fn tag(&self) -> u64 {
+        self.shared.signal.tag
+    }
+
+    /// A cloneable, value-blind settlement probe onto this cell.
+    pub fn signal(&self) -> WaitSignal {
+        WaitSignal(Arc::clone(&self.shared.signal))
+    }
+
+    /// Registers the current thread as the cell's waiter and parks for at
+    /// most `dur`, returning early if the cell settles first. Spurious
+    /// wakeups are possible; callers loop around
+    /// [`poll`](OneshotReceiver::poll). The bounded wait means a lost
+    /// wakeup degrades to latency, never deadlock.
+    pub fn park_timeout(&self, dur: Duration) {
+        let signal = &self.shared.signal;
+        signal.with_waiter(|w| *w = Some(std::thread::current()));
+        if !signal.is_settled() {
+            std::thread::park_timeout(dur);
+        }
+        signal.with_waiter(|w| *w = None);
+    }
+}
+
+/// A non-generic, cloneable probe that observes whether a one-shot cell
+/// has settled — without access to the value. The runtime's deadlock
+/// detector stores these in its waits-for table so one delegate can check
+/// whether another delegate's pending future is genuinely still pending.
+#[derive(Clone)]
+pub struct WaitSignal(Arc<Signal>);
+
+impl WaitSignal {
+    /// True once the underlying cell is settled (ready, taken or closed).
+    pub fn is_settled(&self) -> bool {
+        self.0.is_settled()
+    }
+
+    /// The tag of the underlying cell.
+    pub fn tag(&self) -> u64 {
+        self.0.tag
+    }
+}
+
+impl std::fmt::Debug for WaitSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitSignal")
+            .field("settled", &self.is_settled())
+            .field("tag", &self.0.tag)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip_and_one_shot() {
+        let (tx, rx) = oneshot::<String>(3);
+        assert!(!rx.is_settled());
+        tx.send("hi".into());
+        assert!(rx.is_settled());
+        assert!(matches!(rx.poll(), OneshotPoll::Ready(ref s) if s == "hi"));
+        assert!(matches!(rx.poll(), OneshotPoll::Closed));
+    }
+
+    #[test]
+    fn dropped_sender_closes_cell() {
+        let (tx, rx) = oneshot::<u32>(0);
+        drop(tx);
+        assert!(rx.is_settled());
+        assert!(matches!(rx.poll(), OneshotPoll::Closed));
+    }
+
+    #[test]
+    fn send_survives_dropped_receiver() {
+        struct Bomb<'a>(&'a AtomicU8);
+        impl Drop for Bomb<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = AtomicU8::new(0);
+        let (tx, rx) = oneshot::<Bomb<'_>>(0);
+        let probe = rx.signal();
+        drop(rx);
+        tx.send(Bomb(&drops)); // must not panic or leak
+        assert!(probe.is_settled());
+        assert_eq!(drops.load(Ordering::Relaxed), 1); // dropped with the cell
+    }
+
+    #[test]
+    fn park_wakes_on_send() {
+        let (tx, rx) = oneshot::<u64>(9);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                tx.send(11);
+            });
+            loop {
+                match rx.poll() {
+                    OneshotPoll::Ready(v) => {
+                        assert_eq!(v, 11);
+                        break;
+                    }
+                    OneshotPoll::Pending => rx.park_timeout(Duration::from_millis(1)),
+                    OneshotPoll::Closed => panic!("sender vanished"),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn signal_probe_tracks_settlement() {
+        let (tx, rx) = oneshot::<u8>(42);
+        let probe = rx.signal();
+        let probe2 = probe.clone();
+        assert!(!probe.is_settled());
+        assert_eq!(probe.tag(), 42);
+        tx.send(1);
+        assert!(probe.is_settled());
+        assert!(probe2.is_settled());
+        assert!(format!("{probe:?}").contains("settled: true"));
+    }
+}

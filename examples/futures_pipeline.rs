@@ -1,0 +1,113 @@
+//! Futures on delegated operations: a two-stage analysis pipeline whose
+//! results flow *back* to the program thread through typed `SsFuture`s
+//! instead of being parked in shared objects and reclaimed later.
+//!
+//! * **Stage 1 (map):** one future-returning operation per shard
+//!   (`delegate_with`) — each computes a digest of its shard and hands it
+//!   back on the future.
+//! * **Stage 2 (nested spawn + wait):** one parent operation per shard
+//!   group spawns future-returning children from its *delegate context*
+//!   and folds their results right there — a delegate waiting on futures
+//!   it spawned into its own queue executes help-first instead of
+//!   deadlocking.
+//! * **Reduce:** the program thread waits the stage futures in order —
+//!   deterministic fold, no shared accumulator, no reclaim, one epoch.
+//!
+//! Run with: `cargo run --release --example futures_pipeline`
+
+use prometheus_rs::prelude::*;
+
+fn digest(data: &[u64]) -> u64 {
+    data.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &x| {
+        (h ^ x).wrapping_mul(0x1_0000_01b3)
+    })
+}
+
+fn main() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .build()
+        .expect("runtime");
+
+    // Deterministic input: 16 shards of pseudo-random words.
+    let shards: Vec<Writable<Vec<u64>, SequenceSerializer>> = (0..16u64)
+        .map(|i| {
+            let data: Vec<u64> = (0..512u64)
+                .map(|j| (i * 512 + j).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            Writable::new(&rt, data)
+        })
+        .collect();
+
+    // --- Stage 1: map with future returns, reduced in shard order.
+    rt.begin_isolation().expect("epoch");
+    let futs: Vec<SsFuture<u64>> = shards
+        .iter()
+        .map(|s| s.delegate_with(|v| digest(v)).expect("delegate_with"))
+        .collect();
+    let map_fold = futs
+        .into_iter()
+        .map(|f| f.wait().expect("wait"))
+        .fold(0u64, |acc, d| acc.rotate_left(7) ^ d);
+    rt.end_isolation().expect("epoch end");
+    println!("map    : digest fold over 16 shards = {map_fold:#018x}");
+
+    // --- Stage 2: parents spawn future-returning children from their
+    // delegate contexts and consume the results in place.
+    let groups: Vec<Writable<u64, SequenceSerializer>> =
+        (0..4).map(|_| Writable::new(&rt, 0)).collect();
+    let members: Vec<Writable<u64, SequenceSerializer>> =
+        (0..16u64).map(|i| Writable::new(&rt, i + 1)).collect();
+    rt.begin_isolation().expect("epoch");
+    let group_futs: Vec<SsFuture<u64>> = groups
+        .iter()
+        .enumerate()
+        .map(|(g, group)| {
+            let rt1 = rt.clone();
+            let mine: Vec<_> = members[g * 4..(g + 1) * 4].to_vec();
+            group
+                .delegate_with(move |total| {
+                    // Spawn four future-returning children, then wait on
+                    // them here, inside the running operation.
+                    let child_futs: Vec<SsFuture<u64>> = rt1
+                        .delegate_scope(|cx| {
+                            mine.iter()
+                                .map(|m| {
+                                    cx.delegate_with(m, |v| {
+                                        *v *= *v; // square in place
+                                        *v
+                                    })
+                                    .expect("nested delegate_with")
+                                })
+                                .collect()
+                        })
+                        .expect("delegate_scope");
+                    *total = child_futs
+                        .into_iter()
+                        .map(|f| f.wait().expect("nested wait"))
+                        .sum();
+                    *total
+                })
+                .expect("delegate_with")
+        })
+        .collect();
+    let group_totals: Vec<u64> = group_futs
+        .into_iter()
+        .map(|f| f.wait().expect("wait"))
+        .collect();
+    rt.end_isolation().expect("epoch end");
+
+    // Each group total is the sum of squares of its members.
+    let expect: Vec<u64> = (0..4u64)
+        .map(|g| (g * 4 + 1..=g * 4 + 4).map(|v| v * v).sum())
+        .collect();
+    assert_eq!(group_totals, expect, "nested future folds diverged");
+    println!("nested : group sums of squares = {group_totals:?}");
+
+    let s = rt.stats();
+    println!(
+        "\nruntime: {} delegations ({} nested), {} futures resolved, in-flight residue {}",
+        s.delegations, s.nested_delegations, s.futures_resolved, s.in_flight
+    );
+    assert_eq!(s.in_flight, 0);
+}

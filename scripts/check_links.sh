@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fails on dangling *relative* links in README.md and docs/*.md (CI's
+# docs-link job). External URLs and intra-page anchors are not checked —
+# the job must stay offline and deterministic; what it protects is the
+# repo's internal documentation graph (README ↔ docs/* ↔ source files).
+#
+#   scripts/check_links.sh            # from anywhere inside the repo
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import os, re, sys
+
+files = ["README.md"] + sorted(
+    os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md")
+)
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+bad = []
+for path in files:
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for target in link_re.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                    continue
+                if target.startswith("#"):  # intra-page anchor
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, rel))
+                if not os.path.exists(resolved):
+                    bad.append(f"{path}:{lineno}: dangling link -> {target}")
+for b in bad:
+    print(b, file=sys.stderr)
+if bad:
+    sys.exit(1)
+print(f"checked {len(files)} files, all relative links resolve")
+EOF

@@ -2,9 +2,11 @@
 # Records BENCH_baseline.json from the ss-bench criterion suites.
 #
 # The vendored criterion shim prints one machine-readable line per
-# benchmark ("bench <id> median_ns=<n> ..."); this script folds those
-# lines into a JSON object keyed by benchmark id, with enough metadata to
-# interpret the numbers later. Run from the repo root:
+# benchmark ("bench <id> median_ns=<n> ..."), and the ablation bins that
+# participate in the baseline (currently `ablation_futures`) print the
+# same format; this script folds those lines into a JSON object keyed by
+# benchmark id, with enough metadata to interpret the numbers later. Run
+# from the repo root:
 #
 #   scripts/record_baseline.sh            # writes BENCH_baseline.json
 #   OUT=/tmp/now.json scripts/record_baseline.sh   # compare runs
@@ -19,6 +21,18 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 CRITERION_SAMPLE_MS="$SAMPLE_MS" cargo bench -q -p ss-bench --bench kernels --bench queue 2>&1 |
     grep '^bench ' >"$raw" || true
+# Ablation bins that emit baseline-compatible `bench ...` lines ride
+# along, so the BENCH_*.json trajectory covers the runtime's ablation
+# axes (future-return vs shared-object-return), not just the kernels.
+# Run to a file first so a bin failure (build error, fingerprint-gate
+# assertion) fails the script instead of silently thinning the baseline.
+ablation_out=$(mktemp)
+trap 'rm -f "$raw" "$ablation_out"' EXIT
+cargo run -q --release -p ss-bench --bin ablation_futures >"$ablation_out" 2>&1
+grep '^bench ' "$ablation_out" >>"$raw" || {
+    echo "ablation_futures produced no bench lines" >&2
+    exit 1
+}
 
 python3 - "$raw" "$OUT" "$SAMPLE_MS" <<'EOF'
 import json, sys, subprocess, os

@@ -53,7 +53,7 @@ pub mod prelude {
         doall, AssignTopology, Assignment, DelegateAssignment, DelegateContext, DelegateLoads,
         ExecutionMode, Executor, FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer,
         ReadOnly, Reduce, Reducible, RoundRobinFirstTouch, Runtime, RuntimeBuilder,
-        SequenceSerializer, Serializer, SsError, SsId, StaticAssignment, Stats, StealPolicy,
-        TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
+        SequenceSerializer, Serializer, SsError, SsFuture, SsId, StaticAssignment, Stats,
+        StealPolicy, TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
     };
 }

@@ -193,6 +193,20 @@ fn nested_fanout_equality() {
 }
 
 #[test]
+fn map_reduce_equality() {
+    // The future-returning kernel: map via `delegate_with`, reduce by
+    // waiting the futures in shard order — no shared accumulator. Must be
+    // bit-identical to seq/cp on every runtime shape (inline execution
+    // hands back ready futures).
+    let data = map_reduce::input(map_reduce::shape(ss_workloads::scale::Scale::S), 31);
+    let expect = map_reduce::seq(&data);
+    assert_eq!(map_reduce::cp(&data, 4), expect);
+    for rt in runtimes() {
+        assert_eq!(map_reduce::ss(&data, &rt), expect, "{rt:?}");
+    }
+}
+
+#[test]
 fn registry_scale_s_smoke() {
     // The harness path end-to-end: build each registry entry at scale S and
     // verify fingerprint agreement once (full sweeps live in ss-bench).

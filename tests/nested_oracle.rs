@@ -20,6 +20,18 @@
 //! Mid-epoch `Read`s reclaim lane objects; children never touch lanes, so
 //! a reclaim (token-based or, once nesting is active, a full quiesce)
 //! observes exactly the roots delegated before it — the oracle's prefix.
+//!
+//! **Future-returning programs** (`FutRoot`): a root delegated with
+//! `delegate_with` spawns `kids` future-returning child operations from
+//! its delegate context, folds their results *by waiting on the futures
+//! inside the running operation* (help-first when the child set pins to
+//! the waiting delegate), and returns the fold through its own future,
+//! which the program context waits on mid-epoch. Both wait directions —
+//! delegate-context and program-context — are therefore oracle-checked
+//! under every `Assignment × StealPolicy`. Determinism: each future-child
+//! object has a single producer (its root's delegate context) and futures
+//! are waited in submission order, so the folds are the depth-first
+//! sequential folds regardless of scheduling.
 
 use prometheus_rs::prelude::*;
 use proptest::prelude::*;
@@ -37,6 +49,10 @@ enum Op {
         kids: usize,
         grands: usize,
     },
+    /// Delegate a *future-returning* root on `lane` that spawns `kids`
+    /// future-returning child operations, waits on them in its delegate
+    /// context, and whose own future the program context waits on.
+    FutRoot { lane: usize, kids: usize },
     /// Dependent read of a lane: mid-epoch ownership reclaim.
     Read { lane: usize },
     /// Commutative reducible bump from the program context.
@@ -47,8 +63,9 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        6 => (0..LANES, 0..4usize, 0..3usize)
+        5 => (0..LANES, 0..4usize, 0..3usize)
             .prop_map(|(lane, kids, grands)| Op::Root { lane, kids, grands }),
+        3 => (0..LANES, 0..4usize).prop_map(|(lane, kids)| Op::FutRoot { lane, kids }),
         2 => (0..LANES).prop_map(|lane| Op::Read { lane }),
         1 => any::<u64>().prop_map(|x| Op::Bump { x: x >> 1 }),
         1 => Just(Op::Epoch),
@@ -68,6 +85,16 @@ fn grand_id(r: usize, j: usize, k: usize) -> u64 {
 fn fold_grand(acc: u64, v: u64) -> u64 {
     acc.wrapping_mul(31).wrapping_add(v)
 }
+/// Ids for the future-returning programs, in a disjoint range.
+fn froot_id(fr: usize) -> u64 {
+    600_000_000 + (fr as u64) * 1_000
+}
+fn fchild_id(fr: usize, j: usize) -> u64 {
+    froot_id(fr) + j as u64 + 1
+}
+fn fold_fut(acc: u64, v: u64) -> u64 {
+    acc.rotate_left(5) ^ v
+}
 
 /// Everything a run produces, compared field-for-field.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,24 +109,38 @@ struct Outcome {
     read_log: Vec<Vec<u64>>,
     /// Commutative counter total.
     counter: u64,
+    /// Per-future-root child accumulator final values.
+    fut_children: Vec<u64>,
+    /// Values returned through the root futures, in program order.
+    fut_log: Vec<u64>,
 }
 
 fn roots_in(ops: &[Op]) -> usize {
     ops.iter().filter(|o| matches!(o, Op::Root { .. })).count()
 }
 
+fn fut_roots_in(ops: &[Op]) -> usize {
+    ops.iter()
+        .filter(|o| matches!(o, Op::FutRoot { .. }))
+        .count()
+}
+
 /// Depth-first sequential interpreter — the semantics the runtime must be
 /// indistinguishable from.
 fn interpret(ops: &[Op]) -> Outcome {
     let n_roots = roots_in(ops);
+    let n_fut = fut_roots_in(ops);
     let mut out = Outcome {
         lanes: vec![Vec::new(); LANES],
         children: vec![Vec::new(); n_roots],
         grands: vec![0; n_roots],
         read_log: Vec::new(),
         counter: 0,
+        fut_children: vec![0; n_fut],
+        fut_log: Vec::new(),
     };
     let mut r = 0usize;
+    let mut fr = 0usize;
     for op in ops {
         match *op {
             Op::Root { lane, kids, grands } => {
@@ -112,6 +153,18 @@ fn interpret(ops: &[Op]) -> Outcome {
                     }
                 }
                 r += 1;
+            }
+            Op::FutRoot { lane, kids } => {
+                out.lanes[lane].push(froot_id(fr));
+                let mut acc = 0u64;
+                for j in 0..kids {
+                    // The child mutates its accumulator and returns the
+                    // running value; the root folds the returned values.
+                    out.fut_children[fr] = out.fut_children[fr].wrapping_add(fchild_id(fr, j));
+                    acc = fold_fut(acc, out.fut_children[fr]);
+                }
+                out.fut_log.push(acc);
+                fr += 1;
             }
             Op::Read { lane } => out.read_log.push(out.lanes[lane].clone()),
             Op::Bump { x } => out.counter = out.counter.wrapping_add(x),
@@ -143,6 +196,7 @@ fn run_parallel(
         .build()
         .unwrap();
     let n_roots = roots_in(ops);
+    let n_fut = fut_roots_in(ops);
     let lanes: Vec<Writable<Vec<u64>, SequenceSerializer>> =
         (0..LANES).map(|_| Writable::new(&rt, Vec::new())).collect();
     let child_objs: Vec<Writable<Vec<u64>, SequenceSerializer>> = (0..n_roots)
@@ -150,11 +204,15 @@ fn run_parallel(
         .collect();
     let grand_objs: Vec<Writable<u64, SequenceSerializer>> =
         (0..n_roots).map(|_| Writable::new(&rt, 0)).collect();
+    let fut_child_objs: Vec<Writable<u64, SequenceSerializer>> =
+        (0..n_fut).map(|_| Writable::new(&rt, 0)).collect();
     let counter = Reducible::new(&rt, || Acc(0));
     let mut read_log = Vec::new();
+    let mut fut_log = Vec::new();
 
     rt.begin_isolation().unwrap();
     let mut r = 0usize;
+    let mut fr = 0usize;
     for op in ops {
         match *op {
             Op::Root { lane, kids, grands } => {
@@ -192,6 +250,41 @@ fn run_parallel(
                     .unwrap();
                 r += 1;
             }
+            Op::FutRoot { lane, kids } => {
+                let rt1 = rt.clone();
+                let child = fut_child_objs[fr].clone();
+                let fut = lanes[lane]
+                    .delegate_with(move |v| {
+                        v.push(froot_id(fr));
+                        // Spawn all future-returning children first, then
+                        // wait in submission order (per-set FIFO makes the
+                        // returned running values deterministic). When the
+                        // child set pins to this delegate, the waits
+                        // execute help-first from the own queue.
+                        rt1.delegate_scope(|cx| {
+                            let futs: Vec<_> = (0..kids)
+                                .map(|j| {
+                                    cx.delegate_with(&child, move |c| {
+                                        *c = c.wrapping_add(fchild_id(fr, j));
+                                        *c
+                                    })
+                                    .unwrap()
+                                })
+                                .collect();
+                            let mut acc = 0u64;
+                            for f in futs {
+                                acc = fold_fut(acc, f.wait().unwrap());
+                            }
+                            acc
+                        })
+                        .unwrap()
+                    })
+                    .unwrap();
+                // Program-context wait, mid-epoch: the root's future
+                // carries the fold back.
+                fut_log.push(fut.wait().unwrap());
+                fr += 1;
+            }
             Op::Read { lane } => {
                 read_log.push(lanes[lane].call_mut(|v| v.clone()).unwrap());
             }
@@ -218,6 +311,11 @@ fn run_parallel(
         grands: grand_objs.iter().map(|o| o.call(|g| *g).unwrap()).collect(),
         read_log,
         counter: counter.view(|a| a.0).unwrap(),
+        fut_children: fut_child_objs
+            .iter()
+            .map(|o| o.call(|c| *c).unwrap())
+            .collect(),
+        fut_log,
     }
 }
 
@@ -322,5 +420,122 @@ fn fixed_deep_program_all_shapes() {
     for (a_label, s_label, assignment, stealing) in all_shapes() {
         let actual = run_parallel(&ops, delegates, assignment, stealing);
         assert_eq!(actual, expected, "{a_label}+{s_label} diverged");
+    }
+}
+
+/// Deterministic future-heavy program over every shape: mixed
+/// future-returning and classic nested roots, mid-epoch reclaims and an
+/// epoch boundary, so delegate-context waits (help-first), program-context
+/// waits and the barrier's future-settlement guarantee are all exercised
+/// under every `Assignment × StealPolicy`.
+#[test]
+fn fixed_future_program_all_shapes() {
+    let ops = vec![
+        Op::FutRoot { lane: 0, kids: 3 },
+        Op::Root {
+            lane: 1,
+            kids: 2,
+            grands: 1,
+        },
+        Op::FutRoot { lane: 1, kids: 2 },
+        Op::Read { lane: 0 },
+        Op::FutRoot { lane: 2, kids: 0 },
+        Op::Epoch,
+        Op::FutRoot { lane: 0, kids: 3 },
+        Op::Bump { x: 5 },
+        Op::Read { lane: 0 },
+    ];
+    let expected = interpret(&ops);
+    let delegates = std::env::var("SS_DELEGATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize);
+    for (a_label, s_label, assignment, stealing) in all_shapes() {
+        let actual = run_parallel(&ops, delegates, assignment, stealing);
+        assert_eq!(actual, expected, "{a_label}+{s_label} diverged");
+    }
+}
+
+/// A delegate waiting on an operation in its *own* serialization set can
+/// never complete (per-set FIFO orders the operation after the waiter);
+/// the runtime must reject the wait with `SsError::FutureDeadlock` —
+/// deterministically, under every `Assignment × StealPolicy` — and stay
+/// healthy afterwards (the rejected operation still runs).
+#[test]
+fn own_set_wait_deadlock_is_deterministic_all_shapes() {
+    use std::sync::{Arc, Mutex};
+    let delegates = std::env::var("SS_DELEGATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize);
+    for (a_label, s_label, assignment, stealing) in all_shapes() {
+        let rt = Runtime::builder()
+            .delegate_threads(delegates)
+            .assignment(assignment)
+            .stealing(stealing)
+            .build()
+            .unwrap();
+        let w: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        let seen: Arc<Mutex<Option<SsError>>> = Arc::new(Mutex::new(None));
+        rt.begin_isolation().unwrap();
+        let (rt1, w1, seen1) = (rt.clone(), w.clone(), Arc::clone(&seen));
+        w.delegate(move |_| {
+            let fut = rt1
+                .delegate_scope(|cx| {
+                    cx.delegate_with(&w1, |n| {
+                        *n += 1;
+                        *n
+                    })
+                })
+                .unwrap()
+                .unwrap();
+            *seen1.lock().unwrap() = Some(fut.wait().unwrap_err());
+        })
+        .unwrap();
+        rt.end_isolation().unwrap();
+        let err = seen
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| panic!("{a_label}+{s_label}: wait never ran"));
+        assert!(
+            matches!(err, SsError::FutureDeadlock { .. }),
+            "{a_label}+{s_label}: expected FutureDeadlock, got {err:?}"
+        );
+        assert_eq!(w.call(|n| *n).unwrap(), 1, "{a_label}+{s_label}");
+        assert!(!rt.is_poisoned(), "{a_label}+{s_label}");
+    }
+}
+
+/// A delegate wait on its own spawn tree (child set pinned to the waiting
+/// delegate itself — forced with one delegate thread) completes via
+/// help-first under every steal policy; blocking conventionally would
+/// deadlock.
+#[test]
+fn own_spawn_tree_wait_completes_all_shapes() {
+    for (a_label, s_label, assignment, stealing) in all_shapes() {
+        let rt = Runtime::builder()
+            .delegate_threads(1)
+            .assignment(assignment)
+            .stealing(stealing)
+            .build()
+            .unwrap();
+        let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        let child: Writable<u64, SequenceSerializer> = Writable::new(&rt, 21);
+        rt.begin_isolation().unwrap();
+        let (rt1, child1) = (rt.clone(), child.clone());
+        let fut = parent
+            .delegate_with(move |n| {
+                let fut = rt1
+                    .delegate_scope(|cx| cx.delegate_with(&child1, |c| *c * 2))
+                    .unwrap()
+                    .unwrap();
+                *n = fut.wait().unwrap();
+                *n
+            })
+            .unwrap();
+        assert_eq!(fut.wait().unwrap(), 42, "{a_label}+{s_label}");
+        rt.end_isolation().unwrap();
+        assert_eq!(parent.call(|n| *n).unwrap(), 42, "{a_label}+{s_label}");
     }
 }

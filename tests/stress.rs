@@ -326,6 +326,127 @@ fn barrier_under_load_waits_for_late_spawned_children() {
     }
 }
 
+/// The futures axis: many pending futures at once, waited across an
+/// epoch boundary, under oversubscription and both transports. After the
+/// barrier every future must be ready, and the values must match the
+/// closed form.
+#[test]
+fn many_pending_futures_across_epoch_boundaries() {
+    const OBJS: usize = 32;
+    const EPOCHS: u64 = 20;
+    for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
+        let rt = Runtime::builder()
+            .delegate_threads(delegates_from_env(8))
+            .stealing(policy)
+            .build()
+            .unwrap();
+        let objs: Vec<Writable<u64, SequenceSerializer>> =
+            (0..OBJS).map(|_| Writable::new(&rt, 0)).collect();
+        let mut carried: Vec<SsFuture<u64>> = Vec::new();
+        for epoch in 0..EPOCHS {
+            rt.begin_isolation().unwrap();
+            // Waited-across-the-boundary futures from the previous epoch
+            // must already be resolved (the barrier settles every cell).
+            for f in carried.drain(..) {
+                assert!(f.is_ready(), "{policy:?}: future crossed epoch pending");
+                assert_eq!(f.wait().unwrap() % 1000, epoch - 1, "{policy:?}");
+            }
+            for (i, o) in objs.iter().enumerate() {
+                let fut = o
+                    .delegate_with(move |n| {
+                        *n += 1;
+                        (i as u64) * 1_000_000 + *n * 1000 + epoch
+                    })
+                    .unwrap();
+                // Keep every fourth future pending across the boundary;
+                // wait a quarter mid-epoch; drop the rest outright.
+                match i % 4 {
+                    0 => carried.push(fut),
+                    1 => {
+                        assert_eq!(
+                            fut.wait().unwrap(),
+                            (i as u64) * 1_000_000 + (epoch + 1) * 1000 + epoch,
+                            "{policy:?}"
+                        );
+                    }
+                    _ => drop(fut),
+                }
+            }
+            rt.end_isolation().unwrap();
+        }
+        for o in &objs {
+            assert_eq!(o.call(|n| *n).unwrap(), EPOCHS, "{policy:?}");
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.futures_resolved, EPOCHS * OBJS as u64, "{policy:?}");
+        assert_eq!(stats.in_flight, 0, "{policy:?}");
+    }
+}
+
+/// Dropped-future leak check: a storm of future-returning operations —
+/// nested ones included — whose futures are all dropped unwaited must
+/// leave no residue: `in_flight` back to zero, every queue empty, every
+/// cell settled, and the values all applied.
+#[test]
+fn dropped_futures_leak_nothing_under_nesting() {
+    const ROOTS: u64 = 48;
+    const KIDS: u64 = 3;
+    for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
+        let rt = Runtime::builder()
+            .delegate_threads(delegates_from_env(4))
+            .stealing(policy)
+            .build()
+            .unwrap();
+        let roots: Vec<Writable<u64, SequenceSerializer>> =
+            (0..ROOTS).map(|_| Writable::new(&rt, 0)).collect();
+        let kids: Vec<Writable<u64, SequenceSerializer>> =
+            (0..ROOTS).map(|_| Writable::new(&rt, 0)).collect();
+        rt.begin_isolation().unwrap();
+        for i in 0..ROOTS as usize {
+            let (rt1, kid) = (rt.clone(), kids[i].clone());
+            // Root future dropped immediately; the root spawns nested
+            // future-returning children and drops those futures too.
+            drop(
+                roots[i]
+                    .delegate_with(move |n| {
+                        *n += 1;
+                        rt1.delegate_scope(|cx| {
+                            for _ in 0..KIDS {
+                                drop(cx.delegate_with(&kid, |k| {
+                                    *k += 1;
+                                    *k
+                                }));
+                            }
+                        })
+                        .unwrap();
+                        *n
+                    })
+                    .unwrap(),
+            );
+        }
+        rt.end_isolation().unwrap();
+        for i in 0..ROOTS as usize {
+            assert_eq!(roots[i].call(|n| *n).unwrap(), 1, "{policy:?}");
+            assert_eq!(kids[i].call(|n| *n).unwrap(), KIDS, "{policy:?}");
+        }
+        let stats = rt.stats();
+        assert_eq!(
+            stats.futures_resolved,
+            ROOTS + ROOTS * KIDS,
+            "{policy:?}: a dropped future lost its completion"
+        );
+        assert_eq!(
+            stats.in_flight, 0,
+            "{policy:?}: dropped futures leaked in_flight"
+        );
+        assert!(
+            stats.queue_depths.iter().all(|&d| d == 0),
+            "{policy:?}: residual queue depth {:?}",
+            stats.queue_depths
+        );
+    }
+}
+
 #[test]
 fn runtime_handles_survive_wrapper_lifetimes() {
     // Wrappers hold runtime clones; dropping them in arbitrary orders, with
