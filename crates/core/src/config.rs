@@ -12,7 +12,9 @@
 
 use std::sync::Arc;
 
-use crate::runtime::{DelegateAssignment, LeastLoaded, RoundRobinFirstTouch, StaticAssignment};
+use crate::runtime::{
+    DelegateAssignment, EwmaCost, LeastLoaded, RoundRobinFirstTouch, StaticAssignment,
+};
 
 /// Factory closure for custom assignment policies (kept in an `Arc` so
 /// builders stay cloneable).
@@ -31,6 +33,11 @@ pub enum Assignment {
     RoundRobinFirstTouch,
     /// First-touch pinning to the delegate with the shallowest queue.
     LeastLoaded,
+    /// First-touch pinning to the delegate with the least *estimated
+    /// committed cost*, where per-set costs are EWMAs of observed
+    /// operation runtimes fed back from the delegate threads (see
+    /// [`EwmaCost`]). Enables per-operation runtime measurement.
+    EwmaCost,
     /// A user-supplied policy, built fresh for each runtime.
     Custom(PolicyFactory),
 }
@@ -57,6 +64,7 @@ impl Assignment {
             Assignment::Static => Box::new(StaticAssignment),
             Assignment::RoundRobinFirstTouch => Box::new(RoundRobinFirstTouch::default()),
             Assignment::LeastLoaded => Box::new(LeastLoaded),
+            Assignment::EwmaCost => Box::new(EwmaCost::default()),
             Assignment::Custom(f) => f(),
         }
     }
@@ -68,6 +76,7 @@ impl std::fmt::Debug for Assignment {
             Assignment::Static => f.write_str("Static"),
             Assignment::RoundRobinFirstTouch => f.write_str("RoundRobinFirstTouch"),
             Assignment::LeastLoaded => f.write_str("LeastLoaded"),
+            Assignment::EwmaCost => f.write_str("EwmaCost"),
             Assignment::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -119,6 +128,25 @@ impl StealPolicy {
             StealPolicy::Threshold(d) => Some((*d).max(1)),
         }
     }
+}
+
+/// How the routing layer stores its set→executor pins (see
+/// `docs/ARCHITECTURE.md`, "The routing layer").
+///
+/// [`RoutingMode::Sharded`] (the default) is strictly better under
+/// contention and no worse without it; [`RoutingMode::LegacyMutex`]
+/// reproduces the pre-sharding behaviour — one global pin-map lock, no
+/// lock-free fast path — and exists as an ablation/diagnostic knob (the
+/// `ablation_routing` bench measures the two against each other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Sharded pin map: per-shard locks for writers, lock-free reads of
+    /// already-pinned sets. The default.
+    #[default]
+    Sharded,
+    /// One global pin-map lock; every resolution takes it. Ablation
+    /// baseline only.
+    LegacyMutex,
 }
 
 /// How delegated operations are executed.
@@ -179,6 +207,7 @@ pub struct RuntimeBuilder {
     pub(crate) trace: bool,
     pub(crate) assignment: Assignment,
     pub(crate) stealing: StealPolicy,
+    pub(crate) routing: RoutingMode,
 }
 
 impl Default for RuntimeBuilder {
@@ -194,6 +223,7 @@ impl Default for RuntimeBuilder {
             trace: false,
             assignment: Assignment::Static,
             stealing: StealPolicy::Off,
+            routing: RoutingMode::Sharded,
         }
     }
 }
@@ -304,6 +334,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the pin-map layout of the routing layer. Default
+    /// [`RoutingMode::Sharded`]; [`RoutingMode::LegacyMutex`] restores
+    /// the single global routing lock and exists for ablation and
+    /// diagnosis only (results are identical either way — routing
+    /// storage is invisible to the execution model).
+    pub fn routing(mut self, r: RoutingMode) -> Self {
+        self.routing = r;
+        self
+    }
+
     /// Enables execution tracing (§3.3's debug facility): the runtime
     /// records every model-level operation — epoch boundaries, delegations
     /// with their serialization set and executor, ownership reclaims,
@@ -342,7 +382,16 @@ mod tests {
             "round-robin"
         );
         assert_eq!(Assignment::LeastLoaded.instantiate().name(), "least-loaded");
+        assert_eq!(Assignment::EwmaCost.instantiate().name(), "ewma-cost");
         assert_eq!(format!("{:?}", Assignment::LeastLoaded), "LeastLoaded");
+        assert_eq!(format!("{:?}", Assignment::EwmaCost), "EwmaCost");
+    }
+
+    #[test]
+    fn routing_mode_defaults_to_sharded() {
+        assert_eq!(RuntimeBuilder::default().routing, RoutingMode::Sharded);
+        let b = RuntimeBuilder::default().routing(RoutingMode::LegacyMutex);
+        assert_eq!(b.routing, RoutingMode::LegacyMutex);
     }
 
     #[test]

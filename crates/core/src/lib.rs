@@ -75,12 +75,12 @@ mod stats;
 mod trace;
 mod wrappers;
 
-pub use config::{Assignment, ExecutionMode, RuntimeBuilder, StealPolicy, WaitPolicy};
+pub use config::{Assignment, ExecutionMode, RoutingMode, RuntimeBuilder, StealPolicy, WaitPolicy};
 pub use error::{SsError, SsResult};
 pub use future::SsFuture;
 pub use runtime::{
-    AssignTopology, DelegateAssignment, DelegateContext, DelegateLoads, Executor, LeastLoaded,
-    RoundRobinFirstTouch, Runtime, StaticAssignment,
+    AssignTopology, DelegateAssignment, DelegateContext, DelegateLoads, EwmaCost, Executor,
+    LeastLoaded, RoundRobinFirstTouch, Runtime, StaticAssignment,
 };
 pub use serializer::{
     FnSerializer, NullSerializer, ObjectSerializer, SequenceSerializer, SerializeCx, Serializer,

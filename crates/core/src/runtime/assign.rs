@@ -9,29 +9,36 @@
 //!
 //! This module makes the mapping a pluggable layer. A
 //! [`DelegateAssignment`] policy decides, at the *first* delegation of a
-//! set in an isolation epoch, which executor owns the set; the runtime
-//! then **pins** that decision for the remainder of the epoch. Epoch
-//! stability is the correctness invariant: all operations of one set must
-//! land in one FIFO queue so they execute in program order, and the
-//! `end_isolation` barrier (which drains every queue) is the only point
-//! where re-routing a set is safe. The pin table is therefore cleared
-//! only at epoch boundaries — lazily, when the first delegation of a new
-//! epoch reaches the scheduler — never mid-epoch.
+//! set in an isolation epoch, which executor owns the set; the runtime's
+//! routing layer ([`router`](super::Router)) then **pins** that decision
+//! — in a sharded, epoch-stamped pin map — for the remainder of the
+//! epoch. Epoch stability is the correctness invariant: all operations
+//! of one set must land in one FIFO queue so they execute in program
+//! order, and the `end_isolation` barrier (which drains every queue) is
+//! the only point where re-routing a set is safe. Pins therefore expire
+//! only at epoch boundaries — lazily, per shard, when the first write of
+//! the new epoch reaches the shard — never mid-epoch.
 //!
-//! Three built-in policies ship with the runtime (selectable via
+//! Four built-in policies ship with the runtime (selectable via
 //! [`RuntimeBuilder::assignment`](crate::RuntimeBuilder::assignment)):
 //!
 //! * [`StaticAssignment`] — the paper's default, bit-for-bit the seed
-//!   behaviour. Pure (stateless), so the runtime skips the pin table.
+//!   behaviour. Pure (stateless), so the runtime skips the pin map.
 //! * [`RoundRobinFirstTouch`] — first-touch order round-robins over the
 //!   executors; robust to clustered id spaces (e.g. object serializers
 //!   whose addresses share alignment, which alias badly under modulo).
 //! * [`LeastLoaded`] — pins a first-seen set to the delegate with the
 //!   shallowest queue at that instant, using the depth counters kept in
 //!   [`stats`](crate::Stats::queue_depths).
+//! * [`EwmaCost`] — pins a first-seen set to the delegate with the least
+//!   *estimated committed cost*, where each set's cost is an
+//!   exponentially-weighted moving average of its operations' observed
+//!   runtimes (fed back from the delegate threads between epochs). Depth
+//!   counts treat a 100 µs operation and a 100 ns one alike; cost
+//!   estimates do not.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 
 use parking_lot::Mutex;
 use ss_queue::StealDeque;
@@ -64,6 +71,13 @@ pub struct AssignTopology {
     pub program_share: usize,
 }
 
+/// A per-delegate buffer of `(set id, observed runtime in nanoseconds)`
+/// samples, filled by the executing delegate and drained by cost-aware
+/// assignment policies. Each buffer is touched by exactly one delegate
+/// thread plus the (serialized) policy, so the mutexes are uncontended in
+/// steady state.
+pub(crate) type CostSamples = [Mutex<Vec<(u64, u64)>>];
+
 /// Read-only view of per-delegate load, sampled at assignment time.
 ///
 /// Depths count *delegated operations* currently enqueued or executing on
@@ -73,6 +87,10 @@ pub struct AssignTopology {
 /// pinned for the epoch either way.
 pub struct DelegateLoads<'a> {
     pub(crate) depths: &'a [AtomicU64],
+    /// Observed-runtime sample buffers, present only when the active
+    /// policy asked for cost feedback
+    /// ([`DelegateAssignment::wants_cost_feedback`]).
+    pub(crate) samples: Option<&'a CostSamples>,
 }
 
 impl DelegateLoads<'_> {
@@ -83,13 +101,28 @@ impl DelegateLoads<'_> {
 
     /// Current queue depth of delegate `i` (enqueued + executing).
     pub fn queue_depth(&self, i: usize) -> u64 {
-        self.depths[i].load(Ordering::Relaxed)
+        self.depths[i].load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Index of the delegate with the shallowest queue (lowest index on
     /// ties); `None` when there are no delegates.
     pub fn shallowest(&self) -> Option<usize> {
         (0..self.depths.len()).min_by_key(|&i| (self.queue_depth(i), i))
+    }
+
+    /// Drains every pending `(set, runtime ns)` cost sample into `f`.
+    /// No-op unless the active policy requested cost feedback. Samples
+    /// arrive roughly in completion order per delegate; cross-delegate
+    /// order is unspecified (EWMA folding is order-insensitive enough).
+    pub fn drain_cost_samples(&self, mut f: impl FnMut(u64, u64)) {
+        let Some(buffers) = self.samples else {
+            return;
+        };
+        for buffer in buffers {
+            for (set, nanos) in buffer.lock().drain(..) {
+                f(set, nanos);
+            }
+        }
     }
 }
 
@@ -100,8 +133,8 @@ impl DelegateLoads<'_> {
 /// touch) and pins the answer until `end_isolation`; policies therefore
 /// never see the same set twice within an epoch unless
 /// [`is_pure`](DelegateAssignment::is_pure) is true. Policy calls are
-/// always *serialized* (they happen under the runtime's routing lock),
-/// but with recursive delegation a first touch can originate on a
+/// always *serialized* (they happen under the routing layer's policy
+/// mutex), but with recursive delegation a first touch can originate on a
 /// delegate thread — so a policy may be consulted from different threads
 /// over its life, never concurrently. `Send` covers that migration; no
 /// synchronization is needed inside a policy.
@@ -124,10 +157,19 @@ pub trait DelegateAssignment: Send + std::fmt::Debug + 'static {
     fn name(&self) -> &'static str;
 
     /// True when `assign` is a pure function of `(ss, topology)` — the
-    /// runtime then skips the per-epoch pin table (static assignment is
+    /// runtime then skips the per-epoch pin map (static assignment is
     /// already epoch-stable by construction). Read once at runtime
     /// construction; the answer must not change over the policy's life.
     fn is_pure(&self) -> bool {
+        false
+    }
+
+    /// True when the runtime should measure delegated operations'
+    /// runtimes and expose them to [`assign`](DelegateAssignment::assign)
+    /// via [`DelegateLoads::drain_cost_samples`]. Costs one
+    /// clock read + one uncontended buffer push per executed operation,
+    /// so it is opt-in. Read once at runtime construction.
+    fn wants_cost_feedback(&self) -> bool {
         false
     }
 
@@ -155,7 +197,7 @@ pub trait DelegateAssignment: Send + std::fmt::Debug + 'static {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StaticAssignment;
 
-/// Shared by [`StaticAssignment`] and the pre-refactor call sites: the
+/// Shared by [`StaticAssignment`] and the runtime's inline fast path: the
 /// exact seed routing function.
 pub(crate) fn static_executor(ss: SsId, topo: &AssignTopology) -> Executor {
     let v = (ss.0 % topo.virtual_delegates as u64) as usize;
@@ -225,32 +267,134 @@ impl DelegateAssignment for LeastLoaded {
     }
 }
 
-/// Program-thread-only assignment state: the active policy plus the
-/// epoch-scoped pin table that enforces set→executor stability.
+/// Smoothing factor for [`EwmaCost`]: weight of the newest observation.
+const EWMA_ALPHA: f64 = 0.25;
+
+/// Fallback cost (ns) for sets never observed before, used until the
+/// policy has any real observations to average instead.
+const EWMA_DEFAULT_COST: f64 = 1_000.0;
+
+/// Cap on the per-set cost map. Workloads that mint fresh set ids
+/// forever (new `Writable`s every epoch) would otherwise grow it without
+/// bound; beyond the cap, new sets are not tracked individually and just
+/// cost the typical estimate — placement degrades gracefully to
+/// count-balanced for the untracked tail.
+const EWMA_MAX_TRACKED_SETS: usize = 65_536;
+
+/// Cost-aware first touch (the ROADMAP's "assignment driven by observed
+/// per-set cost"): each set's operations' runtimes feed an
+/// exponentially-weighted moving average, and a first-seen set is pinned
+/// to the delegate with the least cost *committed to it so far this
+/// epoch*. Costs survive epoch boundaries (the whole point: epoch `n+1`
+/// places the sets epoch `n` measured), while the committed-cost tally
+/// resets per epoch. Sets never seen before cost the running mean of all
+/// known sets (or a nominal 1 µs before any observation exists), which
+/// degrades gracefully to count-balanced placement.
+///
+/// The program share is intentionally ignored, like [`LeastLoaded`]:
+/// inline execution has no queue and no measured runtime.
+#[derive(Debug, Default)]
+pub struct EwmaCost {
+    /// Per-set EWMA of observed runtimes, in nanoseconds. Bounded by
+    /// [`EWMA_MAX_TRACKED_SETS`].
+    cost: HashMap<u64, f64>,
+    /// Running sum of `cost`'s values, maintained incrementally so the
+    /// typical-cost estimate is O(1) at assignment time (assignments run
+    /// inside the routing critical section — no O(#sets) scans there).
+    cost_sum: f64,
+    /// Cost committed to each delegate in the current epoch.
+    committed: Vec<f64>,
+}
+
+impl EwmaCost {
+    fn fold_sample(&mut self, set: u64, nanos: u64) {
+        let observed = nanos as f64;
+        if let Some(estimate) = self.cost.get_mut(&set) {
+            let delta = EWMA_ALPHA * (observed - *estimate);
+            *estimate += delta;
+            self.cost_sum += delta;
+        } else if self.cost.len() < EWMA_MAX_TRACKED_SETS {
+            self.cost.insert(set, observed);
+            self.cost_sum += observed;
+        }
+        // Beyond the cap, new sets stay untracked and cost the typical
+        // estimate — bounded memory over unbounded set churn.
+    }
+
+    /// Estimated cost of a set with no history: the mean of the known
+    /// estimates (new sets in a workload tend to resemble old ones), or
+    /// the nominal default before any observation. O(1) — see
+    /// [`EwmaCost::cost_sum`].
+    fn typical_cost(&self) -> f64 {
+        if self.cost.is_empty() {
+            EWMA_DEFAULT_COST
+        } else {
+            self.cost_sum / self.cost.len() as f64
+        }
+    }
+}
+
+impl DelegateAssignment for EwmaCost {
+    fn name(&self) -> &'static str {
+        "ewma-cost"
+    }
+
+    fn wants_cost_feedback(&self) -> bool {
+        true
+    }
+
+    fn begin_epoch(&mut self, _serial: u64) {
+        for c in &mut self.committed {
+            *c = 0.0;
+        }
+    }
+
+    fn assign(&mut self, ss: SsId, topo: &AssignTopology, loads: &DelegateLoads<'_>) -> Executor {
+        loads.drain_cost_samples(|set, nanos| self.fold_sample(set, nanos));
+        self.committed.resize(topo.n_delegates, 0.0);
+        let estimate = self
+            .cost
+            .get(&ss.0)
+            .copied()
+            .unwrap_or_else(|| self.typical_cost());
+        let target = self
+            .committed
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.committed[target] += estimate;
+        Executor::Delegate(target)
+    }
+}
+
+/// The assignment policy and its epoch bookkeeping, shared by all
+/// routing paths behind the [`Router`](super::Router)'s policy mutex.
+///
+/// This used to also own the set→executor pin table; pins now live in
+/// the router's sharded [`ShardMap`](ss_queue::shardmap::ShardMap), so
+/// the scheduler mutex is held only for actual policy consultations
+/// (first touches and pure-policy recomputations) — never on the
+/// re-delegate-to-a-pinned-set hot path.
 pub(crate) struct Scheduler {
     policy: Box<dyn DelegateAssignment>,
-    /// Cached `policy.is_pure()` — consulted on every delegation, so the
-    /// answer must not cost a virtual call each time.
-    pure: bool,
-    pins: std::collections::HashMap<u64, Executor>,
-    pin_serial: u64,
+    /// Epoch serial of the last `begin_epoch` notification (lazy — an
+    /// epoch that assigns nothing never notifies the policy).
+    epoch_seen: u64,
 }
 
 impl Scheduler {
     pub(crate) fn new(policy: Box<dyn DelegateAssignment>) -> Self {
         Scheduler {
-            pure: policy.is_pure(),
             policy,
-            pins: std::collections::HashMap::new(),
-            pin_serial: 0,
+            epoch_seen: 0,
         }
     }
 
-    /// Consults the policy directly, bypassing the scheduler's own pin
-    /// table — the stealing path keeps pins in the shared [`PinTable`]
-    /// instead, because thieves (delegate threads) must be able to rewrite
-    /// them. Still tracks epoch serials so `begin_epoch` fires exactly
-    /// once per (delegating) epoch.
+    /// Consults the policy for `ss` in epoch `serial`, notifying
+    /// `begin_epoch` exactly once per (assigning) epoch. The caller pins
+    /// the answer; the scheduler itself keeps no per-set state.
     pub(crate) fn assign_raw(
         &mut self,
         ss: SsId,
@@ -258,100 +402,33 @@ impl Scheduler {
         topo: &AssignTopology,
         loads: &DelegateLoads<'_>,
     ) -> Executor {
-        if self.pin_serial != serial {
-            self.pin_serial = serial;
+        if self.epoch_seen != serial {
+            self.epoch_seen = serial;
             self.policy.begin_epoch(serial);
         }
-        self.policy.assign(ss, topo, loads)
-    }
-
-    /// Read-only pin lookup for epoch `serial` — the future-wait deadlock
-    /// detector's view of the routing state. Never creates a pin: pure
-    /// policies are recomputed (side-effect-free by the
-    /// [`DelegateAssignment::is_pure`] contract), stateful ones answer
-    /// from the pin table only, with `None` for sets not yet touched this
-    /// epoch (the detector treats that as "no cycle" and retries).
-    pub(crate) fn peek(
-        &mut self,
-        ss: SsId,
-        serial: u64,
-        topo: &AssignTopology,
-        loads: &DelegateLoads<'_>,
-    ) -> Option<Executor> {
-        if self.pure {
-            return Some(self.policy.assign(ss, topo, loads));
+        let executor = self.policy.assign(ss, topo, loads);
+        if let Executor::Delegate(i) = executor {
+            debug_assert!(
+                i < topo.n_delegates,
+                "policy returned delegate {i} of {}",
+                topo.n_delegates
+            );
         }
-        if self.pin_serial == serial {
-            self.pins.get(&ss.0).copied()
-        } else {
-            None
-        }
-    }
-
-    /// Routes `ss` for epoch `serial`. Returns the executor and whether
-    /// this call created a fresh pin (first touch of the set this epoch).
-    pub(crate) fn executor_for(
-        &mut self,
-        ss: SsId,
-        serial: u64,
-        topo: &AssignTopology,
-        loads: &DelegateLoads<'_>,
-    ) -> (Executor, bool) {
-        if self.pure {
-            return (self.policy.assign(ss, topo, loads), false);
-        }
-        if self.pin_serial != serial {
-            self.pins.clear();
-            self.pin_serial = serial;
-            self.policy.begin_epoch(serial);
-        }
-        match self.pins.entry(ss.0) {
-            std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                let executor = self.policy.assign(ss, topo, loads);
-                if let Executor::Delegate(i) = executor {
-                    debug_assert!(
-                        i < topo.n_delegates,
-                        "policy returned delegate {i} of {}",
-                        topo.n_delegates
-                    );
-                }
-                slot.insert(executor);
-                (executor, true)
-            }
-        }
+        executor
     }
 }
 
 // ----------------------------------------------------------------------
-// work stealing (the stealing-mode routing state)
-
-/// The set→executor pin table used when stealing is enabled.
-///
-/// In stealing mode the pin table must be shared — idle delegates rewrite
-/// pins when they migrate a set — so it moves out of the program-only
-/// [`Scheduler`] into this mutex-guarded map. The mutex is the *routing
-/// lock*: every operation that reads or writes set→queue placement
-/// (delegation, reclaim-token placement, steal, epoch reset) holds it, so
-/// "where do operations of set S go?" has a single consistent answer at
-/// every instant. See `docs/ARCHITECTURE.md` for the full steal-safety
-/// argument this lock anchors.
-pub(crate) struct PinTable {
-    /// Set id → owning executor, for the epoch in `serial`.
-    pub(crate) pins: HashMap<u64, Executor>,
-    /// Isolation-epoch serial the pins belong to (lazy clear on rollover,
-    /// plus an eager clear at `end_isolation`).
-    pub(crate) serial: u64,
-}
+// work stealing (the stealing-mode transport state)
 
 /// Everything the stealing mode shares between the program thread and the
 /// delegate threads: one [`StealDeque`] per delegate (replacing the SPSC
-/// channels), the routing lock, and the policy knob. (Delegate-side trace
-/// events — steals, nested delegations — live in the runtime's shared
-/// `Core`, not here.)
+/// channels) and the policy knob. Routing state — the sharded pin map
+/// and the assignment policy — lives in the shared
+/// [`Router`](super::Router), which thieves also hold; delegate-side
+/// trace events live in the runtime's shared `Core`.
 pub(crate) struct StealShared {
     pub(crate) deques: Box<[StealDeque<Invocation>]>,
-    pub(crate) table: Mutex<PinTable>,
     pub(crate) policy: StealPolicy,
 }
 
@@ -359,19 +436,16 @@ impl StealShared {
     pub(crate) fn new(n_delegates: usize, policy: StealPolicy) -> Self {
         StealShared {
             deques: (0..n_delegates).map(|_| StealDeque::new()).collect(),
-            table: Mutex::new(PinTable {
-                pins: HashMap::new(),
-                serial: 0,
-            }),
             policy,
         }
     }
 
-    /// Epoch reset: drop all pins and forget started sets. Only sound when
-    /// every deque has drained (the `end_isolation` barrier guarantees it).
+    /// Epoch reset: forget started sets so the next epoch re-routes (and
+    /// re-steals) freely. Only sound when every deque has drained (the
+    /// `end_isolation` barrier guarantees it). Pins need no reset here —
+    /// the router's pin map is epoch-stamped and expires lazily, shard
+    /// by shard.
     pub(crate) fn reset_epoch(&self) {
-        let mut table = self.table.lock();
-        table.pins.clear();
         for d in self.deques.iter() {
             d.begin_epoch();
         }
@@ -381,6 +455,7 @@ impl StealShared {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn topo(n: usize, virt: usize, share: usize) -> AssignTopology {
         AssignTopology {
@@ -391,7 +466,10 @@ mod tests {
     }
 
     fn loads_of(depths: &[AtomicU64]) -> DelegateLoads<'_> {
-        DelegateLoads { depths }
+        DelegateLoads {
+            depths,
+            samples: None,
+        }
     }
 
     fn depths(values: &[u64]) -> Vec<AtomicU64> {
@@ -437,68 +515,100 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_pins_are_epoch_stable() {
-        // LeastLoaded would migrate a set as depths change; the pin table
-        // must hold it on its first-touch executor within one epoch.
-        let t = topo(2, 2, 0);
-        let d = depths(&[0, 4]);
-        let mut s = Scheduler::new(Box::new(LeastLoaded));
-        let (e1, fresh1) = s.executor_for(SsId(7), 1, &t, &loads_of(&d));
-        assert_eq!(e1, Executor::Delegate(0));
-        assert!(fresh1);
-        // Delegate 0 is now much busier — but set 7 must stay pinned.
-        d[0].store(100, Ordering::Relaxed);
-        let (e2, fresh2) = s.executor_for(SsId(7), 1, &t, &loads_of(&d));
-        assert_eq!(e2, Executor::Delegate(0));
-        assert!(!fresh2);
-        // A *different* set may go elsewhere.
-        let (e3, _) = s.executor_for(SsId(8), 1, &t, &loads_of(&d));
-        assert_eq!(e3, Executor::Delegate(1));
+    fn scheduler_notifies_begin_epoch_once_per_epoch() {
+        #[derive(Debug, Default)]
+        struct Counting {
+            begins: Vec<u64>,
+        }
+        impl DelegateAssignment for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn begin_epoch(&mut self, serial: u64) {
+                self.begins.push(serial);
+            }
+            fn assign(&mut self, _: SsId, _: &AssignTopology, _: &DelegateLoads<'_>) -> Executor {
+                Executor::Delegate(0)
+            }
+        }
+        let t = topo(1, 1, 0);
+        let d = depths(&[0]);
+        let mut s = Scheduler::new(Box::<Counting>::default());
+        s.assign_raw(SsId(1), 3, &t, &loads_of(&d));
+        s.assign_raw(SsId(2), 3, &t, &loads_of(&d));
+        s.assign_raw(SsId(1), 5, &t, &loads_of(&d)); // epoch 4 assigned nothing
+        let policy = s.policy;
+        let dbg = format!("{policy:?}");
+        assert!(dbg.contains("begins: [3, 5]"), "{dbg}");
     }
 
     #[test]
-    fn scheduler_repins_only_at_epoch_boundary() {
-        let t = topo(2, 2, 0);
-        let d = depths(&[10, 0]);
-        let mut s = Scheduler::new(Box::new(LeastLoaded));
-        let (e1, _) = s.executor_for(SsId(7), 1, &t, &loads_of(&d));
-        assert_eq!(e1, Executor::Delegate(1));
-        d[1].store(50, Ordering::Relaxed);
-        // Same epoch: stays.
-        assert_eq!(
-            s.executor_for(SsId(7), 1, &t, &loads_of(&d)).0,
-            Executor::Delegate(1)
-        );
-        // New epoch: free to move to the now-shallow delegate 0.
-        d[0].store(0, Ordering::Relaxed);
-        let (e2, fresh) = s.executor_for(SsId(7), 2, &t, &loads_of(&d));
-        assert_eq!(e2, Executor::Delegate(0));
-        assert!(fresh);
-    }
-
-    #[test]
-    fn pure_policies_bypass_the_pin_table() {
+    fn ewma_cost_balances_by_estimated_cost_not_count() {
         let t = topo(2, 2, 0);
         let d = depths(&[0, 0]);
-        let mut s = Scheduler::new(Box::new(StaticAssignment));
-        // Fresh-pin flag never fires for pure policies (no Pin trace spam).
-        for ss in 0..10u64 {
-            let (_, fresh) = s.executor_for(SsId(ss), 1, &t, &loads_of(&d));
-            assert!(!fresh);
-        }
+        let buffers: Vec<Mutex<Vec<(u64, u64)>>> = (0..2).map(|_| Mutex::new(Vec::new())).collect();
+        let mut p = EwmaCost::default();
+        // Feed observations from a previous epoch: set 1 is 100x heavier.
+        buffers[0].lock().push((1, 100_000));
+        buffers[1].lock().push((2, 1_000));
+        buffers[1].lock().push((3, 1_000));
+        let loads = DelegateLoads {
+            depths: &d,
+            samples: Some(&buffers),
+        };
+        p.begin_epoch(7);
+        // First touch of the heavy set: lands on delegate 0 (all zero).
+        assert_eq!(p.assign(SsId(1), &t, &loads), Executor::Delegate(0));
+        // The next two cheap sets must both avoid the loaded delegate —
+        // a count-based policy would have alternated.
+        assert_eq!(p.assign(SsId(2), &t, &loads), Executor::Delegate(1));
+        assert_eq!(p.assign(SsId(3), &t, &loads), Executor::Delegate(1));
+        // An unknown set costs the typical estimate, still ≪ the heavy one.
+        assert_eq!(p.assign(SsId(9), &t, &loads), Executor::Delegate(1));
     }
 
     #[test]
-    fn round_robin_is_epoch_stable_through_scheduler() {
-        let t = topo(3, 3, 0);
-        let d = depths(&[0, 0, 0]);
-        let mut s = Scheduler::new(Box::new(RoundRobinFirstTouch::default()));
-        let (first, _) = s.executor_for(SsId(5), 3, &t, &loads_of(&d));
-        for _ in 0..5 {
-            // Interleave other sets; set 5 must keep its executor.
-            s.executor_for(SsId(1), 3, &t, &loads_of(&d));
-            s.executor_for(SsId(2), 3, &t, &loads_of(&d));
-            assert_eq!(s.executor_for(SsId(5), 3, &t, &loads_of(&d)).0, first);
-        }
+    fn ewma_cost_updates_smoothly_and_resets_commitments_per_epoch() {
+        let mut p = EwmaCost::default();
+        p.fold_sample(5, 1_000);
+        p.fold_sample(5, 2_000);
+        // 1000 + 0.25 * (2000 - 1000) = 1250.
+        assert_eq!(p.cost[&5], 1_250.0);
+        let t = topo(2, 2, 0);
+        let d = depths(&[0, 0]);
+        let loads = loads_of(&d);
+        p.begin_epoch(1);
+        assert_eq!(p.assign(SsId(5), &t, &loads), Executor::Delegate(0));
+        assert_eq!(p.assign(SsId(6), &t, &loads), Executor::Delegate(1));
+        // New epoch: commitments cleared, placement starts over.
+        p.begin_epoch(2);
+        assert_eq!(p.assign(SsId(7), &t, &loads), Executor::Delegate(0));
+    }
+
+    #[test]
+    fn ewma_cost_requests_feedback_and_others_do_not() {
+        assert!(EwmaCost::default().wants_cost_feedback());
+        assert!(!StaticAssignment.wants_cost_feedback());
+        assert!(!LeastLoaded.wants_cost_feedback());
+        assert!(!RoundRobinFirstTouch::default().wants_cost_feedback());
+    }
+
+    #[test]
+    fn drain_cost_samples_empties_buffers() {
+        let buffers: Vec<Mutex<Vec<(u64, u64)>>> = (0..2).map(|_| Mutex::new(Vec::new())).collect();
+        buffers[0].lock().push((1, 10));
+        buffers[1].lock().push((2, 20));
+        let d = depths(&[0, 0]);
+        let loads = DelegateLoads {
+            depths: &d,
+            samples: Some(&buffers),
+        };
+        let mut seen = Vec::new();
+        loads.drain_cost_samples(|s, n| seen.push((s, n)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 10), (2, 20)]);
+        assert!(buffers.iter().all(|b| b.lock().is_empty()));
+        // Second drain: nothing left.
+        loads.drain_cost_samples(|_, _| panic!("buffers were not emptied"));
     }
 }

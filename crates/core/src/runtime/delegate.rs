@@ -44,7 +44,7 @@ use crate::stats::StatsCell;
 use crate::trace::{SideEvent, TraceExecutor, TraceKind};
 use crate::wrappers::Writable;
 
-use super::{Core, Executor, Runtime, StealShared};
+use super::{Core, Executor, Router, Runtime, StealShared};
 
 thread_local! {
     /// `(runtime id, delegate index)` for delegate threads; `None` elsewhere.
@@ -246,18 +246,34 @@ fn deferred_take_runnable() -> Option<DeferredEntry> {
     })
 }
 
+/// Cap on each per-delegate cost-sample buffer: bounds memory if the
+/// policy goes a long time without an assignment to drain them at.
+const COST_SAMPLE_CAP: usize = 4096;
+
 /// Executes one `Execute` invocation with active-set tracking and
 /// origin-correct counter settlement. Shared by the worker loops and the
 /// help loop so every path maintains identical accounting. The task box
 /// never unwinds (`package_task` traps panics), so the push/pop pair
 /// stays balanced.
+///
+/// When the assignment policy asked for cost feedback
+/// (`Core::cost_samples` present), the operation's wall time is recorded
+/// into this delegate's sample buffer — an uncontended mutex push, off
+/// unless a cost-aware policy (e.g. `EwmaCost`) is active.
 fn execute_op(core: &Core, idx: usize, ss: SsId, task: Box<dyn FnOnce() + Send>, origin: Origin) {
     HELP.with(|h| {
         if let Some(s) = h.borrow_mut().as_mut() {
             s.active.push(ss.0);
         }
     });
+    let timer = core.cost_samples.is_some().then(std::time::Instant::now);
     task();
+    if let (Some(buffers), Some(t0)) = (&core.cost_samples, timer) {
+        let mut buffer = buffers[idx].lock();
+        if buffer.len() < COST_SAMPLE_CAP {
+            buffer.push((ss.0, t0.elapsed().as_nanos() as u64));
+        }
+    }
     HELP.with(|h| {
         if let Some(s) = h.borrow_mut().as_mut() {
             s.active.pop();
@@ -559,10 +575,12 @@ pub(super) fn delegate_main(
 /// Delegate thread main loop for the stealing transport: drain the own
 /// deque FIFO; when it runs dry, try to steal a batch of never-started
 /// sets from the deepest peer; otherwise idle per the wait policy.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn delegate_main_stealing(
     rt_id: u64,
     idx: u32,
     shared: Arc<StealShared>,
+    router: Arc<Router>,
     wakeup: Arc<Wakeup>,
     policy: WaitPolicy,
     force_sleep: Arc<AtomicBool>,
@@ -622,7 +640,7 @@ pub(super) fn delegate_main_stealing(
                 }
             }
         }
-        if try_steal(&shared, me, &core, &mut stale_at) {
+        if try_steal(&shared, &router, me, &core, &mut stale_at) {
             backoff.reset();
             continue;
         }
@@ -647,16 +665,35 @@ pub(super) fn delegate_main_stealing(
 }
 
 /// One steal attempt by delegate `me`: pick the deepest peer queue that
-/// clears the policy's depth bar, then — under the routing lock — migrate
-/// roughly half of its never-started, unfenced set batches into our own
-/// deque and rewrite their pins. Returns true if any work arrived.
+/// clears the policy's depth bar, then migrate roughly half of its
+/// never-started, unfenced set batches into our own deque and rewrite
+/// their pins. Returns true if any work arrived.
 ///
-/// Everything between "batch leaves the victim" and "batch is landed and
-/// re-pinned here" happens in one critical section of the routing lock,
-/// so the program thread can never route an operation of a migrating set
-/// to either queue mid-flight, and a reclaim token can never chase a set
-/// to a queue it has already left.
-fn try_steal(shared: &StealShared, me: usize, core: &Core, stale_at: &mut [Option<usize>]) -> bool {
+/// The migration is **two-phase** against the sharded pin map:
+///
+/// 1. *Candidate selection* — `stealable_keys` lists the victim's
+///    eligible batches (one deque critical section, no routing locks),
+///    and the newest half are chosen, matching `steal_half_into`'s
+///    keep-the-oldest-for-the-owner heuristic.
+/// 2. *Validated migration* — [`Router::migrate_keys`] locks the chosen
+///    keys' shards (ascending shard order: concurrent thieves cannot
+///    deadlock), re-checks each key is still pinned to the victim
+///    (another thief may have won it meanwhile), and only then removes
+///    the batches, lands them here, and rewrites the pins — all inside
+///    those shard locks. A submit of an affected set serializes with the
+///    migration on its shard, so no operation can be routed to either
+///    queue mid-flight and a reclaim token can never chase a set to a
+///    queue it has already left; submits of unrelated sets proceed in
+///    parallel. `steal_keys_into` re-validates started/fence status
+///    under the deque lock, so a key the owner popped between the phases
+///    is skipped whole (and its pin left alone).
+fn try_steal(
+    shared: &StealShared,
+    router: &Router,
+    me: usize,
+    core: &Core,
+    stale_at: &mut [Option<usize>],
+) -> bool {
     let Some(min_depth) = shared.policy.min_victim_depth() else {
         return false;
     };
@@ -686,41 +723,44 @@ fn try_steal(shared: &StealShared, me: usize, core: &Core, stale_at: &mut [Optio
         return false; // nothing met the bar — not an attempt, no failure
     };
 
+    // Phase 1: list eligible batches; take the newest half (the owner
+    // reaches the oldest soonest).
+    let mut candidates = shared.deques[victim].stealable_keys();
+    let keep = candidates.len() / 2;
+    let chosen = candidates.split_off(keep);
+    let serial = core.epoch_serial.load(Ordering::Acquire);
     let mut batch: Vec<(u64, Invocation)> = Vec::new();
-    let mut table = shared.table.lock();
-    let taken = shared.deques[victim].steal_half_into(&mut batch);
-    if taken == 0 {
-        drop(table);
+    // Phase 2: validate pins and migrate under the keys' shard locks.
+    let taken_keys = router.migrate_keys(
+        serial,
+        &chosen,
+        Executor::Delegate(victim),
+        Executor::Delegate(me),
+        |valid| {
+            let taken = shared.deques[victim].steal_keys_into(valid, &mut batch);
+            if !batch.is_empty() {
+                // Depths are stats + victim-selection signals; `in_flight`
+                // (which the barrier's drain check reads) is untouched by
+                // steals, so the order of this transfer is not
+                // load-bearing.
+                core.stats.queue_depths[me].fetch_add(batch.len() as u64, Ordering::Relaxed);
+                core.stats.queue_depths[victim].fetch_sub(batch.len() as u64, Ordering::Relaxed);
+                shared.deques[me].extend_keyed(std::mem::take(&mut batch));
+            }
+            record_steal_events(core, serial, &taken, me);
+            taken
+        },
+    );
+    if taken_keys.is_empty() {
         // The victim looked deep but had nothing migratable (all started,
-        // fenced, or drained since the depth check). Remember the push
-        // count we scanned at so we do not rescan an unchanged queue.
+        // fenced, drained, or re-pinned since the depth check). Remember
+        // the push count we scanned at so we do not rescan an unchanged
+        // queue.
         stale_at[victim] = Some(victim_pushes);
         StatsCell::bump(&core.stats.steal_failures);
         return false;
     }
     stale_at[victim] = None;
-    let mut sets: Vec<u64> = Vec::new();
-    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    for (key, _) in &batch {
-        if seen.insert(*key) {
-            sets.push(*key);
-        }
-    }
-    for &key in &sets {
-        debug_assert!(
-            matches!(table.pins.get(&key), Some(Executor::Delegate(v)) if *v == victim),
-            "stolen set {key} was not pinned to victim {victim}"
-        );
-        table.pins.insert(key, Executor::Delegate(me));
-    }
-    // Depths are stats + victim-selection signals; `in_flight` (which the
-    // barrier's drain check reads) is untouched by steals, so the order of
-    // this transfer is not load-bearing.
-    core.stats.queue_depths[me].fetch_add(taken as u64, Ordering::Relaxed);
-    core.stats.queue_depths[victim].fetch_sub(taken as u64, Ordering::Relaxed);
-    shared.deques[me].extend_keyed(batch);
-    record_steal_events(core, table.serial, &sets, me);
-    drop(table);
     StatsCell::bump(&core.stats.steals);
     true
 }

@@ -1,36 +1,36 @@
-//! Delegation dispatch: routing, submission, and queue synchronization.
+//! Delegation dispatch: submission and queue synchronization.
 //!
-//! This is the hot path between the wrappers and the delegate threads:
-//! [`Runtime::executor_for`] consults the assignment layer (with
-//! first-touch pinning), [`Runtime::submit`] publishes the invocation to
-//! the owning executor, and the synchronization entry points implement
-//! §4's ownership-reclaim and epoch-barrier protocols on top of FIFO
-//! queue tokens.
+//! This is the hot path between the wrappers and the delegate threads.
+//! All four submit paths — program-context ([`Runtime::submit`]), nested
+//! ([`Runtime::submit_nested`], used by
+//! [`DelegateContext`](super::DelegateContext)), their stealing-transport
+//! variants, and the future-returning delegations that ride on both —
+//! resolve their executor through the single [`Router`](super::Router)
+//! layer and then publish over the transport chosen at build time
+//! ([`Channels`]):
 //!
-//! Two transports exist, chosen at build time ([`Channels`]):
+//! * **SPSC** (stealing off, the default) — the seed's path:
+//!   program-thread-owned FastForward producers for program submits, the
+//!   rings' multi-producer injector lanes for nested submits. Routing is
+//!   a lock-free pin-map read in the common re-delegate case (pins are
+//!   immutable within an epoch when no thief can rewrite them), with the
+//!   assignment policy consulted — under the set's shard lock — only on
+//!   the first touch of a set in an epoch. Static assignment without
+//!   stealing bypasses even that: the inline modulo, bit for bit.
+//! * **Stealing** — the pin resolution and the deque push happen in one
+//!   critical section *of the set's shard* ([`Router::route_publish`]),
+//!   so a concurrent steal (which locks the same shard to rewrite the
+//!   pin) can never observe or create a half-routed set. Unrelated sets
+//!   route in parallel on other shards — this is what took the global
+//!   routing mutex off the hot path. Synchronization tokens are pushed
+//!   as *fences*, which the deque refuses to steal across, preserving
+//!   the "token pops ⇒ everything it was ordered after ran *here*"
+//!   reclaim argument.
 //!
-//! * **SPSC** (stealing off, the default) — the seed's path, bit for bit:
-//!   program-thread-owned FastForward producers, per-delegation routing
-//!   through the scheduler lock (or the inline static modulo).
-//! * **Stealing** — every routing decision happens under the shared
-//!   routing lock ([`StealShared::table`](super::StealShared)) so that a
-//!   concurrent steal can never observe (or create) a half-routed set:
-//!   the pin lookup/insert and the queue push are one atomic step with
-//!   respect to pin rewrites. Synchronization tokens are pushed as
-//!   *fences*, which the deque refuses to steal across, preserving the
-//!   "token pops ⇒ everything it was ordered after ran *here*" reclaim
-//!   argument.
-//!
-//! Both transports additionally carry a **re-entrant delegation path**
-//! ([`Runtime::submit_nested`]) used by [`DelegateContext`](super::DelegateContext):
-//! a delegate thread executing an operation may submit further operations.
-//! Nested routing resolves pins under the same lock the program thread
-//! uses (the scheduler mutex, or the stealing routing lock), nested
-//! pushes go through multi-producer paths that can never block on a full
-//! ring (injector lanes / the shared deques), and every nested submission
-//! raises `in_flight` *before* its parent completes — which is what lets
-//! the `end_isolation` barrier wait for transitively spawned work with a
-//! single drain loop and no lost-wakeup window.
+//! Every nested submission raises `in_flight` *before* its parent
+//! completes — which is what lets the `end_isolation` barrier wait for
+//! transitively spawned work with a single drain loop and no lost-wakeup
+//! window.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -41,88 +41,83 @@ use crate::serializer::SsId;
 use crate::stats::StatsCell;
 use crate::trace::TraceKind;
 
-use super::assign::{static_executor, StealShared};
+use super::assign::StealShared;
+use super::router::Route;
 use super::{Channels, DelegateLoads, Executor, Runtime};
 
+/// Which context a routing decision was made from — decides where its
+/// fresh-pin trace event goes (program-order log vs side-event buffer).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RouteSite {
+    Program,
+    Nested,
+}
+
 impl Runtime {
-    /// Routes a serialization set to its executor via the configured
-    /// assignment policy, pinning first-touch decisions for the rest of
-    /// the isolation epoch (program thread only). Non-stealing transport
-    /// only — the stealing path routes under the routing lock inside
-    /// [`Runtime::submit`] so the answer cannot go stale before the push.
+    /// The load view handed to assignment policies: per-delegate depth
+    /// counters, plus the cost-sample buffers when the active policy
+    /// asked for runtime feedback.
+    pub(crate) fn loads(&self) -> DelegateLoads<'_> {
+        DelegateLoads {
+            depths: &self.inner.core.stats.queue_depths,
+            samples: self.inner.core.cost_samples.as_deref(),
+        }
+    }
+
+    /// Records a routing decision's observability: the lock-free-hit
+    /// counter, and — for fresh pins — the pins counter and a
+    /// `TraceKind::Pin` event in the log matching the call site.
+    fn note_route(&self, route: &Route, ss: SsId, site: RouteSite) {
+        let stats = &self.inner.core.stats;
+        if route.fast_hit {
+            StatsCell::bump(&stats.pin_fast_hits);
+        }
+        if route.fresh_pin {
+            StatsCell::bump(&stats.pins);
+            match site {
+                RouteSite::Program => {
+                    if self.trace_enabled() {
+                        self.trace_record(TraceKind::Pin, None, Some(ss), Some(route.executor));
+                    }
+                }
+                RouteSite::Nested => {
+                    self.record_side_event(TraceKind::Pin, None, Some(ss), route.executor);
+                }
+            }
+        }
+    }
+
+    /// Routes a serialization set to its executor via the router,
+    /// recording pin observability (program thread only; non-stealing
+    /// transport — the stealing path routes inside
+    /// [`Runtime::submit_stealing`] so the answer cannot go stale before
+    /// the push).
     pub(crate) fn executor_for(&self, ss: SsId) -> Executor {
         debug_assert!(self.is_program_thread());
         if self.inner.topology.n_delegates == 0 {
             return Executor::Program;
         }
-        if self.inner.static_assignment {
-            // The seed's routing, inlined: no scheduler state, no pins.
-            return static_executor(ss, &self.inner.topology);
-        }
         // SAFETY: program thread (debug-asserted; all callers are
         // program-thread paths); borrow scoped, no user code runs inside.
         let serial = unsafe { self.inner.epoch.get() }.serial;
-        let (executor, fresh_pin) = self.route_via_scheduler(ss, serial);
-        if fresh_pin {
-            StatsCell::bump(&self.inner.core.stats.pins);
-            if self.trace_enabled() {
-                self.trace_record(TraceKind::Pin, None, Some(ss), Some(executor));
-            }
-        }
-        executor
-    }
-
-    /// Resolves `ss` through the shared scheduler (policy + non-stealing
-    /// pin table) for epoch `serial` — the single routing authority for
-    /// the non-stealing transport, used by the program-thread
-    /// ([`Runtime::executor_for`]) and nested ([`Runtime::submit_nested`])
-    /// paths alike so their routing can never diverge. Returns the
-    /// executor and whether this call created a fresh pin (whose
-    /// accounting differs per caller: program-order trace vs side event).
-    fn route_via_scheduler(&self, ss: SsId, serial: u64) -> (Executor, bool) {
-        let loads = DelegateLoads {
-            depths: &self.inner.core.stats.queue_depths,
-        };
-        self.inner
-            .scheduler
-            .lock()
-            .executor_for(ss, serial, &self.inner.topology, &loads)
+        let route = self.inner.router.route(ss, serial, &self.loads());
+        self.note_route(&route, ss, RouteSite::Program);
+        route.executor
     }
 
     /// Cross-thread, read-only resolution of the executor that owns `ss`
     /// in the current epoch — the pin-lookup leg of the future-wait
-    /// deadlock detector. Conservative: `None` whenever the answer is not
-    /// already pinned (the detector then simply retries later), so this
-    /// never creates pins or consults stateful policies. Lock order: the
-    /// caller may hold the `future_waits` mutex; this takes the routing
-    /// lock (stealing) or the scheduler mutex, which nest inside it.
+    /// deadlock detector. Conservative and **non-blocking**: `None`
+    /// whenever the answer is not already pinned *or* could not be read
+    /// without waiting on a shard writer (the detector then simply
+    /// retries later), so this never creates pins and never blocks a
+    /// routing operation. The caller may hold the `future_waits` mutex.
     pub(crate) fn executor_of_set(&self, ss: SsId) -> Option<Executor> {
         if self.inner.topology.n_delegates == 0 {
             return Some(Executor::Program);
         }
-        if self.inner.static_assignment {
-            return Some(static_executor(ss, &self.inner.topology));
-        }
         let serial = self.cross_epoch_serial();
-        match &self.inner.channels {
-            Channels::Steal(shared) => {
-                let table = shared.table.lock();
-                if table.serial == serial {
-                    table.pins.get(&ss.0).copied()
-                } else {
-                    None
-                }
-            }
-            Channels::Spsc { .. } => {
-                let loads = DelegateLoads {
-                    depths: &self.inner.core.stats.queue_depths,
-                };
-                self.inner
-                    .scheduler
-                    .lock()
-                    .peek(ss, serial, &self.inner.topology, &loads)
-            }
-        }
+        self.inner.router.peek(ss, serial, &self.loads())
     }
 
     /// Runs a delegated task inline on the program thread (program-share
@@ -179,10 +174,38 @@ impl Runtime {
         Ok(executor)
     }
 
-    /// Stealing-transport submit: resolve the pin and publish the
-    /// invocation in one critical section of the routing lock, so a thief
-    /// can never migrate a set between "program thread decided queue i"
-    /// and "the operation landed in queue i".
+    /// The stealing transport's publish step, shared verbatim by the
+    /// program and nested submit paths: raise the accounting counters,
+    /// then land the invocation in the owner's deque. Runs inside the
+    /// set's shard critical section (`route_publish`), and the counter
+    /// order is load-bearing — `in_flight` must be visible before the
+    /// entry exists, so the barrier's drain can never miss it.
+    fn publish_stealing(
+        &self,
+        shared: &StealShared,
+        ss: SsId,
+        task: &mut Option<Box<dyn FnOnce() + Send>>,
+        executor: Executor,
+    ) {
+        let Executor::Delegate(i) = executor else {
+            unreachable!("route_publish only publishes delegate-bound work");
+        };
+        debug_assert!(i < self.inner.topology.n_delegates);
+        let stats = &self.inner.core.stats;
+        stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+        stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let task = task.take().expect("task consumed once");
+        shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss });
+        // Shard lock released after route_publish returns: the push is
+        // visible before any steal can re-route the set.
+    }
+
+    /// Stealing-transport submit: [`Router::route_publish`] resolves the
+    /// pin and publishes the invocation in one critical section of the
+    /// set's *shard*, so a thief can never migrate the set between
+    /// "program thread decided queue i" and "the operation landed in
+    /// queue i". Program-bound tasks run inline after the lock drops (no
+    /// user code under a shard lock).
     fn submit_stealing(
         &self,
         shared: &StealShared,
@@ -191,61 +214,15 @@ impl Runtime {
     ) -> SsResult<Executor> {
         // SAFETY: program thread (wrappers checked); scoped borrow.
         let serial = unsafe { self.inner.epoch.get() }.serial;
-        // Delegate-bound tasks are consumed inside the routing-lock scope;
-        // program-bound ones run inline after it (no user code under the
-        // lock).
         let mut task = Some(task);
-        let (executor, fresh_pin) = {
-            let mut table = shared.table.lock();
-            if table.serial != serial {
-                // Lazy epoch rollover (belt and suspenders next to the
-                // eager reset in `end_isolation`).
-                table.pins.clear();
-                table.serial = serial;
-            }
-            let (executor, fresh_pin) = match table.pins.get(&ss.0) {
-                Some(&e) => (e, false),
-                None => {
-                    let loads = DelegateLoads {
-                        depths: &self.inner.core.stats.queue_depths,
-                    };
-                    // Policies are consulted only under the routing lock
-                    // (the scheduler mutex nests inside it — same order as
-                    // the nested-delegation path).
-                    let executor = self.inner.scheduler.lock().assign_raw(
-                        ss,
-                        serial,
-                        &self.inner.topology,
-                        &loads,
-                    );
-                    if let Executor::Delegate(i) = executor {
-                        debug_assert!(i < self.inner.topology.n_delegates);
-                    }
-                    table.pins.insert(ss.0, executor);
-                    (executor, true)
-                }
-            };
-            if let Executor::Delegate(i) = executor {
-                self.inner.core.stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
-                self.inner
-                    .core
-                    .stats
-                    .in_flight
-                    .fetch_add(1, Ordering::Relaxed);
-                let task = task.take().expect("task consumed once");
-                shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss });
-                // Routing lock released here: the push is visible before
-                // any steal can re-route the set.
-            }
-            (executor, fresh_pin)
-        };
-        if fresh_pin {
-            StatsCell::bump(&self.inner.core.stats.pins);
-            if self.trace_enabled() {
-                self.trace_record(TraceKind::Pin, None, Some(ss), Some(executor));
-            }
-        }
-        match executor {
+        let route = self
+            .inner
+            .router
+            .route_publish(ss, serial, &self.loads(), |executor| {
+                self.publish_stealing(shared, ss, &mut task, executor)
+            });
+        self.note_route(&route, ss, RouteSite::Program);
+        match route.executor {
             Executor::Program => {
                 self.run_inline(task.take().expect("program-bound task unconsumed"))?
             }
@@ -254,7 +231,7 @@ impl Runtime {
                 StatsCell::bump(&self.inner.core.stats.delegations);
             }
         }
-        Ok(executor)
+        Ok(route.executor)
     }
 
     /// Submits a packaged task from a **delegate context** — the
@@ -286,27 +263,20 @@ impl Runtime {
         }
     }
 
-    /// Nested submit over the MPSC transport: route via the static modulo
-    /// or the shared scheduler lock, then push into the owner's injector
-    /// lane (unbounded — a nested push must never block on a full ring,
-    /// or two delegates pushing into each other's queues could deadlock).
+    /// Nested submit over the MPSC transport: resolve through the router
+    /// (lock-free for already-pinned sets — no thief exists to rewrite a
+    /// pin mid-epoch), then push into the owner's injector lane
+    /// (unbounded — a nested push must never block on a full ring, or
+    /// two delegates pushing into each other's queues could deadlock).
     fn submit_nested_mpsc(
         &self,
         ss: SsId,
         serial: u64,
         task: Box<dyn FnOnce() + Send>,
     ) -> SsResult<Executor> {
-        let executor = if self.inner.static_assignment {
-            static_executor(ss, &self.inner.topology)
-        } else {
-            let (executor, fresh_pin) = self.route_via_scheduler(ss, serial);
-            if fresh_pin {
-                StatsCell::bump(&self.inner.core.stats.pins);
-                self.record_side_event(TraceKind::Pin, None, Some(ss), executor);
-            }
-            executor
-        };
-        let Executor::Delegate(i) = executor else {
+        let route = self.inner.router.route(ss, serial, &self.loads());
+        self.note_route(&route, ss, RouteSite::Nested);
+        let Executor::Delegate(i) = route.executor else {
             return Err(SsError::NestedOnProgram { set: Some(ss) });
         };
         let Channels::Spsc { injectors, .. } = &self.inner.channels else {
@@ -327,14 +297,14 @@ impl Runtime {
         self.inner.wakeups[i].notify();
         StatsCell::bump(&stats.delegations);
         StatsCell::bump(&stats.nested_delegations);
-        Ok(executor)
+        Ok(route.executor)
     }
 
     /// Nested submit over the stealing transport: identical critical
-    /// section to [`Runtime::submit_stealing`] — pin resolution (consulting
-    /// the policy on first touch) and the deque push are one atomic step
-    /// under the routing lock, so a concurrent thief can never migrate the
-    /// set mid-publish.
+    /// section to [`Runtime::submit_stealing`] — pin resolution
+    /// (consulting the policy on first touch) and the deque push are one
+    /// atomic step under the set's shard lock, so a concurrent thief can
+    /// never migrate the set mid-publish.
     fn submit_nested_stealing(
         &self,
         shared: &StealShared,
@@ -343,51 +313,24 @@ impl Runtime {
         task: Box<dyn FnOnce() + Send>,
     ) -> SsResult<Executor> {
         let mut task = Some(task);
-        let (executor, fresh_pin) = {
-            let mut table = shared.table.lock();
-            if table.serial != serial {
-                table.pins.clear();
-                table.serial = serial;
-            }
-            let (executor, fresh_pin) = match table.pins.get(&ss.0) {
-                Some(&e) => (e, false),
-                None => {
-                    let loads = DelegateLoads {
-                        depths: &self.inner.core.stats.queue_depths,
-                    };
-                    let executor = self.inner.scheduler.lock().assign_raw(
-                        ss,
-                        serial,
-                        &self.inner.topology,
-                        &loads,
-                    );
-                    table.pins.insert(ss.0, executor);
-                    (executor, true)
-                }
-            };
-            if let Executor::Delegate(i) = executor {
-                let stats = &self.inner.core.stats;
-                stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
-                stats.in_flight.fetch_add(1, Ordering::Relaxed);
-                let task = task.take().expect("task consumed once");
-                shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss });
-            }
-            (executor, fresh_pin)
-        };
-        if fresh_pin {
-            StatsCell::bump(&self.inner.core.stats.pins);
-            self.record_side_event(TraceKind::Pin, None, Some(ss), executor);
-        }
-        let Executor::Delegate(i) = executor else {
+        let route = self
+            .inner
+            .router
+            .route_publish(ss, serial, &self.loads(), |executor| {
+                self.publish_stealing(shared, ss, &mut task, executor)
+            });
+        self.note_route(&route, ss, RouteSite::Nested);
+        let Executor::Delegate(i) = route.executor else {
             // The pin stays recorded (it is what the policy answered); the
             // operation itself is rejected — the program thread cannot
             // execute work it never delegated.
             return Err(SsError::NestedOnProgram { set: Some(ss) });
         };
         self.inner.wakeups[i].notify();
-        StatsCell::bump(&self.inner.core.stats.delegations);
-        StatsCell::bump(&self.inner.core.stats.nested_delegations);
-        Ok(executor)
+        let stats = &self.inner.core.stats;
+        StatsCell::bump(&stats.delegations);
+        StatsCell::bump(&stats.nested_delegations);
+        Ok(route.executor)
     }
 
     /// Sends a synchronization object to the queue that currently owns the
@@ -399,10 +342,10 @@ impl Runtime {
     /// `owner` is the executor recorded at delegation time; `ss` the set
     /// being reclaimed. Without stealing the two never disagree. With
     /// stealing, the set may have migrated since, so the *current* pin is
-    /// resolved under the routing lock and the token is placed (as a
-    /// fence) in the same critical section — after which the set is frozen
-    /// on that queue until the token pops. Returns the executor actually
-    /// synchronized with.
+    /// resolved — and the token placed (as a fence) — inside the set's
+    /// shard critical section ([`Router::with_current_pin`]), after which
+    /// the set is frozen on that queue until the token pops. Returns the
+    /// executor actually synchronized with.
     ///
     /// Once the epoch has seen a **nested** delegation, a single queue
     /// token no longer bounds the reclaimed set's outstanding work: any
@@ -421,23 +364,41 @@ impl Runtime {
         }
         if let Channels::Steal(shared) = &self.inner.channels {
             let token = SyncToken::new();
-            let i = {
-                let table = shared.table.lock();
-                let executor = ss
-                    .and_then(|s| table.pins.get(&s.0).copied())
-                    .unwrap_or(owner);
-                let Executor::Delegate(i) = executor else {
-                    return Ok(Executor::Program); // inline sets are always drained
-                };
-                // The reclaimed set is frozen on this queue until the
-                // token pops; `All` is the conservative scope for the
-                // (unreachable in practice) caller that cannot name it.
-                let scope = match ss {
-                    Some(s) => ss_queue::FenceScope::Key(s.0),
-                    None => ss_queue::FenceScope::All,
-                };
-                shared.deques[i].push_fence(scope, Invocation::Sync(Arc::clone(&token)));
-                i
+            // SAFETY: program thread (reclaims are program-context only).
+            let serial = unsafe { self.inner.epoch.get() }.serial;
+            let executor = match ss {
+                Some(s) => {
+                    // The reclaimed set is frozen on its current queue
+                    // until the token pops; resolving the pin and placing
+                    // the fence under the shard lock means no steal can
+                    // move the set between the two.
+                    self.inner
+                        .router
+                        .with_current_pin(s, serial, owner, |executor| {
+                            if let Executor::Delegate(i) = executor {
+                                shared.deques[i].push_fence(
+                                    ss_queue::FenceScope::Key(s.0),
+                                    Invocation::Sync(Arc::clone(&token)),
+                                );
+                            }
+                            executor
+                        })
+                }
+                None => {
+                    // Unreachable in practice (reclaims always name their
+                    // set); `All` is the conservative scope for a caller
+                    // that cannot.
+                    if let Executor::Delegate(i) = owner {
+                        shared.deques[i].push_fence(
+                            ss_queue::FenceScope::All,
+                            Invocation::Sync(Arc::clone(&token)),
+                        );
+                    }
+                    owner
+                }
+            };
+            let Executor::Delegate(i) = executor else {
+                return Ok(Executor::Program); // inline sets are always drained
             };
             self.inner.wakeups[i].notify();
             StatsCell::bump(&self.inner.core.stats.sync_objects);
@@ -498,6 +459,11 @@ impl Runtime {
     /// read the victim after the transfer and the thief before it and
     /// conclude quiescence with a stolen batch still running.)
     ///
+    /// The fence broadcast takes no routing state locks at all: fences
+    /// are per-deque critical sections, and the `in_flight` drain — not
+    /// any pin-map consistency — is what proves quiescence against
+    /// concurrent steals and nested spawns.
+    ///
     /// Without stealing and without nesting, `in_flight` is permanently
     /// zero and the drain is a single load — the seed path is unchanged.
     pub(crate) fn barrier_all_delegates(&self) {
@@ -520,7 +486,6 @@ impl Runtime {
                 }
             }
             Channels::Steal(shared) => {
-                let table = shared.table.lock();
                 for (i, deque) in shared.deques.iter().enumerate() {
                     let token = SyncToken::new();
                     deque.push_fence(
@@ -531,7 +496,6 @@ impl Runtime {
                     StatsCell::bump(&self.inner.core.stats.sync_objects);
                     tokens.push(token);
                 }
-                drop(table);
             }
         }
         for t in tokens {

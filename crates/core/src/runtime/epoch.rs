@@ -68,8 +68,10 @@ impl Runtime {
         epoch.serial += 1;
         epoch.started = Some(Instant::now());
         // Publish the serial for delegate threads (the nested-delegation
-        // path reads it) before delegation becomes possible.
+        // path and the thieves read it) before delegation becomes
+        // possible.
         self.inner
+            .core
             .epoch_serial
             .store(epoch.serial, Ordering::Release);
         self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → odd
@@ -100,8 +102,10 @@ impl Runtime {
         // this boundary is a plain ready value.
         self.barrier_all_delegates();
         if let super::Channels::Steal(shared) = &self.inner.channels {
-            // All queues just drained: safe to forget pins and started
-            // sets, so the next epoch re-routes (and re-steals) freely.
+            // All queues just drained: safe to forget started sets, so
+            // the next epoch re-routes (and re-steals) freely. Pins need
+            // no reset — the router's sharded map is epoch-stamped and
+            // expires lazily, shard by shard, at the next epoch's writes.
             shared.reset_epoch();
         }
         // The barrier waited for all transitively spawned work (`in_flight`

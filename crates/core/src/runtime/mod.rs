@@ -47,16 +47,18 @@ mod assign;
 mod delegate;
 mod dispatch;
 mod epoch;
+mod router;
 #[cfg(test)]
 mod tests;
 
-pub(crate) use assign::StealShared;
 pub use assign::{
-    AssignTopology, DelegateAssignment, DelegateLoads, Executor, LeastLoaded, RoundRobinFirstTouch,
-    StaticAssignment,
+    AssignTopology, DelegateAssignment, DelegateLoads, EwmaCost, Executor, LeastLoaded,
+    RoundRobinFirstTouch, StaticAssignment,
 };
+pub(crate) use assign::{CostSamples, StealShared};
 pub use delegate::DelegateContext;
 pub(crate) use delegate::{future_wait_turn, trace_executor_for, WaitTurn};
+pub(crate) use router::Router;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,7 +68,6 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use ss_queue::{Injector, Producer, SpscQueue};
 
-use assign::Scheduler;
 use delegate::{delegate_main, delegate_main_stealing, Wakeup, DELEGATE_CTX};
 use epoch::EpochState;
 
@@ -112,9 +113,21 @@ pub(crate) struct Core {
     /// from delegate contexts: slot `i` holds one [`FutureWait`] while
     /// delegate `i` is blocked with its help-first options exhausted. The
     /// deadlock detector walks `set → pinned executor → that delegate's
-    /// wait` under this mutex; lock order is this mutex first, then the
-    /// routing locks (stealing `PinTable` / scheduler).
+    /// wait` under this mutex; the pin resolution inside the walk is the
+    /// router's strictly non-blocking `peek`, so no shard or scheduler
+    /// lock is ever *waited on* while this mutex is held.
     pub(crate) future_waits: Mutex<Vec<Option<FutureWait>>>,
+    /// Cross-thread copy of the isolation-epoch serial, published at
+    /// `begin_isolation`. Read by delegate threads (nested delegation,
+    /// thieves, side-trace events) — the authoritative `epoch.serial` is
+    /// program-only. Stable for the duration of any delegated task,
+    /// because epochs only change when all queues are drained.
+    pub(crate) epoch_serial: AtomicU64,
+    /// Per-delegate `(set, observed runtime ns)` sample buffers, present
+    /// only when the assignment policy asked for cost feedback
+    /// ([`DelegateAssignment::wants_cost_feedback`]); drained by the
+    /// policy at assignment time.
+    pub(crate) cost_samples: Option<Box<CostSamples>>,
 }
 
 /// One registered blocked future wait: the waited-on serialization set, a
@@ -203,18 +216,11 @@ pub(crate) struct Inner {
     /// Effective steal policy (normalized: `Off` unless ≥ 2 delegates in
     /// parallel mode — with fewer there is no one to steal from).
     steal_policy: StealPolicy,
-    /// True for the default `Assignment::Static` without stealing — the
-    /// dispatch path then computes the seed's inline modulo and never
-    /// touches the scheduler (no pin table, no virtual calls on the
-    /// per-delegation hot path). Stealing always pins, even under static
-    /// assignment, because a steal overrides the static mapping.
-    static_assignment: bool,
-    /// The assignment state (policy + non-stealing pin table). A mutex —
-    /// not a program-only cell — because the recursive-delegation path
-    /// resolves first touches from delegate threads; this is the
-    /// non-stealing transport's routing lock. Lock order: the stealing
-    /// `PinTable` lock, when held, is taken *before* this one.
-    pub(crate) scheduler: Mutex<Scheduler>,
+    /// The routing layer: assignment policy + sharded set→executor pin
+    /// map. Shared (`Arc`) with the stealing-mode delegate threads, which
+    /// rewrite pins when they migrate batches; holds no reference back
+    /// to this `Inner`.
+    pub(crate) router: Arc<Router>,
     pub(crate) channels: Channels,
     wakeups: Box<[Arc<Wakeup>]>,
     join_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -227,13 +233,10 @@ pub(crate) struct Inner {
     /// isolating) and again at `end_isolation` (even during aggregation).
     /// Readable by any executor — stable for the duration of any delegated
     /// task, because epochs only change when all queues are drained.
+    /// (The epoch *serial* lives in [`Core`], where delegate-side paths
+    /// that hold no `Inner` reference — thieves, packaged closures — can
+    /// reach it too.)
     epoch_gen: AtomicU64,
-    /// Cross-thread copy of the isolation-epoch serial, published at
-    /// `begin_isolation`. The recursive-delegation path reads it from
-    /// delegate threads (the authoritative `epoch.serial` is
-    /// program-only); stable for the duration of any delegated task, for
-    /// the same drain reason as `epoch_gen`.
-    epoch_serial: AtomicU64,
     /// §3.3 execution trace, when enabled (program-thread-only).
     trace_log: Option<ProgramOnly<TraceLog>>,
     pub(crate) core: Arc<Core>,
@@ -302,6 +305,31 @@ impl Runtime {
             program_share,
         };
 
+        // Stealing needs at least two delegates (someone to steal *from*);
+        // below that, fall back to the plain SPSC transport.
+        let steal_policy = if n_delegates >= 2 {
+            b.stealing
+        } else {
+            StealPolicy::Off
+        };
+
+        let policy = b.assignment.instantiate();
+        let assignment_name = policy.name();
+        let wants_cost_feedback = policy.wants_cost_feedback();
+        // The seed fast path: static assignment without stealing routes
+        // through the inline modulo — no pins, no locks. Stealing always
+        // pins, even under static assignment, because a steal overrides
+        // the static mapping.
+        let static_assignment = matches!(b.assignment, crate::config::Assignment::Static)
+            && steal_policy == StealPolicy::Off;
+        let router = Arc::new(Router::new(
+            policy,
+            topology,
+            static_assignment,
+            steal_policy != StealPolicy::Off,
+            b.routing == crate::config::RoutingMode::Sharded,
+        ));
+
         let id = NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed);
         let core = Arc::new(Core {
             stats: StatsCell::new(n_delegates),
@@ -311,16 +339,11 @@ impl Runtime {
             trace_clock: AtomicU64::new(0),
             side_events: b.trace.then(|| Mutex::new(Vec::new())),
             future_waits: Mutex::new((0..n_delegates).map(|_| None).collect()),
+            epoch_serial: AtomicU64::new(0),
+            cost_samples: wants_cost_feedback
+                .then(|| (0..n_delegates).map(|_| Mutex::new(Vec::new())).collect()),
         });
         let force_sleep = Arc::new(AtomicBool::new(false));
-
-        // Stealing needs at least two delegates (someone to steal *from*);
-        // below that, fall back to the plain SPSC transport.
-        let steal_policy = if n_delegates >= 2 {
-            b.stealing
-        } else {
-            StealPolicy::Off
-        };
 
         let mut consumers = Vec::with_capacity(n_delegates);
         let channels = if steal_policy == StealPolicy::Off {
@@ -342,11 +365,6 @@ impl Runtime {
         let wakeups: Box<[Arc<Wakeup>]> =
             (0..n_delegates).map(|_| Arc::new(Wakeup::new())).collect();
 
-        let static_assignment = matches!(b.assignment, crate::config::Assignment::Static)
-            && steal_policy == StealPolicy::Off;
-        let policy = b.assignment.instantiate();
-        let assignment_name = policy.name();
-
         let inner = Arc::new(Inner {
             id,
             program_thread: std::thread::current().id(),
@@ -355,8 +373,7 @@ impl Runtime {
             topology,
             assignment_name,
             steal_policy,
-            static_assignment,
-            scheduler: Mutex::new(Scheduler::new(policy)),
+            router,
             channels,
             wakeups,
             join_handles: Mutex::new(Vec::new()),
@@ -366,7 +383,6 @@ impl Runtime {
             force_sleep,
             next_instance: AtomicU64::new(0),
             epoch_gen: AtomicU64::new(0),
-            epoch_serial: AtomicU64::new(0),
             trace_log: b.trace.then(|| ProgramOnly::new(TraceLog::default())),
             core,
         });
@@ -400,6 +416,7 @@ impl Runtime {
             Channels::Steal(shared) => {
                 for idx in 0..n_delegates {
                     let shared = Arc::clone(shared);
+                    let router = Arc::clone(&inner.router);
                     let wakeup = Arc::clone(&inner.wakeups[idx]);
                     let force_sleep = Arc::clone(&inner.force_sleep);
                     let core = Arc::clone(&inner.core);
@@ -412,6 +429,7 @@ impl Runtime {
                                     id,
                                     idx as u32,
                                     shared,
+                                    router,
                                     wakeup,
                                     policy,
                                     force_sleep,
@@ -559,7 +577,7 @@ impl Runtime {
             Executor::Delegate(i) => TraceExecutor::Delegate(i),
         };
         self.inner.core.record_side(
-            self.inner.epoch_serial.load(Ordering::Acquire),
+            self.inner.core.epoch_serial.load(Ordering::Acquire),
             kind,
             object,
             set,
@@ -643,7 +661,7 @@ impl Runtime {
     /// delegation path's substitute for the program-only `epoch.serial`).
     #[inline]
     pub(crate) fn cross_epoch_serial(&self) -> u64 {
-        self.inner.epoch_serial.load(Ordering::Acquire)
+        self.inner.core.epoch_serial.load(Ordering::Acquire)
     }
 
     #[inline]

@@ -1,0 +1,537 @@
+//! The routing layer: one authority for set→executor resolution.
+//!
+//! Every path that turns a serialization set into an executor — the
+//! program thread delegating, a delegate context delegating recursively,
+//! a future-returning delegation on either, a thief migrating batches, a
+//! reclaim placing its fence token, the future-wait deadlock detector
+//! resolving pins — goes through this [`Router`]. It owns the two pieces
+//! of routing state:
+//!
+//! * the **assignment policy** ([`Scheduler`]), behind a mutex that is
+//!   held only while a policy actually runs (first touch of a set in an
+//!   epoch, or a pure-policy recomputation) — never on the hot path of a
+//!   set that is already pinned;
+//! * the **sharded pin map** ([`ss_queue::shardmap::ShardMap`]): the
+//!   epoch-stamped set→executor pins, with per-shard locks for writers
+//!   and lock-free reads for the re-delegate-to-a-pinned-set case.
+//!
+//! # The sharded-pin protocol
+//!
+//! What the old design guarded with one global mutex (the scheduler
+//! mutex on the non-stealing transports, the routing lock on the
+//! stealing one) decomposes into three access modes:
+//!
+//! 1. **Lock-free resolution** ([`Router::route`]) — non-stealing
+//!    transports only. Sound because without stealing a pin, once
+//!    written, is *immutable for the rest of the epoch*: the only writes
+//!    a reader can race are the initial publication (ordered by the
+//!    shard map's release/acquire slot protocol) and the lazy epoch
+//!    reset (ordered by the per-shard epoch stamp). A hit costs no lock
+//!    and no read-modify-write; a miss falls back to the shard lock and
+//!    consults the policy there.
+//! 2. **Shard-locked resolve-and-publish** ([`Router::route_publish`])
+//!    — the stealing transport. The pin lookup/insert and the queue
+//!    push happen in one critical section *of the set's shard*, so a
+//!    concurrent steal (which must lock the same shard to rewrite the
+//!    pin, rule 3) can never migrate a set between "this submit decided
+//!    queue i" and "the operation landed in queue i". This is the old
+//!    routing-lock argument verbatim, with the lock's scope shrunk from
+//!    "all sets" to "sets sharing this shard".
+//! 3. **Multi-shard migration** ([`Router::migrate_keys`]) — the thief.
+//!    Locks the shards of every candidate key (in ascending shard
+//!    order, so concurrent thieves cannot deadlock), re-validates that
+//!    each key is still pinned to the victim, removes the batches and
+//!    re-pins under those locks. Submits of an affected set serialize
+//!    with the migration on the shard lock; submits of unrelated sets
+//!    proceed in parallel — the point of sharding.
+//!
+//! The deadlock detector's read ([`Router::peek`]) is the fourth mode:
+//! strictly non-blocking (lock-free probe, `try_lock` for the overflow
+//! map, conservative `None` when contended), so it can never block — or
+//! be blocked by — a shard writer. See `docs/ARCHITECTURE.md` for the
+//! full proof sketch tying these modes to the epoch-pinning invariant.
+
+use parking_lot::Mutex;
+use ss_queue::shardmap::ShardMap;
+
+use crate::serializer::SsId;
+
+use super::assign::{static_executor, AssignTopology, DelegateLoads, Scheduler};
+use super::Executor;
+
+/// Shard count for the default routing mode. 64 shards keep the
+/// per-shard collision probability low for realistic set counts while
+/// costing ~100 KiB per runtime; `RoutingMode::LegacyMutex` collapses to
+/// 1 (a single global lock, for ablation).
+const DEFAULT_SHARDS: usize = 64;
+
+/// How a [`Router`] resolved a set (returned by the `route*` calls).
+pub(crate) struct Route {
+    pub(crate) executor: Executor,
+    /// True when this call created the epoch's pin for the set (the
+    /// caller records it: `Stats::pins` plus a `TraceKind::Pin` event).
+    pub(crate) fresh_pin: bool,
+    /// True when the resolution came from the lock-free fast path
+    /// (`Stats::pin_fast_hits`).
+    pub(crate) fast_hit: bool,
+}
+
+/// Executor ⇄ non-zero `u32` packing for the pin map.
+#[inline]
+fn encode(executor: Executor) -> u32 {
+    match executor {
+        Executor::Program => 1,
+        Executor::Delegate(i) => {
+            debug_assert!(i < (u32::MAX - 2) as usize);
+            2 + i as u32
+        }
+    }
+}
+
+#[inline]
+fn decode(code: u32) -> Executor {
+    if code == 1 {
+        Executor::Program
+    } else {
+        Executor::Delegate((code - 2) as usize)
+    }
+}
+
+/// The routing layer. Shared (`Arc`) between the runtime's `Inner` and
+/// the stealing-mode delegate threads; holds no reference back to the
+/// runtime, so worker threads keep nothing alive.
+pub(crate) struct Router {
+    topology: AssignTopology,
+    /// The seed fast path: `Assignment::Static` without stealing routes
+    /// through the inline modulo — no pins, no locks, no policy calls.
+    static_assignment: bool,
+    /// Cached `policy.is_pure()`.
+    pure: bool,
+    /// True when pins are authoritative even for pure policies (stealing
+    /// mode: a steal must be able to override any policy's answer).
+    always_pin: bool,
+    /// False under `RoutingMode::LegacyMutex`: every resolution takes
+    /// the (single) shard lock, reproducing the pre-sharding global
+    /// mutex for the `ablation_routing` comparison.
+    lock_free: bool,
+    scheduler: Mutex<Scheduler>,
+    pins: ShardMap,
+}
+
+impl Router {
+    pub(crate) fn new(
+        policy: Box<dyn super::DelegateAssignment>,
+        topology: AssignTopology,
+        static_assignment: bool,
+        always_pin: bool,
+        sharded: bool,
+    ) -> Router {
+        Router {
+            topology,
+            static_assignment,
+            pure: policy.is_pure(),
+            always_pin,
+            lock_free: sharded,
+            scheduler: Mutex::new(Scheduler::new(policy)),
+            pins: ShardMap::new(if sharded { DEFAULT_SHARDS } else { 1 }),
+        }
+    }
+
+    /// Consults the policy (under its mutex) for a first touch.
+    fn assign(&self, ss: SsId, serial: u64, loads: &DelegateLoads<'_>) -> Executor {
+        self.scheduler
+            .lock()
+            .assign_raw(ss, serial, &self.topology, loads)
+    }
+
+    /// Resolves `ss` for epoch `serial` — the non-publishing resolution
+    /// used by the non-stealing transports (SPSC rings and injector
+    /// lanes), where a pin can never change within an epoch and the
+    /// queue push therefore does not need to be atomic with the lookup.
+    ///
+    /// Pure policies bypass the pin map entirely (recomputed per call,
+    /// matching the pre-router behaviour: no pin, no `Pin` trace).
+    pub(crate) fn route(&self, ss: SsId, serial: u64, loads: &DelegateLoads<'_>) -> Route {
+        debug_assert!(!self.always_pin, "stealing submits must route_publish");
+        if self.static_assignment {
+            return Route {
+                executor: static_executor(ss, &self.topology),
+                fresh_pin: false,
+                fast_hit: false,
+            };
+        }
+        if self.pure {
+            return Route {
+                executor: self.assign(ss, serial, loads),
+                fresh_pin: false,
+                fast_hit: false,
+            };
+        }
+        if self.lock_free {
+            if let Some(code) = self.pins.get(ss.0, serial) {
+                return Route {
+                    executor: decode(code),
+                    fresh_pin: false,
+                    fast_hit: true,
+                };
+            }
+        }
+        let mut shard = self.pins.lock_key(ss.0);
+        let (code, fresh_pin) =
+            shard.get_or_insert_with(ss.0, serial, || encode(self.assign(ss, serial, loads)));
+        Route {
+            executor: decode(code),
+            fresh_pin,
+            fast_hit: false,
+        }
+    }
+
+    /// Resolves `ss` and, if it routes to a delegate, runs `publish`
+    /// (the queue push plus its accounting) inside the set's shard
+    /// critical section — the stealing transport's submit. Holding the
+    /// shard lock across the push is what keeps a concurrent steal from
+    /// migrating the set mid-publish; see the module docs, mode 2.
+    ///
+    /// Program-routed sets skip `publish` (no queue; the caller runs the
+    /// task inline *after* the lock drops — no user code under a shard
+    /// lock). Stealing always pins, even under pure policies: a steal
+    /// must be able to override the policy's answer for the epoch.
+    pub(crate) fn route_publish(
+        &self,
+        ss: SsId,
+        serial: u64,
+        loads: &DelegateLoads<'_>,
+        publish: impl FnOnce(Executor),
+    ) -> Route {
+        let mut shard = self.pins.lock_key(ss.0);
+        let (code, fresh_pin) =
+            shard.get_or_insert_with(ss.0, serial, || encode(self.assign(ss, serial, loads)));
+        let executor = decode(code);
+        if matches!(executor, Executor::Delegate(_)) {
+            publish(executor);
+        }
+        Route {
+            executor,
+            fresh_pin,
+            fast_hit: false,
+        }
+    }
+
+    /// Resolves the *current* pin of `ss` (falling back to `fallback`
+    /// when the set has no pin this epoch) and runs `f` with the answer
+    /// while still holding the set's shard lock — the reclaim path's
+    /// fence placement, which must be atomic with respect to a steal
+    /// migrating the set out from under the token.
+    pub(crate) fn with_current_pin<R>(
+        &self,
+        ss: SsId,
+        serial: u64,
+        fallback: Executor,
+        f: impl FnOnce(Executor) -> R,
+    ) -> R {
+        let shard = self.pins.lock_key(ss.0);
+        let executor = shard.get(ss.0, serial).map(decode).unwrap_or(fallback);
+        f(executor)
+    }
+
+    /// Read-only, **non-blocking** pin resolution — the future-wait
+    /// deadlock detector's view of the routing state. Never creates
+    /// pins, never waits on a shard writer (lock-free probe, `try_lock`
+    /// overflow fallback), and answers `None` whenever the truth is not
+    /// observable without blocking; the detector treats `None` as
+    /// "helpable / no cycle" and retries after its bounded park, so a
+    /// conservative answer costs a millisecond, not a hang.
+    pub(crate) fn peek(
+        &self,
+        ss: SsId,
+        serial: u64,
+        loads: &DelegateLoads<'_>,
+    ) -> Option<Executor> {
+        if self.static_assignment {
+            return Some(static_executor(ss, &self.topology));
+        }
+        if self.pure && !self.always_pin {
+            // Pure ⇒ side-effect-free recomputation, but the policy box
+            // still sits behind the mutex; try_lock keeps the
+            // non-blocking contract when a first touch is mid-flight.
+            let mut scheduler = self.scheduler.try_lock()?;
+            return Some(scheduler.assign_raw(ss, serial, &self.topology, loads));
+        }
+        self.pins.read_nonblocking(ss.0, serial).map(decode)
+    }
+
+    /// Migrates `candidates` from executor `from` to executor `to`, with
+    /// `transfer` performing the actual queue surgery (remove the
+    /// batches from the victim, land them on the thief) under the
+    /// candidates' shard locks. `transfer` receives the candidates that
+    /// are still pinned to `from` (another thief may have won a key in
+    /// the window before the locks were taken) and returns the keys it
+    /// actually removed — only those are re-pinned. Returns the migrated
+    /// keys.
+    pub(crate) fn migrate_keys(
+        &self,
+        serial: u64,
+        candidates: &[u64],
+        from: Executor,
+        to: Executor,
+        transfer: impl FnOnce(&[u64]) -> Vec<u64>,
+    ) -> Vec<u64> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let from_code = encode(from);
+        let mut shards = self.pins.lock_keys(candidates);
+        let valid: Vec<u64> = candidates
+            .iter()
+            .copied()
+            .filter(|&key| shards.get(key, serial) == Some(from_code))
+            .collect();
+        if valid.is_empty() {
+            return Vec::new();
+        }
+        let taken = transfer(&valid);
+        let to_code = encode(to);
+        for &key in &taken {
+            shards.set(key, serial, to_code);
+        }
+        taken
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("static_assignment", &self.static_assignment)
+            .field("pure", &self.pure)
+            .field("always_pin", &self.always_pin)
+            .field("shards", &self.pins.shard_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicU64;
+
+    use super::super::assign::{LeastLoaded, RoundRobinFirstTouch, StaticAssignment};
+    use super::*;
+
+    fn topo(n: usize) -> AssignTopology {
+        AssignTopology {
+            n_delegates: n,
+            virtual_delegates: n,
+            program_share: 0,
+        }
+    }
+
+    fn depths(values: &[u64]) -> Vec<AtomicU64> {
+        values.iter().map(|&v| AtomicU64::new(v)).collect()
+    }
+
+    fn loads_of(depths: &[AtomicU64]) -> DelegateLoads<'_> {
+        DelegateLoads {
+            depths,
+            samples: None,
+        }
+    }
+
+    fn router(policy: Box<dyn super::super::DelegateAssignment>, n: usize) -> Router {
+        Router::new(policy, topo(n), false, false, true)
+    }
+
+    #[test]
+    fn pins_are_epoch_stable_for_stateful_policies() {
+        // LeastLoaded would migrate a set as depths change; the pin map
+        // must hold it on its first-touch executor within one epoch.
+        let d = depths(&[0, 4]);
+        let r = router(Box::new(LeastLoaded), 2);
+        let first = r.route(SsId(7), 1, &loads_of(&d));
+        assert_eq!(first.executor, Executor::Delegate(0));
+        assert!(first.fresh_pin);
+        d[0].store(100, std::sync::atomic::Ordering::Relaxed);
+        let again = r.route(SsId(7), 1, &loads_of(&d));
+        assert_eq!(again.executor, Executor::Delegate(0));
+        assert!(!again.fresh_pin);
+        assert!(again.fast_hit, "second resolution must be lock-free");
+        // A *different* set may go elsewhere.
+        assert_eq!(
+            r.route(SsId(8), 1, &loads_of(&d)).executor,
+            Executor::Delegate(1)
+        );
+    }
+
+    #[test]
+    fn repins_only_at_epoch_boundary() {
+        let d = depths(&[10, 0]);
+        let r = router(Box::new(LeastLoaded), 2);
+        assert_eq!(
+            r.route(SsId(7), 1, &loads_of(&d)).executor,
+            Executor::Delegate(1)
+        );
+        d[1].store(50, std::sync::atomic::Ordering::Relaxed);
+        // Same epoch: stays.
+        assert_eq!(
+            r.route(SsId(7), 1, &loads_of(&d)).executor,
+            Executor::Delegate(1)
+        );
+        // New epoch: free to move to the now-shallow delegate 0.
+        d[0].store(0, std::sync::atomic::Ordering::Relaxed);
+        let moved = r.route(SsId(7), 2, &loads_of(&d));
+        assert_eq!(moved.executor, Executor::Delegate(0));
+        assert!(moved.fresh_pin);
+    }
+
+    #[test]
+    fn pure_policies_bypass_the_pin_map() {
+        let d = depths(&[0, 0]);
+        let r = router(Box::new(StaticAssignment), 2);
+        for ss in 0..10u64 {
+            let route = r.route(SsId(ss), 1, &loads_of(&d));
+            assert!(!route.fresh_pin && !route.fast_hit);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_epoch_stable_through_the_router() {
+        let d = depths(&[0, 0, 0]);
+        let r = router(Box::new(RoundRobinFirstTouch::default()), 3);
+        let first = r.route(SsId(5), 3, &loads_of(&d)).executor;
+        for _ in 0..5 {
+            r.route(SsId(1), 3, &loads_of(&d));
+            r.route(SsId(2), 3, &loads_of(&d));
+            assert_eq!(r.route(SsId(5), 3, &loads_of(&d)).executor, first);
+        }
+    }
+
+    #[test]
+    fn legacy_mutex_mode_still_routes_correctly() {
+        let d = depths(&[0, 0]);
+        let r = Router::new(Box::new(LeastLoaded), topo(2), false, false, false);
+        let first = r.route(SsId(1), 1, &loads_of(&d));
+        assert!(first.fresh_pin);
+        let again = r.route(SsId(1), 1, &loads_of(&d));
+        assert_eq!(again.executor, first.executor);
+        assert!(!again.fast_hit, "legacy mode has no lock-free path");
+    }
+
+    #[test]
+    fn route_publish_runs_the_publish_under_the_pin() {
+        let d = depths(&[0, 0]);
+        let r = Router::new(
+            Box::new(RoundRobinFirstTouch::default()),
+            topo(2),
+            false,
+            true,
+            true,
+        );
+        let mut published = None;
+        let route = r.route_publish(SsId(3), 1, &loads_of(&d), |e| published = Some(e));
+        assert_eq!(published, Some(route.executor));
+        assert!(route.fresh_pin);
+        // Second publish reuses the pin.
+        let mut again = None;
+        let route2 = r.route_publish(SsId(3), 1, &loads_of(&d), |e| again = Some(e));
+        assert!(!route2.fresh_pin);
+        assert_eq!(again, Some(route.executor));
+    }
+
+    #[test]
+    fn migrate_rewrites_only_taken_keys_still_pinned_to_victim() {
+        let d = depths(&[0, 0, 0]);
+        let r = Router::new(
+            Box::new(RoundRobinFirstTouch::default()),
+            topo(3),
+            false,
+            true,
+            true,
+        );
+        // Pin three sets to whatever the policy says, then force them
+        // all onto delegate 0 by routing with a fresh map state.
+        for ss in [10u64, 11, 12] {
+            r.route_publish(SsId(ss), 1, &loads_of(&d), |_| {});
+        }
+        let pins: Vec<Executor> = [10u64, 11, 12]
+            .iter()
+            .map(|&ss| r.peek(SsId(ss), 1, &loads_of(&d)).unwrap())
+            .collect();
+        let victim = pins[0];
+        let victims: Vec<u64> = [10u64, 11, 12]
+            .iter()
+            .zip(&pins)
+            .filter(|(_, &p)| p == victim)
+            .map(|(&ss, _)| ss)
+            .collect();
+        // Ask to migrate all three candidates; transfer only takes the
+        // first valid one.
+        let taken = r.migrate_keys(1, &[10, 11, 12], victim, Executor::Delegate(2), |valid| {
+            assert_eq!(valid, victims.as_slice());
+            vec![valid[0]]
+        });
+        assert_eq!(taken, vec![victims[0]]);
+        assert_eq!(
+            r.peek(SsId(victims[0]), 1, &loads_of(&d)),
+            Some(Executor::Delegate(2))
+        );
+        // Untaken keys keep their pins.
+        for (&ss, &pin) in [10u64, 11, 12].iter().zip(&pins).skip(1) {
+            assert_eq!(r.peek(SsId(ss), 1, &loads_of(&d)), Some(pin));
+        }
+    }
+
+    #[test]
+    fn peek_never_blocks_while_a_first_touch_is_stuck_in_the_policy() {
+        // A policy that blocks inside assign() holds the scheduler mutex
+        // and a shard lock; a concurrent peek must still return (with a
+        // conservative answer), never wait. This is the deadlock
+        // detector's liveness contract.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Debug)]
+        struct Stuck {
+            entered: Arc<AtomicBool>,
+            release: Arc<AtomicBool>,
+        }
+        impl super::super::DelegateAssignment for Stuck {
+            fn name(&self) -> &'static str {
+                "stuck"
+            }
+            fn assign(&mut self, _: SsId, _: &AssignTopology, _: &DelegateLoads<'_>) -> Executor {
+                self.entered.store(true, Ordering::Release);
+                while !self.release.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                Executor::Delegate(0)
+            }
+        }
+
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let r = Arc::new(router(
+            Box::new(Stuck {
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            }),
+            2,
+        ));
+        let r2 = Arc::clone(&r);
+        let blocker = std::thread::spawn(move || {
+            let d = depths(&[0, 0]);
+            r2.route(SsId(1), 1, &loads_of(&d));
+        });
+        while !entered.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        // The first touch of set 1 is wedged inside the policy. Peeks —
+        // same set, different set, any shard — must all return promptly.
+        let d = depths(&[0, 0]);
+        let peeker = std::thread::spawn(move || {
+            for ss in 0..200u64 {
+                let _ = r.peek(SsId(ss), 1, &loads_of(&d));
+            }
+        });
+        peeker.join().expect("peek blocked behind a shard writer");
+        release.store(true, Ordering::Release);
+        blocker.join().unwrap();
+    }
+}

@@ -28,6 +28,9 @@ pub(crate) struct StatsCell {
     pub reductions: AtomicU64,
     /// First-touch assignment pins created by non-static policies.
     pub pins: AtomicU64,
+    /// Routing resolutions answered by the pin map's lock-free fast
+    /// path (already-pinned sets on the non-stealing transports).
+    pub pin_fast_hits: AtomicU64,
     /// Operations delegated from *delegate* contexts (recursive
     /// delegation via `DelegateContext`).
     pub nested_delegations: AtomicU64,
@@ -70,6 +73,7 @@ impl StatsCell {
             reduction_nanos: AtomicU64::new(0),
             reductions: AtomicU64::new(0),
             pins: AtomicU64::new(0),
+            pin_fast_hits: AtomicU64::new(0),
             nested_delegations: AtomicU64::new(0),
             futures_resolved: AtomicU64::new(0),
             steals: AtomicU64::new(0),
@@ -101,6 +105,7 @@ impl StatsCell {
             isolation_epochs: self.isolation_epochs.load(Ordering::Relaxed),
             reductions: self.reductions.load(Ordering::Relaxed),
             pins: self.pins.load(Ordering::Relaxed),
+            pin_fast_hits: self.pin_fast_hits.load(Ordering::Relaxed),
             nested_delegations: self.nested_delegations.load(Ordering::Relaxed),
             futures_resolved: self.futures_resolved.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
@@ -146,6 +151,14 @@ pub struct Stats {
     /// counted when stealing is enabled, since stealing requires pinning
     /// even under static assignment).
     pub pins: u64,
+    /// Routing resolutions answered by the sharded pin map's lock-free
+    /// fast path: a re-delegation to an already-pinned set on a
+    /// non-stealing transport, resolved with no lock and no
+    /// read-modify-write. 0 under pure policies (which bypass the pin
+    /// map), under `RoutingMode::LegacyMutex`, and on the stealing
+    /// transport (whose submits always take the set's shard lock so the
+    /// queue publish is atomic with the pin resolution).
+    pub pin_fast_hits: u64,
     /// Operations delegated from *delegate* contexts — the recursive
     /// delegation path ([`Runtime::delegate_scope`](crate::Runtime::delegate_scope)).
     /// Also included in [`delegations`](Stats::delegations). 0 for
@@ -263,6 +276,7 @@ mod tests {
             isolation_epochs: 0,
             reductions: 0,
             pins: 0,
+            pin_fast_hits: 0,
             nested_delegations: 0,
             futures_resolved: 0,
             steals: 0,

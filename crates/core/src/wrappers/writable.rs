@@ -818,9 +818,11 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                 if escalated || self.shared.pending.load(Ordering::Acquire) > 0 {
                     // With stealing enabled the set may have migrated since
                     // delegation, so the reclaim resolves the *current*
-                    // owner from the pin table (the recorded one is the
-                    // fallback); with nesting active it quiesces the whole
-                    // runtime instead.
+                    // owner from the router's sharded pin map — fence
+                    // placement atomic with the resolution under the set's
+                    // shard lock; the recorded owner is the fallback — and
+                    // with nesting active it quiesces the whole runtime
+                    // instead.
                     synced = Some(rt.sync_owner(sync_target, tag)?);
                 }
                 let mut local = self.shared.local.lock();

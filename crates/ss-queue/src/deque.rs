@@ -107,6 +107,28 @@ struct State<T> {
     started: HashSet<u64>,
 }
 
+impl<T> State<T> {
+    /// Scans queued fences and returns the keys they freeze, or `None`
+    /// when an `All` fence freezes the entire deque. The single
+    /// definition of fence semantics shared by every steal entry point
+    /// (`steal_half_into`, `stealable_keys`, `steal_keys_into`), so the
+    /// one-phase and two-phase protocols can never disagree about
+    /// eligibility.
+    fn frozen_keys(&self) -> Option<HashSet<u64>> {
+        let mut frozen: HashSet<u64> = HashSet::new();
+        for (entry, _) in self.entries.iter() {
+            match entry {
+                Entry::Fence(FenceScope::All) => return None,
+                Entry::Fence(FenceScope::Key(k)) => {
+                    frozen.insert(*k);
+                }
+                _ => {}
+            }
+        }
+        Some(frozen)
+    }
+}
+
 /// Unbounded keyed deque with owner-FIFO pops and whole-batch steals.
 ///
 /// All methods take `&self`; a [`Backoff`]-based spinlock serializes
@@ -288,16 +310,9 @@ impl<T> StealDeque<T> {
         let state = g.state();
 
         // Keys protected by a queued fence are frozen.
-        let mut frozen: HashSet<u64> = HashSet::new();
-        for (entry, _) in state.entries.iter() {
-            match entry {
-                Entry::Fence(FenceScope::All) => return 0,
-                Entry::Fence(FenceScope::Key(k)) => {
-                    frozen.insert(*k);
-                }
-                _ => {}
-            }
-        }
+        let Some(frozen) = state.frozen_keys() else {
+            return 0; // an `All` fence freezes everything
+        };
 
         // Eligible keys in first-appearance order (set for membership,
         // vec for order — the scan must stay O(entries) under this lock).
@@ -331,6 +346,74 @@ impl<T> StealDeque<T> {
         }
         self.len.fetch_sub(taken, Ordering::Release);
         taken
+    }
+
+    /// Lists the keys currently eligible for stealing (same three rules
+    /// as [`steal_half_into`](StealDeque::steal_half_into)), in order of
+    /// first appearance — the *candidate-selection* phase of the two-phase
+    /// steal protocol the sharded routing layer uses. The answer is
+    /// advisory: eligibility can change the instant the deque lock drops
+    /// (the owner may start a key, a fence may arrive), so the caller
+    /// must re-validate via [`steal_keys_into`](StealDeque::steal_keys_into)
+    /// once it holds whatever locks make the migration atomic.
+    pub fn stealable_keys(&self) -> Vec<u64> {
+        let mut g = self.lock();
+        let state = g.state();
+        let Some(frozen) = state.frozen_keys() else {
+            return Vec::new(); // an `All` fence freezes everything
+        };
+        let mut eligible: Vec<u64> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (entry, _) in state.entries.iter() {
+            if let Entry::Key(k) = entry {
+                if !frozen.contains(k) && !state.started.contains(k) && seen.insert(*k) {
+                    eligible.push(*k);
+                }
+            }
+        }
+        eligible
+    }
+
+    /// Removes every entry of each *still-eligible* key in `keys` into
+    /// `out` (preserving entry order) and returns the keys actually
+    /// taken — the *removal* phase of the two-phase steal. A key that
+    /// became started, fenced, or empty since
+    /// [`stealable_keys`](StealDeque::stealable_keys) is skipped whole
+    /// (never fragmented), so the caller re-pins exactly the returned
+    /// keys. The caller must hold the locks that route new pushes of
+    /// these keys for the duration of the call *and* the re-pin, or
+    /// batch entries could be overtaken or stranded.
+    pub fn steal_keys_into(&self, keys: &[u64], out: &mut Vec<(u64, T)>) -> Vec<u64> {
+        let mut g = self.lock();
+        let state = g.state();
+        let Some(frozen) = state.frozen_keys() else {
+            return Vec::new(); // an `All` fence freezes everything
+        };
+        let wanted: HashSet<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| !frozen.contains(k) && !state.started.contains(k))
+            .collect();
+        if wanted.is_empty() {
+            return Vec::new();
+        }
+        let mut taken_keys: Vec<u64> = Vec::new();
+        let mut taken = 0;
+        let entries = std::mem::take(&mut state.entries);
+        for (entry, value) in entries {
+            match entry {
+                Entry::Key(k) if wanted.contains(&k) => {
+                    if !taken_keys.contains(&k) {
+                        taken_keys.push(k);
+                    }
+                    out.push((k, value));
+                    taken += 1;
+                }
+                _ => state.entries.push_back((entry, value)),
+            }
+        }
+        self.len.fetch_sub(taken, Ordering::Release);
+        taken_keys
     }
 
     /// Clears the started-key set for a new epoch. Must only be called at
@@ -512,6 +595,74 @@ mod tests {
         q.push_keyed(3, 300);
         let got: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
         assert_eq!(got, vec![100, 200, 201, 300]);
+    }
+
+    #[test]
+    fn two_phase_steal_takes_exactly_the_requested_keys() {
+        let q = StealDeque::new();
+        for i in 0..12u64 {
+            q.push_keyed(i % 4, i);
+        }
+        let keys = q.stealable_keys();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+        let mut out = Vec::new();
+        let taken = q.steal_keys_into(&[1, 3], &mut out);
+        assert_eq!(taken, vec![1, 3]);
+        // Whole batches of exactly keys 1 and 3, in order.
+        assert_eq!(
+            out.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7, 9, 11]
+        );
+        // The rest stayed, order intact.
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(rest, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn steal_keys_skips_keys_started_or_fenced_since_listing() {
+        let q = StealDeque::new();
+        q.push_keyed(1, 10);
+        q.push_keyed(2, 20);
+        q.push_keyed(3, 30);
+        let keys = q.stealable_keys();
+        assert_eq!(keys, vec![1, 2, 3]);
+        // Between the phases: the owner starts key 1, a reclaim fences key 2.
+        assert_eq!(q.pop(), Some((StealTag::Key(1), 10)));
+        q.push_fence(FenceScope::Key(2), 0);
+        let mut out = Vec::new();
+        let taken = q.steal_keys_into(&keys, &mut out);
+        assert_eq!(taken, vec![3]);
+        assert_eq!(out, vec![(3, 30)]);
+        // Skipped keys are never fragmented.
+        assert_eq!(q.pop(), Some((StealTag::Key(2), 20)));
+    }
+
+    #[test]
+    fn steal_keys_respects_all_fence_and_empty_requests() {
+        let q = StealDeque::new();
+        q.push_keyed(1, 10);
+        q.push_fence(FenceScope::All, 0);
+        assert!(q.stealable_keys().is_empty());
+        let mut out = Vec::new();
+        assert!(q.steal_keys_into(&[1], &mut out).is_empty());
+        assert!(out.is_empty());
+        let q2: StealDeque<u8> = StealDeque::new();
+        assert!(q2.steal_keys_into(&[], &mut Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn steal_keys_takes_entries_pushed_after_listing() {
+        // The re-validation phase must migrate the *whole* batch as of
+        // removal time, including entries that arrived after the listing
+        // (the caller's shard lock orders later pushes behind the re-pin).
+        let q = StealDeque::new();
+        q.push_keyed(5, 1);
+        let keys = q.stealable_keys();
+        q.push_keyed(5, 2);
+        let mut out = Vec::new();
+        assert_eq!(q.steal_keys_into(&keys, &mut out), vec![5]);
+        assert_eq!(out, vec![(5, 1), (5, 2)]);
+        assert!(q.is_empty());
     }
 
     #[test]

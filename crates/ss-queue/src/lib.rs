@@ -36,7 +36,10 @@
 //! delegated operations (`SsFuture` in ss-core). A cell never loses its
 //! completion (sends succeed even after the receiver is dropped), reports
 //! cancellation to parked waiters, and exposes a value-blind settlement
-//! probe for the runtime's deadlock detector.
+//! probe for the runtime's deadlock detector. The [`shardmap`] module
+//! provides the sharded, epoch-stamped pin map the runtime's routing
+//! layer keys serialization sets with: per-shard locks for writers,
+//! lock-free reads for the re-delegate-to-a-pinned-set hot path.
 //!
 //! The SPSC queues are bounded, lock-free, and split statically into a
 //! [`Producer`]/[`Consumer`] handle pair so the single-producer /
@@ -68,6 +71,7 @@ mod deque;
 mod lamport;
 pub mod oneshot;
 mod pad;
+pub mod shardmap;
 mod spsc;
 
 pub use backoff::Backoff;

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Bench regression gate: records a fresh baseline run and compares it
+# against the committed BENCH_baseline.json, failing loudly when any
+# benchmark slowed down by more than SS_REGRESSION_FACTOR (default 3.0 —
+# deliberately generous: the committed baseline was recorded on a 1-2
+# CPU container and CI runners are both noisy and differently sized, so
+# this gate catches order-of-magnitude regressions, not percent-level
+# drift; use `scripts/record_baseline.sh` + manual inspection for the
+# fine-grained story).
+#
+#   scripts/check_regression.sh                     # compare vs BENCH_baseline.json
+#   SS_REGRESSION_FACTOR=2.0 scripts/check_regression.sh
+#   SS_BASELINE=path.json scripts/check_regression.sh
+#
+# Benchmarks present in only one of the two files are reported but never
+# fail the gate (new benches land before their baseline is re-recorded).
+# Benchmarks whose baseline median is below SS_REGRESSION_FLOOR_NS
+# (default 10µs) are reported but also never fail it: a 2ns
+# single-thread queue cycle can legitimately read 4x on a runner with
+# different atomics latency, and a ratio of two numbers at clock
+# granularity is noise, not signal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FACTOR="${SS_REGRESSION_FACTOR:-3.0}"
+FLOOR_NS="${SS_REGRESSION_FLOOR_NS:-10000}"
+BASELINE="${SS_BASELINE:-BENCH_baseline.json}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "no baseline at $BASELINE" >&2
+    exit 1
+fi
+
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+OUT="$fresh" scripts/record_baseline.sh >/dev/null
+
+python3 - "$BASELINE" "$fresh" "$FACTOR" "$FLOOR_NS" <<'EOF'
+import json, sys
+
+base_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+floor_ns = float(sys.argv[4])
+base = json.load(open(base_path))["benches"]
+fresh = json.load(open(fresh_path))["benches"]
+
+common = sorted(set(base) & set(fresh))
+only_base = sorted(set(base) - set(fresh))
+only_fresh = sorted(set(fresh) - set(base))
+
+regressions = []
+width = max((len(n) for n in common), default=10)
+print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
+for name in common:
+    b = base[name]["median_ns"]
+    f = fresh[name]["median_ns"]
+    ratio = f / b if b else float("inf")
+    if b < floor_ns:
+        flag = "  (below floor, informational)"
+    elif ratio > factor:
+        flag = "  <-- REGRESSION"
+        regressions.append((name, ratio))
+    else:
+        flag = ""
+    print(f"{name:<{width}}  {b:>12}  {f:>12}  {ratio:5.2f}x{flag}")
+
+for name in only_base:
+    print(f"note: {name} in baseline only (removed bench?)")
+for name in only_fresh:
+    print(f"note: {name} in fresh run only (re-record the baseline to track it)")
+
+if not common:
+    print("no common benchmarks between baseline and fresh run", file=sys.stderr)
+    sys.exit(1)
+if regressions:
+    print(
+        f"\n{len(regressions)} benchmark(s) regressed beyond {factor}x:",
+        file=sys.stderr,
+    )
+    for name, ratio in regressions:
+        print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    sys.exit(1)
+print(f"\nall {len(common)} common benchmarks within {factor}x of baseline")
+EOF

@@ -3,10 +3,10 @@
 #
 # The vendored criterion shim prints one machine-readable line per
 # benchmark ("bench <id> median_ns=<n> ..."), and the ablation bins that
-# participate in the baseline (currently `ablation_futures`) print the
-# same format; this script folds those lines into a JSON object keyed by
-# benchmark id, with enough metadata to interpret the numbers later. Run
-# from the repo root:
+# participate in the baseline (currently `ablation_futures` and
+# `ablation_routing`) print the same format; this script folds those
+# lines into a JSON object keyed by benchmark id, with enough metadata
+# to interpret the numbers later. Run from the repo root:
 #
 #   scripts/record_baseline.sh            # writes BENCH_baseline.json
 #   OUT=/tmp/now.json scripts/record_baseline.sh   # compare runs
@@ -28,11 +28,13 @@ CRITERION_SAMPLE_MS="$SAMPLE_MS" cargo bench -q -p ss-bench --bench kernels --be
 # assertion) fails the script instead of silently thinning the baseline.
 ablation_out=$(mktemp)
 trap 'rm -f "$raw" "$ablation_out"' EXIT
-cargo run -q --release -p ss-bench --bin ablation_futures >"$ablation_out" 2>&1
-grep '^bench ' "$ablation_out" >>"$raw" || {
-    echo "ablation_futures produced no bench lines" >&2
-    exit 1
-}
+for bin in ablation_futures ablation_routing; do
+    cargo run -q --release -p ss-bench --bin "$bin" >"$ablation_out" 2>&1
+    grep '^bench ' "$ablation_out" >>"$raw" || {
+        echo "$bin produced no bench lines" >&2
+        exit 1
+    }
+done
 
 python3 - "$raw" "$OUT" "$SAMPLE_MS" <<'EOF'
 import json, sys, subprocess, os

@@ -51,9 +51,9 @@ pub mod prelude {
     };
     pub use ss_core::{
         doall, AssignTopology, Assignment, DelegateAssignment, DelegateContext, DelegateLoads,
-        ExecutionMode, Executor, FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer,
-        ReadOnly, Reduce, Reducible, RoundRobinFirstTouch, Runtime, RuntimeBuilder,
-        SequenceSerializer, Serializer, SsError, SsFuture, SsId, StaticAssignment, Stats,
-        StealPolicy, TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
+        EwmaCost, ExecutionMode, Executor, FnSerializer, LeastLoaded, NullSerializer,
+        ObjectSerializer, ReadOnly, Reduce, Reducible, RoundRobinFirstTouch, RoutingMode, Runtime,
+        RuntimeBuilder, SequenceSerializer, Serializer, SsError, SsFuture, SsId, StaticAssignment,
+        Stats, StealPolicy, TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
     };
 }

@@ -13,6 +13,7 @@ fn policies() -> Vec<(&'static str, Assignment)> {
         ("static", Assignment::Static),
         ("round-robin", Assignment::RoundRobinFirstTouch),
         ("least-loaded", Assignment::LeastLoaded),
+        ("ewma-cost", Assignment::EwmaCost),
     ]
 }
 
@@ -137,6 +138,80 @@ fn reclaims_and_reductions_all_policies() {
         assert_eq!(w.call(|v| v.len()).unwrap(), 501, "policy {name}");
         assert_eq!(counter.get().unwrap(), 500, "policy {name}");
     }
+}
+
+/// `EwmaCost` end to end: the runtime measures operation runtimes (the
+/// policy requested cost feedback), folds them into per-set estimates,
+/// and later epochs place sets cost-aware — all without changing any
+/// observable result. Placement itself is timing-dependent, so the
+/// deterministic assertions are on the feedback loop's plumbing and on
+/// correctness; the unit tests in `runtime/assign.rs` pin down the
+/// policy's arithmetic.
+#[test]
+fn ewma_cost_feedback_loop_runs_end_to_end() {
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::EwmaCost)
+        .build()
+        .unwrap();
+    assert_eq!(rt.assignment_name(), "ewma-cost");
+    let objs: Vec<Writable<Vec<u64>, SequenceSerializer>> =
+        (0..8).map(|_| Writable::new(&rt, Vec::new())).collect();
+    for epoch in 0..4u64 {
+        rt.begin_isolation().unwrap();
+        for (i, o) in objs.iter().enumerate() {
+            for k in 0..20u64 {
+                // Object 0 is ~10x heavier: the shape the policy exists
+                // for (its placement must not change the results).
+                let spin = if i == 0 { 2_000 } else { 200 };
+                o.delegate(move |v| {
+                    let mut x = epoch ^ k;
+                    for _ in 0..spin {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    v.push(x);
+                })
+                .unwrap();
+            }
+        }
+        rt.end_isolation().unwrap();
+    }
+    // Results identical to the same program under the static policy.
+    let oracle = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::Static)
+        .build()
+        .unwrap();
+    let oracle_objs: Vec<Writable<Vec<u64>, SequenceSerializer>> =
+        (0..8).map(|_| Writable::new(&oracle, Vec::new())).collect();
+    for epoch in 0..4u64 {
+        oracle.begin_isolation().unwrap();
+        for (i, o) in oracle_objs.iter().enumerate() {
+            for k in 0..20u64 {
+                let spin = if i == 0 { 2_000 } else { 200 };
+                o.delegate(move |v| {
+                    let mut x = epoch ^ k;
+                    for _ in 0..spin {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    v.push(x);
+                })
+                .unwrap();
+            }
+        }
+        oracle.end_isolation().unwrap();
+    }
+    for (a, b) in objs.iter().zip(&oracle_objs) {
+        assert_eq!(
+            a.call(|v| v.clone()).unwrap(),
+            b.call(|v| v.clone()).unwrap()
+        );
+    }
+    // The feedback loop ran: every set was pinned each epoch (non-pure
+    // policy), and delegates executed everything.
+    let stats = rt.stats();
+    assert_eq!(stats.pins, 8 * 4);
+    assert_eq!(stats.executed, 8 * 20 * 4);
 }
 
 /// A user-supplied policy plugged in through `Assignment::custom` goes

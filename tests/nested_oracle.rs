@@ -324,10 +324,11 @@ type AssignmentFactory = fn() -> Assignment;
 /// Every `Assignment × StealPolicy` combination as
 /// `(assignment label, steal label, assignment, policy)`.
 fn all_shapes() -> Vec<(&'static str, &'static str, Assignment, StealPolicy)> {
-    let assignments: [(&'static str, AssignmentFactory); 3] = [
+    let assignments: [(&'static str, AssignmentFactory); 4] = [
         ("static", || Assignment::Static),
         ("round-robin", || Assignment::RoundRobinFirstTouch),
         ("least-loaded", || Assignment::LeastLoaded),
+        ("ewma-cost", || Assignment::EwmaCost),
     ];
     let steals = [
         ("off", StealPolicy::Off),

@@ -54,17 +54,43 @@ fn interpret(k: usize, ops: &[Op]) -> (Vec<u64>, u64, Vec<u64>) {
     (objects, counter, read_log)
 }
 
+/// The `Assignment × StealPolicy` grid the oracle sweeps (proptest picks
+/// indices into these, so every generated program can run under every
+/// combination — including the cost-aware `EwmaCost`, whose placement
+/// depends on measured runtimes and so is the policy most in need of an
+/// order oracle).
+fn assignment_of(idx: usize) -> Assignment {
+    match idx % 4 {
+        0 => Assignment::Static,
+        1 => Assignment::RoundRobinFirstTouch,
+        2 => Assignment::LeastLoaded,
+        _ => Assignment::EwmaCost,
+    }
+}
+
+fn steal_policy_of(idx: usize) -> StealPolicy {
+    match idx % 3 {
+        0 => StealPolicy::Off,
+        1 => StealPolicy::WhenIdle,
+        _ => StealPolicy::Threshold(2),
+    }
+}
+
 /// Runs the same program through the serialization-sets runtime.
 fn run_parallel(
     k: usize,
     ops: &[Op],
     delegates: usize,
     program_share: usize,
+    assignment: Assignment,
+    stealing: StealPolicy,
 ) -> (Vec<u64>, u64, Vec<u64>) {
     let rt = Runtime::builder()
         .delegate_threads(delegates)
         .program_share(program_share)
         .virtual_delegates(program_share + delegates.max(1) + 1)
+        .assignment(assignment)
+        .stealing(stealing)
         .build()
         .unwrap();
     let objects: Vec<Writable<u64, SequenceSerializer>> =
@@ -127,6 +153,8 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(5), 0..120),
         delegates in 0usize..4,
         program_share in 0usize..2,
+        assignment_idx in 0usize..4,
+        steal_idx in 0usize..3,
     ) {
         // Ops reference objects 0..5; clamp to k.
         let ops: Vec<Op> = ops
@@ -138,7 +166,14 @@ proptest! {
             })
             .collect();
         let expected = interpret(k, &ops);
-        let actual = run_parallel(k, &ops, delegates, program_share);
+        let actual = run_parallel(
+            k,
+            &ops,
+            delegates,
+            program_share,
+            assignment_of(assignment_idx),
+            steal_policy_of(steal_idx),
+        );
         prop_assert_eq!(&actual, &expected);
     }
 
@@ -146,8 +181,8 @@ proptest! {
     fn repeated_runs_are_identical(
         ops in proptest::collection::vec(op_strategy(3), 0..60),
     ) {
-        let a = run_parallel(3, &ops, 2, 0);
-        let b = run_parallel(3, &ops, 2, 0);
+        let a = run_parallel(3, &ops, 2, 0, Assignment::Static, StealPolicy::Off);
+        let b = run_parallel(3, &ops, 2, 0, Assignment::Static, StealPolicy::Off);
         prop_assert_eq!(a, b);
     }
 }

@@ -55,6 +55,7 @@ fn stealing_composes_with_assignment_policies() {
         ("static", || Assignment::Static),
         ("round-robin", || Assignment::RoundRobinFirstTouch),
         ("least-loaded", || Assignment::LeastLoaded),
+        ("ewma-cost", || Assignment::EwmaCost),
     ];
     // word_count exercises reducibles + skewed (Zipf) set popularity —
     // the stealing-relevant kernel shape.

@@ -447,6 +447,126 @@ fn dropped_futures_leak_nothing_under_nesting() {
     }
 }
 
+/// The routing-contention axis: many delegates hammer the routing layer
+/// concurrently — nested delegations and future waits from every
+/// delegate context at once, the exact shape that used to serialize on
+/// the global scheduler mutex — while the trace log records every
+/// routing decision and every execution. Pin stability is then checked
+/// *from the trace*: within one epoch no serialization set may be
+/// observed executing on two executors, and without stealing no set may
+/// even be *routed* to two executors (with stealing, routing may move a
+/// never-started set, but only with a recorded `Steal` event).
+#[test]
+fn routing_contention_preserves_pin_stability() {
+    use std::collections::{HashMap, HashSet};
+
+    const ROOTS: usize = 16;
+    const KIDS: u64 = 3;
+    const EPOCHS: u64 = 3;
+    for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
+        let rt = Runtime::builder()
+            .delegate_threads(delegates_from_env(8))
+            // Non-pure policy: every set routes through the pin map.
+            .assignment(Assignment::LeastLoaded)
+            .stealing(policy)
+            .trace(true)
+            .build()
+            .unwrap();
+        let roots: Vec<Writable<u64, SequenceSerializer>> =
+            (0..ROOTS).map(|_| Writable::new(&rt, 0)).collect();
+        let kids: Vec<Writable<u64, SequenceSerializer>> =
+            (0..ROOTS).map(|_| Writable::new(&rt, 0)).collect();
+        for _ in 0..EPOCHS {
+            rt.begin_isolation().unwrap();
+            let futs: Vec<SsFuture<u64>> = (0..ROOTS)
+                .map(|i| {
+                    let (rt1, kid) = (rt.clone(), kids[i].clone());
+                    roots[i]
+                        .delegate_with(move |n| {
+                            // Nested future-returning delegations, waited
+                            // right here: 8 delegates blocked in help-first
+                            // waits while their peers route concurrently.
+                            let sum: u64 = rt1
+                                .delegate_scope(|cx| {
+                                    let kid_futs: Vec<SsFuture<u64>> = (0..KIDS)
+                                        .map(|_| {
+                                            cx.delegate_with(&kid, |k| {
+                                                *k += 1;
+                                                *k
+                                            })
+                                            .unwrap()
+                                        })
+                                        .collect();
+                                    kid_futs.into_iter().map(|f| f.wait().unwrap()).sum()
+                                })
+                                .unwrap();
+                            *n += sum;
+                            *n
+                        })
+                        .unwrap()
+                })
+                .collect();
+            // Wait for half the roots mid-epoch (program-context waits
+            // racing the delegate-context ones); drop the rest.
+            for (i, f) in futs.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    f.wait().unwrap();
+                }
+            }
+            rt.end_isolation().unwrap();
+        }
+        // Every kid cell received KIDS increments per epoch.
+        for kid in &kids {
+            assert_eq!(kid.call(|k| *k).unwrap(), KIDS * EPOCHS, "{policy:?}");
+        }
+
+        let trace = rt.take_trace().unwrap();
+        // Execution-side invariant (both policies): a set's operations
+        // execute on exactly one executor per epoch. Every operation in
+        // this test is future-returning, so `FutureResolve` events — which
+        // record the *executing* context — cover every execution.
+        let mut executed_on: HashMap<(u64, u64), HashSet<usize>> = HashMap::new();
+        // Routing-side invariant: who each set was routed to, and how
+        // many recorded steals could legitimately have moved it.
+        let mut routed_to: HashMap<(u64, u64), HashSet<usize>> = HashMap::new();
+        let mut steals: HashMap<(u64, u64), usize> = HashMap::new();
+        for e in &trace {
+            let (Some(set), Some(TraceExecutor::Delegate(d))) = (e.set, e.executor) else {
+                continue;
+            };
+            match e.kind {
+                TraceKind::FutureResolve => {
+                    executed_on.entry((e.epoch, set.0)).or_default().insert(d);
+                }
+                TraceKind::Pin | TraceKind::Delegate | TraceKind::NestedDelegate => {
+                    routed_to.entry((e.epoch, set.0)).or_default().insert(d);
+                }
+                TraceKind::Steal => {
+                    *steals.entry((e.epoch, set.0)).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(!executed_on.is_empty(), "{policy:?}: no executions traced");
+        for ((epoch, set), executors) in &executed_on {
+            assert_eq!(
+                executors.len(),
+                1,
+                "{policy:?}: set {set} executed on {executors:?} within epoch {epoch}"
+            );
+        }
+        for ((epoch, set), executors) in &routed_to {
+            let allowed = 1 + steals.get(&(*epoch, *set)).copied().unwrap_or(0);
+            assert!(
+                executors.len() <= allowed,
+                "{policy:?}: set {set} routed to {executors:?} in epoch {epoch} \
+                 with only {} recorded steal(s)",
+                allowed - 1
+            );
+        }
+    }
+}
+
 #[test]
 fn runtime_handles_survive_wrapper_lifetimes() {
     // Wrappers hold runtime clones; dropping them in arbitrary orders, with
