@@ -38,7 +38,7 @@ use ss_queue::{Consumer, Pop};
 use crate::config::WaitPolicy;
 use crate::error::{SsError, SsResult};
 use crate::future::SsFuture;
-use crate::invocation::Invocation;
+use crate::invocation::{Invocation, TaskSlot};
 use crate::serializer::{Serializer, SsId};
 use crate::stats::StatsCell;
 use crate::trace::{SideEvent, TraceExecutor, TraceKind};
@@ -252,7 +252,7 @@ const COST_SAMPLE_CAP: usize = 4096;
 
 /// Executes one `Execute` invocation with active-set tracking and
 /// origin-correct counter settlement. Shared by the worker loops and the
-/// help loop so every path maintains identical accounting. The task box
+/// help loop so every path maintains identical accounting. The task slot
 /// never unwinds (`package_task` traps panics), so the push/pop pair
 /// stays balanced.
 ///
@@ -260,14 +260,14 @@ const COST_SAMPLE_CAP: usize = 4096;
 /// (`Core::cost_samples` present), the operation's wall time is recorded
 /// into this delegate's sample buffer — an uncontended mutex push, off
 /// unless a cost-aware policy (e.g. `EwmaCost`) is active.
-fn execute_op(core: &Core, idx: usize, ss: SsId, task: Box<dyn FnOnce() + Send>, origin: Origin) {
+fn execute_op(core: &Core, idx: usize, ss: SsId, task: TaskSlot, origin: Origin) {
     HELP.with(|h| {
         if let Some(s) = h.borrow_mut().as_mut() {
             s.active.push(ss.0);
         }
     });
     let timer = core.cost_samples.is_some().then(std::time::Instant::now);
-    task();
+    task.run();
     if let (Some(buffers), Some(t0)) = (&core.cost_samples, timer) {
         let mut buffer = buffers[idx].lock();
         if buffer.len() < COST_SAMPLE_CAP {
@@ -901,6 +901,64 @@ impl<'rt> DelegateContext<'rt> {
         F: FnOnce(&mut T) + Send + 'static,
     {
         target.delegate_nested(self, Some(ss.into()), f)
+    }
+
+    /// Delegates a whole run of operations on `target` from this delegate
+    /// context — the nested form of [`Writable::delegate_iter`]. The run
+    /// is routed once and published to the owning executor's queue as one
+    /// batch, so per-operation submit overhead (routing, pending/depth
+    /// accounting, wakeup) is paid once per run instead of once per
+    /// operation. Returns the number of operations submitted.
+    ///
+    /// ```
+    /// use ss_core::{Runtime, SequenceSerializer, Writable};
+    ///
+    /// let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+    /// let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    /// let child: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+    ///
+    /// rt.isolated(|| {
+    ///     let (rt2, child2) = (rt.clone(), child.clone());
+    ///     parent
+    ///         .delegate(move |n| {
+    ///             *n = 1;
+    ///             rt2.delegate_scope(|cx| {
+    ///                 cx.delegate_iter(&child2, (1..=10u64).map(|i| move |c: &mut u64| *c += i))
+    ///                     .unwrap();
+    ///             })
+    ///             .unwrap();
+    ///         })
+    ///         .unwrap();
+    /// })
+    /// .unwrap();
+    ///
+    /// assert_eq!(child.call(|c| *c).unwrap(), 55);
+    /// ```
+    pub fn delegate_iter<T, S, I, F>(&self, target: &Writable<T, S>, fs: I) -> SsResult<usize>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        I: IntoIterator<Item = F>,
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        target.delegate_nested_iter(self, None, fs)
+    }
+
+    /// Batch nested delegation in an explicitly supplied serialization
+    /// set — the nested form of [`Writable::delegate_iter_in`].
+    pub fn delegate_iter_in<T, S, I, F>(
+        &self,
+        target: &Writable<T, S>,
+        ss: impl Into<SsId>,
+        fs: I,
+    ) -> SsResult<usize>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        I: IntoIterator<Item = F>,
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        target.delegate_nested_iter(self, Some(ss.into()), fs)
     }
 
     /// Delegates a *future-returning* operation on `target` from this

@@ -36,7 +36,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::error::{SsError, SsResult};
-use crate::invocation::{Invocation, SyncToken};
+use crate::invocation::{Invocation, SyncToken, TaskSlot};
 use crate::serializer::SsId;
 use crate::stats::StatsCell;
 use crate::trace::TraceKind;
@@ -122,7 +122,7 @@ impl Runtime {
 
     /// Runs a delegated task inline on the program thread (program-share
     /// virtual delegates and zero-delegate runtimes).
-    fn run_inline(&self, task: Box<dyn FnOnce() + Send>) -> SsResult<()> {
+    fn run_inline(&self, task: TaskSlot) -> SsResult<()> {
         {
             // SAFETY: program thread (wrappers checked); scoped so the
             // task below may legally re-enter the runtime.
@@ -132,18 +132,43 @@ impl Runtime {
             }
             epoch.executing_inline = true;
         }
-        task();
+        task.run();
         // SAFETY: program thread; fresh scoped borrow after user code.
         unsafe { self.inner.epoch.get() }.executing_inline = false;
         StatsCell::bump(&self.inner.core.stats.inline_executions);
         Ok(())
     }
 
+    /// Counts a submitted task against the inline/boxed storage split
+    /// (`Stats::{tasks_inline,tasks_boxed}`).
+    fn note_task(&self, task: &TaskSlot) {
+        let stats = &self.inner.core.stats;
+        if task.is_inline() {
+            StatsCell::bump(&stats.tasks_inline);
+        } else {
+            StatsCell::bump(&stats.tasks_boxed);
+        }
+    }
+
+    /// Batch variant of [`Runtime::note_task`]: one `fetch_add` per kind.
+    fn note_tasks(&self, tasks: &[TaskSlot]) {
+        let inline = tasks.iter().filter(|t| t.is_inline()).count() as u64;
+        let boxed = tasks.len() as u64 - inline;
+        let stats = &self.inner.core.stats;
+        if inline > 0 {
+            stats.tasks_inline.fetch_add(inline, Ordering::Relaxed);
+        }
+        if boxed > 0 {
+            stats.tasks_boxed.fetch_add(boxed, Ordering::Relaxed);
+        }
+    }
+
     /// Submits a packaged task for the given serialization set. Must be
     /// called on the program thread during an isolation epoch (wrappers
     /// enforce both). Returns the executor chosen.
-    pub(crate) fn submit(&self, ss: SsId, task: Box<dyn FnOnce() + Send>) -> SsResult<Executor> {
+    pub(crate) fn submit(&self, ss: SsId, task: TaskSlot) -> SsResult<Executor> {
         self.check_live()?;
+        self.note_task(&task);
         if let Channels::Steal(shared) = &self.inner.channels {
             return self.submit_stealing(shared, ss, task);
         }
@@ -184,7 +209,7 @@ impl Runtime {
         &self,
         shared: &StealShared,
         ss: SsId,
-        task: &mut Option<Box<dyn FnOnce() + Send>>,
+        task: &mut Option<TaskSlot>,
         executor: Executor,
     ) {
         let Executor::Delegate(i) = executor else {
@@ -210,7 +235,7 @@ impl Runtime {
         &self,
         shared: &StealShared,
         ss: SsId,
-        task: Box<dyn FnOnce() + Send>,
+        task: TaskSlot,
     ) -> SsResult<Executor> {
         // SAFETY: program thread (wrappers checked); scoped borrow.
         let serial = unsafe { self.inner.epoch.get() }.serial;
@@ -246,12 +271,9 @@ impl Runtime {
     /// The caller (the wrapper's nested phase 1) has already marked the
     /// epoch nested and raised the object's pending count under the
     /// object's state lock.
-    pub(crate) fn submit_nested(
-        &self,
-        ss: SsId,
-        task: Box<dyn FnOnce() + Send>,
-    ) -> SsResult<Executor> {
+    pub(crate) fn submit_nested(&self, ss: SsId, task: TaskSlot) -> SsResult<Executor> {
         self.check_live()?;
+        self.note_task(&task);
         match self.current_executor_slot() {
             Some(slot) if slot >= 1 => {}
             _ => return Err(SsError::WrongContext),
@@ -268,12 +290,7 @@ impl Runtime {
     /// pin mid-epoch), then push into the owner's injector lane
     /// (unbounded — a nested push must never block on a full ring, or
     /// two delegates pushing into each other's queues could deadlock).
-    fn submit_nested_mpsc(
-        &self,
-        ss: SsId,
-        serial: u64,
-        task: Box<dyn FnOnce() + Send>,
-    ) -> SsResult<Executor> {
+    fn submit_nested_mpsc(&self, ss: SsId, serial: u64, task: TaskSlot) -> SsResult<Executor> {
         let route = self.inner.router.route(ss, serial, &self.loads());
         self.note_route(&route, ss, RouteSite::Nested);
         let Executor::Delegate(i) = route.executor else {
@@ -310,7 +327,7 @@ impl Runtime {
         shared: &StealShared,
         ss: SsId,
         serial: u64,
-        task: Box<dyn FnOnce() + Send>,
+        task: TaskSlot,
     ) -> SsResult<Executor> {
         let mut task = Some(task);
         let route = self
@@ -330,6 +347,248 @@ impl Runtime {
         let stats = &self.inner.core.stats;
         StatsCell::bump(&stats.delegations);
         StatsCell::bump(&stats.nested_delegations);
+        Ok(route.executor)
+    }
+
+    /// Submits a whole run of packaged tasks bound for the **same**
+    /// serialization set — the transport half of
+    /// [`Writable::delegate_iter`](crate::Writable::delegate_iter). The
+    /// router is consulted *once* for the run, the per-delegate accounting
+    /// counters are raised once by the batch size, the invocations land in
+    /// the queue through the transports' batch entry points (one critical
+    /// section / one ring sweep instead of n), and the owning delegate is
+    /// woken once.
+    ///
+    /// On failure the error is paired with the number of tasks that will
+    /// **never execute** (dropped unsubmitted, or unrun on an inline
+    /// error); the caller unwinds the object's pending count by exactly
+    /// that amount — tasks already landed still run and decrement it
+    /// themselves.
+    pub(crate) fn submit_batch(
+        &self,
+        ss: SsId,
+        tasks: Vec<TaskSlot>,
+    ) -> Result<Executor, (SsError, usize)> {
+        let n = tasks.len();
+        if let Err(e) = self.check_live() {
+            return Err((e, n));
+        }
+        self.note_tasks(&tasks);
+        if let Channels::Steal(shared) = &self.inner.channels {
+            return self.submit_batch_stealing(shared, ss, tasks);
+        }
+        let executor = self.executor_for(ss);
+        match executor {
+            Executor::Program => self.run_inline_batch(tasks)?,
+            Executor::Delegate(i) => {
+                let stats = &self.inner.core.stats;
+                stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
+                let Channels::Spsc { producers, .. } = &self.inner.channels else {
+                    unreachable!("stealing transport handled above");
+                };
+                // SAFETY: producers are program-thread-only; wrappers
+                // verified the calling context.
+                let producer = unsafe { producers[i].get() };
+                let pushed = match producer.push_batch(
+                    tasks
+                        .into_iter()
+                        .map(|task| Invocation::Execute { task, ss }),
+                ) {
+                    Ok(pushed) => pushed,
+                    Err(pushed) => {
+                        // The unpushed remainder never executes; what did
+                        // land still will (the consumer disconnects only
+                        // after draining), so it keeps its accounting.
+                        let lost = (n - pushed) as u64;
+                        stats.queue_depths[i].fetch_sub(lost, Ordering::Relaxed);
+                        stats
+                            .delegations
+                            .fetch_add(pushed as u64, Ordering::Relaxed);
+                        self.inner.wakeups[i].notify();
+                        return Err((SsError::Terminated, n - pushed));
+                    }
+                };
+                debug_assert_eq!(pushed, n);
+                self.inner.wakeups[i].notify();
+                stats.delegations.fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(executor)
+    }
+
+    /// Runs a program-bound batch inline, in order. On error the failed
+    /// task and the rest of the batch are dropped unrun and counted.
+    fn run_inline_batch(&self, tasks: Vec<TaskSlot>) -> Result<(), (SsError, usize)> {
+        let mut remaining = tasks.len();
+        for task in tasks {
+            if let Err(e) = self.run_inline(task) {
+                return Err((e, remaining));
+            }
+            remaining -= 1;
+        }
+        Ok(())
+    }
+
+    /// Stealing-transport batch submit: one `route_publish` critical
+    /// section publishes the whole run into the owner's deque (single
+    /// deque lock), so a thief sees either none or all of it — and a
+    /// whole-batch steal migrates it with the same granularity it was
+    /// pushed with.
+    fn submit_batch_stealing(
+        &self,
+        shared: &StealShared,
+        ss: SsId,
+        tasks: Vec<TaskSlot>,
+    ) -> Result<Executor, (SsError, usize)> {
+        let n = tasks.len();
+        // SAFETY: program thread (wrappers checked); scoped borrow.
+        let serial = unsafe { self.inner.epoch.get() }.serial;
+        let mut tasks = Some(tasks);
+        let route = self
+            .inner
+            .router
+            .route_publish(ss, serial, &self.loads(), |executor| {
+                let Executor::Delegate(i) = executor else {
+                    unreachable!("route_publish only publishes delegate-bound work");
+                };
+                debug_assert!(i < self.inner.topology.n_delegates);
+                let batch = tasks.take().expect("batch consumed once");
+                let stats = &self.inner.core.stats;
+                stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
+                stats.in_flight.fetch_add(n as u64, Ordering::Relaxed);
+                shared.deques[i].push_keyed_batch(
+                    ss.0,
+                    batch
+                        .into_iter()
+                        .map(|task| Invocation::Execute { task, ss }),
+                );
+            });
+        self.note_route(&route, ss, RouteSite::Program);
+        match route.executor {
+            Executor::Program => {
+                self.run_inline_batch(tasks.take().expect("program-bound batch unconsumed"))?
+            }
+            Executor::Delegate(i) => {
+                self.inner.wakeups[i].notify();
+                self.inner
+                    .core
+                    .stats
+                    .delegations
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(route.executor)
+    }
+
+    /// Batch variant of [`Runtime::submit_nested`]: same context
+    /// validation, one route, one injector/deque critical section, one
+    /// wakeup for the whole same-set run.
+    pub(crate) fn submit_nested_batch(
+        &self,
+        ss: SsId,
+        tasks: Vec<TaskSlot>,
+    ) -> Result<Executor, (SsError, usize)> {
+        let n = tasks.len();
+        if let Err(e) = self.check_live() {
+            return Err((e, n));
+        }
+        match self.current_executor_slot() {
+            Some(slot) if slot >= 1 => {}
+            _ => return Err((SsError::WrongContext, n)),
+        }
+        self.note_tasks(&tasks);
+        let serial = self.cross_epoch_serial();
+        match &self.inner.channels {
+            Channels::Steal(shared) => self.submit_nested_batch_stealing(shared, ss, serial, tasks),
+            Channels::Spsc { .. } => self.submit_nested_batch_mpsc(ss, serial, tasks),
+        }
+    }
+
+    /// Nested batch over the MPSC transport: the whole run lands in the
+    /// owner's injector lane under a single lane lock. `in_flight` is
+    /// raised by the batch size *before* the push, preserving the
+    /// children-counted-from-birth barrier argument verbatim.
+    fn submit_nested_batch_mpsc(
+        &self,
+        ss: SsId,
+        serial: u64,
+        tasks: Vec<TaskSlot>,
+    ) -> Result<Executor, (SsError, usize)> {
+        let n = tasks.len();
+        let route = self.inner.router.route(ss, serial, &self.loads());
+        self.note_route(&route, ss, RouteSite::Nested);
+        let Executor::Delegate(i) = route.executor else {
+            return Err((SsError::NestedOnProgram { set: Some(ss) }, n));
+        };
+        let Channels::Spsc { injectors, .. } = &self.inner.channels else {
+            unreachable!("caller matched the MPSC transport");
+        };
+        let stats = &self.inner.core.stats;
+        stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
+        stats.in_flight.fetch_add(n as u64, Ordering::Relaxed);
+        if injectors[i]
+            .push_batch(
+                tasks
+                    .into_iter()
+                    .map(|task| Invocation::Execute { task, ss }),
+            )
+            .is_none()
+        {
+            // The injector rejects batches all-or-nothing (one lock).
+            stats.queue_depths[i].fetch_sub(n as u64, Ordering::Relaxed);
+            stats.in_flight.fetch_sub(n as u64, Ordering::Relaxed);
+            return Err((SsError::Terminated, n));
+        }
+        self.inner.wakeups[i].notify();
+        stats.delegations.fetch_add(n as u64, Ordering::Relaxed);
+        stats
+            .nested_delegations
+            .fetch_add(n as u64, Ordering::Relaxed);
+        Ok(route.executor)
+    }
+
+    /// Nested batch over the stealing transport: identical critical
+    /// section to [`Runtime::submit_batch_stealing`], with program-routed
+    /// sets rejected as in the single-task nested path.
+    fn submit_nested_batch_stealing(
+        &self,
+        shared: &StealShared,
+        ss: SsId,
+        serial: u64,
+        tasks: Vec<TaskSlot>,
+    ) -> Result<Executor, (SsError, usize)> {
+        let n = tasks.len();
+        let mut tasks = Some(tasks);
+        let route = self
+            .inner
+            .router
+            .route_publish(ss, serial, &self.loads(), |executor| {
+                let Executor::Delegate(i) = executor else {
+                    unreachable!("route_publish only publishes delegate-bound work");
+                };
+                let batch = tasks.take().expect("batch consumed once");
+                let stats = &self.inner.core.stats;
+                stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
+                stats.in_flight.fetch_add(n as u64, Ordering::Relaxed);
+                shared.deques[i].push_keyed_batch(
+                    ss.0,
+                    batch
+                        .into_iter()
+                        .map(|task| Invocation::Execute { task, ss }),
+                );
+            });
+        self.note_route(&route, ss, RouteSite::Nested);
+        let Executor::Delegate(i) = route.executor else {
+            // As in the single-task path: the pin stays recorded, the
+            // batch is rejected (and was never published).
+            return Err((SsError::NestedOnProgram { set: Some(ss) }, n));
+        };
+        self.inner.wakeups[i].notify();
+        let stats = &self.inner.core.stats;
+        stats.delegations.fetch_add(n as u64, Ordering::Relaxed);
+        stats
+            .nested_delegations
+            .fetch_add(n as u64, Ordering::Relaxed);
         Ok(route.executor)
     }
 

@@ -101,6 +101,12 @@ impl Runtime {
         // transitively implies future-resolution. A future carried across
         // this boundary is a plain ready value.
         self.barrier_all_delegates();
+        // The drain is the completion-cell pool's quiescence point: every
+        // operation of the epoch has run, so no sender handle survives,
+        // and cells whose futures were resolved or dropped are down to
+        // the pool's own reference — ready for reuse next epoch. Futures
+        // the user still holds keep their cells in flight.
+        self.inner.core.cell_pool.recycle();
         if let super::Channels::Steal(shared) = &self.inner.channels {
             // All queues just drained: safe to forget started sets, so
             // the next epoch re-routes (and re-steals) freely. Pins need

@@ -66,6 +66,7 @@ use std::thread::{JoinHandle, ThreadId};
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use ss_queue::slab::CellPool;
 use ss_queue::{Injector, Producer, SpscQueue};
 
 use delegate::{delegate_main, delegate_main_stealing, Wakeup, DELEGATE_CTX};
@@ -128,6 +129,11 @@ pub(crate) struct Core {
     /// ([`DelegateAssignment::wants_cost_feedback`]); drained by the
     /// policy at assignment time.
     pub(crate) cost_samples: Option<Box<CostSamples>>,
+    /// Pool of one-shot completion cells for the `delegate_with` family.
+    /// Recycled at `end_isolation` — the barrier's drain is exactly the
+    /// quiescence point the pool's reuse contract requires (see
+    /// `ss_queue::slab`).
+    pub(crate) cell_pool: CellPool,
 }
 
 /// One registered blocked future wait: the waited-on serialization set, a
@@ -342,6 +348,7 @@ impl Runtime {
             epoch_serial: AtomicU64::new(0),
             cost_samples: wants_cost_feedback
                 .then(|| (0..n_delegates).map(|_| Mutex::new(Vec::new())).collect()),
+            cell_pool: CellPool::new(),
         });
         let force_sleep = Arc::new(AtomicBool::new(false));
 
@@ -496,6 +503,19 @@ impl Runtime {
     /// per-delegate load).
     pub fn stats(&self) -> Stats {
         self.inner.core.stats.snapshot(self.inner.started_at)
+    }
+
+    /// Diagnostic view of the completion-cell pool backing the
+    /// `delegate_with` family: `(free, in_flight, created)`. `free` cells
+    /// are quiescent and ready for reuse; `in_flight` cells were issued
+    /// since their last recycle (a future held across epochs keeps its
+    /// cell here); `created` is the number of cells ever allocated, so
+    /// `created` staying flat while futures are issued is the proof that
+    /// the pool is recycling.
+    pub fn cell_pool_stats(&self) -> (usize, usize, u64) {
+        let pool = &self.inner.core.cell_pool;
+        let (free, in_flight) = pool.counts();
+        (free, in_flight, pool.created())
     }
 
     /// Next instance number for a new wrapped object (the *sequence*

@@ -8,11 +8,12 @@ use parking_lot::Mutex;
 
 use super::*;
 use crate::config::{Assignment, WaitPolicy};
+use crate::invocation::TaskSlot;
 
-/// Boxed task that bumps `counter` (the common body of delivery tests).
-fn bump(counter: &Arc<AtomicU64>) -> Box<dyn FnOnce() + Send> {
+/// Packaged task that bumps `counter` (the common body of delivery tests).
+fn bump(counter: &Arc<AtomicU64>) -> TaskSlot {
     let c = Arc::clone(counter);
-    Box::new(move || {
+    TaskSlot::new(move || {
         c.fetch_add(1, Ordering::Relaxed);
     })
 }
@@ -95,7 +96,7 @@ fn same_set_preserves_program_order() {
     rt.begin_isolation().unwrap();
     for i in 0..1000u64 {
         let log = Arc::clone(&log);
-        rt.submit(SsId(7), Box::new(move || log.lock().push(i)))
+        rt.submit(SsId(7), TaskSlot::new(move || log.lock().push(i)))
             .unwrap();
     }
     rt.end_isolation().unwrap();
@@ -129,8 +130,8 @@ fn nested_delegation_rejected() {
     let err2 = Arc::clone(&err);
     rt.submit(
         SsId(0),
-        Box::new(move || {
-            let e = rt2.submit(SsId(1), Box::new(|| {})).unwrap_err();
+        TaskSlot::new(move || {
+            let e = rt2.submit(SsId(1), TaskSlot::new(|| {})).unwrap_err();
             *err2.lock() = Some(e);
         }),
     )
@@ -167,7 +168,7 @@ fn stats_count_operations() {
     let rt = Runtime::builder().delegate_threads(1).build().unwrap();
     rt.begin_isolation().unwrap();
     for i in 0..10u64 {
-        rt.submit(SsId(i), Box::new(|| {})).unwrap();
+        rt.submit(SsId(i), TaskSlot::new(|| {})).unwrap();
     }
     rt.end_isolation().unwrap();
     let s = rt.stats();
@@ -270,7 +271,7 @@ fn all_policies_preserve_same_set_program_order() {
         rt.begin_isolation().unwrap();
         for i in 0..800u64 {
             let log = Arc::clone(&log);
-            rt.submit(SsId(i % 3), Box::new(move || log.lock().push(i)))
+            rt.submit(SsId(i % 3), TaskSlot::new(move || log.lock().push(i)))
                 .unwrap();
         }
         rt.end_isolation().unwrap();
@@ -295,7 +296,7 @@ fn dynamic_policies_keep_a_set_on_one_executor_within_an_epoch() {
     let first = rt.executor_for(SsId(42));
     // Load up other delegates so a re-assignment would move the set.
     for i in 0..200u64 {
-        rt.submit(SsId(i), Box::new(|| {})).unwrap();
+        rt.submit(SsId(i), TaskSlot::new(|| {})).unwrap();
     }
     assert_eq!(rt.executor_for(SsId(42)), first);
     rt.end_isolation().unwrap();
@@ -310,7 +311,7 @@ fn pins_counter_tracks_first_touches() {
         .unwrap();
     rt.begin_isolation().unwrap();
     for i in 0..60u64 {
-        rt.submit(SsId(i % 6), Box::new(|| {})).unwrap();
+        rt.submit(SsId(i % 6), TaskSlot::new(|| {})).unwrap();
     }
     rt.end_isolation().unwrap();
     // 6 distinct sets → 6 pins; static assignment would report 0.
@@ -322,7 +323,7 @@ fn static_assignment_reports_no_pins() {
     let rt = Runtime::builder().delegate_threads(2).build().unwrap();
     rt.begin_isolation().unwrap();
     for i in 0..60u64 {
-        rt.submit(SsId(i % 6), Box::new(|| {})).unwrap();
+        rt.submit(SsId(i % 6), TaskSlot::new(|| {})).unwrap();
     }
     rt.end_isolation().unwrap();
     assert_eq!(rt.stats().pins, 0);
@@ -374,7 +375,7 @@ fn queue_depths_return_to_zero_after_barrier() {
         .unwrap();
     rt.begin_isolation().unwrap();
     for i in 0..300u64 {
-        rt.submit(SsId(i), Box::new(|| {})).unwrap();
+        rt.submit(SsId(i), TaskSlot::new(|| {})).unwrap();
     }
     rt.end_isolation().unwrap();
     let s = rt.stats();
@@ -405,7 +406,7 @@ fn least_loaded_routes_away_from_a_busy_delegate() {
     let g = Arc::clone(&gate);
     rt.submit(
         SsId(1),
-        Box::new(move || {
+        TaskSlot::new(move || {
             while g.load(Ordering::Acquire) == 0 {
                 std::hint::spin_loop();
             }
@@ -417,7 +418,7 @@ fn least_loaded_routes_away_from_a_busy_delegate() {
     // next first-touch must see [1, 0] and pick delegate 1.
     assert_eq!(rt.executor_for(SsId(2)), Executor::Delegate(1));
     // And set 2 stays there even after more load lands on delegate 1.
-    rt.submit(SsId(2), Box::new(|| {})).unwrap();
+    rt.submit(SsId(2), TaskSlot::new(|| {})).unwrap();
     assert_eq!(rt.executor_for(SsId(2)), Executor::Delegate(1));
     gate.store(1, Ordering::Release);
     rt.end_isolation().unwrap();
@@ -459,9 +460,9 @@ impl DelegateAssignment for ByParity {
 /// Name of the delegate thread an operation executes on ("ss-delegate-N"),
 /// recorded so tests can assert placement without capturing the runtime
 /// inside a task (which would let a delegate thread join itself on drop).
-fn record_thread(log: &Arc<Mutex<Vec<(u64, String)>>>, set: u64) -> Box<dyn FnOnce() + Send> {
+fn record_thread(log: &Arc<Mutex<Vec<(u64, String)>>>, set: u64) -> TaskSlot {
     let log = Arc::clone(log);
-    Box::new(move || {
+    TaskSlot::new(move || {
         let name = std::thread::current().name().unwrap_or("?").to_string();
         log.lock().push((set, name));
     })
@@ -471,13 +472,10 @@ fn record_thread(log: &Arc<Mutex<Vec<(u64, String)>>>, set: u64) -> Box<dyn FnOn
 /// The (entered, name) pair lets tests wait until a set has *started* —
 /// the point after which the pinning invariant forbids migration — and
 /// learn where, without assuming who won any legal pre-start steal race.
-fn gated_task(
-    gate: &Arc<AtomicU64>,
-    entered: &Arc<Mutex<Option<String>>>,
-) -> Box<dyn FnOnce() + Send> {
+fn gated_task(gate: &Arc<AtomicU64>, entered: &Arc<Mutex<Option<String>>>) -> TaskSlot {
     let gate = Arc::clone(gate);
     let entered = Arc::clone(entered);
-    Box::new(move || {
+    TaskSlot::new(move || {
         *entered.lock() = Some(std::thread::current().name().unwrap_or("?").to_string());
         while gate.load(Ordering::Acquire) == 0 {
             std::hint::spin_loop();
@@ -611,7 +609,7 @@ fn steal_failures_are_counted() {
     let e = Arc::clone(&entered);
     rt.submit(
         SsId(3),
-        Box::new(move || {
+        TaskSlot::new(move || {
             e.store(1, Ordering::Release);
             while g.load(Ordering::Acquire) == 0 {
                 std::hint::spin_loop();
@@ -625,7 +623,7 @@ fn steal_failures_are_counted() {
         std::hint::spin_loop();
     }
     for _ in 0..4 {
-        rt.submit(SsId(3), Box::new(|| {})).unwrap();
+        rt.submit(SsId(3), TaskSlot::new(|| {})).unwrap();
     }
     std::thread::sleep(std::time::Duration::from_millis(30));
     gate.store(1, Ordering::Release);
@@ -655,7 +653,7 @@ fn reclaim_follows_a_stolen_set() {
     let g = Arc::clone(&gate);
     rt.submit(
         SsId(1_000_000),
-        Box::new(move || {
+        TaskSlot::new(move || {
             while g.load(Ordering::Acquire) == 0 {
                 std::hint::spin_loop();
             }
@@ -851,7 +849,7 @@ fn delegate_scope_requires_a_delegate_context() {
     rt.begin_isolation().unwrap();
     rt.submit(
         SsId(0),
-        Box::new(move || {
+        TaskSlot::new(move || {
             *seen2.lock() = Some(rt3.delegate_scope(|_| ()).unwrap_err());
         }),
     )
@@ -1016,7 +1014,7 @@ fn steal_trace_events_are_recorded() {
     let g = Arc::clone(&gate);
     rt.submit(
         SsId(0),
-        Box::new(move || {
+        TaskSlot::new(move || {
             while g.load(Ordering::Acquire) == 0 {
                 std::hint::spin_loop();
             }
@@ -1024,7 +1022,7 @@ fn steal_trace_events_are_recorded() {
     )
     .unwrap();
     for s in 1..=16u64 {
-        rt.submit(SsId(s), Box::new(|| {})).unwrap();
+        rt.submit(SsId(s), TaskSlot::new(|| {})).unwrap();
     }
     std::thread::sleep(std::time::Duration::from_millis(50));
     gate.store(1, Ordering::Release);

@@ -37,6 +37,12 @@ pub(crate) struct StatsCell {
     /// Futures resolved: completions delivered through an `SsFuture`'s
     /// one-shot cell by `delegate_with`-style operations.
     pub futures_resolved: AtomicU64,
+    /// Submitted tasks whose capture was stored inline in the
+    /// `TaskSlot` buffer (no allocation).
+    pub tasks_inline: AtomicU64,
+    /// Submitted tasks whose capture was too large for the inline
+    /// buffer and fell back to a heap box.
+    pub tasks_boxed: AtomicU64,
     /// Successful steal operations (whole-batch migrations).
     pub steals: AtomicU64,
     /// Steal attempts that found no eligible batch on the chosen victim.
@@ -76,6 +82,8 @@ impl StatsCell {
             pin_fast_hits: AtomicU64::new(0),
             nested_delegations: AtomicU64::new(0),
             futures_resolved: AtomicU64::new(0),
+            tasks_inline: AtomicU64::new(0),
+            tasks_boxed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -108,6 +116,8 @@ impl StatsCell {
             pin_fast_hits: self.pin_fast_hits.load(Ordering::Relaxed),
             nested_delegations: self.nested_delegations.load(Ordering::Relaxed),
             futures_resolved: self.futures_resolved.load(Ordering::Relaxed),
+            tasks_inline: self.tasks_inline.load(Ordering::Relaxed),
+            tasks_boxed: self.tasks_boxed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             steal_failures: self.steal_failures.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Acquire),
@@ -171,6 +181,18 @@ pub struct Stats {
     /// the cell regardless of whether anyone waits). 0 for programs that
     /// never use future-returning delegation.
     pub futures_resolved: u64,
+    /// Submitted operations whose packaged capture fit the invocation
+    /// object's fixed inline buffer and was stored by value — the
+    /// zero-allocation path. Together with [`tasks_boxed`](Stats::tasks_boxed)
+    /// this partitions every submitted operation (delegated, inline-executed,
+    /// and nested alike).
+    pub tasks_inline: u64,
+    /// Submitted operations whose capture exceeded the inline buffer (or
+    /// required stricter-than-word alignment) and fell back to a heap
+    /// `Box`. A hot loop that should be allocation-free wants this to
+    /// stay flat; shrink captures below ~3 words to move ops to the
+    /// inline path.
+    pub tasks_boxed: u64,
     /// Successful steals: whole-batch migrations of never-started sets
     /// from a loaded delegate to an idle one. 0 when
     /// [`StealPolicy::Off`](crate::StealPolicy::Off) (the default).
@@ -279,6 +301,8 @@ mod tests {
             pin_fast_hits: 0,
             nested_delegations: 0,
             futures_resolved: 0,
+            tasks_inline: 0,
+            tasks_boxed: 0,
             steals: 0,
             steal_failures: 0,
             in_flight: 0,

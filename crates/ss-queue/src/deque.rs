@@ -272,6 +272,24 @@ impl<T> StealDeque<T> {
         self.pushes.fetch_add(n, Ordering::Release);
     }
 
+    /// Appends a whole run of entries sharing one key at the back, in
+    /// order, under a **single** lock acquisition — the *producer* side
+    /// of the batch granularity the deque has always had on the thief
+    /// side ([`extend_keyed`](StealDeque::extend_keyed)): a run pushed
+    /// together forms one migration unit that a later steal moves
+    /// whole. Returns the number of entries appended.
+    pub fn push_keyed_batch(&self, key: u64, values: impl IntoIterator<Item = T>) -> usize {
+        let mut g = self.lock();
+        let mut n = 0;
+        for value in values {
+            g.state().entries.push_back((Entry::Key(key), value));
+            n += 1;
+        }
+        self.len.fetch_add(n, Ordering::Release);
+        self.pushes.fetch_add(n, Ordering::Release);
+        n
+    }
+
     /// Pops the oldest entry (owner side). Popping a keyed entry marks its
     /// key *started* for the current epoch, which excludes the key from
     /// all future steals until [`begin_epoch`](StealDeque::begin_epoch).

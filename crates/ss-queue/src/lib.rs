@@ -36,7 +36,9 @@
 //! delegated operations (`SsFuture` in ss-core). A cell never loses its
 //! completion (sends succeed even after the receiver is dropped), reports
 //! cancellation to parked waiters, and exposes a value-blind settlement
-//! probe for the runtime's deadlock detector. The [`shardmap`] module
+//! probe for the runtime's deadlock detector; the [`slab`] module pools
+//! those cells so a warm runtime issues futures without allocating. The
+//! [`shardmap`] module
 //! provides the sharded, epoch-stamped pin map the runtime's routing
 //! layer keys serialization sets with: per-shard locks for writers,
 //! lock-free reads for the re-delegate-to-a-pinned-set hot path.
@@ -72,6 +74,7 @@ mod lamport;
 pub mod oneshot;
 mod pad;
 pub mod shardmap;
+pub mod slab;
 mod spsc;
 
 pub use backoff::Backoff;

@@ -22,10 +22,17 @@
 //!   between polls. A [`WaitSignal`] probe — non-generic, cloneable —
 //!   lets third parties (the runtime's deadlock detector) observe
 //!   settlement without access to the value.
-//! * **Epoch awareness.** Every cell carries an immutable `u64` tag; the
-//!   runtime stamps it with the isolation-epoch serial the operation was
+//! * **Epoch awareness.** Every cell carries a `u64` tag; the runtime
+//!   stamps it with the isolation-epoch serial the operation was
 //!   delegated in, so diagnostics can relate a pending future to the
 //!   epoch whose barrier guarantees its resolution.
+//! * **Recyclability.** The synchronization core (`Signal`) is
+//!   *non-generic*: the value is stored in a fixed three-word inline
+//!   buffer (larger payloads are boxed by the sender), and the typed
+//!   sender/receiver handles are phantom-typed views over an
+//!   `Arc<Signal>`. A runtime can therefore keep settled cells in a pool
+//!   ([`CellPool`](crate::slab::CellPool)) and re-issue them — for any
+//!   value type — without allocating on the delegation hot path.
 //!
 //! ```
 //! use ss_queue::oneshot::{oneshot, OneshotPoll};
@@ -40,12 +47,17 @@
 //! ```
 
 use core::cell::UnsafeCell;
-use core::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use core::marker::PhantomData;
+use core::mem::MaybeUninit;
+use core::ptr;
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
 use std::time::Duration;
 
-/// Cell states (monotonic: `EMPTY` → `READY`/`CLOSED`, `READY` → `TAKEN`).
+/// Cell states (monotonic within one use: `EMPTY` → `READY`/`CLOSED`,
+/// `READY` → `TAKEN`; a pool [`reset`](Signal::reset) returns a quiescent
+/// cell to `EMPTY`).
 const EMPTY: u8 = 0;
 /// A value is stored and may be taken by the receiver.
 const READY: u8 = 1;
@@ -54,23 +66,84 @@ const TAKEN: u8 = 2;
 /// The sender was dropped without sending; no value will ever arrive.
 const CLOSED: u8 = 3;
 
-/// The non-generic synchronization core of a cell: the state machine plus
-/// a single parked-waiter slot. Shared by the sender, the receiver, and
-/// any number of [`WaitSignal`] probes.
-struct Signal {
+/// Words in a cell's inline value buffer. Three words cover the runtime's
+/// common future payloads (scalars, small aggregates, `Vec`) without
+/// growing the cell past one cache line.
+const VALUE_INLINE_WORDS: usize = 3;
+
+/// True when `T` may be stored by value in the inline buffer; larger or
+/// over-aligned payloads are boxed by the sender.
+const fn fits_inline<T>() -> bool {
+    size_of::<T>() <= size_of::<[usize; VALUE_INLINE_WORDS]>()
+        && align_of::<T>() <= align_of::<usize>()
+}
+
+/// Drops an inline `T` in place inside the value buffer.
+///
+/// # Safety
+/// `p` must point at an initialized `T` written by [`OneshotSender::send`].
+unsafe fn drop_inline<T>(p: *mut u8) {
+    unsafe { ptr::drop_in_place(p.cast::<T>()) }
+}
+
+/// Drops a boxed `T` whose raw pointer is stored in the value buffer.
+///
+/// # Safety
+/// `p` must point at a valid `*mut T` written by [`OneshotSender::send`].
+unsafe fn drop_boxed<T>(p: *mut u8) {
+    unsafe { drop(Box::from_raw(ptr::read(p.cast::<*mut T>()))) }
+}
+
+/// The non-generic core of a cell: the settlement state machine, a single
+/// parked-waiter slot, a restampable epoch tag, and the value storage (a
+/// three-word inline buffer plus the drop shim for whatever currently
+/// occupies it). Shared by the sender, the receiver, any number of
+/// [`WaitSignal`] probes — and, because nothing here mentions the value
+/// type, by the [`CellPool`](crate::slab::CellPool) across uses with
+/// *different* value types.
+pub(crate) struct Signal {
     state: AtomicU8,
     /// Spinlock for the waiter slot (held for a handful of instructions).
     waiter_lock: AtomicBool,
     waiter: UnsafeCell<Option<Thread>>,
-    tag: u64,
+    /// Epoch tag; atomic so the pool can restamp a recycled cell while
+    /// old [`WaitSignal`] probes may still read it.
+    tag: AtomicU64,
+    /// Value storage: a `T` by value when [`fits_inline`], else the raw
+    /// pointer of a `Box<T>`.
+    value: UnsafeCell<MaybeUninit<[usize; VALUE_INLINE_WORDS]>>,
+    /// `Some` exactly while an un-taken value occupies `value`; knows how
+    /// to drop it in place. Written by the sender before the `READY`
+    /// release-store, cleared by the receiver that wins the take, and run
+    /// by [`reset`](Signal::reset)/`Drop` for values nobody took.
+    value_drop: UnsafeCell<Option<unsafe fn(*mut u8)>>,
 }
 
 // SAFETY: `waiter` is only accessed under `waiter_lock`; `state` and the
-// lock are atomics.
+// lock are atomics; `value`/`value_drop` are written by the (unique)
+// sender before the `READY` release-store and read by the unique winner
+// of the `READY → TAKEN` acquire-CAS (or by an exclusive reset/drop).
+// Payloads are `T: Send` (enforced by the constructors), so dropping an
+// orphaned value from another thread is sound.
 unsafe impl Send for Signal {}
 unsafe impl Sync for Signal {}
 
 impl Signal {
+    pub(crate) fn new(tag: u64) -> Self {
+        Signal {
+            state: AtomicU8::new(EMPTY),
+            waiter_lock: AtomicBool::new(false),
+            waiter: UnsafeCell::new(None),
+            tag: AtomicU64::new(tag),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+            value_drop: UnsafeCell::new(None),
+        }
+    }
+
+    fn value_ptr(&self) -> *mut u8 {
+        self.value.get().cast::<u8>()
+    }
+
     fn with_waiter<R>(&self, f: impl FnOnce(&mut Option<Thread>) -> R) -> R {
         while self
             .waiter_lock
@@ -93,42 +166,73 @@ impl Signal {
         }
     }
 
-    fn is_settled(&self) -> bool {
+    pub(crate) fn is_settled(&self) -> bool {
         self.state.load(Ordering::Acquire) != EMPTY
+    }
+
+    pub(crate) fn tag(&self) -> u64 {
+        self.tag.load(Ordering::Relaxed)
+    }
+
+    /// Drops whatever un-taken value currently occupies the buffer.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to the cell's value protocol
+    /// (last handle, or a pool holding the only reference).
+    unsafe fn drop_orphan(&self) {
+        // SAFETY: exclusivity per the caller; `value_drop` is `Some` iff
+        // an initialized value is present.
+        unsafe {
+            if let Some(f) = (*self.value_drop.get()).take() {
+                f(self.value_ptr());
+            }
+        }
+    }
+
+    /// Returns the cell to `EMPTY` with a fresh tag, dropping any value
+    /// nobody took. Pool-only: the caller must hold the *sole* reference
+    /// to the cell (`Arc::strong_count == 1`, observed with `Acquire`, so
+    /// every prior handle's accesses happened-before this call).
+    pub(crate) fn reset(&self, tag: u64) {
+        // SAFETY: sole-reference precondition gives exclusivity.
+        unsafe { self.drop_orphan() };
+        self.with_waiter(|w| *w = None);
+        self.tag.store(tag, Ordering::Relaxed);
+        self.state.store(EMPTY, Ordering::Release);
     }
 }
 
-/// The full cell: signal plus the value slot.
-struct Shared<T> {
-    signal: Arc<Signal>,
-    value: UnsafeCell<Option<T>>,
+impl Drop for Signal {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` — this is the last reference.
+        unsafe { self.drop_orphan() };
+    }
 }
 
-// SAFETY: `value` is written exactly once by the sender before the
-// `READY` Release store and read at most once by the receiver after an
-// Acquire load observes `READY`; those edges order the accesses.
-unsafe impl<T: Send> Send for Shared<T> {}
-unsafe impl<T: Send> Sync for Shared<T> {}
+/// Builds a typed sender/receiver pair over an existing (empty) signal.
+/// Used by [`oneshot`] for fresh cells and by
+/// [`CellPool`](crate::slab::CellPool) for recycled ones.
+pub(crate) fn pair_from_signal<T: Send>(
+    signal: Arc<Signal>,
+) -> (OneshotSender<T>, OneshotReceiver<T>) {
+    debug_assert!(!signal.is_settled());
+    (
+        OneshotSender {
+            signal: Arc::clone(&signal),
+            sent: false,
+            _value: PhantomData,
+        },
+        OneshotReceiver {
+            signal,
+            _value: PhantomData,
+        },
+    )
+}
 
 /// Creates a one-shot cell tagged with `tag` (the runtime uses the
 /// isolation-epoch serial) and returns the sender/receiver handle pair.
-pub fn oneshot<T>(tag: u64) -> (OneshotSender<T>, OneshotReceiver<T>) {
-    let shared = Arc::new(Shared {
-        signal: Arc::new(Signal {
-            state: AtomicU8::new(EMPTY),
-            waiter_lock: AtomicBool::new(false),
-            waiter: UnsafeCell::new(None),
-            tag,
-        }),
-        value: UnsafeCell::new(None),
-    });
-    (
-        OneshotSender {
-            shared: Arc::clone(&shared),
-            sent: false,
-        },
-        OneshotReceiver { shared },
-    )
+pub fn oneshot<T: Send>(tag: u64) -> (OneshotSender<T>, OneshotReceiver<T>) {
+    pair_from_signal(Arc::new(Signal::new(tag)))
 }
 
 /// Result of polling a [`OneshotReceiver`].
@@ -144,47 +248,63 @@ pub enum OneshotPoll<T> {
 }
 
 /// Completing half of a one-shot cell; owned by the executor that runs
-/// the delegated operation.
+/// the delegated operation. A phantom-typed view over the non-generic
+/// `Signal` — the value type exists only in the handles.
 pub struct OneshotSender<T> {
-    shared: Arc<Shared<T>>,
+    signal: Arc<Signal>,
     sent: bool,
+    _value: PhantomData<T>,
 }
 
 impl<T> OneshotSender<T> {
     /// Stores the value and wakes the waiter. Infallible: a dropped
     /// receiver does not reject the completion (the value is dropped with
-    /// the cell) — see the module docs for why the runtime needs that.
+    /// the cell, or at the pool's next recycle) — see the module docs for
+    /// why the runtime needs that. Values up to three words land in the
+    /// cell's inline buffer; larger ones are boxed here.
     pub fn send(mut self, value: T) {
+        let signal = &self.signal;
         // SAFETY: state is still EMPTY (only `send`/`Drop` of this unique
-        // sender move it out of EMPTY), so no reader touches the slot yet.
-        unsafe { *self.shared.value.get() = Some(value) };
+        // sender move it out of EMPTY), so no reader touches the slot
+        // before the `READY` release-store below.
+        unsafe {
+            let p = signal.value_ptr();
+            if fits_inline::<T>() {
+                ptr::write(p.cast::<T>(), value);
+                *signal.value_drop.get() = Some(drop_inline::<T>);
+            } else {
+                ptr::write(p.cast::<*mut T>(), Box::into_raw(Box::new(value)));
+                *signal.value_drop.get() = Some(drop_boxed::<T>);
+            }
+        }
         self.sent = true;
-        self.shared.signal.settle(READY);
+        self.signal.settle(READY);
     }
 
-    /// The tag the cell was created with.
+    /// The tag the cell currently carries.
     pub fn tag(&self) -> u64 {
-        self.shared.signal.tag
+        self.signal.tag()
     }
 }
 
 impl<T> Drop for OneshotSender<T> {
     fn drop(&mut self) {
         if !self.sent {
-            self.shared.signal.settle(CLOSED);
+            self.signal.settle(CLOSED);
         }
     }
 }
 
 /// Receiving half of a one-shot cell.
 pub struct OneshotReceiver<T> {
-    shared: Arc<Shared<T>>,
+    signal: Arc<Signal>,
+    _value: PhantomData<T>,
 }
 
 impl<T> OneshotReceiver<T> {
     /// Non-blocking poll; takes the value on the first `Ready`.
     pub fn poll(&self) -> OneshotPoll<T> {
-        let signal = &self.shared.signal;
+        let signal = &self.signal;
         // READY → TAKEN must be a CAS, not load+store: `poll` takes
         // `&self` on a `Sync` cell, so two threads may race it — exactly
         // one may win the transition and touch the value slot.
@@ -194,12 +314,19 @@ impl<T> OneshotReceiver<T> {
         {
             Ok(_) => {
                 // SAFETY: the Acquire CAS on READY ordered the sender's
-                // write before this read, and winning the transition
-                // makes us the slot's sole accessor; TAKEN keeps it
-                // one-shot.
-                match unsafe { (*self.shared.value.get()).take() } {
-                    Some(v) => OneshotPoll::Ready(v),
-                    None => OneshotPoll::Closed,
+                // writes (value and drop shim) before these accesses, and
+                // winning the transition makes us the slot's sole
+                // accessor; TAKEN keeps it one-shot. Clearing the shim
+                // marks the buffer vacated so reset/drop won't touch it.
+                unsafe {
+                    *signal.value_drop.get() = None;
+                    let p = signal.value_ptr();
+                    let v = if fits_inline::<T>() {
+                        ptr::read(p.cast::<T>())
+                    } else {
+                        *Box::from_raw(ptr::read(p.cast::<*mut T>()))
+                    };
+                    OneshotPoll::Ready(v)
                 }
             }
             Err(EMPTY) => OneshotPoll::Pending,
@@ -209,17 +336,17 @@ impl<T> OneshotReceiver<T> {
 
     /// True once the cell is settled (ready, taken, or closed).
     pub fn is_settled(&self) -> bool {
-        self.shared.signal.is_settled()
+        self.signal.is_settled()
     }
 
-    /// The tag the cell was created with.
+    /// The tag the cell currently carries.
     pub fn tag(&self) -> u64 {
-        self.shared.signal.tag
+        self.signal.tag()
     }
 
     /// A cloneable, value-blind settlement probe onto this cell.
     pub fn signal(&self) -> WaitSignal {
-        WaitSignal(Arc::clone(&self.shared.signal))
+        WaitSignal(Arc::clone(&self.signal))
     }
 
     /// Registers the current thread as the cell's waiter and parks for at
@@ -228,7 +355,7 @@ impl<T> OneshotReceiver<T> {
     /// [`poll`](OneshotReceiver::poll). The bounded wait means a lost
     /// wakeup degrades to latency, never deadlock.
     pub fn park_timeout(&self, dur: Duration) {
-        let signal = &self.shared.signal;
+        let signal = &self.signal;
         signal.with_waiter(|w| *w = Some(std::thread::current()));
         if !signal.is_settled() {
             std::thread::park_timeout(dur);
@@ -250,9 +377,9 @@ impl WaitSignal {
         self.0.is_settled()
     }
 
-    /// The tag of the underlying cell.
+    /// The tag the underlying cell currently carries.
     pub fn tag(&self) -> u64 {
-        self.0.tag
+        self.0.tag()
     }
 }
 
@@ -260,7 +387,7 @@ impl std::fmt::Debug for WaitSignal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WaitSignal")
             .field("settled", &self.is_settled())
-            .field("tag", &self.0.tag)
+            .field("tag", &self.tag())
             .finish()
     }
 }
@@ -276,6 +403,17 @@ mod tests {
         tx.send("hi".into());
         assert!(rx.is_settled());
         assert!(matches!(rx.poll(), OneshotPoll::Ready(ref s) if s == "hi"));
+        assert!(matches!(rx.poll(), OneshotPoll::Closed));
+    }
+
+    #[test]
+    fn large_value_roundtrips_via_box() {
+        // Five words — exceeds the inline buffer, exercising the boxed
+        // value path.
+        let payload = [1u64, 2, 3, 4, 5];
+        let (tx, rx) = oneshot::<[u64; 5]>(0);
+        tx.send(payload);
+        assert!(matches!(rx.poll(), OneshotPoll::Ready(v) if v == payload));
         assert!(matches!(rx.poll(), OneshotPoll::Closed));
     }
 
@@ -301,7 +439,21 @@ mod tests {
         drop(rx);
         tx.send(Bomb(&drops)); // must not panic or leak
         assert!(probe.is_settled());
-        assert_eq!(drops.load(Ordering::Relaxed), 1); // dropped with the cell
+        // The value now lives in the cell itself, so it survives as long
+        // as any handle — including a probe — does…
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+        drop(probe);
+        // …and is dropped with the cell.
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn untaken_large_value_drops_with_cell() {
+        // An un-taken boxed value must be freed by the cell's drop glue
+        // (under miri/asan this doubles as a leak check).
+        let (tx, rx) = oneshot::<[u64; 8]>(0);
+        tx.send([7; 8]);
+        drop(rx);
     }
 
     #[test]

@@ -2,11 +2,13 @@
 # Records BENCH_baseline.json from the ss-bench criterion suites.
 #
 # The vendored criterion shim prints one machine-readable line per
-# benchmark ("bench <id> median_ns=<n> ..."), and the ablation bins that
-# participate in the baseline (currently `ablation_futures` and
-# `ablation_routing`) print the same format; this script folds those
-# lines into a JSON object keyed by benchmark id, with enough metadata
-# to interpret the numbers later. Run from the repo root:
+# benchmark ("bench <id> median_ns=<n> ..."), and any `ablation_*` bin
+# that emits the same format participates in the baseline — bins are
+# discovered by scanning their sources for the `median_ns=` emitter, so
+# a new ablation axis joins the baseline by printing the lines, with no
+# edit here. This script folds those lines into a JSON object keyed by
+# benchmark id, with enough metadata to interpret the numbers later.
+# Run from the repo root:
 #
 #   scripts/record_baseline.sh            # writes BENCH_baseline.json
 #   OUT=/tmp/now.json scripts/record_baseline.sh   # compare runs
@@ -23,12 +25,20 @@ CRITERION_SAMPLE_MS="$SAMPLE_MS" cargo bench -q -p ss-bench --bench kernels --be
     grep '^bench ' >"$raw" || true
 # Ablation bins that emit baseline-compatible `bench ...` lines ride
 # along, so the BENCH_*.json trajectory covers the runtime's ablation
-# axes (future-return vs shared-object-return), not just the kernels.
-# Run to a file first so a bin failure (build error, fingerprint-gate
+# axes (future return paths, routing, task-record allocation), not just
+# the kernels. Participants are discovered, not hard-coded: any
+# `ablation_*` bin whose source prints `median_ns=` lines is run. Run to
+# a file first so a bin failure (build error, fingerprint-gate
 # assertion) fails the script instead of silently thinning the baseline.
 ablation_out=$(mktemp)
 trap 'rm -f "$raw" "$ablation_out"' EXIT
-for bin in ablation_futures ablation_routing; do
+ablation_bins=$(grep -l 'median_ns=' crates/ss-bench/src/bin/ablation_*.rs |
+    xargs -n1 basename | sed 's/\.rs$//' | sort)
+if [ -z "$ablation_bins" ]; then
+    echo "no ablation bins emit bench lines — baseline would thin" >&2
+    exit 1
+fi
+for bin in $ablation_bins; do
     cargo run -q --release -p ss-bench --bin "$bin" >"$ablation_out" 2>&1
     grep '^bench ' "$ablation_out" >>"$raw" || {
         echo "$bin produced no bench lines" >&2

@@ -49,6 +49,15 @@ enum Op {
         kids: usize,
         grands: usize,
     },
+    /// Same spawn tree as [`Op::Root`], but the children are submitted
+    /// with `DelegateContext::delegate_iter` (one routed batch) and each
+    /// child submits its grandchildren as a nested batch too — the batch
+    /// API must be order-indistinguishable from the loop of singles.
+    BatchRoot {
+        lane: usize,
+        kids: usize,
+        grands: usize,
+    },
     /// Delegate a *future-returning* root on `lane` that spawns `kids`
     /// future-returning child operations, waits on them in its delegate
     /// context, and whose own future the program context waits on.
@@ -65,6 +74,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         5 => (0..LANES, 0..4usize, 0..3usize)
             .prop_map(|(lane, kids, grands)| Op::Root { lane, kids, grands }),
+        3 => (0..LANES, 0..5usize, 0..3usize)
+            .prop_map(|(lane, kids, grands)| Op::BatchRoot { lane, kids, grands }),
         3 => (0..LANES, 0..4usize).prop_map(|(lane, kids)| Op::FutRoot { lane, kids }),
         2 => (0..LANES).prop_map(|lane| Op::Read { lane }),
         1 => any::<u64>().prop_map(|x| Op::Bump { x: x >> 1 }),
@@ -116,7 +127,9 @@ struct Outcome {
 }
 
 fn roots_in(ops: &[Op]) -> usize {
-    ops.iter().filter(|o| matches!(o, Op::Root { .. })).count()
+    ops.iter()
+        .filter(|o| matches!(o, Op::Root { .. } | Op::BatchRoot { .. }))
+        .count()
 }
 
 fn fut_roots_in(ops: &[Op]) -> usize {
@@ -143,7 +156,9 @@ fn interpret(ops: &[Op]) -> Outcome {
     let mut fr = 0usize;
     for op in ops {
         match *op {
-            Op::Root { lane, kids, grands } => {
+            // Batch submission must be semantically identical to the loop
+            // of singles, so the oracle does not distinguish them.
+            Op::Root { lane, kids, grands } | Op::BatchRoot { lane, kids, grands } => {
                 out.lanes[lane].push(root_id(r));
                 for j in 0..kids {
                     out.children[r].push(child_id(r, j));
@@ -244,6 +259,51 @@ fn run_parallel(
                                 })
                                 .unwrap();
                             }
+                        })
+                        .unwrap();
+                    })
+                    .unwrap();
+                r += 1;
+            }
+            Op::BatchRoot { lane, kids, grands } => {
+                let rt1 = rt.clone();
+                let child = child_objs[r].clone();
+                let grand = grand_objs[r].clone();
+                let cnt = counter.clone();
+                lanes[lane]
+                    .delegate(move |v| {
+                        v.push(root_id(r));
+                        rt1.delegate_scope(|cx| {
+                            let n = cx
+                                .delegate_iter(
+                                    &child,
+                                    (0..kids).map(|j| {
+                                        let rt2 = rt1.clone();
+                                        let grand2 = grand.clone();
+                                        let cnt2 = cnt.clone();
+                                        move |v: &mut Vec<u64>| {
+                                            v.push(child_id(r, j));
+                                            cnt2.view(|a| {
+                                                a.0 = a.0.wrapping_add(child_id(r, j));
+                                            })
+                                            .unwrap();
+                                            rt2.delegate_scope(|cx| {
+                                                cx.delegate_iter(
+                                                    &grand2,
+                                                    (0..grands).map(|k| {
+                                                        move |g: &mut u64| {
+                                                            *g = fold_grand(*g, grand_id(r, j, k));
+                                                        }
+                                                    }),
+                                                )
+                                                .unwrap();
+                                            })
+                                            .unwrap();
+                                        }
+                                    }),
+                                )
+                                .unwrap();
+                            assert_eq!(n, kids);
                         })
                         .unwrap();
                     })
@@ -406,10 +466,20 @@ fn fixed_deep_program_all_shapes() {
             kids: 1,
             grands: 2,
         },
+        Op::BatchRoot {
+            lane: 1,
+            kids: 4,
+            grands: 2,
+        },
         Op::Read { lane: 2 },
         Op::Root {
             lane: 2,
             kids: 2,
+            grands: 0,
+        },
+        Op::BatchRoot {
+            lane: 2,
+            kids: 0,
             grands: 0,
         },
     ];

@@ -18,6 +18,9 @@ use proptest::prelude::*;
 enum Op {
     /// Delegate `state = state * 31 + x` on object `obj`.
     Mutate { obj: usize, x: u64 },
+    /// Batch-delegate the same fold once per element of `xs` on object
+    /// `obj` via `delegate_iter` — one routed submission, whole-run FIFO.
+    MutateBatch { obj: usize, xs: Vec<u64> },
     /// Dependent read: program context reads the object (reclaim), folds the
     /// value into the program-side log.
     Read { obj: usize },
@@ -30,6 +33,10 @@ enum Op {
 fn op_strategy(k: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         8 => (0..k, any::<u64>()).prop_map(|(obj, x)| Op::Mutate { obj, x }),
+        // Sizes cover the empty batch (must be a no-op that doesn't even
+        // tag the object) through multi-operation runs.
+        3 => (0..k, proptest::collection::vec(any::<u64>(), 0..9))
+            .prop_map(|(obj, xs)| Op::MutateBatch { obj, xs }),
         2 => (0..k).prop_map(|obj| Op::Read { obj }),
         2 => any::<u64>().prop_map(|x| Op::Bump { x }),
         1 => Just(Op::EpochBoundary),
@@ -45,6 +52,11 @@ fn interpret(k: usize, ops: &[Op]) -> (Vec<u64>, u64, Vec<u64>) {
         match op {
             Op::Mutate { obj, x } => {
                 objects[*obj] = objects[*obj].wrapping_mul(31).wrapping_add(*x);
+            }
+            Op::MutateBatch { obj, xs } => {
+                for x in xs {
+                    objects[*obj] = objects[*obj].wrapping_mul(31).wrapping_add(*x);
+                }
             }
             Op::Read { obj } => read_log.push(objects[*obj]),
             Op::Bump { x } => counter = counter.wrapping_add(*x),
@@ -113,6 +125,16 @@ fn run_parallel(
                     .delegate(move |s| *s = s.wrapping_mul(31).wrapping_add(x))
                     .unwrap();
             }
+            Op::MutateBatch { obj, xs } => {
+                let n = objects[*obj]
+                    .delegate_iter(
+                        xs.clone()
+                            .into_iter()
+                            .map(|x| move |s: &mut u64| *s = s.wrapping_mul(31).wrapping_add(x)),
+                    )
+                    .unwrap();
+                assert_eq!(n, xs.len());
+            }
             Op::Read { obj } => {
                 // Dependent use: implicit ownership reclaim mid-epoch. Uses
                 // the non-const access path so the object stays in (or
@@ -161,6 +183,7 @@ proptest! {
             .into_iter()
             .map(|op| match op {
                 Op::Mutate { obj, x } => Op::Mutate { obj: obj % k, x },
+                Op::MutateBatch { obj, xs } => Op::MutateBatch { obj: obj % k, xs },
                 Op::Read { obj } => Op::Read { obj: obj % k },
                 other => other,
             })

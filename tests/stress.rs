@@ -583,3 +583,126 @@ fn runtime_handles_survive_wrapper_lifetimes() {
     assert_eq!(rt.stats().executed, 100);
     drop(rt);
 }
+
+/// Completion-cell pool stress: futures — waited, carried across epoch
+/// boundaries, and dropped unpolled — must all return their pooled cells
+/// at the `end_isolation` quiescence point. After a warmup epoch sizes
+/// the pool, `created` must stay flat across every later epoch (cells are
+/// reused, not re-allocated), the pool's own free/in-flight accounting
+/// must drain to zero in flight between epochs (no cell is lost, none is
+/// recycled twice into the free list), and runtime `in_flight` must be
+/// zero at the end.
+#[test]
+fn cell_pool_recycles_dropped_futures_across_epochs() {
+    const OBJS: usize = 24;
+    const EPOCHS: u64 = 12;
+    for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
+        let rt = Runtime::builder()
+            .delegate_threads(delegates_from_env(4))
+            .stealing(policy)
+            .build()
+            .unwrap();
+        let objs: Vec<Writable<u64, SequenceSerializer>> =
+            (0..OBJS).map(|_| Writable::new(&rt, 0)).collect();
+
+        // Warmup epoch: lets the pool grow to the epoch's working set.
+        rt.begin_isolation().unwrap();
+        for o in &objs {
+            drop(o.delegate_with(|n| {
+                *n += 1;
+                *n
+            }));
+        }
+        rt.end_isolation().unwrap();
+        let (free_after_warmup, in_flight_after_warmup, created_after_warmup) =
+            rt.cell_pool_stats();
+        assert_eq!(
+            in_flight_after_warmup, 0,
+            "{policy:?}: cells still in flight after warmup drain"
+        );
+        assert_eq!(
+            free_after_warmup as u64, created_after_warmup,
+            "{policy:?}: every created cell must be back on the free list"
+        );
+
+        // Cells released mid-epoch (carried futures dropped after the
+        // boundary) only become reusable at the *next* quiescence point,
+        // so the pool's working set grows through the first two carrying
+        // epochs and must then stay flat.
+        let mut created_steady = 0u64;
+        let mut carried: Vec<SsFuture<u64>> = Vec::new();
+        for epoch in 1..EPOCHS {
+            rt.begin_isolation().unwrap();
+            // Futures carried across the boundary were settled by the
+            // barrier; their cells stayed in flight until dropped here.
+            for f in carried.drain(..) {
+                assert!(f.is_ready(), "{policy:?}: future crossed epoch pending");
+                f.wait().unwrap();
+            }
+            for (i, o) in objs.iter().enumerate() {
+                let fut = o
+                    .delegate_with(|n| {
+                        *n += 1;
+                        *n
+                    })
+                    .unwrap();
+                // A third waited, a third carried across the boundary,
+                // a third dropped unpolled with the value never taken.
+                match i % 3 {
+                    0 => {
+                        assert_eq!(fut.wait().unwrap(), epoch + 1, "{policy:?}");
+                    }
+                    1 => carried.push(fut),
+                    _ => drop(fut),
+                }
+            }
+            rt.end_isolation().unwrap();
+
+            let (free, in_flight, created) = rt.cell_pool_stats();
+            // Cells for futures still held by `carried` legitimately stay
+            // in flight; everything else must have been recycled exactly
+            // once — the free/in-flight split accounts for every cell.
+            assert_eq!(
+                in_flight,
+                carried.len(),
+                "{policy:?}: epoch {epoch}: only carried futures may hold cells"
+            );
+            assert_eq!(
+                free + in_flight,
+                created as usize,
+                "{policy:?}: epoch {epoch}: pool lost or duplicated a cell"
+            );
+            if epoch <= 2 {
+                created_steady = created;
+                assert!(
+                    created >= created_after_warmup,
+                    "{policy:?}: created count went backwards"
+                );
+            } else {
+                assert_eq!(
+                    created, created_steady,
+                    "{policy:?}: epoch {epoch}: pool allocated new cells instead of reusing"
+                );
+            }
+        }
+        for f in carried.drain(..) {
+            f.wait().unwrap();
+        }
+        // One empty epoch: the cells the last carried futures just
+        // released get recycled at its quiescence point.
+        rt.begin_isolation().unwrap();
+        rt.end_isolation().unwrap();
+
+        for o in &objs {
+            assert_eq!(o.call(|n| *n).unwrap(), EPOCHS, "{policy:?}");
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.in_flight, 0, "{policy:?}: runtime leaked in_flight");
+        let (free, in_flight, created) = rt.cell_pool_stats();
+        assert_eq!(in_flight, 0, "{policy:?}: cells leaked after final drain");
+        assert_eq!(
+            free as u64, created,
+            "{policy:?}: final free-list does not account for every cell"
+        );
+    }
+}
