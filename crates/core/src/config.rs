@@ -12,9 +12,29 @@
 
 use std::sync::Arc;
 
+use crate::audit::AuditMode;
 use crate::runtime::{
     DelegateAssignment, EwmaCost, LeastLoaded, RoundRobinFirstTouch, StaticAssignment,
 };
+
+/// Deliberate runtime weakenings used to prove the serializability auditor
+/// has teeth (compiled only with the `chaos` feature; see
+/// `tests/audit_oracle.rs`). Each knob removes one safeguard the execution
+/// model depends on, in a way the auditor MUST catch.
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosKnobs {
+    /// Delegates swap the first two queued operations they pop in each
+    /// run of their ring — breaking per-set FIFO order.
+    pub reorder_drain: bool,
+    /// `sync_owner` returns immediately without flushing the owning
+    /// delegate's queue — an ownership reclaim without the fence.
+    pub skip_reclaim_fence: bool,
+    /// Steals migrate queued operations without re-pinning the set to the
+    /// thief, so later submits still route to the victim — the same set
+    /// executes on two delegates.
+    pub steal_no_repin: bool,
+}
 
 /// Factory closure for custom assignment policies (kept in an `Arc` so
 /// builders stay cloneable).
@@ -208,6 +228,9 @@ pub struct RuntimeBuilder {
     pub(crate) assignment: Assignment,
     pub(crate) stealing: StealPolicy,
     pub(crate) routing: RoutingMode,
+    pub(crate) audit: AuditMode,
+    #[cfg(feature = "chaos")]
+    pub(crate) chaos: ChaosKnobs,
 }
 
 impl Default for RuntimeBuilder {
@@ -224,6 +247,9 @@ impl Default for RuntimeBuilder {
             assignment: Assignment::Static,
             stealing: StealPolicy::Off,
             routing: RoutingMode::Sharded,
+            audit: AuditMode::Off,
+            #[cfg(feature = "chaos")]
+            chaos: ChaosKnobs::default(),
         }
     }
 }
@@ -344,6 +370,41 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the online serializability auditor: every submitted and
+    /// executed operation reports to a per-epoch conflict-graph checker,
+    /// and `end_isolation` either certifies the epoch serializable or
+    /// returns [`SsError::SerializabilityViolation`](crate::SsError)
+    /// naming the violating operation pair. Default
+    /// [`AuditMode::Off`](crate::AuditMode) (zero overhead — the auditor
+    /// is not constructed).
+    ///
+    /// ```
+    /// use ss_core::{AuditMode, Runtime, Writable};
+    /// let rt = Runtime::builder()
+    ///     .delegate_threads(2)
+    ///     .audit(AuditMode::Full)
+    ///     .build()
+    ///     .unwrap();
+    /// let w: Writable<u64> = Writable::new(&rt, 0);
+    /// rt.isolated(|| {
+    ///     for _ in 0..10 { w.delegate(|n| *n += 1).unwrap(); }
+    /// }).unwrap(); // epoch certified serializable
+    /// assert_eq!(rt.stats().epochs_audited, 1);
+    /// ```
+    pub fn audit(mut self, mode: crate::AuditMode) -> Self {
+        self.audit = mode;
+        self
+    }
+
+    /// Installs deliberate runtime weakenings (test-only `chaos`
+    /// feature). Exists solely so the audit test suite can prove the
+    /// auditor detects real violations; never enable outside tests.
+    #[cfg(feature = "chaos")]
+    pub fn chaos(mut self, knobs: ChaosKnobs) -> Self {
+        self.chaos = knobs;
+        self
+    }
+
     /// Enables execution tracing (§3.3's debug facility): the runtime
     /// records every model-level operation — epoch boundaries, delegations
     /// with their serialization set and executor, ownership reclaims,
@@ -372,6 +433,7 @@ mod tests {
         assert_eq!(b.mode, ExecutionMode::Parallel);
         assert_eq!(b.wait_policy, WaitPolicy::SpinPark);
         assert!(matches!(b.assignment, Assignment::Static));
+        assert_eq!(b.audit, AuditMode::Off);
     }
 
     #[test]

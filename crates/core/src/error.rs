@@ -5,6 +5,7 @@
 //! callers — in particular tests and the sequential debug mode — can assert
 //! on the exact violation.
 
+use crate::audit::AuditReport;
 use crate::serializer::SsId;
 use core::fmt;
 
@@ -106,6 +107,14 @@ pub enum SsError {
         /// Executor slot that attempted the access.
         accessor_slot: usize,
     },
+    /// The online serializability auditor
+    /// ([`RuntimeBuilder::audit`](crate::RuntimeBuilder::audit)) failed to
+    /// certify the epoch: the execution observed is not equivalent to any
+    /// per-set program-order serial execution. The report names the epoch,
+    /// the set, and the violating operation pair. Only reachable when the
+    /// runtime itself misbehaves (in this tree: under the `chaos`
+    /// weakened-runtime feature).
+    SerializabilityViolation(AuditReport),
 }
 
 impl fmt::Display for SsError {
@@ -189,6 +198,9 @@ impl fmt::Display for SsError {
                 "ownership-tracked pointer owned by executor {owner_slot} was accessed by \
                  executor {accessor_slot} in the same epoch"
             ),
+            SsError::SerializabilityViolation(report) => {
+                write!(f, "serializability audit failed: {report}")
+            }
         }
     }
 }

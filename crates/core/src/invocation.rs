@@ -150,6 +150,9 @@ pub(crate) enum Invocation {
         task: TaskSlot,
         /// Serialization set, kept for diagnostics/tracing.
         ss: SsId,
+        /// Serializability-audit tag (token + producer) drawn at submit,
+        /// or 0 when the epoch is not being audited.
+        audit: u64,
     },
     /// Synchronization object: signal the token and continue.
     Sync(Arc<SyncToken>),
@@ -245,6 +248,7 @@ mod tests {
         let inv = Invocation::Execute {
             task: TaskSlot::new(|| {}),
             ss: SsId(3),
+            audit: 0,
         };
         assert!(format!("{inv:?}").contains("SsId(3)"));
         assert_eq!(format!("{:?}", Invocation::Sync(SyncToken::new())), "Sync");

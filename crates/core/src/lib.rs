@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod cell;
 mod config;
 mod error;
@@ -75,6 +76,9 @@ mod stats;
 mod trace;
 mod wrappers;
 
+pub use audit::{AuditMode, AuditReport, AuditViolation};
+#[cfg(feature = "chaos")]
+pub use config::ChaosKnobs;
 pub use config::{Assignment, ExecutionMode, RoutingMode, RuntimeBuilder, StealPolicy, WaitPolicy};
 pub use error::{SsError, SsResult};
 pub use future::SsFuture;

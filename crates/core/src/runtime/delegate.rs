@@ -147,6 +147,11 @@ struct DeferredEntry {
     origin: Origin,
 }
 
+/// A ring entry deliberately held back by the chaos `reorder_drain`
+/// weakening, waiting for the next entry to overtake it.
+#[cfg(feature = "chaos")]
+type ChaosHold = (TaskSlot, SsId, u64);
+
 /// Raw handles onto the queue the owning delegate thread pops from.
 /// Pointers into `delegate_main{,_stealing}`'s stack frame; valid for the
 /// lifetime of the installed [`HelpState`] (the loops uninstall before
@@ -260,7 +265,7 @@ const COST_SAMPLE_CAP: usize = 4096;
 /// (`Core::cost_samples` present), the operation's wall time is recorded
 /// into this delegate's sample buffer — an uncontended mutex push, off
 /// unless a cost-aware policy (e.g. `EwmaCost`) is active.
-fn execute_op(core: &Core, idx: usize, ss: SsId, task: TaskSlot, origin: Origin) {
+fn execute_op(core: &Core, idx: usize, ss: SsId, task: TaskSlot, audit: u64, origin: Origin) {
     HELP.with(|h| {
         if let Some(s) = h.borrow_mut().as_mut() {
             s.active.push(ss.0);
@@ -268,6 +273,10 @@ fn execute_op(core: &Core, idx: usize, ss: SsId, task: TaskSlot, origin: Origin)
     });
     let timer = core.cost_samples.is_some().then(std::time::Instant::now);
     task.run();
+    // Audit record lands *before* the drain counters settle below, so the
+    // epoch barrier's token/`in_flight` drain proves every record of the
+    // epoch has been delivered by the time the auditor closes it.
+    core.audit_exec(ss, audit, 1 + idx);
     if let (Some(buffers), Some(t0)) = (&core.cost_samples, timer) {
         let mut buffer = buffers[idx].lock();
         if buffer.len() < COST_SAMPLE_CAP {
@@ -307,10 +316,10 @@ fn help_one(rt_id: u64) -> bool {
     // the owning thread.
     let core = unsafe { &*core };
     if let Some(d) = deferred_take_runnable() {
-        let Invocation::Execute { task, ss } = d.inv else {
+        let Invocation::Execute { task, ss, audit } = d.inv else {
             unreachable!("deferred_take_runnable only returns Execute entries");
         };
-        execute_op(core, idx, ss, task, d.origin);
+        execute_op(core, idx, ss, task, audit, d.origin);
         return true;
     }
     loop {
@@ -336,8 +345,8 @@ fn help_one(rt_id: u64) -> bool {
             return false;
         };
         match inv {
-            Invocation::Execute { task, ss } if !active_contains(ss.0) => {
-                execute_op(core, idx, ss, task, origin);
+            Invocation::Execute { task, ss, audit } if !active_contains(ss.0) => {
+                execute_op(core, idx, ss, task, audit, origin);
                 return true;
             }
             inv => deferred_push_back(DeferredEntry { inv, origin }),
@@ -496,6 +505,21 @@ pub(super) fn delegate_main(
         deferred: VecDeque::new(),
     });
     let backoff = ss_queue::Backoff::new();
+    // Chaos `reorder_drain`: at most one ring entry is held back so its
+    // successor overtakes it — an adjacent swap in the drain order. The
+    // hold is flushed before any token is signaled (and before the ring
+    // goes idle), so barrier drains still cover every operation; only the
+    // per-set FIFO order is weakened.
+    #[cfg(feature = "chaos")]
+    let mut chaos_hold: Option<ChaosHold> = None;
+    #[cfg(feature = "chaos")]
+    macro_rules! chaos_flush {
+        () => {
+            if let Some((task, ss, audit)) = chaos_hold.take() {
+                execute_op(&core, idx as usize, ss, task, audit, Origin::Ring);
+            }
+        };
+    }
     loop {
         // Entries a nested future wait deferred come first: they were
         // popped before anything still queued, and the active stack is
@@ -505,11 +529,17 @@ pub(super) fn delegate_main(
         if let Some(d) = deferred_pop_front() {
             backoff.reset();
             match d.inv {
-                Invocation::Execute { task, ss } => {
-                    execute_op(&core, idx as usize, ss, task, d.origin)
+                Invocation::Execute { task, ss, audit } => {
+                    execute_op(&core, idx as usize, ss, task, audit, d.origin)
                 }
-                Invocation::Sync(token) => token.signal(),
+                Invocation::Sync(token) => {
+                    #[cfg(feature = "chaos")]
+                    chaos_flush!();
+                    token.signal()
+                }
                 Invocation::Terminate(token) => {
+                    #[cfg(feature = "chaos")]
+                    chaos_flush!();
                     token.signal();
                     break;
                 }
@@ -520,18 +550,48 @@ pub(super) fn delegate_main(
             Pop::Value(inv) => {
                 backoff.reset();
                 match inv {
-                    Invocation::Execute { task, ss } => {
-                        execute_op(&core, idx as usize, ss, task, Origin::Ring)
+                    Invocation::Execute { task, ss, audit } => {
+                        #[cfg(feature = "chaos")]
+                        let (task, ss, audit) = if core.chaos_reorder_drain() {
+                            match chaos_hold.take() {
+                                // A predecessor is parked: run the newer
+                                // entry now and let the older one fall
+                                // through below — the swap is complete.
+                                Some(held) => {
+                                    execute_op(&core, idx as usize, ss, task, audit, Origin::Ring);
+                                    held
+                                }
+                                None => {
+                                    chaos_hold = Some((task, ss, audit));
+                                    continue;
+                                }
+                            }
+                        } else {
+                            (task, ss, audit)
+                        };
+                        execute_op(&core, idx as usize, ss, task, audit, Origin::Ring)
                     }
-                    Invocation::Sync(token) => token.signal(),
+                    Invocation::Sync(token) => {
+                        #[cfg(feature = "chaos")]
+                        chaos_flush!();
+                        token.signal()
+                    }
                     Invocation::Terminate(token) => {
+                        #[cfg(feature = "chaos")]
+                        chaos_flush!();
                         token.signal();
                         break;
                     }
                 }
             }
-            Pop::Disconnected => break,
+            Pop::Disconnected => {
+                #[cfg(feature = "chaos")]
+                chaos_flush!();
+                break;
+            }
             Pop::Empty => {
+                #[cfg(feature = "chaos")]
+                chaos_flush!();
                 // Ring dry: drain the multi-producer injector lane, where
                 // nested delegations from other delegate threads land.
                 // Lane operations carry their own `in_flight` count (the
@@ -540,8 +600,8 @@ pub(super) fn delegate_main(
                 if let Some(inv) = consumer.try_pop_injected() {
                     backoff.reset();
                     match inv {
-                        Invocation::Execute { task, ss } => {
-                            execute_op(&core, idx as usize, ss, task, Origin::Injected)
+                        Invocation::Execute { task, ss, audit } => {
+                            execute_op(&core, idx as usize, ss, task, audit, Origin::Injected)
                         }
                         Invocation::Sync(token) => token.signal(),
                         Invocation::Terminate(token) => {
@@ -608,7 +668,9 @@ pub(super) fn delegate_main_stealing(
         while let Some(d) = deferred_pop_front() {
             backoff.reset();
             match d.inv {
-                Invocation::Execute { task, ss } => execute_op(&core, me, ss, task, d.origin),
+                Invocation::Execute { task, ss, audit } => {
+                    execute_op(&core, me, ss, task, audit, d.origin)
+                }
                 Invocation::Sync(token) => token.signal(),
                 Invocation::Terminate(token) => {
                     token.signal();
@@ -622,11 +684,11 @@ pub(super) fn delegate_main_stealing(
         while let Some((_tag, inv)) = deque.pop() {
             backoff.reset();
             match inv {
-                Invocation::Execute { task, ss } => {
+                Invocation::Execute { task, ss, audit } => {
                     // The Release inside pairs with the barrier's Acquire
                     // load: `in_flight == 0` must imply every operation's
                     // effects are visible to the program thread.
-                    execute_op(&core, me, ss, task, Origin::Deque);
+                    execute_op(&core, me, ss, task, audit, Origin::Deque);
                     // A nested wait inside the op may have deferred
                     // entries; surface them before draining further.
                     if HELP.with(|h| h.borrow().as_ref().is_some_and(|s| !s.deferred.is_empty())) {
@@ -730,6 +792,29 @@ fn try_steal(
     let chosen = candidates.split_off(keep);
     let serial = core.epoch_serial.load(Ordering::Acquire);
     let mut batch: Vec<(u64, Invocation)> = Vec::new();
+    // Chaos `steal_no_repin`: skip phase 2 entirely — lift the chosen
+    // batches straight out of the victim's deque without validating or
+    // rewriting their pins. Later submits of a stolen set keep routing to
+    // the victim while its stolen prefix runs here: exactly the
+    // two-executor overlap the auditor must catch.
+    #[cfg(feature = "chaos")]
+    if core.chaos_steal_no_repin() {
+        let taken = shared.deques[victim].steal_keys_into(&chosen, &mut batch);
+        if !batch.is_empty() {
+            core.stats.queue_depths[me].fetch_add(batch.len() as u64, Ordering::Relaxed);
+            core.stats.queue_depths[victim].fetch_sub(batch.len() as u64, Ordering::Relaxed);
+            shared.deques[me].extend_keyed(std::mem::take(&mut batch));
+        }
+        record_steal_events(core, serial, &taken, me);
+        if taken.is_empty() {
+            stale_at[victim] = Some(victim_pushes);
+            StatsCell::bump(&core.stats.steal_failures);
+            return false;
+        }
+        stale_at[victim] = None;
+        StatsCell::bump(&core.stats.steals);
+        return true;
+    }
     // Phase 2: validate pins and migrate under the keys' shard locks.
     let taken_keys = router.migrate_keys(
         serial,

@@ -45,6 +45,19 @@ use super::assign::StealShared;
 use super::router::Route;
 use super::{Channels, DelegateLoads, Executor, Runtime};
 
+/// Audit tag of the k-th operation in a batch whose first tag is `base`
+/// (an unaudited batch's 0 stays 0). Batch tokens are consecutive, and the
+/// producer lives in the low 16 bits, so the k-th token is `base + k`
+/// shifted into the token field.
+#[inline]
+fn batch_tag(base: u64, k: u64) -> u64 {
+    if base == 0 {
+        0
+    } else {
+        base + (k << 16)
+    }
+}
+
 /// Which context a routing decision was made from — decides where its
 /// fresh-pin trace event goes (program-order log vs side-event buffer).
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -174,7 +187,16 @@ impl Runtime {
         }
         let executor = self.executor_for(ss);
         match executor {
-            Executor::Program => self.run_inline(task)?,
+            Executor::Program => {
+                // Audit tag drawn immediately before the inline run, so
+                // per-producer token order equals execution order.
+                let audit = self.inner.core.audit_submit(ss, 0);
+                if let Err(e) = self.run_inline(task) {
+                    self.inner.core.audit_unsubmit(ss, audit, 1);
+                    return Err(e);
+                }
+                self.inner.core.audit_exec(ss, audit, 0);
+            }
             Executor::Delegate(i) => {
                 // Raise the depth before publishing so a LeastLoaded
                 // assignment racing with this submit sees the queue grow.
@@ -185,10 +207,12 @@ impl Runtime {
                 // SAFETY: producers are program-thread-only; wrappers
                 // verified the calling context.
                 let producer = unsafe { producers[i].get() };
+                let audit = self.inner.core.audit_submit(ss, 0);
                 if producer
-                    .push_blocking(Invocation::Execute { task, ss })
+                    .push_blocking(Invocation::Execute { task, ss, audit })
                     .is_err()
                 {
+                    self.inner.core.audit_unsubmit(ss, audit, 1);
                     self.inner.core.stats.queue_depths[i].fetch_sub(1, Ordering::Relaxed);
                     return Err(SsError::Terminated);
                 }
@@ -209,6 +233,7 @@ impl Runtime {
         &self,
         shared: &StealShared,
         ss: SsId,
+        producer: usize,
         task: &mut Option<TaskSlot>,
         executor: Executor,
     ) {
@@ -220,7 +245,8 @@ impl Runtime {
         stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
         stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let task = task.take().expect("task consumed once");
-        shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss });
+        let audit = self.inner.core.audit_submit(ss, producer);
+        shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss, audit });
         // Shard lock released after route_publish returns: the push is
         // visible before any steal can re-route the set.
     }
@@ -244,12 +270,18 @@ impl Runtime {
             .inner
             .router
             .route_publish(ss, serial, &self.loads(), |executor| {
-                self.publish_stealing(shared, ss, &mut task, executor)
+                self.publish_stealing(shared, ss, 0, &mut task, executor)
             });
         self.note_route(&route, ss, RouteSite::Program);
         match route.executor {
             Executor::Program => {
-                self.run_inline(task.take().expect("program-bound task unconsumed"))?
+                let task = task.take().expect("program-bound task unconsumed");
+                let audit = self.inner.core.audit_submit(ss, 0);
+                if let Err(e) = self.run_inline(task) {
+                    self.inner.core.audit_unsubmit(ss, audit, 1);
+                    return Err(e);
+                }
+                self.inner.core.audit_exec(ss, audit, 0);
             }
             Executor::Delegate(i) => {
                 self.inner.wakeups[i].notify();
@@ -274,14 +306,16 @@ impl Runtime {
     pub(crate) fn submit_nested(&self, ss: SsId, task: TaskSlot) -> SsResult<Executor> {
         self.check_live()?;
         self.note_task(&task);
-        match self.current_executor_slot() {
-            Some(slot) if slot >= 1 => {}
+        let producer = match self.current_executor_slot() {
+            Some(slot) if slot >= 1 => slot,
             _ => return Err(SsError::WrongContext),
-        }
+        };
         let serial = self.cross_epoch_serial();
         match &self.inner.channels {
-            Channels::Steal(shared) => self.submit_nested_stealing(shared, ss, serial, task),
-            Channels::Spsc { .. } => self.submit_nested_mpsc(ss, serial, task),
+            Channels::Steal(shared) => {
+                self.submit_nested_stealing(shared, ss, serial, producer, task)
+            }
+            Channels::Spsc { .. } => self.submit_nested_mpsc(ss, serial, producer, task),
         }
     }
 
@@ -290,7 +324,13 @@ impl Runtime {
     /// pin mid-epoch), then push into the owner's injector lane
     /// (unbounded — a nested push must never block on a full ring, or
     /// two delegates pushing into each other's queues could deadlock).
-    fn submit_nested_mpsc(&self, ss: SsId, serial: u64, task: TaskSlot) -> SsResult<Executor> {
+    fn submit_nested_mpsc(
+        &self,
+        ss: SsId,
+        serial: u64,
+        producer: usize,
+        task: TaskSlot,
+    ) -> SsResult<Executor> {
         let route = self.inner.router.route(ss, serial, &self.loads());
         self.note_route(&route, ss, RouteSite::Nested);
         let Executor::Delegate(i) = route.executor else {
@@ -306,7 +346,12 @@ impl Runtime {
         // counted only via its queue token, so the child must carry its
         // own count from birth).
         stats.in_flight.fetch_add(1, Ordering::Relaxed);
-        if injectors[i].push(Invocation::Execute { task, ss }).is_err() {
+        let audit = self.inner.core.audit_submit(ss, producer);
+        if injectors[i]
+            .push(Invocation::Execute { task, ss, audit })
+            .is_err()
+        {
+            self.inner.core.audit_unsubmit(ss, audit, 1);
             stats.queue_depths[i].fetch_sub(1, Ordering::Relaxed);
             stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             return Err(SsError::Terminated);
@@ -327,6 +372,7 @@ impl Runtime {
         shared: &StealShared,
         ss: SsId,
         serial: u64,
+        producer: usize,
         task: TaskSlot,
     ) -> SsResult<Executor> {
         let mut task = Some(task);
@@ -334,7 +380,7 @@ impl Runtime {
             .inner
             .router
             .route_publish(ss, serial, &self.loads(), |executor| {
-                self.publish_stealing(shared, ss, &mut task, executor)
+                self.publish_stealing(shared, ss, producer, &mut task, executor)
             });
         self.note_route(&route, ss, RouteSite::Nested);
         let Executor::Delegate(i) = route.executor else {
@@ -379,7 +425,10 @@ impl Runtime {
         }
         let executor = self.executor_for(ss);
         match executor {
-            Executor::Program => self.run_inline_batch(tasks)?,
+            Executor::Program => {
+                let base = self.inner.core.audit_submit_batch(ss, 0, n);
+                self.run_inline_batch(ss, base, tasks)?
+            }
             Executor::Delegate(i) => {
                 let stats = &self.inner.core.stats;
                 stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
@@ -389,17 +438,20 @@ impl Runtime {
                 // SAFETY: producers are program-thread-only; wrappers
                 // verified the calling context.
                 let producer = unsafe { producers[i].get() };
-                let pushed = match producer.push_batch(
-                    tasks
-                        .into_iter()
-                        .map(|task| Invocation::Execute { task, ss }),
-                ) {
+                let base = self.inner.core.audit_submit_batch(ss, 0, n);
+                let mut k = 0u64;
+                let pushed = match producer.push_batch(tasks.into_iter().map(|task| {
+                    let audit = batch_tag(base, k);
+                    k += 1;
+                    Invocation::Execute { task, ss, audit }
+                })) {
                     Ok(pushed) => pushed,
                     Err(pushed) => {
                         // The unpushed remainder never executes; what did
                         // land still will (the consumer disconnects only
                         // after draining), so it keeps its accounting.
                         let lost = (n - pushed) as u64;
+                        self.inner.core.audit_unsubmit(ss, base, n - pushed);
                         stats.queue_depths[i].fetch_sub(lost, Ordering::Relaxed);
                         stats
                             .delegations
@@ -417,13 +469,22 @@ impl Runtime {
     }
 
     /// Runs a program-bound batch inline, in order. On error the failed
-    /// task and the rest of the batch are dropped unrun and counted.
-    fn run_inline_batch(&self, tasks: Vec<TaskSlot>) -> Result<(), (SsError, usize)> {
+    /// task and the rest of the batch are dropped unrun and counted (and
+    /// their audit tokens rolled back). `base` is the batch's first audit
+    /// tag (0 when the epoch is unaudited).
+    fn run_inline_batch(
+        &self,
+        ss: SsId,
+        base: u64,
+        tasks: Vec<TaskSlot>,
+    ) -> Result<(), (SsError, usize)> {
         let mut remaining = tasks.len();
-        for task in tasks {
+        for (k, task) in tasks.into_iter().enumerate() {
             if let Err(e) = self.run_inline(task) {
+                self.inner.core.audit_unsubmit(ss, base, remaining);
                 return Err((e, remaining));
             }
+            self.inner.core.audit_exec(ss, batch_tag(base, k as u64), 0);
             remaining -= 1;
         }
         Ok(())
@@ -456,17 +517,23 @@ impl Runtime {
                 let stats = &self.inner.core.stats;
                 stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
                 stats.in_flight.fetch_add(n as u64, Ordering::Relaxed);
+                let base = self.inner.core.audit_submit_batch(ss, 0, n);
+                let mut k = 0u64;
                 shared.deques[i].push_keyed_batch(
                     ss.0,
-                    batch
-                        .into_iter()
-                        .map(|task| Invocation::Execute { task, ss }),
+                    batch.into_iter().map(|task| {
+                        let audit = batch_tag(base, k);
+                        k += 1;
+                        Invocation::Execute { task, ss, audit }
+                    }),
                 );
             });
         self.note_route(&route, ss, RouteSite::Program);
         match route.executor {
             Executor::Program => {
-                self.run_inline_batch(tasks.take().expect("program-bound batch unconsumed"))?
+                let batch = tasks.take().expect("program-bound batch unconsumed");
+                let base = self.inner.core.audit_submit_batch(ss, 0, n);
+                self.run_inline_batch(ss, base, batch)?
             }
             Executor::Delegate(i) => {
                 self.inner.wakeups[i].notify();
@@ -492,15 +559,17 @@ impl Runtime {
         if let Err(e) = self.check_live() {
             return Err((e, n));
         }
-        match self.current_executor_slot() {
-            Some(slot) if slot >= 1 => {}
+        let producer = match self.current_executor_slot() {
+            Some(slot) if slot >= 1 => slot,
             _ => return Err((SsError::WrongContext, n)),
-        }
+        };
         self.note_tasks(&tasks);
         let serial = self.cross_epoch_serial();
         match &self.inner.channels {
-            Channels::Steal(shared) => self.submit_nested_batch_stealing(shared, ss, serial, tasks),
-            Channels::Spsc { .. } => self.submit_nested_batch_mpsc(ss, serial, tasks),
+            Channels::Steal(shared) => {
+                self.submit_nested_batch_stealing(shared, ss, serial, producer, tasks)
+            }
+            Channels::Spsc { .. } => self.submit_nested_batch_mpsc(ss, serial, producer, tasks),
         }
     }
 
@@ -512,6 +581,7 @@ impl Runtime {
         &self,
         ss: SsId,
         serial: u64,
+        producer: usize,
         tasks: Vec<TaskSlot>,
     ) -> Result<Executor, (SsError, usize)> {
         let n = tasks.len();
@@ -526,15 +596,18 @@ impl Runtime {
         let stats = &self.inner.core.stats;
         stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
         stats.in_flight.fetch_add(n as u64, Ordering::Relaxed);
+        let base = self.inner.core.audit_submit_batch(ss, producer, n);
+        let mut k = 0u64;
         if injectors[i]
-            .push_batch(
-                tasks
-                    .into_iter()
-                    .map(|task| Invocation::Execute { task, ss }),
-            )
+            .push_batch(tasks.into_iter().map(|task| {
+                let audit = batch_tag(base, k);
+                k += 1;
+                Invocation::Execute { task, ss, audit }
+            }))
             .is_none()
         {
             // The injector rejects batches all-or-nothing (one lock).
+            self.inner.core.audit_unsubmit(ss, base, n);
             stats.queue_depths[i].fetch_sub(n as u64, Ordering::Relaxed);
             stats.in_flight.fetch_sub(n as u64, Ordering::Relaxed);
             return Err((SsError::Terminated, n));
@@ -555,6 +628,7 @@ impl Runtime {
         shared: &StealShared,
         ss: SsId,
         serial: u64,
+        producer: usize,
         tasks: Vec<TaskSlot>,
     ) -> Result<Executor, (SsError, usize)> {
         let n = tasks.len();
@@ -570,11 +644,15 @@ impl Runtime {
                 let stats = &self.inner.core.stats;
                 stats.queue_depths[i].fetch_add(n as u64, Ordering::Relaxed);
                 stats.in_flight.fetch_add(n as u64, Ordering::Relaxed);
+                let base = self.inner.core.audit_submit_batch(ss, producer, n);
+                let mut k = 0u64;
                 shared.deques[i].push_keyed_batch(
                     ss.0,
-                    batch
-                        .into_iter()
-                        .map(|task| Invocation::Execute { task, ss }),
+                    batch.into_iter().map(|task| {
+                        let audit = batch_tag(base, k);
+                        k += 1;
+                        Invocation::Execute { task, ss, audit }
+                    }),
                 );
             });
         self.note_route(&route, ss, RouteSite::Nested);
@@ -617,6 +695,12 @@ impl Runtime {
     /// roots, and it is here.)
     pub(crate) fn sync_owner(&self, owner: Executor, ss: Option<SsId>) -> SsResult<Executor> {
         self.check_live()?;
+        if self.inner.core.chaos_skip_reclaim_fence() {
+            // chaos weakening: claim the reclaim succeeded without
+            // flushing anything. The auditor's access gate (which runs
+            // before the caller touches the value) must catch this.
+            return Ok(owner);
+        }
         if self.nested_epoch_active() {
             self.barrier_all_delegates();
             return Ok(owner);

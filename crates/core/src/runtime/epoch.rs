@@ -74,6 +74,10 @@ impl Runtime {
             .core
             .epoch_serial
             .store(epoch.serial, Ordering::Release);
+        // Runtime is quiesced here (no delegated work from the previous
+        // epoch survives the barrier), so the auditor's sampling decision
+        // is published before any event of this epoch can be recorded.
+        self.inner.core.audit_begin_epoch(epoch.serial);
         self.inner.epoch_gen.fetch_add(1, Ordering::Release); // → odd
         self.trace_record(TraceKind::BeginIsolation, None, None, None);
         Ok(())
@@ -122,6 +126,10 @@ impl Runtime {
             .core
             .nested_in_epoch
             .store(false, Ordering::Release);
+        // After the barrier every execution record of the epoch has been
+        // delivered (audit records land before the drain counters/tokens
+        // they are proven by), so the conservation check is exact.
+        let audit_failure = self.inner.core.audit_end_epoch();
         {
             // SAFETY: program thread; scoped.
             let epoch = unsafe { self.inner.epoch.get() };
@@ -136,6 +144,9 @@ impl Runtime {
         self.trace_record(TraceKind::EndIsolation, None, None, None);
         if self.is_poisoned() {
             return Err(self.inner.core.poison_error());
+        }
+        if let Some(report) = audit_failure {
+            return Err(SsError::SerializabilityViolation(report));
         }
         Ok(())
     }

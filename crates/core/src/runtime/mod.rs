@@ -72,7 +72,10 @@ use ss_queue::{Injector, Producer, SpscQueue};
 use delegate::{delegate_main, delegate_main_stealing, Wakeup, DELEGATE_CTX};
 use epoch::EpochState;
 
+use crate::audit::{AuditMode, AuditReport, AuditState};
 use crate::cell::ProgramOnly;
+#[cfg(feature = "chaos")]
+use crate::config::ChaosKnobs;
 use crate::config::{ExecutionMode, RuntimeBuilder, StealPolicy};
 use crate::error::{SsError, SsResult};
 use crate::invocation::{Invocation, SyncToken};
@@ -134,6 +137,14 @@ pub(crate) struct Core {
     /// quiescence point the pool's reuse contract requires (see
     /// `ss_queue::slab`).
     pub(crate) cell_pool: CellPool,
+    /// The online serializability auditor, present only when
+    /// [`RuntimeBuilder::audit`](crate::RuntimeBuilder::audit) selected a
+    /// mode other than `Off` — the `None` fast path keeps the default
+    /// hot path free of audit atomics.
+    pub(crate) audit: Option<AuditState>,
+    /// Deliberate runtime weakenings (test-only `chaos` feature).
+    #[cfg(feature = "chaos")]
+    pub(crate) chaos: ChaosKnobs,
 }
 
 /// One registered blocked future wait: the waited-on serialization set, a
@@ -164,6 +175,134 @@ impl Core {
             .clone()
             .unwrap_or_else(|| "<unknown panic>".to_string());
         SsError::DelegatePanicked(msg)
+    }
+
+    // --------------------------------------------------------------
+    // serializability audit (no-ops when auditing is off)
+
+    /// Draws an audit token for one operation being pushed by `producer`
+    /// (0 = program thread, `1 + i` = delegate `i`). Must be called on
+    /// the producing thread immediately before the queue push / inline
+    /// run so per-producer token order equals queue order. Returns 0
+    /// when unaudited.
+    #[inline]
+    pub(crate) fn audit_submit(&self, ss: SsId, producer: usize) -> u64 {
+        match &self.audit {
+            Some(a) if a.active() => a.submit(
+                ss,
+                producer as u16,
+                self.epoch_serial.load(Ordering::Acquire),
+            ),
+            _ => 0,
+        }
+    }
+
+    /// Batch form of [`audit_submit`](Core::audit_submit): draws `n`
+    /// consecutive tokens, returning the first tag (the k-th op's tag is
+    /// `base + (k << 16)`); 0 when unaudited.
+    #[inline]
+    pub(crate) fn audit_submit_batch(&self, ss: SsId, producer: usize, n: usize) -> u64 {
+        match &self.audit {
+            Some(a) if a.active() => a.submit_batch(
+                ss,
+                producer as u16,
+                n as u64,
+                self.epoch_serial.load(Ordering::Acquire),
+            ),
+            _ => 0,
+        }
+    }
+
+    /// Rolls back `n` consecutive tagged submissions starting at `tag`
+    /// (the queue push failed after the tokens were drawn). No-op when
+    /// `tag` is 0.
+    #[inline]
+    pub(crate) fn audit_unsubmit(&self, ss: SsId, tag: u64, n: usize) {
+        if tag == 0 {
+            return;
+        }
+        if let Some(a) = &self.audit {
+            a.unsubmit(ss, tag, n as u64, self.epoch_serial.load(Ordering::Acquire));
+        }
+    }
+
+    /// Records the execution of operation `tag` on executor `slot`
+    /// (0 = program thread, `1 + i` = delegate `i`). Call right after the
+    /// task body runs, *before* the drain counters are decremented, so
+    /// every epoch-barrier drain proof covers the audit record too.
+    #[inline]
+    pub(crate) fn audit_exec(&self, ss: SsId, tag: u64, slot: usize) {
+        if tag == 0 {
+            return;
+        }
+        if let Some(a) = &self.audit {
+            a.exec(ss, tag, slot, self.epoch_serial.load(Ordering::Acquire));
+        }
+    }
+
+    /// The ownership-reclaim gate: certifies every program-submitted
+    /// operation of `ss` has executed and stamps a reclaim barrier.
+    /// Returns the violation, if any, so the caller can refuse the
+    /// access before touching the value.
+    #[inline]
+    pub(crate) fn audit_access_gate(&self, ss: SsId) -> Option<AuditReport> {
+        match &self.audit {
+            Some(a) if a.active() => a.access_gate(ss, self.epoch_serial.load(Ordering::Acquire)),
+            _ => None,
+        }
+    }
+
+    /// Opens an audit epoch (called from `begin_isolation`, quiesced).
+    #[inline]
+    pub(crate) fn audit_begin_epoch(&self, serial: u64) {
+        if let Some(a) = &self.audit {
+            a.begin_epoch(serial);
+        }
+    }
+
+    /// Closes the audit epoch after the `end_isolation` barrier: runs the
+    /// conservation check, clears the graph, bumps `epochs_audited`, and
+    /// returns the first violation (if any).
+    #[inline]
+    pub(crate) fn audit_end_epoch(&self) -> Option<AuditReport> {
+        let a = self.audit.as_ref()?;
+        let (was_on, violation) = a.end_epoch(self.epoch_serial.load(Ordering::Acquire));
+        if was_on {
+            StatsCell::bump(&self.stats.epochs_audited);
+        }
+        violation
+    }
+
+    // --------------------------------------------------------------
+    // chaos knobs (compiled out without the `chaos` feature)
+
+    /// Whether delegates deliberately reorder their ring drains. (Only
+    /// called from chaos-gated code, unlike the fence knob below, so the
+    /// accessor itself is compiled out.)
+    #[cfg(feature = "chaos")]
+    #[inline(always)]
+    pub(crate) fn chaos_reorder_drain(&self) -> bool {
+        self.chaos.reorder_drain
+    }
+
+    /// Whether `sync_owner` deliberately skips the reclaim fence.
+    #[inline(always)]
+    pub(crate) fn chaos_skip_reclaim_fence(&self) -> bool {
+        #[cfg(feature = "chaos")]
+        {
+            self.chaos.skip_reclaim_fence
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            false
+        }
+    }
+
+    /// Whether steals deliberately skip re-pinning the stolen set.
+    #[cfg(feature = "chaos")]
+    #[inline(always)]
+    pub(crate) fn chaos_steal_no_repin(&self) -> bool {
+        self.chaos.steal_no_repin
     }
 
     /// Records one delegate-side trace event directly against the shared
@@ -349,6 +488,9 @@ impl Runtime {
             cost_samples: wants_cost_feedback
                 .then(|| (0..n_delegates).map(|_| Mutex::new(Vec::new())).collect()),
             cell_pool: CellPool::new(),
+            audit: (b.audit != AuditMode::Off).then(|| AuditState::new(b.audit)),
+            #[cfg(feature = "chaos")]
+            chaos: b.chaos,
         });
         let force_sleep = Arc::new(AtomicBool::new(false));
 
@@ -502,7 +644,29 @@ impl Runtime {
     /// Instrumentation snapshot (Figure 5a components, operation counts and
     /// per-delegate load).
     pub fn stats(&self) -> Stats {
-        self.inner.core.stats.snapshot(self.inner.started_at)
+        let mut s = self.inner.core.stats.snapshot(self.inner.started_at);
+        if let Some(a) = &self.inner.core.audit {
+            s.audit_edges = a.edges();
+        }
+        s
+    }
+
+    /// The serializability-audit mode this runtime was built with
+    /// ([`AuditMode::Off`] when auditing is disabled).
+    pub fn audit_mode(&self) -> AuditMode {
+        self.inner
+            .core
+            .audit
+            .as_ref()
+            .map_or(AuditMode::Off, |a| a.mode())
+    }
+
+    /// Number of serialization sets the auditor is currently tracking —
+    /// the live conflict-graph size. Bounded by a fixed cap regardless of
+    /// how many distinct sets an epoch touches (sets beyond the cap go
+    /// untracked); 0 when auditing is off and after every `end_isolation`.
+    pub fn audit_graph_size(&self) -> usize {
+        self.inner.core.audit.as_ref().map_or(0, |a| a.graph_size())
     }
 
     /// Diagnostic view of the completion-cell pool backing the

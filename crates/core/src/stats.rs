@@ -54,6 +54,9 @@ pub(crate) struct StatsCell {
     /// depths can transiently hide an in-flight batch from a non-atomic
     /// multi-counter scan).
     pub in_flight: AtomicU64,
+    /// Isolation epochs certified (or condemned) by the serializability
+    /// auditor.
+    pub epochs_audited: AtomicU64,
     /// Per-delegate count of enqueued-or-executing operations.
     pub queue_depths: Box<[AtomicU64]>,
     /// Per-delegate count of completed operations.
@@ -87,6 +90,7 @@ impl StatsCell {
             steals: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            epochs_audited: AtomicU64::new(0),
             queue_depths: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
             delegate_executed: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -121,6 +125,10 @@ impl StatsCell {
             steals: self.steals.load(Ordering::Relaxed),
             steal_failures: self.steal_failures.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Acquire),
+            epochs_audited: self.epochs_audited.load(Ordering::Relaxed),
+            // Patched in by Runtime::stats from the auditor's own counter
+            // (the auditor lives outside this cell); 0 when auditing is off.
+            audit_edges: 0,
             queue_depths: self
                 .queue_depths
                 .iter()
@@ -212,6 +220,17 @@ pub struct Stats {
     /// makes dropped futures leak-free — their operations still run and
     /// still settle their cells before the counter reaches zero.
     pub in_flight: u64,
+    /// Isolation epochs the serializability auditor actually audited
+    /// (certified serializable, or condemned). Equal to
+    /// [`isolation_epochs`](Stats::isolation_epochs) under
+    /// [`AuditMode::Full`](crate::AuditMode::Full); a subset under
+    /// `Sample`; 0 when auditing is off.
+    pub epochs_audited: u64,
+    /// Conflict-graph edges the auditor recorded: one per executed
+    /// operation observed while an audited epoch was open. A rough
+    /// measure of audit coverage and of the checker's (O(1)-per-event)
+    /// work.
+    pub audit_edges: u64,
     /// Per-delegate queue depth at snapshot time (enqueued + executing).
     /// All zeros during aggregation epochs — `end_isolation` drains every
     /// queue.
@@ -306,6 +325,8 @@ mod tests {
             steals: 0,
             steal_failures: 0,
             in_flight: 0,
+            epochs_audited: 0,
+            audit_edges: 0,
             queue_depths: Vec::new(),
             delegate_executed: Vec::new(),
             total: Duration::ZERO,

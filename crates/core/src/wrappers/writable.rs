@@ -970,6 +970,10 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                     escalated = true;
                     continue;
                 }
+                // Under the chaos `skip_reclaim_fence` weakening the
+                // reclaim above is a lie, so operations may still be
+                // pending here — the audit gate below is what catches it.
+                #[cfg(not(feature = "chaos"))]
                 debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
                 local.accessing = true;
                 break;
@@ -985,6 +989,17 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             if rt.is_poisoned() {
                 self.shared.local.lock().accessing = false;
                 return Err(rt.inner.core.poison_error());
+            }
+            // Audit gate: the reclaim above claimed every delegated
+            // operation on this set has executed; refuse the access (and
+            // report the program-order edge it would cut) if the trace
+            // disagrees. Runs *before* the closure touches the value, so
+            // a weakened reclaim fails loudly instead of racing.
+            if let Some(ss) = tag {
+                if let Some(report) = rt.inner.core.audit_access_gate(ss) {
+                    self.shared.local.lock().accessing = false;
+                    return Err(SsError::SerializabilityViolation(report));
+                }
             }
         }
         let _guard = AccessGuard(&self.shared.local);

@@ -20,7 +20,12 @@
 //!
 //! [`registry`] exposes all of them for the figure-regeneration harness,
 //! so every registry-driven equality sweep (assignment policies, steal
-//! policies, scale smoke) exercises the nested kernel too.
+//! policies, scale smoke) exercises the nested kernel too. Two further
+//! extension kernels ride the same registry: [`txn_kv`], a banked
+//! transactional KV store whose non-commutative per-cell folds make FIFO
+//! breaks visible in the fingerprint, and [`vfs_stat`], a per-directory
+//! filesystem aggregation over the [`ss_workloads::vfs`] model — both
+//! prime subjects for the serializability auditor's equality sweeps.
 
 #![warn(missing_docs)]
 
@@ -35,6 +40,8 @@ pub mod map_reduce;
 pub mod matmul;
 pub mod nested;
 pub mod reverse_index;
+pub mod txn_kv;
+pub mod vfs_stat;
 pub mod word_count;
 
 use common::{BenchInstance, BenchSpec};
@@ -87,6 +94,14 @@ pub fn registry() -> Vec<BenchSpec> {
             name: "map_reduce",
             make: |s: Scale| boxed(map_reduce::Bench::at(s)),
         },
+        BenchSpec {
+            name: "txn_kv",
+            make: |s: Scale| boxed(txn_kv::Bench::at(s)),
+        },
+        BenchSpec {
+            name: "vfs_stat",
+            make: |s: Scale| boxed(vfs_stat::Bench::at(s)),
+        },
     ]
 }
 
@@ -109,7 +124,9 @@ mod tests {
                 "reverse_index",
                 "word_count",
                 "nested_fanout",
-                "map_reduce"
+                "map_reduce",
+                "txn_kv",
+                "vfs_stat"
             ]
         );
     }

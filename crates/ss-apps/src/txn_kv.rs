@@ -1,0 +1,243 @@
+//! txn_kv — a transactional key-value store over the market-basket
+//! transaction stream (extension kernel, not a Table 2 row).
+//!
+//! Each transaction applies an order-sensitive update to every item it
+//! touches: `cell = cell * 31 + txid + 1`. The store is banked — item `i`
+//! lives in bank `i % banks` — and correctness requires that each *cell*
+//! sees its updates in transaction order. The serialization-sets version
+//! delegates one operation per `(transaction, bank)` touched, with the
+//! bank as the serializer: per-set FIFO program order is exactly per-bank
+//! (hence per-cell) transaction order, so the result is deterministic no
+//! matter how banks interleave across delegates. Because the fold is
+//! deliberately non-commutative, any FIFO break the runtime might commit
+//! changes the fingerprint — which makes this kernel a natural subject
+//! for the serializability auditor's equality sweeps.
+
+use ss_core::{Runtime, Writable};
+use ss_workloads::transactions::{transactions, Transaction, TxParams};
+
+use crate::common::{even_ranges, Fingerprint};
+
+/// Number of banks the store is partitioned into.
+pub const BANKS: usize = 64;
+
+/// One per-item fold step (non-commutative on purpose).
+#[inline]
+fn fold(cell: u64, txid: u64) -> u64 {
+    cell.wrapping_mul(31).wrapping_add(txid + 1)
+}
+
+/// Sequential oracle: apply every transaction, in order, to a flat store.
+pub fn seq(txs: &[Transaction], items: u32) -> Vec<u64> {
+    let mut kv = vec![0u64; items as usize];
+    for (txid, tx) in txs.iter().enumerate() {
+        for &item in tx {
+            kv[item as usize] = fold(kv[item as usize], txid as u64);
+        }
+    }
+    kv
+}
+
+/// Conventional-parallel baseline: bank partitioning. Every thread scans
+/// the *whole* transaction stream and applies only the items that fall in
+/// its banks — per-cell order is trivially transaction order, at the cost
+/// of reading the input once per thread (the classic replicated-scan
+/// structure of lock-free bank-partitioned stores).
+pub fn cp(txs: &[Transaction], items: u32, threads: usize) -> Vec<u64> {
+    let bank_ranges = even_ranges(BANKS, threads.max(1));
+    let mut kv = vec![0u64; items as usize];
+    let chunks: Vec<Vec<(u32, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = bank_ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move || {
+                    let mut local: Vec<(u32, u64)> = Vec::new();
+                    let mut cells = std::collections::HashMap::new();
+                    for (txid, tx) in txs.iter().enumerate() {
+                        for &item in tx {
+                            if r.contains(&(item as usize % BANKS)) {
+                                let c = cells.entry(item).or_insert(0u64);
+                                *c = fold(*c, txid as u64);
+                            }
+                        }
+                    }
+                    local.extend(cells);
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for chunk in chunks {
+        for (item, v) in chunk {
+            kv[item as usize] = v;
+        }
+    }
+    kv
+}
+
+/// Serialization-sets version: one [`Writable`] bank per store partition,
+/// one delegated operation per `(transaction, bank)` touched.
+pub fn ss(txs: &[Transaction], items: u32, rt: &Runtime) -> Vec<u64> {
+    struct Bank {
+        /// `item -> cell`, restricted to this bank's items.
+        cells: Vec<u64>,
+    }
+    let per_bank = items as usize / BANKS + 1;
+    let banks: Vec<Writable<Bank>> = (0..BANKS)
+        .map(|_| {
+            Writable::new(
+                rt,
+                Bank {
+                    cells: vec![0; per_bank],
+                },
+            )
+        })
+        .collect();
+
+    rt.begin_isolation().expect("begin_isolation");
+    // Scratch: per-bank item lists for the current transaction, reused.
+    let mut touched: Vec<Vec<u32>> = vec![Vec::new(); BANKS];
+    for (txid, tx) in txs.iter().enumerate() {
+        for &item in tx {
+            touched[item as usize % BANKS].push(item);
+        }
+        for (b, bank_items) in touched.iter_mut().enumerate() {
+            if bank_items.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(bank_items);
+            let txid = txid as u64;
+            banks[b]
+                .delegate(move |bank| {
+                    for item in &batch {
+                        let slot = *item as usize / BANKS;
+                        bank.cells[slot] = fold(bank.cells[slot], txid);
+                    }
+                })
+                .expect("delegate txn");
+        }
+    }
+    rt.end_isolation().expect("end_isolation");
+
+    let mut kv = vec![0u64; items as usize];
+    for (b, bank) in banks.iter().enumerate() {
+        bank.call(|state| {
+            for (slot, &v) in state.cells.iter().enumerate() {
+                let item = slot * BANKS + b;
+                if item < items as usize {
+                    kv[item] = v;
+                }
+            }
+        })
+        .expect("read bank");
+    }
+    kv
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(kv: &[u64]) -> u64 {
+    let mut fp = Fingerprint::new();
+    for &v in kv {
+        fp.update_u64(v);
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    txs: Vec<Transaction>,
+    items: u32,
+}
+
+impl Bench {
+    /// Generates the transaction stream for `scale` (freqmine's input
+    /// presets, reused — this kernel consumes the same database).
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        let params: TxParams = ss_workloads::scale::freqmine(scale);
+        Bench {
+            txs: transactions(&params),
+            items: params.items,
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "txn_kv"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.txs, self.items))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.txs, self.items, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.txs, self.items, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_txs() -> Vec<Transaction> {
+        transactions(&TxParams {
+            count: 400,
+            items: 150,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fold_is_order_sensitive() {
+        let ab = fold(fold(0, 3), 7);
+        let ba = fold(fold(0, 7), 3);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn implementations_agree_exactly() {
+        let txs = small_txs();
+        let a = seq(&txs, 150);
+        assert_eq!(a, cp(&txs, 150, 3));
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        assert_eq!(a, ss(&txs, 150, &rt));
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let txs = small_txs();
+        let expected = seq(&txs, 150);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
+            assert_eq!(ss(&txs, 150, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn audited_run_certifies() {
+        let txs = small_txs();
+        let rt = Runtime::builder()
+            .delegate_threads(2)
+            .audit(ss_core::AuditMode::Full)
+            .build()
+            .unwrap();
+        assert_eq!(ss(&txs, 150, &rt), seq(&txs, 150));
+        let s = rt.stats();
+        assert_eq!(s.epochs_audited, 1);
+        assert!(s.audit_edges > 0);
+    }
+
+    #[test]
+    fn empty_transactions_are_noops() {
+        let txs = vec![vec![], vec![3], vec![]];
+        let kv = seq(&txs, 10);
+        assert_eq!(kv[3], fold(0, 1));
+        assert!(kv.iter().enumerate().all(|(i, &v)| i == 3 || v == 0));
+    }
+}

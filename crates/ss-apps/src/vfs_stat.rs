@@ -1,0 +1,279 @@
+//! vfs_stat — per-directory aggregation over the virtual filesystem
+//! (extension kernel, not a Table 2 row).
+//!
+//! A `du`/`fsck`-style walk of the [`Vfs`] HTML tree: every file is
+//! hashed and folded into a per-directory record (file count, bytes, an
+//! order-sensitive digest of `path → content-hash` pairs). Like the
+//! paper's reverse_index, the interesting structural property is that the
+//! *program context discovers files while delegates already process
+//! them*: the walk delegates each file to its directory's serializer the
+//! moment it is visited, so per-directory records are built in traversal
+//! order (per-set FIFO) while unrelated directories proceed in parallel.
+//! The per-directory digest is non-commutative, so the fingerprint is
+//! sensitive to any ordering the runtime gets wrong — the auditor's
+//! equality sweeps lean on that.
+
+use std::sync::Arc;
+
+use ss_core::{Runtime, Writable};
+use ss_workloads::vfs::{VDir, VFile, Vfs};
+
+use crate::common::{even_ranges, Fingerprint};
+
+/// Aggregate record for one directory (direct files only, not recursive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirStat {
+    /// Number of files directly in the directory.
+    pub files: u64,
+    /// Total content bytes of those files.
+    pub bytes: u64,
+    /// Order-sensitive digest of `(path, content hash)` in visit order.
+    pub digest: u64,
+}
+
+impl DirStat {
+    fn zero() -> Self {
+        DirStat {
+            files: 0,
+            bytes: 0,
+            digest: Fingerprint::new().finish(),
+        }
+    }
+
+    fn absorb(&mut self, file: &VFile, content_hash: u64) {
+        self.files += 1;
+        self.bytes += file.content.len() as u64;
+        let mut fp = Fingerprint(self.digest);
+        fp.update(file.path.as_bytes());
+        fp.update_u64(content_hash);
+        self.digest = fp.finish();
+    }
+}
+
+/// The per-file "parse" work: hash the content.
+fn content_hash(content: &str) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.update(content.as_bytes());
+    fp.finish()
+}
+
+/// Sequential oracle: pre-order walk, directories indexed in visit order.
+pub fn seq(fs: &Vfs) -> Vec<DirStat> {
+    fn rec(d: &VDir, out: &mut Vec<DirStat>) {
+        let idx = out.len();
+        out.push(DirStat::zero());
+        for f in &d.files {
+            let h = content_hash(&f.content);
+            out[idx].absorb(f, h);
+        }
+        for sub in &d.dirs {
+            rec(sub, out);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&fs.root, &mut out);
+    out
+}
+
+/// Conventional-parallel baseline: the two-phase structure §3.2 describes
+/// for chunk-based versions of tree workloads — first locate all files
+/// (sequential traversal), then hash them in parallel chunks, then fold
+/// the hashes into the per-directory records sequentially in visit order.
+pub fn cp(fs: &Vfs, threads: usize) -> Vec<DirStat> {
+    // Phase 1: flatten with directory indices (pre-order).
+    fn flatten<'a>(d: &'a VDir, dir_count: &mut usize, out: &mut Vec<(usize, &'a VFile)>) {
+        let idx = *dir_count;
+        *dir_count += 1;
+        for f in &d.files {
+            out.push((idx, f));
+        }
+        for sub in &d.dirs {
+            flatten(sub, dir_count, out);
+        }
+    }
+    let mut dir_count = 0;
+    let mut files: Vec<(usize, &VFile)> = Vec::new();
+    flatten(&fs.root, &mut dir_count, &mut files);
+
+    // Phase 2: hash contents in parallel.
+    let ranges = even_ranges(files.len(), threads.max(1));
+    let hashes: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let chunk = &files[r.clone()];
+                s.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|(_, f)| content_hash(&f.content))
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Phase 3: fold sequentially in visit order.
+    let mut out = vec![DirStat::zero(); dir_count];
+    for ((idx, f), h) in files.iter().zip(hashes.into_iter().flatten()) {
+        out[*idx].absorb(f, h);
+    }
+    out
+}
+
+/// Serialization-sets version: one [`Writable`] record per directory,
+/// created as the walk first enters the directory; each file delegates to
+/// its directory's serializer immediately on discovery.
+pub fn ss(fs: &Vfs, rt: &Runtime) -> Vec<DirStat> {
+    fn rec(d: &VDir, rt: &Runtime, stats: &mut Vec<Writable<DirStat>>) {
+        let stat = Writable::new(rt, DirStat::zero());
+        for f in &d.files {
+            let path = f.path.clone();
+            let content: Arc<str> = Arc::clone(&f.content);
+            let bytes = f.content.len() as u64;
+            stat.delegate(move |s| {
+                let h = content_hash(&content);
+                s.files += 1;
+                s.bytes += bytes;
+                let mut fp = Fingerprint(s.digest);
+                fp.update(path.as_bytes());
+                fp.update_u64(h);
+                s.digest = fp.finish();
+            })
+            .expect("delegate file");
+        }
+        stats.push(stat);
+        for sub in &d.dirs {
+            rec(sub, rt, stats);
+        }
+    }
+
+    rt.begin_isolation().expect("begin_isolation");
+    let mut stats = Vec::new();
+    rec(&fs.root, rt, &mut stats);
+    rt.end_isolation().expect("end_isolation");
+
+    stats
+        .iter()
+        .map(|w| w.call(|s| s.clone()).expect("read dir stat"))
+        .collect()
+}
+
+/// Canonical output fingerprint.
+pub fn fingerprint(stats: &[DirStat]) -> u64 {
+    let mut fp = Fingerprint::new();
+    for s in stats {
+        fp.update_u64(s.files);
+        fp.update_u64(s.bytes);
+        fp.update_u64(s.digest);
+    }
+    fp.finish()
+}
+
+/// Harness wiring.
+pub struct Bench {
+    fs: Vfs,
+}
+
+impl Bench {
+    /// Generates the HTML tree for `scale` (reverse_index's presets — this
+    /// kernel walks the same filesystem model).
+    pub fn at(scale: ss_workloads::scale::Scale) -> Self {
+        Bench {
+            fs: ss_workloads::html::tree(&ss_workloads::scale::reverse_index(scale)),
+        }
+    }
+}
+
+impl crate::common::BenchInstance for Bench {
+    fn name(&self) -> &'static str {
+        "vfs_stat"
+    }
+    fn run_seq(&self) -> u64 {
+        fingerprint(&seq(&self.fs))
+    }
+    fn run_cp(&self, threads: usize) -> u64 {
+        fingerprint(&cp(&self.fs, threads))
+    }
+    fn run_ss(&self, rt: &Runtime) -> u64 {
+        fingerprint(&ss(&self.fs, rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::html::{tree, HtmlParams};
+
+    fn small_fs() -> Vfs {
+        tree(&HtmlParams {
+            files: 60,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn seq_counts_match_vfs_totals() {
+        let fs = small_fs();
+        let stats = seq(&fs);
+        let files: u64 = stats.iter().map(|s| s.files).sum();
+        let bytes: u64 = stats.iter().map(|s| s.bytes).sum();
+        assert_eq!(files, fs.file_count() as u64);
+        assert_eq!(bytes, fs.total_bytes() as u64);
+    }
+
+    #[test]
+    fn implementations_agree_exactly() {
+        let fs = small_fs();
+        let a = seq(&fs);
+        assert_eq!(a, cp(&fs, 3));
+        let rt = Runtime::builder().delegate_threads(2).build().unwrap();
+        assert_eq!(a, ss(&fs, &rt));
+    }
+
+    #[test]
+    fn ss_agrees_across_runtime_shapes() {
+        let fs = small_fs();
+        let expected = seq(&fs);
+        for delegates in [0, 1, 3] {
+            let rt = Runtime::builder()
+                .delegate_threads(delegates)
+                .build()
+                .unwrap();
+            assert_eq!(ss(&fs, &rt), expected, "delegates = {delegates}");
+        }
+    }
+
+    #[test]
+    fn audited_run_certifies() {
+        let fs = small_fs();
+        let rt = Runtime::builder()
+            .delegate_threads(2)
+            .audit(ss_core::AuditMode::Full)
+            .build()
+            .unwrap();
+        assert_eq!(fingerprint(&ss(&fs, &rt)), fingerprint(&seq(&fs)));
+        let s = rt.stats();
+        assert_eq!(s.epochs_audited, 1);
+        assert!(s.audit_edges > 0);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let f1 = VFile {
+            path: "root/a".into(),
+            content: Arc::from("xx"),
+        };
+        let f2 = VFile {
+            path: "root/b".into(),
+            content: Arc::from("yy"),
+        };
+        let mut ab = DirStat::zero();
+        ab.absorb(&f1, content_hash(&f1.content));
+        ab.absorb(&f2, content_hash(&f2.content));
+        let mut ba = DirStat::zero();
+        ba.absorb(&f2, content_hash(&f2.content));
+        ba.absorb(&f1, content_hash(&f1.content));
+        assert_ne!(ab.digest, ba.digest);
+    }
+}

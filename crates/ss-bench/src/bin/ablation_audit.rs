@@ -1,0 +1,213 @@
+//! Ablation: serializability-audit overhead on the delegation hot path.
+//!
+//! The online auditor ([`ss_core::AuditMode`]) shadows every submit and
+//! execute with a per-set trace record behind a sharded lock. This
+//! ablation measures what that costs where it hurts most and where it
+//! should vanish:
+//!
+//! * `off` — the default: no audit state is allocated, every hook is a
+//!   `None` check. This must price identically to a build without the
+//!   feature.
+//! * `sample8` — `AuditMode::Sample(8)`: one epoch in eight pays the
+//!   full-audit price; the other seven pay only the (cold) epoch-parity
+//!   load. The production recommendation.
+//! * `full` — `AuditMode::Full`: every operation is recorded and checked.
+//!   The acceptance bar is ≤ 15% over `off` on `chunky` (real per-op
+//!   work); on `wide-tiny` (nothing but submit overhead) the cost is the
+//!   honest worst case and is reported, not gated.
+//!
+//! Shapes match `ablation_alloc`: `wide-tiny` (many shards, trivial ops —
+//! pure per-op overhead) and `chunky` (few shards, heavy ops — the audit
+//! cost should disappear into the work).
+//!
+//! Output: a table plus `bench ablation_audit/<shape>/<mode>
+//! median_ns=<n>` lines that `scripts/record_baseline.sh` folds into
+//! `BENCH_baseline.json`.
+
+use ss_bench::*;
+use ss_core::{AuditMode, Runtime, SequenceSerializer, Writable};
+
+const DELEGATES: usize = 4;
+
+/// Operations delegated per shard per run.
+const OPS_PER_SHARD: usize = 16;
+
+/// Epochs per run (several, so `sample8` actually skips some).
+const EPOCHS: usize = 8;
+
+fn work(seed: u64, rounds: u32) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..rounds {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ seed;
+    }
+    x
+}
+
+#[derive(Clone, Copy)]
+struct Shape {
+    name: &'static str,
+    shards: usize,
+    rounds: u32,
+}
+
+fn shapes(scale_mul: usize) -> Vec<Shape> {
+    vec![
+        Shape {
+            name: "wide-tiny",
+            shards: 512 * scale_mul,
+            rounds: 16,
+        },
+        Shape {
+            name: "chunky",
+            shards: 64 * scale_mul,
+            rounds: 2_500,
+        },
+    ]
+}
+
+fn apply(s: &mut u64, packed: u64) {
+    let j = packed & 0xFFFF_FFFF;
+    let rounds = (packed >> 32) as u32;
+    *s = s.wrapping_mul(31).wrapping_add(work(j, rounds));
+}
+
+fn pack(j: u64, rounds: u32) -> u64 {
+    (rounds as u64) << 32 | j
+}
+
+fn fold(acc: u64, p: u64) -> u64 {
+    acc.rotate_left(9) ^ p
+}
+
+/// One audited run: `EPOCHS` epochs of `OPS_PER_SHARD` inline-record
+/// delegations per shard — the zero-allocation fast path, so the audit
+/// hooks are the only variable between modes.
+fn run(rt: &Runtime, shape: Shape) -> u64 {
+    let objs: Vec<Writable<u64, SequenceSerializer>> = (0..shape.shards)
+        .map(|i| Writable::new(rt, 0x5bd1_e995 ^ (i as u64) << 7))
+        .collect();
+    let rounds = shape.rounds;
+    for _ in 0..EPOCHS {
+        rt.begin_isolation().unwrap();
+        for o in &objs {
+            for j in 0..OPS_PER_SHARD as u64 {
+                let arg = pack(j, rounds);
+                o.delegate(move |s| apply(s, arg)).unwrap();
+            }
+        }
+        rt.end_isolation().unwrap();
+    }
+    objs.iter()
+        .fold(0, |acc, o| fold(acc, o.call(|s| *s).unwrap()))
+}
+
+fn main() {
+    let reps = env_reps();
+    let scale_mul = match env_scale() {
+        ss_workloads::scale::Scale::S => 1,
+        ss_workloads::scale::Scale::M => 4,
+        ss_workloads::scale::Scale::L => 16,
+    };
+    println!(
+        "Ablation: serializability-audit overhead \
+         ({DELEGATES} delegates, host threads: {})\n",
+        host_threads()
+    );
+
+    let modes: [(&str, AuditMode); 3] = [
+        ("off", AuditMode::Off),
+        ("sample8", AuditMode::Sample(8)),
+        ("full", AuditMode::Full),
+    ];
+
+    let mut table = Table::new(&[
+        "shape",
+        "mode",
+        "time",
+        "vs off",
+        "epochs audited",
+        "audit edges",
+    ]);
+    let mut gate: Vec<(String, u64)> = Vec::new();
+    let mut bench_lines: Vec<String> = Vec::new();
+    let mut full_overhead: Vec<(String, f64)> = Vec::new();
+    for shape in shapes(scale_mul) {
+        let mut base_time = None;
+        for (name, mode) in modes {
+            let mut fp = 0;
+            let mut audited = 0;
+            let mut edges = 0;
+            let (t, _) = measure(reps, || {
+                let rt = Runtime::builder()
+                    .delegate_threads(DELEGATES)
+                    .queue_capacity(8192)
+                    .audit(mode)
+                    .build()
+                    .unwrap();
+                fp = run(&rt, shape);
+                let stats = rt.stats();
+                audited = stats.epochs_audited;
+                edges = stats.audit_edges;
+                fp
+            });
+            // Each mode must audit exactly the cadence it claims, or the
+            // comparison is meaningless.
+            match name {
+                "off" => assert_eq!(audited, 0, "off mode audited an epoch"),
+                "sample8" => assert_eq!(audited, 1, "sample8 must audit 1 of {EPOCHS} epochs"),
+                _ => assert_eq!(audited, EPOCHS as u64, "full must audit every epoch"),
+            }
+            let baseline = *base_time.get_or_insert(t);
+            let ratio = t.as_secs_f64() / baseline.as_secs_f64();
+            if name == "full" {
+                full_overhead.push((shape.name.to_string(), ratio));
+            }
+            table.row(vec![
+                shape.name.to_string(),
+                name.to_string(),
+                fmt_dur(t),
+                format!("{ratio:.2}x"),
+                audited.to_string(),
+                edges.to_string(),
+            ]);
+            gate.push((format!("{}/{}", shape.name, name), fp));
+            bench_lines.push(format!(
+                "bench ablation_audit/{}/{} median_ns={}",
+                shape.name,
+                name,
+                t.as_nanos()
+            ));
+        }
+    }
+    println!("{}", table.render());
+
+    // Correctness gate: auditing observes the execution, it must never
+    // change it — every mode produces the identical fold.
+    for chunk in gate.chunks(modes.len()) {
+        for pair in chunk.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "{} and {} fingerprints diverged",
+                pair[0].0, pair[1].0
+            );
+        }
+    }
+    println!("All audit modes produced identical fingerprints per shape.\n");
+    for line in &bench_lines {
+        println!("{line}");
+    }
+    for (shape, ratio) in &full_overhead {
+        if shape == "chunky" {
+            println!(
+                "\nfull-mode overhead on chunky: {:.1}% (acceptance bar: <= 15%)",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    println!(
+        "\nExpected: `chunky` hides the audit in real per-op work (full\n\
+         within the 15% bar, sample8 ~free); `wide-tiny` is the honest\n\
+         worst case — every submit pays the sharded-lock record.\n\
+         Guidance: docs/POLICIES.md."
+    );
+}

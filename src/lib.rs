@@ -50,10 +50,11 @@ pub mod prelude {
         ReducibleStats, ReducibleVec,
     };
     pub use ss_core::{
-        doall, AssignTopology, Assignment, DelegateAssignment, DelegateContext, DelegateLoads,
-        EwmaCost, ExecutionMode, Executor, FnSerializer, LeastLoaded, NullSerializer,
-        ObjectSerializer, ReadOnly, Reduce, Reducible, RoundRobinFirstTouch, RoutingMode, Runtime,
-        RuntimeBuilder, SequenceSerializer, Serializer, SsError, SsFuture, SsId, StaticAssignment,
-        Stats, StealPolicy, TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
+        doall, AssignTopology, Assignment, AuditMode, AuditReport, AuditViolation,
+        DelegateAssignment, DelegateContext, DelegateLoads, EwmaCost, ExecutionMode, Executor,
+        FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer, ReadOnly, Reduce, Reducible,
+        RoundRobinFirstTouch, RoutingMode, Runtime, RuntimeBuilder, SequenceSerializer, Serializer,
+        SsError, SsFuture, SsId, StaticAssignment, Stats, StealPolicy, TraceEvent, TraceExecutor,
+        TraceKind, WaitPolicy, Writable,
     };
 }

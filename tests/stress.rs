@@ -567,6 +567,56 @@ fn routing_contention_preserves_pin_stability() {
     }
 }
 
+/// Continuous streaming ingest under a fully-on auditor: one long epoch,
+/// no barrier, far more distinct serialization sets than the audit
+/// graph's per-shard capacity. The incremental conflict graph must stay
+/// within its hard bound the whole time (overflowing sets are dropped
+/// from auditing, never allowed to grow the graph), the stream must still
+/// execute correctly, and closing the epoch must both certify and release
+/// the graph.
+#[test]
+fn streaming_ingest_keeps_audit_graph_bounded() {
+    // 16 shards × 1024 sets: the auditor's documented memory bound.
+    const GRAPH_CAP: usize = 16 * 1024;
+    const OBJS: usize = 20_000; // > GRAPH_CAP distinct sets
+    let rt = Runtime::builder()
+        .delegate_threads(delegates_from_env(2))
+        .audit(AuditMode::Full)
+        .build()
+        .unwrap();
+    let objs: Vec<Writable<u64, SequenceSerializer>> =
+        (0..OBJS).map(|_| Writable::new(&rt, 0)).collect();
+    rt.begin_isolation().unwrap();
+    let mut peak = 0;
+    for (i, o) in objs.iter().enumerate() {
+        o.delegate(|n| *n += 1).unwrap();
+        o.delegate(|n| *n += 2).unwrap();
+        if i % 512 == 0 {
+            peak = peak.max(rt.audit_graph_size());
+        }
+    }
+    peak = peak.max(rt.audit_graph_size());
+    assert!(
+        peak <= GRAPH_CAP,
+        "audit graph exceeded its bound mid-stream: {peak} > {GRAPH_CAP}"
+    );
+    assert!(peak > 0, "auditor tracked nothing");
+    // The long epoch must still certify — dropping overflow sets must not
+    // manufacture violations.
+    rt.end_isolation().unwrap();
+    assert_eq!(
+        rt.audit_graph_size(),
+        0,
+        "epoch close must release the graph"
+    );
+    let s = rt.stats();
+    assert_eq!(s.epochs_audited, 1);
+    assert!(s.audit_edges > 0);
+    for o in objs.iter().step_by(997) {
+        assert_eq!(o.call(|n| *n).unwrap(), 3);
+    }
+}
+
 #[test]
 fn runtime_handles_survive_wrapper_lifetimes() {
     // Wrappers hold runtime clones; dropping them in arbitrary orders, with
