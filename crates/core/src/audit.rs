@@ -300,15 +300,22 @@ impl AuditState {
         }
     }
 
-    /// Opens an epoch: decides (per the sampling mode) whether its events
-    /// are recorded. Called from `begin_isolation` while quiesced.
-    pub(crate) fn begin_epoch(&self, serial: u64) {
-        let on = match self.mode {
+    /// The sampling decision for an epoch with this serial (sessions call
+    /// it with their own per-tenant serials, so each tenant's epochs are
+    /// sampled independently).
+    pub(crate) fn should_audit(&self, serial: u64) -> bool {
+        match self.mode {
             AuditMode::Off => false,
             AuditMode::Full => true,
             AuditMode::Sample(n) => serial.is_multiple_of(u64::from(n.max(1))),
-        };
-        self.epoch_on.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens an epoch: decides (per the sampling mode) whether its events
+    /// are recorded. Called from `begin_isolation` while quiesced.
+    pub(crate) fn begin_epoch(&self, serial: u64) {
+        self.epoch_on
+            .store(self.should_audit(serial), Ordering::Relaxed);
     }
 
     /// Records a submission: draws one token for an operation pushed by
@@ -322,6 +329,14 @@ impl AuditState {
         if !self.active() {
             return 0;
         }
+        self.submit_in(ss, producer, serial)
+    }
+
+    /// Domain-qualified form of [`submit`](AuditState::submit): the caller
+    /// (a session path) has already checked its own domain's on-flag, so
+    /// the root epoch's `epoch_on` is not consulted — one tenant's
+    /// unaudited epoch must not suppress another's records.
+    pub(crate) fn submit_in(&self, ss: SsId, producer: u16, serial: u64) -> u64 {
         let mut shard = self.shard(ss).lock().unwrap();
         let state = match entry_capped(&mut shard, ss, serial, &self.overflowed) {
             Some(s) => s,
@@ -339,7 +354,16 @@ impl AuditState {
     /// on `ss` and returns the tag of the first (0 when unaudited). The
     /// k-th operation's tag is `base + ((k as u64) << 16)`.
     pub(crate) fn submit_batch(&self, ss: SsId, producer: u16, n: u64, serial: u64) -> u64 {
-        if n == 0 || !self.active() {
+        if !self.active() {
+            return 0;
+        }
+        self.submit_batch_in(ss, producer, n, serial)
+    }
+
+    /// Domain-qualified form of [`submit_batch`](AuditState::submit_batch)
+    /// (see [`submit_in`](AuditState::submit_in)).
+    pub(crate) fn submit_batch_in(&self, ss: SsId, producer: u16, n: u64, serial: u64) -> u64 {
+        if n == 0 {
             return 0;
         }
         let mut shard = self.shard(ss).lock().unwrap();
@@ -450,6 +474,12 @@ impl AuditState {
         if !self.active() {
             return None;
         }
+        self.access_gate_in(ss, serial)
+    }
+
+    /// Domain-qualified form of [`access_gate`](AuditState::access_gate)
+    /// (see [`submit_in`](AuditState::submit_in)).
+    pub(crate) fn access_gate_in(&self, ss: SsId, serial: u64) -> Option<AuditReport> {
         let mut shard = self.shard(ss).lock().unwrap();
         let state = match shard.get_mut(&ss.0) {
             Some(s) if s.serial == serial => s,
@@ -478,14 +508,28 @@ impl AuditState {
         violation
     }
 
-    /// Closes the epoch: conservation check over every tracked set, then
-    /// clears the graph (keeping shard capacity). Returns whether the epoch
-    /// was audited and the first violation (if any).
+    /// Closes the root epoch: conservation check, domain sweep, first
+    /// violation (if any). Returns whether the epoch was audited.
     pub(crate) fn end_epoch(&self, serial: u64) -> (bool, Option<AuditReport>) {
         let was_on = self.epoch_on.swap(false, Ordering::Relaxed);
         if !was_on {
             return (false, None);
         }
+        (true, self.close_domain(serial))
+    }
+
+    /// Closes one epoch *domain*: runs the conservation check over the
+    /// entries stamped with exactly `serial`, then removes every entry
+    /// belonging to the same tenant (the stamp's high 16 bits — 0 for the
+    /// root runtime, the session id for session stamps) while leaving
+    /// other tenants' live entries untouched. Returns the first violation
+    /// reported against this domain.
+    ///
+    /// The caller has drained its domain (the epoch barrier), so every
+    /// execution record of the closing epoch has already landed — the
+    /// conservation check is exact even while other tenants are mid-epoch.
+    pub(crate) fn close_domain(&self, serial: u64) -> Option<AuditReport> {
+        let domain = serial >> 48;
         for shard in &self.shards {
             let mut shard = shard.lock().unwrap();
             for (&raw, state) in shard.iter() {
@@ -500,10 +544,13 @@ impl AuditState {
                     });
                 }
             }
-            shard.clear();
+            shard.retain(|_, s| s.serial >> 48 != domain);
         }
-        let violation = self.violation.lock().unwrap().take();
-        (true, violation)
+        let mut slot = self.violation.lock().unwrap();
+        match &*slot {
+            Some(r) if r.epoch >> 48 == domain => slot.take(),
+            _ => None,
+        }
     }
 }
 

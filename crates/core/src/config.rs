@@ -34,6 +34,13 @@ pub struct ChaosKnobs {
     /// thief, so later submits still route to the victim — the same set
     /// executes on two delegates.
     pub steal_no_repin: bool,
+    /// Steals of a session-owned set re-pin it in the *wrong* session's
+    /// pin namespace (the root domain), so the owning session's later
+    /// submits still route to the victim while the stolen batch runs on
+    /// the thief — a cross-tenant variant of
+    /// [`steal_no_repin`](ChaosKnobs::steal_no_repin) that the
+    /// per-session auditor must catch.
+    pub cross_session_pin_leak: bool,
 }
 
 /// Factory closure for custom assignment policies (kept in an `Arc` so
@@ -229,6 +236,7 @@ pub struct RuntimeBuilder {
     pub(crate) stealing: StealPolicy,
     pub(crate) routing: RoutingMode,
     pub(crate) audit: AuditMode,
+    pub(crate) session_queue_cap: Option<u64>,
     #[cfg(feature = "chaos")]
     pub(crate) chaos: ChaosKnobs,
 }
@@ -248,6 +256,7 @@ impl Default for RuntimeBuilder {
             stealing: StealPolicy::Off,
             routing: RoutingMode::Sharded,
             audit: AuditMode::Off,
+            session_queue_cap: None,
             #[cfg(feature = "chaos")]
             chaos: ChaosKnobs::default(),
         }
@@ -402,6 +411,19 @@ impl RuntimeBuilder {
     #[cfg(feature = "chaos")]
     pub fn chaos(mut self, knobs: ChaosKnobs) -> Self {
         self.chaos = knobs;
+        self
+    }
+
+    /// Caps the number of operations any one [`Session`](crate::Session)
+    /// may have in flight at once. A session at its cap stalls in
+    /// `delegate` (bumping [`Stats::starvation_stalls`](crate::Stats))
+    /// until the shared pool drains some of its backlog — fairness
+    /// backpressure that keeps one greedy tenant from monopolizing every
+    /// delegate queue. Default: uncapped. Root-runtime submissions are
+    /// never capped (the paper's single-tenant behaviour is preserved
+    /// bit-for-bit); see `docs/POLICIES.md` for guidance on sizing.
+    pub fn session_queue_cap(mut self, cap: usize) -> Self {
+        self.session_queue_cap = Some(cap.max(1) as u64);
         self
     }
 

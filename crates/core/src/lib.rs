@@ -84,7 +84,7 @@ pub use error::{SsError, SsResult};
 pub use future::SsFuture;
 pub use runtime::{
     AssignTopology, DelegateAssignment, DelegateContext, DelegateLoads, EwmaCost, Executor,
-    LeastLoaded, RoundRobinFirstTouch, Runtime, StaticAssignment,
+    LeastLoaded, RoundRobinFirstTouch, Runtime, Session, SessionStats, StaticAssignment,
 };
 pub use serializer::{
     FnSerializer, NullSerializer, ObjectSerializer, SequenceSerializer, SerializeCx, Serializer,

@@ -44,11 +44,24 @@ use crate::stats::StatsCell;
 use crate::trace::{SideEvent, TraceExecutor, TraceKind};
 use crate::wrappers::Writable;
 
-use super::{Core, Executor, Router, Runtime, StealShared};
+use super::session::key_session;
+use super::{Core, Executor, Router, Runtime, SessionShared, StealShared};
 
 thread_local! {
     /// `(runtime id, delegate index)` for delegate threads; `None` elsewhere.
     pub(super) static DELEGATE_CTX: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
+
+    /// Tenant id of the operation currently executing on this thread
+    /// (0 = root). Stamped around `task.run()` by [`execute_op`] —
+    /// save/restore, because help-first waits nest executions — and read
+    /// by the nested submit paths to reject cross-domain re-delegation.
+    static CURRENT_SESSION: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Tenant id of the operation currently executing on the calling thread
+/// (0 when none, or a root operation, is running).
+pub(super) fn current_session_id() -> u32 {
+    CURRENT_SESSION.with(|c| c.get())
 }
 
 /// Sleep/wake channel for one delegate thread (used by the `SpinPark` wait
@@ -150,7 +163,7 @@ struct DeferredEntry {
 /// A ring entry deliberately held back by the chaos `reorder_drain`
 /// weakening, waiting for the next entry to overtake it.
 #[cfg(feature = "chaos")]
-type ChaosHold = (TaskSlot, SsId, u64);
+type ChaosHold = (TaskSlot, SsId, u64, Option<Arc<SessionShared>>);
 
 /// Raw handles onto the queue the owning delegate thread pops from.
 /// Pointers into `delegate_main{,_stealing}`'s stack frame; valid for the
@@ -265,18 +278,37 @@ const COST_SAMPLE_CAP: usize = 4096;
 /// (`Core::cost_samples` present), the operation's wall time is recorded
 /// into this delegate's sample buffer — an uncontended mutex push, off
 /// unless a cost-aware policy (e.g. `EwmaCost`) is active.
-fn execute_op(core: &Core, idx: usize, ss: SsId, task: TaskSlot, audit: u64, origin: Origin) {
+fn execute_op(
+    core: &Core,
+    idx: usize,
+    ss: SsId,
+    task: TaskSlot,
+    audit: u64,
+    session: Option<Arc<SessionShared>>,
+    origin: Origin,
+) {
     HELP.with(|h| {
         if let Some(s) = h.borrow_mut().as_mut() {
             s.active.push(ss.0);
         }
     });
+    // Stamp the tenant marker for the duration of the user code, so a
+    // nested re-delegation from inside it can verify it targets the same
+    // domain. Saved/restored, not set/cleared: help-first waits nest
+    // executions of (possibly) different tenants on one stack.
+    let prev_session = CURRENT_SESSION.with(|c| c.replace(session.as_ref().map_or(0, |s| s.id)));
     let timer = core.cost_samples.is_some().then(std::time::Instant::now);
     task.run();
+    CURRENT_SESSION.with(|c| c.set(prev_session));
     // Audit record lands *before* the drain counters settle below, so the
     // epoch barrier's token/`in_flight` drain proves every record of the
-    // epoch has been delivered by the time the auditor closes it.
-    core.audit_exec(ss, audit, 1 + idx);
+    // epoch has been delivered by the time the auditor closes it. Session
+    // operations record against the session's serial for the same reason:
+    // the record precedes the `settle_one` their barrier drains on.
+    match &session {
+        Some(s) => core.session_audit_exec(s, ss, audit, 1 + idx),
+        None => core.audit_exec(ss, audit, 1 + idx),
+    }
     if let (Some(buffers), Some(t0)) = (&core.cost_samples, timer) {
         let mut buffer = buffers[idx].lock();
         if buffer.len() < COST_SAMPLE_CAP {
@@ -291,10 +323,17 @@ fn execute_op(core: &Core, idx: usize, ss: SsId, task: TaskSlot, audit: u64, ori
     // Depth was raised at submit; the Release pairs with assignment-time
     // Relaxed reads (stale is fine) and keeps the counter exact for stats
     // snapshots. Lane/deque entries additionally carry the `in_flight`
-    // count whose Release pairs with the barrier's Acquire drain load.
+    // count whose Release pairs with the barrier's Acquire drain load —
+    // the *session's* counter for session operations, so only the owning
+    // tenant's barrier observes this op.
     core.stats.queue_depths[idx].fetch_sub(1, Ordering::Release);
-    if origin != Origin::Ring {
-        core.stats.in_flight.fetch_sub(1, Ordering::Release);
+    match session {
+        Some(s) => s.settle_one(),
+        None => {
+            if origin != Origin::Ring {
+                core.stats.in_flight.fetch_sub(1, Ordering::Release);
+            }
+        }
     }
     StatsCell::bump(&core.stats.delegate_executed[idx]);
 }
@@ -316,10 +355,16 @@ fn help_one(rt_id: u64) -> bool {
     // the owning thread.
     let core = unsafe { &*core };
     if let Some(d) = deferred_take_runnable() {
-        let Invocation::Execute { task, ss, audit } = d.inv else {
+        let Invocation::Execute {
+            task,
+            ss,
+            audit,
+            session,
+        } = d.inv
+        else {
             unreachable!("deferred_take_runnable only returns Execute entries");
         };
-        execute_op(core, idx, ss, task, audit, d.origin);
+        execute_op(core, idx, ss, task, audit, session, d.origin);
         return true;
     }
     loop {
@@ -345,8 +390,13 @@ fn help_one(rt_id: u64) -> bool {
             return false;
         };
         match inv {
-            Invocation::Execute { task, ss, audit } if !active_contains(ss.0) => {
-                execute_op(core, idx, ss, task, audit, origin);
+            Invocation::Execute {
+                task,
+                ss,
+                audit,
+                session,
+            } if !active_contains(ss.0) => {
+                execute_op(core, idx, ss, task, audit, session, origin);
                 return true;
             }
             inv => deferred_push_back(DeferredEntry { inv, origin }),
@@ -386,6 +436,13 @@ pub(crate) fn future_wait_turn(
     });
     let Some(me) = me else {
         return WaitTurn::NotDelegate;
+    };
+    // Session futures were submitted under the tenant's composite key, and
+    // that is what the active stacks and queue entries carry — qualify the
+    // set once here so every check below compares like with like.
+    let set = match &rt.session {
+        Some(s) => SsId(s.route_key(set)),
+        None => set,
     };
     // Immediate self-cycle: the waited-on operation belongs to a set this
     // thread is currently executing, so per-set FIFO orders it after the
@@ -447,7 +504,9 @@ fn wait_cycle_closes(
     // delegate, whose wait entry would just be followed again — the cap
     // cuts the walk with a conservative `false`).
     for _ in 0..=waits.len() {
-        let Some(Executor::Delegate(j)) = rt.executor_of_set(SsId(set)) else {
+        // Keys in the graph are namespace-qualified; resolve each hop in
+        // the pin map its domain owns.
+        let Some(Executor::Delegate(j)) = rt.executor_of_key(set) else {
             return false;
         };
         if j == me {
@@ -515,8 +574,8 @@ pub(super) fn delegate_main(
     #[cfg(feature = "chaos")]
     macro_rules! chaos_flush {
         () => {
-            if let Some((task, ss, audit)) = chaos_hold.take() {
-                execute_op(&core, idx as usize, ss, task, audit, Origin::Ring);
+            if let Some((task, ss, audit, session)) = chaos_hold.take() {
+                execute_op(&core, idx as usize, ss, task, audit, session, Origin::Ring);
             }
         };
     }
@@ -529,9 +588,12 @@ pub(super) fn delegate_main(
         if let Some(d) = deferred_pop_front() {
             backoff.reset();
             match d.inv {
-                Invocation::Execute { task, ss, audit } => {
-                    execute_op(&core, idx as usize, ss, task, audit, d.origin)
-                }
+                Invocation::Execute {
+                    task,
+                    ss,
+                    audit,
+                    session,
+                } => execute_op(&core, idx as usize, ss, task, audit, session, d.origin),
                 Invocation::Sync(token) => {
                     #[cfg(feature = "chaos")]
                     chaos_flush!();
@@ -550,26 +612,39 @@ pub(super) fn delegate_main(
             Pop::Value(inv) => {
                 backoff.reset();
                 match inv {
-                    Invocation::Execute { task, ss, audit } => {
+                    Invocation::Execute {
+                        task,
+                        ss,
+                        audit,
+                        session,
+                    } => {
                         #[cfg(feature = "chaos")]
-                        let (task, ss, audit) = if core.chaos_reorder_drain() {
+                        let (task, ss, audit, session) = if core.chaos_reorder_drain() {
                             match chaos_hold.take() {
                                 // A predecessor is parked: run the newer
                                 // entry now and let the older one fall
                                 // through below — the swap is complete.
                                 Some(held) => {
-                                    execute_op(&core, idx as usize, ss, task, audit, Origin::Ring);
+                                    execute_op(
+                                        &core,
+                                        idx as usize,
+                                        ss,
+                                        task,
+                                        audit,
+                                        session,
+                                        Origin::Ring,
+                                    );
                                     held
                                 }
                                 None => {
-                                    chaos_hold = Some((task, ss, audit));
+                                    chaos_hold = Some((task, ss, audit, session));
                                     continue;
                                 }
                             }
                         } else {
-                            (task, ss, audit)
+                            (task, ss, audit, session)
                         };
-                        execute_op(&core, idx as usize, ss, task, audit, Origin::Ring)
+                        execute_op(&core, idx as usize, ss, task, audit, session, Origin::Ring)
                     }
                     Invocation::Sync(token) => {
                         #[cfg(feature = "chaos")]
@@ -600,9 +675,20 @@ pub(super) fn delegate_main(
                 if let Some(inv) = consumer.try_pop_injected() {
                     backoff.reset();
                     match inv {
-                        Invocation::Execute { task, ss, audit } => {
-                            execute_op(&core, idx as usize, ss, task, audit, Origin::Injected)
-                        }
+                        Invocation::Execute {
+                            task,
+                            ss,
+                            audit,
+                            session,
+                        } => execute_op(
+                            &core,
+                            idx as usize,
+                            ss,
+                            task,
+                            audit,
+                            session,
+                            Origin::Injected,
+                        ),
                         Invocation::Sync(token) => token.signal(),
                         Invocation::Terminate(token) => {
                             token.signal();
@@ -668,9 +754,12 @@ pub(super) fn delegate_main_stealing(
         while let Some(d) = deferred_pop_front() {
             backoff.reset();
             match d.inv {
-                Invocation::Execute { task, ss, audit } => {
-                    execute_op(&core, me, ss, task, audit, d.origin)
-                }
+                Invocation::Execute {
+                    task,
+                    ss,
+                    audit,
+                    session,
+                } => execute_op(&core, me, ss, task, audit, session, d.origin),
                 Invocation::Sync(token) => token.signal(),
                 Invocation::Terminate(token) => {
                     token.signal();
@@ -684,11 +773,16 @@ pub(super) fn delegate_main_stealing(
         while let Some((_tag, inv)) = deque.pop() {
             backoff.reset();
             match inv {
-                Invocation::Execute { task, ss, audit } => {
+                Invocation::Execute {
+                    task,
+                    ss,
+                    audit,
+                    session,
+                } => {
                     // The Release inside pairs with the barrier's Acquire
                     // load: `in_flight == 0` must imply every operation's
                     // effects are visible to the program thread.
-                    execute_op(&core, me, ss, task, audit, Origin::Deque);
+                    execute_op(&core, me, ss, task, audit, session, Origin::Deque);
                     // A nested wait inside the op may have deferred
                     // entries; surface them before draining further.
                     if HELP.with(|h| h.borrow().as_ref().is_some_and(|s| !s.deferred.is_empty())) {
@@ -816,12 +910,26 @@ fn try_steal(
         return true;
     }
     // Phase 2: validate pins and migrate under the keys' shard locks.
-    let taken_keys = router.migrate_keys(
-        serial,
-        &chosen,
-        Executor::Delegate(victim),
-        Executor::Delegate(me),
-        |valid| {
+    //
+    // Candidate keys are namespace-qualified (high bits = tenant id), and
+    // each tenant owns a private pin map stamped with its own epoch
+    // serial — so the chosen keys are grouped by domain and each group is
+    // validated against the map and serial its domain actually routes
+    // through. Root keys (domain 0) take the pool-wide map as before. A
+    // root set whose raw id aliases a tenant domain fails safe: the
+    // revalidation in that tenant's map misses, the key is skipped whole
+    // and its pin left alone.
+    let mut groups: Vec<(u32, Vec<u64>)> = Vec::new();
+    for &key in &chosen {
+        let domain = key_session(key);
+        match groups.iter_mut().find(|(d, _)| *d == domain) {
+            Some((_, keys)) => keys.push(key),
+            None => groups.push((domain, vec![key])),
+        }
+    }
+    let mut taken_total = 0usize;
+    for (domain, keys) in groups {
+        let transfer = |valid: &[u64]| {
             let taken = shared.deques[victim].steal_keys_into(valid, &mut batch);
             if !batch.is_empty() {
                 // Depths are stats + victim-selection signals; `in_flight`
@@ -834,9 +942,62 @@ fn try_steal(
             }
             record_steal_events(core, serial, &taken, me);
             taken
-        },
-    );
-    if taken_keys.is_empty() {
+        };
+        if domain == 0 {
+            taken_total += router
+                .migrate_keys(
+                    serial,
+                    &keys,
+                    Executor::Delegate(victim),
+                    Executor::Delegate(me),
+                    transfer,
+                )
+                .len();
+            continue;
+        }
+        let Some(session) = core.session_by_id(domain) else {
+            // Tenant closed between candidate listing and now; leave its
+            // batches for the owner's drain.
+            continue;
+        };
+        let session_serial = session.epoch_serial.load(Ordering::Acquire);
+        // Chaos `cross_session_pin_leak`: move the batches but "publish"
+        // the rewritten pin into the *root* namespace instead of the
+        // tenant's — the wrong-map write a buggy thief would make. The
+        // tenant's own pin still names the victim, so later submits of
+        // the set keep routing there while its stolen prefix runs here:
+        // a two-executor overlap confined to (and caught by) that
+        // tenant's audit domain.
+        #[cfg(feature = "chaos")]
+        if core.chaos_cross_session_pin_leak() {
+            let taken = router.migrate_keys_in(
+                &session.pins,
+                session_serial,
+                &keys,
+                Executor::Delegate(victim),
+                Executor::Delegate(me),
+                false,
+                transfer,
+            );
+            for &key in &taken {
+                router.leak_pin(key, serial, Executor::Delegate(me));
+            }
+            taken_total += taken.len();
+            continue;
+        }
+        taken_total += router
+            .migrate_keys_in(
+                &session.pins,
+                session_serial,
+                &keys,
+                Executor::Delegate(victim),
+                Executor::Delegate(me),
+                true,
+                transfer,
+            )
+            .len();
+    }
+    if taken_total == 0 {
         // The victim looked deep but had nothing migratable (all started,
         // fenced, drained, or re-pinned since the depth check). Remember
         // the push count we scanned at so we do not rescan an unchanged

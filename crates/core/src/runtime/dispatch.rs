@@ -42,8 +42,10 @@ use crate::stats::StatsCell;
 use crate::trace::TraceKind;
 
 use super::assign::StealShared;
+use super::delegate::current_session_id;
 use super::router::Route;
-use super::{Channels, DelegateLoads, Executor, Runtime};
+use super::session::key_session;
+use super::{Channels, DelegateLoads, Executor, Runtime, SessionShared};
 
 /// Audit tag of the k-th operation in a batch whose first tag is `base`
 /// (an unaudited batch's 0 stays 0). Batch tokens are consecutive, and the
@@ -118,19 +120,40 @@ impl Runtime {
         route.executor
     }
 
-    /// Cross-thread, read-only resolution of the executor that owns `ss`
-    /// in the current epoch — the pin-lookup leg of the future-wait
-    /// deadlock detector. Conservative and **non-blocking**: `None`
-    /// whenever the answer is not already pinned *or* could not be read
-    /// without waiting on a shard writer (the detector then simply
+    /// Cross-thread, read-only resolution of the executor that owns a
+    /// routing key in the current epoch — the pin-lookup leg of the
+    /// future-wait deadlock detector. Conservative and **non-blocking**:
+    /// `None` whenever the answer is not already pinned *or* could not be
+    /// read without waiting on a shard writer (the detector then simply
     /// retries later), so this never creates pins and never blocks a
     /// routing operation. The caller may hold the `future_waits` mutex.
-    pub(crate) fn executor_of_set(&self, ss: SsId) -> Option<Executor> {
+    ///
+    /// `key` is **already namespace-qualified**: waits-for entries store
+    /// the keys operations were submitted under (composite for tenants,
+    /// raw for the root), and one walk may cross tenant domains, so each
+    /// hop must consult the pin map the key actually lives in. Root sets
+    /// may use raw ids whose high bits alias a tenant id; a miss in the
+    /// tenant namespace therefore falls through to the root namespace.
+    pub(crate) fn executor_of_key(&self, key: u64) -> Option<Executor> {
         if self.inner.topology.n_delegates == 0 {
             return Some(Executor::Program);
         }
-        let serial = self.cross_epoch_serial();
-        self.inner.router.peek(ss, serial, &self.loads())
+        let loads = self.loads();
+        let domain = key_session(key);
+        if domain != 0 {
+            if let Some(s) = self.inner.core.session_by_id(domain) {
+                let serial = s.epoch_serial.load(Ordering::Acquire);
+                if let Some(e) = self
+                    .inner
+                    .router
+                    .peek_in(&s.pins, SsId(key), serial, &loads)
+                {
+                    return Some(e);
+                }
+            }
+        }
+        let serial = self.inner.core.epoch_serial.load(Ordering::Acquire);
+        self.inner.router.peek(SsId(key), serial, &loads)
     }
 
     /// Runs a delegated task inline on the program thread (program-share
@@ -182,6 +205,9 @@ impl Runtime {
     pub(crate) fn submit(&self, ss: SsId, task: TaskSlot) -> SsResult<Executor> {
         self.check_live()?;
         self.note_task(&task);
+        if let Some(s) = &self.session {
+            return self.submit_session(s, ss, task);
+        }
         if let Channels::Steal(shared) = &self.inner.channels {
             return self.submit_stealing(shared, ss, task);
         }
@@ -209,7 +235,12 @@ impl Runtime {
                 let producer = unsafe { producers[i].get() };
                 let audit = self.inner.core.audit_submit(ss, 0);
                 if producer
-                    .push_blocking(Invocation::Execute { task, ss, audit })
+                    .push_blocking(Invocation::Execute {
+                        task,
+                        ss,
+                        audit,
+                        session: None,
+                    })
                     .is_err()
                 {
                     self.inner.core.audit_unsubmit(ss, audit, 1);
@@ -246,7 +277,15 @@ impl Runtime {
         stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let task = task.take().expect("task consumed once");
         let audit = self.inner.core.audit_submit(ss, producer);
-        shared.deques[i].push_keyed(ss.0, Invocation::Execute { task, ss, audit });
+        shared.deques[i].push_keyed(
+            ss.0,
+            Invocation::Execute {
+                task,
+                ss,
+                audit,
+                session: None,
+            },
+        );
         // Shard lock released after route_publish returns: the push is
         // visible before any steal can re-route the set.
     }
@@ -291,6 +330,292 @@ impl Runtime {
         Ok(route.executor)
     }
 
+    // ------------------------------------------------------------------
+    // session submission. Same routing and accounting shape as the root
+    // paths, with the three tenant-isolation substitutions applied
+    // throughout: keys are session-qualified (`id << 48 | fold48(ss)`),
+    // pins resolve against the session's own map, and the drain counter
+    // raised before every push is the *session's* `in_flight` — never the
+    // pool-wide one. Program-context pushes go through the multi-producer
+    // lanes (injector lanes / deques): the SPSC ring producers are owned
+    // by the root program thread, and a session handle may live on any
+    // thread.
+
+    /// Runs a session-inline task on the session's own thread, guarded by
+    /// the session's `executing_inline` flag (the lock is never held
+    /// across the user code).
+    fn run_inline_session(&self, s: &SessionShared, task: TaskSlot) -> SsResult<()> {
+        {
+            let mut epoch = s.epoch.lock();
+            if epoch.executing_inline {
+                return Err(SsError::NestedDelegation);
+            }
+            epoch.executing_inline = true;
+        }
+        task.run();
+        s.epoch.lock().executing_inline = false;
+        StatsCell::bump(&self.inner.core.stats.inline_executions);
+        Ok(())
+    }
+
+    /// Fairness backpressure: a program-context session submit stalls
+    /// while the session sits at its queue-depth cap, so one tenant
+    /// cannot monopolize the shared pool's queues. Never applied to
+    /// nested submits — a delegate stalling mid-parent could be the very
+    /// delegate the drain needs, and parents settle only after their
+    /// nested submits return.
+    fn session_backpressure(&self, s: &SessionShared) -> SsResult<()> {
+        let Some(cap) = s.queue_cap else {
+            return Ok(());
+        };
+        if s.in_flight.load(Ordering::Relaxed) < cap {
+            return Ok(());
+        }
+        StatsCell::bump(&self.inner.core.stats.starvation_stalls);
+        let backoff = ss_queue::Backoff::new();
+        while s.in_flight.load(Ordering::Acquire) >= cap {
+            self.check_live()?;
+            backoff.snooze();
+        }
+        Ok(())
+    }
+
+    /// Session-context submit: the session-side counterpart of
+    /// [`Runtime::submit`]. Returns the executor chosen.
+    fn submit_session(
+        &self,
+        s: &Arc<SessionShared>,
+        ss: SsId,
+        task: TaskSlot,
+    ) -> SsResult<Executor> {
+        let key = SsId(s.route_key(ss));
+        let serial = s.epoch_serial.load(Ordering::Acquire);
+        if let Channels::Steal(shared) = &self.inner.channels {
+            return self.submit_session_stealing(s, shared, key, serial, task);
+        }
+        let route = self
+            .inner
+            .router
+            .route_in(&s.pins, key, serial, &self.loads());
+        self.note_route(&route, key, RouteSite::Program);
+        match route.executor {
+            Executor::Program => {
+                let audit = self.inner.core.session_audit_submit(s, key, 0);
+                if let Err(e) = self.run_inline_session(s, task) {
+                    self.inner.core.session_audit_unsubmit(s, key, audit, 1);
+                    return Err(e);
+                }
+                self.inner.core.session_audit_exec(s, key, audit, 0);
+                s.submitted.fetch_add(1, Ordering::Relaxed);
+                s.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Executor::Delegate(i) => {
+                self.session_backpressure(s)?;
+                let Channels::Spsc { injectors, .. } = &self.inner.channels else {
+                    unreachable!("stealing transport handled above");
+                };
+                let stats = &self.inner.core.stats;
+                stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                // Raised before the push (the session barrier's drain must
+                // see the operation the instant it can exist), settled by
+                // the executing delegate after the audit record lands.
+                s.in_flight.fetch_add(1, Ordering::Relaxed);
+                let audit = self.inner.core.session_audit_submit(s, key, 0);
+                if injectors[i]
+                    .push(Invocation::Execute {
+                        task,
+                        ss: key,
+                        audit,
+                        session: Some(Arc::clone(s)),
+                    })
+                    .is_err()
+                {
+                    self.inner.core.session_audit_unsubmit(s, key, audit, 1);
+                    stats.queue_depths[i].fetch_sub(1, Ordering::Relaxed);
+                    s.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    return Err(SsError::Terminated);
+                }
+                self.inner.wakeups[i].notify();
+                s.submitted.fetch_add(1, Ordering::Relaxed);
+                StatsCell::bump(&stats.delegations);
+            }
+        }
+        Ok(route.executor)
+    }
+
+    /// Session submit over the stealing transport: the pin resolve and
+    /// the deque push share one critical section of the *session map's*
+    /// shard — the thief locks the same shard to migrate this tenant's
+    /// keys, so the no-half-routed-set argument holds per tenant.
+    fn submit_session_stealing(
+        &self,
+        s: &Arc<SessionShared>,
+        shared: &StealShared,
+        key: SsId,
+        serial: u64,
+        task: TaskSlot,
+    ) -> SsResult<Executor> {
+        self.session_backpressure(s)?;
+        let mut task = Some(task);
+        let route =
+            self.inner
+                .router
+                .route_publish_in(&s.pins, key, serial, &self.loads(), |executor| {
+                    let Executor::Delegate(i) = executor else {
+                        unreachable!("route_publish only publishes delegate-bound work");
+                    };
+                    let stats = &self.inner.core.stats;
+                    stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                    s.in_flight.fetch_add(1, Ordering::Relaxed);
+                    let task = task.take().expect("task consumed once");
+                    let audit = self.inner.core.session_audit_submit(s, key, 0);
+                    shared.deques[i].push_keyed(
+                        key.0,
+                        Invocation::Execute {
+                            task,
+                            ss: key,
+                            audit,
+                            session: Some(Arc::clone(s)),
+                        },
+                    );
+                });
+        self.note_route(&route, key, RouteSite::Program);
+        match route.executor {
+            Executor::Program => {
+                let task = task.take().expect("program-bound task unconsumed");
+                let audit = self.inner.core.session_audit_submit(s, key, 0);
+                if let Err(e) = self.run_inline_session(s, task) {
+                    self.inner.core.session_audit_unsubmit(s, key, audit, 1);
+                    return Err(e);
+                }
+                self.inner.core.session_audit_exec(s, key, audit, 0);
+                s.submitted.fetch_add(1, Ordering::Relaxed);
+                s.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Executor::Delegate(i) => {
+                self.inner.wakeups[i].notify();
+                s.submitted.fetch_add(1, Ordering::Relaxed);
+                StatsCell::bump(&self.inner.core.stats.delegations);
+            }
+        }
+        Ok(route.executor)
+    }
+
+    /// Session batch submit: one routed submit per task. The root batch
+    /// paths amortize the router consult and the queue critical section;
+    /// here the per-op route is a lock-free session-map hit after the
+    /// first touch, and correctness (same set ⇒ same executor ⇒ FIFO) is
+    /// identical, so the simple loop keeps the error contract — the
+    /// returned count is exactly the tasks that will never execute —
+    /// without a third copy of every transport's batch entry point.
+    fn submit_batch_session(
+        &self,
+        ss: SsId,
+        tasks: Vec<TaskSlot>,
+    ) -> Result<Executor, (SsError, usize)> {
+        let s = Arc::clone(
+            self.session
+                .as_ref()
+                .expect("session batch on a session handle"),
+        );
+        let mut remaining = tasks.len();
+        let mut executor = Executor::Program;
+        for task in tasks {
+            match self.submit_session(&s, ss, task) {
+                Ok(e) => executor = e,
+                Err(err) => return Err((err, remaining)),
+            }
+            remaining -= 1;
+        }
+        Ok(executor)
+    }
+
+    /// Session nested submit (a delegate running this session's operation
+    /// re-delegates). Mirrors the root nested paths with the session
+    /// substitutions; no queue-cap stall (see
+    /// [`session_backpressure`](Runtime::session_backpressure)).
+    fn submit_nested_session(
+        &self,
+        s: &Arc<SessionShared>,
+        ss: SsId,
+        producer: usize,
+        task: TaskSlot,
+    ) -> SsResult<Executor> {
+        let key = SsId(s.route_key(ss));
+        let serial = s.epoch_serial.load(Ordering::Acquire);
+        let stats = &self.inner.core.stats;
+        match &self.inner.channels {
+            Channels::Steal(shared) => {
+                let mut task = Some(task);
+                let route = self.inner.router.route_publish_in(
+                    &s.pins,
+                    key,
+                    serial,
+                    &self.loads(),
+                    |executor| {
+                        let Executor::Delegate(i) = executor else {
+                            unreachable!("route_publish only publishes delegate-bound work");
+                        };
+                        stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                        s.in_flight.fetch_add(1, Ordering::Relaxed);
+                        let task = task.take().expect("task consumed once");
+                        let audit = self.inner.core.session_audit_submit(s, key, producer);
+                        shared.deques[i].push_keyed(
+                            key.0,
+                            Invocation::Execute {
+                                task,
+                                ss: key,
+                                audit,
+                                session: Some(Arc::clone(s)),
+                            },
+                        );
+                    },
+                );
+                self.note_route(&route, key, RouteSite::Nested);
+                let Executor::Delegate(i) = route.executor else {
+                    return Err(SsError::NestedOnProgram { set: Some(ss) });
+                };
+                self.inner.wakeups[i].notify();
+                s.submitted.fetch_add(1, Ordering::Relaxed);
+                StatsCell::bump(&stats.delegations);
+                StatsCell::bump(&stats.nested_delegations);
+                Ok(route.executor)
+            }
+            Channels::Spsc { injectors, .. } => {
+                let route = self
+                    .inner
+                    .router
+                    .route_in(&s.pins, key, serial, &self.loads());
+                self.note_route(&route, key, RouteSite::Nested);
+                let Executor::Delegate(i) = route.executor else {
+                    return Err(SsError::NestedOnProgram { set: Some(ss) });
+                };
+                stats.queue_depths[i].fetch_add(1, Ordering::Relaxed);
+                s.in_flight.fetch_add(1, Ordering::Relaxed);
+                let audit = self.inner.core.session_audit_submit(s, key, producer);
+                if injectors[i]
+                    .push(Invocation::Execute {
+                        task,
+                        ss: key,
+                        audit,
+                        session: Some(Arc::clone(s)),
+                    })
+                    .is_err()
+                {
+                    self.inner.core.session_audit_unsubmit(s, key, audit, 1);
+                    stats.queue_depths[i].fetch_sub(1, Ordering::Relaxed);
+                    s.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    return Err(SsError::Terminated);
+                }
+                self.inner.wakeups[i].notify();
+                s.submitted.fetch_add(1, Ordering::Relaxed);
+                StatsCell::bump(&stats.delegations);
+                StatsCell::bump(&stats.nested_delegations);
+                Ok(route.executor)
+            }
+        }
+    }
+
     /// Submits a packaged task from a **delegate context** — the
     /// recursive-delegation path. The calling thread's identity is
     /// re-validated against the runtime's thread-local delegate marker, so
@@ -310,6 +635,18 @@ impl Runtime {
             Some(slot) if slot >= 1 => slot,
             _ => return Err(SsError::WrongContext),
         };
+        // Domain check: the currently-executing operation's tenant (a
+        // thread-local stamped by the delegate loop) must match this
+        // handle's. A session op re-delegating through a root-owned
+        // object (or another tenant's) would count its child against the
+        // wrong domain's drain counter, letting the spawning tenant's
+        // barrier close with related work still in flight — reject it.
+        if current_session_id() != self.session.as_ref().map_or(0, |s| s.id) {
+            return Err(SsError::WrongContext);
+        }
+        if let Some(s) = &self.session {
+            return self.submit_nested_session(s, ss, producer, task);
+        }
         let serial = self.cross_epoch_serial();
         match &self.inner.channels {
             Channels::Steal(shared) => {
@@ -348,7 +685,12 @@ impl Runtime {
         stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let audit = self.inner.core.audit_submit(ss, producer);
         if injectors[i]
-            .push(Invocation::Execute { task, ss, audit })
+            .push(Invocation::Execute {
+                task,
+                ss,
+                audit,
+                session: None,
+            })
             .is_err()
         {
             self.inner.core.audit_unsubmit(ss, audit, 1);
@@ -420,6 +762,9 @@ impl Runtime {
             return Err((e, n));
         }
         self.note_tasks(&tasks);
+        if self.session.is_some() {
+            return self.submit_batch_session(ss, tasks);
+        }
         if let Channels::Steal(shared) = &self.inner.channels {
             return self.submit_batch_stealing(shared, ss, tasks);
         }
@@ -443,7 +788,12 @@ impl Runtime {
                 let pushed = match producer.push_batch(tasks.into_iter().map(|task| {
                     let audit = batch_tag(base, k);
                     k += 1;
-                    Invocation::Execute { task, ss, audit }
+                    Invocation::Execute {
+                        task,
+                        ss,
+                        audit,
+                        session: None,
+                    }
                 })) {
                     Ok(pushed) => pushed,
                     Err(pushed) => {
@@ -524,7 +874,12 @@ impl Runtime {
                     batch.into_iter().map(|task| {
                         let audit = batch_tag(base, k);
                         k += 1;
-                        Invocation::Execute { task, ss, audit }
+                        Invocation::Execute {
+                            task,
+                            ss,
+                            audit,
+                            session: None,
+                        }
                     }),
                 );
             });
@@ -563,7 +918,24 @@ impl Runtime {
             Some(slot) if slot >= 1 => slot,
             _ => return Err((SsError::WrongContext, n)),
         };
+        // Same domain check as the single-task nested path.
+        if current_session_id() != self.session.as_ref().map_or(0, |s| s.id) {
+            return Err((SsError::WrongContext, n));
+        }
         self.note_tasks(&tasks);
+        if let Some(s) = &self.session {
+            let s = Arc::clone(s);
+            let mut remaining = n;
+            let mut executor = Executor::Program;
+            for task in tasks {
+                match self.submit_nested_session(&s, ss, producer, task) {
+                    Ok(e) => executor = e,
+                    Err(err) => return Err((err, remaining)),
+                }
+                remaining -= 1;
+            }
+            return Ok(executor);
+        }
         let serial = self.cross_epoch_serial();
         match &self.inner.channels {
             Channels::Steal(shared) => {
@@ -602,7 +974,12 @@ impl Runtime {
             .push_batch(tasks.into_iter().map(|task| {
                 let audit = batch_tag(base, k);
                 k += 1;
-                Invocation::Execute { task, ss, audit }
+                Invocation::Execute {
+                    task,
+                    ss,
+                    audit,
+                    session: None,
+                }
             }))
             .is_none()
         {
@@ -651,7 +1028,12 @@ impl Runtime {
                     batch.into_iter().map(|task| {
                         let audit = batch_tag(base, k);
                         k += 1;
-                        Invocation::Execute { task, ss, audit }
+                        Invocation::Execute {
+                            task,
+                            ss,
+                            audit,
+                            session: None,
+                        }
                     }),
                 );
             });
@@ -699,6 +1081,22 @@ impl Runtime {
             // chaos weakening: claim the reclaim succeeded without
             // flushing anything. The auditor's access gate (which runs
             // before the caller touches the value) must catch this.
+            return Ok(owner);
+        }
+        if let Some(s) = &self.session {
+            // Session reclaim: a session-wide drain (spin this tenant's
+            // `in_flight` to zero) rather than a per-set fence. Coarser
+            // than the root's token — every queued op of this session
+            // completes, a superset of "everything ordered before the
+            // reclaimed set's ops" — but it never waits on other
+            // tenants' work, and it needs no fence the multi-producer
+            // lanes would have to thread a session identity through.
+            let backoff = ss_queue::Backoff::new();
+            while s.in_flight.load(Ordering::Acquire) != 0 {
+                self.check_live()?;
+                backoff.snooze();
+            }
+            StatsCell::bump(&self.inner.core.stats.sync_objects);
             return Ok(owner);
         }
         if self.nested_epoch_active() {

@@ -14,10 +14,11 @@ use crate::error::{SsError, SsResult};
 use crate::stats::StatsCell;
 use crate::trace::TraceKind;
 
-use super::Runtime;
+use super::{Runtime, SessionShared};
 
-/// Program-thread-only epoch bookkeeping.
-pub(super) struct EpochState {
+/// Program-thread-only epoch bookkeeping (per tenant: the root runtime
+/// holds it in a `ProgramOnly` cell, each session in its own mutex).
+pub(crate) struct EpochState {
     pub(super) in_isolation: bool,
     /// Increments at every `begin_isolation`; wrappers compare it to their
     /// stored serial to lazily reset per-epoch object state.
@@ -43,6 +44,9 @@ impl Runtime {
     /// Begins an isolation epoch (Table 1 `begin_isolation`): wakes delegate
     /// processor resources if necessary and enables delegation.
     pub fn begin_isolation(&self) -> SsResult<()> {
+        if let Some(s) = &self.session {
+            return self.session_begin_isolation(s);
+        }
         self.require_program_thread()?;
         self.check_live()?;
         {
@@ -87,6 +91,9 @@ impl Runtime {
     /// program context with all delegate contexts, then starts a new
     /// aggregation epoch.
     pub fn end_isolation(&self) -> SsResult<()> {
+        if let Some(s) = &self.session {
+            return self.session_end_isolation(s);
+        }
         self.require_program_thread()?;
         self.check_live()?;
         {
@@ -112,11 +119,27 @@ impl Runtime {
         // the user still holds keep their cells in flight.
         self.inner.core.cell_pool.recycle();
         if let super::Channels::Steal(shared) = &self.inner.channels {
-            // All queues just drained: safe to forget started sets, so
-            // the next epoch re-routes (and re-steals) freely. Pins need
+            // All *root* queues just drained: safe to forget started sets,
+            // so the next epoch re-routes (and re-steals) freely. Pins need
             // no reset — the router's sharded map is epoch-stamped and
             // expires lazily, shard by shard, at the next epoch's writes.
-            shared.reset_epoch();
+            //
+            // Skipped while any session is live: the root barrier proves
+            // nothing about tenants' queued work, and forgetting *their*
+            // started keys would let a thief migrate a set whose earlier
+            // ops are still queued on the victim. Keeping the records only
+            // blocks steals of previously-started keys — conservative,
+            // never wrong.
+            if self
+                .inner
+                .core
+                .stats
+                .sessions_active
+                .load(Ordering::Acquire)
+                == 0
+            {
+                shared.reset_epoch();
+            }
         }
         // The barrier waited for all transitively spawned work (`in_flight`
         // reached zero with every parent complete), so no nested producer
@@ -176,6 +199,9 @@ impl Runtime {
         if !self.is_program_thread() {
             return false;
         }
+        if let Some(s) = &self.session {
+            return s.epoch.lock().in_isolation;
+        }
         // SAFETY: program thread.
         unsafe { self.inner.epoch.get() }.in_isolation
     }
@@ -191,8 +217,104 @@ impl Runtime {
     /// only; used by the wrappers.
     pub(crate) fn epoch_flags(&self) -> (bool, u64, bool) {
         debug_assert!(self.is_program_thread());
+        if let Some(s) = &self.session {
+            let e = s.epoch.lock();
+            return (e.in_isolation, e.serial, e.executing_inline);
+        }
         // SAFETY: program thread (debug-asserted; all callers check).
         let e = unsafe { self.inner.epoch.get() };
         (e.in_isolation, e.serial, e.executing_inline)
+    }
+
+    // ------------------------------------------------------------------
+    // session epoch domain. Same state machine, but the bookkeeping lives
+    // in the session's own `Mutex<EpochState>` (a session handle may be
+    // owned by any thread, so the root's `ProgramOnly` cell is off
+    // limits), the serial is published to the session's `epoch_serial`,
+    // and — the point of the exercise — `end_isolation` drains only this
+    // tenant's `in_flight` counter, so one session's barrier never waits
+    // on another tenant's queued work.
+
+    fn session_begin_isolation(&self, s: &SessionShared) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        {
+            let epoch = s.epoch.lock();
+            if epoch.executing_inline {
+                return Err(SsError::WrongContext);
+            }
+            if epoch.in_isolation {
+                return Err(SsError::AlreadyInIsolation);
+            }
+        }
+        if self.is_poisoned() {
+            return Err(self.inner.core.poison_error());
+        }
+        self.inner.force_sleep.store(false, Ordering::Release);
+        for w in self.inner.wakeups.iter() {
+            w.notify();
+        }
+        let mut epoch = s.epoch.lock();
+        epoch.in_isolation = true;
+        epoch.serial += 1;
+        epoch.started = Some(Instant::now());
+        // Publish for the delegate-side paths (nested delegation, thieves)
+        // before any delegation of this epoch can happen.
+        s.epoch_serial.store(epoch.serial, Ordering::Release);
+        // The previous session epoch drained this tenant's `in_flight` to
+        // zero, so no straggler of an earlier epoch can observe the new
+        // sampling decision.
+        self.inner.core.session_audit_begin_epoch(s, epoch.serial);
+        Ok(())
+    }
+
+    fn session_end_isolation(&self, s: &SessionShared) -> SsResult<()> {
+        self.require_program_thread()?;
+        self.check_live()?;
+        {
+            let epoch = s.epoch.lock();
+            if epoch.executing_inline {
+                return Err(SsError::WrongContext);
+            }
+            if !epoch.in_isolation {
+                return Err(SsError::NotIsolating);
+            }
+        }
+        // Per-tenant drain barrier. Every operation submitted through this
+        // session raised `s.in_flight` before it was pushed and settles it
+        // (with Release, after its effects *and* its audit record) when it
+        // completes, so Acquire-observing zero here proves this tenant's
+        // epoch has fully executed — without ever touching the pool-wide
+        // counter other tenants are draining against.
+        let mut spins = 0u32;
+        while s.in_flight.load(Ordering::Acquire) != 0 {
+            self.check_live()?;
+            if spins < 128 {
+                core::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        s.nested_in_epoch.store(false, Ordering::Release);
+        // Drained: every execution record of this session's epoch has
+        // landed (records precede the counter decrement), so the
+        // conservation sweep over this domain is exact.
+        let audit_failure = self.inner.core.session_audit_end_epoch(s);
+        {
+            let mut epoch = s.epoch.lock();
+            epoch.in_isolation = false;
+            if let Some(t0) = epoch.started.take() {
+                StatsCell::add_nanos(&self.inner.core.stats.isolation_nanos, t0.elapsed());
+            }
+        }
+        StatsCell::bump(&self.inner.core.stats.isolation_epochs);
+        if self.is_poisoned() {
+            return Err(self.inner.core.poison_error());
+        }
+        if let Some(report) = audit_failure {
+            return Err(SsError::SerializabilityViolation(report));
+        }
+        Ok(())
     }
 }

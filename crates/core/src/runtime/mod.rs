@@ -48,6 +48,7 @@ mod delegate;
 mod dispatch;
 mod epoch;
 mod router;
+pub(crate) mod session;
 #[cfg(test)]
 mod tests;
 
@@ -59,8 +60,11 @@ pub(crate) use assign::{CostSamples, StealShared};
 pub use delegate::DelegateContext;
 pub(crate) use delegate::{future_wait_turn, trace_executor_for, WaitTurn};
 pub(crate) use router::Router;
+pub(crate) use session::SessionShared;
+pub use session::{Session, SessionStats};
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{JoinHandle, ThreadId};
 use std::time::Instant;
@@ -142,6 +146,14 @@ pub(crate) struct Core {
     /// mode other than `Off` — the `None` fast path keeps the default
     /// hot path free of audit atomics.
     pub(crate) audit: Option<AuditState>,
+    /// Live tenant registry: session id → shared session state. Written
+    /// by `Runtime::session` / `Session::drop` (rare); read by thieves to
+    /// resolve which tenant's pin map and epoch serial a stolen key
+    /// belongs to. Never touched on the root (single-tenant) hot path.
+    pub(crate) sessions: Mutex<HashMap<u32, Arc<SessionShared>>>,
+    /// Tenant-id dispenser (ids start at 1; the root runtime is the
+    /// implicit tenant 0).
+    pub(crate) next_session_id: AtomicU32,
     /// Deliberate runtime weakenings (test-only `chaos` feature).
     #[cfg(feature = "chaos")]
     pub(crate) chaos: ChaosKnobs,
@@ -274,6 +286,89 @@ impl Core {
     }
 
     // --------------------------------------------------------------
+    // session-domain audit. Same recorder, but gated on the *session's*
+    // sampling flag and stamped with the session's composite serial
+    // (`id << 48 | epoch_serial`), so each tenant's epochs are audited
+    // independently of the root epoch and of every other tenant.
+
+    /// Session form of [`audit_submit`](Core::audit_submit). `key` is the
+    /// session-qualified route key.
+    #[inline]
+    pub(crate) fn session_audit_submit(
+        &self,
+        s: &SessionShared,
+        key: SsId,
+        producer: usize,
+    ) -> u64 {
+        match &self.audit {
+            Some(a) if s.audit_on.load(Ordering::Relaxed) => {
+                a.submit_in(key, producer as u16, s.audit_serial())
+            }
+            _ => 0,
+        }
+    }
+
+    /// Session form of [`audit_unsubmit`](Core::audit_unsubmit).
+    #[inline]
+    pub(crate) fn session_audit_unsubmit(&self, s: &SessionShared, key: SsId, tag: u64, n: usize) {
+        if tag == 0 {
+            return;
+        }
+        if let Some(a) = &self.audit {
+            a.unsubmit(key, tag, n as u64, s.audit_serial());
+        }
+    }
+
+    /// Session form of [`audit_exec`](Core::audit_exec): records against
+    /// the session's serial so the entry lookup matches the submit stamp.
+    #[inline]
+    pub(crate) fn session_audit_exec(&self, s: &SessionShared, key: SsId, tag: u64, slot: usize) {
+        if tag == 0 {
+            return;
+        }
+        if let Some(a) = &self.audit {
+            a.exec(key, tag, slot, s.audit_serial());
+        }
+    }
+
+    /// Session form of [`audit_access_gate`](Core::audit_access_gate).
+    #[inline]
+    pub(crate) fn session_audit_access_gate(
+        &self,
+        s: &SessionShared,
+        key: SsId,
+    ) -> Option<AuditReport> {
+        match &self.audit {
+            Some(a) if s.audit_on.load(Ordering::Relaxed) => {
+                a.access_gate_in(key, s.audit_serial())
+            }
+            _ => None,
+        }
+    }
+
+    /// Opens a session audit epoch: samples on the session's *own* epoch
+    /// serial so sparse tenants still get audited epochs under
+    /// `AuditMode::Sample`.
+    #[inline]
+    pub(crate) fn session_audit_begin_epoch(&self, s: &SessionShared, serial: u64) {
+        if let Some(a) = &self.audit {
+            s.audit_on.store(a.should_audit(serial), Ordering::Relaxed);
+        }
+    }
+
+    /// Closes a session audit epoch after the session's drain barrier:
+    /// conservation-checks and sweeps only this session's entries.
+    #[inline]
+    pub(crate) fn session_audit_end_epoch(&self, s: &SessionShared) -> Option<AuditReport> {
+        let a = self.audit.as_ref()?;
+        if !s.audit_on.swap(false, Ordering::Relaxed) {
+            return None;
+        }
+        StatsCell::bump(&self.stats.epochs_audited);
+        a.close_domain(s.audit_serial())
+    }
+
+    // --------------------------------------------------------------
     // chaos knobs (compiled out without the `chaos` feature)
 
     /// Whether delegates deliberately reorder their ring drains. (Only
@@ -303,6 +398,23 @@ impl Core {
     #[inline(always)]
     pub(crate) fn chaos_steal_no_repin(&self) -> bool {
         self.chaos.steal_no_repin
+    }
+
+    /// Whether a thief deliberately publishes a stolen session key's new
+    /// pin into the root (wrong) namespace instead of the owning
+    /// session's map.
+    #[cfg(feature = "chaos")]
+    #[inline(always)]
+    pub(crate) fn chaos_cross_session_pin_leak(&self) -> bool {
+        self.chaos.cross_session_pin_leak
+    }
+
+    /// Resolves a tenant id (a key's or stamp's high 16 bits) to its live
+    /// session — the thief's and the deadlock detector's way into a
+    /// foreign tenant's pin map and epoch serial. `None` for dropped
+    /// sessions and for root keys whose raw bits merely alias an id.
+    pub(crate) fn session_by_id(&self, id: u32) -> Option<Arc<SessionShared>> {
+        self.sessions.lock().get(&id).cloned()
     }
 
     /// Records one delegate-side trace event directly against the shared
@@ -384,6 +496,9 @@ pub(crate) struct Inner {
     epoch_gen: AtomicU64,
     /// §3.3 execution trace, when enabled (program-thread-only).
     trace_log: Option<ProgramOnly<TraceLog>>,
+    /// Per-session in-flight cap handed to every session this runtime
+    /// opens (`RuntimeBuilder::session_queue_cap`).
+    pub(crate) session_queue_cap: Option<u64>,
     pub(crate) core: Arc<Core>,
 }
 
@@ -400,6 +515,11 @@ pub(crate) struct Inner {
 #[derive(Clone)]
 pub struct Runtime {
     pub(crate) inner: Arc<Inner>,
+    /// `Some` when this handle is a [`Session`]'s view of the runtime:
+    /// epoch control, routing, auditing and drain accounting then act on
+    /// the session's own domain instead of the root's. `None` for every
+    /// root handle — all root paths are the seed behaviour, untouched.
+    pub(crate) session: Option<Arc<SessionShared>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -489,6 +609,8 @@ impl Runtime {
                 .then(|| (0..n_delegates).map(|_| Mutex::new(Vec::new())).collect()),
             cell_pool: CellPool::new(),
             audit: (b.audit != AuditMode::Off).then(|| AuditState::new(b.audit)),
+            sessions: Mutex::new(HashMap::new()),
+            next_session_id: AtomicU32::new(1),
             #[cfg(feature = "chaos")]
             chaos: b.chaos,
         });
@@ -533,6 +655,7 @@ impl Runtime {
             next_instance: AtomicU64::new(0),
             epoch_gen: AtomicU64::new(0),
             trace_log: b.trace.then(|| ProgramOnly::new(TraceLog::default())),
+            session_queue_cap: b.session_queue_cap,
             core,
         });
 
@@ -592,7 +715,10 @@ impl Runtime {
         }
         drop(handles);
 
-        Ok(Runtime { inner })
+        Ok(Runtime {
+            inner,
+            session: None,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -707,6 +833,15 @@ impl Runtime {
         let Some(log) = &self.inner.trace_log else {
             return;
         };
+        if let Some(s) = &self.session {
+            // The program-order log and its epoch cell belong to the root
+            // program thread. The session's own logical clock still
+            // advances per trace-worthy event, so tenants keep an ordered
+            // event count (`SessionStats::trace_events`) without writing
+            // into the root log.
+            s.trace_clock.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         debug_assert!(self.is_program_thread());
         let executor = executor.map(|e| match e {
             Executor::Program => TraceExecutor::Program,
@@ -733,6 +868,9 @@ impl Runtime {
         let Some(buf) = &self.inner.core.side_events else {
             return;
         };
+        if self.session.is_some() {
+            return;
+        }
         let mut events = std::mem::take(&mut *buf.lock());
         if events.is_empty() {
             return;
@@ -756,6 +894,11 @@ impl Runtime {
         set: Option<SsId>,
         executor: Executor,
     ) {
+        if self.session.is_some() {
+            // The side-event buffer drains into the root-domain trace log;
+            // tenant events would pollute it with composite set ids.
+            return;
+        }
         let executor = match executor {
             Executor::Program => TraceExecutor::Program,
             Executor::Delegate(i) => TraceExecutor::Delegate(i),
@@ -772,6 +915,10 @@ impl Runtime {
     /// Removes and returns the recorded trace (program thread only; empty
     /// when tracing is disabled). Sequence numbers continue across takes.
     pub fn take_trace(&self) -> SsResult<Vec<TraceEvent>> {
+        if self.session.is_some() {
+            // The program-order trace log is root-domain state.
+            return Err(SsError::WrongContext);
+        }
         self.require_program_thread()?;
         self.flush_side_trace();
         match &self.inner.trace_log {
@@ -793,7 +940,12 @@ impl Runtime {
 
     #[inline]
     pub(crate) fn is_program_thread(&self) -> bool {
-        std::thread::current().id() == self.inner.program_thread
+        let target = match &self.session {
+            // A session's "program thread" is the thread that opened it.
+            Some(s) => s.program_thread,
+            None => self.inner.program_thread,
+        };
+        std::thread::current().id() == target
     }
 
     /// Executor identity of the calling thread, if it belongs to this
@@ -826,7 +978,10 @@ impl Runtime {
     /// epoch (cleared by `end_isolation` after the barrier).
     #[inline]
     pub(crate) fn nested_epoch_active(&self) -> bool {
-        self.inner.core.nested_in_epoch.load(Ordering::Acquire)
+        match &self.session {
+            Some(s) => s.nested_in_epoch.load(Ordering::Acquire),
+            None => self.inner.core.nested_in_epoch.load(Ordering::Acquire),
+        }
     }
 
     /// Marks the current isolation epoch as containing nested delegations.
@@ -835,17 +990,26 @@ impl Runtime {
     /// ordering matters).
     #[inline]
     pub(crate) fn mark_nested_epoch(&self) {
-        self.inner
-            .core
-            .nested_in_epoch
-            .store(true, Ordering::Release);
+        match &self.session {
+            Some(s) => s.nested_in_epoch.store(true, Ordering::Release),
+            None => self
+                .inner
+                .core
+                .nested_in_epoch
+                .store(true, Ordering::Release),
+        }
     }
 
     /// Cross-thread view of the isolation-epoch serial (the nested
     /// delegation path's substitute for the program-only `epoch.serial`).
+    /// Session handles answer with the session's own serial — the value
+    /// every session-qualified pin and audit stamp is built from.
     #[inline]
     pub(crate) fn cross_epoch_serial(&self) -> u64 {
-        self.inner.core.epoch_serial.load(Ordering::Acquire)
+        match &self.session {
+            Some(s) => s.epoch_serial.load(Ordering::Acquire),
+            None => self.inner.core.epoch_serial.load(Ordering::Acquire),
+        }
     }
 
     #[inline]
@@ -871,6 +1035,11 @@ impl Runtime {
     /// (Table 1 `sleep`): delegate threads park as soon as their queues are
     /// empty, regardless of wait policy, until the next `begin_isolation`.
     pub fn sleep(&self) -> SsResult<()> {
+        if self.session.is_some() {
+            // Pool-wide lifecycle stays with the root handle: one tenant
+            // must not park the delegates out from under the others.
+            return Err(SsError::WrongContext);
+        }
         self.require_program_thread()?;
         self.check_live()?;
         if self.in_isolation() {
@@ -883,6 +1052,9 @@ impl Runtime {
     /// Terminates the delegate threads after they drain their queues (Table 1
     /// `terminate`). Idempotent; also implied by dropping the last handle.
     pub fn shutdown(&self) -> SsResult<()> {
+        if self.session.is_some() {
+            return Err(SsError::WrongContext);
+        }
         self.require_program_thread()?;
         if self.in_isolation() {
             return Err(SsError::NotIsolating); // must end the epoch first

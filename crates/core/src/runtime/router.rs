@@ -152,6 +152,22 @@ impl Router {
     /// Pure policies bypass the pin map entirely (recomputed per call,
     /// matching the pre-router behaviour: no pin, no `Pin` trace).
     pub(crate) fn route(&self, ss: SsId, serial: u64, loads: &DelegateLoads<'_>) -> Route {
+        self.route_in(&self.pins, ss, serial, loads)
+    }
+
+    /// [`route`](Router::route) against an explicit pin map — the
+    /// session paths resolve their (session-qualified) keys against the
+    /// session's own map, whose per-shard epoch stamps carry that
+    /// tenant's serials. Sharing the root map would be unsound: a shard's
+    /// serial gate wipes the whole shard on mismatch, so two tenants'
+    /// interleaved epochs would erase each other's live pins.
+    pub(crate) fn route_in(
+        &self,
+        pins: &ShardMap,
+        ss: SsId,
+        serial: u64,
+        loads: &DelegateLoads<'_>,
+    ) -> Route {
         debug_assert!(!self.always_pin, "stealing submits must route_publish");
         if self.static_assignment {
             return Route {
@@ -168,7 +184,7 @@ impl Router {
             };
         }
         if self.lock_free {
-            if let Some(code) = self.pins.get(ss.0, serial) {
+            if let Some(code) = pins.get(ss.0, serial) {
                 return Route {
                     executor: decode(code),
                     fresh_pin: false,
@@ -176,7 +192,7 @@ impl Router {
                 };
             }
         }
-        let mut shard = self.pins.lock_key(ss.0);
+        let mut shard = pins.lock_key(ss.0);
         let (code, fresh_pin) =
             shard.get_or_insert_with(ss.0, serial, || encode(self.assign(ss, serial, loads)));
         Route {
@@ -203,7 +219,23 @@ impl Router {
         loads: &DelegateLoads<'_>,
         publish: impl FnOnce(Executor),
     ) -> Route {
-        let mut shard = self.pins.lock_key(ss.0);
+        self.route_publish_in(&self.pins, ss, serial, loads, publish)
+    }
+
+    /// [`route_publish`](Router::route_publish) against an explicit pin
+    /// map (see [`route_in`](Router::route_in)). A thief migrating a
+    /// session's keys locks the same session map, so the
+    /// publish-vs-steal critical-section argument is unchanged — it just
+    /// plays out per tenant.
+    pub(crate) fn route_publish_in(
+        &self,
+        pins: &ShardMap,
+        ss: SsId,
+        serial: u64,
+        loads: &DelegateLoads<'_>,
+        publish: impl FnOnce(Executor),
+    ) -> Route {
+        let mut shard = pins.lock_key(ss.0);
         let (code, fresh_pin) =
             shard.get_or_insert_with(ss.0, serial, || encode(self.assign(ss, serial, loads)));
         let executor = decode(code);
@@ -247,6 +279,18 @@ impl Router {
         serial: u64,
         loads: &DelegateLoads<'_>,
     ) -> Option<Executor> {
+        self.peek_in(&self.pins, ss, serial, loads)
+    }
+
+    /// [`peek`](Router::peek) against an explicit pin map (see
+    /// [`route_in`](Router::route_in)).
+    pub(crate) fn peek_in(
+        &self,
+        pins: &ShardMap,
+        ss: SsId,
+        serial: u64,
+        loads: &DelegateLoads<'_>,
+    ) -> Option<Executor> {
         if self.static_assignment {
             return Some(static_executor(ss, &self.topology));
         }
@@ -257,7 +301,7 @@ impl Router {
             let mut scheduler = self.scheduler.try_lock()?;
             return Some(scheduler.assign_raw(ss, serial, &self.topology, loads));
         }
-        self.pins.read_nonblocking(ss.0, serial).map(decode)
+        pins.read_nonblocking(ss.0, serial).map(decode)
     }
 
     /// Migrates `candidates` from executor `from` to executor `to`, with
@@ -276,11 +320,36 @@ impl Router {
         to: Executor,
         transfer: impl FnOnce(&[u64]) -> Vec<u64>,
     ) -> Vec<u64> {
+        self.migrate_keys_in(&self.pins, serial, candidates, from, to, true, transfer)
+    }
+
+    /// [`migrate_keys`](Router::migrate_keys) against an explicit pin map
+    /// — the thief resolves each candidate's *domain* (the key's high 16
+    /// bits) and migrates session-owned keys against that session's map
+    /// and epoch serial, so the revalidate-transfer-repin step composes
+    /// per tenant.
+    ///
+    /// `repin: false` moves the batches but leaves the victim's pin in
+    /// place — only the `cross_session_pin_leak` chaos knob passes it, to
+    /// model a thief that republishes the pin in the wrong tenant's
+    /// namespace (see [`leak_pin`](Router::leak_pin)). The per-session
+    /// auditor must then see the set execute on two executors.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn migrate_keys_in(
+        &self,
+        pins: &ShardMap,
+        serial: u64,
+        candidates: &[u64],
+        from: Executor,
+        to: Executor,
+        repin: bool,
+        transfer: impl FnOnce(&[u64]) -> Vec<u64>,
+    ) -> Vec<u64> {
         if candidates.is_empty() {
             return Vec::new();
         }
         let from_code = encode(from);
-        let mut shards = self.pins.lock_keys(candidates);
+        let mut shards = pins.lock_keys(candidates);
         let valid: Vec<u64> = candidates
             .iter()
             .copied()
@@ -290,11 +359,27 @@ impl Router {
             return Vec::new();
         }
         let taken = transfer(&valid);
-        let to_code = encode(to);
-        for &key in &taken {
-            shards.set(key, serial, to_code);
+        if repin {
+            let to_code = encode(to);
+            for &key in &taken {
+                shards.set(key, serial, to_code);
+            }
         }
         taken
+    }
+
+    /// Chaos hook for `cross_session_pin_leak`: publishes a stolen
+    /// session key's new pin into the **root** map (the wrong namespace)
+    /// instead of the owning session's, stamped with the root serial so
+    /// it even looks healthy there. The owning session's routing never
+    /// reads the root map, so its stale victim pin keeps routing later
+    /// same-set submits to the victim while the stolen batch runs on the
+    /// thief — the two-executor overlap the per-session auditor exists to
+    /// catch.
+    #[cfg(feature = "chaos")]
+    pub(crate) fn leak_pin(&self, key: u64, root_serial: u64, to: Executor) {
+        let mut shard = self.pins.lock_key(key);
+        shard.set(key, root_serial, encode(to));
     }
 }
 

@@ -57,6 +57,12 @@ pub(crate) struct StatsCell {
     /// Isolation epochs certified (or condemned) by the serializability
     /// auditor.
     pub epochs_audited: AtomicU64,
+    /// Live [`Session`](crate::Session) handles (gauge, not a counter):
+    /// raised by `Runtime::session`, lowered when the handle drops.
+    pub sessions_active: AtomicU64,
+    /// Times a session submit had to stall because the session was at its
+    /// per-session queue-depth cap (`RuntimeBuilder::session_queue_cap`).
+    pub starvation_stalls: AtomicU64,
     /// Per-delegate count of enqueued-or-executing operations.
     pub queue_depths: Box<[AtomicU64]>,
     /// Per-delegate count of completed operations.
@@ -91,6 +97,8 @@ impl StatsCell {
             steal_failures: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             epochs_audited: AtomicU64::new(0),
+            sessions_active: AtomicU64::new(0),
+            starvation_stalls: AtomicU64::new(0),
             queue_depths: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
             delegate_executed: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -126,6 +134,8 @@ impl StatsCell {
             steal_failures: self.steal_failures.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Acquire),
             epochs_audited: self.epochs_audited.load(Ordering::Relaxed),
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            starvation_stalls: self.starvation_stalls.load(Ordering::Relaxed),
             // Patched in by Runtime::stats from the auditor's own counter
             // (the auditor lives outside this cell); 0 when auditing is off.
             audit_edges: 0,
@@ -226,6 +236,15 @@ pub struct Stats {
     /// [`AuditMode::Full`](crate::AuditMode::Full); a subset under
     /// `Sample`; 0 when auditing is off.
     pub epochs_audited: u64,
+    /// [`Session`](crate::Session) handles currently live: a gauge raised
+    /// when [`Runtime::session`](crate::Runtime::session) hands one out
+    /// and lowered when the handle drops. 0 for single-tenant programs.
+    pub sessions_active: u64,
+    /// Times a session submit stalled at the per-session queue-depth cap
+    /// ([`RuntimeBuilder::session_queue_cap`](crate::RuntimeBuilder::session_queue_cap))
+    /// before its operation was accepted — the fairness backpressure
+    /// signal. 0 when no cap is configured.
+    pub starvation_stalls: u64,
     /// Conflict-graph edges the auditor recorded: one per executed
     /// operation observed while an audited epoch was open. A rough
     /// measure of audit coverage and of the checker's (O(1)-per-event)
@@ -326,6 +345,8 @@ mod tests {
             steal_failures: 0,
             in_flight: 0,
             epochs_audited: 0,
+            sessions_active: 0,
+            starvation_stalls: 0,
             audit_edges: 0,
             queue_depths: Vec::new(),
             delegate_executed: Vec::new(),

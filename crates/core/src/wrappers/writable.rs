@@ -326,7 +326,7 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
     {
         let (ss, serial) = self.prepare_program_delegation(external)?;
         self.shared.pending.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = self.rt.inner.core.cell_pool.oneshot(serial);
+        let (tx, rx) = self.oneshot_cell(serial);
         let task = self.package_task_with(f, tx, serial, ss);
         let executor = self.submit_and_record(ss, task)?;
         Ok(SsFuture::new(rx, self.rt.clone(), ss, executor))
@@ -539,6 +539,21 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         Ok(executor)
     }
 
+    /// The one-shot completion cell backing a future-returning delegation.
+    /// Root-domain futures draw pooled cells; the pool's recycle point is
+    /// the *root* epoch barrier, whose drain proves nothing about session
+    /// operations, so session futures take fresh (unpooled) cells whose
+    /// lifetime is governed by reference counting alone.
+    fn oneshot_cell<R: Send + 'static>(
+        &self,
+        serial: u64,
+    ) -> (OneshotSender<R>, ss_queue::oneshot::OneshotReceiver<R>) {
+        match &self.rt.session {
+            Some(_) => ss_queue::oneshot::oneshot(serial),
+            None => self.rt.inner.core.cell_pool.oneshot(serial),
+        }
+    }
+
     /// Packages `f` as the self-contained invocation closure shipped
     /// through the queues: it performs the unsafe receiver access, traps
     /// panics into the runtime poison flag, and settles the object's
@@ -694,7 +709,7 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         F: FnOnce(&mut T) -> R + Send + 'static,
     {
         let (ss, serial) = self.prepare_nested_delegation(cx, external, 1)?;
-        let (tx, rx) = self.rt.inner.core.cell_pool.oneshot(serial);
+        let (tx, rx) = self.oneshot_cell(serial);
         let task = self.package_task_with(f, tx, serial, ss);
         let executor = self.submit_nested_and_record(ss, task)?;
         Ok(SsFuture::new(rx, self.rt.clone(), ss, executor))
@@ -996,7 +1011,16 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             // disagrees. Runs *before* the closure touches the value, so
             // a weakened reclaim fails loudly instead of racing.
             if let Some(ss) = tag {
-                if let Some(report) = rt.inner.core.audit_access_gate(ss) {
+                // Session objects were audited under the tenant's
+                // composite key and sampling flag; gate against those.
+                let report = match &rt.session {
+                    Some(s) => rt
+                        .inner
+                        .core
+                        .session_audit_access_gate(s, SsId(s.route_key(ss))),
+                    None => rt.inner.core.audit_access_gate(ss),
+                };
+                if let Some(report) = report {
                     self.shared.local.lock().accessing = false;
                     return Err(SsError::SerializabilityViolation(report));
                 }

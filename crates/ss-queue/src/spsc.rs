@@ -340,6 +340,19 @@ impl<T> Injector<T> {
     pub fn injected_len(&self) -> usize {
         self.shared.lane.len.load(Ordering::Acquire)
     }
+
+    /// Grows the lane's backing buffer to hold at least `total` items
+    /// without reallocating. The lane is unbounded, so `push` grows the
+    /// buffer amortized whenever the backlog exceeds every previous peak;
+    /// a caller that bounds its own backlog (the runtime caps a session's
+    /// in-flight work) can reserve up to that bound once, outside its hot
+    /// path, and `push` then never touches the allocator while the bound
+    /// holds.
+    pub fn reserve(&self, total: usize) {
+        self.shared.lane.with(|items, _| {
+            items.reserve(total.saturating_sub(items.len()));
+        });
+    }
 }
 
 /// Receiving half of an [`SpscQueue`]; owned by exactly one thread.

@@ -54,7 +54,7 @@ pub mod prelude {
         DelegateAssignment, DelegateContext, DelegateLoads, EwmaCost, ExecutionMode, Executor,
         FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer, ReadOnly, Reduce, Reducible,
         RoundRobinFirstTouch, RoutingMode, Runtime, RuntimeBuilder, SequenceSerializer, Serializer,
-        SsError, SsFuture, SsId, StaticAssignment, Stats, StealPolicy, TraceEvent, TraceExecutor,
-        TraceKind, WaitPolicy, Writable,
+        Session, SessionStats, SsError, SsFuture, SsId, StaticAssignment, Stats, StealPolicy,
+        TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
     };
 }

@@ -52,10 +52,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// The counter is process-global, so the measured windows of the two
+/// gates below must not overlap: the harness runs `#[test]`s on
+/// parallel threads by default, and one test's warmup allocations
+/// landing inside the other's window is a false failure.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn steady_state_delegation_does_not_allocate() {
     const WARMUP: u64 = 10_000;
     const MEASURED: u64 = 10_000;
+    let _serial = GATE.lock().unwrap_or_else(|e| e.into_inner());
 
     let rt = Runtime::builder()
         .delegate_threads(1)
@@ -102,4 +109,74 @@ fn steady_state_delegation_does_not_allocate() {
     let stats = rt.stats();
     assert_eq!(stats.tasks_boxed, 0, "small closures must be stored inline");
     assert_eq!(stats.tasks_inline, WARMUP + 100 + MEASURED);
+}
+
+/// The same gate for the multi-tenant path: steady-state re-delegation
+/// *inside an open session* must also be allocation-free. The session
+/// layer adds a composite routing key, a per-session pin-map probe and
+/// two atomic counters to the hot path — arithmetic and lock-free
+/// structure reuse, none of which may touch the heap once the pin and the
+/// shard entry exist. (Session `begin`/`end_isolation` and session
+/// futures legitimately allocate and stay outside the window, exactly
+/// like the root epoch boundaries above.)
+///
+/// Session pushes travel the multi-producer injector lane, not the SPSC
+/// ring (the ring's producer is owned by the root program thread), and
+/// the lane is an unbounded `VecDeque` that grows amortized whenever the
+/// backlog tops every previous peak. The `session_queue_cap` below is
+/// therefore load-bearing: the fairness cap bounds the session's backlog,
+/// and session open pre-reserves every lane to the cap, so the measured
+/// window can never see a lane grow. Without the cap this gate would be
+/// schedule-dependent — whether the measured epoch's peak backlog exceeds
+/// the warmup's is up to the OS scheduler.
+#[test]
+fn session_steady_state_delegation_does_not_allocate() {
+    const WARMUP: u64 = 10_000;
+    const MEASURED: u64 = 10_000;
+    let _serial = GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .queue_capacity(4096)
+        .session_queue_cap(2048)
+        .build()
+        .unwrap();
+    let session = rt.session().unwrap();
+    let obj: Writable<u64, SequenceSerializer> = Writable::new(&session, 0);
+
+    // Warmup epoch: tenant registration, the session's shard-map entry,
+    // first-touch pin, delegate-side lazy structures.
+    session.begin_isolation().unwrap();
+    for _ in 0..WARMUP {
+        obj.delegate(|n| *n += 1).unwrap();
+    }
+    session.end_isolation().unwrap();
+
+    // Measured epoch: enter the session epoch and re-pin the set before
+    // snapshotting, so only steady-state re-delegation is counted.
+    session.begin_isolation().unwrap();
+    for _ in 0..100 {
+        obj.delegate(|n| *n += 1).unwrap();
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED {
+        obj.delegate(|n| *n += 1).unwrap();
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    session.end_isolation().unwrap();
+
+    assert_eq!(
+        obj.call(|n| *n).unwrap(),
+        WARMUP + 100 + MEASURED,
+        "every session-delegated operation must have executed"
+    );
+    assert_eq!(
+        delta, 0,
+        "session steady-state hot loop allocated {delta} times in {MEASURED} ops"
+    );
+
+    let s = session.session_stats();
+    assert_eq!(s.submitted, WARMUP + 100 + MEASURED);
+    assert_eq!(s.completed, WARMUP + 100 + MEASURED);
+    assert_eq!(s.in_flight, 0);
 }

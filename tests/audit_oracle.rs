@@ -389,6 +389,80 @@ mod chaos {
         let _ = rt.end_isolation();
     }
 
+    /// `cross_session_pin_leak` makes the thief migrate a session's set
+    /// *without* rewriting the tenant's pin, re-pinning it into the root
+    /// namespace instead (the wrong tenant). The session keeps routing
+    /// later submits to the victim while the thief runs the stolen
+    /// prefix — and because audit stamps carry the session id, it is the
+    /// *session's own* audit domain that must catch the set on two
+    /// executors when its epoch closes.
+    #[test]
+    fn cross_session_pin_leak_is_caught_by_the_sessions_auditor() {
+        let rt = Runtime::builder()
+            .delegate_threads(2)
+            .assignment(Assignment::Static)
+            .stealing(StealPolicy::WhenIdle)
+            .audit(AuditMode::Full)
+            .chaos(ChaosKnobs {
+                cross_session_pin_leak: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let session = rt.session().unwrap();
+        // Session-qualified Static routing: the composite key's high bits
+        // (the session id) are even, so key % 2 follows the raw set id —
+        // both the blocker set (0) and the victim set (2) pin to delegate
+        // 0, and delegate 1 sits idle, ready to steal.
+        let blocker: Writable<u64, SequenceSerializer> = Writable::new(&session, 0);
+        let victim: Writable<u64, SequenceSerializer> = Writable::new(&session, 0);
+        session.begin_isolation().unwrap();
+        blocker
+            .delegate_in(ss_core::SsId(0), |_| {
+                std::thread::sleep(Duration::from_millis(150))
+            })
+            .unwrap();
+        for _ in 0..8 {
+            victim.delegate_in(ss_core::SsId(2), |_| {}).unwrap();
+        }
+        // Wait for delegate 1 to lift the session's queued victim batch.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.stats().steals == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no steal happened; cannot exercise the knob"
+            );
+            std::thread::yield_now();
+        }
+        // The session's pin still says delegate 0 (the leak re-pinned
+        // into the ROOT namespace): these land on the victim queue and
+        // execute there while the thief ran the stolen prefix — same
+        // tenant set, two executors, same tenant epoch.
+        for _ in 0..4 {
+            victim.delegate_in(ss_core::SsId(2), |_| {}).unwrap();
+        }
+        match session.end_isolation() {
+            Err(SsError::SerializabilityViolation(report)) => {
+                // The report names the session-qualified composite key:
+                // the tenant id in the high 16 bits over the raw set id.
+                let expect = ((session.id() as u64) << 48) | 2;
+                assert_eq!(
+                    report.set,
+                    ss_core::SsId(expect),
+                    "wrong set named: {report}"
+                );
+                match report.kind {
+                    AuditViolation::TwoExecutors { first, second } => {
+                        assert_ne!(first, second, "pair must be real: {report}");
+                    }
+                    other => panic!("wrong violation kind: {other:?}"),
+                }
+            }
+            Ok(()) => panic!("cross-session pin leak went undetected"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
     /// `steal_no_repin` migrates a set without rewriting its pin, so later
     /// submits keep routing to the victim while the thief runs the stolen
     /// prefix — the auditor must see the set on two executors.

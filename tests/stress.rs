@@ -617,6 +617,100 @@ fn streaming_ingest_keeps_audit_graph_bounded() {
     }
 }
 
+/// Tenant isolation under load: one session holds long `end_isolation`
+/// barriers (a slow operation keeps its drain counter up) while a second
+/// session streams tiny operations — and keeps *completing* them,
+/// epoch after epoch, while the first tenant's barrier is still blocked.
+/// This is the property that distinguishes per-session barriers from the
+/// seed's global quiescence: a pool-wide drain would freeze the streamer
+/// for the whole 200 ms of every slow epoch.
+#[test]
+fn one_tenants_barrier_never_stalls_anothers_stream() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    const SLOW_EPOCHS: u64 = 3;
+    const SLOW_MS: u64 = 200;
+
+    // Static assignment with 2 delegates: session-qualified keys keep the
+    // low bits of the raw set id (the session id sits in the high bits,
+    // always even), so SsId(0) pins to delegate 0 and SsId(1) to delegate
+    // 1 — the blocker and the streamer never share an executor FIFO, and
+    // any stall the streamer sees must come from barrier coupling.
+    let rt = Runtime::builder()
+        .delegate_threads(2)
+        .assignment(Assignment::Static)
+        .build()
+        .unwrap();
+
+    let blocker_in_barrier = AtomicBool::new(false);
+    let blocker_done = AtomicBool::new(false);
+    let epochs_inside_barrier = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let rt_a = rt.clone();
+        let in_barrier = &blocker_in_barrier;
+        let done = &blocker_done;
+        scope.spawn(move || {
+            let session = rt_a.session().unwrap();
+            let w: Writable<u64, SequenceSerializer> = Writable::new(&session, 0);
+            for _ in 0..SLOW_EPOCHS {
+                session.begin_isolation().unwrap();
+                w.delegate_in(SsId(0), |n| {
+                    std::thread::sleep(Duration::from_millis(SLOW_MS));
+                    *n += 1;
+                })
+                .unwrap();
+                in_barrier.store(true, Ordering::SeqCst);
+                // Blocks ~SLOW_MS: drains only THIS session's counter.
+                session.end_isolation().unwrap();
+                in_barrier.store(false, Ordering::SeqCst);
+                assert_eq!(session.session_stats().in_flight, 0);
+            }
+            assert_eq!(w.call(|n| *n).unwrap(), SLOW_EPOCHS);
+            done.store(true, Ordering::SeqCst);
+        });
+
+        let rt_b = rt.clone();
+        let in_barrier = &blocker_in_barrier;
+        let done = &blocker_done;
+        let witnessed = &epochs_inside_barrier;
+        scope.spawn(move || {
+            let session = rt_b.session().unwrap();
+            let w: Writable<u64, SequenceSerializer> = Writable::new(&session, 0);
+            let mut expected = 0u64;
+            while !done.load(Ordering::SeqCst) {
+                let started_inside = in_barrier.load(Ordering::SeqCst);
+                session.begin_isolation().unwrap();
+                for _ in 0..50 {
+                    w.delegate_in(SsId(1), |n| *n += 1).unwrap();
+                    expected += 1;
+                }
+                // The streamer's own barrier: must return promptly even
+                // while the blocker's barrier is mid-drain.
+                session.end_isolation().unwrap();
+                let s = session.session_stats();
+                assert_eq!(s.in_flight, 0, "streamer failed to drain: {s:?}");
+                assert_eq!(s.completed, expected, "streamer lost ops: {s:?}");
+                // A full submit→drain cycle begun AND finished while the
+                // blocker was (and still is) inside its barrier is the
+                // liveness witness.
+                if started_inside && in_barrier.load(Ordering::SeqCst) {
+                    witnessed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            assert_eq!(w.call(|n| *n).unwrap(), expected);
+        });
+    });
+
+    assert!(
+        epochs_inside_barrier.load(Ordering::Relaxed) > 0,
+        "streamer never completed an epoch inside the blocker's barrier — \
+         the barriers are coupled"
+    );
+    assert_eq!(rt.stats().sessions_active, 0, "tenant leak");
+}
+
 #[test]
 fn runtime_handles_survive_wrapper_lifetimes() {
     // Wrappers hold runtime clones; dropping them in arbitrary orders, with
