@@ -462,6 +462,28 @@ impl AuditState {
         state.executed += 1;
     }
 
+    /// Records a *legal* executor handover: the steal protocol migrated
+    /// the set's queued operations to executor slot `to_slot` at a point
+    /// where no operation of the set was in flight (never-started batch,
+    /// or quiescent tail after the handshake), so subsequent executions
+    /// on the thief are a continuation of the set's serial order — not a
+    /// second executor. Re-points the one-executor check at the thief.
+    ///
+    /// Does NOT weaken the checker against illegal steals: a mid-set
+    /// steal (chaos `steal_mid_set`) migrates while the owner still has
+    /// an operation in flight, and that operation's `exec` lands *after*
+    /// this handover — its slot no longer matches and `TwoExecutors`
+    /// fires; any stolen op that overtakes the owner's prefix trips the
+    /// per-producer order check besides.
+    pub(crate) fn handover(&self, ss: SsId, serial: u64, to_slot: usize) {
+        let mut shard = self.shard(ss).lock().unwrap();
+        if let Some(state) = shard.get_mut(&ss.0) {
+            if state.serial == serial && state.executor != u32::MAX {
+                state.executor = to_slot as u32;
+            }
+        }
+    }
+
     /// The access gate: called on the program thread right before it gains
     /// direct access to a reclaimed set's object. Certifies that every
     /// program-submitted operation of the set has executed, then stamps a
@@ -636,6 +658,58 @@ mod tests {
             } => {}
             other => panic!("wrong kind: {other:?}"),
         }
+    }
+
+    #[test]
+    fn handover_lets_tail_continue_on_thief() {
+        // Owner (slot 1) executes a prefix, the quiescent tail migrates to
+        // the thief (slot 2): with the handover recorded, the split
+        // execution is one serial order, not TwoExecutors.
+        let a = full();
+        let ss = SsId(4);
+        let t1 = a.submit(ss, 0, 1);
+        let t2 = a.submit(ss, 0, 1);
+        let t3 = a.submit(ss, 0, 1);
+        a.exec(ss, t1, 1, 1);
+        a.handover(ss, 1, 2);
+        a.exec(ss, t2, 2, 1);
+        a.exec(ss, t3, 2, 1);
+        let (_, v) = a.end_epoch(1);
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn exec_on_old_slot_after_handover_is_two_executors() {
+        // A mid-set steal: the owner's in-flight op reports *after* the
+        // handover re-pointed the record at the thief — caught.
+        let a = full();
+        let ss = SsId(4);
+        let t1 = a.submit(ss, 0, 1);
+        let t2 = a.submit(ss, 0, 1);
+        a.exec(ss, t1, 1, 1);
+        a.handover(ss, 1, 2);
+        a.exec(ss, t2, 1, 1); // owner, not thief
+        let (_, v) = a.end_epoch(1);
+        assert!(matches!(
+            v.expect("violation").kind,
+            AuditViolation::TwoExecutors {
+                first: 2,
+                second: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn handover_before_any_exec_is_inert() {
+        // A whole-batch steal of a never-executed set: nothing to
+        // re-point; the thief's first exec claims the record as usual.
+        let a = full();
+        let ss = SsId(4);
+        let t1 = a.submit(ss, 0, 1);
+        a.handover(ss, 1, 2);
+        a.exec(ss, t1, 3, 1); // claims slot 3, no violation
+        let (_, v) = a.end_epoch(1);
+        assert_eq!(v, None);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct ChaosKnobs {
     /// [`steal_no_repin`](ChaosKnobs::steal_no_repin) that the
     /// per-session auditor must catch.
     pub cross_session_pin_leak: bool,
+    /// Cost-aware thieves skip the quiescence handshake: the queued tail
+    /// of a *started* set migrates while the owner may still be executing
+    /// an operation of the set, so the same set can run on two delegates
+    /// at once and the stolen tail can overtake the owner's in-flight
+    /// prefix — the exact races the handshake exists to exclude.
+    pub steal_mid_set: bool,
 }
 
 /// Factory closure for custom assignment policies (kept in an `Arc` so
@@ -112,11 +118,16 @@ impl std::fmt::Debug for Assignment {
 /// When idle delegates may steal queued serialization sets from a loaded
 /// peer (see [`RuntimeBuilder::stealing`]).
 ///
-/// Stealing migrates **whole sets** and only sets that have not started
-/// executing on their current delegate this epoch; the migration rewrites
-/// the set's pin atomically with moving its queued operations, so same-set
-/// program order is preserved under every policy (the full argument lives
-/// in `docs/ARCHITECTURE.md`). Results are therefore identical to
+/// Under [`WhenIdle`](StealPolicy::WhenIdle) and
+/// [`Threshold`](StealPolicy::Threshold), stealing migrates **whole
+/// sets** and only sets that have not started executing on their current
+/// delegate this epoch. [`CostAware`](StealPolicy::CostAware) also
+/// migrates the queued **tail of a started set**, but only after a
+/// quiescence handshake proves no operation of the set is in flight on
+/// the owner. Either way the migration rewrites the set's pin atomically
+/// with moving its queued operations, so same-set program order is
+/// preserved under every policy (the full argument lives in
+/// `docs/ARCHITECTURE.md`). Results are therefore identical to
 /// [`StealPolicy::Off`] — stealing is a pure scheduling choice.
 ///
 /// ```
@@ -143,6 +154,17 @@ pub enum StealPolicy {
     /// for genuine skew; `Threshold(1)` behaves like
     /// [`StealPolicy::WhenIdle`].
     Threshold(usize),
+    /// An idle delegate prices its steals with the runtime's cost model:
+    /// per-set operation costs (EWMAs of observed runtimes, fed back from
+    /// the delegate threads) price every queued batch, the victim is the
+    /// peer with the largest estimated queued cost, and the steal moves
+    /// roughly half the cost imbalance rather than half the batch count.
+    /// Uniquely among the policies, started sets' queued *tails* are also
+    /// eligible — after a quiescence handshake proves no operation of the
+    /// set is in flight on the owner (operation-granularity stealing; see
+    /// `docs/POLICIES.md` and the `Stats::op_steals` /
+    /// `Stats::quiesce_fail` counters).
+    CostAware,
 }
 
 impl StealPolicy {
@@ -151,7 +173,7 @@ impl StealPolicy {
     pub fn min_victim_depth(&self) -> Option<usize> {
         match self {
             StealPolicy::Off => None,
-            StealPolicy::WhenIdle => Some(1),
+            StealPolicy::WhenIdle | StealPolicy::CostAware => Some(1),
             StealPolicy::Threshold(d) => Some((*d).max(1)),
         }
     }
@@ -237,6 +259,10 @@ pub struct RuntimeBuilder {
     pub(crate) routing: RoutingMode,
     pub(crate) audit: AuditMode,
     pub(crate) session_queue_cap: Option<u64>,
+    /// Scripted-interleaving gates for the deterministic-schedule test
+    /// harness; `None` (always, outside the harness tests) compiles the
+    /// gate sites down to a tag check.
+    pub(crate) test_gates: Option<Arc<crate::runtime::TestGates>>,
     #[cfg(feature = "chaos")]
     pub(crate) chaos: ChaosKnobs,
 }
@@ -257,6 +283,7 @@ impl Default for RuntimeBuilder {
             routing: RoutingMode::Sharded,
             audit: AuditMode::Off,
             session_queue_cap: None,
+            test_gates: None,
             #[cfg(feature = "chaos")]
             chaos: ChaosKnobs::default(),
         }
@@ -411,6 +438,24 @@ impl RuntimeBuilder {
     #[cfg(feature = "chaos")]
     pub fn chaos(mut self, knobs: ChaosKnobs) -> Self {
         self.chaos = knobs;
+        self
+    }
+
+    /// Arms a scripted interleaving for the deterministic-schedule test
+    /// harness: `script` is an ordered list of gate names (e.g.
+    /// `"popped@0"`, `"stole@1"` — scheduling point `@` delegate index),
+    /// and each delegate blocks at a named gate site until that name is
+    /// at the front of the script, forcing the owner/thief quiescence
+    /// race to resolve the scripted way. Names absent from the remaining
+    /// script pass through immediately; a gate waiting longer than the
+    /// harness timeout also passes through, so a mis-scripted schedule
+    /// degrades to a free-running (still correct) execution instead of a
+    /// hung test. Test-harness plumbing only — not a public API.
+    #[doc(hidden)]
+    pub fn test_schedule<S: Into<String>>(mut self, script: impl IntoIterator<Item = S>) -> Self {
+        self.test_gates = Some(Arc::new(crate::runtime::TestGates::new(
+            script.into_iter().map(Into::into).collect(),
+        )));
         self
     }
 

@@ -369,6 +369,89 @@ impl DelegateAssignment for EwmaCost {
     }
 }
 
+/// Number of shards in the [`CostBook`] (keys spread by Fibonacci hash,
+/// so delegates observing costs concurrently rarely contend).
+const COST_BOOK_SHARDS: usize = 8;
+
+/// One [`CostBook`] shard: per-set EWMA estimates plus their running sum
+/// (for the O(1) typical-cost fallback, mirroring [`EwmaCost::cost_sum`]).
+#[derive(Default)]
+struct BookShard {
+    cost: HashMap<u64, f64>,
+    sum: f64,
+}
+
+/// The steal-pricing cost model behind [`StealPolicy::CostAware`]
+/// (crate::StealPolicy::CostAware): a shared, sharded table of per-set
+/// operation-cost EWMAs, fed by every delegate as it completes
+/// operations and read by thieves pricing victim queues and sizing
+/// steals. The same model [`EwmaCost`] keeps privately for first-touch
+/// *placement*, graduated to a concurrently-readable structure so steal
+/// decisions can price work without the routing policy mutex.
+///
+/// Same constants as [`EwmaCost`]: `EWMA_ALPHA` smoothing, the nominal
+/// default before any observation, and a bounded per-shard map (untracked
+/// sets cost the typical estimate — graceful degradation, never growth).
+pub(crate) struct CostBook {
+    shards: Box<[Mutex<BookShard>]>,
+}
+
+impl CostBook {
+    pub(crate) fn new() -> Self {
+        CostBook {
+            shards: (0..COST_BOOK_SHARDS)
+                .map(|_| Mutex::new(BookShard::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, set: u64) -> &Mutex<BookShard> {
+        // Fibonacci hash, high bits — same spreading trick as the
+        // auditor's shards.
+        let h = (set.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61) as usize;
+        &self.shards[h & (COST_BOOK_SHARDS - 1)]
+    }
+
+    /// Folds one observed runtime into the set's EWMA (capped like
+    /// [`EwmaCost`]: beyond the cap, new sets stay untracked).
+    pub(crate) fn observe(&self, set: u64, nanos: u64) {
+        let observed = nanos as f64;
+        let mut s = self.shard(set).lock();
+        if let Some(estimate) = s.cost.get_mut(&set) {
+            let delta = EWMA_ALPHA * (observed - *estimate);
+            *estimate += delta;
+            s.sum += delta;
+        } else if s.cost.len() < EWMA_MAX_TRACKED_SETS / COST_BOOK_SHARDS {
+            s.cost.insert(set, observed);
+            s.sum += observed;
+        }
+    }
+
+    /// Estimated cost (ns) of one operation of `set`: its EWMA, or the
+    /// typical cost for sets never observed.
+    pub(crate) fn estimate(&self, set: u64) -> f64 {
+        let known = { self.shard(set).lock().cost.get(&set).copied() };
+        known.unwrap_or_else(|| self.typical())
+    }
+
+    /// Mean of all known estimates (the cost of an unobserved set), or
+    /// the nominal default before any observation exists.
+    pub(crate) fn typical(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for shard in self.shards.iter() {
+            let s = shard.lock();
+            sum += s.sum;
+            n += s.cost.len();
+        }
+        if n == 0 {
+            EWMA_DEFAULT_COST
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
 /// The assignment policy and its epoch bookkeeping, shared by all
 /// routing paths behind the [`Router`](super::Router)'s policy mutex.
 ///
@@ -583,6 +666,19 @@ mod tests {
         // New epoch: commitments cleared, placement starts over.
         p.begin_epoch(2);
         assert_eq!(p.assign(SsId(7), &t, &loads), Executor::Delegate(0));
+    }
+
+    #[test]
+    fn cost_book_smooths_estimates_and_falls_back_to_typical() {
+        let book = CostBook::new();
+        assert_eq!(book.typical(), 1_000.0); // nominal default, no history
+        book.observe(5, 1_000);
+        book.observe(5, 2_000);
+        // Same smoothing as EwmaCost: 1000 + 0.25 * (2000 - 1000).
+        assert_eq!(book.estimate(5), 1_250.0);
+        // An unobserved set prices at the mean of the known estimates.
+        book.observe(6, 750);
+        assert_eq!(book.estimate(999), (1_250.0 + 750.0) / 2.0);
     }
 
     #[test]

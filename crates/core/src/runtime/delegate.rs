@@ -278,6 +278,17 @@ const COST_SAMPLE_CAP: usize = 4096;
 /// (`Core::cost_samples` present), the operation's wall time is recorded
 /// into this delegate's sample buffer — an uncontended mutex push, off
 /// unless a cost-aware policy (e.g. `EwmaCost`) is active.
+///
+/// `steal` carries the stealing transport's router and the executing
+/// delegate's own deque. When present, the operation's wall time also
+/// feeds the router's shared steal-pricing cost model
+/// (`StealPolicy::CostAware` only), and — for deque-origin entries — the
+/// deque's per-key in-flight count is settled (`StealDeque::finish`)
+/// once the operation's effects and audit record are complete. That
+/// settle is the owner's half of the quiescence handshake: a thief may
+/// migrate the queued tail of a started set only after every popped
+/// operation of the set has been finished here.
+#[allow(clippy::too_many_arguments)]
 fn execute_op(
     core: &Core,
     idx: usize,
@@ -286,6 +297,7 @@ fn execute_op(
     audit: u64,
     session: Option<Arc<SessionShared>>,
     origin: Origin,
+    steal: Option<(&Router, &ss_queue::StealDeque<Invocation>)>,
 ) {
     HELP.with(|h| {
         if let Some(s) = h.borrow_mut().as_mut() {
@@ -297,7 +309,9 @@ fn execute_op(
     // domain. Saved/restored, not set/cleared: help-first waits nest
     // executions of (possibly) different tenants on one stack.
     let prev_session = CURRENT_SESSION.with(|c| c.replace(session.as_ref().map_or(0, |s| s.id)));
-    let timer = core.cost_samples.is_some().then(std::time::Instant::now);
+    let want_timer =
+        core.cost_samples.is_some() || steal.is_some_and(|(router, _)| router.cost_aware());
+    let timer = want_timer.then(std::time::Instant::now);
     task.run();
     CURRENT_SESSION.with(|c| c.set(prev_session));
     // Audit record lands *before* the drain counters settle below, so the
@@ -309,10 +323,11 @@ fn execute_op(
         Some(s) => core.session_audit_exec(s, ss, audit, 1 + idx),
         None => core.audit_exec(ss, audit, 1 + idx),
     }
-    if let (Some(buffers), Some(t0)) = (&core.cost_samples, timer) {
+    let elapsed = timer.map(|t0| t0.elapsed().as_nanos() as u64);
+    if let (Some(buffers), Some(nanos)) = (&core.cost_samples, elapsed) {
         let mut buffer = buffers[idx].lock();
         if buffer.len() < COST_SAMPLE_CAP {
-            buffer.push((ss.0, t0.elapsed().as_nanos() as u64));
+            buffer.push((ss.0, nanos));
         }
     }
     HELP.with(|h| {
@@ -320,6 +335,27 @@ fn execute_op(
             s.active.pop();
         }
     });
+    if let Some((router, deque)) = steal {
+        if router.cost_aware() {
+            if let Some(nanos) = elapsed {
+                router.observe_cost(ss.0, nanos);
+            }
+            router.note_op_done(idx);
+        }
+        // Two harness gates bracket the owner's half of the quiescence
+        // handshake: "ran" holds the op *complete but unfinished* (set
+        // still busy to thieves), "done" fires after `finish` (set
+        // quiescent if nothing else is in flight) — so a script can force
+        // the owner/thief race to either outcome by name.
+        core.gate("ran", idx as u32);
+        // Only after the audit record above is delivered may the set look
+        // quiescent to a thief's tail-steal — so a stolen tail is provably
+        // ordered after every completed operation of the owner's prefix.
+        if origin == Origin::Deque {
+            deque.finish(ss.0);
+        }
+        core.gate("done", idx as u32);
+    }
     // Depth was raised at submit; the Release pairs with assignment-time
     // Relaxed reads (stale is fine) and keeps the counter exact for stats
     // snapshots. Lane/deque entries additionally carry the `in_flight`
@@ -354,6 +390,20 @@ fn help_one(rt_id: u64) -> bool {
     // which is still on the stack below us; dereferenced only here, on
     // the owning thread.
     let core = unsafe { &*core };
+    // Help-executed deque entries settle their per-key in-flight count
+    // here rather than through `execute_op`'s steal path: the helper has
+    // no router in hand, and cost observation is deliberately skipped for
+    // these nested executions (conservative — the model just sees fewer
+    // samples). The settle itself must still happen, or the set would
+    // never look quiescent again.
+    let finish_deque = |origin: Origin, set: u64| {
+        if origin == Origin::Deque {
+            if let SourcePtr::Steal(shared) = source {
+                // SAFETY: owning thread, worker frame alive (as above).
+                unsafe { &*shared }.deques[idx].finish(set);
+            }
+        }
+    };
     if let Some(d) = deferred_take_runnable() {
         let Invocation::Execute {
             task,
@@ -364,7 +414,8 @@ fn help_one(rt_id: u64) -> bool {
         else {
             unreachable!("deferred_take_runnable only returns Execute entries");
         };
-        execute_op(core, idx, ss, task, audit, session, d.origin);
+        execute_op(core, idx, ss, task, audit, session, d.origin, None);
+        finish_deque(d.origin, ss.0);
         return true;
     }
     loop {
@@ -396,7 +447,8 @@ fn help_one(rt_id: u64) -> bool {
                 audit,
                 session,
             } if !active_contains(ss.0) => {
-                execute_op(core, idx, ss, task, audit, session, origin);
+                execute_op(core, idx, ss, task, audit, session, origin, None);
+                finish_deque(origin, ss.0);
                 return true;
             }
             inv => deferred_push_back(DeferredEntry { inv, origin }),
@@ -575,7 +627,16 @@ pub(super) fn delegate_main(
     macro_rules! chaos_flush {
         () => {
             if let Some((task, ss, audit, session)) = chaos_hold.take() {
-                execute_op(&core, idx as usize, ss, task, audit, session, Origin::Ring);
+                execute_op(
+                    &core,
+                    idx as usize,
+                    ss,
+                    task,
+                    audit,
+                    session,
+                    Origin::Ring,
+                    None,
+                );
             }
         };
     }
@@ -593,7 +654,16 @@ pub(super) fn delegate_main(
                     ss,
                     audit,
                     session,
-                } => execute_op(&core, idx as usize, ss, task, audit, session, d.origin),
+                } => execute_op(
+                    &core,
+                    idx as usize,
+                    ss,
+                    task,
+                    audit,
+                    session,
+                    d.origin,
+                    None,
+                ),
                 Invocation::Sync(token) => {
                     #[cfg(feature = "chaos")]
                     chaos_flush!();
@@ -633,6 +703,7 @@ pub(super) fn delegate_main(
                                         audit,
                                         session,
                                         Origin::Ring,
+                                        None,
                                     );
                                     held
                                 }
@@ -644,7 +715,16 @@ pub(super) fn delegate_main(
                         } else {
                             (task, ss, audit, session)
                         };
-                        execute_op(&core, idx as usize, ss, task, audit, session, Origin::Ring)
+                        execute_op(
+                            &core,
+                            idx as usize,
+                            ss,
+                            task,
+                            audit,
+                            session,
+                            Origin::Ring,
+                            None,
+                        )
                     }
                     Invocation::Sync(token) => {
                         #[cfg(feature = "chaos")]
@@ -688,6 +768,7 @@ pub(super) fn delegate_main(
                             audit,
                             session,
                             Origin::Injected,
+                            None,
                         ),
                         Invocation::Sync(token) => token.signal(),
                         Invocation::Terminate(token) => {
@@ -744,10 +825,13 @@ pub(super) fn delegate_main_stealing(
     });
     let deque = &shared.deques[me];
     let backoff = ss_queue::Backoff::new();
-    // Per-victim push counts at the last *failed* steal: a victim whose
-    // count hasn't moved since then has nothing new to offer, so skip the
-    // O(queue) scan (see `StealDeque::pushes`).
-    let mut stale_at: Vec<Option<usize>> = vec![None; shared.deques.len()];
+    // Per-victim, per-push-shard counts at the last *failed* steal: a
+    // victim none of whose shard counters moved since then has nothing
+    // new to offer, so skip the O(queue) scan entirely; if only some
+    // shards moved, scan just those (see `StealDeque::pushes_by_shard` —
+    // an unchanged shard saw neither a push nor a quiescence edge, so its
+    // keys' eligibility cannot have improved).
+    let mut stale_at: Vec<Option<[usize; ss_queue::PUSH_SHARDS]>> = vec![None; shared.deques.len()];
     'main: loop {
         // Deferred-first, as in `delegate_main`: entries a nested future
         // wait parked were popped before anything still in the deque.
@@ -759,7 +843,16 @@ pub(super) fn delegate_main_stealing(
                     ss,
                     audit,
                     session,
-                } => execute_op(&core, me, ss, task, audit, session, d.origin),
+                } => execute_op(
+                    &core,
+                    me,
+                    ss,
+                    task,
+                    audit,
+                    session,
+                    d.origin,
+                    Some((&router, deque)),
+                ),
                 Invocation::Sync(token) => token.signal(),
                 Invocation::Terminate(token) => {
                     token.signal();
@@ -768,9 +861,26 @@ pub(super) fn delegate_main_stealing(
             }
         }
         // Popping marks the entry's set *started* here (inside the deque's
-        // critical section), which is the point of no return for
-        // migration: from now until the epoch ends, the set is ours.
-        while let Some((_tag, inv)) = deque.pop() {
+        // critical section) and raises its in-flight count — the point of
+        // no return for whole-set migration. The queued tail behind a
+        // started set stays stealable (CostAware only) once the count
+        // settles back to zero: see the quiescence handshake in
+        // `try_steal_cost_aware` / `execute_op`.
+        loop {
+            // The "poll" gate lets the deterministic-schedule harness
+            // order this owner's next pop against a thief's scan. Gated
+            // on a script being armed so the hot path stays a plain pop;
+            // the empty-check keeps a free-running owner from consuming
+            // script steps meant for a loop that still has work.
+            if core.test_gates.is_some() {
+                if deque.is_empty() {
+                    break;
+                }
+                core.gate("poll", idx);
+            }
+            let Some((_tag, inv)) = deque.pop() else {
+                break;
+            };
             backoff.reset();
             match inv {
                 Invocation::Execute {
@@ -779,10 +889,20 @@ pub(super) fn delegate_main_stealing(
                     audit,
                     session,
                 } => {
+                    core.gate("popped", idx);
                     // The Release inside pairs with the barrier's Acquire
                     // load: `in_flight == 0` must imply every operation's
                     // effects are visible to the program thread.
-                    execute_op(&core, me, ss, task, audit, session, Origin::Deque);
+                    execute_op(
+                        &core,
+                        me,
+                        ss,
+                        task,
+                        audit,
+                        session,
+                        Origin::Deque,
+                        Some((&router, deque)),
+                    );
                     // A nested wait inside the op may have deferred
                     // entries; surface them before draining further.
                     if HELP.with(|h| h.borrow().as_ref().is_some_and(|s| !s.deferred.is_empty())) {
@@ -848,17 +968,21 @@ fn try_steal(
     router: &Router,
     me: usize,
     core: &Core,
-    stale_at: &mut [Option<usize>],
+    stale_at: &mut [Option<[usize; ss_queue::PUSH_SHARDS]>],
 ) -> bool {
+    if router.cost_aware() {
+        return try_steal_cost_aware(shared, router, me, core, stale_at);
+    }
     let Some(min_depth) = shared.policy.min_victim_depth() else {
         return false;
     };
     // Victim selection is lock-free: scan the cache-padded length counters
-    // and take the deepest qualifying peer, skipping victims that have
-    // received no pushes since our last failed scan of them (a failed
-    // scan proves everything they held was started or fenced, and only
-    // new pushes can add stealable batches).
-    let mut victim: Option<(usize, usize, usize)> = None;
+    // and take the deepest qualifying peer, skipping victims none of whose
+    // per-shard push counters moved since our last failed scan of them (a
+    // failed scan proves everything they held was started or fenced, and
+    // only new pushes — or, under CostAware, quiescence edges, which bump
+    // the key's shard counter too — can add stealable batches).
+    let mut victim: Option<(usize, usize, [usize; ss_queue::PUSH_SHARDS])> = None;
     for (j, d) in shared.deques.iter().enumerate() {
         if j == me {
             continue;
@@ -867,7 +991,7 @@ fn try_steal(
         if len < min_depth {
             continue;
         }
-        let pushes = d.pushes();
+        let pushes = d.pushes_by_shard();
         if stale_at[j] == Some(pushes) {
             continue;
         }
@@ -880,8 +1004,22 @@ fn try_steal(
     };
 
     // Phase 1: list eligible batches; take the newest half (the owner
-    // reaches the oldest soonest).
-    let mut candidates = shared.deques[victim].stealable_keys();
+    // reaches the oldest soonest). When a previous failed scan left a
+    // shard memo, only the shards whose push counters moved since are
+    // scanned — an unchanged shard's keys cannot have become eligible.
+    let mut candidates = match stale_at[victim] {
+        Some(memo) => {
+            let mut changed = [false; ss_queue::PUSH_SHARDS];
+            for (c, (now, then)) in changed
+                .iter_mut()
+                .zip(victim_pushes.iter().zip(memo.iter()))
+            {
+                *c = now != then;
+            }
+            shared.deques[victim].stealable_keys_in(&changed)
+        }
+        None => shared.deques[victim].stealable_keys(),
+    };
     let keep = candidates.len() / 2;
     let chosen = candidates.split_off(keep);
     let serial = core.epoch_serial.load(Ordering::Acquire);
@@ -899,7 +1037,7 @@ fn try_steal(
             core.stats.queue_depths[victim].fetch_sub(batch.len() as u64, Ordering::Relaxed);
             shared.deques[me].extend_keyed(std::mem::take(&mut batch));
         }
-        record_steal_events(core, serial, &taken, me);
+        record_steal_events(core, serial, &taken, me, TraceKind::Steal);
         if taken.is_empty() {
             stale_at[victim] = Some(victim_pushes);
             StatsCell::bump(&core.stats.steal_failures);
@@ -940,7 +1078,7 @@ fn try_steal(
                 core.stats.queue_depths[victim].fetch_sub(batch.len() as u64, Ordering::Relaxed);
                 shared.deques[me].extend_keyed(std::mem::take(&mut batch));
             }
-            record_steal_events(core, serial, &taken, me);
+            record_steal_events(core, serial, &taken, me, TraceKind::Steal);
             taken
         };
         if domain == 0 {
@@ -1011,17 +1149,290 @@ fn try_steal(
     true
 }
 
-/// Records one `TraceKind::Steal` side event per migrated set (no-op when
-/// tracing is disabled). Factored out of [`try_steal`] so the lock scope
-/// stays readable.
-fn record_steal_events(core: &Core, serial: u64, sets: &[u64], thief: usize) {
+/// One cost-aware steal attempt by delegate `me` (`StealPolicy::CostAware`):
+/// pick the victim by *queued cost* rather than queue depth, price the
+/// migration against the cost model, and take both never-started sets and
+/// the **quiescent tails of started sets** until roughly half the cost
+/// imbalance has moved.
+///
+/// The tail steal relaxes the epoch-pinning invariant through a
+/// quiescence handshake, in three locks:
+///
+/// 1. *Owner side* — every pop raises the set's in-flight count inside
+///    the deque lock; `execute_op` settles it (`StealDeque::finish`)
+///    only after the operation's effects and audit record land.
+/// 2. *Thief side, scan* — `scan_candidates` (deque lock) classifies each
+///    queued set as fresh, quiescent tail, or busy; busy sets are counted
+///    in `Stats::quiesce_fail` and left alone.
+/// 3. *Thief side, migrate* — under the keys' pin-shard locks the deque
+///    is re-entered (`steal_tail_into`) and the quiescence check re-run;
+///    a set the owner re-popped meanwhile is skipped whole. Taken tails
+///    have their started marks cleared and their audit executor re-pointed
+///    (`Core::audit_handover`) *before* the pin rewrite publishes them,
+///    so no operation of the set can execute anywhere between the
+///    owner's completed prefix and the thief's stolen tail.
+///
+/// Per-set program order is preserved: the tail is the entire queued
+/// remainder, taken in FIFO order, and the handshake proves the prefix
+/// has fully executed — so the stolen tail is ordered after it exactly
+/// as on the owner.
+fn try_steal_cost_aware(
+    shared: &StealShared,
+    router: &Router,
+    me: usize,
+    core: &Core,
+    stale_at: &mut [Option<[usize; ss_queue::PUSH_SHARDS]>],
+) -> bool {
+    // Victim selection reads the router's per-delegate queued-cost
+    // summaries (maintained at submit/complete/steal time) instead of
+    // scanning deques: the heaviest peer whose summary exceeds ours.
+    let my_cost = router.queued_cost(me);
+    let mut victim: Option<(usize, u64, [usize; ss_queue::PUSH_SHARDS])> = None;
+    for (j, d) in shared.deques.iter().enumerate() {
+        if j == me || d.is_empty() {
+            continue;
+        }
+        let qc = router.queued_cost(j);
+        if qc <= my_cost {
+            continue;
+        }
+        let pushes = d.pushes_by_shard();
+        if stale_at[j] == Some(pushes) {
+            continue;
+        }
+        if victim.is_none_or(|(_, best, _)| qc > best) {
+            victim = Some((j, qc, pushes));
+        }
+    }
+    let Some((victim, victim_cost, victim_pushes)) = victim else {
+        return false;
+    };
+    // Pricing: a migration pays shard locks on both deques plus a pin
+    // rewrite, so it must move at least one typical operation's worth of
+    // imbalance to be worth it. `max(1)` keeps the bar positive before
+    // the model has seen any sample.
+    let imbalance = victim_cost - my_cost;
+    if imbalance <= router.cost_typical().max(1) {
+        return false;
+    }
+    core.gate("scan", me as u32);
+    // Steal-half sizing in cost units: move half the imbalance, so the
+    // pair converges instead of ping-ponging work.
+    let target = imbalance / 2;
+    let scan = shared.deques[victim].scan_candidates();
+    // Harness gate *after* the advisory scan completed: a script that
+    // wants the owner to re-pop between scan and migration must order
+    // the re-pop after this point, not after "scan" (which precedes the
+    // scan itself — releasing the owner there races it against the scan).
+    core.gate("scanned", me as u32);
+    if !scan.busy.is_empty() {
+        // Started sets with an operation in flight: the handshake fails
+        // for them this attempt (the owner may quiesce them any moment).
+        core.stats
+            .quiesce_fail
+            .fetch_add(scan.busy.len() as u64, Ordering::Relaxed);
+    }
+    // Greedy selection, priced per set by the cost model. Quiescent
+    // tails first: they are the sets the owner is demonstrably stuck
+    // behind (it started them and still has their work queued). Within
+    // each class, most valuable first — the scan reports candidates in
+    // deque order, and taking them as found would let a cheap shallow
+    // tail satisfy the target while the deep tail the victim is
+    // actually drowning under stays put.
+    // Each candidate's price is snapshotted ONCE before sorting: the
+    // cost model is concurrently updated by executing delegates, so a
+    // sort key that re-reads the live estimate is not a total order —
+    // the stdlib sort detects the inconsistency and panics, killing the
+    // thief thread (and with it every operation queued behind it).
+    let price =
+        |&(key, n): &(u64, usize)| router.cost_estimate(key).max(1).saturating_mul(n as u64);
+    let mut tails: Vec<(u64, u64)> = scan.tails.iter().map(|c| (c.0, price(c))).collect();
+    tails.sort_by_key(|&(_, p)| std::cmp::Reverse(p));
+    let mut fresh: Vec<(u64, u64)> = scan.fresh.iter().map(|c| (c.0, price(c))).collect();
+    fresh.sort_by_key(|&(_, p)| std::cmp::Reverse(p));
+    let mut moved_est = 0u64;
+    let mut tail_keys: Vec<u64> = Vec::new();
+    let mut fresh_keys: Vec<u64> = Vec::new();
+    for &(key, p) in &tails {
+        if moved_est >= target {
+            break;
+        }
+        tail_keys.push(key);
+        moved_est = moved_est.saturating_add(p);
+    }
+    for &(key, p) in &fresh {
+        if moved_est >= target {
+            break;
+        }
+        fresh_keys.push(key);
+        moved_est = moved_est.saturating_add(p);
+    }
+    // Chaos `steal_mid_set`: the thief skips the quiescence check and
+    // rips tails of sets whose owner is mid-operation — the auditor must
+    // report the resulting two-executor overlap / order inversion.
+    #[cfg(feature = "chaos")]
+    let chaos_mid_set = core.chaos_steal_mid_set();
+    #[cfg(feature = "chaos")]
+    if chaos_mid_set {
+        tail_keys.extend(scan.busy.iter().map(|&(k, _)| k));
+    }
+    if tail_keys.is_empty() && fresh_keys.is_empty() {
+        // Busy sets are a *transient* obstacle — the owner is mid-
+        // operation and settles the in-flight mark at its next finish,
+        // which bumps no push counter. Rate-limiting on the push memo
+        // here would blacklist the victim until its next submit, i.e.
+        // potentially forever once the workload's publish phase is over.
+        // Only a deque with nothing stealable and nothing in flight is
+        // memoized as futile.
+        if scan.busy.is_empty() {
+            stale_at[victim] = Some(victim_pushes);
+        }
+        StatsCell::bump(&core.stats.steal_failures);
+        core.gate("nosteal", me as u32);
+        return false;
+    }
+    // Harness gate between the advisory scan and the validated migration:
+    // a script can park the thief here and let the owner re-pop a chosen
+    // tail, forcing the phase-2 re-validation branch (`steal_tail_into`
+    // finds the set busy again and skips it whole).
+    core.gate("migrate", me as u32);
+    let serial = core.epoch_serial.load(Ordering::Acquire);
+    let mut batch: Vec<(u64, Invocation)> = Vec::new();
+    let mut groups: Vec<(u32, Vec<u64>)> = Vec::new();
+    for &key in tail_keys.iter().chain(fresh_keys.iter()) {
+        let domain = key_session(key);
+        match groups.iter_mut().find(|(d, _)| *d == domain) {
+            Some((_, keys)) => keys.push(key),
+            None => groups.push((domain, vec![key])),
+        }
+    }
+    let mut taken_total = 0usize;
+    let mut tails_taken = 0u64;
+    let mut moved_ops = 0u64;
+    for (domain, keys) in groups {
+        let session = if domain == 0 {
+            None
+        } else {
+            match core.session_by_id(domain) {
+                Some(s) => Some(s),
+                // Tenant closed between scan and now; leave its batches.
+                None => continue,
+            }
+        };
+        let transfer = |valid: &[u64]| {
+            let tail_req: Vec<u64> = valid
+                .iter()
+                .copied()
+                .filter(|k| tail_keys.contains(k))
+                .collect();
+            let fresh_req: Vec<u64> = valid
+                .iter()
+                .copied()
+                .filter(|k| !tail_keys.contains(k))
+                .collect();
+            // Re-entering the deque re-runs the quiescence check under
+            // the pin-shard locks a concurrent submit of these sets
+            // would need: a set the owner re-popped since the scan is
+            // skipped whole (counted as a failed handshake).
+            #[cfg(feature = "chaos")]
+            let (mut taken, busy) = if chaos_mid_set {
+                (
+                    shared.deques[victim].steal_tail_unchecked_into(&tail_req, &mut batch),
+                    0,
+                )
+            } else {
+                shared.deques[victim].steal_tail_into(&tail_req, &mut batch)
+            };
+            #[cfg(not(feature = "chaos"))]
+            let (mut taken, busy) = shared.deques[victim].steal_tail_into(&tail_req, &mut batch);
+            if busy > 0 {
+                core.stats
+                    .quiesce_fail
+                    .fetch_add(busy as u64, Ordering::Relaxed);
+            }
+            tails_taken += taken.len() as u64;
+            record_steal_events(core, serial, &taken, me, TraceKind::OpSteal);
+            let fresh_taken = shared.deques[victim].steal_keys_into(&fresh_req, &mut batch);
+            record_steal_events(core, serial, &fresh_taken, me, TraceKind::Steal);
+            taken.extend_from_slice(&fresh_taken);
+            // The audit handover must precede the pin rewrite (and so
+            // every future execution of these sets): any op-steal may be
+            // the middle link of a steal chain, where the set already
+            // executed on some delegate this epoch. Inert for sets that
+            // have not executed yet.
+            for &key in &taken {
+                match &session {
+                    Some(s) => core.session_audit_handover(s, SsId(key), 1 + me),
+                    None => core.audit_handover(SsId(key), 1 + me),
+                }
+            }
+            if !batch.is_empty() {
+                moved_ops += batch.len() as u64;
+                core.stats.queue_depths[me].fetch_add(batch.len() as u64, Ordering::Relaxed);
+                core.stats.queue_depths[victim].fetch_sub(batch.len() as u64, Ordering::Relaxed);
+                shared.deques[me].extend_keyed(std::mem::take(&mut batch));
+            }
+            taken
+        };
+        taken_total += match &session {
+            None => router
+                .migrate_keys(
+                    serial,
+                    &keys,
+                    Executor::Delegate(victim),
+                    Executor::Delegate(me),
+                    transfer,
+                )
+                .len(),
+            Some(s) => {
+                let session_serial = s.epoch_serial.load(Ordering::Acquire);
+                router
+                    .migrate_keys_in(
+                        &s.pins,
+                        session_serial,
+                        &keys,
+                        Executor::Delegate(victim),
+                        Executor::Delegate(me),
+                        true,
+                        transfer,
+                    )
+                    .len()
+            }
+        };
+    }
+    if taken_total == 0 {
+        // Every chosen key failed phase-2 re-validation: the owner
+        // re-popped it between scan and migrate. That is a race lost,
+        // not a futile deque — the sets are still queued and quiesce at
+        // the owner's next finish, so no push-memo rate limit applies.
+        StatsCell::bump(&core.stats.steal_failures);
+        core.gate("nosteal", me as u32);
+        return false;
+    }
+    router.transfer_queued(victim, me, moved_ops);
+    if tails_taken > 0 {
+        core.stats
+            .op_steals
+            .fetch_add(tails_taken, Ordering::Relaxed);
+    }
+    stale_at[victim] = None;
+    StatsCell::bump(&core.stats.steals);
+    core.gate("stole", me as u32);
+    true
+}
+
+/// Records one steal side event per migrated set (no-op when tracing is
+/// disabled) — `TraceKind::Steal` for whole never-started sets,
+/// `TraceKind::OpSteal` for the quiescent tail of a started set. Factored
+/// out of [`try_steal`] so the lock scope stays readable.
+fn record_steal_events(core: &Core, serial: u64, sets: &[u64], thief: usize, kind: TraceKind) {
     if let Some(buf) = &core.side_events {
         let mut buf = buf.lock();
         for &key in sets {
             buf.push(SideEvent {
                 order: core.trace_clock.fetch_add(1, Ordering::Relaxed),
                 serial,
-                kind: TraceKind::Steal,
+                kind,
                 object: None,
                 set: Some(SsId(key)),
                 executor: TraceExecutor::Delegate(thief),

@@ -286,6 +286,9 @@ impl Runtime {
                 session: None,
             },
         );
+        // Cost-aware stealing prices victims by these summaries; inert
+        // under every other policy.
+        self.inner.router.note_queued(i, 1);
         // Shard lock released after route_publish returns: the push is
         // visible before any steal can re-route the set.
     }
@@ -478,6 +481,7 @@ impl Runtime {
                             session: Some(Arc::clone(s)),
                         },
                     );
+                    self.inner.router.note_queued(i, 1);
                 });
         self.note_route(&route, key, RouteSite::Program);
         match route.executor {
@@ -569,6 +573,7 @@ impl Runtime {
                                 session: Some(Arc::clone(s)),
                             },
                         );
+                        self.inner.router.note_queued(i, 1);
                     },
                 );
                 self.note_route(&route, key, RouteSite::Nested);
@@ -882,6 +887,7 @@ impl Runtime {
                         }
                     }),
                 );
+                self.inner.router.note_queued(i, n as u64);
             });
         self.note_route(&route, ss, RouteSite::Program);
         match route.executor {
@@ -1036,6 +1042,7 @@ impl Runtime {
                         }
                     }),
                 );
+                self.inner.router.note_queued(i, n as u64);
             });
         self.note_route(&route, ss, RouteSite::Nested);
         let Executor::Delegate(i) = route.executor else {

@@ -139,6 +139,9 @@ impl Runtime {
                 == 0
             {
                 shared.reset_epoch();
+                // Queued-cost summaries restart with the drained queues
+                // (clears the drift the saturating arithmetic accrues).
+                self.inner.router.reset_queued_costs();
             }
         }
         // The barrier waited for all transitively spawned work (`in_flight`

@@ -47,6 +47,7 @@ mod assign;
 mod delegate;
 mod dispatch;
 mod epoch;
+mod gates;
 mod router;
 pub(crate) mod session;
 #[cfg(test)]
@@ -59,6 +60,7 @@ pub use assign::{
 pub(crate) use assign::{CostSamples, StealShared};
 pub use delegate::DelegateContext;
 pub(crate) use delegate::{future_wait_turn, trace_executor_for, WaitTurn};
+pub(crate) use gates::TestGates;
 pub(crate) use router::Router;
 pub(crate) use session::SessionShared;
 pub use session::{Session, SessionStats};
@@ -154,6 +156,10 @@ pub(crate) struct Core {
     /// Tenant-id dispenser (ids start at 1; the root runtime is the
     /// implicit tenant 0).
     pub(crate) next_session_id: AtomicU32,
+    /// Scripted-interleaving gates for the deterministic-schedule test
+    /// harness ([`RuntimeBuilder::test_schedule`]); `None` outside the
+    /// harness tests, so the gate sites cost one branch.
+    pub(crate) test_gates: Option<Arc<TestGates>>,
     /// Deliberate runtime weakenings (test-only `chaos` feature).
     #[cfg(feature = "chaos")]
     pub(crate) chaos: ChaosKnobs,
@@ -252,6 +258,25 @@ impl Core {
         }
     }
 
+    /// Records an executor handover for `ss` after a *legal* steal: the
+    /// auditor's one-executor-per-set record is re-pointed at the thief's
+    /// slot so subsequent executions of the migrated operations do not
+    /// read as a second executor. Called for every successful migration —
+    /// whole-batch and quiescent-tail alike — because a steal *chain*
+    /// (owner executes a prefix, thief B takes the tail, thief C takes
+    /// the still-unstarted batch from B) would otherwise trip
+    /// `TwoExecutors` on C. Sound because every legal migration happens
+    /// with no operation of the set in flight anywhere.
+    #[inline]
+    pub(crate) fn audit_handover(&self, ss: SsId, slot: usize) {
+        match &self.audit {
+            Some(a) if a.active() => {
+                a.handover(ss, self.epoch_serial.load(Ordering::Acquire), slot)
+            }
+            _ => {}
+        }
+    }
+
     /// The ownership-reclaim gate: certifies every program-submitted
     /// operation of `ss` has executed and stamps a reclaim barrier.
     /// Returns the violation, if any, so the caller can refuse the
@@ -331,6 +356,18 @@ impl Core {
         }
     }
 
+    /// Session form of [`audit_handover`](Core::audit_handover): stamps
+    /// the session's composite serial so the entry lookup matches.
+    #[inline]
+    pub(crate) fn session_audit_handover(&self, s: &SessionShared, key: SsId, slot: usize) {
+        match &self.audit {
+            Some(a) if s.audit_on.load(Ordering::Relaxed) => {
+                a.handover(key, s.audit_serial(), slot)
+            }
+            _ => {}
+        }
+    }
+
     /// Session form of [`audit_access_gate`](Core::audit_access_gate).
     #[inline]
     pub(crate) fn session_audit_access_gate(
@@ -398,6 +435,24 @@ impl Core {
     #[inline(always)]
     pub(crate) fn chaos_steal_no_repin(&self) -> bool {
         self.chaos.steal_no_repin
+    }
+
+    /// Whether cost-aware thieves deliberately skip the quiescence
+    /// handshake and steal started sets' tails mid-execution.
+    #[cfg(feature = "chaos")]
+    #[inline(always)]
+    pub(crate) fn chaos_steal_mid_set(&self) -> bool {
+        self.chaos.steal_mid_set
+    }
+
+    /// Deterministic-schedule harness gate: blocks at scheduling point
+    /// `point` on delegate `idx` until the armed script reaches it
+    /// (no-op when no script is armed — the usual case).
+    #[inline]
+    pub(crate) fn gate(&self, point: &str, idx: u32) {
+        if let Some(g) = &self.test_gates {
+            g.hit(&format!("{point}@{idx}"));
+        }
     }
 
     /// Whether a thief deliberately publishes a stolen session key's new
@@ -587,12 +642,18 @@ impl Runtime {
         // the static mapping.
         let static_assignment = matches!(b.assignment, crate::config::Assignment::Static)
             && steal_policy == StealPolicy::Off;
+        // CostAware stealing shares one cost model between every delegate
+        // (observers) and every thief (readers); other policies pay
+        // nothing for it.
+        let cost_book = matches!(steal_policy, StealPolicy::CostAware)
+            .then(|| Arc::new(assign::CostBook::new()));
         let router = Arc::new(Router::new(
             policy,
             topology,
             static_assignment,
             steal_policy != StealPolicy::Off,
             b.routing == crate::config::RoutingMode::Sharded,
+            cost_book,
         ));
 
         let id = NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed);
@@ -611,6 +672,7 @@ impl Runtime {
             audit: (b.audit != AuditMode::Off).then(|| AuditState::new(b.audit)),
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU32::new(1),
+            test_gates: b.test_gates.clone(),
             #[cfg(feature = "chaos")]
             chaos: b.chaos,
         });
@@ -793,6 +855,15 @@ impl Runtime {
     /// untracked); 0 when auditing is off and after every `end_isolation`.
     pub fn audit_graph_size(&self) -> usize {
         self.inner.core.audit.as_ref().map_or(0, |a| a.graph_size())
+    }
+
+    /// Unconsumed gate names of the armed deterministic-schedule script,
+    /// `None` when no script was armed. A harness test asserting
+    /// `Some(0)` proves every scripted scheduling point was actually
+    /// reached (test-harness plumbing only — not a public API).
+    #[doc(hidden)]
+    pub fn test_gates_remaining(&self) -> Option<usize> {
+        self.inner.core.test_gates.as_ref().map(|g| g.remaining())
     }
 
     /// Diagnostic view of the completion-cell pool backing the

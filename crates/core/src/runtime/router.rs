@@ -51,12 +51,16 @@
 //! be blocked by — a shard writer. See `docs/ARCHITECTURE.md` for the
 //! full proof sketch tying these modes to the epoch-pinning invariant.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 use ss_queue::shardmap::ShardMap;
+use ss_queue::CachePadded;
 
 use crate::serializer::SsId;
 
-use super::assign::{static_executor, AssignTopology, DelegateLoads, Scheduler};
+use super::assign::{static_executor, AssignTopology, CostBook, DelegateLoads, Scheduler};
 use super::Executor;
 
 /// Shard count for the default routing mode. 64 shards keep the
@@ -97,6 +101,31 @@ fn decode(code: u32) -> Executor {
     }
 }
 
+/// Cost-aware steal state ([`crate::StealPolicy::CostAware`] only): the
+/// shared per-set cost model plus per-delegate queued-op counters.
+///
+/// The counters replace the thief's deque scans for victim selection:
+/// every publish bumps its executor's counter, every completed deque
+/// operation decrements it, and a migration moves the transferred count
+/// between victim and thief. Pricing happens at *read* time —
+/// [`Router::queued_cost`] multiplies the live count by the model's
+/// current typical operation cost — never at publish time. Charging
+/// estimated nanoseconds when the operation is queued looks more
+/// precise but is wrong under EWMA drift in either direction: a backlog
+/// charged at warm-up-cheap estimates prices below one typical
+/// operation once the model learns the real costs (so the imbalance
+/// bar blinds every thief to a deep queue — starvation), and a backlog
+/// charged expensive can't be drained back to zero by completions
+/// priced cheap. A count cannot drift: it reaches zero exactly when
+/// the queue does, and the nanosecond conversion is always as current
+/// as the model. All updates are relaxed and saturating, and the
+/// counters restart from zero at every epoch roll — they are a
+/// heuristic load signal, never a correctness input.
+struct CostState {
+    book: Arc<CostBook>,
+    queued: Box<[CachePadded<AtomicU64>]>,
+}
+
 /// The routing layer. Shared (`Arc`) between the runtime's `Inner` and
 /// the stealing-mode delegate threads; holds no reference back to the
 /// runtime, so worker threads keep nothing alive.
@@ -116,6 +145,8 @@ pub(crate) struct Router {
     lock_free: bool,
     scheduler: Mutex<Scheduler>,
     pins: ShardMap,
+    /// `Some` only under [`crate::StealPolicy::CostAware`].
+    costs: Option<CostState>,
 }
 
 impl Router {
@@ -125,7 +156,14 @@ impl Router {
         static_assignment: bool,
         always_pin: bool,
         sharded: bool,
+        cost_book: Option<Arc<CostBook>>,
     ) -> Router {
+        let costs = cost_book.map(|book| CostState {
+            book,
+            queued: (0..topology.n_delegates)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        });
         Router {
             topology,
             static_assignment,
@@ -134,6 +172,95 @@ impl Router {
             lock_free: sharded,
             scheduler: Mutex::new(Scheduler::new(policy)),
             pins: ShardMap::new(if sharded { DEFAULT_SHARDS } else { 1 }),
+            costs,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // cost-aware steal state (no-ops unless built with a `CostBook`).
+
+    /// True when this router maintains the cost model (`CostAware`).
+    pub(crate) fn cost_aware(&self) -> bool {
+        self.costs.is_some()
+    }
+
+    /// Folds one observed operation runtime into the shared cost model.
+    pub(crate) fn observe_cost(&self, key: u64, nanos: u64) {
+        if let Some(c) = &self.costs {
+            c.book.observe(key, nanos);
+        }
+    }
+
+    /// Estimated cost (ns) of one operation of `key` (0 when cost-aware
+    /// stealing is off — callers gate on [`Router::cost_aware`]).
+    pub(crate) fn cost_estimate(&self, key: u64) -> u64 {
+        self.costs
+            .as_ref()
+            .map_or(0, |c| c.book.estimate(key) as u64)
+    }
+
+    /// Typical single-operation cost (ns): the imbalance unit thieves
+    /// price steal decisions against.
+    pub(crate) fn cost_typical(&self) -> u64 {
+        self.costs.as_ref().map_or(0, |c| c.book.typical() as u64)
+    }
+
+    /// Publish-side counter bump: `n` operations landed on delegate
+    /// `i`'s queue. Called inside the publish closures, so the counter
+    /// never lags the queue it describes by more than the ops currently
+    /// mid-publish.
+    pub(crate) fn note_queued(&self, i: usize, n: u64) {
+        if let Some(c) = &self.costs {
+            c.queued[i].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Completion-side decrement: delegate `i` finished one queued
+    /// operation. Saturating — a counter can never wrap below zero.
+    pub(crate) fn note_op_done(&self, i: usize) {
+        if let Some(c) = &self.costs {
+            let _ = c.queued[i].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+        }
+    }
+
+    /// Migration-side transfer: `ops` queued operations left delegate
+    /// `from` for delegate `to`. Clamped to what `from` is known to
+    /// hold, so concurrent completions can't push the victim negative
+    /// while over-crediting the thief.
+    pub(crate) fn transfer_queued(&self, from: usize, to: usize, ops: u64) {
+        if let Some(c) = &self.costs {
+            let moved = ops.min(c.queued[from].load(Ordering::Relaxed));
+            if moved == 0 {
+                return;
+            }
+            let _ = c.queued[from].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(moved))
+            });
+            c.queued[to].fetch_add(moved, Ordering::Relaxed);
+        }
+    }
+
+    /// Estimated queued cost (ns) on delegate `i` — the thief's victim
+    /// ranking, replacing the per-deque depth scans: the queued-op count
+    /// priced at the model's *current* typical operation cost (floored
+    /// at 1 ns so a queue is never free before the model has samples).
+    pub(crate) fn queued_cost(&self, i: usize) -> u64 {
+        self.costs.as_ref().map_or(0, |c| {
+            c.queued[i]
+                .load(Ordering::Relaxed)
+                .saturating_mul((c.book.typical() as u64).max(1))
+        })
+    }
+
+    /// Epoch roll: the counters restart from zero (drift amnesty — the
+    /// queues are drained, so zero is also the truth).
+    pub(crate) fn reset_queued_costs(&self) {
+        if let Some(c) = &self.costs {
+            for q in c.queued.iter() {
+                q.store(0, Ordering::Relaxed);
+            }
         }
     }
 
@@ -421,7 +548,7 @@ mod tests {
     }
 
     fn router(policy: Box<dyn super::super::DelegateAssignment>, n: usize) -> Router {
-        Router::new(policy, topo(n), false, false, true)
+        Router::new(policy, topo(n), false, false, true, None)
     }
 
     #[test]
@@ -491,7 +618,7 @@ mod tests {
     #[test]
     fn legacy_mutex_mode_still_routes_correctly() {
         let d = depths(&[0, 0]);
-        let r = Router::new(Box::new(LeastLoaded), topo(2), false, false, false);
+        let r = Router::new(Box::new(LeastLoaded), topo(2), false, false, false, None);
         let first = r.route(SsId(1), 1, &loads_of(&d));
         assert!(first.fresh_pin);
         let again = r.route(SsId(1), 1, &loads_of(&d));
@@ -508,6 +635,7 @@ mod tests {
             false,
             true,
             true,
+            None,
         );
         let mut published = None;
         let route = r.route_publish(SsId(3), 1, &loads_of(&d), |e| published = Some(e));
@@ -529,6 +657,7 @@ mod tests {
             false,
             true,
             true,
+            None,
         );
         // Pin three sets to whatever the policy says, then force them
         // all onto delegate 0 by routing with a fresh map state.
@@ -561,6 +690,99 @@ mod tests {
         for (&ss, &pin) in [10u64, 11, 12].iter().zip(&pins).skip(1) {
             assert_eq!(r.peek(SsId(ss), 1, &loads_of(&d)), Some(pin));
         }
+    }
+
+    #[test]
+    fn queued_cost_summaries_track_publish_done_and_transfer() {
+        use super::super::assign::CostBook;
+        let book = Arc::new(CostBook::new());
+        book.observe(7, 2_000);
+        let r = Router::new(
+            Box::new(RoundRobinFirstTouch::default()),
+            topo(2),
+            false,
+            true,
+            true,
+            Some(Arc::clone(&book)),
+        );
+        assert!(r.cost_aware());
+        // One tracked set at 2µs → typical = 2000; pricing is count ×
+        // typical, at read time.
+        r.note_queued(0, 3);
+        r.note_queued(0, 1);
+        assert_eq!(r.queued_cost(0), 4 * 2_000);
+        assert_eq!(r.queued_cost(1), 0);
+        r.note_op_done(0);
+        assert_eq!(r.queued_cost(0), 3 * 2_000);
+        r.transfer_queued(0, 1, 2);
+        assert_eq!(r.queued_cost(0), 2_000);
+        assert_eq!(r.queued_cost(1), 2 * 2_000);
+        // A transfer larger than the victim's count clamps instead of
+        // wrapping; completions clamp at zero the same way.
+        r.transfer_queued(0, 1, 100);
+        assert_eq!(r.queued_cost(0), 0);
+        assert_eq!(r.queued_cost(1), 3 * 2_000);
+        r.note_op_done(1);
+        r.note_op_done(1);
+        r.note_op_done(1);
+        r.note_op_done(1);
+        assert_eq!(r.queued_cost(1), 0);
+        r.reset_queued_costs();
+        assert_eq!(r.queued_cost(0), 0);
+    }
+
+    #[test]
+    fn queued_cost_reprices_with_the_live_model() {
+        // The starvation case read-time pricing exists for: a deep
+        // backlog queued while the model thought operations cheap must
+        // not price below one typical operation after the EWMA learns
+        // they are expensive — the summary is the thief's only view of
+        // the victim's remaining work, and the imbalance bar is one
+        // typical op. Charging estimated nanoseconds at publish time
+        // freezes the warm-up price; a count priced at read time tracks
+        // the model wherever it drifts.
+        use super::super::assign::CostBook;
+        let book = Arc::new(CostBook::new());
+        book.observe(7, 1_000);
+        let r = Router::new(
+            Box::new(RoundRobinFirstTouch::default()),
+            topo(2),
+            false,
+            true,
+            true,
+            Some(Arc::clone(&book)),
+        );
+        r.note_queued(0, 500); // queued while ops look like ~1µs
+        let warm_price = r.queued_cost(0);
+        // The model learns the ops actually cost ~100µs each.
+        for _ in 0..64 {
+            book.observe(7, 100_000);
+        }
+        for _ in 0..5 {
+            r.note_op_done(0);
+        }
+        let live_price = r.queued_cost(0);
+        let typical = (book.typical() as u64).max(1);
+        assert_eq!(live_price, 495 * typical);
+        assert!(
+            live_price > warm_price && live_price > 100 * typical,
+            "backlog stuck at its warm-up price: {live_price} \
+             (warm {warm_price}, typical {typical})"
+        );
+    }
+
+    #[test]
+    fn cost_hooks_are_inert_without_a_book() {
+        let r = router(Box::new(RoundRobinFirstTouch::default()), 2);
+        assert!(!r.cost_aware());
+        r.note_queued(0, 5);
+        r.note_op_done(0);
+        r.transfer_queued(0, 1, 1);
+        assert_eq!(r.queued_cost(0), 0);
+        assert_eq!(r.cost_estimate(7), 0);
+        assert_eq!(r.cost_typical(), 0);
+        r.observe_cost(7, 1_000);
+        r.reset_queued_costs();
     }
 
     #[test]

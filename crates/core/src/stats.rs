@@ -47,6 +47,12 @@ pub(crate) struct StatsCell {
     pub steals: AtomicU64,
     /// Steal attempts that found no eligible batch on the chosen victim.
     pub steal_failures: AtomicU64,
+    /// Successful operation-granularity steals: queued tails of *started*
+    /// sets migrated after a quiescence handshake (`StealPolicy::CostAware`).
+    pub op_steals: AtomicU64,
+    /// Quiescence handshakes that failed: a thief selected a started set's
+    /// tail but the owner still had an operation of the set in flight.
+    pub quiesce_fail: AtomicU64,
     /// Delegated operations submitted but not yet fully executed
     /// (stealing transport only). A *single* counter on purpose: steals
     /// never touch it, so the `end_isolation` drain check reads one
@@ -95,6 +101,8 @@ impl StatsCell {
             tasks_boxed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
+            op_steals: AtomicU64::new(0),
+            quiesce_fail: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             epochs_audited: AtomicU64::new(0),
             sessions_active: AtomicU64::new(0),
@@ -132,6 +140,8 @@ impl StatsCell {
             tasks_boxed: self.tasks_boxed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             steal_failures: self.steal_failures.load(Ordering::Relaxed),
+            op_steals: self.op_steals.load(Ordering::Relaxed),
+            quiesce_fail: self.quiesce_fail.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Acquire),
             epochs_audited: self.epochs_audited.load(Ordering::Relaxed),
             sessions_active: self.sessions_active.load(Ordering::Relaxed),
@@ -221,6 +231,19 @@ pub struct Stats {
     /// failure-to-success ratio means the threshold is too low for the
     /// workload's set structure.
     pub steal_failures: u64,
+    /// Successful operation-granularity steals: the queued tail of a
+    /// *started* set migrated to an idle delegate after the quiescence
+    /// handshake certified no operation of the set was in flight. Only
+    /// [`StealPolicy::CostAware`](crate::StealPolicy::CostAware) performs
+    /// these; every other policy keeps this at 0.
+    pub op_steals: u64,
+    /// Quiescence handshakes that failed: the thief picked a started
+    /// set's queued tail, but under the shard + deque locks an operation
+    /// of the set was still executing on the owner, so the steal was
+    /// abandoned. The safety valve that makes op-granularity stealing
+    /// race-free; a high ratio to [`op_steals`](Stats::op_steals) means
+    /// tails are contended while their sets run.
+    pub quiesce_fail: u64,
     /// Delegated operations submitted but not yet fully executed on the
     /// transports that track them individually (the stealing transport
     /// and the nested-delegation injector lanes; the seed SPSC ring path
@@ -343,6 +366,8 @@ mod tests {
             tasks_boxed: 0,
             steals: 0,
             steal_failures: 0,
+            op_steals: 0,
+            quiesce_fail: 0,
             in_flight: 0,
             epochs_audited: 0,
             sessions_active: 0,

@@ -45,6 +45,13 @@ pub enum TraceKind {
     /// [`take_trace`](crate::Runtime::take_trace), so their sequence
     /// numbers reflect the fold point, not the instant of the steal.
     Steal,
+    /// An idle delegate stole the queued *tail* of a **started**
+    /// serialization set after a quiescence handshake certified no
+    /// operation of the set was in flight on the owner
+    /// ([`StealPolicy::CostAware`](crate::StealPolicy::CostAware) only);
+    /// `set` is the migrated set and `executor` the thief it re-pins to.
+    /// Folded like [`Steal`](TraceKind::Steal) events.
+    OpSteal,
     /// An operation was delegated.
     Delegate,
     /// An operation was delegated from a *delegate* context — the

@@ -1,0 +1,302 @@
+//! Ablation: set-granularity vs op-granularity (cost-aware) stealing.
+//!
+//! The serialization effect this prices: set-granularity stealing
+//! (`WhenIdle`, PR 2) migrates only **never-started** sets, so its window
+//! closes the moment the owner pops a set's first operation. Workloads
+//! whose sets *start early and deepen later* — a cheap first operation
+//! followed by a streamed tail, the natural shape of per-connection /
+//! per-file processing — leave every set started on one hot delegate with
+//! a deep queued tail that `WhenIdle` may not touch. `CostAware` lifts
+//! the restriction: a thief migrates the *queued tail* of a started set
+//! after a quiescence handshake, priced and sized by the shared EWMA
+//! cost model (`docs/ARCHITECTURE.md`, op-granularity section).
+//!
+//! Three shapes, each run under `off` / `when-idle` / `cost-aware`:
+//!
+//! * `uniform` — interleaved arrival, ids spread across all queues,
+//!   pure CPU: the overhead control. Nothing is ever worth stealing,
+//!   so any gap vs `off` is the price of cost bookkeeping.
+//! * `zipf-skew` — Zipf-popular sets, ids aliased onto delegate 0, every
+//!   set *started* via a streamed warm-up before its body queues. Pure
+//!   CPU work: on a 1-CPU container the op-granularity win shows up as
+//!   load spread (max/mean → 1), on real cores as wall time.
+//! * `zipf-stall` — same started-hot-queue shape, but operations stall
+//!   (sleep, modelling IO-ish latency). The tails are pure overlap
+//!   opportunity: `off` and `when-idle` serialize them on the owner
+//!   (nothing eligible — every set started), `cost-aware` spreads them
+//!   across all delegates and wins wall clock on any host.
+//!
+//! Output: a table plus `bench ablation_opsteal/<shape>/<policy>
+//! median_ns=<n>` lines that `scripts/record_baseline.sh` folds into
+//! `BENCH_baseline.json`. Two gates: identical result fingerprints per
+//! shape across all three policies (stealing granularity must be a pure
+//! scheduling choice), and `cost-aware` ≥ 1.15x over `when-idle` on
+//! `zipf-stall` — the headline number the op-granularity machinery is
+//! accepted against (expected ≈ 2–3x; sleep overlap needs no cores).
+
+use ss_bench::*;
+use ss_core::{NullSerializer, Runtime, StealPolicy, Writable};
+use ss_workloads::rng::{rng, Zipf};
+
+const DELEGATES: usize = 4;
+
+/// CPU component of one operation.
+fn work(seed: u64, rounds: u32) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..rounds {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ seed;
+    }
+    x
+}
+
+struct Shape {
+    name: &'static str,
+    sets: usize,
+    /// Set-index → set-id multiplier; `DELEGATES` aliases every set onto
+    /// delegate 0 under the static modulus.
+    id_stride: usize,
+    /// Body schedule: op i → set index (the warm-up prefix is implicit).
+    schedule: Vec<usize>,
+    /// Whether to *start* every set before its body queues, putting
+    /// set-granularity stealing out of its window: delegates 1..n are
+    /// first occupied with a stall filler each (an idle thief could
+    /// otherwise race the owner for the warm-up ops), then one cheap op
+    /// per set is delegated and **waited** — at most one set is ever
+    /// fresh at an instant, and once its future resolves the set is
+    /// started wherever it ran.
+    warm_start: bool,
+    /// CPU rounds per body op (0 = stall instead).
+    rounds: u32,
+    /// Stall length per body op when `rounds == 0`, microseconds.
+    stall_us: u64,
+}
+
+fn shapes(ops: usize) -> Vec<Shape> {
+    let mut r = rng(0x0057_EA17, 0);
+    // Interleaved Zipf arrival: ops of hot and cold sets mingle, so the
+    // owner starts every set almost immediately even without the
+    // explicit warm-up — the anti-batched shape.
+    let zipf = Zipf::new(16, 1.1);
+    let zipf_interleaved: Vec<usize> = (0..ops).map(|_| zipf.sample(&mut r)).collect();
+    vec![
+        Shape {
+            name: "uniform",
+            sets: 64,
+            id_stride: 1,
+            schedule: (0..ops).map(|i| i % 64).collect(),
+            warm_start: false,
+            rounds: 2_000,
+            stall_us: 0,
+        },
+        Shape {
+            name: "zipf-skew",
+            sets: 16,
+            id_stride: DELEGATES,
+            schedule: zipf_interleaved,
+            warm_start: true,
+            rounds: 2_000,
+            stall_us: 0,
+        },
+        Shape {
+            name: "zipf-stall",
+            sets: 16,
+            id_stride: DELEGATES,
+            // Uniform round-robin tails: per-set FIFO bounds how much one
+            // set's serial chain can dominate, so the overlap headroom is
+            // delegate-count, not Zipf-head, limited.
+            schedule: (0..16 * 32).map(|i| i % 16).collect(),
+            warm_start: true,
+            rounds: 0,
+            stall_us: 100,
+        },
+    ]
+}
+
+/// Runs one (shape, policy) pair; returns `(fingerprint, spread, steals,
+/// op_steals)`.
+fn run(rt: &Runtime, shape: &Shape) -> (u64, f64, u64, u64) {
+    let cells: Vec<Writable<u64, NullSerializer>> =
+        (0..shape.sets).map(|_| Writable::new(rt, 0u64)).collect();
+    let fillers: Vec<Writable<u64, NullSerializer>> = (0..DELEGATES - 1)
+        .map(|_| Writable::new(rt, 0u64))
+        .collect();
+    let stall = std::time::Duration::from_micros(shape.stall_us);
+    rt.begin_isolation().unwrap();
+    if shape.warm_start {
+        // Occupy every non-owner delegate with one 10ms stall (ids 1..n
+        // route past the aliased stride-0 queue), so no thief is idle —
+        // and racing the owner — while the sets warm up below.
+        for (d, f) in fillers.iter().enumerate() {
+            f.delegate_in((d + 1) as u64, |acc| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                *acc += 1;
+            })
+            .unwrap();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        // One waited cheap op per set: when the future resolves the set
+        // is *started* (wherever it ran), and waiting keeps at most one
+        // set fresh at any instant — a lucky set-granularity thief can
+        // re-place single sets one at a time, never sweep half the pool.
+        for (s, cell) in cells.iter().enumerate() {
+            cell.delegate_in_with((s * shape.id_stride) as u64, |acc| {
+                *acc = acc.wrapping_add(1);
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        }
+    }
+    for (i, &s) in shape.schedule.iter().enumerate() {
+        let seed = i as u64;
+        let rounds = shape.rounds;
+        cells[s]
+            .delegate_in((s * shape.id_stride) as u64, move |acc| {
+                if rounds == 0 {
+                    std::thread::sleep(stall);
+                    *acc = acc.wrapping_add(seed);
+                } else {
+                    *acc = acc.wrapping_add(work(seed, rounds));
+                }
+            })
+            .unwrap();
+    }
+    rt.end_isolation().unwrap();
+    let fp = cells
+        .iter()
+        .chain(fillers.iter())
+        .map(|c| c.call(|v| *v).unwrap())
+        .fold(0u64, |a, b| a.rotate_left(7) ^ b);
+    let stats = rt.stats();
+    let executed = &stats.delegate_executed;
+    let total: u64 = executed.iter().sum();
+    let spread = if total == 0 {
+        1.0
+    } else {
+        let mean = total as f64 / executed.len() as f64;
+        executed.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0)
+    };
+    (fp, spread, stats.steals, stats.op_steals)
+}
+
+fn main() {
+    let reps = env_reps();
+    let ops = match env_scale() {
+        ss_workloads::scale::Scale::S => 4_000,
+        ss_workloads::scale::Scale::M => 16_000,
+        ss_workloads::scale::Scale::L => 64_000,
+    };
+    println!(
+        "Ablation: set-granularity vs op-granularity stealing \
+         ({DELEGATES} delegates, {ops} CPU ops/run, host threads: {})\n",
+        host_threads()
+    );
+
+    let policies: [(&str, StealPolicy); 3] = [
+        ("off", StealPolicy::Off),
+        ("when-idle", StealPolicy::WhenIdle),
+        ("cost-aware", StealPolicy::CostAware),
+    ];
+
+    let mut table = Table::new(&[
+        "shape",
+        "policy",
+        "time",
+        "vs off",
+        "load max/mean",
+        "steals",
+        "op-steals",
+    ]);
+    let mut gate: Vec<(String, u64)> = Vec::new();
+    let mut bench_lines: Vec<String> = Vec::new();
+    let mut stall_times: Vec<(&str, std::time::Duration)> = Vec::new();
+    for shape in shapes(ops) {
+        let mut off_time = None;
+        for (name, policy) in &policies {
+            let mut spread = 1.0;
+            let mut steals = 0;
+            let mut op_steals = 0;
+            let mut fp = 0;
+            let (t, _) = measure(reps, || {
+                let rt = Runtime::builder()
+                    .delegate_threads(DELEGATES)
+                    .queue_capacity(8192)
+                    .stealing(*policy)
+                    .build()
+                    .unwrap();
+                let (f, s, st, ost) = run(&rt, &shape);
+                fp = f;
+                spread = s;
+                steals = st;
+                op_steals = ost;
+                f
+            });
+            let baseline = *off_time.get_or_insert(t);
+            table.row(vec![
+                shape.name.to_string(),
+                name.to_string(),
+                fmt_dur(t),
+                format!("{:.2}x", baseline.as_secs_f64() / t.as_secs_f64()),
+                format!("{spread:.2}"),
+                steals.to_string(),
+                op_steals.to_string(),
+            ]);
+            gate.push((format!("{}/{}", shape.name, name), fp));
+            bench_lines.push(format!(
+                "bench ablation_opsteal/{}/{} median_ns={}",
+                shape.name,
+                name,
+                t.as_nanos()
+            ));
+            if shape.name == "zipf-stall" {
+                stall_times.push((name, t));
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // Correctness gate: stealing granularity must be observationally free.
+    for chunk in gate.chunks(policies.len()) {
+        let first = chunk[0].1;
+        for (label, fp) in chunk {
+            assert_eq!(*fp, first, "{label} fingerprint diverged");
+        }
+    }
+    println!("All policies produced identical fingerprints per shape.\n");
+    for line in &bench_lines {
+        println!("{line}");
+    }
+
+    // Acceptance gate: the op-granularity machinery earns its complexity
+    // on the shape it was built for. Sleep overlap does not need extra
+    // cores, so this holds on any host; the expected ratio is ≈ 2–3x,
+    // leaving the 1.15x bar a wide noise margin.
+    let when_idle = stall_times
+        .iter()
+        .find(|(n, _)| *n == "when-idle")
+        .expect("zipf-stall when-idle leg missing")
+        .1;
+    let cost_aware = stall_times
+        .iter()
+        .find(|(n, _)| *n == "cost-aware")
+        .expect("zipf-stall cost-aware leg missing")
+        .1;
+    let ratio = when_idle.as_secs_f64() / cost_aware.as_secs_f64();
+    println!(
+        "\nzipf-stall: cost-aware {ratio:.2}x over when-idle \
+         (acceptance bar: ≥ 1.15x)."
+    );
+    assert!(
+        ratio >= 1.15,
+        "op-granularity stealing under-delivered on zipf-stall: \
+         {ratio:.2}x < 1.15x (when-idle {when_idle:?}, cost-aware {cost_aware:?})"
+    );
+    println!(
+        "Expected: `uniform` ties (cost bookkeeping is the only cost);\n\
+         `zipf-skew` recovers load spread on started sets `when-idle`\n\
+         cannot touch (max/mean → ~1; wall time too on multi-core hosts);\n\
+         `zipf-stall` converts the recovered spread into wall clock on\n\
+         any host — started stall tails overlap only under op-granularity\n\
+         stealing. Guidance: docs/POLICIES.md."
+    );
+}

@@ -17,8 +17,13 @@
 //!   owner has already popped since the last [`begin_epoch`]
 //!   ([`StealDeque::begin_epoch`]), and [`steal_half_into`]
 //!   ([`StealDeque::steal_half_into`]) refuses to migrate them. A key the
-//!   owner has *started* is burned onto the owner for the rest of the
-//!   epoch — the caller-side pinning invariant, enforced at the queue;
+//!   owner has *started* is burned onto the owner — the caller-side
+//!   pinning invariant, enforced at the queue — **until the key is
+//!   quiescent**: once every popped operation of the key has been
+//!   [`finish`](StealDeque::finish)ed, the key's queued *tail* may
+//!   migrate whole through the separate
+//!   [`steal_tail_into`](StealDeque::steal_tail_into) entry point (the
+//!   operation-granularity steal's quiescence handshake);
 //! * **scoped fences** — entries pushed with [`push_fence`]
 //!   ([`StealDeque::push_fence`]) carry a [`FenceScope`] naming the keys
 //!   that must provably drain *on this queue* while the fence is queued.
@@ -58,9 +63,23 @@
 
 use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::{Backoff, CachePadded};
+
+/// Number of push-counter shards. The futile-scan rate-limit counter
+/// ([`StealDeque::pushes`]) is maintained per *tenant shard* — derived
+/// from a key's high 16 bits, the runtime's session id — so one hot
+/// tenant's push churn cannot invalidate thieves' scan memos for every
+/// other tenant on the same deque.
+pub const PUSH_SHARDS: usize = 8;
+
+/// The push-counter shard a key belongs to. All keys of one tenant
+/// (same high 16 bits) share a shard.
+#[inline]
+pub fn push_shard_of(key: u64) -> usize {
+    ((key >> 48) as usize) & (PUSH_SHARDS - 1)
+}
 
 /// What kind of entry a [`StealDeque::pop`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,8 +122,15 @@ enum Entry {
 struct State<T> {
     entries: VecDeque<(Entry, T)>,
     /// Keys the owner has popped since the last `begin_epoch` — these are
-    /// *started* and may never migrate until the epoch rolls over.
+    /// *started*: excluded from whole-batch steals until the epoch rolls
+    /// over, and tail-stealable only while quiescent (below).
     started: HashSet<u64>,
+    /// Per-key count of popped-but-not-yet-[`finish`](StealDeque::finish)ed
+    /// operations. A started key absent from this map is **quiescent**: no
+    /// operation of the key is executing (or deferred) anywhere, so its
+    /// queued tail may migrate. Entries are removed when the count reaches
+    /// zero, keeping the map at O(concurrently executing keys).
+    in_flight: HashMap<u64, u32>,
 }
 
 impl<T> State<T> {
@@ -151,9 +177,10 @@ impl<T> State<T> {
 pub struct StealDeque<T> {
     locked: CachePadded<AtomicBool>,
     len: CachePadded<AtomicUsize>,
-    /// Monotonic count of keyed entries ever pushed (see
-    /// [`pushes`](StealDeque::pushes)).
-    pushes: CachePadded<AtomicUsize>,
+    /// Monotonic per-tenant-shard counts of keyed entries ever pushed,
+    /// plus quiescence edges (see [`pushes`](StealDeque::pushes) and
+    /// [`pushes_by_shard`](StealDeque::pushes_by_shard)).
+    pushes: [CachePadded<AtomicUsize>; PUSH_SHARDS],
     state: UnsafeCell<State<T>>,
 }
 
@@ -194,10 +221,11 @@ impl<T> StealDeque<T> {
         StealDeque {
             locked: CachePadded::new(AtomicBool::new(false)),
             len: CachePadded::new(AtomicUsize::new(0)),
-            pushes: CachePadded::new(AtomicUsize::new(0)),
+            pushes: std::array::from_fn(|_| CachePadded::new(AtomicUsize::new(0))),
             state: UnsafeCell::new(State {
                 entries: VecDeque::new(),
                 started: HashSet::new(),
+                in_flight: HashMap::new(),
             }),
         }
     }
@@ -228,14 +256,27 @@ impl<T> StealDeque<T> {
     }
 
     /// Monotonic count of keyed entries ever pushed (including batch
-    /// re-insertions), lock-free. Thieves use it to rate-limit futile
-    /// steal scans: a failed steal means every queued batch was started
-    /// or fenced, and only a *new push* (or an epoch roll, which implies
-    /// new pushes before anything is stealable again) can change that —
-    /// so a victim whose push count hasn't moved is not worth re-scanning.
+    /// re-insertions) plus quiescence edges, summed over all tenant
+    /// shards, lock-free. Thieves use it to rate-limit futile steal
+    /// scans: a failed steal means every queued batch was started or
+    /// fenced, and only a *new push*, a key *becoming quiescent* (its
+    /// tail just turned stealable), or an epoch roll can change that —
+    /// so a victim whose push count hasn't moved is not worth
+    /// re-scanning.
     #[inline]
     pub fn pushes(&self) -> usize {
-        self.pushes.load(Ordering::Acquire)
+        self.pushes.iter().map(|p| p.load(Ordering::Acquire)).sum()
+    }
+
+    /// Per-tenant-shard form of [`pushes`](StealDeque::pushes): slot
+    /// [`push_shard_of`]`(key)` moves when an entry for `key` is pushed
+    /// or `key` becomes quiescent. A thief that memoizes this array
+    /// after a futile scan can re-scan only the shards that moved, so
+    /// one hot tenant's churn cannot starve steal scans targeting the
+    /// other tenants on the same deque.
+    #[inline]
+    pub fn pushes_by_shard(&self) -> [usize; PUSH_SHARDS] {
+        std::array::from_fn(|i| self.pushes[i].load(Ordering::Acquire))
     }
 
     /// Appends a keyed entry at the back (producer side).
@@ -243,7 +284,7 @@ impl<T> StealDeque<T> {
         let mut g = self.lock();
         g.state().entries.push_back((Entry::Key(key), value));
         self.len.fetch_add(1, Ordering::Release);
-        self.pushes.fetch_add(1, Ordering::Release);
+        self.pushes[push_shard_of(key)].fetch_add(1, Ordering::Release);
     }
 
     /// Appends a fence entry at the back. While the fence is queued, the
@@ -266,10 +307,10 @@ impl<T> StealDeque<T> {
         let mut n = 0;
         for (key, value) in batch {
             g.state().entries.push_back((Entry::Key(key), value));
+            self.pushes[push_shard_of(key)].fetch_add(1, Ordering::Release);
             n += 1;
         }
         self.len.fetch_add(n, Ordering::Release);
-        self.pushes.fetch_add(n, Ordering::Release);
     }
 
     /// Appends a whole run of entries sharing one key at the back, in
@@ -286,13 +327,15 @@ impl<T> StealDeque<T> {
             n += 1;
         }
         self.len.fetch_add(n, Ordering::Release);
-        self.pushes.fetch_add(n, Ordering::Release);
+        self.pushes[push_shard_of(key)].fetch_add(n, Ordering::Release);
         n
     }
 
     /// Pops the oldest entry (owner side). Popping a keyed entry marks its
-    /// key *started* for the current epoch, which excludes the key from
-    /// all future steals until [`begin_epoch`](StealDeque::begin_epoch).
+    /// key *started* for the current epoch (excluding it from whole-batch
+    /// steals until [`begin_epoch`](StealDeque::begin_epoch)) and raises
+    /// the key's in-flight count — the key stays non-quiescent, and its
+    /// tail unstealable, until a matching [`finish`](StealDeque::finish).
     pub fn pop(&self) -> Option<(StealTag, T)> {
         let mut g = self.lock();
         let state = g.state();
@@ -300,12 +343,42 @@ impl<T> StealDeque<T> {
         let tag = match entry {
             Entry::Key(k) => {
                 state.started.insert(k);
+                *state.in_flight.entry(k).or_insert(0) += 1;
                 StealTag::Key(k)
             }
             Entry::Fence(_) => StealTag::Fence,
         };
         self.len.fetch_sub(1, Ordering::Release);
         Some((tag, value))
+    }
+
+    /// Records that one previously-popped operation of `key` finished
+    /// executing. The owner calls this after every keyed operation it
+    /// runs (including deferred help-first entries — a popped-but-parked
+    /// operation keeps its key in flight until it actually executes).
+    /// When the last in-flight operation of a key finishes, the key
+    /// becomes *quiescent*: its queued tail turns stealable, and the
+    /// key's push-shard counter is bumped so thieves' futile-scan memos
+    /// expire. A `finish` with no matching pop (the epoch rolled while
+    /// the operation ran) is ignored.
+    pub fn finish(&self, key: u64) {
+        let mut g = self.lock();
+        let state = g.state();
+        let became_quiescent = match state.in_flight.get_mut(&key) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                false
+            }
+            Some(_) => {
+                state.in_flight.remove(&key);
+                true
+            }
+            None => false,
+        };
+        drop(g);
+        if became_quiescent {
+            self.pushes[push_shard_of(key)].fetch_add(1, Ordering::Release);
+        }
     }
 
     /// Steals roughly half of the *eligible* batches into `out`,
@@ -375,6 +448,17 @@ impl<T> StealDeque<T> {
     /// must re-validate via [`steal_keys_into`](StealDeque::steal_keys_into)
     /// once it holds whatever locks make the migration atomic.
     pub fn stealable_keys(&self) -> Vec<u64> {
+        self.stealable_keys_in(&[true; PUSH_SHARDS])
+    }
+
+    /// [`stealable_keys`](StealDeque::stealable_keys) restricted to keys
+    /// whose push shard (see [`push_shard_of`]) is marked in `shards` —
+    /// the consumer side of the per-shard futile-scan memo. A thief that
+    /// already proved a shard's keys unstealable (and has seen no push or
+    /// quiescence edge in that shard since) skips them without touching
+    /// them, so one hot tenant's push traffic no longer forces full-queue
+    /// rescans on every attempt.
+    pub fn stealable_keys_in(&self, shards: &[bool; PUSH_SHARDS]) -> Vec<u64> {
         let mut g = self.lock();
         let state = g.state();
         let Some(frozen) = state.frozen_keys() else {
@@ -384,7 +468,11 @@ impl<T> StealDeque<T> {
         let mut seen: HashSet<u64> = HashSet::new();
         for (entry, _) in state.entries.iter() {
             if let Entry::Key(k) = entry {
-                if !frozen.contains(k) && !state.started.contains(k) && seen.insert(*k) {
+                if shards[push_shard_of(*k)]
+                    && !frozen.contains(k)
+                    && !state.started.contains(k)
+                    && seen.insert(*k)
+                {
                     eligible.push(*k);
                 }
             }
@@ -434,13 +522,156 @@ impl<T> StealDeque<T> {
         taken_keys
     }
 
-    /// Clears the started-key set for a new epoch. Must only be called at
-    /// a point where the epoch protocol guarantees quiescence (for the
-    /// runtime: after the `end_isolation` barrier, when every queue has
-    /// drained).
+    /// One scan of the deque on the cost-aware thief's behalf, bucketing
+    /// every unfenced queued key: never-started batches (`fresh`) and
+    /// quiescent started tails (`tails`), each with its queued entry
+    /// count for steal-sizing, in first-appearance order; `busy` lists
+    /// started keys whose queued tails are blocked by an in-flight
+    /// operation. Advisory, like
+    /// [`stealable_keys`](StealDeque::stealable_keys): the caller must
+    /// re-validate under the migration locks via
+    /// [`steal_keys_into`](StealDeque::steal_keys_into) /
+    /// [`steal_tail_into`](StealDeque::steal_tail_into).
+    pub fn scan_candidates(&self) -> StealScan {
+        let mut g = self.lock();
+        let state = g.state();
+        let Some(frozen) = state.frozen_keys() else {
+            return StealScan::default(); // an `All` fence freezes everything
+        };
+        let mut order: Vec<u64> = Vec::new();
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for (entry, _) in state.entries.iter() {
+            if let Entry::Key(k) = entry {
+                if !frozen.contains(k) {
+                    let c = counts.entry(*k).or_insert(0);
+                    if *c == 0 {
+                        order.push(*k);
+                    }
+                    *c += 1;
+                }
+            }
+        }
+        let mut scan = StealScan::default();
+        for k in order {
+            let n = counts[&k];
+            if !state.started.contains(&k) {
+                scan.fresh.push((k, n));
+            } else if !state.in_flight.contains_key(&k) {
+                scan.tails.push((k, n));
+            } else {
+                scan.busy.push((k, n));
+            }
+        }
+        scan
+    }
+
+    /// Removes the **entire queued remainder** of each still-quiescent
+    /// started key in `keys` into `out` — the removal phase of an
+    /// operation-granularity (tail) steal. Returns the keys actually
+    /// taken and the number of requested keys skipped because an
+    /// operation of the key was in flight (the quiescence handshake
+    /// failed). A taken tail moves whole: leaving any entry behind would
+    /// let the owner and the thief execute the same set concurrently.
+    /// Keys that are fenced, no longer started (the epoch rolled), or
+    /// drained since listing are skipped silently. The caller must hold
+    /// the locks that route new pushes of these keys for the duration of
+    /// the call *and* the re-pin, exactly as for
+    /// [`steal_keys_into`](StealDeque::steal_keys_into).
+    pub fn steal_tail_into(&self, keys: &[u64], out: &mut Vec<(u64, T)>) -> (Vec<u64>, usize) {
+        let mut g = self.lock();
+        let state = g.state();
+        let Some(frozen) = state.frozen_keys() else {
+            return (Vec::new(), 0); // an `All` fence freezes everything
+        };
+        let mut busy = 0;
+        let mut wanted: HashSet<u64> = HashSet::new();
+        for k in keys {
+            if frozen.contains(k) || !state.started.contains(k) {
+                continue;
+            }
+            if state.in_flight.contains_key(k) {
+                busy += 1;
+                continue;
+            }
+            wanted.insert(*k);
+        }
+        if wanted.is_empty() {
+            return (Vec::new(), busy);
+        }
+        let mut taken_keys: Vec<u64> = Vec::new();
+        let mut taken = 0;
+        let entries = std::mem::take(&mut state.entries);
+        for (entry, value) in entries {
+            match entry {
+                Entry::Key(k) if wanted.contains(&k) => {
+                    if !taken_keys.contains(&k) {
+                        taken_keys.push(k);
+                    }
+                    out.push((k, value));
+                    taken += 1;
+                }
+                _ => state.entries.push_back((entry, value)),
+            }
+        }
+        // A stolen tail no longer belongs to this owner: clear the keys'
+        // started marks so a later re-migration back here is a fresh
+        // batch again (the thief's deque records its own started state).
+        for k in &taken_keys {
+            state.started.remove(k);
+        }
+        self.len.fetch_sub(taken, Ordering::Release);
+        (taken_keys, busy)
+    }
+
+    /// Removal phase of a tail steal **without the quiescence check**:
+    /// takes the queued remainder of each started key in `keys` even
+    /// while operations of the key are in flight on the owner.
+    /// Deliberately unsound — exists only so the runtime's test-only
+    /// `chaos` weakenings can prove the serializability auditor catches
+    /// mid-set steals; never called by the real handshake.
+    #[doc(hidden)]
+    pub fn steal_tail_unchecked_into(&self, keys: &[u64], out: &mut Vec<(u64, T)>) -> Vec<u64> {
+        let mut g = self.lock();
+        let state = g.state();
+        let wanted: HashSet<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| state.started.contains(k))
+            .collect();
+        if wanted.is_empty() {
+            return Vec::new();
+        }
+        let mut taken_keys: Vec<u64> = Vec::new();
+        let mut taken = 0;
+        let entries = std::mem::take(&mut state.entries);
+        for (entry, value) in entries {
+            match entry {
+                Entry::Key(k) if wanted.contains(&k) => {
+                    if !taken_keys.contains(&k) {
+                        taken_keys.push(k);
+                    }
+                    out.push((k, value));
+                    taken += 1;
+                }
+                _ => state.entries.push_back((entry, value)),
+            }
+        }
+        for k in &taken_keys {
+            state.started.remove(k);
+        }
+        self.len.fetch_sub(taken, Ordering::Release);
+        taken_keys
+    }
+
+    /// Clears the started-key set and in-flight counts for a new epoch.
+    /// Must only be called at a point where the epoch protocol guarantees
+    /// quiescence (for the runtime: after the `end_isolation` barrier,
+    /// when every queue has drained).
     pub fn begin_epoch(&self) {
         let mut g = self.lock();
-        g.state().started.clear();
+        let state = g.state();
+        state.started.clear();
+        state.in_flight.clear();
     }
 
     /// True if the owner has popped an entry with this key since the last
@@ -449,6 +680,30 @@ impl<T> StealDeque<T> {
         let mut g = self.lock();
         g.state().started.contains(&key)
     }
+
+    /// True if the key is started and every popped operation of it has
+    /// been [`finish`](StealDeque::finish)ed — the tail-steal eligibility
+    /// predicate, exposed for diagnostics and tests.
+    pub fn is_quiescent(&self, key: u64) -> bool {
+        let mut g = self.lock();
+        let state = g.state();
+        state.started.contains(&key) && !state.in_flight.contains_key(&key)
+    }
+}
+
+/// Result of one [`StealDeque::scan_candidates`] pass.
+#[derive(Debug, Default)]
+pub struct StealScan {
+    /// Never-started, unfenced keys with their queued entry counts, in
+    /// first-appearance order — eligible for whole-batch migration.
+    pub fresh: Vec<(u64, usize)>,
+    /// Started, quiescent, unfenced keys with their queued entry counts —
+    /// eligible for tail migration after the quiescence handshake.
+    pub tails: Vec<(u64, usize)>,
+    /// Started keys with queued entries whose tails are currently blocked
+    /// by an in-flight operation (with their queued entry counts) — the
+    /// quiescence handshake's refusals, in first-appearance order.
+    pub busy: Vec<(u64, usize)>,
 }
 
 impl<T> std::fmt::Debug for StealDeque<T> {
@@ -689,6 +944,206 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(q.steal_half_into(&mut out), 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tail_not_stealable_while_op_in_flight() {
+        let q = StealDeque::new();
+        q.push_keyed(7, 1);
+        q.push_keyed(7, 2);
+        q.push_keyed(7, 3);
+        // Owner pops one op and is "executing" it: key 7 is started and
+        // non-quiescent, so the tail stays put (handshake fails).
+        assert_eq!(q.pop(), Some((StealTag::Key(7), 1)));
+        assert!(!q.is_quiescent(7));
+        let scan = q.scan_candidates();
+        assert!(scan.fresh.is_empty());
+        assert!(scan.tails.is_empty());
+        assert_eq!(scan.busy, vec![(7, 2)]);
+        let mut out = Vec::new();
+        let (taken, busy) = q.steal_tail_into(&[7], &mut out);
+        assert!(taken.is_empty());
+        assert_eq!(busy, 1);
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn finished_prefix_makes_tail_stealable_whole() {
+        let q = StealDeque::new();
+        for v in 1..=5u64 {
+            q.push_keyed(7, v);
+        }
+        // Owner executes a two-op prefix to completion.
+        q.pop();
+        q.finish(7);
+        q.pop();
+        q.finish(7);
+        assert!(q.is_quiescent(7));
+        let scan = q.scan_candidates();
+        assert_eq!(scan.tails, vec![(7, 3)]);
+        assert!(scan.busy.is_empty());
+        // The quiescence handshake passes and the ENTIRE remainder moves.
+        let mut out = Vec::new();
+        let (taken, busy) = q.steal_tail_into(&[7], &mut out);
+        assert_eq!(taken, vec![7]);
+        assert_eq!(busy, 0);
+        assert_eq!(out, vec![(7, 3), (7, 4), (7, 5)]);
+        assert!(q.is_empty());
+        // The stolen key no longer reads as started on the old owner.
+        assert!(!q.is_started(7));
+    }
+
+    #[test]
+    fn tail_steal_respects_fences_and_epoch_rolls() {
+        let q = StealDeque::new();
+        q.push_keyed(1, 10);
+        q.push_keyed(1, 11);
+        q.pop();
+        q.finish(1);
+        q.push_fence(FenceScope::Key(1), 0);
+        // Quiescent but fenced: not listed, not taken.
+        assert!(q.scan_candidates().tails.is_empty());
+        let mut out = Vec::new();
+        let (taken, busy) = q.steal_tail_into(&[1], &mut out);
+        assert!(taken.is_empty());
+        assert_eq!(busy, 0);
+        // After an epoch roll the key is no longer started at all, so the
+        // tail entry point skips it — and the still-queued fence keeps it
+        // out of the fresh bucket too.
+        q.begin_epoch();
+        let (taken, _) = q.steal_tail_into(&[1], &mut out);
+        assert!(taken.is_empty());
+        assert!(q.scan_candidates().fresh.is_empty());
+        // Drain the fence: the key is fresh-batch territory again.
+        assert_eq!(q.pop(), Some((StealTag::Key(1), 11)));
+        q.finish(1);
+        assert_eq!(q.pop(), Some((StealTag::Fence, 0)));
+        q.push_keyed(1, 12);
+        // Started again by the pop above, but quiescent: a tail.
+        assert_eq!(q.scan_candidates().tails, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn scan_candidates_buckets_fresh_tails_and_busy() {
+        let q = StealDeque::new();
+        q.push_keyed(1, 10); // fresh
+        q.push_keyed(2, 20); // will become a quiescent tail
+        q.push_keyed(2, 21);
+        q.push_keyed(3, 30); // will stay busy
+        q.push_keyed(3, 31);
+        // Start keys 2 and 3; finish only key 2's op.
+        while let Some((tag, _)) = q.pop() {
+            if tag == StealTag::Key(1) {
+                q.finish(1);
+                continue;
+            }
+            break; // popped 2's first op
+        }
+        // The pop loop above popped 1 then 2's first entry.
+        q.finish(2);
+        // Pop 2's second? No — pop FIFO gives 21 next; skip to key 3.
+        assert_eq!(q.pop(), Some((StealTag::Key(2), 21)));
+        q.finish(2);
+        assert_eq!(q.pop(), Some((StealTag::Key(3), 30)));
+        // Key 3's op is still in flight.
+        q.push_keyed(2, 22);
+        q.push_keyed(4, 40);
+        let scan = q.scan_candidates();
+        assert_eq!(scan.fresh, vec![(4, 1)]);
+        assert_eq!(scan.tails, vec![(2, 1)]);
+        assert_eq!(scan.busy, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn unchecked_tail_steal_ignores_in_flight_ops() {
+        // The chaos entry point: takes the tail even though the owner is
+        // mid-operation — the unsound interleaving the auditor must catch.
+        let q = StealDeque::new();
+        q.push_keyed(7, 1);
+        q.push_keyed(7, 2);
+        q.push_keyed(7, 3);
+        q.pop(); // in flight, never finished
+        let mut out = Vec::new();
+        let taken = q.steal_tail_unchecked_into(&[7], &mut out);
+        assert_eq!(taken, vec![7]);
+        assert_eq!(out, vec![(7, 2), (7, 3)]);
+    }
+
+    #[test]
+    fn per_shard_push_counts_scope_futile_scan_invalidation() {
+        let q: StealDeque<u32> = StealDeque::new();
+        // Tenant ids live in the key's high 16 bits, so two tenants land
+        // in two different push shards.
+        let hot = 1u64 << 48;
+        let cold = 2u64 << 48;
+        assert_ne!(push_shard_of(hot), push_shard_of(cold));
+        q.push_keyed(hot, 0);
+        q.push_keyed(cold, 1);
+        let before = q.pushes_by_shard();
+        q.push_keyed(hot | 5, 2);
+        let after = q.pushes_by_shard();
+        // Only the hot tenant's shard moved; the sum view still moves too
+        // (back-compat for the global memo).
+        assert_eq!(after[push_shard_of(hot)], before[push_shard_of(hot)] + 1);
+        assert_eq!(after[push_shard_of(cold)], before[push_shard_of(cold)]);
+        assert_eq!(q.pushes(), after.iter().sum::<usize>());
+        // A scan restricted to the changed shards skips the cold tenant's
+        // (already proven futile) keys entirely.
+        let mut changed = [false; PUSH_SHARDS];
+        for (s, flag) in changed.iter_mut().enumerate() {
+            *flag = after[s] != before[s];
+        }
+        assert_eq!(q.stealable_keys_in(&changed), vec![hot, hot | 5]);
+        assert_eq!(q.stealable_keys(), vec![hot, cold, hot | 5]);
+    }
+
+    #[test]
+    fn unbalanced_finish_is_ignored() {
+        let q: StealDeque<u8> = StealDeque::new();
+        q.finish(9); // never popped: no panic, no state
+        assert!(!q.is_quiescent(9));
+        q.push_keyed(9, 1);
+        q.pop();
+        q.finish(9);
+        q.finish(9); // second finish of a single pop: ignored
+        assert!(q.is_quiescent(9));
+    }
+
+    #[test]
+    fn push_counters_are_per_tenant_shard() {
+        // Regression for the futile-scan rate limiter: pushes from one
+        // tenant must not disturb another tenant's shard counter, so a
+        // thief's per-shard memo for the quiet tenant stays valid.
+        let hot = 1u64 << 48 | 5; // tenant 1
+        let quiet = 2u64 << 48 | 5; // tenant 2
+        assert_ne!(push_shard_of(hot), push_shard_of(quiet));
+        let q = StealDeque::new();
+        q.push_keyed(quiet, 0u64);
+        let before = q.pushes_by_shard();
+        for i in 0..10 {
+            q.push_keyed(hot, i);
+        }
+        let after = q.pushes_by_shard();
+        assert_eq!(after[push_shard_of(quiet)], before[push_shard_of(quiet)]);
+        assert_eq!(after[push_shard_of(hot)], before[push_shard_of(hot)] + 10);
+        // The summed legacy view still counts everything.
+        assert_eq!(q.pushes(), 11);
+    }
+
+    #[test]
+    fn quiescence_edge_bumps_push_shard() {
+        // A key finishing its last in-flight op with entries still queued
+        // turns its tail stealable; the shard counter must move so memoized
+        // thieves re-scan.
+        let q = StealDeque::new();
+        q.push_keyed(3, 1);
+        q.push_keyed(3, 2);
+        q.pop();
+        let before = q.pushes_by_shard()[push_shard_of(3)];
+        q.finish(3);
+        let after = q.pushes_by_shard()[push_shard_of(3)];
+        assert_eq!(after, before + 1);
     }
 
     #[test]

@@ -27,9 +27,11 @@
 //!   removal of this index sharing).
 //! * [`StealDeque`] — the work-stealing substrate of the runtime's stealing
 //!   mode: keyed entries, whole-batch steals, epoch-aware started-key
-//!   filtering, and fence entries that freeze everything before them. This
-//!   is what replaces the SPSC channel when idle delegates are allowed to
-//!   steal never-started serialization sets from a loaded peer.
+//!   filtering, per-key in-flight counts that gate quiescent-tail
+//!   (operation-granularity) steals, and fence entries that freeze
+//!   everything before them. This is what replaces the SPSC channel when
+//!   idle delegates are allowed to steal never-started serialization sets
+//!   — or the queued tails of quiescent started sets — from a loaded peer.
 //!
 //! Beside the queues, the [`oneshot`] module provides one-shot completion
 //! cells: the result-return substrate of the runtime's futures on
@@ -78,7 +80,7 @@ pub mod slab;
 mod spsc;
 
 pub use backoff::Backoff;
-pub use deque::{FenceScope, StealDeque, StealTag};
+pub use deque::{push_shard_of, FenceScope, StealDeque, StealScan, StealTag, PUSH_SHARDS};
 pub use lamport::LamportQueue;
 pub use pad::CachePadded;
 pub use spsc::{Consumer, Injector, Producer, SpscQueue};

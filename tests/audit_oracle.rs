@@ -101,10 +101,14 @@ fn assignment_of(idx: usize) -> Assignment {
 }
 
 fn steal_policy_of(idx: usize) -> StealPolicy {
-    match idx % 3 {
+    match idx % 4 {
         0 => StealPolicy::Off,
         1 => StealPolicy::WhenIdle,
-        _ => StealPolicy::Threshold(2),
+        2 => StealPolicy::Threshold(2),
+        // The auditor must certify op-granularity (quiescent-tail) steals
+        // too: every handover the thief performs is checked against the
+        // per-operation logical-order tokens.
+        _ => StealPolicy::CostAware,
     }
 }
 
@@ -211,7 +215,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(4), 0..100),
         delegates in 1usize..4,
         assignment_idx in 0usize..4,
-        steal_idx in 0usize..3,
+        steal_idx in 0usize..4,
     ) {
         let ops: Vec<Op> = ops
             .into_iter()
@@ -459,6 +463,71 @@ mod chaos {
                 }
             }
             Ok(()) => panic!("cross-session pin leak went undetected"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    /// `steal_mid_set` makes a cost-aware thief skip the quiescence
+    /// handshake: it rips the queued tail of a started set while the owner
+    /// is still *inside* an operation of that set. The owner's eventual
+    /// execution record and the thief's stolen-tail records then disagree
+    /// — same set, two executors in one epoch, and the owner's op carries
+    /// an earlier logical-order token than tail operations that already
+    /// ran. The auditor must report one of those two faces of the same
+    /// broken handshake.
+    #[test]
+    fn steal_mid_set_is_caught_by_the_auditor() {
+        let rt = Runtime::builder()
+            .delegate_threads(2)
+            .assignment(Assignment::Static)
+            .stealing(StealPolicy::CostAware)
+            .audit(AuditMode::Full)
+            .chaos(ChaosKnobs {
+                steal_mid_set: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        // Static with 2 delegates pins set 2 to delegate 0. Its first
+        // operation sleeps, so the set is started and mid-flight while
+        // eight more operations queue behind it — exactly what the
+        // quiescence handshake exists to protect, and what this knob
+        // deliberately ignores.
+        let victim: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        victim
+            .delegate_in(ss_core::SsId(2), |_| {
+                std::thread::sleep(Duration::from_millis(150))
+            })
+            .unwrap();
+        for _ in 0..8 {
+            victim
+                .delegate_in(ss_core::SsId(2), |s| *s = fold(*s, 1))
+                .unwrap();
+        }
+        // Wait for the thief to rip the tail mid-operation.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.stats().op_steals == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no mid-set steal happened; cannot exercise the knob"
+            );
+            std::thread::yield_now();
+        }
+        match rt.end_isolation() {
+            Err(SsError::SerializabilityViolation(report)) => {
+                assert_eq!(report.set, ss_core::SsId(2), "wrong set named: {report}");
+                match report.kind {
+                    AuditViolation::TwoExecutors { first, second } => {
+                        assert_ne!(first, second, "pair must be real: {report}");
+                    }
+                    AuditViolation::OrderInversion { earlier, later, .. } => {
+                        assert!(earlier < later, "pair must be real ops: {report}");
+                    }
+                    other => panic!("wrong violation kind: {other:?}"),
+                }
+            }
+            Ok(()) => panic!("mid-set steal went undetected"),
             Err(e) => panic!("unexpected error: {e}"),
         }
     }

@@ -394,6 +394,7 @@ fn all_shapes() -> Vec<(&'static str, &'static str, Assignment, StealPolicy)> {
         ("off", StealPolicy::Off),
         ("when-idle", StealPolicy::WhenIdle),
         ("threshold-2", StealPolicy::Threshold(2)),
+        ("cost-aware", StealPolicy::CostAware),
     ];
     let mut shapes = Vec::new();
     for (an, af) in &assignments {

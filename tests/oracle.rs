@@ -81,10 +81,14 @@ fn assignment_of(idx: usize) -> Assignment {
 }
 
 fn steal_policy_of(idx: usize) -> StealPolicy {
-    match idx % 3 {
+    match idx % 4 {
         0 => StealPolicy::Off,
         1 => StealPolicy::WhenIdle,
-        _ => StealPolicy::Threshold(2),
+        2 => StealPolicy::Threshold(2),
+        // Op-granularity leg: cost-aware thieves may take the queued tail
+        // of a *started* set after the quiescence handshake — the order
+        // oracle must not be able to tell.
+        _ => StealPolicy::CostAware,
     }
 }
 
@@ -176,7 +180,7 @@ proptest! {
         delegates in 0usize..4,
         program_share in 0usize..2,
         assignment_idx in 0usize..4,
-        steal_idx in 0usize..3,
+        steal_idx in 0usize..4,
     ) {
         // Ops reference objects 0..5; clamp to k.
         let ops: Vec<Op> = ops

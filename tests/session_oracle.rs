@@ -105,10 +105,13 @@ fn assignment_of(idx: usize) -> Assignment {
 }
 
 fn steal_policy_of(idx: usize) -> StealPolicy {
-    match idx % 3 {
+    match idx % 4 {
         0 => StealPolicy::Off,
         1 => StealPolicy::WhenIdle,
-        _ => StealPolicy::Threshold(2),
+        2 => StealPolicy::Threshold(2),
+        // Cost-aware thieves op-steal quiescent tails of started sets —
+        // including across tenants' namespaced keys.
+        _ => StealPolicy::CostAware,
     }
 }
 
@@ -269,7 +272,7 @@ proptest! {
         ),
         delegates in 1usize..4,
         assignment_idx in 0usize..4,
-        steal_idx in 0usize..3,
+        steal_idx in 0usize..4,
         audit_idx in 0usize..3,
     ) {
         let programs: Vec<Vec<Op>> =
@@ -296,7 +299,7 @@ proptest! {
         root_ops in proptest::collection::vec(op_strategy(3), 0..50),
         session_ops in proptest::collection::vec(op_strategy(3), 0..50),
         delegates in 1usize..4,
-        steal_idx in 0usize..3,
+        steal_idx in 0usize..4,
     ) {
         let k = 3;
         let root_ops = clamp(k, root_ops);

@@ -2,10 +2,12 @@
 //! whole-program results must be identical to `StealPolicy::Off` (and
 //! therefore to the sequential oracle), across every registry kernel —
 //! including `nested_fanout`, whose operations are delegated recursively
-//! from delegate contexts — and under every assignment policy. Only
-//! never-started sets migrate, whole and re-pinned atomically — so
-//! same-set program order, and with it the output, cannot depend on who
-//! executed what.
+//! from delegate contexts — and under every assignment policy. Depth
+//! policies migrate only never-started sets, whole and re-pinned
+//! atomically; `CostAware` additionally migrates the queued tails of
+//! *started* sets after a quiescence handshake that proves the owner's
+//! prefix has fully executed. Either way, same-set program order — and
+//! with it the output — cannot depend on who executed what.
 
 use prometheus_rs::prelude::*;
 use prometheus_rs::ss_apps::registry;
@@ -17,6 +19,7 @@ fn steal_policies() -> Vec<(&'static str, StealPolicy)> {
         ("when-idle", StealPolicy::WhenIdle),
         ("threshold-2", StealPolicy::Threshold(2)),
         ("threshold-32", StealPolicy::Threshold(32)),
+        ("cost-aware", StealPolicy::CostAware),
     ]
 }
 

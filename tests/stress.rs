@@ -567,6 +567,155 @@ fn routing_contention_preserves_pin_stability() {
     }
 }
 
+/// The op-granularity payoff case, stated as a falsifiable comparison:
+/// a *zipf-stall* shape — one cold set of long stall operations and one
+/// hot set with a deep tail of medium operations, both co-located on one
+/// delegate — is the shape whole-set stealing cannot balance. `WhenIdle`
+/// may grab an entire set at an arrival boundary (while it is still
+/// fresh), but once a set has started, its queued tail is untouchable;
+/// with 4 cold + 64 hot operations the thief's possible totals are
+/// exactly {0, 4, 64, 68} of 70, so the executed-op spread is ≥ 58 no
+/// matter how the races fall. Cost-aware op-granularity stealing
+/// migrates quiescent tails mid-set (in either direction), so the
+/// spread lands strictly below that floor.
+///
+/// Asserts, with the same workload under both policies:
+///
+/// * `WhenIdle` performs zero op-granularity steals (structurally — the
+///   policy cannot touch started sets) and its spread stays ≥ 58;
+/// * `CostAware` performs at least one quiescent-tail steal and strictly
+///   improves the spread;
+/// * the PR-5 trace-log audit, extended with `OpSteal` events, certifies
+///   that within each epoch no set executed on more executors than its
+///   recorded steal events allow — op-granularity migration is visible,
+///   never silent.
+#[test]
+fn cost_aware_op_steals_spread_a_zipf_stall_tail() {
+    use std::collections::{HashMap, HashSet};
+
+    const STALLS: u64 = 4; // cold set: few long operations
+    const STALL_MS: u64 = 10;
+    const TAIL: u64 = 64; // hot set: deep tail of medium operations
+    let mut spreads: HashMap<&'static str, u64> = HashMap::new();
+    for (label, policy) in [
+        ("when-idle", StealPolicy::WhenIdle),
+        ("cost-aware", StealPolicy::CostAware),
+    ] {
+        // Exactly 2 delegates: Static assignment pins both SsId(0) and
+        // SsId(2) to delegate 0 (id % 2), leaving delegate 1 the thief.
+        let rt = Runtime::builder()
+            .delegate_threads(2)
+            .assignment(Assignment::Static)
+            .stealing(policy)
+            .trace(true)
+            .build()
+            .unwrap();
+        let cold: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        let hot: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        // Settle routing first (waited futures) so both pins exist before
+        // the body queues and the measured ops race the thief.
+        cold.delegate_in_with(SsId(0), |n| {
+            *n += 1;
+            *n
+        })
+        .unwrap()
+        .wait()
+        .unwrap();
+        hot.delegate_in_with(SsId(2), |n| {
+            *n += 1;
+            *n
+        })
+        .unwrap()
+        .wait()
+        .unwrap();
+        // Queue the zipf-stall body: each cold stall is followed by a
+        // burst of hot-tail operations. Hot ops take ~1ms so the hot
+        // tail stays deep while the owner is stuck inside a stall —
+        // giving mid-set rebalancing something to move in both runs.
+        for _ in 0..STALLS {
+            drop(
+                cold.delegate_in_with(SsId(0), |n| {
+                    std::thread::sleep(std::time::Duration::from_millis(STALL_MS));
+                    *n += 1;
+                    *n
+                })
+                .unwrap(),
+            );
+            for _ in 0..TAIL / STALLS {
+                drop(
+                    hot.delegate_in_with(SsId(2), |n| {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        *n += 1;
+                        *n
+                    })
+                    .unwrap(),
+                );
+            }
+        }
+        rt.end_isolation().unwrap();
+        assert_eq!(cold.call(|n| *n).unwrap(), 1 + STALLS);
+        assert_eq!(hot.call(|n| *n).unwrap(), 1 + TAIL);
+
+        let stats = rt.stats();
+        match label {
+            "when-idle" => {
+                assert_eq!(
+                    stats.op_steals, 0,
+                    "depth-based policy migrated a started set's tail: {stats:?}"
+                );
+            }
+            _ => {
+                assert!(
+                    stats.op_steals >= 1,
+                    "cost-aware thief never took a quiescent tail: {stats:?}"
+                );
+            }
+        }
+        let executed = &stats.delegate_executed;
+        spreads.insert(
+            label,
+            executed.iter().max().unwrap() - executed.iter().min().unwrap(),
+        );
+
+        // Trace-log audit (PR 5, extended with OpSteal): per epoch, a set
+        // may execute on at most 1 + (its recorded steal events)
+        // executors — every migration must be visible in the log.
+        let trace = rt.take_trace().unwrap();
+        let mut executed_on: HashMap<(u64, u64), HashSet<usize>> = HashMap::new();
+        let mut steal_events: HashMap<(u64, u64), usize> = HashMap::new();
+        for e in &trace {
+            let (Some(set), Some(TraceExecutor::Delegate(d))) = (e.set, e.executor) else {
+                continue;
+            };
+            match e.kind {
+                TraceKind::FutureResolve => {
+                    executed_on.entry((e.epoch, set.0)).or_default().insert(d);
+                }
+                TraceKind::Steal | TraceKind::OpSteal => {
+                    *steal_events.entry((e.epoch, set.0)).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(!executed_on.is_empty(), "{label}: no executions traced");
+        for ((epoch, set), executors) in &executed_on {
+            let allowed = 1 + steal_events.get(&(*epoch, *set)).copied().unwrap_or(0);
+            assert!(
+                executors.len() <= allowed,
+                "{label}: set {set} executed on {executors:?} in epoch {epoch} \
+                 with only {} recorded steal event(s)",
+                allowed - 1
+            );
+        }
+        rt.shutdown().unwrap();
+    }
+    assert!(
+        spreads["cost-aware"] < spreads["when-idle"],
+        "op-granularity stealing did not improve the executed spread: {spreads:?}"
+    );
+}
+
 /// Continuous streaming ingest under a fully-on auditor: one long epoch,
 /// no barrier, far more distinct serialization sets than the audit
 /// graph's per-shard capacity. The incremental conflict graph must stay
