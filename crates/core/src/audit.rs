@@ -120,6 +120,17 @@ pub enum AuditViolation {
         /// Operations the auditor saw execute.
         executed: u64,
     },
+    /// A memoized delegation was served from the memo table although the
+    /// set's generation had been bumped since the entry was published —
+    /// the cached result may derive from inputs a non-memoized delegation
+    /// or reclaim has since changed, so the serve is not equivalent to
+    /// re-executing the operation in program order.
+    StaleMemoServe {
+        /// Generation the served entry was published under.
+        served: u64,
+        /// The set's live generation at serve time.
+        live: u64,
+    },
 }
 
 impl std::fmt::Display for AuditReport {
@@ -145,6 +156,9 @@ impl std::fmt::Display for AuditReport {
                     submitted,
                     executed,
                 } => format!("submitted {submitted} ops but {executed} executed"),
+                AuditViolation::StaleMemoServe { served, live } => format!(
+                    "memoized result served at generation {served} but the set's live generation is {live}"
+                ),
             }
         )
     }
@@ -484,6 +498,39 @@ impl AuditState {
         }
     }
 
+    /// Records a memo hit: a `delegate_memo`-family operation on `ss` was
+    /// answered from the memo table instead of executing. The serve is a
+    /// conflict-graph no-op — the cached result stands in for a completed
+    /// execution whose edges were checked when it originally ran — so
+    /// nothing here touches the set's submitted/executed counts or its
+    /// executor claim. The one thing certification must still see is
+    /// *freshness*: a serve whose entry generation trails the set's live
+    /// generation replays a result that a later non-memoized delegation
+    /// or reclaim has invalidated, and is reported as
+    /// [`AuditViolation::StaleMemoServe`].
+    pub(crate) fn memo_hit(&self, ss: SsId, serial: u64, entry_gen: u64, live_gen: u64) {
+        if !self.active() {
+            return;
+        }
+        self.memo_hit_in(ss, serial, entry_gen, live_gen);
+    }
+
+    /// Domain-qualified form of [`memo_hit`](AuditState::memo_hit) (see
+    /// [`submit_in`](AuditState::submit_in)).
+    pub(crate) fn memo_hit_in(&self, ss: SsId, serial: u64, entry_gen: u64, live_gen: u64) {
+        self.edges.fetch_add(1, Ordering::Relaxed);
+        if entry_gen != live_gen {
+            self.report(AuditReport {
+                epoch: serial,
+                set: ss,
+                kind: AuditViolation::StaleMemoServe {
+                    served: entry_gen,
+                    live: live_gen,
+                },
+            });
+        }
+    }
+
     /// The access gate: called on the program thread right before it gains
     /// direct access to a reclaimed set's object. Certifies that every
     /// program-submitted operation of the set has executed, then stamps a
@@ -814,6 +861,40 @@ mod tests {
         a.exec(ss, t2, 2, 2); // different executor than epoch 1 — legal
         let (_, v2) = a.end_epoch(2);
         assert_eq!(v2, None);
+    }
+
+    #[test]
+    fn memo_hit_fresh_is_silent_stale_is_reported() {
+        let a = full();
+        let ss = SsId(6);
+        let t = a.submit(ss, 0, 1);
+        a.exec(ss, t, 1, 1);
+        a.memo_hit(ss, 1, 3, 3); // fresh serve: generations agree
+        let (_, v) = a.end_epoch(1);
+        assert_eq!(v, None);
+
+        let b = full();
+        let t = b.submit(ss, 0, 1);
+        b.exec(ss, t, 1, 1);
+        b.memo_hit(ss, 1, 3, 5); // stale serve: entry trails the live gen
+        let (_, v) = b.end_epoch(1);
+        assert!(matches!(
+            v.expect("violation").kind,
+            AuditViolation::StaleMemoServe { served: 3, live: 5 }
+        ));
+    }
+
+    #[test]
+    fn memo_hit_does_not_disturb_conservation() {
+        // A hit is not an execution: the close-time conservation check
+        // must still balance on the real submit/exec counts alone.
+        let a = full();
+        let ss = SsId(6);
+        let t = a.submit(ss, 0, 1);
+        a.memo_hit(ss, 1, 1, 1);
+        a.exec(ss, t, 1, 1);
+        let (_, v) = a.end_epoch(1);
+        assert_eq!(v, None);
     }
 
     #[test]

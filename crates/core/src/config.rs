@@ -47,6 +47,13 @@ pub struct ChaosKnobs {
     /// at once and the stolen tail can overtake the owner's in-flight
     /// prefix — the exact races the handshake exists to exclude.
     pub steal_mid_set: bool,
+    /// Memoized delegations serve a cached entry even when the set's
+    /// generation has been bumped since publication — the result may
+    /// derive from inputs invalidated by a non-memoized delegation or a
+    /// program-context reclaim. The auditor's memo-hit event carries
+    /// both generations, so a stale serve is reported as
+    /// `AuditViolation::StaleMemoServe`.
+    pub stale_memo_serve: bool,
 }
 
 /// Factory closure for custom assignment policies (kept in an `Arc` so
@@ -259,6 +266,7 @@ pub struct RuntimeBuilder {
     pub(crate) routing: RoutingMode,
     pub(crate) audit: AuditMode,
     pub(crate) session_queue_cap: Option<u64>,
+    pub(crate) memo_capacity: Option<usize>,
     /// Scripted-interleaving gates for the deterministic-schedule test
     /// harness; `None` (always, outside the harness tests) compiles the
     /// gate sites down to a tag check.
@@ -283,6 +291,7 @@ impl Default for RuntimeBuilder {
             routing: RoutingMode::Sharded,
             audit: AuditMode::Off,
             session_queue_cap: None,
+            memo_capacity: None,
             test_gates: None,
             #[cfg(feature = "chaos")]
             chaos: ChaosKnobs::default(),
@@ -469,6 +478,43 @@ impl RuntimeBuilder {
     /// bit-for-bit); see `docs/POLICIES.md` for guidance on sizing.
     pub fn session_queue_cap(mut self, cap: usize) -> Self {
         self.session_queue_cap = Some(cap.max(1) as u64);
+        self
+    }
+
+    /// Enables the incremental-epochs memo layer with room for
+    /// (approximately) `capacity` cached results, unlocking the
+    /// `delegate_memo` family on [`Writable`](crate::Writable),
+    /// [`DelegateContext`](crate::DelegateContext) and
+    /// [`Runtime`](crate::Runtime): delegations carrying an input
+    /// fingerprint whose result is already cached resolve instantly —
+    /// the future is born ready, nothing is routed or queued. Results
+    /// are invalidated per serialization set when a non-memoized
+    /// delegation or a program-context reclaim touches the set (a
+    /// generation bump; see `docs/ARCHITECTURE.md`). Default: disabled —
+    /// `delegate_memo` then behaves exactly like `delegate_with` plus a
+    /// counted miss, and no memo table is allocated.
+    ///
+    /// ```
+    /// use ss_core::{fingerprint_of, Runtime, Writable};
+    /// let rt = Runtime::builder()
+    ///     .delegate_threads(1)
+    ///     .memo_capacity(1024)
+    ///     .build()
+    ///     .unwrap();
+    /// let w: Writable<u64> = Writable::new(&rt, 7);
+    /// let fp = fingerprint_of(&7u64);
+    /// rt.isolated(|| {
+    ///     let f = w.delegate_memo(fp, |n| *n * 2).unwrap();
+    ///     assert_eq!(f.wait().unwrap(), 14); // cold: executed
+    /// }).unwrap();
+    /// rt.isolated(|| {
+    ///     let f = w.delegate_memo(fp, |n| *n * 2).unwrap();
+    ///     assert_eq!(f.wait().unwrap(), 14); // warm: served from the memo
+    /// }).unwrap();
+    /// assert_eq!(rt.stats().memo_hits, 1);
+    /// ```
+    pub fn memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo_capacity = Some(capacity.max(1));
         self
     }
 

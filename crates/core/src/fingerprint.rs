@@ -1,0 +1,230 @@
+//! Input fingerprints and inline memo values for the incremental-epochs
+//! memo layer.
+//!
+//! The `delegate_memo` family keys its result cache by `(serialization
+//! set, input fingerprint)`: the caller names, as a single `u64`, the
+//! inputs its operation closure depends on. Two submissions with equal
+//! fingerprints on the same set promise to compute the same result —
+//! that promise is the caller's, exactly as the serializer's
+//! independence promise is; the runtime checks neither, but the
+//! serializability auditor verifies what it *can* (a served result's
+//! generation freshness).
+//!
+//! Two helpers make honest fingerprints cheap:
+//!
+//! * [`Fingerprint`] — a trait for "hash my whole value": implemented
+//!   for the common scalar/slice/tuple shapes via [`std::hash::Hash`],
+//!   folded through a fixed-key FNV-1a so the fingerprint is stable
+//!   across runs and runtimes (unlike `RandomState` hashing).
+//! * [`fingerprint_of`] — the function form, for call sites that prefer
+//!   `fingerprint_of(&inputs)` over `inputs.fingerprint()`.
+//!
+//! [`MemoValue`] bounds what the memo table can store: results that
+//! round-trip losslessly through a `u64`. The restriction is what keeps
+//! memo hits allocation-free — the cached bits live inline in the table
+//! and in the born-ready future, never on the heap. Results wider than a
+//! word should cache a key/summary (an id, a count, a fingerprint of the
+//! real output) and keep the wide data in the [`Writable`] domain
+//! itself.
+//!
+//! [`Writable`]: crate::Writable
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A byte-stream hasher with a fixed key, so fingerprints are stable
+/// across processes (FNV-1a; quality is ample for cache keying — a
+/// collision only ever trades a re-execution for a wrong *cached* result
+/// when the caller's equal-fingerprint promise is also broken).
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Values that can describe themselves as a stable `u64` input
+/// fingerprint for the `delegate_memo` family.
+///
+/// The blanket implementation covers every `Hash` type, folding the
+/// standard `Hash` byte stream through a fixed-key FNV-1a, so derived
+/// `Hash` impls give structs and enums honest fingerprints for free.
+/// Implement the trait directly only to fingerprint a *subset* of a
+/// value (the fields the operation actually reads).
+///
+/// ```
+/// use ss_core::Fingerprint;
+/// assert_eq!(7u64.fingerprint(), 7u64.fingerprint());
+/// assert_ne!(7u64.fingerprint(), 8u64.fingerprint());
+/// assert_eq!((1u32, "abc").fingerprint(), (1u32, "abc").fingerprint());
+/// ```
+pub trait Fingerprint {
+    /// This value's input fingerprint: equal inputs must produce equal
+    /// fingerprints, and distinct inputs should (cheaply) produce
+    /// distinct ones.
+    fn fingerprint(&self) -> u64;
+}
+
+impl<T: std::hash::Hash + ?Sized> Fingerprint for T {
+    fn fingerprint(&self) -> u64 {
+        let mut h = FnvHasher(FNV_OFFSET);
+        self.hash(&mut h);
+        std::hash::Hasher::finish(&h)
+    }
+}
+
+/// Computes the input fingerprint of `value` — the function form of
+/// [`Fingerprint::fingerprint`].
+///
+/// ```
+/// use ss_core::fingerprint_of;
+/// let inputs = (42u64, vec![1u8, 2, 3]);
+/// assert_eq!(fingerprint_of(&inputs), fingerprint_of(&inputs));
+/// ```
+pub fn fingerprint_of<T: Fingerprint + ?Sized>(value: &T) -> u64 {
+    value.fingerprint()
+}
+
+/// Results the memo table can cache: types that round-trip losslessly
+/// through a `u64`. Keeping cached results word-sized is what makes a
+/// memo hit allocation-free (the bits are stored inline in the table and
+/// handed to the born-ready future by value).
+///
+/// Implemented for the word-sized scalars (`u64`/`i64`/`u32`/`i32`/
+/// `u16`/`i16`/`u8`/`i8`/`usize`/`isize` — the pointer-width pair is
+/// cached as 64-bit, so the round-trip is lossless on every supported
+/// target), `bool`, `char`, `f32`/`f64` (cached by bit pattern; every
+/// NaN round-trips to itself bit-exactly) and `()`.
+pub trait MemoValue: Send + 'static {
+    /// Encodes the value into the memo table's word.
+    fn to_memo_bits(&self) -> u64;
+    /// Decodes a value previously encoded by
+    /// [`to_memo_bits`](MemoValue::to_memo_bits).
+    fn from_memo_bits(bits: u64) -> Self;
+}
+
+macro_rules! memo_value_int {
+    ($($t:ty),*) => {$(
+        impl MemoValue for $t {
+            #[inline]
+            fn to_memo_bits(&self) -> u64 {
+                *self as u64
+            }
+            #[inline]
+            fn from_memo_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+memo_value_int!(u64, i64, u32, i32, u16, i16, u8, i8, usize, isize);
+
+impl MemoValue for bool {
+    #[inline]
+    fn to_memo_bits(&self) -> u64 {
+        u64::from(*self)
+    }
+    #[inline]
+    fn from_memo_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+impl MemoValue for char {
+    #[inline]
+    fn to_memo_bits(&self) -> u64 {
+        u64::from(u32::from(*self))
+    }
+    #[inline]
+    fn from_memo_bits(bits: u64) -> Self {
+        char::from_u32(bits as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+impl MemoValue for f64 {
+    #[inline]
+    fn to_memo_bits(&self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_memo_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl MemoValue for f32 {
+    #[inline]
+    fn to_memo_bits(&self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline]
+    fn from_memo_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl MemoValue for () {
+    #[inline]
+    fn to_memo_bits(&self) -> u64 {
+        0
+    }
+    #[inline]
+    fn from_memo_bits(_bits: u64) -> Self {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        assert_eq!(fingerprint_of(&1u64), fingerprint_of(&1u64));
+        assert_ne!(fingerprint_of(&1u64), fingerprint_of(&2u64));
+        assert_ne!(fingerprint_of("a"), fingerprint_of("b"));
+        let v1 = vec![1u32, 2, 3];
+        let v2 = vec![1u32, 2, 4];
+        assert_eq!(fingerprint_of(&v1), fingerprint_of(&v1.clone()));
+        assert_ne!(fingerprint_of(&v1), fingerprint_of(&v2));
+        // Method and function forms agree.
+        assert_eq!(v1.fingerprint(), fingerprint_of(&v1));
+    }
+
+    #[test]
+    fn fingerprint_is_fixed_key_not_process_random() {
+        // FNV-1a of Hash's byte stream for 0u8 — a pinned constant so an
+        // accidental switch to RandomState hashing fails loudly.
+        assert_eq!(fingerprint_of(&0u8), 0xaf63_bd4c_8601_b7df);
+    }
+
+    #[test]
+    fn memo_value_roundtrips() {
+        assert_eq!(u64::from_memo_bits(u64::MAX.to_memo_bits()), u64::MAX);
+        assert_eq!(i64::from_memo_bits((-7i64).to_memo_bits()), -7);
+        assert_eq!(i32::from_memo_bits((-7i32).to_memo_bits()), -7);
+        assert_eq!(u16::from_memo_bits(999u16.to_memo_bits()), 999);
+        assert_eq!(i8::from_memo_bits((-3i8).to_memo_bits()), -3);
+        assert_eq!(usize::from_memo_bits(42usize.to_memo_bits()), 42);
+        assert!(bool::from_memo_bits(true.to_memo_bits()));
+        assert_eq!(char::from_memo_bits('é'.to_memo_bits()), 'é');
+        assert_eq!(f64::from_memo_bits(1.5f64.to_memo_bits()), 1.5);
+        assert!(f64::from_memo_bits(f64::NAN.to_memo_bits()).is_nan());
+        assert_eq!(f32::from_memo_bits((-0.25f32).to_memo_bits()), -0.25);
+        #[allow(clippy::unit_cmp)]
+        {
+            <()>::from_memo_bits(().to_memo_bits());
+        }
+    }
+}

@@ -18,10 +18,17 @@
 //!   operation's cell. After the barrier, every future delegated in the
 //!   epoch is ready — a future crossing an epoch boundary is a
 //!   plain value, never a dangling obligation.
-//! * **Drop-safety.** Dropping a pending future loses nothing: the
-//!   completion is delivered to the cell regardless (and the value is
-//!   dropped with the cell). The operation, its counters and its epoch
-//!   accounting are untouched by the future's lifetime.
+//! * **Drop-safety.** Dropping a pending future abandons the result but
+//!   never the accounting: the drop *requests cancellation* — an
+//!   advisory flag the executor checks when it pops the operation. An
+//!   operation that has not started is skipped (its closure never runs;
+//!   [`Stats::ops_cancelled`](crate::Stats::ops_cancelled) counts it);
+//!   one that already started, or that the executor pops before
+//!   observing the flag, completes normally and its value is dropped
+//!   with the cell. Either way every counter (`pending`, queue depths,
+//!   `in_flight`) settles exactly as if the future had been kept, so
+//!   every drain proof is untouched. A *memoized* operation that is
+//!   cancelled publishes nothing into the memo table.
 //! * **Deadlock-safety.** [`SsFuture::wait`] from the program context
 //!   blocks conventionally (delegates drain independently, and
 //!   program-owned operations execute inline at delegation time, so
@@ -78,19 +85,56 @@ const WAIT_PARK: Duration = Duration::from_millis(1);
 /// above spells out the drain/drop/deadlock guarantees with an example.
 #[must_use = "an SsFuture carries the operation's result; drop it only if the result is unneeded"]
 pub struct SsFuture<R> {
-    recv: OneshotReceiver<R>,
+    inner: FutureInner<R>,
     rt: Runtime,
     set: SsId,
     executor: Executor,
 }
 
+/// How the future's value arrives.
+enum FutureInner<R> {
+    /// Backed by a one-shot completion cell the executing context will
+    /// settle (the delegated path, including inline execution — inline
+    /// cells are settled before the future is returned).
+    Cell(OneshotReceiver<R>),
+    /// Born ready with the value held inline — the memo-hit path. No
+    /// cell, no routing, no queue entry ever existed; the epoch serial
+    /// is carried directly. Holding the value inline (not in a pooled
+    /// cell) is what keeps an unbounded run of same-epoch memo hits
+    /// allocation-free.
+    Ready { value: Option<R>, epoch: u64 },
+    /// Consumed by [`SsFuture::wait`] / [`SsFuture::wait_all`] (never
+    /// observable through the public API).
+    Taken,
+}
+
 impl<R> std::fmt::Debug for SsFuture<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (epoch, ready) = match &self.inner {
+            FutureInner::Cell(recv) => (recv.tag(), recv.is_settled()),
+            FutureInner::Ready { epoch, .. } => (*epoch, true),
+            FutureInner::Taken => (0, true),
+        };
         f.debug_struct("SsFuture")
             .field("set", &self.set)
-            .field("epoch", &self.recv.tag())
-            .field("ready", &self.recv.is_settled())
+            .field("epoch", &epoch)
+            .field("ready", &ready)
+            .field("memo_hit", &matches!(self.inner, FutureInner::Ready { .. }))
             .finish()
+    }
+}
+
+impl<R> Drop for SsFuture<R> {
+    fn drop(&mut self) {
+        // Drop-to-cancel: an unresolved future's result can no longer be
+        // observed, so ask the executor to skip the operation if it has
+        // not started. Advisory only — a send that races the request
+        // still wins, and the value is dropped with the cell.
+        if let FutureInner::Cell(recv) = &self.inner {
+            if !recv.is_settled() {
+                recv.request_cancel();
+            }
+        }
     }
 }
 
@@ -102,10 +146,25 @@ impl<R: Send + 'static> SsFuture<R> {
         executor: Executor,
     ) -> Self {
         SsFuture {
-            recv,
+            inner: FutureInner::Cell(recv),
             rt,
             set,
             executor,
+        }
+    }
+
+    /// A future born ready from a memoized result: the value is held
+    /// inline — nothing was routed, queued or executed, so there is no
+    /// cell and no executor.
+    pub(crate) fn new_memo_hit(value: R, rt: Runtime, set: SsId, epoch: u64) -> Self {
+        SsFuture {
+            inner: FutureInner::Ready {
+                value: Some(value),
+                epoch,
+            },
+            rt,
+            set,
+            executor: Executor::Program,
         }
     }
 
@@ -117,20 +176,34 @@ impl<R: Send + 'static> SsFuture<R> {
     /// The isolation-epoch serial the operation was delegated in. The
     /// epoch's `end_isolation` barrier implies this future is resolved.
     pub fn epoch(&self) -> u64 {
-        self.recv.tag()
+        match &self.inner {
+            FutureInner::Cell(recv) => recv.tag(),
+            FutureInner::Ready { epoch, .. } => *epoch,
+            FutureInner::Taken => unreachable!("wait consumed the future"),
+        }
     }
 
     /// True once the operation has completed (successfully or not) and
     /// [`wait`](SsFuture::wait) will return without blocking.
     pub fn is_ready(&self) -> bool {
-        self.recv.is_settled()
+        match &self.inner {
+            FutureInner::Cell(recv) => recv.is_settled(),
+            FutureInner::Ready { .. } | FutureInner::Taken => true,
+        }
     }
 
     /// True when the operation executed inline on the program thread
     /// (program-share sets and zero-delegate runtimes) — such futures are
     /// born ready.
     pub fn was_inline(&self) -> bool {
-        self.executor == Executor::Program
+        self.executor == Executor::Program && !self.was_memo_hit()
+    }
+
+    /// True when this future was answered from the memo table by the
+    /// `delegate_memo` family: the operation never executed and the
+    /// future was born ready holding the cached value.
+    pub fn was_memo_hit(&self) -> bool {
+        matches!(self.inner, FutureInner::Ready { .. })
     }
 
     /// Blocks until the operation completes and returns its result.
@@ -150,28 +223,137 @@ impl<R: Send + 'static> SsFuture<R> {
     /// before it) panicked and the runtime is poisoned;
     /// [`SsError::Terminated`] when the runtime shut down before the
     /// operation could run.
-    pub fn wait(self) -> SsResult<R> {
-        let signal = self.recv.signal();
-        loop {
-            match self.recv.poll() {
-                OneshotPoll::Ready(v) => return Ok(v),
-                OneshotPoll::Closed => return Err(self.closed_error()),
-                OneshotPoll::Pending => {}
+    pub fn wait(mut self) -> SsResult<R> {
+        match std::mem::replace(&mut self.inner, FutureInner::Taken) {
+            FutureInner::Ready { value, .. } => {
+                Ok(value.expect("a born-ready future holds its value until waited"))
             }
-            let mut park = || self.recv.park_timeout(WAIT_PARK);
-            match future_wait_turn(&self.rt, self.set, &signal, &mut park) {
-                WaitTurn::Progress | WaitTurn::Waited => {}
-                WaitTurn::NotDelegate => self.recv.park_timeout(WAIT_PARK),
-                WaitTurn::Deadlock => {
-                    // The detector raced the resolution window once:
-                    // re-poll before surfacing the error.
-                    return match self.recv.poll() {
-                        OneshotPoll::Ready(v) => Ok(v),
-                        OneshotPoll::Closed => Err(self.closed_error()),
-                        OneshotPoll::Pending => Err(SsError::FutureDeadlock { set: self.set }),
-                    };
+            FutureInner::Taken => unreachable!("wait consumes the future"),
+            FutureInner::Cell(recv) => {
+                let signal = recv.signal();
+                loop {
+                    match recv.poll() {
+                        OneshotPoll::Ready(v) => return Ok(v),
+                        OneshotPoll::Closed => return Err(self.closed_error()),
+                        OneshotPoll::Pending => {}
+                    }
+                    let mut park = || recv.park_timeout(WAIT_PARK);
+                    match future_wait_turn(&self.rt, self.set, &signal, &mut park) {
+                        WaitTurn::Progress | WaitTurn::Waited => {}
+                        WaitTurn::NotDelegate => recv.park_timeout(WAIT_PARK),
+                        WaitTurn::Deadlock => {
+                            // The detector raced the resolution window once:
+                            // re-poll before surfacing the error.
+                            return match recv.poll() {
+                                OneshotPoll::Ready(v) => Ok(v),
+                                OneshotPoll::Closed => Err(self.closed_error()),
+                                OneshotPoll::Pending => {
+                                    Err(SsError::FutureDeadlock { set: self.set })
+                                }
+                            };
+                        }
+                    }
                 }
             }
+        }
+    }
+
+    /// Waits for a whole batch of futures and returns their results in
+    /// submission order.
+    ///
+    /// Semantically `futures.map(wait)`, but the batch blocks as a unit:
+    /// every sweep first drains all already-settled futures (memo hits
+    /// and inline executions cost one poll each, no parking), and only
+    /// when every remaining future is genuinely pending does the batch
+    /// block on the first of them — help-first on a delegate context
+    /// (one wait registration and one deadlock walk at a time, over
+    /// whichever constituent currently gates the batch), a bounded park
+    /// on the program context. Work executed while helping routinely
+    /// resolves *other* constituents, so the next sweep collects them
+    /// without ever blocking on each individually.
+    ///
+    /// Errors abort the batch with the failing future's error
+    /// ([`SsError::FutureDeadlock`], [`SsError::DelegatePanicked`],
+    /// [`SsError::Terminated`]); the remaining futures are dropped,
+    /// which requests cancellation of their unstarted operations as any
+    /// drop does.
+    pub fn wait_all(futures: impl IntoIterator<Item = SsFuture<R>>) -> SsResult<Vec<R>> {
+        let mut futs: Vec<SsFuture<R>> = futures.into_iter().collect();
+        let mut out: Vec<Option<R>> = futs.iter().map(|_| None).collect();
+        let mut pending = futs.len();
+        while pending > 0 {
+            // Sweep: collect everything already settled.
+            let mut progressed = false;
+            let mut blocker = None;
+            for i in 0..futs.len() {
+                if out[i].is_some() {
+                    continue;
+                }
+                match futs[i].try_take()? {
+                    Some(v) => {
+                        out[i] = Some(v);
+                        pending -= 1;
+                        progressed = true;
+                    }
+                    None => blocker = blocker.or(Some(i)),
+                }
+            }
+            if pending == 0 || progressed {
+                continue;
+            }
+            // Every remaining future is pending: block on the first.
+            let i = blocker.expect("pending > 0 implies an unresolved future");
+            let verdict = {
+                let f = &futs[i];
+                let FutureInner::Cell(recv) = &f.inner else {
+                    unreachable!("try_take left only cell-backed futures pending")
+                };
+                let signal = recv.signal();
+                let mut park = || recv.park_timeout(WAIT_PARK);
+                match future_wait_turn(&f.rt, f.set, &signal, &mut park) {
+                    WaitTurn::NotDelegate => {
+                        recv.park_timeout(WAIT_PARK);
+                        None
+                    }
+                    WaitTurn::Progress | WaitTurn::Waited => None,
+                    WaitTurn::Deadlock => Some(f.set),
+                }
+            };
+            if let Some(set) = verdict {
+                // The detector raced the resolution window once: re-poll
+                // before surfacing the error.
+                match futs[i].try_take()? {
+                    Some(v) => {
+                        out[i] = Some(v);
+                        pending -= 1;
+                    }
+                    None => return Err(SsError::FutureDeadlock { set }),
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("all futures resolved"))
+            .collect())
+    }
+
+    /// Non-blocking extraction: `Ok(Some(v))` when the future settled
+    /// with a value (the future becomes `Taken`), `Ok(None)` while still
+    /// pending, `Err` when the cell closed without a value.
+    fn try_take(&mut self) -> SsResult<Option<R>> {
+        match std::mem::replace(&mut self.inner, FutureInner::Taken) {
+            FutureInner::Ready { value, .. } => {
+                Ok(Some(value.expect("a born-ready future holds its value")))
+            }
+            FutureInner::Taken => unreachable!("resolved futures are skipped by the sweep"),
+            FutureInner::Cell(recv) => match recv.poll() {
+                OneshotPoll::Ready(v) => Ok(Some(v)),
+                OneshotPoll::Closed => Err(self.closed_error()),
+                OneshotPoll::Pending => {
+                    self.inner = FutureInner::Cell(recv);
+                    Ok(None)
+                }
+            },
         }
     }
 
@@ -216,6 +398,28 @@ impl Runtime {
             return Err(SsError::WrongContext);
         }
         target.delegate_with(f)
+    }
+
+    /// Memoized delegation on `target` — convenience forwarding to
+    /// [`Writable::delegate_memo`], for call sites that hold the runtime
+    /// rather than the wrapper. `target` must belong to this runtime
+    /// ([`SsError::WrongContext`] otherwise).
+    pub fn delegate_memo<T, S, R, F>(
+        &self,
+        target: &Writable<T, S>,
+        fingerprint: u64,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        R: crate::fingerprint::MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        if !std::sync::Arc::ptr_eq(&self.inner, &target.runtime().inner) {
+            return Err(SsError::WrongContext);
+        }
+        target.delegate_memo(fingerprint, f)
     }
 }
 
@@ -277,9 +481,12 @@ mod tests {
     }
 
     #[test]
-    fn dropped_futures_lose_nothing() {
-        // Drop-safety: the operations still run, the cells still settle,
-        // and every drain counter returns to zero.
+    fn dropped_futures_cancel_or_complete_but_always_settle() {
+        // Drop-safety with drop-to-cancel: each dropped future's
+        // operation either ran (its increment landed, futures_resolved
+        // counts it) or was skipped as cancelled (ops_cancelled counts
+        // it) — never lost, never double-counted — and every drain
+        // counter still returns to zero at the barrier.
         for policy in [StealPolicy::Off, StealPolicy::WhenIdle] {
             let rt = Runtime::builder()
                 .delegate_threads(2)
@@ -295,12 +502,103 @@ mod tests {
                 }));
             }
             rt.end_isolation().unwrap();
-            assert_eq!(w.call(|n| *n).unwrap(), 100, "{policy:?}");
             let stats = rt.stats();
-            assert_eq!(stats.futures_resolved, 100, "{policy:?}");
+            let value = w.call(|n| *n).unwrap();
+            assert_eq!(value, stats.futures_resolved, "{policy:?}");
+            assert_eq!(
+                stats.futures_resolved + stats.ops_cancelled,
+                100,
+                "{policy:?}"
+            );
+            assert_eq!(
+                stats.executed, 100,
+                "{policy:?}: cancelled ops still settle"
+            );
             assert_eq!(stats.in_flight, 0, "{policy:?}");
             assert!(stats.queue_depths.iter().all(|&d| d == 0), "{policy:?}");
         }
+    }
+
+    #[test]
+    fn kept_futures_never_cancel() {
+        // Cancellation is driven only by dropping an unresolved future:
+        // holding every future to the barrier must execute every op.
+        let rt = rt(2);
+        let w: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        rt.begin_isolation().unwrap();
+        let futs: Vec<SsFuture<u64>> = (0..100)
+            .map(|_| {
+                w.delegate_with(|n| {
+                    *n += 1;
+                    *n
+                })
+                .unwrap()
+            })
+            .collect();
+        rt.end_isolation().unwrap();
+        assert_eq!(futs.len(), 100);
+        for f in futs {
+            f.wait().unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.ops_cancelled, 0);
+        assert_eq!(stats.futures_resolved, 100);
+        assert_eq!(w.call(|n| *n).unwrap(), 100);
+    }
+
+    #[test]
+    fn wait_all_returns_results_in_submission_order() {
+        for delegates in [0, 1, 2] {
+            let rt = rt(delegates);
+            let objs: Vec<Writable<u64, SequenceSerializer>> =
+                (0..8).map(|i| Writable::new(&rt, i)).collect();
+            rt.begin_isolation().unwrap();
+            let futs: Vec<SsFuture<u64>> = objs
+                .iter()
+                .map(|o| o.delegate_with(|n| *n * 3).unwrap())
+                .collect();
+            let got = SsFuture::wait_all(futs).unwrap();
+            rt.end_isolation().unwrap();
+            assert_eq!(
+                got,
+                (0..8).map(|i| i * 3).collect::<Vec<_>>(),
+                "delegates = {delegates}"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_all_from_delegate_context_helps_first() {
+        // A delegate batch-waiting on futures it spawned into its own
+        // queue must help-first drain them, not deadlock.
+        let rt = rt(1);
+        let parent: Writable<u64, SequenceSerializer> = Writable::new(&rt, 0);
+        let children: Vec<Writable<u64, SequenceSerializer>> =
+            (0..4).map(|i| Writable::new(&rt, i)).collect();
+        rt.begin_isolation().unwrap();
+        let rt1 = rt.clone();
+        let kids = children.clone();
+        let fut = parent
+            .delegate_with(move |n| {
+                let futs: Vec<SsFuture<u64>> = rt1
+                    .delegate_scope(|cx| {
+                        kids.iter()
+                            .map(|k| cx.delegate_with(k, |c| *c + 10).unwrap())
+                            .collect()
+                    })
+                    .unwrap();
+                *n = SsFuture::wait_all(futs).unwrap().iter().sum::<u64>();
+                *n
+            })
+            .unwrap();
+        assert_eq!(fut.wait().unwrap(), 10 + 11 + 12 + 13);
+        rt.end_isolation().unwrap();
+    }
+
+    #[test]
+    fn wait_all_of_nothing_is_empty() {
+        let got: Vec<u64> = SsFuture::wait_all(Vec::<SsFuture<u64>>::new()).unwrap();
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod audit;
 mod cell;
 mod config;
 mod error;
+mod fingerprint;
 mod future;
 mod invocation;
 mod runtime;
@@ -81,6 +82,7 @@ pub use audit::{AuditMode, AuditReport, AuditViolation};
 pub use config::ChaosKnobs;
 pub use config::{Assignment, ExecutionMode, RoutingMode, RuntimeBuilder, StealPolicy, WaitPolicy};
 pub use error::{SsError, SsResult};
+pub use fingerprint::{fingerprint_of, Fingerprint, MemoValue};
 pub use future::SsFuture;
 pub use runtime::{
     AssignTopology, DelegateAssignment, DelegateContext, DelegateLoads, EwmaCost, Executor,

@@ -1679,6 +1679,44 @@ impl<'rt> DelegateContext<'rt> {
     {
         target.delegate_nested_with(self, Some(ss.into()), f)
     }
+
+    /// Memoized future-returning delegation from this delegate context —
+    /// the nested form of [`Writable::delegate_memo`]. Hits are served
+    /// from the memo table without routing or queueing anything; misses
+    /// delegate under the nested rules and publish their result.
+    pub fn delegate_memo<T, S, R, F>(
+        &self,
+        target: &Writable<T, S>,
+        fingerprint: u64,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        R: crate::fingerprint::MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        target.delegate_nested_memo(self, None, fingerprint, f)
+    }
+
+    /// Memoized nested delegation in an explicitly supplied
+    /// serialization set — the nested form of
+    /// [`Writable::delegate_in_memo`].
+    pub fn delegate_in_memo<T, S, R, F>(
+        &self,
+        target: &Writable<T, S>,
+        ss: impl Into<SsId>,
+        fingerprint: u64,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        T: Send + 'static,
+        S: Serializer<T>,
+        R: crate::fingerprint::MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        target.delegate_nested_memo(self, Some(ss.into()), fingerprint, f)
+    }
 }
 
 impl Runtime {

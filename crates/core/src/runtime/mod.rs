@@ -156,6 +156,15 @@ pub(crate) struct Core {
     /// Tenant-id dispenser (ids start at 1; the root runtime is the
     /// implicit tenant 0).
     pub(crate) next_session_id: AtomicU32,
+    /// The memo table backing the `delegate_memo` family, present only
+    /// when [`RuntimeBuilder::memo_capacity`] was set — the `None` fast
+    /// path keeps non-memoizing runtimes free of every memo atomic.
+    /// Keyed by `(set key, input fingerprint)`; root wrappers use the raw
+    /// set id, session handles the session-qualified route key, so each
+    /// tenant gets a private memo domain for free. Invalidation is the
+    /// generation stamp: non-memoized delegation and ownership reclaim
+    /// bump a set's generation, lazily killing its cached entries.
+    pub(crate) memo: Option<ss_queue::memomap::MemoMap>,
     /// Scripted-interleaving gates for the deterministic-schedule test
     /// harness ([`RuntimeBuilder::test_schedule`]); `None` outside the
     /// harness tests, so the gate sites cost one branch.
@@ -272,6 +281,45 @@ impl Core {
         match &self.audit {
             Some(a) if a.active() => {
                 a.handover(ss, self.epoch_serial.load(Ordering::Acquire), slot)
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a memo hit for `ss`: the served entry's generation is
+    /// checked against the set's live generation and a stale serve is
+    /// reported as [`AuditViolation::StaleMemoServe`]. Deliberately
+    /// touches no submitted/executed/executor state — a memo hit is *not*
+    /// an operation (nothing was queued, nothing will execute), so it
+    /// must not perturb the conservation or ordering checks.
+    ///
+    /// [`AuditViolation::StaleMemoServe`]: crate::AuditViolation::StaleMemoServe
+    #[inline]
+    pub(crate) fn audit_memo_hit(&self, ss: SsId, entry_gen: u64, live_gen: u64) {
+        match &self.audit {
+            Some(a) if a.active() => a.memo_hit(
+                ss,
+                self.epoch_serial.load(Ordering::Acquire),
+                entry_gen,
+                live_gen,
+            ),
+            _ => {}
+        }
+    }
+
+    /// Session form of [`audit_memo_hit`](Core::audit_memo_hit): gated on
+    /// the session's sampling flag and stamped with its composite serial.
+    #[inline]
+    pub(crate) fn session_audit_memo_hit(
+        &self,
+        s: &SessionShared,
+        key: SsId,
+        entry_gen: u64,
+        live_gen: u64,
+    ) {
+        match &self.audit {
+            Some(a) if s.audit_on.load(Ordering::Relaxed) => {
+                a.memo_hit_in(key, s.audit_serial(), entry_gen, live_gen)
             }
             _ => {}
         }
@@ -423,6 +471,20 @@ impl Core {
         #[cfg(feature = "chaos")]
         {
             self.chaos.skip_reclaim_fence
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            false
+        }
+    }
+
+    /// Whether memo lookups deliberately serve entries whose generation
+    /// has been invalidated (the stale result the auditor must catch).
+    #[inline(always)]
+    pub(crate) fn chaos_stale_memo_serve(&self) -> bool {
+        #[cfg(feature = "chaos")]
+        {
+            self.chaos.stale_memo_serve
         }
         #[cfg(not(feature = "chaos"))]
         {
@@ -672,6 +734,7 @@ impl Runtime {
             audit: (b.audit != AuditMode::Off).then(|| AuditState::new(b.audit)),
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU32::new(1),
+            memo: b.memo_capacity.map(ss_queue::memomap::MemoMap::new),
             test_gates: b.test_gates.clone(),
             #[cfg(feature = "chaos")]
             chaos: b.chaos,
@@ -1080,6 +1143,18 @@ impl Runtime {
         match &self.session {
             Some(s) => s.epoch_serial.load(Ordering::Acquire),
             None => self.inner.core.epoch_serial.load(Ordering::Acquire),
+        }
+    }
+
+    /// The memo-table key for `ss` under this handle's domain: root
+    /// handles use the raw set id; session handles use the
+    /// session-qualified route key, which is what gives every session a
+    /// private memo domain with no extra memo state.
+    #[inline]
+    pub(crate) fn memo_key(&self, ss: SsId) -> u64 {
+        match &self.session {
+            Some(s) => s.route_key(ss),
+            None => ss.0,
         }
     }
 

@@ -69,6 +69,19 @@ pub(crate) struct StatsCell {
     /// Times a session submit had to stall because the session was at its
     /// per-session queue-depth cap (`RuntimeBuilder::session_queue_cap`).
     pub starvation_stalls: AtomicU64,
+    /// Memoized delegations answered from the memo table (future born
+    /// ready, no queue traffic).
+    pub memo_hits: AtomicU64,
+    /// Memoized delegations that found no usable entry and executed
+    /// normally (publishing on completion).
+    pub memo_misses: AtomicU64,
+    /// Set-generation bumps performed by non-memoized delegations and
+    /// program-context reclaims (each lazily kills that set's entries).
+    pub memo_invalidations: AtomicU64,
+    /// Delegated operations skipped by the drop-to-cancel handshake: the
+    /// future was dropped unresolved and the executor popped the
+    /// operation after the cancel request landed.
+    pub ops_cancelled: AtomicU64,
     /// Per-delegate count of enqueued-or-executing operations.
     pub queue_depths: Box<[AtomicU64]>,
     /// Per-delegate count of completed operations.
@@ -107,6 +120,10 @@ impl StatsCell {
             epochs_audited: AtomicU64::new(0),
             sessions_active: AtomicU64::new(0),
             starvation_stalls: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            memo_invalidations: AtomicU64::new(0),
+            ops_cancelled: AtomicU64::new(0),
             queue_depths: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
             delegate_executed: (0..n_delegates).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -146,6 +163,10 @@ impl StatsCell {
             epochs_audited: self.epochs_audited.load(Ordering::Relaxed),
             sessions_active: self.sessions_active.load(Ordering::Relaxed),
             starvation_stalls: self.starvation_stalls.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            memo_invalidations: self.memo_invalidations.load(Ordering::Relaxed),
+            ops_cancelled: self.ops_cancelled.load(Ordering::Relaxed),
             // Patched in by Runtime::stats from the auditor's own counter
             // (the auditor lives outside this cell); 0 when auditing is off.
             audit_edges: 0,
@@ -268,6 +289,30 @@ pub struct Stats {
     /// before its operation was accepted — the fairness backpressure
     /// signal. 0 when no cap is configured.
     pub starvation_stalls: u64,
+    /// Memoized delegations (`delegate_memo` family) answered straight
+    /// from the memo table: the fingerprint matched a live-generation
+    /// entry, so the future was born ready and no router resolution,
+    /// queue reservation or delegate wakeup happened. 0 when memoization
+    /// is disabled ([`RuntimeBuilder::memo_capacity`](crate::RuntimeBuilder::memo_capacity))
+    /// or never used.
+    pub memo_hits: u64,
+    /// Memoized delegations that missed (cold fingerprint, invalidated
+    /// generation, or an entry evicted by the capacity cap) and executed
+    /// normally, publishing their result for the next epoch. Hits plus
+    /// misses partition every `delegate_memo`-family call.
+    pub memo_misses: u64,
+    /// Memo invalidations: generation bumps performed by non-memoized
+    /// delegations and program-context reclaims on sets that a memoized
+    /// operation may have cached results for. Each bump lazily kills the
+    /// set's entries (no table walk). 0 when memoization is disabled.
+    pub memo_invalidations: u64,
+    /// Operations skipped by the drop-to-cancel handshake: their
+    /// [`SsFuture`](crate::SsFuture) was dropped unresolved, and the
+    /// owning executor popped the operation after the cancellation
+    /// request was visible, so the body never ran (the operation still
+    /// settles its cell and all drain counters). Cancelled memoized
+    /// operations do not publish into the memo.
+    pub ops_cancelled: u64,
     /// Conflict-graph edges the auditor recorded: one per executed
     /// operation observed while an audited epoch was open. A rough
     /// measure of audit coverage and of the checker's (O(1)-per-event)
@@ -372,6 +417,10 @@ mod tests {
             epochs_audited: 0,
             sessions_active: 0,
             starvation_stalls: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            memo_invalidations: 0,
+            ops_cancelled: 0,
             audit_edges: 0,
             queue_depths: Vec::new(),
             delegate_executed: Vec::new(),

@@ -75,6 +75,12 @@ pub enum TraceKind {
     FutureResolve,
     /// A delegated operation executed inline on the program thread.
     InlineExecute,
+    /// A memoized delegation (`delegate_memo` family) was answered from
+    /// the memo table: the input fingerprint matched a live-generation
+    /// entry, so the operation's [`SsFuture`](crate::SsFuture) was born
+    /// ready and nothing was routed or queued. Recorded at the
+    /// delegation site on the program thread, in program order.
+    MemoHit,
     /// The program context reclaimed ownership of an object (sent a
     /// synchronization object and waited for the owning queue to drain).
     Reclaim,

@@ -58,6 +58,7 @@ use parking_lot::Mutex;
 use ss_queue::oneshot::OneshotSender;
 
 use crate::error::{SsError, SsResult};
+use crate::fingerprint::MemoValue;
 use crate::future::SsFuture;
 use crate::invocation::TaskSlot;
 use crate::runtime::{trace_executor_for, DelegateContext, Executor, Runtime};
@@ -132,6 +133,31 @@ impl Drop for AccessGuard<'_> {
     fn drop(&mut self) {
         self.0.lock().accessing = false;
     }
+}
+
+/// Outcome of a memoized delegation's phase 1 (state machine + memo
+/// lookup under the object mutex).
+enum MemoPrepared {
+    /// The memo table held a servable entry: the future is born ready
+    /// from `bits` and nothing was committed (no tag, no claim, no
+    /// pending raise — the operation will not run).
+    Hit {
+        bits: u64,
+        ss: SsId,
+        serial: u64,
+        entry_gen: u64,
+        live_gen: u64,
+    },
+    /// No servable entry: the delegation was committed (on the nested
+    /// path, `pending` was raised inside the critical section; the
+    /// program path raises it after, like the non-memo flow).
+    /// `generation` is the set's live generation at lookup time — the
+    /// stamp the executed result must publish under.
+    Miss {
+        ss: SsId,
+        serial: u64,
+        generation: u64,
+    },
 }
 
 /// A privately-writable data domain (Prometheus `writable<T, S>`).
@@ -308,6 +334,82 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         self.delegate_with_impl(Some(ss.into()), f)
     }
 
+    /// Memoized future-returning delegation: like
+    /// [`delegate_with`](Writable::delegate_with), but keyed by
+    /// `(serialization set, fingerprint)` in the runtime's memo table
+    /// (present when built with
+    /// [`RuntimeBuilder::memo_capacity`](crate::RuntimeBuilder::memo_capacity);
+    /// without it this is exactly `delegate_with`).
+    ///
+    /// `fingerprint` names the inputs the closure depends on — compute
+    /// it with [`fingerprint_of`](crate::fingerprint_of) or supply your
+    /// own `u64`. **The caller promises** that two submissions with
+    /// equal fingerprints on the same set compute the same result; the
+    /// runtime does not check this, exactly as it does not check a
+    /// serializer's independence promise (the serializability auditor
+    /// verifies what it can: generation freshness of every served
+    /// entry).
+    ///
+    /// A **hit** — a cached result from an earlier epoch whose set has
+    /// not been invalidated since — returns a future born ready holding
+    /// the cached value: no routing, no queue reservation, no delegate
+    /// wakeup, no allocation, and the object's epoch state is untouched
+    /// (the operation does not run, so the object is not claimed). A
+    /// **miss** delegates normally and publishes the result into the
+    /// memo table before the operation's completion settles the drain
+    /// counters. Any non-memoized delegation on the set, and any
+    /// mutating ownership reclaim, invalidates the set's entries in one
+    /// generation bump.
+    ///
+    /// Results must implement [`MemoValue`] (round-trip through a
+    /// `u64`): cache a key or summary and keep wide data in the object.
+    ///
+    /// ```
+    /// use ss_core::{fingerprint_of, Runtime, Writable};
+    ///
+    /// let rt = Runtime::builder()
+    ///     .delegate_threads(1)
+    ///     .memo_capacity(1024)
+    ///     .build()
+    ///     .unwrap();
+    /// let w: Writable<Vec<u64>> = Writable::new(&rt, (1..=100).collect());
+    ///
+    /// for _ in 0..3 {
+    ///     rt.begin_isolation().unwrap();
+    ///     let fp = fingerprint_of(&(1u64, 100u64)); // the inputs
+    ///     let f = w.delegate_memo(fp, |v| v.iter().sum::<u64>()).unwrap();
+    ///     assert_eq!(f.wait().unwrap(), 5050);
+    ///     rt.end_isolation().unwrap();
+    /// }
+    /// // First submission executed; the re-submissions were served from
+    /// // the memo table without executing anything.
+    /// assert_eq!(rt.stats().memo_misses, 1);
+    /// assert_eq!(rt.stats().memo_hits, 2);
+    /// ```
+    pub fn delegate_memo<R, F>(&self, fingerprint: u64, f: F) -> SsResult<SsFuture<R>>
+    where
+        R: MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        self.delegate_memo_impl(None, fingerprint, f)
+    }
+
+    /// Memoized delegation in an explicitly supplied serialization set —
+    /// the external-serializer form of
+    /// [`delegate_memo`](Writable::delegate_memo).
+    pub fn delegate_in_memo<R, F>(
+        &self,
+        ss: impl Into<SsId>,
+        fingerprint: u64,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        R: MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        self.delegate_memo_impl(Some(ss.into()), fingerprint, f)
+    }
+
     fn delegate_impl<F>(&self, external: Option<SsId>, f: F) -> SsResult<()>
     where
         F: FnOnce(&mut T) + Send + 'static,
@@ -330,6 +432,200 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         let task = self.package_task_with(f, tx, serial, ss);
         let executor = self.submit_and_record(ss, task)?;
         Ok(SsFuture::new(rx, self.rt.clone(), ss, executor))
+    }
+
+    fn delegate_memo_impl<R, F>(
+        &self,
+        external: Option<SsId>,
+        fp: u64,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        R: MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let rt = &self.rt;
+        if rt.inner.core.memo.is_none() {
+            // No memo table configured: every submission is a plain
+            // future-returning delegation (and nothing is recorded).
+            return self.delegate_with_impl(external, f);
+        }
+        match self.prepare_memo_delegation(external, fp)? {
+            MemoPrepared::Hit {
+                bits,
+                ss,
+                serial,
+                entry_gen,
+                live_gen,
+            } => {
+                let core = &rt.inner.core;
+                StatsCell::bump(&core.stats.memo_hits);
+                self.record_memo_hit_audit(ss, entry_gen, live_gen);
+                if rt.trace_enabled() {
+                    rt.trace_record(
+                        TraceKind::MemoHit,
+                        Some(self.shared.instance),
+                        Some(ss),
+                        None,
+                    );
+                }
+                Ok(SsFuture::new_memo_hit(
+                    R::from_memo_bits(bits),
+                    rt.clone(),
+                    ss,
+                    serial,
+                ))
+            }
+            MemoPrepared::Miss {
+                ss,
+                serial,
+                generation,
+            } => {
+                StatsCell::bump(&rt.inner.core.stats.memo_misses);
+                self.shared.pending.fetch_add(1, Ordering::Relaxed);
+                let (tx, rx) = self.oneshot_cell(serial);
+                let task =
+                    self.package_task_memo(f, tx, serial, ss, rt.memo_key(ss), fp, generation);
+                let executor = self.submit_and_record(ss, task)?;
+                Ok(SsFuture::new(rx, self.rt.clone(), ss, executor))
+            }
+        }
+    }
+
+    /// Memoized delegation, phase 1 (program-thread form): the same
+    /// context/epoch/state-machine checks as
+    /// [`prepare_program_delegation`](Writable::prepare_program_delegation),
+    /// plus the memo lookup — all under one hold of the object mutex. A
+    /// **hit returns without committing anything**: the object is not
+    /// tagged, not claimed and `pending` is untouched, because no
+    /// operation will run. Only a miss commits the delegation.
+    fn prepare_memo_delegation(&self, external: Option<SsId>, fp: u64) -> SsResult<MemoPrepared> {
+        let rt = &self.rt;
+        rt.require_program_thread()?;
+        let (in_iso, serial, inline) = rt.epoch_flags();
+        if inline {
+            return Err(SsError::NestedDelegation);
+        }
+        if !in_iso {
+            return Err(SsError::NotInIsolation);
+        }
+        if rt.is_poisoned() {
+            return Err(rt.inner.core.poison_error());
+        }
+        let memo = rt
+            .inner
+            .core
+            .memo
+            .as_ref()
+            .expect("caller checked the table exists");
+
+        let mut local = self.shared.local.lock();
+        let local = &mut *local;
+        local.refresh(serial);
+        if local.accessing {
+            return Err(SsError::AccessInProgress {
+                instance: self.shared.instance,
+            });
+        }
+        if local.use_state == UseState::ReadShared {
+            return Err(SsError::StateConflict {
+                instance: self.shared.instance,
+                was_read_shared: true,
+            });
+        }
+        // Effective-set computation: identical rules to the non-memo
+        // prepare (first tag authoritative, §3.3 consistency check under
+        // dynamic checks), but the tag is only *committed* on a miss.
+        let ss = if let Some(tag) = local.tag {
+            if rt.dynamic_checks() {
+                let recomputed = match external {
+                    Some(e) => Some(e),
+                    None if self.shared.pending.load(Ordering::Acquire) == 0 => {
+                        // SAFETY: pending == 0 ⇒ no executor holds the value.
+                        let value = unsafe { &*self.shared.value.get() };
+                        self.serializer.serialize(value, self.cx())
+                    }
+                    None => None,
+                };
+                if let Some(got) = recomputed {
+                    if got != tag {
+                        return Err(SsError::InconsistentSerializer {
+                            instance: self.shared.instance,
+                            tagged: tag,
+                            got,
+                        });
+                    }
+                }
+            }
+            tag
+        } else {
+            match external {
+                Some(e) => e,
+                None => {
+                    // Untagged ⇒ no delegation this epoch ⇒ pending == 0
+                    // (all previous epochs drained), so the serializer may
+                    // inspect the object.
+                    debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
+                    // SAFETY: no delegated operations in flight (above).
+                    let value = unsafe { &*self.shared.value.get() };
+                    self.serializer
+                        .serialize(value, self.cx())
+                        .ok_or(SsError::MissingSerializer)?
+                }
+            }
+        };
+        let key = rt.memo_key(ss);
+        // Normal mode serves only live-generation entries; the chaos
+        // `stale_memo_serve` weakening serves any entry but reports both
+        // generations honestly, so the auditor can catch the lie.
+        let served = match memo.lookup_entry(key, fp) {
+            Some((bits, entry_gen, live_gen))
+                if entry_gen == live_gen || rt.inner.core.chaos_stale_memo_serve() =>
+            {
+                Some((bits, entry_gen, live_gen))
+            }
+            _ => None,
+        };
+        if let Some((bits, entry_gen, live_gen)) = served {
+            return Ok(MemoPrepared::Hit {
+                bits,
+                ss,
+                serial,
+                entry_gen,
+                live_gen,
+            });
+        }
+        // Miss: commit the delegation exactly as the non-memo prepare
+        // would have.
+        local.tag = Some(ss);
+        local.use_state = UseState::PrivateWritable;
+        Ok(MemoPrepared::Miss {
+            ss,
+            serial,
+            generation: memo.generation(key),
+        })
+    }
+
+    /// Records a memo hit with the serializability auditor under this
+    /// handle's domain (root key or session-qualified composite key).
+    fn record_memo_hit_audit(&self, ss: SsId, entry_gen: u64, live_gen: u64) {
+        let core = &self.rt.inner.core;
+        match &self.rt.session {
+            Some(s) => core.session_audit_memo_hit(s, SsId(s.route_key(ss)), entry_gen, live_gen),
+            None => core.audit_memo_hit(ss, entry_gen, live_gen),
+        }
+    }
+
+    /// Invalidates the set's memoized results: one generation bump
+    /// lazily kills every `(set, fingerprint)` entry. Called wherever a
+    /// non-memoized mutation of the set's object commits — plain
+    /// delegation and mutating ownership reclaim.
+    #[inline]
+    fn invalidate_memo(&self, ss: SsId) {
+        if let Some(memo) = &self.rt.inner.core.memo {
+            memo.bump_generation(self.rt.memo_key(ss));
+            StatsCell::bump(&self.rt.inner.core.stats.memo_invalidations);
+        }
     }
 
     /// Batch delegation: assigns a whole run of operations on this object
@@ -479,6 +775,9 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             local.use_state = UseState::PrivateWritable;
             effective
         };
+        // A non-memoized delegation mutates the set's object outside the
+        // memo protocol: invalidate the set's cached results.
+        self.invalidate_memo(ss);
         Ok((ss, serial))
     }
 
@@ -605,7 +904,14 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
         let rt_id = self.rt.id();
         TaskSlot::new(move || {
             let mut tx = Some(tx);
-            if !core.poisoned.load(Ordering::Acquire) {
+            // Drop-to-cancel: the future was dropped before this pop, so
+            // the caller explicitly abandoned the result and the effects.
+            // Skip the body; the settle counters below still run, so the
+            // drain accounting is exactly that of an executed operation.
+            let cancelled = tx.as_ref().is_some_and(|t| t.is_cancelled());
+            if cancelled {
+                StatsCell::bump(&core.stats.ops_cancelled);
+            } else if !core.poisoned.load(Ordering::Acquire) {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     // SAFETY: executor exclusivity — see module-level safety
                     // model; identical to `package_task`.
@@ -635,6 +941,239 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             drop(tx);
             StatsCell::bump(&core.stats.executed);
             shared.pending.fetch_sub(1, Ordering::Release);
+        })
+    }
+
+    /// Packages a *memoized* future-returning `f`: like
+    /// [`package_task_with`](Writable::package_task_with), with two
+    /// additions in load-bearing order:
+    ///
+    /// * **Cancellation check first.** If the operation's future was
+    ///   dropped before this pop, its result — and, because the caller
+    ///   explicitly abandoned it, its effects — can no longer be
+    ///   depended on: the body is skipped, nothing is published, and
+    ///   only [`Stats::ops_cancelled`](crate::Stats::ops_cancelled) and
+    ///   the settle counters move.
+    /// * **Publish before settle.** The result lands in the memo table
+    ///   *before* the cell settles and `pending` drops, so every drain
+    ///   proof (epoch barrier, reclaim quiesce) covers the publication —
+    ///   a re-submission after any barrier observes it. `publish`
+    ///   re-checks the generation under the shard lock and drops a
+    ///   publication whose set was invalidated while the operation was
+    ///   queued or running.
+    #[allow(clippy::too_many_arguments)]
+    fn package_task_memo<R, F>(
+        &self,
+        f: F,
+        tx: OneshotSender<R>,
+        serial: u64,
+        ss: SsId,
+        memo_key: u64,
+        fp: u64,
+        generation: u64,
+    ) -> TaskSlot
+    where
+        R: MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        let core = Arc::clone(&self.rt.inner.core);
+        let rt_id = self.rt.id();
+        TaskSlot::new(move || {
+            let mut tx = Some(tx);
+            let cancelled = tx.as_ref().is_some_and(|t| t.is_cancelled());
+            if cancelled {
+                StatsCell::bump(&core.stats.ops_cancelled);
+            } else if !core.poisoned.load(Ordering::Acquire) {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // SAFETY: executor exclusivity — see module-level safety
+                    // model; identical to `package_task`.
+                    let value = unsafe { &mut *shared.value.get() };
+                    f(value)
+                }));
+                match result {
+                    Ok(out) => {
+                        if let Some(memo) = &core.memo {
+                            memo.publish(memo_key, fp, generation, out.to_memo_bits());
+                        }
+                        tx.take().expect("sender consumed once").send(out);
+                        StatsCell::bump(&core.stats.futures_resolved);
+                        if core.side_events.is_some() {
+                            core.record_side(
+                                serial,
+                                TraceKind::FutureResolve,
+                                Some(shared.instance),
+                                Some(ss),
+                                trace_executor_for(rt_id),
+                            );
+                        }
+                    }
+                    Err(p) => core.poison(panic_message(p.as_ref())),
+                }
+            }
+            drop(tx);
+            StatsCell::bump(&core.stats.executed);
+            shared.pending.fetch_sub(1, Ordering::Release);
+        })
+    }
+
+    /// Memoized delegation from a **delegate context** — the backing
+    /// implementation of [`DelegateContext::delegate_memo`] and
+    /// [`DelegateContext::delegate_in_memo`]. A hit is served without
+    /// committing anything (and without a trace event — the program-order
+    /// [`TraceKind::MemoHit`] is a delegation-site record); a miss
+    /// commits under the nested rules and publishes like the program
+    /// path.
+    pub(crate) fn delegate_nested_memo<R, F>(
+        &self,
+        cx: &DelegateContext<'_>,
+        external: Option<SsId>,
+        fp: u64,
+        f: F,
+    ) -> SsResult<SsFuture<R>>
+    where
+        R: MemoValue,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let rt = &self.rt;
+        if rt.inner.core.memo.is_none() {
+            return self.delegate_nested_with(cx, external, f);
+        }
+        match self.prepare_nested_memo(cx, external, fp)? {
+            MemoPrepared::Hit {
+                bits,
+                ss,
+                serial,
+                entry_gen,
+                live_gen,
+            } => {
+                StatsCell::bump(&rt.inner.core.stats.memo_hits);
+                self.record_memo_hit_audit(ss, entry_gen, live_gen);
+                Ok(SsFuture::new_memo_hit(
+                    R::from_memo_bits(bits),
+                    rt.clone(),
+                    ss,
+                    serial,
+                ))
+            }
+            MemoPrepared::Miss {
+                ss,
+                serial,
+                generation,
+            } => {
+                StatsCell::bump(&rt.inner.core.stats.memo_misses);
+                let (tx, rx) = self.oneshot_cell(serial);
+                let task =
+                    self.package_task_memo(f, tx, serial, ss, rt.memo_key(ss), fp, generation);
+                let executor = self.submit_nested_and_record(ss, task)?;
+                Ok(SsFuture::new(rx, self.rt.clone(), ss, executor))
+            }
+        }
+    }
+
+    /// Memoized delegation, phase 1 (nested form): the
+    /// [`prepare_nested_delegation`](Writable::prepare_nested_delegation)
+    /// rules plus the memo lookup, one hold of the object mutex. A hit
+    /// commits nothing; a miss commits — tag, claim, nested-epoch flag
+    /// and `pending`, all inside the critical section (module safety
+    /// model, point 3).
+    fn prepare_nested_memo(
+        &self,
+        cx: &DelegateContext<'_>,
+        external: Option<SsId>,
+        fp: u64,
+    ) -> SsResult<MemoPrepared> {
+        let rt = &self.rt;
+        if !cx.belongs_to(rt) {
+            return Err(SsError::WrongContext);
+        }
+        rt.check_live()?;
+        if rt.is_poisoned() {
+            return Err(rt.inner.core.poison_error());
+        }
+        let serial = rt.cross_epoch_serial();
+        let memo = rt
+            .inner
+            .core
+            .memo
+            .as_ref()
+            .expect("caller checked the table exists");
+
+        let mut local = self.shared.local.lock();
+        let local = &mut *local;
+        local.refresh(serial);
+        if local.accessing {
+            return Err(SsError::AccessInProgress {
+                instance: self.shared.instance,
+            });
+        }
+        if local.use_state == UseState::ReadShared {
+            return Err(SsError::StateConflict {
+                instance: self.shared.instance,
+                was_read_shared: true,
+            });
+        }
+        let ss = if let Some(tag) = local.tag {
+            if rt.dynamic_checks() {
+                if let Some(got) = external {
+                    if got != tag {
+                        return Err(SsError::InconsistentSerializer {
+                            instance: self.shared.instance,
+                            tagged: tag,
+                            got,
+                        });
+                    }
+                }
+            }
+            tag
+        } else {
+            if local.use_state == UseState::PrivateWritable {
+                // Claimed by a program-context mutation this epoch: see
+                // `prepare_nested_delegation`.
+                return Err(SsError::NestedOnProgram { set: None });
+            }
+            debug_assert_eq!(self.shared.pending.load(Ordering::Acquire), 0);
+            match external {
+                Some(e) => e,
+                None => {
+                    // SAFETY: pending == 0 under the state mutex and no
+                    // program access is live (`accessing == false`) — no
+                    // executor holds the value.
+                    let value = unsafe { &*self.shared.value.get() };
+                    self.serializer
+                        .serialize(value, self.cx())
+                        .ok_or(SsError::MissingSerializer)?
+                }
+            }
+        };
+        let key = rt.memo_key(ss);
+        let served = match memo.lookup_entry(key, fp) {
+            Some((bits, entry_gen, live_gen))
+                if entry_gen == live_gen || rt.inner.core.chaos_stale_memo_serve() =>
+            {
+                Some((bits, entry_gen, live_gen))
+            }
+            _ => None,
+        };
+        if let Some((bits, entry_gen, live_gen)) = served {
+            return Ok(MemoPrepared::Hit {
+                bits,
+                ss,
+                serial,
+                entry_gen,
+                live_gen,
+            });
+        }
+        local.tag = Some(ss);
+        local.use_state = UseState::PrivateWritable;
+        // Flag first, then pending, both inside the critical section:
+        // see the module-level safety model, point 3.
+        rt.mark_nested_epoch();
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
+        Ok(MemoPrepared::Miss {
+            ss,
+            serial,
+            generation: memo.generation(key),
         })
     }
 
@@ -804,6 +1343,9 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
             self.shared.pending.fetch_add(count, Ordering::Relaxed);
             effective
         };
+        // A non-memoized nested delegation invalidates the set's cached
+        // results, same as the program path.
+        self.invalidate_memo(ss);
         Ok((ss, serial))
     }
 
@@ -1023,6 +1565,15 @@ impl<T: Send + 'static, S: Serializer<T>> Writable<T, S> {
                 if let Some(report) = report {
                     self.shared.local.lock().accessing = false;
                     return Err(SsError::SerializabilityViolation(report));
+                }
+            }
+            // A mutating reclaim is about to change the value behind the
+            // memoized results' backs: invalidate the set's entries
+            // before the closure runs (conservative — entries die even
+            // if the closure ends up not mutating the cached inputs).
+            if mutate {
+                if let Some(ss) = tag {
+                    self.invalidate_memo(ss);
                 }
             }
         }

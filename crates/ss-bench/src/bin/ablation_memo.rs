@@ -1,0 +1,257 @@
+//! Ablation: fingerprint-memoized re-execution across isolation epochs.
+//!
+//! Incremental workloads re-submit the same delegation program epoch
+//! after epoch with only a fraction of the inputs changed. The memo
+//! layer skips the clean fraction: a re-submission whose `(set,
+//! fingerprint)` entry is still live at the set's current generation is
+//! served from the cache — no routing, no queue reservation, no
+//! delegate wakeup, no execution. This ablation measures exactly that
+//! trade on one workload swept across mutation rates:
+//!
+//! * `0%` — no object mutates between epochs: after the cold first
+//!   epoch every re-submission is a pure hit, and the memo arm's only
+//!   per-op cost is the sharded lookup.
+//! * `10%` — a rotating tenth of the objects mutates each epoch: the
+//!   steady-state mix the design targets (§ docs/POLICIES.md).
+//! * `100%` — every object mutates every epoch: every lookup misses,
+//!   so the memo arm pays the full execution *plus* the lookup and the
+//!   publish — the worst case, bounded below as overhead.
+//!
+//! Both arms run the identical program; a fold over every query result
+//! and every final object state is compared across arms per rate
+//! (hard-gated below): a hit that serves anything but what re-execution
+//! would have produced is a correctness bug, not a throughput win.
+//!
+//! Output: a table plus `bench ablation_memo/<rate>/<arm>
+//! median_ns=<n>` lines that `scripts/record_baseline.sh` folds into
+//! `BENCH_baseline.json`.
+
+use ss_bench::*;
+use ss_core::{fingerprint_of, Runtime, SequenceSerializer, Writable};
+
+const DELEGATES: usize = 4;
+const SHARDS: usize = 64;
+/// Distinct memoizable queries re-submitted per shard per epoch.
+const QUERIES_PER_SHARD: u64 = 4;
+const EPOCHS: u64 = 8;
+/// Fold rounds per query: heavy enough that a skipped execution is a
+/// real win and the lookup/publish bookkeeping is real noise.
+const QUERY_ROUNDS: u32 = 8_000;
+
+fn work(seed: u64, rounds: u32) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..rounds {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ seed;
+    }
+    x
+}
+
+/// The memoized query: a pure function of the shard state and the query
+/// index. The fingerprint passed to `delegate_memo` covers `q`; the
+/// state component is covered by generation invalidation (every mutation
+/// of the shard bumps its set's generation).
+fn query(s: u64, q: u64) -> u64 {
+    work(s ^ q, QUERY_ROUNDS)
+}
+
+fn fold(acc: u64, v: u64) -> u64 {
+    acc.rotate_left(9) ^ v
+}
+
+/// Mutation period per rate: a shard mutates in epochs where
+/// `(shard + epoch) % period == 0`. `None` means never.
+#[derive(Clone, Copy)]
+struct Rate {
+    name: &'static str,
+    period: Option<usize>,
+}
+
+const RATES: [Rate; 3] = [
+    Rate {
+        name: "0pct",
+        period: None,
+    },
+    Rate {
+        name: "10pct",
+        period: Some(10),
+    },
+    Rate {
+        name: "100pct",
+        period: Some(1),
+    },
+];
+
+fn mutates(rate: Rate, shard: usize, epoch: u64) -> bool {
+    // The first epoch is the cold population pass for every rate; the
+    // mutation schedule applies to re-submission epochs only.
+    match rate.period {
+        Some(p) if epoch > 0 => (shard + epoch as usize).is_multiple_of(p),
+        _ => false,
+    }
+}
+
+/// Builds one arm's runtime: the memo-on arm gets a cache, the memo-off
+/// arm simply never configures one (the builder default).
+fn runtime(memoized: bool) -> Runtime {
+    let b = Runtime::builder()
+        .delegate_threads(DELEGATES)
+        .queue_capacity(8192);
+    let b = if memoized { b.memo_capacity(4096) } else { b };
+    b.build().unwrap()
+}
+
+/// Runs the incremental program: `EPOCHS` rounds of (mutate the
+/// scheduled shards, re-submit the full query batch). Returns the fold
+/// over every query result and final shard state; the hit/miss split is
+/// read from `Stats` by the caller.
+fn run(rt: &Runtime, memoized: bool, rate: Rate) -> u64 {
+    let objs: Vec<Writable<u64, SequenceSerializer>> = (0..SHARDS)
+        .map(|i| Writable::new(rt, 0x5bd1_e995 ^ ((i as u64) << 7)))
+        .collect();
+    let mut fp = 0u64;
+    for epoch in 0..EPOCHS {
+        rt.begin_isolation().unwrap();
+        for (i, o) in objs.iter().enumerate() {
+            if mutates(rate, i, epoch) {
+                let x = epoch.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ i as u64;
+                o.delegate(move |s| *s = s.wrapping_mul(31).wrapping_add(x))
+                    .unwrap();
+            }
+        }
+        let mut futures = Vec::with_capacity(SHARDS * QUERIES_PER_SHARD as usize);
+        for o in &objs {
+            for q in 0..QUERIES_PER_SHARD {
+                let fut = if memoized {
+                    o.delegate_memo(fingerprint_of(&q), move |s| query(*s, q))
+                        .unwrap()
+                } else {
+                    o.delegate_with(move |s| query(*s, q)).unwrap()
+                };
+                futures.push(fut);
+            }
+        }
+        rt.end_isolation().unwrap();
+        for fut in futures {
+            fp = fold(fp, fut.wait().unwrap());
+        }
+    }
+    for o in &objs {
+        fp = fold(fp, o.call(|s| *s).unwrap());
+    }
+    fp
+}
+
+fn main() {
+    let reps = env_reps();
+    println!(
+        "Ablation: fingerprint-memoized re-execution \
+         ({DELEGATES} delegates, {SHARDS} shards x {QUERIES_PER_SHARD} queries \
+         x {EPOCHS} epochs, host threads: {})\n",
+        host_threads()
+    );
+
+    let mut table = Table::new(&["rate", "arm", "time", "vs memo-off", "hits", "misses"]);
+    let mut bench_lines: Vec<String> = Vec::new();
+    let mut ratios: Vec<(Rate, f64)> = Vec::new();
+    for rate in RATES {
+        let total = SHARDS as u64 * QUERIES_PER_SHARD * EPOCHS;
+        let mut arm_times = Vec::new();
+        for memoized in [false, true] {
+            let arm = if memoized { "memo-on" } else { "memo-off" };
+            let mut hits = 0;
+            let mut misses = 0;
+            let (t, _) = measure(reps, || {
+                let rt = runtime(memoized);
+                let fp = run(&rt, memoized, rate);
+                let stats = rt.stats();
+                hits = stats.memo_hits;
+                misses = stats.memo_misses;
+                fp
+            });
+            // Each arm must exercise the path it claims to measure.
+            if memoized {
+                assert_eq!(
+                    hits + misses,
+                    total,
+                    "{}: unaccounted submissions",
+                    rate.name
+                );
+                match rate.period {
+                    // Clean re-submission: one cold epoch, hits forever.
+                    None => assert_eq!(misses, total / EPOCHS, "{}: spurious misses", rate.name),
+                    // Full churn: a hit would be serving stale state.
+                    Some(1) => assert_eq!(hits, 0, "{}: hit under 100% churn", rate.name),
+                    _ => {}
+                }
+            } else {
+                assert_eq!(hits + misses, 0, "memo-off arm consulted the cache");
+            }
+            let baseline: Option<&std::time::Duration> = arm_times.first();
+            let vs = baseline.map_or_else(
+                || "1.00x".to_string(),
+                |b| format!("{:.2}x", b.as_secs_f64() / t.as_secs_f64()),
+            );
+            table.row(vec![
+                rate.name.to_string(),
+                arm.to_string(),
+                fmt_dur(t),
+                vs,
+                hits.to_string(),
+                misses.to_string(),
+            ]);
+            bench_lines.push(format!(
+                "bench ablation_memo/{}/{} median_ns={}",
+                rate.name,
+                arm,
+                t.as_nanos()
+            ));
+            arm_times.push(t);
+        }
+        let speedup = arm_times[0].as_secs_f64() / arm_times[1].as_secs_f64();
+        ratios.push((rate, speedup));
+    }
+
+    // Result-fingerprint gate: one unmeasured run of each arm per rate,
+    // compared directly — memoization must be observably invisible.
+    for rate in RATES {
+        let fp_of = |memoized: bool| {
+            let rt = runtime(memoized);
+            run(&rt, memoized, rate)
+        };
+        assert_eq!(
+            fp_of(false),
+            fp_of(true),
+            "{}: memo-on and memo-off folds diverged",
+            rate.name
+        );
+    }
+
+    println!("{}", table.render());
+    println!("All rates produced identical memo-on/memo-off folds.\n");
+    for line in &bench_lines {
+        println!("{line}");
+    }
+
+    // Throughput gates (generous by construction: 8 epochs cap the clean
+    // speedup at ~8x and 8k-round queries swamp the lookup/publish cost).
+    for (rate, speedup) in &ratios {
+        match rate.period {
+            None => assert!(
+                *speedup >= 3.0,
+                "clean re-submission speedup {speedup:.2}x < 3x"
+            ),
+            Some(1) => assert!(
+                *speedup >= 0.95,
+                "full-churn memo overhead {:.1}% > 5%",
+                (1.0 / speedup - 1.0) * 100.0
+            ),
+            _ => {}
+        }
+    }
+    println!(
+        "\nExpected: `0pct` clears 3x (one cold epoch, then pure hits);\n\
+         `10pct` lands in between, tracking the clean fraction; `100pct`\n\
+         ties within 5% — every lookup misses, so the memo arm pays the\n\
+         bookkeeping on top of full execution. Guidance: docs/POLICIES.md."
+    );
+}

@@ -43,7 +43,10 @@
 //! [`shardmap`] module
 //! provides the sharded, epoch-stamped pin map the runtime's routing
 //! layer keys serialization sets with: per-shard locks for writers,
-//! lock-free reads for the re-delegate-to-a-pinned-set hot path.
+//! lock-free reads for the re-delegate-to-a-pinned-set hot path. The
+//! [`memomap`] module reuses the same sharding recipe for the
+//! incremental-epochs result cache: fingerprinted results stamped with
+//! per-set generations, invalidated by a counter bump instead of a walk.
 //!
 //! The SPSC queues are bounded, lock-free, and split statically into a
 //! [`Producer`]/[`Consumer`] handle pair so the single-producer /
@@ -73,6 +76,7 @@
 mod backoff;
 mod deque;
 mod lamport;
+pub mod memomap;
 pub mod oneshot;
 mod pad;
 pub mod shardmap;

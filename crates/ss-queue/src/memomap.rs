@@ -1,0 +1,511 @@
+//! Sharded, generation-stamped memo table for fingerprinted results.
+//!
+//! The incremental-epochs layer of the serialization-sets runtime caches
+//! the result of a delegated operation keyed by `(set key, input
+//! fingerprint)`: when the same operation is re-submitted in a later
+//! epoch with a bit-identical input, the cached result is served without
+//! touching the router, the queues or a delegate thread. [`MemoMap`] is
+//! the storage substrate, built from the same parts as the routing
+//! layer's [`shardmap`](crate::shardmap):
+//!
+//! * **Fixed power-of-two shards**, each guarded by its own short
+//!   spinlock. A memo lookup or publication locks only the shard that
+//!   owns the set key, so unrelated sets never serialize on each other.
+//! * **Fixed slot arrays, capacity-capped.** Each shard holds a fixed
+//!   array of entries sized from the map's configured capacity. A
+//!   publication that finds its bounded probe window full of *live*
+//!   entries is dropped and counted ([`MemoMap::overflowed`]) rather
+//!   than grown — the memo is a cache, and a dropped publication only
+//!   costs a future re-execution, never correctness.
+//! * **Per-set generation stamps, lazily expired.** Every set key maps
+//!   to a generation counter ([`MemoMap::generation`]); entries are
+//!   stamped with the generation current at publication. Invalidation
+//!   (a non-memoized delegation, a program-context reclaim) just bumps
+//!   the counter ([`MemoMap::bump_generation`]) — nothing walks the
+//!   table. Stale entries die lazily: a lookup that finds a
+//!   wrong-generation entry treats the slot as vacant (and a later
+//!   publication may reuse it). This is the memo analogue of the pin
+//!   map's lazy epoch expiry.
+//!
+//! The generation table is a fixed array indexed by a hash of the set
+//! key, so distinct sets may share a counter. A shared bump
+//! over-invalidates (some other set's clean entries also die) — that is
+//! always safe, only ever costing re-execution.
+//!
+//! Values are opaque `u64` payloads; the runtime packs its inline
+//! result representation into them. Unlike the pin map, zero is a valid
+//! value (results are arbitrary bit patterns), so occupancy is tracked
+//! explicitly per slot.
+//!
+//! # Consistency contract
+//!
+//! All reads and writes of a shard's entries happen under its spinlock;
+//! the map promises that a [`MemoMap::lookup`] hit was published by a
+//! completed operation whose set generation still matches the live one
+//! at the instant of the lookup. Callers that must order the lookup
+//! against their own generation bumps do so through the bump itself
+//! (`bump_generation` is a release-increment read by the next lookup's
+//! acquire load).
+//!
+//! ```
+//! use ss_queue::memomap::MemoMap;
+//!
+//! let memo = MemoMap::new(1024);
+//! let gen = memo.generation(7);
+//! assert_eq!(memo.lookup(7, 0xfeed), None); // cold
+//! assert!(memo.publish(7, 0xfeed, gen, 42));
+//! assert_eq!(memo.lookup(7, 0xfeed), Some(42)); // warm
+//! memo.bump_generation(7); // invalidate: set 7 changed outside the memo
+//! assert_eq!(memo.lookup(7, 0xfeed), None);
+//! ```
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::Backoff;
+
+/// Number of shards. Matches the audit layer's shard count — memo
+/// traffic is a strict subset of delegation traffic, which that count
+/// already serves without measurable contention.
+const SHARDS: usize = 16;
+
+/// Bounded probe window: a publication probes at most this many slots
+/// from its start position before declaring the region full. Keeps the
+/// worst-case lookup cost flat regardless of capacity.
+const PROBE: usize = 16;
+
+/// Generation-counter table size (power of two). Distinct set keys may
+/// alias onto one counter; a shared bump over-invalidates, which is
+/// safe (see module docs).
+const GEN_SLOTS: usize = 1024;
+
+/// One memo entry. Reachable only under the owning shard's spinlock, so
+/// the fields are plain data.
+#[derive(Clone, Copy)]
+struct Entry {
+    set_key: u64,
+    fingerprint: u64,
+    /// Set generation at publication; compared to the live counter at
+    /// lookup. A mismatch means the entry is stale (lazily expired).
+    generation: u64,
+    value: u64,
+    occupied: bool,
+}
+
+const VACANT: Entry = Entry {
+    set_key: 0,
+    fingerprint: 0,
+    generation: 0,
+    value: 0,
+    occupied: false,
+};
+
+/// Shard state reachable only while the shard spinlock is held.
+struct ShardState {
+    entries: Box<[Entry]>,
+}
+
+struct Shard {
+    locked: AtomicBool,
+    state: UnsafeCell<ShardState>,
+}
+
+// SAFETY: `state` is only accessed while `locked` is held (the
+// acquire/release edges of the spinlock order all accesses).
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+impl Shard {
+    fn new(slots: usize) -> Self {
+        Shard {
+            locked: AtomicBool::new(false),
+            state: UnsafeCell::new(ShardState {
+                entries: vec![VACANT; slots].into_boxed_slice(),
+            }),
+        }
+    }
+
+    fn lock(&self) {
+        let backoff = Backoff::new();
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.snooze();
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Fibonacci mixing — set keys are frequently small sequential
+/// integers, which would otherwise collapse onto a handful of shards.
+#[inline]
+fn mix(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Combined slot hash over both key components, so operations with the
+/// same set key but different fingerprints spread over the shard.
+#[inline]
+fn slot_hash(set_key: u64, fingerprint: u64) -> u64 {
+    mix(set_key ^ mix(fingerprint))
+}
+
+/// Sharded `(set key, fingerprint) → u64` memo table with per-set
+/// generation invalidation. See the module documentation for the design
+/// and the consistency contract.
+pub struct MemoMap {
+    shards: Box<[Shard]>,
+    /// Slot count per shard (power of two).
+    slots: usize,
+    /// Per-set generation counters (hash-indexed, may alias).
+    generations: Box<[AtomicU64]>,
+    /// Publications dropped because the probe window was full of live
+    /// entries.
+    overflowed: AtomicU64,
+}
+
+impl std::fmt::Debug for MemoMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoMap")
+            .field("shards", &self.shards.len())
+            .field("slots_per_shard", &self.slots)
+            .finish()
+    }
+}
+
+impl MemoMap {
+    /// Creates a memo table holding at most (approximately) `capacity`
+    /// entries, spread over a fixed shard count. The per-shard slot
+    /// count is rounded up to a power of two, minimum the probe window.
+    pub fn new(capacity: usize) -> Self {
+        let slots = capacity
+            .div_ceil(SHARDS)
+            .next_power_of_two()
+            .clamp(PROBE, 1 << 20);
+        MemoMap {
+            shards: (0..SHARDS).map(|_| Shard::new(slots)).collect(),
+            slots,
+            generations: (0..GEN_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            overflowed: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry capacity (diagnostic).
+    pub fn capacity(&self) -> usize {
+        self.slots * self.shards.len()
+    }
+
+    /// Publications dropped for lack of a free slot so far.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn shard_index(&self, set_key: u64) -> usize {
+        (mix(set_key) >> (64 - SHARDS.trailing_zeros())) as usize
+    }
+
+    #[inline]
+    fn gen_index(set_key: u64) -> usize {
+        (mix(set_key) as usize >> 16) & (GEN_SLOTS - 1)
+    }
+
+    /// The live generation of `set_key`'s counter.
+    #[inline]
+    pub fn generation(&self, set_key: u64) -> u64 {
+        self.generations[Self::gen_index(set_key)].load(Ordering::Acquire)
+    }
+
+    /// Bumps `set_key`'s generation counter, lazily killing every memo
+    /// entry published under earlier generations of any set sharing the
+    /// counter. Returns the new generation.
+    #[inline]
+    pub fn bump_generation(&self, set_key: u64) -> u64 {
+        self.generations[Self::gen_index(set_key)].fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// Looks up the memoized result for `(set_key, fingerprint)`,
+    /// honoring generation invalidation: a hit is returned only when
+    /// the entry's stamped generation matches the set's live counter.
+    /// A stale entry encountered on the probe path is vacated in place.
+    pub fn lookup(&self, set_key: u64, fingerprint: u64) -> Option<u64> {
+        self.lookup_entry(set_key, fingerprint)
+            .and_then(|(value, entry_gen, live_gen)| (entry_gen == live_gen).then_some(value))
+    }
+
+    /// Raw lookup that also surfaces generation metadata: returns
+    /// `(value, entry generation, live generation)` for an occupied
+    /// entry regardless of staleness. This is the hook the chaos
+    /// `stale_memo_serve` weakening uses — serving despite a mismatch —
+    /// while honestly reporting both generations so the auditor can
+    /// flag the stale serve.
+    pub fn lookup_entry(&self, set_key: u64, fingerprint: u64) -> Option<(u64, u64, u64)> {
+        let live = self.generation(set_key);
+        let shard = &self.shards[self.shard_index(set_key)];
+        let start = slot_hash(set_key, fingerprint) as usize & (self.slots - 1);
+        shard.lock();
+        // SAFETY: shard lock held.
+        let entries = unsafe { &*shard.state.get() }.entries.as_ref();
+        let mut found = None;
+        for i in 0..PROBE {
+            let idx = (start + i) & (self.slots - 1);
+            let e = &entries[idx];
+            if !e.occupied {
+                break; // end of this key's probe chain
+            }
+            if e.set_key == set_key && e.fingerprint == fingerprint {
+                // A stale entry (generation mismatch) is not vacated
+                // here: clearing it would break probe chains that pass
+                // through this slot. It stays as a husk that `publish`
+                // may reuse, and `lookup` filters it by generation.
+                found = Some((e.value, e.generation, live));
+                break;
+            }
+        }
+        shard.unlock();
+        found
+    }
+
+    /// Publishes `value` for `(set_key, fingerprint)`, stamped with
+    /// `generation` — the generation the publisher observed when the
+    /// operation was *submitted*. The publication is skipped (returning
+    /// `false`) when the set's live generation has moved past it: the
+    /// inputs the result was computed from may already be stale.
+    /// Also returns `false` (and counts the overflow) when the probe
+    /// window holds no vacant, stale or matching slot.
+    pub fn publish(&self, set_key: u64, fingerprint: u64, generation: u64, value: u64) -> bool {
+        let shard = &self.shards[self.shard_index(set_key)];
+        let start = slot_hash(set_key, fingerprint) as usize & (self.slots - 1);
+        shard.lock();
+        // Re-check under the lock: a bump that raced the execution
+        // must win (the result may derive from pre-bump inputs).
+        if self.generation(set_key) != generation {
+            shard.unlock();
+            return false;
+        }
+        // SAFETY: shard lock held.
+        let entries = unsafe { &mut *shard.state.get() }.entries.as_mut();
+        let mut victim: Option<usize> = None;
+        for i in 0..PROBE {
+            let idx = (start + i) & (self.slots - 1);
+            let e = &entries[idx];
+            if !e.occupied {
+                victim = Some(idx);
+                break;
+            }
+            if e.set_key == set_key && e.fingerprint == fingerprint {
+                victim = Some(idx); // overwrite our own entry
+                break;
+            }
+            if victim.is_none() && e.generation != self.generation(e.set_key) {
+                victim = Some(idx); // reuse a lazily-expired entry
+            }
+        }
+        let ok = match victim {
+            Some(idx) => {
+                entries[idx] = Entry {
+                    set_key,
+                    fingerprint,
+                    generation,
+                    value,
+                    occupied: true,
+                };
+                true
+            }
+            None => {
+                self.overflowed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        };
+        shard.unlock();
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cold_miss_then_publish_then_hit() {
+        let m = MemoMap::new(256);
+        assert_eq!(m.lookup(1, 100), None);
+        let g = m.generation(1);
+        assert!(m.publish(1, 100, g, 7));
+        assert_eq!(m.lookup(1, 100), Some(7));
+        // A different fingerprint of the same set is a distinct entry.
+        assert_eq!(m.lookup(1, 101), None);
+    }
+
+    #[test]
+    fn generation_bump_kills_entries_lazily() {
+        let m = MemoMap::new(256);
+        let g = m.generation(5);
+        assert!(m.publish(5, 9, g, 1));
+        assert_eq!(m.lookup(5, 9), Some(1));
+        m.bump_generation(5);
+        assert_eq!(m.lookup(5, 9), None);
+        // The raw lookup still sees the husk, with honest generations.
+        let (v, entry_gen, live) = m.lookup_entry(5, 9).unwrap();
+        assert_eq!(v, 1);
+        assert_ne!(entry_gen, live);
+        // Republishing under the new generation revives the slot.
+        let g2 = m.generation(5);
+        assert!(m.publish(5, 9, g2, 2));
+        assert_eq!(m.lookup(5, 9), Some(2));
+    }
+
+    #[test]
+    fn stale_publication_is_refused() {
+        let m = MemoMap::new(256);
+        let g = m.generation(3);
+        m.bump_generation(3); // invalidation raced the execution
+        assert!(!m.publish(3, 4, g, 99));
+        assert_eq!(m.lookup(3, 4), None);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let m = MemoMap::new(256);
+        let g = m.generation(2);
+        assert!(m.publish(2, 8, g, 10));
+        assert!(m.publish(2, 8, g, 20));
+        assert_eq!(m.lookup(2, 8), Some(20));
+    }
+
+    #[test]
+    fn zero_is_a_valid_memo_value() {
+        let m = MemoMap::new(256);
+        let g = m.generation(11);
+        assert!(m.publish(11, 1, g, 0));
+        assert_eq!(m.lookup(11, 1), Some(0));
+    }
+
+    #[test]
+    fn capacity_cap_counts_overflow_instead_of_growing() {
+        let m = MemoMap::new(16); // tiny: per-shard slots == PROBE
+        let g = m.generation(1);
+        // Saturate one set's probe windows with distinct fingerprints;
+        // far more publications than total capacity.
+        let total = m.capacity() as u64 * 4;
+        let mut published = 0u64;
+        for fp in 0..total {
+            if m.publish(1, fp, g, fp) {
+                published += 1;
+            }
+        }
+        assert!(published <= m.capacity() as u64);
+        assert_eq!(m.overflowed(), total - published);
+        // Everything that reported success is still readable.
+        let mut readable = 0u64;
+        for fp in 0..total {
+            if m.lookup(1, fp).is_some() {
+                readable += 1;
+            }
+        }
+        assert_eq!(readable, published);
+    }
+
+    #[test]
+    fn expired_entries_are_reused_by_publication() {
+        let m = MemoMap::new(16);
+        let g = m.generation(1);
+        let total = m.capacity() as u64 * 2;
+        for fp in 0..total {
+            m.publish(1, fp, g, fp);
+        }
+        let before = m.overflowed();
+        assert!(before > 0);
+        // Kill everything; the next generation's publications must find
+        // room by reusing expired slots, not overflow further.
+        m.bump_generation(1);
+        let g2 = m.generation(1);
+        let mut ok = 0;
+        for fp in 0..16u64 {
+            if m.publish(1, fp, g2, fp + 100) {
+                ok += 1;
+            }
+        }
+        assert!(ok > 0, "no expired slot was reused");
+        for fp in 0..16u64 {
+            if let Some(v) = m.lookup(1, fp) {
+                assert_eq!(v, fp + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn sets_are_independent_domains() {
+        let m = MemoMap::new(256);
+        let ga = m.generation(100);
+        let gb = m.generation(200);
+        assert!(m.publish(100, 1, ga, 1));
+        assert!(m.publish(200, 1, gb, 2));
+        assert_eq!(m.lookup(100, 1), Some(1));
+        assert_eq!(m.lookup(200, 1), Some(2));
+    }
+
+    #[test]
+    fn concurrent_publish_and_lookup_converge() {
+        let m = Arc::new(MemoMap::new(4096));
+        let threads = 4;
+        let per = 500u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let set = t * per + i;
+                        let g = m.generation(set);
+                        if m.publish(set, i, g, set ^ i) {
+                            // Aliased generation counters may have been
+                            // bumped by a racing thread; a hit must
+                            // still read back the published value.
+                            if let Some(v) = m.lookup(set, i) {
+                                assert_eq!(v, set ^ i);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_bumps_never_serve_stale() {
+        // One thread publishes + reads, another invalidates. Every hit
+        // the reader observes must carry the value of a publication
+        // whose generation was live at lookup time.
+        let m = Arc::new(MemoMap::new(256));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let m2 = Arc::clone(&m);
+            let stop2 = Arc::clone(&stop);
+            s.spawn(move || {
+                for _ in 0..10_000 {
+                    m2.bump_generation(7);
+                }
+                stop2.store(true, Ordering::Release);
+            });
+            let m3 = Arc::clone(&m);
+            s.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let g = m3.generation(7);
+                    m3.publish(7, 1, g, g); // value == generation at publish
+                    if let Some(v) = m3.lookup(7, 1) {
+                        // The entry hit ⇒ its generation matched the
+                        // live counter at lookup; the stored value
+                        // records that generation.
+                        assert!(v <= m3.generation(7));
+                    }
+                }
+            });
+        });
+    }
+}

@@ -109,6 +109,11 @@ pub(crate) struct Signal {
     /// Epoch tag; atomic so the pool can restamp a recycled cell while
     /// old [`WaitSignal`] probes may still read it.
     tag: AtomicU64,
+    /// Cancellation request, set by the receiver side (a dropped
+    /// `SsFuture` in the runtime). Advisory: the executor checks it
+    /// pop-side and may skip the operation's body, but a send that
+    /// races the request still wins (completion is never lost).
+    cancelled: AtomicBool,
     /// Value storage: a `T` by value when [`fits_inline`], else the raw
     /// pointer of a `Box<T>`.
     value: UnsafeCell<MaybeUninit<[usize; VALUE_INLINE_WORDS]>>,
@@ -135,6 +140,7 @@ impl Signal {
             waiter_lock: AtomicBool::new(false),
             waiter: UnsafeCell::new(None),
             tag: AtomicU64::new(tag),
+            cancelled: AtomicBool::new(false),
             value: UnsafeCell::new(MaybeUninit::uninit()),
             value_drop: UnsafeCell::new(None),
         }
@@ -198,6 +204,7 @@ impl Signal {
         unsafe { self.drop_orphan() };
         self.with_waiter(|w| *w = None);
         self.tag.store(tag, Ordering::Relaxed);
+        self.cancelled.store(false, Ordering::Relaxed);
         self.state.store(EMPTY, Ordering::Release);
     }
 }
@@ -285,6 +292,16 @@ impl<T> OneshotSender<T> {
     pub fn tag(&self) -> u64 {
         self.signal.tag()
     }
+
+    /// True once the receiver side requested cancellation
+    /// ([`OneshotReceiver::request_cancel`]). The executor that owns
+    /// this sender checks it immediately after popping the operation:
+    /// a `true` answer means nobody can observe the result, so the
+    /// operation's body (and any memo publication) may be skipped —
+    /// the sender is then dropped unsent, settling the cell closed.
+    pub fn is_cancelled(&self) -> bool {
+        self.signal.cancelled.load(Ordering::Acquire)
+    }
 }
 
 impl<T> Drop for OneshotSender<T> {
@@ -347,6 +364,17 @@ impl<T> OneshotReceiver<T> {
     /// A cloneable, value-blind settlement probe onto this cell.
     pub fn signal(&self) -> WaitSignal {
         WaitSignal(Arc::clone(&self.signal))
+    }
+
+    /// Requests cancellation of the operation behind this cell. Purely
+    /// advisory — a skip-if-not-started handshake: an executor that
+    /// pops the operation *after* this store observes it
+    /// ([`OneshotSender::is_cancelled`]) and skips the body; one
+    /// already running (or that raced the store) completes normally.
+    /// Either way the cell still settles (ready or closed), so drain
+    /// accounting is untouched.
+    pub fn request_cancel(&self) {
+        self.signal.cancelled.store(true, Ordering::Release);
     }
 
     /// Registers the current thread as the cell's waiter and parks for at
@@ -475,6 +503,31 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn cancel_request_is_visible_to_sender_but_send_still_wins() {
+        let (tx, rx) = oneshot::<u64>(0);
+        assert!(!tx.is_cancelled());
+        rx.request_cancel();
+        assert!(tx.is_cancelled());
+        // A send that raced the request still lands: completion is
+        // never lost, cancellation only licenses skipping.
+        tx.send(5);
+        assert!(matches!(rx.poll(), OneshotPoll::Ready(5)));
+    }
+
+    #[test]
+    fn reset_clears_the_cancel_flag() {
+        let (tx, rx) = oneshot::<u64>(1);
+        rx.request_cancel();
+        drop(tx);
+        assert!(matches!(rx.poll(), OneshotPoll::Closed));
+        let signal = Arc::clone(&rx.signal);
+        drop(rx);
+        signal.reset(2);
+        assert!(!signal.cancelled.load(Ordering::Relaxed));
+        assert_eq!(signal.tag(), 2);
     }
 
     #[test]

@@ -50,11 +50,12 @@ pub mod prelude {
         ReducibleStats, ReducibleVec,
     };
     pub use ss_core::{
-        doall, AssignTopology, Assignment, AuditMode, AuditReport, AuditViolation,
+        doall, fingerprint_of, AssignTopology, Assignment, AuditMode, AuditReport, AuditViolation,
         DelegateAssignment, DelegateContext, DelegateLoads, EwmaCost, ExecutionMode, Executor,
-        FnSerializer, LeastLoaded, NullSerializer, ObjectSerializer, ReadOnly, Reduce, Reducible,
-        RoundRobinFirstTouch, RoutingMode, Runtime, RuntimeBuilder, SequenceSerializer, Serializer,
-        Session, SessionStats, SsError, SsFuture, SsId, StaticAssignment, Stats, StealPolicy,
-        TraceEvent, TraceExecutor, TraceKind, WaitPolicy, Writable,
+        Fingerprint, FnSerializer, LeastLoaded, MemoValue, NullSerializer, ObjectSerializer,
+        ReadOnly, Reduce, Reducible, RoundRobinFirstTouch, RoutingMode, Runtime, RuntimeBuilder,
+        SequenceSerializer, Serializer, Session, SessionStats, SsError, SsFuture, SsId,
+        StaticAssignment, Stats, StealPolicy, TraceEvent, TraceExecutor, TraceKind, WaitPolicy,
+        Writable,
     };
 }

@@ -16,6 +16,13 @@
 //! reader lists, help-state vector growth — happens outside the window.
 //! Epoch boundaries themselves (sync-token `Arc`s) are legitimately
 //! allocating and stay outside the window too.
+//!
+//! This binary opts out of the libtest harness (`harness = false` in
+//! Cargo.toml): the harness runs sibling tests on parallel threads and
+//! its result bookkeeping (formatting, channel sends) allocates
+//! in-process, so with a process-global counter a sibling's teardown
+//! could land inside an open measured window. A sequential `main`
+//! removes every other allocation source while a window is open.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,18 +59,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// The counter is process-global, so the measured windows of the two
-/// gates below must not overlap: the harness runs `#[test]`s on
-/// parallel threads by default, and one test's warmup allocations
-/// landing inside the other's window is a false failure.
-static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-#[test]
 fn steady_state_delegation_does_not_allocate() {
     const WARMUP: u64 = 10_000;
     const MEASURED: u64 = 10_000;
-    let _serial = GATE.lock().unwrap_or_else(|e| e.into_inner());
-
     let rt = Runtime::builder()
         .delegate_threads(1)
         .queue_capacity(4096)
@@ -129,12 +127,9 @@ fn steady_state_delegation_does_not_allocate() {
 /// window can never see a lane grow. Without the cap this gate would be
 /// schedule-dependent — whether the measured epoch's peak backlog exceeds
 /// the warmup's is up to the OS scheduler.
-#[test]
 fn session_steady_state_delegation_does_not_allocate() {
     const WARMUP: u64 = 10_000;
     const MEASURED: u64 = 10_000;
-    let _serial = GATE.lock().unwrap_or_else(|e| e.into_inner());
-
     let rt = Runtime::builder()
         .delegate_threads(1)
         .queue_capacity(4096)
@@ -179,4 +174,84 @@ fn session_steady_state_delegation_does_not_allocate() {
     assert_eq!(s.submitted, WARMUP + 100 + MEASURED);
     assert_eq!(s.completed, WARMUP + 100 + MEASURED);
     assert_eq!(s.in_flight, 0);
+}
+
+/// The same gate for the memoization fast path: once a fingerprinted
+/// result is published and the set's generation is stable, every
+/// re-submission through `delegate_memo` is a pure cache hit — a sharded
+/// lookup, two atomic bumps, and a future born ready with the value held
+/// *inline* (no completion cell is reserved, so the hit path is
+/// independent of the cell pool and its cap). Ten thousand hits — each
+/// including the `wait()` that consumes the born-ready future — must not
+/// touch the heap at all. The single miss that populates the entry, and
+/// the epoch boundaries, stay outside the window as usual.
+fn memo_hit_resubmission_does_not_allocate() {
+    const MEASURED: u64 = 10_000;
+    let rt = Runtime::builder()
+        .delegate_threads(1)
+        .queue_capacity(4096)
+        .memo_capacity(64)
+        .build()
+        .unwrap();
+    let obj: Writable<u64, SequenceSerializer> = Writable::new(&rt, 7);
+
+    // Warmup epoch: the one real execution publishes the entry (the
+    // epoch barrier guarantees the delegate has executed and published
+    // before the measured epoch opens).
+    rt.begin_isolation().unwrap();
+    let first = obj
+        .delegate_memo(fingerprint_of(&42u64), |n| *n * 3)
+        .unwrap();
+    rt.end_isolation().unwrap();
+    assert_eq!(first.wait().unwrap(), 21);
+
+    // Measured epoch: re-enter, absorb any epoch-entry lazy work with a
+    // short in-epoch warmup, then count.
+    rt.begin_isolation().unwrap();
+    for _ in 0..100 {
+        let fut = obj
+            .delegate_memo(fingerprint_of(&42u64), |n| *n * 3)
+            .unwrap();
+        assert_eq!(fut.wait().unwrap(), 21);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED {
+        let fut = obj
+            .delegate_memo(fingerprint_of(&42u64), |n| *n * 3)
+            .unwrap();
+        assert_eq!(fut.wait().unwrap(), 21);
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    rt.end_isolation().unwrap();
+
+    assert_eq!(
+        delta, 0,
+        "memo-hit re-submission allocated {delta} times in {MEASURED} hits"
+    );
+    let stats = rt.stats();
+    assert_eq!(stats.memo_misses, 1, "only the first submission executes");
+    assert_eq!(stats.memo_hits, 100 + MEASURED);
+    // Hits never reserve a completion cell or enqueue a task: the one
+    // miss is the only operation the delegate ever saw.
+    assert_eq!(stats.tasks_inline + stats.tasks_boxed, 1);
+}
+
+fn main() {
+    for (name, gate) in [
+        (
+            "steady_state_delegation_does_not_allocate",
+            steady_state_delegation_does_not_allocate as fn(),
+        ),
+        (
+            "session_steady_state_delegation_does_not_allocate",
+            session_steady_state_delegation_does_not_allocate,
+        ),
+        (
+            "memo_hit_resubmission_does_not_allocate",
+            memo_hit_resubmission_does_not_allocate,
+        ),
+    ] {
+        gate();
+        println!("alloc gate {name} ... ok");
+    }
 }

@@ -343,6 +343,7 @@ fn many_pending_futures_across_epoch_boundaries() {
         let objs: Vec<Writable<u64, SequenceSerializer>> =
             (0..OBJS).map(|_| Writable::new(&rt, 0)).collect();
         let mut carried: Vec<SsFuture<u64>> = Vec::new();
+        let mut parked: Vec<SsFuture<u64>> = Vec::new();
         for epoch in 0..EPOCHS {
             rt.begin_isolation().unwrap();
             // Waited-across-the-boundary futures from the previous epoch
@@ -359,7 +360,9 @@ fn many_pending_futures_across_epoch_boundaries() {
                     })
                     .unwrap();
                 // Keep every fourth future pending across the boundary;
-                // wait a quarter mid-epoch; drop the rest outright.
+                // wait a quarter mid-epoch; park the rest until the
+                // barrier (dropping them mid-epoch would cancel the ops,
+                // and this test wants every operation to run).
                 match i % 4 {
                     0 => carried.push(fut),
                     1 => {
@@ -369,10 +372,11 @@ fn many_pending_futures_across_epoch_boundaries() {
                             "{policy:?}"
                         );
                     }
-                    _ => drop(fut),
+                    _ => parked.push(fut),
                 }
             }
             rt.end_isolation().unwrap();
+            parked.clear(); // settled by the barrier; dropping cancels nothing
         }
         for o in &objs {
             assert_eq!(o.call(|n| *n).unwrap(), EPOCHS, "{policy:?}");
@@ -385,8 +389,13 @@ fn many_pending_futures_across_epoch_boundaries() {
 
 /// Dropped-future leak check: a storm of future-returning operations —
 /// nested ones included — whose futures are all dropped unwaited must
-/// leave no residue: `in_flight` back to zero, every queue empty, every
-/// cell settled, and the values all applied.
+/// leave no residue. Dropping an unresolved future requests cancellation
+/// (skip-if-not-started), so each op either runs to completion or is
+/// skipped whole — never half-applied — and either way its cell settles
+/// and its accounting drains. The conservation laws checked here:
+/// every submitted op is resolved or cancelled, the object increments
+/// equal the resolutions exactly, children exist only under executed
+/// roots, and nothing stays in flight.
 #[test]
 fn dropped_futures_leak_nothing_under_nesting() {
     const ROOTS: u64 = 48;
@@ -404,8 +413,10 @@ fn dropped_futures_leak_nothing_under_nesting() {
         rt.begin_isolation().unwrap();
         for i in 0..ROOTS as usize {
             let (rt1, kid) = (rt.clone(), kids[i].clone());
-            // Root future dropped immediately; the root spawns nested
-            // future-returning children and drops those futures too.
+            // Root future dropped immediately (a cancellation request the
+            // executor honours only if the op hasn't started); an executed
+            // root spawns nested future-returning children and drops those
+            // futures too.
             drop(
                 roots[i]
                     .delegate_with(move |n| {
@@ -425,15 +436,35 @@ fn dropped_futures_leak_nothing_under_nesting() {
             );
         }
         rt.end_isolation().unwrap();
+        let mut roots_run = 0u64;
+        let mut kids_run = 0u64;
         for i in 0..ROOTS as usize {
-            assert_eq!(roots[i].call(|n| *n).unwrap(), 1, "{policy:?}");
-            assert_eq!(kids[i].call(|n| *n).unwrap(), KIDS, "{policy:?}");
+            let r = roots[i].call(|n| *n).unwrap();
+            let k = kids[i].call(|n| *n).unwrap();
+            assert!(r <= 1, "{policy:?}: root {i} ran {r} times");
+            assert!(
+                k <= KIDS * r,
+                "{policy:?}: kid {i} has {k} increments under {r} root runs"
+            );
+            roots_run += r;
+            kids_run += k;
         }
         let stats = rt.stats();
+        // Only executed roots submit children, so the total submission
+        // count is itself a function of what ran — and every submission
+        // must be accounted a resolution or a cancellation.
+        let submitted = ROOTS + roots_run * KIDS;
         assert_eq!(
-            stats.futures_resolved,
-            ROOTS + ROOTS * KIDS,
+            stats.futures_resolved + stats.ops_cancelled,
+            submitted,
             "{policy:?}: a dropped future lost its completion"
+        );
+        // Each resolved op incremented its object exactly once; a
+        // cancelled op incremented nothing (skipped whole, not half-run).
+        assert_eq!(
+            roots_run + kids_run,
+            stats.futures_resolved,
+            "{policy:?}: increments must match resolutions exactly"
         );
         assert_eq!(
             stats.in_flight, 0,
@@ -507,13 +538,18 @@ fn routing_contention_preserves_pin_stability() {
                 })
                 .collect();
             // Wait for half the roots mid-epoch (program-context waits
-            // racing the delegate-context ones); drop the rest.
+            // racing the delegate-context ones); park the rest until the
+            // barrier settles them (dropping mid-epoch would cancel).
+            let mut parked = Vec::new();
             for (i, f) in futs.into_iter().enumerate() {
                 if i % 2 == 0 {
                     f.wait().unwrap();
+                } else {
+                    parked.push(f);
                 }
             }
             rt.end_isolation().unwrap();
+            drop(parked);
         }
         // Every kid cell received KIDS increments per epoch.
         for kid in &kids {
@@ -596,6 +632,18 @@ fn cost_aware_op_steals_spread_a_zipf_stall_tail() {
     const STALLS: u64 = 4; // cold set: few long operations
     const STALL_MS: u64 = 10;
     const TAIL: u64 = 64; // hot set: deep tail of medium operations
+
+    // The steal-occurrence assertions need the thief delegate actually
+    // running *while* the owner is stuck in a stall — program thread,
+    // owner, and thief concurrently. On 1–2 hardware threads the OS may
+    // legally time-slice the thief to after the backlog has drained
+    // (zero steals, equal spreads), so those legs are checked only when
+    // the machine can truly run all three. The correctness assertions
+    // (final values, trace audit) hold unconditionally.
+    let parallel_enough = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        >= 3;
     let mut spreads: HashMap<&'static str, u64> = HashMap::new();
     for (label, policy) in [
         ("when-idle", StealPolicy::WhenIdle),
@@ -633,8 +681,12 @@ fn cost_aware_op_steals_spread_a_zipf_stall_tail() {
         // burst of hot-tail operations. Hot ops take ~1ms so the hot
         // tail stays deep while the owner is stuck inside a stall —
         // giving mid-set rebalancing something to move in both runs.
+        // The futures are parked until the barrier: dropping them
+        // mid-epoch would request cancellation (drop-to-cancel) and
+        // hollow out the very backlog the thief is supposed to take.
+        let mut parked = Vec::new();
         for _ in 0..STALLS {
-            drop(
+            parked.push(
                 cold.delegate_in_with(SsId(0), |n| {
                     std::thread::sleep(std::time::Duration::from_millis(STALL_MS));
                     *n += 1;
@@ -643,7 +695,7 @@ fn cost_aware_op_steals_spread_a_zipf_stall_tail() {
                 .unwrap(),
             );
             for _ in 0..TAIL / STALLS {
-                drop(
+                parked.push(
                     hot.delegate_in_with(SsId(2), |n| {
                         std::thread::sleep(std::time::Duration::from_millis(1));
                         *n += 1;
@@ -654,6 +706,7 @@ fn cost_aware_op_steals_spread_a_zipf_stall_tail() {
             }
         }
         rt.end_isolation().unwrap();
+        drop(parked); // settled by the barrier; dropping cancels nothing
         assert_eq!(cold.call(|n| *n).unwrap(), 1 + STALLS);
         assert_eq!(hot.call(|n| *n).unwrap(), 1 + TAIL);
 
@@ -665,12 +718,13 @@ fn cost_aware_op_steals_spread_a_zipf_stall_tail() {
                     "depth-based policy migrated a started set's tail: {stats:?}"
                 );
             }
-            _ => {
+            _ if parallel_enough => {
                 assert!(
                     stats.op_steals >= 1,
                     "cost-aware thief never took a quiescent tail: {stats:?}"
                 );
             }
+            _ => {} // thief may never have been scheduled concurrently
         }
         let executed = &stats.delegate_executed;
         spreads.insert(
@@ -710,10 +764,12 @@ fn cost_aware_op_steals_spread_a_zipf_stall_tail() {
         }
         rt.shutdown().unwrap();
     }
-    assert!(
-        spreads["cost-aware"] < spreads["when-idle"],
-        "op-granularity stealing did not improve the executed spread: {spreads:?}"
-    );
+    if parallel_enough {
+        assert!(
+            spreads["cost-aware"] < spreads["when-idle"],
+            "op-granularity stealing did not improve the executed spread: {spreads:?}"
+        );
+    }
 }
 
 /// Continuous streaming ingest under a fully-on auditor: one long epoch,
@@ -899,12 +955,18 @@ fn cell_pool_recycles_dropped_futures_across_epochs() {
             (0..OBJS).map(|_| Writable::new(&rt, 0)).collect();
 
         // Warmup epoch: lets the pool grow to the epoch's working set.
+        // Waited immediately (dropping mid-epoch would cancel the op, and
+        // the value asserts below depend on every warmup increment): the
+        // cells release mid-epoch and are all recycled at the barrier.
         rt.begin_isolation().unwrap();
         for o in &objs {
-            drop(o.delegate_with(|n| {
+            o.delegate_with(|n| {
                 *n += 1;
                 *n
-            }));
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
         }
         rt.end_isolation().unwrap();
         let (free_after_warmup, in_flight_after_warmup, created_after_warmup) =
@@ -924,6 +986,7 @@ fn cell_pool_recycles_dropped_futures_across_epochs() {
         // epochs and must then stay flat.
         let mut created_steady = 0u64;
         let mut carried: Vec<SsFuture<u64>> = Vec::new();
+        let mut parked: Vec<SsFuture<u64>> = Vec::new();
         for epoch in 1..EPOCHS {
             rt.begin_isolation().unwrap();
             // Futures carried across the boundary were settled by the
@@ -932,6 +995,12 @@ fn cell_pool_recycles_dropped_futures_across_epochs() {
                 assert!(f.is_ready(), "{policy:?}: future crossed epoch pending");
                 f.wait().unwrap();
             }
+            // Parked futures from the previous epoch are settled too, but
+            // are dropped *unpolled* — the value is never taken. (Dropping
+            // them mid-epoch last round would have cancelled the ops; a
+            // settled drop only discards the value, which is exactly the
+            // leak shape this test is about.)
+            parked.clear();
             for (i, o) in objs.iter().enumerate() {
                 let fut = o
                     .delegate_with(|n| {
@@ -939,26 +1008,27 @@ fn cell_pool_recycles_dropped_futures_across_epochs() {
                         *n
                     })
                     .unwrap();
-                // A third waited, a third carried across the boundary,
-                // a third dropped unpolled with the value never taken.
+                // A third waited, a third carried across the boundary and
+                // then waited, a third carried and dropped unpolled.
                 match i % 3 {
                     0 => {
                         assert_eq!(fut.wait().unwrap(), epoch + 1, "{policy:?}");
                     }
                     1 => carried.push(fut),
-                    _ => drop(fut),
+                    _ => parked.push(fut),
                 }
             }
             rt.end_isolation().unwrap();
 
             let (free, in_flight, created) = rt.cell_pool_stats();
-            // Cells for futures still held by `carried` legitimately stay
-            // in flight; everything else must have been recycled exactly
-            // once — the free/in-flight split accounts for every cell.
+            // Cells for futures still held by `carried` and `parked`
+            // legitimately stay in flight; everything else must have been
+            // recycled exactly once — the free/in-flight split accounts
+            // for every cell.
             assert_eq!(
                 in_flight,
-                carried.len(),
-                "{policy:?}: epoch {epoch}: only carried futures may hold cells"
+                carried.len() + parked.len(),
+                "{policy:?}: epoch {epoch}: only held futures may keep cells"
             );
             assert_eq!(
                 free + in_flight,
@@ -981,8 +1051,9 @@ fn cell_pool_recycles_dropped_futures_across_epochs() {
         for f in carried.drain(..) {
             f.wait().unwrap();
         }
-        // One empty epoch: the cells the last carried futures just
-        // released get recycled at its quiescence point.
+        parked.clear();
+        // One empty epoch: the cells the last carried and parked futures
+        // just released get recycled at its quiescence point.
         rt.begin_isolation().unwrap();
         rt.end_isolation().unwrap();
 
